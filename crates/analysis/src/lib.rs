@@ -1,0 +1,27 @@
+//! # homeo-analysis
+//!
+//! Symbolic-table program analysis for transactions in `L` / `L++`
+//! (Section 2 of *The Homeostasis Protocol*).
+//!
+//! A **symbolic table** for a transaction `T` is a set of pairs
+//! `⟨ϕ_D, φ⟩` where `ϕ_D` is a first-order predicate over database states and
+//! `φ` is a partially evaluated transaction that produces the same final
+//! database and log as `T` on every database satisfying `ϕ_D` (Section 2.2).
+//! Tables are computed by the backward rules of Figure 6 ([`symbolic`]),
+//! combined across transaction sets by conjunction of guards ([`joint`]),
+//! kept small through independence-based factorization ([`factorize`]) and
+//! parameter-preserving compression ([`params`]), and connected to the
+//! solver substrate through linearization ([`linearize`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod factorize;
+pub mod joint;
+pub mod linearize;
+pub mod params;
+pub mod symbolic;
+
+pub use joint::JointSymbolicTable;
+pub use linearize::{bexp_to_dnf, conjuncts_to_constraints, linearize_aexp, LinearizeError};
+pub use symbolic::{PartialTxn, SymbolicRow, SymbolicTable};

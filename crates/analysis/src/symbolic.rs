@@ -1,0 +1,584 @@
+//! Symbolic tables and their construction (Sections 2.2–2.3, Figure 6).
+//!
+//! The table is computed backwards over the transaction body:
+//!
+//! ```text
+//! ⟦T, {}⟧            → ⟦c, {⟨true, skip⟩}⟧                 (1)
+//! ⟦c1; c2, Q⟧        → ⟦c1, ⟦c2, Q⟧⟧                        (2)
+//! ⟦if b c1 c2, Q⟧    → {⟨b ∧ ϕ, φ⟩ | ⟨ϕ,φ⟩ ∈ ⟦c1,Q⟧}
+//!                      ∪ {⟨¬b ∧ ϕ, φ⟩ | ⟨ϕ,φ⟩ ∈ ⟦c2,Q⟧}     (3)
+//! ⟦x̂ := e, Q⟧        → {⟨ϕ{e/x̂}, (x̂:=e; φ)⟩ | ⟨ϕ,φ⟩ ∈ Q}    (4)
+//! ⟦skip, Q⟧          → Q                                     (5)
+//! ⟦write(x=e), Q⟧    → {⟨ϕ{e/x}, (write(x=e); φ)⟩ | ⟨ϕ,φ⟩∈Q} (6)
+//! ⟦print(e), Q⟧      → {⟨ϕ, (print(e); φ)⟩ | ⟨ϕ,φ⟩ ∈ Q}      (7)
+//! ```
+//!
+//! Each row corresponds to one execution path; a concrete database (with
+//! concrete parameter values) satisfies exactly one guard. Rows whose guard
+//! is unsatisfiable (impossible paths) are pruned with the solver.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use homeo_lang::ast::{AExp, BExp, Com, Transaction};
+use homeo_lang::database::Database;
+use homeo_lang::eval::{EvalError, EvalOutcome, Evaluator, ParamBinding};
+use homeo_lang::ids::{ObjId, ParamId};
+
+use crate::linearize::is_satisfiable;
+
+/// A partially evaluated transaction: a straight-line sequence of primitive
+/// commands (assignments, writes, prints) with no branching.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartialTxn {
+    /// The commands, in execution order.
+    pub commands: Vec<Com>,
+}
+
+impl PartialTxn {
+    /// The empty (skip) partial transaction.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Prepends a command (used by the backward construction).
+    pub fn prepend(&self, c: Com) -> Self {
+        let mut commands = Vec::with_capacity(self.commands.len() + 1);
+        commands.push(c);
+        commands.extend(self.commands.iter().cloned());
+        PartialTxn { commands }
+    }
+
+    /// Converts back to a single `L` command.
+    pub fn to_com(&self) -> Com {
+        Com::seq_all(self.commands.iter().cloned())
+    }
+
+    /// Converts into a full transaction (with the given name and parameters)
+    /// so it can be evaluated or registered as a stored procedure.
+    pub fn to_transaction(&self, name: impl Into<String>, params: Vec<ParamId>) -> Transaction {
+        Transaction::new(name, params, self.to_com())
+    }
+
+    /// The database objects written by the partial transaction.
+    pub fn writes(&self) -> BTreeSet<ObjId> {
+        self.to_com().writes()
+    }
+
+    /// The database objects read by the partial transaction.
+    pub fn reads(&self) -> BTreeSet<ObjId> {
+        self.to_com().reads()
+    }
+
+    /// Renames database objects throughout (used by parameter-indexed object
+    /// compression, e.g. instantiating `stock[@itemid]` to `stock[42]`).
+    pub fn rename_objects(&self, rename: &impl Fn(&ObjId) -> ObjId) -> Self {
+        PartialTxn {
+            commands: self
+                .commands
+                .iter()
+                .map(|c| rename_com(c, rename))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for PartialTxn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.commands.is_empty() {
+            return write!(f, "skip");
+        }
+        let parts: Vec<String> = self
+            .commands
+            .iter()
+            .map(|c| homeo_lang::pretty::com_to_string(c).trim().to_string())
+            .collect();
+        write!(f, "{}", parts.join(" "))
+    }
+}
+
+/// One row `⟨ϕ_D, φ⟩` of a symbolic table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SymbolicRow {
+    /// The guard over database states (and transaction parameters).
+    pub guard: BExp,
+    /// The partially evaluated transaction for databases satisfying the
+    /// guard.
+    pub effect: PartialTxn,
+}
+
+/// A symbolic table for a single transaction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SymbolicTable {
+    /// The analysed transaction's name.
+    pub transaction: String,
+    /// The transaction's formal parameters (guards may mention them).
+    pub params: Vec<ParamId>,
+    /// The rows, one per feasible execution path.
+    pub rows: Vec<SymbolicRow>,
+}
+
+impl SymbolicTable {
+    /// Computes the symbolic table for a transaction using the rules of
+    /// Figure 6, pruning rows whose guard is unsatisfiable.
+    pub fn analyze(txn: &Transaction) -> Self {
+        Self::analyze_with_options(txn, true)
+    }
+
+    /// Computes the symbolic table, optionally without infeasible-path
+    /// pruning (useful for tests and for measuring the effect of pruning).
+    pub fn analyze_with_options(txn: &Transaction, prune: bool) -> Self {
+        let initial = vec![SymbolicRow {
+            guard: BExp::True,
+            effect: PartialTxn::empty(),
+        }];
+        let mut rows = process(&txn.body, initial);
+        if prune {
+            rows.retain(|row| is_satisfiable(&row.guard));
+        }
+        SymbolicTable {
+            transaction: txn.name.clone(),
+            params: txn.params.clone(),
+            rows,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Finds the unique row whose guard is satisfied by the given database
+    /// and parameter binding (Section 2.3: a database satisfies exactly one
+    /// guard).
+    pub fn find_row(
+        &self,
+        db: &Database,
+        params: &ParamBinding,
+    ) -> Result<Option<&SymbolicRow>, EvalError> {
+        for row in &self.rows {
+            if eval_guard(&row.guard, db, params)? {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Evaluates the transaction through the symbolic table: finds the row
+    /// for the database, then runs the partially evaluated transaction. By
+    /// Definition 2.2 this must agree with evaluating the original
+    /// transaction directly (exercised heavily by tests).
+    pub fn eval_via_table(
+        &self,
+        db: &Database,
+        args: &[i64],
+    ) -> Result<Option<EvalOutcome>, EvalError> {
+        let binding: ParamBinding = self
+            .params
+            .iter()
+            .cloned()
+            .zip(args.iter().copied())
+            .collect();
+        match self.find_row(db, &binding)? {
+            None => Ok(None),
+            Some(row) => {
+                let txn = row
+                    .effect
+                    .to_transaction(format!("{}::partial", self.transaction), self.params.clone());
+                Ok(Some(Evaluator::eval(&txn, db, args)?))
+            }
+        }
+    }
+
+    /// Substitutes concrete values for the transaction's parameters in every
+    /// guard and effect, producing a closed table.
+    pub fn instantiate(&self, args: &[i64]) -> SymbolicTable {
+        assert_eq!(args.len(), self.params.len(), "parameter arity mismatch");
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                let mut guard = row.guard.clone();
+                let mut commands = row.effect.commands.clone();
+                for (p, v) in self.params.iter().zip(args) {
+                    guard = guard.subst_param(p, *v);
+                    commands = commands.iter().map(|c| c.subst_param(p, *v)).collect();
+                }
+                SymbolicRow {
+                    guard,
+                    effect: PartialTxn { commands },
+                }
+            })
+            .filter(|row| is_satisfiable(&row.guard))
+            .collect();
+        SymbolicTable {
+            transaction: format!("{}({:?})", self.transaction, args),
+            params: Vec::new(),
+            rows,
+        }
+    }
+
+    /// Renames database objects in every guard and effect. Used to expand a
+    /// per-template table (e.g. over the placeholder object
+    /// `stock[@itemid]`) into per-item tables without re-running the
+    /// analysis — the compression Section 5.1 describes.
+    pub fn rename_objects(&self, rename: &impl Fn(&ObjId) -> ObjId) -> SymbolicTable {
+        SymbolicTable {
+            transaction: self.transaction.clone(),
+            params: self.params.clone(),
+            rows: self
+                .rows
+                .iter()
+                .map(|row| SymbolicRow {
+                    guard: rename_bexp(&row.guard, rename),
+                    effect: row.effect.rename_objects(rename),
+                })
+                .collect(),
+        }
+    }
+
+    /// All database objects mentioned anywhere in the table.
+    pub fn objects(&self) -> BTreeSet<ObjId> {
+        let mut out = BTreeSet::new();
+        for row in &self.rows {
+            out.extend(row.guard.reads());
+            out.extend(row.effect.reads());
+            out.extend(row.effect.writes());
+        }
+        out
+    }
+}
+
+impl fmt::Display for SymbolicTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "symbolic table for {}:", self.transaction)?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "  {:<40} | {}",
+                homeo_lang::pretty::bexp_to_string(&row.guard),
+                row.effect
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Evaluates a guard (which may mention parameters but no temporaries)
+/// against a database.
+pub fn eval_guard(guard: &BExp, db: &Database, params: &ParamBinding) -> Result<bool, EvalError> {
+    let mut g = guard.clone();
+    for (p, v) in params {
+        g = g.subst_param(p, *v);
+    }
+    Evaluator::eval_closed_bexp(&g, db)
+}
+
+/// The backward construction: processes command `c` against the running
+/// table `q` (the symbolic table of everything that executes *after* `c`).
+fn process(c: &Com, q: Vec<SymbolicRow>) -> Vec<SymbolicRow> {
+    match c {
+        Com::Skip => q,
+        Com::Seq(c1, c2) => {
+            let after = process(c2, q);
+            process(c1, after)
+        }
+        Com::If(b, then_c, else_c) => {
+            let then_rows = process(then_c, q.clone());
+            let else_rows = process(else_c, q);
+            let mut rows = Vec::with_capacity(then_rows.len() + else_rows.len());
+            for row in then_rows {
+                rows.push(SymbolicRow {
+                    guard: b.clone().and(row.guard),
+                    effect: row.effect,
+                });
+            }
+            for row in else_rows {
+                rows.push(SymbolicRow {
+                    guard: b.clone().not().and(row.guard),
+                    effect: row.effect,
+                });
+            }
+            rows
+        }
+        Com::Assign(v, e) => q
+            .into_iter()
+            .map(|row| SymbolicRow {
+                guard: row.guard.subst_var(v, e),
+                effect: row.effect.prepend(Com::Assign(v.clone(), e.clone())),
+            })
+            .collect(),
+        Com::Write(x, e) => q
+            .into_iter()
+            .map(|row| SymbolicRow {
+                guard: row.guard.subst_read(x, e),
+                effect: row.effect.prepend(Com::Write(x.clone(), e.clone())),
+            })
+            .collect(),
+        Com::Print(e) => q
+            .into_iter()
+            .map(|row| SymbolicRow {
+                guard: row.guard,
+                effect: row.effect.prepend(Com::Print(e.clone())),
+            })
+            .collect(),
+    }
+}
+
+fn rename_aexp(e: &AExp, rename: &impl Fn(&ObjId) -> ObjId) -> AExp {
+    match e {
+        AExp::Const(_) | AExp::Param(_) | AExp::Var(_) => e.clone(),
+        AExp::Read(x) => AExp::Read(rename(x)),
+        AExp::Add(a, b) => AExp::Add(
+            Box::new(rename_aexp(a, rename)),
+            Box::new(rename_aexp(b, rename)),
+        ),
+        AExp::Mul(a, b) => AExp::Mul(
+            Box::new(rename_aexp(a, rename)),
+            Box::new(rename_aexp(b, rename)),
+        ),
+        AExp::Neg(a) => AExp::Neg(Box::new(rename_aexp(a, rename))),
+    }
+}
+
+fn rename_bexp(b: &BExp, rename: &impl Fn(&ObjId) -> ObjId) -> BExp {
+    match b {
+        BExp::True | BExp::False => b.clone(),
+        BExp::Cmp(l, op, r) => BExp::Cmp(
+            Box::new(rename_aexp(l, rename)),
+            *op,
+            Box::new(rename_aexp(r, rename)),
+        ),
+        BExp::And(l, r) => BExp::And(
+            Box::new(rename_bexp(l, rename)),
+            Box::new(rename_bexp(r, rename)),
+        ),
+        BExp::Not(inner) => BExp::Not(Box::new(rename_bexp(inner, rename))),
+    }
+}
+
+fn rename_com(c: &Com, rename: &impl Fn(&ObjId) -> ObjId) -> Com {
+    match c {
+        Com::Skip => Com::Skip,
+        Com::Assign(v, e) => Com::Assign(v.clone(), rename_aexp(e, rename)),
+        Com::Write(x, e) => Com::Write(rename(x), rename_aexp(e, rename)),
+        Com::Print(e) => Com::Print(rename_aexp(e, rename)),
+        Com::Seq(a, b) => Com::Seq(
+            Box::new(rename_com(a, rename)),
+            Box::new(rename_com(b, rename)),
+        ),
+        Com::If(b, t, e) => Com::If(
+            rename_bexp(b, rename),
+            Box::new(rename_com(t, rename)),
+            Box::new(rename_com(e, rename)),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homeo_lang::builder::{assign, ite, num, read, var, write};
+    use homeo_lang::programs;
+
+    #[test]
+    fn t1_table_matches_figure_4a() {
+        let table = SymbolicTable::analyze(&programs::t1());
+        assert_eq!(table.len(), 2);
+        // Guards are x + y < 10 and ¬(x + y < 10); after substitution they
+        // mention only database reads.
+        for row in &table.rows {
+            assert!(row.guard.temp_vars().is_empty());
+            assert_eq!(
+                row.guard.reads().iter().map(|o| o.to_string()).collect::<Vec<_>>(),
+                vec!["x", "y"]
+            );
+        }
+        // Effects write x by ±1.
+        let writes: BTreeSet<_> = table
+            .rows
+            .iter()
+            .flat_map(|r| r.effect.writes())
+            .map(|o| o.to_string())
+            .collect();
+        assert_eq!(writes, BTreeSet::from(["x".to_string()]));
+    }
+
+    #[test]
+    fn table_evaluation_agrees_with_direct_evaluation() {
+        // Definition 2.2: evaluating via the table equals evaluating T.
+        for txn in [
+            programs::t1(),
+            programs::t2(),
+            programs::t3(),
+            programs::t4(),
+            programs::micro_order_for_item(3, 100),
+            programs::remote_write_example(),
+        ] {
+            let table = SymbolicTable::analyze(&txn);
+            for x in [-5, 0, 3, 9, 10, 15, 25, 101] {
+                for y in [0, 1, 5, 13, 40] {
+                    let db = Database::from_pairs([
+                        ("x", x),
+                        ("y", y),
+                        ("stock[3]", x),
+                    ]);
+                    let direct = Evaluator::eval(&txn, &db, &[]).unwrap();
+                    let via = table
+                        .eval_via_table(&db, &[])
+                        .unwrap()
+                        .unwrap_or_else(|| panic!("no row for x={x}, y={y} in {}", txn.name));
+                    assert_eq!(direct.database, via.database, "{} on x={x} y={y}", txn.name);
+                    assert_eq!(direct.log, via.log, "{} on x={x} y={y}", txn.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn each_database_satisfies_exactly_one_guard() {
+        let table = SymbolicTable::analyze(&programs::t4());
+        for x in [-10, 0, 10, 11, 50, 100, 101] {
+            for y in [0, 1, 2] {
+                let db = Database::from_pairs([("x", x), ("y", y)]);
+                let matching = table
+                    .rows
+                    .iter()
+                    .filter(|r| eval_guard(&r.guard, &db, &ParamBinding::new()).unwrap())
+                    .count();
+                assert_eq!(matching, 1, "x={x}, y={y}");
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_paths_are_pruned() {
+        // if (x < 0) then { if (x > 10) then { write(y=1) } else { write(y=2) } }
+        // The x < 0 ∧ x > 10 path is impossible.
+        let txn = Transaction::simple(
+            "nested",
+            assign("xh", read("x")).then(ite(
+                var("xh").lt(num(0)),
+                ite(var("xh").gt(num(10)), write("y", num(1)), write("y", num(2))),
+                write("y", num(3)),
+            )),
+        );
+        let pruned = SymbolicTable::analyze(&txn);
+        let unpruned = SymbolicTable::analyze_with_options(&txn, false);
+        assert_eq!(unpruned.len(), 3);
+        assert_eq!(pruned.len(), 2);
+    }
+
+    #[test]
+    fn straight_line_transaction_has_single_true_row() {
+        let txn = Transaction::simple(
+            "inc",
+            assign("t", read("x")).then(write("x", var("t").add(num(1)))),
+        );
+        let table = SymbolicTable::analyze(&txn);
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.rows[0].guard, BExp::True);
+        assert_eq!(table.rows[0].effect.commands.len(), 2);
+    }
+
+    #[test]
+    fn parameters_survive_in_guards_and_instantiate() {
+        // if (read(stock) >= amount) write(stock = stock - amount) else print(0)
+        let mut b = homeo_lang::builder::TxnBuilder::new("order");
+        let amount = b.param("amount");
+        b.push(assign("s", read("stock")));
+        b.push(ite(
+            var("s").ge(amount.clone()),
+            write("stock", var("s").sub(amount)),
+            homeo_lang::builder::print(num(0)),
+        ));
+        let txn = b.build();
+        let table = SymbolicTable::analyze(&txn);
+        assert_eq!(table.len(), 2);
+        assert!(table.rows.iter().all(|r| !r.guard.params().is_empty()));
+
+        let closed = table.instantiate(&[5]);
+        assert_eq!(closed.len(), 2);
+        assert!(closed.rows.iter().all(|r| r.guard.params().is_empty()));
+        // With stock = 7 >= 5 the first row applies and decrements.
+        let db = Database::from_pairs([("stock", 7)]);
+        let row = closed.find_row(&db, &ParamBinding::new()).unwrap().unwrap();
+        let out = Evaluator::eval(
+            &row.effect.to_transaction("p", vec![]),
+            &db,
+            &[],
+        )
+        .unwrap();
+        assert_eq!(out.database.get(&"stock".into()), 2);
+    }
+
+    #[test]
+    fn print_statements_are_preserved_in_order() {
+        let txn = Transaction::simple(
+            "logger",
+            homeo_lang::builder::print(num(1))
+                .then(write("x", num(5)))
+                .then(homeo_lang::builder::print(read("x"))),
+        );
+        let table = SymbolicTable::analyze(&txn);
+        assert_eq!(table.len(), 1);
+        let out = table
+            .eval_via_table(&Database::new(), &[])
+            .unwrap()
+            .unwrap();
+        assert_eq!(out.log, vec![1, 5]);
+    }
+
+    #[test]
+    fn rename_objects_retargets_guards_and_effects() {
+        let table = SymbolicTable::analyze(&programs::micro_order_for_item(0, 100));
+        let renamed = table.rename_objects(&|o| {
+            ObjId::new(o.as_str().replace("stock[0]", "stock[77]"))
+        });
+        let objs: Vec<String> = renamed.objects().iter().map(|o| o.to_string()).collect();
+        assert_eq!(objs, vec!["stock[77]"]);
+        // And the renamed table still evaluates correctly.
+        let db = Database::from_pairs([("stock[77]", 2)]);
+        let out = renamed.eval_via_table(&db, &[]).unwrap().unwrap();
+        assert_eq!(out.database.get(&"stock[77]".into()), 1);
+    }
+
+    #[test]
+    fn write_then_read_substitution_is_applied() {
+        // write(x = 5); xh := read(x); if (xh < 3) print(1) else print(2)
+        // The guard must be about the *written* value (5 < 3 = false), i.e.
+        // only the `else` path is feasible.
+        let txn = Transaction::simple(
+            "wr",
+            write("x", num(5))
+                .then(assign("xh", read("x")))
+                .then(ite(
+                    var("xh").lt(num(3)),
+                    homeo_lang::builder::print(num(1)),
+                    homeo_lang::builder::print(num(2)),
+                )),
+        );
+        let table = SymbolicTable::analyze(&txn);
+        assert_eq!(table.len(), 1);
+        let out = table
+            .eval_via_table(&Database::from_pairs([("x", 0)]), &[])
+            .unwrap()
+            .unwrap();
+        assert_eq!(out.log, vec![2]);
+    }
+
+    #[test]
+    fn display_renders_guards_and_effects() {
+        let table = SymbolicTable::analyze(&programs::t1());
+        let s = table.to_string();
+        assert!(s.contains("symbolic table for T1"));
+        assert!(s.contains("write(x = xh + 1)") || s.contains("write(x = xh - 1)"));
+    }
+}

@@ -1,0 +1,24 @@
+//! # homeo-baselines
+//!
+//! The baseline execution modes the paper compares against (Section 6.1):
+//!
+//! * **2PC** ([`twopc`]) — classical two-phase commit across all replicas:
+//!   every transaction pays two round trips of coordination and holds its
+//!   locks for the duration, so conflicts rise with latency and concurrency.
+//! * **local** ([`local`]) — each replica executes transactions locally with
+//!   no communication at all; replica states diverge (no consistency), which
+//!   is the latency/throughput floor.
+//! * **OPT** — the hand-crafted demarcation-protocol variant that splits the
+//!   remaining headroom evenly among replicas at each synchronization point;
+//!   it is implemented as [`homeo_protocol::ReplicatedMode::EvenSplit`] and
+//!   re-exported here for discoverability.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod local;
+pub mod twopc;
+
+pub use homeo_protocol::ReplicatedMode;
+pub use local::LocalCounters;
+pub use twopc::{TwoPcCluster, TwoPcOutcome};

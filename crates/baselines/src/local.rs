@@ -1,0 +1,94 @@
+//! The "local" baseline: every replica executes transactions against its own
+//! copy with no communication whatsoever.
+//!
+//! This is the paper's bare-bones performance floor — "database consistency
+//! across replicas is not guaranteed". The module tracks per-replica values
+//! so tests (and the examples) can demonstrate exactly that divergence.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use homeo_lang::ids::ObjId;
+
+/// Per-replica counters with no coordination.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LocalCounters {
+    replicas: usize,
+    values: Vec<BTreeMap<ObjId, i64>>,
+    /// Committed operations.
+    pub commits: u64,
+}
+
+impl LocalCounters {
+    /// Creates `replicas` independent copies.
+    pub fn new(replicas: usize) -> Self {
+        assert!(replicas > 0);
+        LocalCounters {
+            replicas,
+            values: vec![BTreeMap::new(); replicas],
+            commits: 0,
+        }
+    }
+
+    /// Sets an object's value on every replica (consistent population).
+    pub fn populate(&mut self, obj: ObjId, value: i64) {
+        for replica in &mut self.values {
+            replica.insert(obj.clone(), value);
+        }
+    }
+
+    /// The value a replica currently holds.
+    pub fn value_at(&self, replica: usize, obj: &ObjId) -> i64 {
+        self.values[replica].get(obj).copied().unwrap_or(0)
+    }
+
+    /// Applies the decrement-or-refill order at one replica only.
+    pub fn order(&mut self, replica: usize, obj: &ObjId, amount: i64, refill_to: Option<i64>) {
+        let value = self.value_at(replica, obj);
+        let new = if value > amount {
+            value - amount
+        } else if let Some(r) = refill_to {
+            r
+        } else {
+            value - amount
+        };
+        self.values[replica].insert(obj.clone(), new);
+        self.commits += 1;
+    }
+
+    /// True when every replica agrees on the value of `obj` — generally
+    /// false once the workload has run, which is the point of the baseline.
+    pub fn is_consistent(&self, obj: &ObjId) -> bool {
+        let first = self.value_at(0, obj);
+        (1..self.replicas).all(|r| self.value_at(r, obj) == first)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replicas_diverge_without_coordination() {
+        let mut l = LocalCounters::new(2);
+        let obj = ObjId::new("stock[1]");
+        l.populate(obj.clone(), 10);
+        assert!(l.is_consistent(&obj));
+        l.order(0, &obj, 1, None);
+        assert!(!l.is_consistent(&obj));
+        assert_eq!(l.value_at(0, &obj), 9);
+        assert_eq!(l.value_at(1, &obj), 10);
+        assert_eq!(l.commits, 1);
+    }
+
+    #[test]
+    fn refill_happens_per_replica() {
+        let mut l = LocalCounters::new(2);
+        let obj = ObjId::new("stock[2]");
+        l.populate(obj.clone(), 1);
+        l.order(0, &obj, 1, Some(100));
+        assert_eq!(l.value_at(0, &obj), 100);
+        assert_eq!(l.value_at(1, &obj), 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! Criterion benchmarks for the symbolic-table analysis (Section 2):
+//! per-transaction tables, joint tables, factorized tables.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use homeo_analysis::factorize::FactorizedTable;
+use homeo_analysis::{JointSymbolicTable, SymbolicTable};
+use homeo_lang::programs;
+
+fn bench_symbolic_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis");
+    group.bench_function("symbolic_table_t1", |b| {
+        let t1 = programs::t1();
+        b.iter(|| SymbolicTable::analyze(black_box(&t1)))
+    });
+    group.bench_function("symbolic_table_t4_nested", |b| {
+        let t4 = programs::t4();
+        b.iter(|| SymbolicTable::analyze(black_box(&t4)))
+    });
+    group.bench_function("joint_table_t1_t2", |b| {
+        let t1 = SymbolicTable::analyze(&programs::t1());
+        let t2 = SymbolicTable::analyze(&programs::t2());
+        b.iter(|| JointSymbolicTable::build(black_box(&[t1.clone(), t2.clone()])))
+    });
+    group.bench_function("factorized_multi_item_order_8", |b| {
+        let items: Vec<i64> = (0..8).collect();
+        let txn = programs::micro_order_multi(&items, 100);
+        b.iter(|| FactorizedTable::analyze(black_box(&txn)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_symbolic_tables);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion wrapper around the microbenchmark experiment points backing
+//! Figures 10–18 and 24–27: each benchmark measures the cost of producing
+//! one experiment point (protocol execution included), so regressions in the
+//! analysis/solver/protocol path show up here.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use homeo_bench::experiments::micro_experiment;
+use homeo_workloads::micro::{MicroConfig, Mode};
+
+fn quick_config() -> MicroConfig {
+    MicroConfig {
+        num_items: 200,
+        lookahead: 8,
+        futures: 2,
+        ..MicroConfig::default()
+    }
+}
+
+fn bench_micro_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_figures");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for mode in [Mode::Homeostasis, Mode::Opt, Mode::TwoPc, Mode::Local] {
+        group.bench_function(format!("fig10_point_{}", mode.label()), |b| {
+            let config = quick_config();
+            b.iter(|| micro_experiment(&config, mode, 4, 500))
+        });
+    }
+    group.bench_function("fig24_point_lookahead_40", |b| {
+        let config = MicroConfig {
+            lookahead: 40,
+            ..quick_config()
+        };
+        b.iter(|| micro_experiment(&config, Mode::Homeostasis, 4, 500))
+    });
+    group.bench_function("fig27_point_items_5", |b| {
+        let config = MicroConfig {
+            items_per_txn: 5,
+            ..quick_config()
+        };
+        b.iter(|| micro_experiment(&config, Mode::Homeostasis, 4, 500))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_micro_points);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benchmarks for the protocol layer: treaty generation (the
+//! per-round cost the paper keeps below ~50 ms) and disconnected execution.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use homeo_lang::{programs, Database};
+use homeo_protocol::{HomeostasisCluster, Loc, OptimizerConfig, ReplicatedCounters, ReplicatedMode};
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol");
+    group.bench_function("cluster_setup_and_first_treaty", |b| {
+        b.iter(|| {
+            HomeostasisCluster::new(
+                vec![programs::t1(), programs::t2()],
+                Loc::from_pairs([("x", 0usize), ("y", 1usize)]),
+                2,
+                Database::from_pairs([("x", 10), ("y", 13)]),
+                None,
+            )
+        })
+    });
+    group.bench_function("disconnected_execution_t1", |b| {
+        let mut cluster = HomeostasisCluster::new(
+            vec![programs::t1(), programs::t2()],
+            Loc::from_pairs([("x", 0usize), ("y", 1usize)]),
+            2,
+            Database::from_pairs([("x", 1_000_000), ("y", 13)]),
+            None,
+        );
+        b.iter(|| cluster.execute(black_box(0)).unwrap())
+    });
+    for lookahead in [10usize, 50] {
+        group.bench_function(format!("treaty_negotiation_lookahead_{lookahead}"), |b| {
+            b.iter(|| {
+                let mut counters = ReplicatedCounters::new(
+                    2,
+                    ReplicatedMode::Homeostasis {
+                        optimizer: Some(OptimizerConfig {
+                            lookahead,
+                            futures: 3,
+                            seed: 1,
+                        }),
+                    },
+                );
+                counters.register(homeo_lang::ids::ObjId::new("stock[0]"), 100, 1)
+            })
+        });
+    }
+    group.bench_function("replicated_local_order", |b| {
+        let mut counters = ReplicatedCounters::new(2, ReplicatedMode::EvenSplit);
+        counters.register(homeo_lang::ids::ObjId::new("stock[0]"), i64::MAX / 4, 1);
+        let obj = homeo_lang::ids::ObjId::new("stock[0]");
+        b.iter(|| counters.order(0, black_box(&obj), 1, None))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocol);
+criterion_main!(benches);

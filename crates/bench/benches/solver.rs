@@ -1,0 +1,84 @@
+//! Criterion benchmarks for the solver substrate: Fourier–Motzkin
+//! feasibility, DPLL SAT, Fu-Malik MaxSAT and the treaty MaxSMT.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use homeo_solver::maxsmt::max_feasible_subset;
+use homeo_solver::{Clause, Cnf, DpllSolver, FuMalik, LinExpr, LinearConstraint, Literal};
+
+fn chain_constraints(n: usize) -> Vec<LinearConstraint> {
+    let mut cs = Vec::new();
+    for i in 0..n {
+        cs.push(LinearConstraint::le(
+            LinExpr::var(format!("x{i}")),
+            LinExpr::var(format!("x{}", i + 1)),
+        ));
+    }
+    cs.push(LinearConstraint::ge(LinExpr::var("x0"), LinExpr::constant(0)));
+    cs.push(LinearConstraint::le(
+        LinExpr::var(format!("x{n}")),
+        LinExpr::constant(100),
+    ));
+    cs
+}
+
+fn treaty_soft_groups(states: usize, sites: usize) -> Vec<Vec<LinearConstraint>> {
+    (0..states)
+        .map(|s| {
+            (0..sites)
+                .map(|k| {
+                    LinearConstraint::le(
+                        LinExpr::var(format!("c{k}")),
+                        LinExpr::constant(100 - (s as i64 % 17) - k as i64),
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver");
+    group.bench_function("fm_feasibility_chain_12", |b| {
+        let cs = chain_constraints(12);
+        b.iter(|| homeo_solver::fm::check_feasible(black_box(&cs)))
+    });
+    group.bench_function("dpll_3sat_30_clauses", |b| {
+        let mut cnf = Cnf::new(12);
+        for i in 0..30usize {
+            cnf.add_clause(Clause::new([
+                Literal {
+                    var: i % 12,
+                    positive: i % 2 == 0,
+                },
+                Literal {
+                    var: (i * 5 + 3) % 12,
+                    positive: i % 3 == 0,
+                },
+                Literal {
+                    var: (i * 7 + 1) % 12,
+                    positive: i % 5 == 0,
+                },
+            ]));
+        }
+        b.iter(|| DpllSolver::new().solve(black_box(&cnf)))
+    });
+    group.bench_function("fu_malik_conflicting_units", |b| {
+        let mut hard = Cnf::new(6);
+        hard.add_at_most_one(&(0..6).map(Literal::pos).collect::<Vec<_>>());
+        let soft: Vec<Clause> = (0..6).map(|v| Clause::new([Literal::pos(v)])).collect();
+        b.iter(|| FuMalik::new().solve(black_box(&hard), black_box(&soft)))
+    });
+    group.bench_function("treaty_maxsmt_40_states_2_sites", |b| {
+        let hard = vec![LinearConstraint::ge(
+            LinExpr::var("c0").plus(&LinExpr::var("c1")),
+            LinExpr::constant(80),
+        )];
+        let soft = treaty_soft_groups(40, 2);
+        b.iter(|| max_feasible_subset(black_box(&hard), black_box(&soft)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benchmarks for the storage engine substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use homeo_store::{Column, Engine, TableSchema, Value};
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store");
+    group.bench_function("txn_read_write_commit", |b| {
+        let engine = Engine::new();
+        engine.poke("counter", 0);
+        b.iter(|| {
+            let mut t = engine.begin();
+            let v = engine.read(&t, "counter").unwrap();
+            engine.write(&t, "counter", v + 1).unwrap();
+            engine.commit(&mut t).unwrap();
+        })
+    });
+    group.bench_function("relational_insert_and_lookup", |b| {
+        let engine = Engine::new();
+        engine.create_table(TableSchema::new(
+            "stock",
+            vec![Column::int("itemid"), Column::int("qty")],
+            &["itemid"],
+        ));
+        let mut next = 0i64;
+        b.iter(|| {
+            next += 1;
+            engine
+                .insert_row("stock", vec![Value::Int(next), Value::Int(100)])
+                .unwrap();
+            black_box(engine.get_row("stock", &[Value::Int(next)]).unwrap());
+        })
+    });
+    group.bench_function("wal_recovery_1000_txns", |b| {
+        let engine = Engine::new();
+        for i in 0..1000 {
+            let mut t = engine.begin();
+            engine.write(&t, &format!("obj{}", i % 50), i).unwrap();
+            engine.commit(&mut t).unwrap();
+        }
+        b.iter(|| engine.crash_and_recover())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

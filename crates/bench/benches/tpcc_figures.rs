@@ -1,0 +1,45 @@
+//! Criterion wrapper around the TPC-C experiment points backing Figures
+//! 19–22, 28 and 29.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use homeo_bench::experiments::tpcc_experiment;
+use homeo_workloads::micro::Mode;
+use homeo_workloads::tpcc::TpccConfig;
+
+fn quick_config() -> TpccConfig {
+    TpccConfig {
+        warehouses: 2,
+        districts_per_warehouse: 2,
+        items_per_district: 50,
+        customers: 200,
+        lookahead: 6,
+        futures: 2,
+        ..TpccConfig::default()
+    }
+}
+
+fn bench_tpcc_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tpcc_figures");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for mode in [Mode::Homeostasis, Mode::Opt, Mode::TwoPc] {
+        group.bench_function(format!("fig20_point_{}", mode.label()), |b| {
+            let config = quick_config();
+            b.iter(|| tpcc_experiment(&config, mode, 4, 500))
+        });
+    }
+    group.bench_function("fig28_point_hot_50", |b| {
+        let config = TpccConfig {
+            hotness: 50,
+            mix: (49, 49, 2),
+            ..quick_config()
+        };
+        b.iter(|| tpcc_experiment(&config, Mode::Homeostasis, 4, 500))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tpcc_points);
+criterion_main!(benches);

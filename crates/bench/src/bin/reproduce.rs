@@ -1,0 +1,66 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! reproduce [--full] [--csv-dir DIR] [all | table1 | fig10 | ... | fig29]...
+//! ```
+//!
+//! With no arguments, `all` is assumed. `--full` runs the larger sweeps
+//! (closer to the paper's configuration); the default "quick" effort keeps
+//! the whole reproduction within a few minutes. `--csv-dir` additionally
+//! writes one CSV file per figure.
+
+use std::path::PathBuf;
+
+use homeo_bench::{all_figure_ids, generate, Effort};
+
+fn main() {
+    let mut effort = Effort::Quick;
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut requested: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => effort = Effort::Full,
+            "--quick" => effort = Effort::Quick,
+            "--csv-dir" => {
+                let dir = args.next().unwrap_or_else(|| {
+                    eprintln!("--csv-dir requires a directory argument");
+                    std::process::exit(2);
+                });
+                csv_dir = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: reproduce [--full] [--csv-dir DIR] [all | {}]...",
+                    all_figure_ids().join(" | ")
+                );
+                return;
+            }
+            other => requested.push(other.to_string()),
+        }
+    }
+    if requested.is_empty() || requested.iter().any(|r| r == "all") {
+        requested = all_figure_ids().iter().map(|s| s.to_string()).collect();
+    }
+
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv output directory");
+    }
+
+    println!(
+        "Reproducing {} figure(s) at {:?} effort\n",
+        requested.len(),
+        effort
+    );
+    for id in &requested {
+        let started = std::time::Instant::now();
+        let figure = generate(id, effort);
+        println!("{}", figure.to_text());
+        println!("({} generated in {:.1?})\n", figure.id, started.elapsed());
+        if let Some(dir) = &csv_dir {
+            let path = dir.join(format!("{}.csv", figure.id));
+            std::fs::write(&path, figure.to_csv()).expect("write csv");
+        }
+    }
+}

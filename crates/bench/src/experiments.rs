@@ -1,0 +1,134 @@
+//! Single experiment points: one workload, one mode, one parameter setting.
+
+use serde::{Deserialize, Serialize};
+
+use homeo_sim::closedloop::{self, ClosedLoopConfig};
+use homeo_sim::clock::millis;
+use homeo_workloads::micro::{closed_loop_config, MicroConfig, MicroExecutor, Mode};
+use homeo_workloads::tpcc::{TpccConfig, TpccExecutor};
+
+/// The percentiles used by the paper's latency-profile figures.
+pub const LATENCY_PERCENTILES: [f64; 8] = [10.0, 30.0, 50.0, 70.0, 90.0, 95.0, 98.0, 100.0];
+
+/// The result of one microbenchmark experiment point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentPoint {
+    /// Mode label ("homeo", "opt", "2pc", "local").
+    pub mode: String,
+    /// Latency (ms) at [`LATENCY_PERCENTILES`].
+    pub latency_profile_ms: Vec<(f64, f64)>,
+    /// Committed transactions per second per replica.
+    pub throughput_per_replica: f64,
+    /// Percentage of transactions that required synchronization.
+    pub sync_ratio_percent: f64,
+    /// Average latency breakdown of synchronized transactions, in
+    /// milliseconds: (local, solver, communication).
+    pub sync_breakdown_ms: (f64, f64, f64),
+    /// Latency CDF sample points (ms, cumulative fraction), for Figure 27.
+    pub latency_cdf: Vec<(f64, f64)>,
+}
+
+/// Runs one microbenchmark experiment point.
+pub fn micro_experiment(
+    config: &MicroConfig,
+    mode: Mode,
+    clients_per_replica: usize,
+    measure_ms: u64,
+) -> ExperimentPoint {
+    let mut exec = MicroExecutor::new(config.clone(), mode);
+    let loop_config = closed_loop_config(config, clients_per_replica, measure_ms);
+    let mut metrics = closedloop::run(&loop_config, &mut exec);
+    let cdf_points: Vec<f64> = vec![1.0, 2.0, 4.0, 8.0, 16.0, 50.0, 100.0, 200.0, 400.0, 1000.0];
+    ExperimentPoint {
+        mode: mode.label().to_string(),
+        latency_profile_ms: metrics.latency.profile_ms(&LATENCY_PERCENTILES),
+        throughput_per_replica: metrics.throughput_per_replica(),
+        sync_ratio_percent: metrics.sync_ratio_percent(),
+        sync_breakdown_ms: metrics.sync_breakdown_ms(),
+        latency_cdf: metrics.latency.cdf_at_ms(&cdf_points),
+    }
+}
+
+/// The result of one TPC-C experiment point (New Order measurements, per the
+/// TPC-C specification and Section 6.2).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TpccPoint {
+    /// Mode label.
+    pub mode: String,
+    /// New Order latency (ms) at [`LATENCY_PERCENTILES`].
+    pub new_order_latency_ms: Vec<(f64, f64)>,
+    /// New Order committed transactions per second per replica.
+    pub new_order_throughput_per_replica: f64,
+    /// Overall committed transactions per second (whole system, all types).
+    pub total_throughput: f64,
+    /// New Order synchronization ratio in percent.
+    pub new_order_sync_ratio_percent: f64,
+}
+
+/// Runs one TPC-C experiment point.
+pub fn tpcc_experiment(
+    config: &TpccConfig,
+    mode: Mode,
+    clients_per_replica: usize,
+    measure_ms: u64,
+) -> TpccPoint {
+    let mut exec = TpccExecutor::new(config.clone(), mode);
+    let loop_config = ClosedLoopConfig {
+        replicas: config.replicas,
+        clients_per_replica,
+        warmup: millis(500),
+        measure: millis(measure_ms),
+        seed: config.seed,
+        cores_per_replica: 16,
+    };
+    let metrics = closedloop::run(&loop_config, &mut exec);
+    let measured_secs = measure_ms as f64 / 1000.0;
+    let new_order_throughput =
+        exec.new_order_counter.committed as f64 / measured_secs / config.replicas as f64;
+    TpccPoint {
+        mode: mode.label().to_string(),
+        new_order_latency_ms: exec.new_order_latency.profile_ms(&LATENCY_PERCENTILES),
+        new_order_throughput_per_replica: new_order_throughput,
+        total_throughput: metrics.throughput_total(),
+        new_order_sync_ratio_percent: exec.new_order_counter.sync_ratio_percent(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_point_produces_sane_numbers() {
+        let config = MicroConfig {
+            num_items: 100,
+            lookahead: 8,
+            futures: 2,
+            ..MicroConfig::default()
+        };
+        let point = micro_experiment(&config, Mode::Homeostasis, 4, 2_000);
+        assert_eq!(point.mode, "homeo");
+        assert!(point.throughput_per_replica > 0.0);
+        assert!(point.sync_ratio_percent < 100.0);
+        assert_eq!(point.latency_profile_ms.len(), LATENCY_PERCENTILES.len());
+        // CDF is monotone and ends at 1.0.
+        let last = point.latency_cdf.last().unwrap().1;
+        assert!((last - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tpcc_point_reports_new_order_only_metrics() {
+        let config = TpccConfig {
+            warehouses: 2,
+            districts_per_warehouse: 2,
+            items_per_district: 25,
+            customers: 100,
+            lookahead: 6,
+            futures: 2,
+            ..TpccConfig::default()
+        };
+        let point = tpcc_experiment(&config, Mode::Homeostasis, 4, 2_000);
+        assert!(point.new_order_throughput_per_replica > 0.0);
+        assert!(point.total_throughput > point.new_order_throughput_per_replica);
+    }
+}

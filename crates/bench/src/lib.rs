@@ -1,0 +1,32 @@
+//! # homeo-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation (Section 6 and Appendix F) on top of the deterministic
+//! simulator.
+//!
+//! * [`experiments`] — runs one experiment point: a workload (microbenchmark
+//!   or TPC-C), a mode (`homeo`, `opt`, `2pc`, `local`) and a parameter
+//!   setting, returning latency profiles, throughput and synchronization
+//!   ratios.
+//! * [`figures`] — one generator per table/figure of the paper; each returns
+//!   a [`report::Figure`] with the same series the paper plots.
+//! * [`report`] — rendering to aligned text / CSV.
+//!
+//! The `reproduce` binary drives everything:
+//!
+//! ```text
+//! cargo run --release -p homeo-bench --bin reproduce -- all
+//! cargo run --release -p homeo-bench --bin reproduce -- fig11 fig12
+//! cargo run --release -p homeo-bench --bin reproduce -- --full table1 fig20
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod figures;
+pub mod report;
+
+pub use experiments::{micro_experiment, tpcc_experiment, ExperimentPoint, TpccPoint};
+pub use figures::{all_figure_ids, generate, Effort};
+pub use report::Figure;

@@ -1,0 +1,132 @@
+//! Figure/table representation and rendering.
+
+use serde::{Deserialize, Serialize};
+
+/// One reproduced figure or table: a labelled grid of numbers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure {
+    /// Identifier matching the paper ("table1", "fig10", ..., "fig29").
+    pub id: String,
+    /// Human-readable title (axes / workload).
+    pub title: String,
+    /// Column headers; the first column is the x-axis / row label.
+    pub columns: Vec<String>,
+    /// Rows of values; `rows[i].0` is the row label, `rows[i].1` the values
+    /// (one per non-label column).
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, columns: Vec<String>) -> Self {
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(
+            values.len() + 1,
+            self.columns.len(),
+            "row width must match the column count"
+        );
+        self.rows.push((label.into(), values));
+    }
+
+    /// Renders the figure as an aligned text table.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        let widths: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let data_width = self
+                    .rows
+                    .iter()
+                    .map(|(label, values)| {
+                        if i == 0 {
+                            label.len()
+                        } else {
+                            format!("{:.2}", values[i - 1]).len()
+                        }
+                    })
+                    .max()
+                    .unwrap_or(0);
+                c.len().max(data_width)
+            })
+            .collect();
+        for (i, c) in self.columns.iter().enumerate() {
+            out.push_str(&format!("{:>width$}  ", c, width = widths[i]));
+        }
+        out.push('\n');
+        for (label, values) in &self.rows {
+            out.push_str(&format!("{:>width$}  ", label, width = widths[0]));
+            for (i, v) in values.iter().enumerate() {
+                out.push_str(&format!("{:>width$.2}  ", v, width = widths[i + 1]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the figure as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join(","));
+        out.push('\n');
+        for (label, values) in &self.rows {
+            out.push_str(label);
+            for v in values {
+                out.push_str(&format!(",{v:.4}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Figure {
+        let mut f = Figure::new(
+            "fig11",
+            "Throughput with network RTT",
+            vec!["rtt_ms".into(), "homeo".into(), "2pc".into()],
+        );
+        f.push_row("50", vec![4000.0, 9.5]);
+        f.push_row("100", vec![3900.0, 4.8]);
+        f
+    }
+
+    #[test]
+    fn text_rendering_contains_headers_and_rows() {
+        let text = sample().to_text();
+        assert!(text.contains("fig11"));
+        assert!(text.contains("homeo"));
+        assert!(text.contains("3900.00"));
+    }
+
+    #[test]
+    fn csv_rendering_round_trips_values() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "rtt_ms,homeo,2pc");
+        assert!(lines[1].starts_with("50,4000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_rows_are_rejected() {
+        let mut f = sample();
+        f.push_row("150", vec![1.0]);
+    }
+}

@@ -1,0 +1,781 @@
+//! Abstract syntax of the language `L` (Figure 5 of the paper).
+//!
+//! ```text
+//! (AExp)   e ::= n | p | x̂ | e0 ⊕ e1 | -e | read(x)
+//! (BExp)   b ::= true | false | e0 ⋈ e1 | b0 ∧ b1 | ¬b
+//! (Com)    c ::= skip | x̂ := e | c0; c1 | if b then c1 else c2
+//!              | write(x = e) | print(e)
+//! (Trans)  T ::= {c} (P)
+//! ⊕ ::= + | *        ⋈ ::= < | = | ≤
+//! ```
+//!
+//! The AST also carries a few derived conveniences (subtraction as
+//! `e0 + (-e1)`, `>`/`≥`/`≠` as negations, `∨` via De Morgan) that are pure
+//! sugar over the paper's grammar — constructors normalise them so that the
+//! analysis only ever sees the primitive forms.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ObjId, ParamId, TempVar};
+
+/// Arithmetic expressions over integers.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AExp {
+    /// Integer literal `n`.
+    Const(i64),
+    /// Formal transaction parameter `p`.
+    Param(ParamId),
+    /// Temporary variable `x̂`.
+    Var(TempVar),
+    /// `read(x)` — the current value of database object `x`.
+    Read(ObjId),
+    /// `e0 + e1`.
+    Add(Box<AExp>, Box<AExp>),
+    /// `e0 * e1`.
+    Mul(Box<AExp>, Box<AExp>),
+    /// `-e`.
+    Neg(Box<AExp>),
+}
+
+/// Comparison operators allowed in `L` (`<`, `=`, `≤`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Debug)]
+pub enum CmpOp {
+    /// Strictly less than.
+    Lt,
+    /// Equality.
+    Eq,
+    /// Less than or equal.
+    Le,
+}
+
+impl CmpOp {
+    /// Evaluates the comparison on concrete integers.
+    pub fn eval(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Le => lhs <= rhs,
+        }
+    }
+
+    /// The operator symbol used by the pretty printer.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Eq => "=",
+            CmpOp::Le => "<=",
+        }
+    }
+}
+
+/// Boolean expressions.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BExp {
+    /// Literal `true`.
+    True,
+    /// Literal `false`.
+    False,
+    /// `e0 ⋈ e1`.
+    Cmp(Box<AExp>, CmpOp, Box<AExp>),
+    /// `b0 ∧ b1`.
+    And(Box<BExp>, Box<BExp>),
+    /// `¬b`.
+    Not(Box<BExp>),
+}
+
+/// Commands.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Com {
+    /// `skip` — no effect.
+    Skip,
+    /// `x̂ := e` — assign to a temporary variable.
+    Assign(TempVar, AExp),
+    /// `c0 ; c1` — sequencing.
+    Seq(Box<Com>, Box<Com>),
+    /// `if b then c1 else c2`.
+    If(BExp, Box<Com>, Box<Com>),
+    /// `write(x = e)` — store the value of `e` into database object `x`.
+    Write(ObjId, AExp),
+    /// `print(e)` — append the value of `e` to the externally visible log.
+    Print(AExp),
+}
+
+/// A transaction `{c}(P)`: a named command with a list of integer parameters.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transaction {
+    /// Human-readable transaction name (used by catalogs and diagnostics).
+    pub name: String,
+    /// Formal parameters, in declaration order.
+    pub params: Vec<ParamId>,
+    /// The transaction body.
+    pub body: Com,
+}
+
+// ---------------------------------------------------------------------------
+// Constructors / sugar
+// ---------------------------------------------------------------------------
+
+impl AExp {
+    /// `read(x)` for a named object.
+    pub fn read(obj: impl Into<ObjId>) -> Self {
+        AExp::Read(obj.into())
+    }
+
+    /// A temporary-variable reference.
+    pub fn var(v: impl Into<TempVar>) -> Self {
+        AExp::Var(v.into())
+    }
+
+    /// A parameter reference.
+    pub fn param(p: impl Into<ParamId>) -> Self {
+        AExp::Param(p.into())
+    }
+
+    /// `self + rhs`.
+    pub fn add(self, rhs: AExp) -> Self {
+        AExp::Add(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self - rhs`, encoded as `self + (-rhs)`.
+    pub fn sub(self, rhs: AExp) -> Self {
+        AExp::Add(Box::new(self), Box::new(AExp::Neg(Box::new(rhs))))
+    }
+
+    /// `self * rhs`.
+    pub fn mul(self, rhs: AExp) -> Self {
+        AExp::Mul(Box::new(self), Box::new(rhs))
+    }
+
+    /// `-self`.
+    pub fn neg(self) -> Self {
+        AExp::Neg(Box::new(self))
+    }
+
+    /// `self < rhs`.
+    pub fn lt(self, rhs: AExp) -> BExp {
+        BExp::Cmp(Box::new(self), CmpOp::Lt, Box::new(rhs))
+    }
+
+    /// `self <= rhs`.
+    pub fn le(self, rhs: AExp) -> BExp {
+        BExp::Cmp(Box::new(self), CmpOp::Le, Box::new(rhs))
+    }
+
+    /// `self = rhs`.
+    pub fn eq(self, rhs: AExp) -> BExp {
+        BExp::Cmp(Box::new(self), CmpOp::Eq, Box::new(rhs))
+    }
+
+    /// `self > rhs`, encoded as `¬(self ≤ rhs)`.
+    pub fn gt(self, rhs: AExp) -> BExp {
+        BExp::Not(Box::new(self.le(rhs)))
+    }
+
+    /// `self >= rhs`, encoded as `¬(self < rhs)`.
+    pub fn ge(self, rhs: AExp) -> BExp {
+        BExp::Not(Box::new(self.lt(rhs)))
+    }
+
+    /// `self != rhs`, encoded as `¬(self = rhs)`.
+    pub fn ne(self, rhs: AExp) -> BExp {
+        BExp::Not(Box::new(self.eq(rhs)))
+    }
+
+    /// The set of database objects read (transitively) by this expression.
+    pub fn reads(&self) -> BTreeSet<ObjId> {
+        let mut out = BTreeSet::new();
+        self.collect_reads(&mut out);
+        out
+    }
+
+    fn collect_reads(&self, out: &mut BTreeSet<ObjId>) {
+        match self {
+            AExp::Const(_) | AExp::Param(_) | AExp::Var(_) => {}
+            AExp::Read(x) => {
+                out.insert(x.clone());
+            }
+            AExp::Add(a, b) | AExp::Mul(a, b) => {
+                a.collect_reads(out);
+                b.collect_reads(out);
+            }
+            AExp::Neg(a) => a.collect_reads(out),
+        }
+    }
+
+    /// The set of temporary variables referenced by this expression.
+    pub fn temp_vars(&self) -> BTreeSet<TempVar> {
+        let mut out = BTreeSet::new();
+        self.collect_temp_vars(&mut out);
+        out
+    }
+
+    fn collect_temp_vars(&self, out: &mut BTreeSet<TempVar>) {
+        match self {
+            AExp::Const(_) | AExp::Param(_) | AExp::Read(_) => {}
+            AExp::Var(v) => {
+                out.insert(v.clone());
+            }
+            AExp::Add(a, b) | AExp::Mul(a, b) => {
+                a.collect_temp_vars(out);
+                b.collect_temp_vars(out);
+            }
+            AExp::Neg(a) => a.collect_temp_vars(out),
+        }
+    }
+
+    /// The set of parameters referenced by this expression.
+    pub fn params(&self) -> BTreeSet<ParamId> {
+        let mut out = BTreeSet::new();
+        self.collect_params(&mut out);
+        out
+    }
+
+    fn collect_params(&self, out: &mut BTreeSet<ParamId>) {
+        match self {
+            AExp::Const(_) | AExp::Var(_) | AExp::Read(_) => {}
+            AExp::Param(p) => {
+                out.insert(p.clone());
+            }
+            AExp::Add(a, b) | AExp::Mul(a, b) => {
+                a.collect_params(out);
+                b.collect_params(out);
+            }
+            AExp::Neg(a) => a.collect_params(out),
+        }
+    }
+
+    /// Substitutes expression `e` for every occurrence of temporary variable
+    /// `v` (`self{e/v}` in the paper's notation).
+    pub fn subst_var(&self, v: &TempVar, e: &AExp) -> AExp {
+        match self {
+            AExp::Var(w) if w == v => e.clone(),
+            AExp::Const(_) | AExp::Param(_) | AExp::Var(_) | AExp::Read(_) => self.clone(),
+            AExp::Add(a, b) => AExp::Add(
+                Box::new(a.subst_var(v, e)),
+                Box::new(b.subst_var(v, e)),
+            ),
+            AExp::Mul(a, b) => AExp::Mul(
+                Box::new(a.subst_var(v, e)),
+                Box::new(b.subst_var(v, e)),
+            ),
+            AExp::Neg(a) => AExp::Neg(Box::new(a.subst_var(v, e))),
+        }
+    }
+
+    /// Substitutes expression `e` for every `read(x)` of database object `x`
+    /// (`self{e/x}` in the paper's notation, used by the `write` rule).
+    pub fn subst_read(&self, x: &ObjId, e: &AExp) -> AExp {
+        match self {
+            AExp::Read(y) if y == x => e.clone(),
+            AExp::Const(_) | AExp::Param(_) | AExp::Var(_) | AExp::Read(_) => self.clone(),
+            AExp::Add(a, b) => AExp::Add(
+                Box::new(a.subst_read(x, e)),
+                Box::new(b.subst_read(x, e)),
+            ),
+            AExp::Mul(a, b) => AExp::Mul(
+                Box::new(a.subst_read(x, e)),
+                Box::new(b.subst_read(x, e)),
+            ),
+            AExp::Neg(a) => AExp::Neg(Box::new(a.subst_read(x, e))),
+        }
+    }
+
+    /// Substitutes a constant for every occurrence of parameter `p`.
+    pub fn subst_param(&self, p: &ParamId, value: i64) -> AExp {
+        match self {
+            AExp::Param(q) if q == p => AExp::Const(value),
+            AExp::Const(_) | AExp::Param(_) | AExp::Var(_) | AExp::Read(_) => self.clone(),
+            AExp::Add(a, b) => AExp::Add(
+                Box::new(a.subst_param(p, value)),
+                Box::new(b.subst_param(p, value)),
+            ),
+            AExp::Mul(a, b) => AExp::Mul(
+                Box::new(a.subst_param(p, value)),
+                Box::new(b.subst_param(p, value)),
+            ),
+            AExp::Neg(a) => AExp::Neg(Box::new(a.subst_param(p, value))),
+        }
+    }
+
+    /// Returns `Some(n)` when the expression is a constant (possibly after
+    /// folding additions, multiplications and negations of constants).
+    pub fn const_fold(&self) -> Option<i64> {
+        match self {
+            AExp::Const(n) => Some(*n),
+            AExp::Param(_) | AExp::Var(_) | AExp::Read(_) => None,
+            AExp::Add(a, b) => Some(a.const_fold()?.wrapping_add(b.const_fold()?)),
+            AExp::Mul(a, b) => Some(a.const_fold()?.wrapping_mul(b.const_fold()?)),
+            AExp::Neg(a) => Some(a.const_fold()?.wrapping_neg()),
+        }
+    }
+}
+
+impl From<i64> for AExp {
+    fn from(n: i64) -> Self {
+        AExp::Const(n)
+    }
+}
+
+impl BExp {
+    /// Conjunction `self ∧ rhs` with unit simplification.
+    pub fn and(self, rhs: BExp) -> BExp {
+        match (&self, &rhs) {
+            (BExp::True, _) => rhs,
+            (_, BExp::True) => self,
+            (BExp::False, _) | (_, BExp::False) => BExp::False,
+            _ => BExp::And(Box::new(self), Box::new(rhs)),
+        }
+    }
+
+    /// Negation `¬self` with double-negation elimination.
+    pub fn not(self) -> BExp {
+        match self {
+            BExp::True => BExp::False,
+            BExp::False => BExp::True,
+            BExp::Not(inner) => *inner,
+            other => BExp::Not(Box::new(other)),
+        }
+    }
+
+    /// Disjunction encoded through De Morgan: `¬(¬a ∧ ¬b)`.
+    pub fn or(self, rhs: BExp) -> BExp {
+        match (&self, &rhs) {
+            (BExp::False, _) => rhs,
+            (_, BExp::False) => self,
+            (BExp::True, _) | (_, BExp::True) => BExp::True,
+            _ => self.not().and(rhs.not()).not(),
+        }
+    }
+
+    /// Conjunction of an iterator of formulas.
+    pub fn conj(parts: impl IntoIterator<Item = BExp>) -> BExp {
+        parts
+            .into_iter()
+            .fold(BExp::True, |acc, next| acc.and(next))
+    }
+
+    /// The database objects read by this formula.
+    pub fn reads(&self) -> BTreeSet<ObjId> {
+        let mut out = BTreeSet::new();
+        self.collect_reads(&mut out);
+        out
+    }
+
+    fn collect_reads(&self, out: &mut BTreeSet<ObjId>) {
+        match self {
+            BExp::True | BExp::False => {}
+            BExp::Cmp(a, _, b) => {
+                a.collect_reads(out);
+                b.collect_reads(out);
+            }
+            BExp::And(a, b) => {
+                a.collect_reads(out);
+                b.collect_reads(out);
+            }
+            BExp::Not(a) => a.collect_reads(out),
+        }
+    }
+
+    /// The temporary variables referenced by this formula.
+    pub fn temp_vars(&self) -> BTreeSet<TempVar> {
+        let mut out = BTreeSet::new();
+        self.collect_temp_vars(&mut out);
+        out
+    }
+
+    fn collect_temp_vars(&self, out: &mut BTreeSet<TempVar>) {
+        match self {
+            BExp::True | BExp::False => {}
+            BExp::Cmp(a, _, b) => {
+                a.collect_temp_vars(out);
+                b.collect_temp_vars(out);
+            }
+            BExp::And(a, b) => {
+                a.collect_temp_vars(out);
+                b.collect_temp_vars(out);
+            }
+            BExp::Not(a) => a.collect_temp_vars(out),
+        }
+    }
+
+    /// The parameters referenced by this formula.
+    pub fn params(&self) -> BTreeSet<ParamId> {
+        let mut out = BTreeSet::new();
+        self.collect_params(&mut out);
+        out
+    }
+
+    fn collect_params(&self, out: &mut BTreeSet<ParamId>) {
+        match self {
+            BExp::True | BExp::False => {}
+            BExp::Cmp(a, _, b) => {
+                a.collect_params(out);
+                b.collect_params(out);
+            }
+            BExp::And(a, b) => {
+                a.collect_params(out);
+                b.collect_params(out);
+            }
+            BExp::Not(a) => a.collect_params(out),
+        }
+    }
+
+    /// Substitutes an arithmetic expression for a temporary variable in all
+    /// atoms.
+    pub fn subst_var(&self, v: &TempVar, e: &AExp) -> BExp {
+        match self {
+            BExp::True | BExp::False => self.clone(),
+            BExp::Cmp(a, op, b) => BExp::Cmp(
+                Box::new(a.subst_var(v, e)),
+                *op,
+                Box::new(b.subst_var(v, e)),
+            ),
+            BExp::And(a, b) => BExp::And(
+                Box::new(a.subst_var(v, e)),
+                Box::new(b.subst_var(v, e)),
+            ),
+            BExp::Not(a) => BExp::Not(Box::new(a.subst_var(v, e))),
+        }
+    }
+
+    /// Substitutes an arithmetic expression for `read(x)` in all atoms.
+    pub fn subst_read(&self, x: &ObjId, e: &AExp) -> BExp {
+        match self {
+            BExp::True | BExp::False => self.clone(),
+            BExp::Cmp(a, op, b) => BExp::Cmp(
+                Box::new(a.subst_read(x, e)),
+                *op,
+                Box::new(b.subst_read(x, e)),
+            ),
+            BExp::And(a, b) => BExp::And(
+                Box::new(a.subst_read(x, e)),
+                Box::new(b.subst_read(x, e)),
+            ),
+            BExp::Not(a) => BExp::Not(Box::new(a.subst_read(x, e))),
+        }
+    }
+
+    /// Substitutes a constant for a parameter in all atoms.
+    pub fn subst_param(&self, p: &ParamId, value: i64) -> BExp {
+        match self {
+            BExp::True | BExp::False => self.clone(),
+            BExp::Cmp(a, op, b) => BExp::Cmp(
+                Box::new(a.subst_param(p, value)),
+                *op,
+                Box::new(b.subst_param(p, value)),
+            ),
+            BExp::And(a, b) => BExp::And(
+                Box::new(a.subst_param(p, value)),
+                Box::new(b.subst_param(p, value)),
+            ),
+            BExp::Not(a) => BExp::Not(Box::new(a.subst_param(p, value))),
+        }
+    }
+}
+
+impl Com {
+    /// Sequencing `self ; next`, eliding `skip`s.
+    pub fn then(self, next: Com) -> Com {
+        match (&self, &next) {
+            (Com::Skip, _) => next,
+            (_, Com::Skip) => self,
+            _ => Com::Seq(Box::new(self), Box::new(next)),
+        }
+    }
+
+    /// Sequences an iterator of commands.
+    pub fn seq_all(cmds: impl IntoIterator<Item = Com>) -> Com {
+        cmds.into_iter().fold(Com::Skip, |acc, c| acc.then(c))
+    }
+
+    /// `if cond then then_branch else else_branch`.
+    pub fn if_then_else(cond: BExp, then_branch: Com, else_branch: Com) -> Com {
+        Com::If(cond, Box::new(then_branch), Box::new(else_branch))
+    }
+
+    /// The set of database objects this command may write.
+    pub fn writes(&self) -> BTreeSet<ObjId> {
+        let mut out = BTreeSet::new();
+        self.collect_writes(&mut out);
+        out
+    }
+
+    fn collect_writes(&self, out: &mut BTreeSet<ObjId>) {
+        match self {
+            Com::Skip | Com::Assign(_, _) | Com::Print(_) => {}
+            Com::Write(x, _) => {
+                out.insert(x.clone());
+            }
+            Com::Seq(a, b) => {
+                a.collect_writes(out);
+                b.collect_writes(out);
+            }
+            Com::If(_, a, b) => {
+                a.collect_writes(out);
+                b.collect_writes(out);
+            }
+        }
+    }
+
+    /// The set of database objects this command may read (in expressions,
+    /// conditions, or written values).
+    pub fn reads(&self) -> BTreeSet<ObjId> {
+        let mut out = BTreeSet::new();
+        self.collect_reads(&mut out);
+        out
+    }
+
+    fn collect_reads(&self, out: &mut BTreeSet<ObjId>) {
+        match self {
+            Com::Skip => {}
+            Com::Assign(_, e) | Com::Write(_, e) | Com::Print(e) => e.collect_reads(out),
+            Com::Seq(a, b) => {
+                a.collect_reads(out);
+                b.collect_reads(out);
+            }
+            Com::If(b, t, e) => {
+                b.collect_reads(out);
+                t.collect_reads(out);
+                e.collect_reads(out);
+            }
+        }
+    }
+
+    /// The set of parameters referenced anywhere in the command.
+    pub fn params(&self) -> BTreeSet<ParamId> {
+        let mut out = BTreeSet::new();
+        self.collect_params(&mut out);
+        out
+    }
+
+    fn collect_params(&self, out: &mut BTreeSet<ParamId>) {
+        match self {
+            Com::Skip => {}
+            Com::Assign(_, e) | Com::Write(_, e) | Com::Print(e) => e.collect_params(out),
+            Com::Seq(a, b) => {
+                a.collect_params(out);
+                b.collect_params(out);
+            }
+            Com::If(b, t, e) => {
+                b.collect_params(out);
+                t.collect_params(out);
+                e.collect_params(out);
+            }
+        }
+    }
+
+    /// Substitutes a constant for a parameter throughout the command.
+    pub fn subst_param(&self, p: &ParamId, value: i64) -> Com {
+        match self {
+            Com::Skip => Com::Skip,
+            Com::Assign(v, e) => Com::Assign(v.clone(), e.subst_param(p, value)),
+            Com::Write(x, e) => Com::Write(x.clone(), e.subst_param(p, value)),
+            Com::Print(e) => Com::Print(e.subst_param(p, value)),
+            Com::Seq(a, b) => Com::Seq(
+                Box::new(a.subst_param(p, value)),
+                Box::new(b.subst_param(p, value)),
+            ),
+            Com::If(b, t, e) => Com::If(
+                b.subst_param(p, value),
+                Box::new(t.subst_param(p, value)),
+                Box::new(e.subst_param(p, value)),
+            ),
+        }
+    }
+
+    /// The number of AST nodes in the command (used by tests and by the
+    /// analysis to bound path explosion).
+    pub fn size(&self) -> usize {
+        match self {
+            Com::Skip => 1,
+            Com::Assign(_, _) | Com::Write(_, _) | Com::Print(_) => 1,
+            Com::Seq(a, b) => 1 + a.size() + b.size(),
+            Com::If(_, t, e) => 1 + t.size() + e.size(),
+        }
+    }
+}
+
+impl Transaction {
+    /// Creates a new transaction.
+    pub fn new(name: impl Into<String>, params: Vec<ParamId>, body: Com) -> Self {
+        Transaction {
+            name: name.into(),
+            params,
+            body,
+        }
+    }
+
+    /// Creates a parameterless transaction.
+    pub fn simple(name: impl Into<String>, body: Com) -> Self {
+        Self::new(name, Vec::new(), body)
+    }
+
+    /// Database objects this transaction may write.
+    pub fn write_set(&self) -> BTreeSet<ObjId> {
+        self.body.writes()
+    }
+
+    /// Database objects this transaction may read.
+    pub fn read_set(&self) -> BTreeSet<ObjId> {
+        self.body.reads()
+    }
+
+    /// Instantiates the transaction's parameters with concrete values,
+    /// producing a closed (parameterless) transaction.
+    ///
+    /// # Panics
+    /// Panics if `args.len() != self.params.len()`.
+    pub fn instantiate(&self, args: &[i64]) -> Transaction {
+        assert_eq!(
+            args.len(),
+            self.params.len(),
+            "transaction {} expects {} arguments, got {}",
+            self.name,
+            self.params.len(),
+            args.len()
+        );
+        let mut body = self.body.clone();
+        for (p, v) in self.params.iter().zip(args) {
+            body = body.subst_param(p, *v);
+        }
+        Transaction {
+            name: format!("{}({:?})", self.name, args),
+            params: Vec::new(),
+            body,
+        }
+    }
+}
+
+impl fmt::Debug for AExp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::pretty::aexp_to_string(self))
+    }
+}
+
+impl fmt::Debug for BExp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::pretty::bexp_to_string(self))
+    }
+}
+
+impl fmt::Debug for Com {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::pretty::com_to_string(self))
+    }
+}
+
+impl fmt::Debug for Transaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::pretty::transaction_to_string(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> AExp {
+        AExp::read("x")
+    }
+
+    #[test]
+    fn sugar_builds_primitive_forms() {
+        // a - b  ==>  a + (-b)
+        let e = x().sub(AExp::Const(1));
+        match e {
+            AExp::Add(_, b) => assert!(matches!(*b, AExp::Neg(_))),
+            _ => panic!("sub should lower to add/neg"),
+        }
+        // a > b ==> ¬(a ≤ b)
+        let b = x().gt(AExp::Const(0));
+        assert!(matches!(b, BExp::Not(_)));
+    }
+
+    #[test]
+    fn and_simplifies_units() {
+        assert_eq!(BExp::True.and(x().lt(AExp::Const(3))), x().lt(AExp::Const(3)));
+        assert_eq!(BExp::False.and(BExp::True), BExp::False);
+        assert_eq!(x().lt(AExp::Const(3)).and(BExp::True), x().lt(AExp::Const(3)));
+    }
+
+    #[test]
+    fn not_eliminates_double_negation() {
+        let b = x().lt(AExp::Const(3));
+        assert_eq!(b.clone().not().not(), b);
+        assert_eq!(BExp::True.not(), BExp::False);
+    }
+
+    #[test]
+    fn read_and_write_sets() {
+        let c = Com::Write(ObjId::new("x"), AExp::read("y").add(AExp::read("z")))
+            .then(Com::Print(AExp::read("w")));
+        assert_eq!(
+            c.reads().into_iter().map(|o| o.to_string()).collect::<Vec<_>>(),
+            vec!["w", "y", "z"]
+        );
+        assert_eq!(
+            c.writes().into_iter().map(|o| o.to_string()).collect::<Vec<_>>(),
+            vec!["x"]
+        );
+    }
+
+    #[test]
+    fn substitution_of_temp_vars() {
+        // (x̂ + 1){read(x)/x̂} == read(x) + 1
+        let e = AExp::var("t").add(AExp::Const(1));
+        let got = e.subst_var(&TempVar::new("t"), &x());
+        assert_eq!(got, x().add(AExp::Const(1)));
+    }
+
+    #[test]
+    fn substitution_of_reads() {
+        // (read(x) + read(y)){read(x)+1 / x} == (read(x)+1) + read(y)
+        let e = x().add(AExp::read("y"));
+        let got = e.subst_read(&ObjId::new("x"), &x().add(AExp::Const(1)));
+        assert_eq!(got, x().add(AExp::Const(1)).add(AExp::read("y")));
+    }
+
+    #[test]
+    fn parameter_instantiation() {
+        let t = Transaction::new(
+            "t",
+            vec![ParamId::new("p")],
+            Com::Write(ObjId::new("x"), AExp::param("p").add(AExp::Const(1))),
+        );
+        let closed = t.instantiate(&[41]);
+        assert!(closed.params.is_empty());
+        assert_eq!(
+            closed.body,
+            Com::Write(ObjId::new("x"), AExp::Const(41).add(AExp::Const(1)))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 1 arguments")]
+    fn instantiate_with_wrong_arity_panics() {
+        let t = Transaction::new(
+            "t",
+            vec![ParamId::new("p")],
+            Com::Write(ObjId::new("x"), AExp::param("p")),
+        );
+        let _ = t.instantiate(&[]);
+    }
+
+    #[test]
+    fn const_folding() {
+        let e = AExp::Const(2).add(AExp::Const(3)).mul(AExp::Const(4)).neg();
+        assert_eq!(e.const_fold(), Some(-20));
+        assert_eq!(x().add(AExp::Const(1)).const_fold(), None);
+    }
+
+    #[test]
+    fn command_size_counts_nodes() {
+        let c = Com::Skip.then(Com::Print(AExp::Const(1)));
+        assert_eq!(c.size(), 1); // skip elided
+        let c2 = Com::if_then_else(BExp::True, Com::Print(AExp::Const(1)), Com::Skip);
+        assert_eq!(c2.size(), 3);
+    }
+}

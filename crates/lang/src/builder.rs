@@ -1,0 +1,139 @@
+//! Ergonomic builders for constructing `L` transactions programmatically.
+//!
+//! The paper's examples and the workload crates construct transactions in
+//! code; the builder keeps those definitions readable without going through
+//! the textual parser.
+
+use crate::ast::{AExp, BExp, Com, Transaction};
+use crate::ids::{ObjId, ParamId, TempVar};
+
+/// Shorthand for an integer constant expression.
+pub fn num(n: i64) -> AExp {
+    AExp::Const(n)
+}
+
+/// Shorthand for `read(x)`.
+pub fn read(x: impl Into<ObjId>) -> AExp {
+    AExp::Read(x.into())
+}
+
+/// Shorthand for a temporary-variable reference.
+pub fn var(v: impl Into<TempVar>) -> AExp {
+    AExp::Var(v.into())
+}
+
+/// Shorthand for a parameter reference.
+pub fn param(p: impl Into<ParamId>) -> AExp {
+    AExp::Param(p.into())
+}
+
+/// Shorthand for `x̂ := e`.
+pub fn assign(v: impl Into<TempVar>, e: AExp) -> Com {
+    Com::Assign(v.into(), e)
+}
+
+/// Shorthand for `write(x = e)`.
+pub fn write(x: impl Into<ObjId>, e: AExp) -> Com {
+    Com::Write(x.into(), e)
+}
+
+/// Shorthand for `print(e)`.
+pub fn print(e: AExp) -> Com {
+    Com::Print(e)
+}
+
+/// Shorthand for `if b then t else e`.
+pub fn ite(b: BExp, t: Com, e: Com) -> Com {
+    Com::if_then_else(b, t, e)
+}
+
+/// Shorthand for `if b then t` (else skip).
+pub fn when(b: BExp, t: Com) -> Com {
+    Com::if_then_else(b, t, Com::Skip)
+}
+
+/// Sequences a list of commands.
+pub fn seq(cmds: impl IntoIterator<Item = Com>) -> Com {
+    Com::seq_all(cmds)
+}
+
+/// Builder for a whole transaction.
+#[derive(Debug, Default)]
+pub struct TxnBuilder {
+    name: String,
+    params: Vec<ParamId>,
+    cmds: Vec<Com>,
+}
+
+impl TxnBuilder {
+    /// Starts a new transaction with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TxnBuilder {
+            name: name.into(),
+            params: Vec::new(),
+            cmds: Vec::new(),
+        }
+    }
+
+    /// Declares a formal parameter and returns an expression referring to it.
+    pub fn param(&mut self, name: impl Into<ParamId>) -> AExp {
+        let id = name.into();
+        self.params.push(id.clone());
+        AExp::Param(id)
+    }
+
+    /// Appends a command to the body.
+    pub fn push(&mut self, c: Com) -> &mut Self {
+        self.cmds.push(c);
+        self
+    }
+
+    /// Appends several commands to the body.
+    pub fn extend(&mut self, cmds: impl IntoIterator<Item = Com>) -> &mut Self {
+        self.cmds.extend(cmds);
+        self
+    }
+
+    /// Finishes the builder, producing the [`Transaction`].
+    pub fn build(self) -> Transaction {
+        Transaction::new(self.name, self.params, Com::seq_all(self.cmds))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use crate::eval::Evaluator;
+
+    #[test]
+    fn builder_constructs_runnable_transaction() {
+        let mut b = TxnBuilder::new("incr");
+        let p = b.param("amount");
+        b.push(assign("cur", read("counter")));
+        b.push(write("counter", var("cur").add(p)));
+        b.push(print(var("cur")));
+        let txn = b.build();
+
+        assert_eq!(txn.params.len(), 1);
+        let db = Database::from_pairs([("counter", 5)]);
+        let out = Evaluator::eval(&txn, &db, &[3]).unwrap();
+        assert_eq!(out.database.get(&"counter".into()), 8);
+        assert_eq!(out.log, vec![5]);
+    }
+
+    #[test]
+    fn when_produces_skip_else() {
+        let c = when(read("x").gt(num(0)), write("y", num(1)));
+        match c {
+            Com::If(_, _, e) => assert_eq!(*e, Com::Skip),
+            _ => panic!("expected if"),
+        }
+    }
+
+    #[test]
+    fn seq_elides_empty() {
+        assert_eq!(seq([]), Com::Skip);
+        assert_eq!(seq([Com::Skip, Com::Skip]), Com::Skip);
+    }
+}

@@ -1,0 +1,300 @@
+//! Deterministic evaluation of `L` transactions (Definition 2.1).
+//!
+//! `Eval(T, D)` produces an updated database `D'` and a log `G'` of values
+//! printed during execution. Evaluation is deterministic: `D'` and `G'` are
+//! uniquely determined by `T`, its parameter bindings and `D`.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ast::{AExp, BExp, Com, Transaction};
+use crate::database::Database;
+use crate::ids::{ObjId, ParamId, TempVar};
+
+/// A binding of transaction parameters to concrete integers.
+pub type ParamBinding = BTreeMap<ParamId, i64>;
+
+/// Errors raised during evaluation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvalError {
+    /// A temporary variable was read before being assigned.
+    UnboundTempVar(String),
+    /// A parameter was referenced but not supplied.
+    UnboundParam(String),
+    /// Arithmetic overflowed 64-bit signed range.
+    Overflow,
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::UnboundTempVar(v) => write!(f, "unbound temporary variable `{v}`"),
+            EvalError::UnboundParam(p) => write!(f, "unbound parameter `{p}`"),
+            EvalError::Overflow => write!(f, "arithmetic overflow during evaluation"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// The observable outcome of evaluating a transaction: the updated database
+/// and the print log, in order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvalOutcome {
+    /// The database after the transaction's writes.
+    pub database: Database,
+    /// The values printed, in program order.
+    pub log: Vec<i64>,
+    /// The objects actually written (with their final values) — useful for
+    /// the protocol layer, which broadcasts updated objects at cleanup.
+    pub writes: BTreeMap<ObjId, i64>,
+}
+
+/// Evaluator for `L` transactions. A fresh evaluator is cheap to construct;
+/// it owns only the scratch state for a single run.
+#[derive(Debug, Default)]
+pub struct Evaluator {
+    temps: BTreeMap<TempVar, i64>,
+    params: ParamBinding,
+    log: Vec<i64>,
+    writes: BTreeMap<ObjId, i64>,
+}
+
+impl Evaluator {
+    /// Creates an evaluator with no parameter bindings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Evaluates transaction `txn` on database `db` with positional
+    /// arguments `args` (must match the transaction's parameter list).
+    pub fn eval(
+        txn: &Transaction,
+        db: &Database,
+        args: &[i64],
+    ) -> Result<EvalOutcome, EvalError> {
+        if args.len() != txn.params.len() {
+            return Err(EvalError::UnboundParam(format!(
+                "{} expects {} arguments, got {}",
+                txn.name,
+                txn.params.len(),
+                args.len()
+            )));
+        }
+        let params: ParamBinding = txn
+            .params
+            .iter()
+            .cloned()
+            .zip(args.iter().copied())
+            .collect();
+        Self::eval_with_bindings(txn, db, params)
+    }
+
+    /// Evaluates with an explicit parameter binding map.
+    pub fn eval_with_bindings(
+        txn: &Transaction,
+        db: &Database,
+        params: ParamBinding,
+    ) -> Result<EvalOutcome, EvalError> {
+        let mut ev = Evaluator {
+            params,
+            ..Default::default()
+        };
+        let mut working = db.clone();
+        ev.run_com(&txn.body, &mut working)?;
+        Ok(EvalOutcome {
+            database: working,
+            log: ev.log,
+            writes: ev.writes,
+        })
+    }
+
+    /// Evaluates an arithmetic expression against the current state.
+    fn eval_aexp(&self, e: &AExp, db: &Database) -> Result<i64, EvalError> {
+        match e {
+            AExp::Const(n) => Ok(*n),
+            AExp::Param(p) => self
+                .params
+                .get(p)
+                .copied()
+                .ok_or_else(|| EvalError::UnboundParam(p.to_string())),
+            AExp::Var(v) => self
+                .temps
+                .get(v)
+                .copied()
+                .ok_or_else(|| EvalError::UnboundTempVar(v.to_string())),
+            AExp::Read(x) => Ok(db.get(x)),
+            AExp::Add(a, b) => self
+                .eval_aexp(a, db)?
+                .checked_add(self.eval_aexp(b, db)?)
+                .ok_or(EvalError::Overflow),
+            AExp::Mul(a, b) => self
+                .eval_aexp(a, db)?
+                .checked_mul(self.eval_aexp(b, db)?)
+                .ok_or(EvalError::Overflow),
+            AExp::Neg(a) => self
+                .eval_aexp(a, db)?
+                .checked_neg()
+                .ok_or(EvalError::Overflow),
+        }
+    }
+
+    /// Evaluates a boolean expression against the current state.
+    fn eval_bexp(&self, b: &BExp, db: &Database) -> Result<bool, EvalError> {
+        match b {
+            BExp::True => Ok(true),
+            BExp::False => Ok(false),
+            BExp::Cmp(a, op, c) => Ok(op.eval(self.eval_aexp(a, db)?, self.eval_aexp(c, db)?)),
+            BExp::And(a, c) => Ok(self.eval_bexp(a, db)? && self.eval_bexp(c, db)?),
+            BExp::Not(a) => Ok(!self.eval_bexp(a, db)?),
+        }
+    }
+
+    fn run_com(&mut self, c: &Com, db: &mut Database) -> Result<(), EvalError> {
+        match c {
+            Com::Skip => Ok(()),
+            Com::Assign(v, e) => {
+                let value = self.eval_aexp(e, db)?;
+                self.temps.insert(v.clone(), value);
+                Ok(())
+            }
+            Com::Write(x, e) => {
+                let value = self.eval_aexp(e, db)?;
+                db.set(x.clone(), value);
+                self.writes.insert(x.clone(), value);
+                Ok(())
+            }
+            Com::Print(e) => {
+                let value = self.eval_aexp(e, db)?;
+                self.log.push(value);
+                Ok(())
+            }
+            Com::Seq(a, b) => {
+                self.run_com(a, db)?;
+                self.run_com(b, db)
+            }
+            Com::If(cond, t, e) => {
+                if self.eval_bexp(cond, db)? {
+                    self.run_com(t, db)
+                } else {
+                    self.run_com(e, db)
+                }
+            }
+        }
+    }
+
+    /// Evaluates a closed boolean formula (no temporary variables or
+    /// parameters) against a database. Useful for checking symbolic-table
+    /// guards and treaties against concrete states.
+    pub fn eval_closed_bexp(b: &BExp, db: &Database) -> Result<bool, EvalError> {
+        let ev = Evaluator::default();
+        ev.eval_bexp(b, db)
+    }
+
+    /// Evaluates a closed arithmetic expression against a database.
+    pub fn eval_closed_aexp(e: &AExp, db: &Database) -> Result<i64, EvalError> {
+        let ev = Evaluator::default();
+        ev.eval_aexp(e, db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{AExp, Com};
+
+    fn write(x: &str, e: AExp) -> Com {
+        Com::Write(ObjId::new(x), e)
+    }
+
+    #[test]
+    fn straight_line_evaluation() {
+        // x̂ := read(x); write(y = x̂ + 1); print(x̂)
+        let txn = Transaction::simple(
+            "t",
+            Com::Assign(TempVar::new("xh"), AExp::read("x"))
+                .then(write("y", AExp::var("xh").add(AExp::Const(1))))
+                .then(Com::Print(AExp::var("xh"))),
+        );
+        let db = Database::from_pairs([("x", 10)]);
+        let out = Evaluator::eval(&txn, &db, &[]).unwrap();
+        assert_eq!(out.database.get(&ObjId::new("y")), 11);
+        assert_eq!(out.log, vec![10]);
+        assert_eq!(out.writes.get(&ObjId::new("y")), Some(&11));
+    }
+
+    #[test]
+    fn t1_from_figure_3_takes_correct_branch() {
+        let t1 = crate::programs::t1();
+        // x + y < 10: increments x
+        let db = Database::from_pairs([("x", 3), ("y", 4)]);
+        let out = Evaluator::eval(&t1, &db, &[]).unwrap();
+        assert_eq!(out.database.get(&ObjId::new("x")), 4);
+        // x + y >= 10: decrements x
+        let db = Database::from_pairs([("x", 10), ("y", 13)]);
+        let out = Evaluator::eval(&t1, &db, &[]).unwrap();
+        assert_eq!(out.database.get(&ObjId::new("x")), 9);
+    }
+
+    #[test]
+    fn unbound_temp_var_is_an_error() {
+        let txn = Transaction::simple("t", write("x", AExp::var("nope")));
+        let err = Evaluator::eval(&txn, &Database::new(), &[]).unwrap_err();
+        assert!(matches!(err, EvalError::UnboundTempVar(_)));
+    }
+
+    #[test]
+    fn missing_parameter_is_an_error() {
+        let txn = Transaction::new(
+            "t",
+            vec![ParamId::new("p")],
+            write("x", AExp::param("p")),
+        );
+        let err = Evaluator::eval(&txn, &Database::new(), &[]).unwrap_err();
+        assert!(matches!(err, EvalError::UnboundParam(_)));
+        let ok = Evaluator::eval(&txn, &Database::new(), &[7]).unwrap();
+        assert_eq!(ok.database.get(&ObjId::new("x")), 7);
+    }
+
+    #[test]
+    fn parameters_bind_positionally() {
+        let txn = Transaction::new(
+            "t",
+            vec![ParamId::new("a"), ParamId::new("b")],
+            write("x", AExp::param("a").sub(AExp::param("b"))),
+        );
+        let out = Evaluator::eval(&txn, &Database::new(), &[10, 4]).unwrap();
+        assert_eq!(out.database.get(&ObjId::new("x")), 6);
+    }
+
+    #[test]
+    fn overflow_is_detected() {
+        let txn = Transaction::simple(
+            "t",
+            write("x", AExp::Const(i64::MAX).add(AExp::Const(1))),
+        );
+        let err = Evaluator::eval(&txn, &Database::new(), &[]).unwrap_err();
+        assert_eq!(err, EvalError::Overflow);
+    }
+
+    #[test]
+    fn instantiation_agrees_with_parameter_binding() {
+        let txn = crate::programs::micro_order();
+        let db = Database::from_pairs([("stock[7]", 5)]);
+        let by_args = Evaluator::eval(&txn, &db, &[7]).unwrap();
+        let closed = txn.instantiate(&[7]);
+        let by_inst = Evaluator::eval(&closed, &db, &[]).unwrap();
+        assert_eq!(by_args.database, by_inst.database);
+        assert_eq!(by_args.log, by_inst.log);
+    }
+
+    #[test]
+    fn closed_formula_evaluation() {
+        let db = Database::from_pairs([("x", 10), ("y", 13)]);
+        let f = AExp::read("x").add(AExp::read("y")).ge(AExp::Const(20));
+        assert!(Evaluator::eval_closed_bexp(&f, &db).unwrap());
+        let g = AExp::read("x").add(AExp::read("y")).lt(AExp::Const(20));
+        assert!(!Evaluator::eval_closed_bexp(&g, &db).unwrap());
+    }
+}

@@ -1,0 +1,477 @@
+//! Lexer for the concrete syntax of `L` and `L++`.
+//!
+//! The paper's prototype used an ANTLR-4 generated parser; this repository
+//! substitutes a hand-written lexer + recursive-descent parser with no
+//! external dependencies.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A lexical token with its source position (byte offset).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character of the token.
+    pub offset: usize,
+}
+
+/// The kinds of tokens produced by the lexer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TokenKind {
+    /// An integer literal.
+    Int(i64),
+    /// An identifier (variable, object, parameter or relation name).
+    Ident(String),
+    /// A keyword.
+    Keyword(Keyword),
+    /// `:=`
+    Assign,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `!=`
+    Ne,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+/// Reserved words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Transaction,
+    If,
+    Then,
+    Else,
+    Skip,
+    Write,
+    Print,
+    Read,
+    True,
+    False,
+    // L++ extensions
+    Array,
+    Relation,
+    Foreach,
+    In,
+    Get,
+    Put,
+    Insert,
+    Delete,
+    Size,
+}
+
+impl Keyword {
+    fn from_ident(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "transaction" => Keyword::Transaction,
+            "if" => Keyword::If,
+            "then" => Keyword::Then,
+            "else" => Keyword::Else,
+            "skip" => Keyword::Skip,
+            "write" => Keyword::Write,
+            "print" => Keyword::Print,
+            "read" => Keyword::Read,
+            "true" => Keyword::True,
+            "false" => Keyword::False,
+            "array" => Keyword::Array,
+            "relation" => Keyword::Relation,
+            "foreach" => Keyword::Foreach,
+            "in" => Keyword::In,
+            "get" => Keyword::Get,
+            "put" => Keyword::Put,
+            "insert" => Keyword::Insert,
+            "delete" => Keyword::Delete,
+            "size" => Keyword::Size,
+            _ => return None,
+        })
+    }
+}
+
+/// Errors raised by the lexer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LexError {
+    /// Human-readable message.
+    pub message: String,
+    /// Byte offset of the offending character.
+    pub offset: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes the input. `//` line comments and whitespace are skipped.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let value: i64 = text.parse().map_err(|_| LexError {
+                    message: format!("integer literal `{text}` out of range"),
+                    offset: start,
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Int(value),
+                    offset: start,
+                });
+            }
+            'a'..='z' | 'A'..='Z' | '_' | '@' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+                {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let kind = match Keyword::from_ident(text) {
+                    Some(kw) => TokenKind::Keyword(kw),
+                    None => TokenKind::Ident(text.to_string()),
+                };
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
+            }
+            ':' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token {
+                        kind: TokenKind::Assign,
+                        offset: i,
+                    });
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        message: "expected `:=`".to_string(),
+                        offset: i,
+                    });
+                }
+            }
+            '(' => {
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: i,
+                });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: i,
+                });
+                i += 1;
+            }
+            '{' => {
+                tokens.push(Token {
+                    kind: TokenKind::LBrace,
+                    offset: i,
+                });
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Token {
+                    kind: TokenKind::RBrace,
+                    offset: i,
+                });
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token {
+                    kind: TokenKind::LBracket,
+                    offset: i,
+                });
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token {
+                    kind: TokenKind::RBracket,
+                    offset: i,
+                });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token {
+                    kind: TokenKind::Semi,
+                    offset: i,
+                });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: i,
+                });
+                i += 1;
+            }
+            '=' => {
+                // Accept both `=` and `==` for equality.
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    offset: i - 1,
+                });
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        offset: i,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        offset: i,
+                    });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        offset: i,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        offset: i,
+                    });
+                    i += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        offset: i,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Bang,
+                        offset: i,
+                    });
+                    i += 1;
+                }
+            }
+            '+' => {
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    offset: i,
+                });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token {
+                    kind: TokenKind::Minus,
+                    offset: i,
+                });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    offset: i,
+                });
+                i += 1;
+            }
+            '&' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'&' {
+                    tokens.push(Token {
+                        kind: TokenKind::AndAnd,
+                        offset: i,
+                    });
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        message: "expected `&&`".to_string(),
+                        offset: i,
+                    });
+                }
+            }
+            '|' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'|' {
+                    tokens.push(Token {
+                        kind: TokenKind::OrOr,
+                        offset: i,
+                    });
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        message: "expected `||`".to_string(),
+                        offset: i,
+                    });
+                }
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{other}`"),
+                    offset: i,
+                });
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: input.len(),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_assignment() {
+        let ks = kinds("xh := read(x);");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("xh".into()),
+                TokenKind::Assign,
+                TokenKind::Keyword(Keyword::Read),
+                TokenKind::LParen,
+                TokenKind::Ident("x".into()),
+                TokenKind::RParen,
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_comparison_operators() {
+        let ks = kinds("< <= > >= = == !=");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eq,
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_whitespace() {
+        let ks = kinds("x // this is x\n  + 1");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Plus,
+                TokenKind::Int(1),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_recognised() {
+        let ks = kinds("if then else skip write print true false foreach relation");
+        assert!(ks
+            .iter()
+            .take(10)
+            .all(|k| matches!(k, TokenKind::Keyword(_))));
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(tokenize("x $ y").is_err());
+        assert!(tokenize("x : y").is_err());
+        assert!(tokenize("a & b").is_err());
+    }
+
+    #[test]
+    fn integer_out_of_range_is_reported() {
+        let err = tokenize("99999999999999999999").unwrap_err();
+        assert!(err.message.contains("out of range"));
+    }
+
+    #[test]
+    fn identifiers_may_contain_dots_and_at() {
+        let ks = kinds("stock.qty @itemid");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("stock.qty".into()),
+                TokenKind::Ident("@itemid".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! # homeo-lang
+//!
+//! The transaction languages **L** and **L++** from *"The Homeostasis
+//! Protocol: Avoiding Transaction Coordination Through Program Analysis"*
+//! (SIGMOD 2015), Section 2.
+//!
+//! `L` is a small, loop-free imperative language over an integer key-value
+//! database. A transaction is a sequence of commands built from arithmetic
+//! expressions ([`AExp`]), boolean expressions ([`BExp`]) and commands
+//! ([`Com`]): `skip`, temporary-variable assignment, sequencing,
+//! `if-then-else`, `write(x = e)` and `print(e)`. Transactions may take
+//! integer parameters.
+//!
+//! `L++` ([`lpp`]) adds bounded arrays and relations with read / update /
+//! insert / delete operations and bounded iteration. It adds no expressive
+//! power: every `L++` program lowers to an `L` program (Appendix A of the
+//! paper), and this crate implements that lowering.
+//!
+//! The crate provides:
+//!
+//! * the abstract syntax ([`ast`]), identifiers ([`ids`]) and pretty printer
+//!   ([`pretty`]),
+//! * integer databases with finite support ([`database`]),
+//! * a deterministic evaluator ([`eval`]) producing the updated database and
+//!   the print log (Definition 2.1),
+//! * a lexer and recursive-descent parser for a concrete syntax
+//!   ([`lexer`], [`parser`]),
+//! * the higher-level language `L++` and its lowering ([`lpp`]),
+//! * a convenient builder API ([`builder`]) and the example programs used
+//!   throughout the paper ([`programs`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod builder;
+pub mod database;
+pub mod eval;
+pub mod ids;
+pub mod lexer;
+pub mod lpp;
+pub mod parser;
+pub mod pretty;
+pub mod programs;
+
+pub use ast::{AExp, BExp, CmpOp, Com, Transaction};
+pub use database::Database;
+pub use eval::{EvalError, EvalOutcome, Evaluator, ParamBinding};
+pub use ids::{ObjId, ParamId, TempVar};
+pub use parser::{parse_program, parse_transaction, ParseError};

@@ -1,0 +1,795 @@
+//! The higher-level language **L++** (Section 2.4, Appendix A).
+//!
+//! `L++` adds bounded arrays and relations with read / update / insert /
+//! delete operations and bounded (`foreach`) iteration. It adds no
+//! expressive power over `L`: every construct lowers to nested
+//! `if-then-else` chains over a fixed set of `L` objects, exactly as
+//! described in Appendix A of the paper:
+//!
+//! * an array `a` of length `n` is stored as the objects `a[0] .. a[n-1]`;
+//! * a relation `r(c0, ..., ck)` with at most `m` rows is stored column-wise
+//!   as objects `r.c<j>[i]` for row `i`, plus an occupancy flag
+//!   `r.__used[i]` that distinguishes used from preallocated-but-free slots;
+//! * `foreach` is unrolled over all `m` slots, guarded on the occupancy flag.
+//!
+//! Evaluating an `L++` transaction is defined as evaluating its lowering,
+//! which keeps a single semantics for both languages.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ast::{AExp, BExp, Com, Transaction};
+use crate::ids::{ObjId, ParamId, TempVar};
+
+/// A declaration of a bounded array or relation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Decl {
+    /// `array name[len]`
+    Array {
+        /// Array name.
+        name: String,
+        /// Number of preallocated slots.
+        len: usize,
+    },
+    /// `relation name(cols...)[max_rows]`
+    Relation {
+        /// Relation name.
+        name: String,
+        /// Column names; column 0 is treated as the key by keyed operations.
+        cols: Vec<String>,
+        /// Number of preallocated row slots.
+        max_rows: usize,
+    },
+}
+
+impl Decl {
+    /// The declared name.
+    pub fn name(&self) -> &str {
+        match self {
+            Decl::Array { name, .. } | Decl::Relation { name, .. } => name,
+        }
+    }
+}
+
+/// A schema: the set of declarations visible to a group of transactions.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    decls: BTreeMap<String, Decl>,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an array declaration.
+    pub fn array(mut self, name: impl Into<String>, len: usize) -> Self {
+        let name = name.into();
+        self.decls.insert(name.clone(), Decl::Array { name, len });
+        self
+    }
+
+    /// Adds a relation declaration.
+    pub fn relation(
+        mut self,
+        name: impl Into<String>,
+        cols: &[&str],
+        max_rows: usize,
+    ) -> Self {
+        let name = name.into();
+        self.decls.insert(
+            name.clone(),
+            Decl::Relation {
+                name,
+                cols: cols.iter().map(|c| c.to_string()).collect(),
+                max_rows,
+            },
+        );
+        self
+    }
+
+    /// Looks up a declaration.
+    pub fn get(&self, name: &str) -> Option<&Decl> {
+        self.decls.get(name)
+    }
+
+    /// Iterates over all declarations.
+    pub fn decls(&self) -> impl Iterator<Item = &Decl> {
+        self.decls.values()
+    }
+
+    /// The object id of array slot `a[i]`.
+    pub fn array_obj(name: &str, index: usize) -> ObjId {
+        ObjId::array_slot(name, index)
+    }
+
+    /// The object id of relation cell `r.col[row]`.
+    pub fn rel_obj(rel: &str, col: &str, row: usize) -> ObjId {
+        ObjId::new(format!("{rel}.{col}[{row}]"))
+    }
+
+    /// The object id of the occupancy flag for row `row` of relation `rel`.
+    pub fn rel_used_obj(rel: &str, row: usize) -> ObjId {
+        ObjId::new(format!("{rel}.__used[{row}]"))
+    }
+}
+
+/// Errors raised while lowering `L++` to `L`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LowerError {
+    /// Referenced an undeclared array or relation.
+    Undeclared(String),
+    /// Referenced a column that the relation does not have.
+    UnknownColumn {
+        /// Relation name.
+        relation: String,
+        /// Offending column name.
+        column: String,
+    },
+    /// Used an array operation on a relation or vice versa.
+    KindMismatch(String),
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::Undeclared(n) => write!(f, "undeclared array or relation `{n}`"),
+            LowerError::UnknownColumn { relation, column } => {
+                write!(f, "relation `{relation}` has no column `{column}`")
+            }
+            LowerError::KindMismatch(n) => {
+                write!(f, "`{n}` used with the wrong kind of operation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// `L++` commands. Plain `L` commands are embedded directly.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LppCom {
+    /// No effect.
+    Skip,
+    /// `x̂ := e`.
+    Assign(TempVar, AExp),
+    /// `write(x = e)` on a scalar object.
+    Write(ObjId, AExp),
+    /// `print(e)`.
+    Print(AExp),
+    /// Sequencing.
+    Seq(Box<LppCom>, Box<LppCom>),
+    /// `if b then c1 else c2`.
+    If(BExp, Box<LppCom>, Box<LppCom>),
+    /// `x̂ := a[idx]` — dynamic array read.
+    ArrayGet {
+        /// Destination temporary.
+        dst: TempVar,
+        /// Array name.
+        array: String,
+        /// Index expression.
+        index: AExp,
+    },
+    /// `a[idx] := value` — dynamic array write.
+    ArrayPut {
+        /// Array name.
+        array: String,
+        /// Index expression.
+        index: AExp,
+        /// Value expression.
+        value: AExp,
+    },
+    /// `x̂ := r[key].col` — read a column of the row whose key column equals
+    /// `key`; yields 0 when no such row exists.
+    RelGet {
+        /// Destination temporary.
+        dst: TempVar,
+        /// Relation name.
+        relation: String,
+        /// Key expression (matched against column 0).
+        key: AExp,
+        /// Column to read.
+        column: String,
+    },
+    /// `r[key].col := value` — update a column of the matching row.
+    RelUpdate {
+        /// Relation name.
+        relation: String,
+        /// Key expression (matched against column 0).
+        key: AExp,
+        /// Column to update.
+        column: String,
+        /// New value.
+        value: AExp,
+    },
+    /// `insert r(values...)` — insert into the first free slot.
+    RelInsert {
+        /// Relation name.
+        relation: String,
+        /// One value per declared column.
+        values: Vec<AExp>,
+    },
+    /// `delete r[key]` — delete the row whose key column equals `key`.
+    RelDelete {
+        /// Relation name.
+        relation: String,
+        /// Key expression (matched against column 0).
+        key: AExp,
+    },
+    /// `foreach row in r { body }` — bounded iteration over occupied rows.
+    ///
+    /// Inside `body`, the temporary variable `<binder>_<col>` holds the value
+    /// of each column of the current row, and `<binder>_row` its slot index.
+    ForEach {
+        /// Binder prefix for the per-column temporaries.
+        binder: String,
+        /// Relation name.
+        relation: String,
+        /// Loop body.
+        body: Box<LppCom>,
+    },
+}
+
+impl LppCom {
+    /// Sequencing with `skip` elision.
+    pub fn then(self, next: LppCom) -> LppCom {
+        match (&self, &next) {
+            (LppCom::Skip, _) => next,
+            (_, LppCom::Skip) => self,
+            _ => LppCom::Seq(Box::new(self), Box::new(next)),
+        }
+    }
+
+    /// Sequences an iterator of commands.
+    pub fn seq_all(cmds: impl IntoIterator<Item = LppCom>) -> LppCom {
+        cmds.into_iter().fold(LppCom::Skip, |acc, c| acc.then(c))
+    }
+}
+
+/// An `L++` transaction: a named command over a schema, with parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LppTransaction {
+    /// Transaction name.
+    pub name: String,
+    /// Formal parameters.
+    pub params: Vec<ParamId>,
+    /// Body.
+    pub body: LppCom,
+}
+
+impl LppTransaction {
+    /// Creates a new `L++` transaction.
+    pub fn new(name: impl Into<String>, params: Vec<ParamId>, body: LppCom) -> Self {
+        LppTransaction {
+            name: name.into(),
+            params,
+            body,
+        }
+    }
+
+    /// Lowers the transaction to plain `L` against the given schema.
+    pub fn lower(&self, schema: &Schema) -> Result<Transaction, LowerError> {
+        let body = lower_com(&self.body, schema, &mut 0)?;
+        Ok(Transaction::new(self.name.clone(), self.params.clone(), body))
+    }
+}
+
+fn array_len(schema: &Schema, name: &str) -> Result<usize, LowerError> {
+    match schema.get(name) {
+        Some(Decl::Array { len, .. }) => Ok(*len),
+        Some(Decl::Relation { .. }) => Err(LowerError::KindMismatch(name.to_string())),
+        None => Err(LowerError::Undeclared(name.to_string())),
+    }
+}
+
+fn relation_decl<'s>(
+    schema: &'s Schema,
+    name: &str,
+) -> Result<(&'s [String], usize), LowerError> {
+    match schema.get(name) {
+        Some(Decl::Relation { cols, max_rows, .. }) => Ok((cols.as_slice(), *max_rows)),
+        Some(Decl::Array { .. }) => Err(LowerError::KindMismatch(name.to_string())),
+        None => Err(LowerError::Undeclared(name.to_string())),
+    }
+}
+
+fn column_index(cols: &[String], relation: &str, column: &str) -> Result<usize, LowerError> {
+    cols.iter()
+        .position(|c| c == column)
+        .ok_or_else(|| LowerError::UnknownColumn {
+            relation: relation.to_string(),
+            column: column.to_string(),
+        })
+}
+
+/// Builds the nested-if chain `if sel = 0 then body(0) else if sel = 1 ...`,
+/// with a final `else fallback`.
+fn index_dispatch(
+    selector: &AExp,
+    len: usize,
+    mut body: impl FnMut(usize) -> Com,
+    fallback: Com,
+) -> Com {
+    let mut out = fallback;
+    for i in (0..len).rev() {
+        out = Com::if_then_else(
+            selector.clone().eq(AExp::Const(i as i64)),
+            body(i),
+            out,
+        );
+    }
+    out
+}
+
+fn lower_com(c: &LppCom, schema: &Schema, fresh: &mut usize) -> Result<Com, LowerError> {
+    Ok(match c {
+        LppCom::Skip => Com::Skip,
+        LppCom::Assign(v, e) => Com::Assign(v.clone(), e.clone()),
+        LppCom::Write(x, e) => Com::Write(x.clone(), e.clone()),
+        LppCom::Print(e) => Com::Print(e.clone()),
+        LppCom::Seq(a, b) => lower_com(a, schema, fresh)?.then(lower_com(b, schema, fresh)?),
+        LppCom::If(b, t, e) => Com::if_then_else(
+            b.clone(),
+            lower_com(t, schema, fresh)?,
+            lower_com(e, schema, fresh)?,
+        ),
+        LppCom::ArrayGet { dst, array, index } => {
+            let len = array_len(schema, array)?;
+            index_dispatch(
+                index,
+                len,
+                |i| Com::Assign(dst.clone(), AExp::Read(Schema::array_obj(array, i))),
+                Com::Assign(dst.clone(), AExp::Const(0)),
+            )
+        }
+        LppCom::ArrayPut {
+            array,
+            index,
+            value,
+        } => {
+            let len = array_len(schema, array)?;
+            index_dispatch(
+                index,
+                len,
+                |i| Com::Write(Schema::array_obj(array, i), value.clone()),
+                Com::Skip,
+            )
+        }
+        LppCom::RelGet {
+            dst,
+            relation,
+            key,
+            column,
+        } => {
+            let (cols, max_rows) = relation_decl(schema, relation)?;
+            let _ = column_index(cols, relation, column)?;
+            let key_col = &cols[0];
+            // Scan rows from last to first so that the first matching
+            // occupied row (lowest index) wins.
+            let mut out = Com::Assign(dst.clone(), AExp::Const(0));
+            for row in (0..max_rows).rev() {
+                let used = AExp::Read(Schema::rel_used_obj(relation, row));
+                let key_here = AExp::Read(Schema::rel_obj(relation, key_col, row));
+                let cond = used.eq(AExp::Const(1)).and(key_here.eq(key.clone()));
+                out = Com::if_then_else(
+                    cond,
+                    Com::Assign(
+                        dst.clone(),
+                        AExp::Read(Schema::rel_obj(relation, column, row)),
+                    ),
+                    out,
+                );
+            }
+            out
+        }
+        LppCom::RelUpdate {
+            relation,
+            key,
+            column,
+            value,
+        } => {
+            let (cols, max_rows) = relation_decl(schema, relation)?;
+            let _ = column_index(cols, relation, column)?;
+            let key_col = &cols[0];
+            let mut out = Com::Skip;
+            for row in (0..max_rows).rev() {
+                let used = AExp::Read(Schema::rel_used_obj(relation, row));
+                let key_here = AExp::Read(Schema::rel_obj(relation, key_col, row));
+                let cond = used.eq(AExp::Const(1)).and(key_here.eq(key.clone()));
+                out = Com::if_then_else(
+                    cond,
+                    Com::Write(Schema::rel_obj(relation, column, row), value.clone()),
+                    out,
+                );
+            }
+            out
+        }
+        LppCom::RelInsert { relation, values } => {
+            let (cols, max_rows) = relation_decl(schema, relation)?;
+            if values.len() != cols.len() {
+                return Err(LowerError::UnknownColumn {
+                    relation: relation.to_string(),
+                    column: format!("<expected {} values, got {}>", cols.len(), values.len()),
+                });
+            }
+            let cols = cols.to_vec();
+            // Find the first free slot: nested if over the occupancy flags.
+            let mut out = Com::Skip; // relation full: silently drop, as in the
+                                     // preallocation scheme of Appendix A.
+            for row in (0..max_rows).rev() {
+                let used = AExp::Read(Schema::rel_used_obj(relation, row));
+                let mut writes: Vec<Com> = cols
+                    .iter()
+                    .zip(values)
+                    .map(|(col, v)| Com::Write(Schema::rel_obj(relation, col, row), v.clone()))
+                    .collect();
+                writes.push(Com::Write(
+                    Schema::rel_used_obj(relation, row),
+                    AExp::Const(1),
+                ));
+                out = Com::if_then_else(used.eq(AExp::Const(0)), Com::seq_all(writes), out);
+            }
+            out
+        }
+        LppCom::RelDelete { relation, key } => {
+            let (cols, max_rows) = relation_decl(schema, relation)?;
+            let key_col = &cols[0];
+            let mut out = Com::Skip;
+            for row in (0..max_rows).rev() {
+                let used = AExp::Read(Schema::rel_used_obj(relation, row));
+                let key_here = AExp::Read(Schema::rel_obj(relation, key_col, row));
+                let cond = used.eq(AExp::Const(1)).and(key_here.eq(key.clone()));
+                out = Com::if_then_else(
+                    cond,
+                    Com::Write(Schema::rel_used_obj(relation, row), AExp::Const(0)),
+                    out,
+                );
+            }
+            out
+        }
+        LppCom::ForEach {
+            binder,
+            relation,
+            body,
+        } => {
+            let (cols, max_rows) = relation_decl(schema, relation)?;
+            let cols = cols.to_vec();
+            *fresh += 1;
+            let mut iterations = Vec::with_capacity(max_rows);
+            let lowered_body = lower_com(body, schema, fresh)?;
+            for row in 0..max_rows {
+                let used = AExp::Read(Schema::rel_used_obj(relation, row));
+                let mut binds: Vec<Com> = cols
+                    .iter()
+                    .map(|col| {
+                        Com::Assign(
+                            TempVar::new(format!("{binder}_{col}")),
+                            AExp::Read(Schema::rel_obj(relation, col, row)),
+                        )
+                    })
+                    .collect();
+                binds.push(Com::Assign(
+                    TempVar::new(format!("{binder}_row")),
+                    AExp::Const(row as i64),
+                ));
+                binds.push(lowered_body.clone());
+                iterations.push(Com::if_then_else(
+                    used.eq(AExp::Const(1)),
+                    Com::seq_all(binds),
+                    Com::Skip,
+                ));
+            }
+            Com::seq_all(iterations)
+        }
+    })
+}
+
+/// Helpers for loading an initial [`crate::Database`] that matches a schema.
+pub mod populate {
+    use super::*;
+    use crate::database::Database;
+
+    /// Sets `a[i] = values[i]` for each provided value.
+    pub fn array(db: &mut Database, name: &str, values: &[i64]) {
+        for (i, v) in values.iter().enumerate() {
+            db.set(Schema::array_obj(name, i), *v);
+        }
+    }
+
+    /// Inserts each row (one value per declared column) into consecutive
+    /// slots of the relation, marking them used.
+    pub fn relation(db: &mut Database, schema: &Schema, name: &str, rows: &[Vec<i64>]) {
+        let (cols, max_rows) = match schema.get(name) {
+            Some(Decl::Relation { cols, max_rows, .. }) => (cols.clone(), *max_rows),
+            _ => panic!("`{name}` is not a declared relation"),
+        };
+        assert!(
+            rows.len() <= max_rows,
+            "relation `{name}` holds at most {max_rows} rows, got {}",
+            rows.len()
+        );
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), cols.len(), "row width mismatch for `{name}`");
+            for (col, v) in cols.iter().zip(row) {
+                db.set(Schema::rel_obj(name, col, i), *v);
+            }
+            db.set(Schema::rel_used_obj(name, i), 1);
+        }
+    }
+
+    /// Reads back the occupied rows of a relation, in slot order.
+    pub fn read_relation(db: &Database, schema: &Schema, name: &str) -> Vec<Vec<i64>> {
+        let (cols, max_rows) = match schema.get(name) {
+            Some(Decl::Relation { cols, max_rows, .. }) => (cols.clone(), *max_rows),
+            _ => panic!("`{name}` is not a declared relation"),
+        };
+        let mut out = Vec::new();
+        for i in 0..max_rows {
+            if db.get(&Schema::rel_used_obj(name, i)) == 1 {
+                out.push(
+                    cols.iter()
+                        .map(|c| db.get(&Schema::rel_obj(name, c, i)))
+                        .collect(),
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{num, param, read, var};
+    use crate::database::Database;
+    use crate::eval::Evaluator;
+
+    fn schema() -> Schema {
+        Schema::new()
+            .array("a", 4)
+            .relation("stock", &["itemid", "qty"], 3)
+    }
+
+    #[test]
+    fn array_get_and_put_dispatch_on_dynamic_index() {
+        let txn = LppTransaction::new(
+            "bump",
+            vec![ParamId::new("i")],
+            LppCom::seq_all([
+                LppCom::ArrayGet {
+                    dst: TempVar::new("v"),
+                    array: "a".into(),
+                    index: param("i"),
+                },
+                LppCom::ArrayPut {
+                    array: "a".into(),
+                    index: param("i"),
+                    value: var("v").add(num(10)),
+                },
+            ]),
+        );
+        let lowered = txn.lower(&schema()).unwrap();
+        let mut db = Database::new();
+        populate::array(&mut db, "a", &[1, 2, 3, 4]);
+        let out = Evaluator::eval(&lowered, &db, &[2]).unwrap();
+        assert_eq!(out.database.get(&Schema::array_obj("a", 2)), 13);
+        assert_eq!(out.database.get(&Schema::array_obj("a", 0)), 1);
+    }
+
+    #[test]
+    fn out_of_bounds_index_falls_back_to_default() {
+        let txn = LppTransaction::new(
+            "oob",
+            vec![ParamId::new("i")],
+            LppCom::seq_all([
+                LppCom::ArrayGet {
+                    dst: TempVar::new("v"),
+                    array: "a".into(),
+                    index: param("i"),
+                },
+                LppCom::Print(var("v")),
+            ]),
+        );
+        let lowered = txn.lower(&schema()).unwrap();
+        let mut db = Database::new();
+        populate::array(&mut db, "a", &[5, 6, 7, 8]);
+        let out = Evaluator::eval(&lowered, &db, &[99]).unwrap();
+        assert_eq!(out.log, vec![0]);
+    }
+
+    #[test]
+    fn relation_get_update_insert_delete() {
+        let s = schema();
+        let mut db = Database::new();
+        populate::relation(&mut db, &s, "stock", &[vec![7, 50], vec![9, 20]]);
+
+        // Update item 9's qty to 19.
+        let upd = LppTransaction::new(
+            "upd",
+            vec![],
+            LppCom::RelUpdate {
+                relation: "stock".into(),
+                key: num(9),
+                column: "qty".into(),
+                value: num(19),
+            },
+        )
+        .lower(&s)
+        .unwrap();
+        let db = Evaluator::eval(&upd, &db, &[]).unwrap().database;
+        assert_eq!(
+            populate::read_relation(&db, &s, "stock"),
+            vec![vec![7, 50], vec![9, 19]]
+        );
+
+        // Read item 7's qty.
+        let get = LppTransaction::new(
+            "get",
+            vec![],
+            LppCom::seq_all([
+                LppCom::RelGet {
+                    dst: TempVar::new("q"),
+                    relation: "stock".into(),
+                    key: num(7),
+                    column: "qty".into(),
+                },
+                LppCom::Print(var("q")),
+            ]),
+        )
+        .lower(&s)
+        .unwrap();
+        assert_eq!(Evaluator::eval(&get, &db, &[]).unwrap().log, vec![50]);
+
+        // Insert a third item, filling the relation.
+        let ins = LppTransaction::new(
+            "ins",
+            vec![],
+            LppCom::RelInsert {
+                relation: "stock".into(),
+                values: vec![num(11), num(5)],
+            },
+        )
+        .lower(&s)
+        .unwrap();
+        let db = Evaluator::eval(&ins, &db, &[]).unwrap().database;
+        assert_eq!(
+            populate::read_relation(&db, &s, "stock"),
+            vec![vec![7, 50], vec![9, 19], vec![11, 5]]
+        );
+
+        // Delete item 9; its slot becomes free and is reused by an insert.
+        let del = LppTransaction::new(
+            "del",
+            vec![],
+            LppCom::RelDelete {
+                relation: "stock".into(),
+                key: num(9),
+            },
+        )
+        .lower(&s)
+        .unwrap();
+        let db = Evaluator::eval(&del, &db, &[]).unwrap().database;
+        assert_eq!(
+            populate::read_relation(&db, &s, "stock"),
+            vec![vec![7, 50], vec![11, 5]]
+        );
+        let db = Evaluator::eval(&ins, &db, &[]).unwrap().database;
+        assert_eq!(
+            populate::read_relation(&db, &s, "stock"),
+            vec![vec![7, 50], vec![11, 5], vec![11, 5]]
+        );
+    }
+
+    #[test]
+    fn foreach_visits_only_occupied_rows_in_order() {
+        let s = schema();
+        let mut db = Database::new();
+        populate::relation(&mut db, &s, "stock", &[vec![7, 50], vec![9, 20]]);
+        let scan = LppTransaction::new(
+            "scan",
+            vec![],
+            LppCom::ForEach {
+                binder: "r".into(),
+                relation: "stock".into(),
+                body: Box::new(LppCom::Print(var("r_qty"))),
+            },
+        )
+        .lower(&s)
+        .unwrap();
+        assert_eq!(Evaluator::eval(&scan, &db, &[]).unwrap().log, vec![50, 20]);
+    }
+
+    #[test]
+    fn foreach_can_aggregate_with_a_temp_accumulator() {
+        let s = schema();
+        let mut db = Database::new();
+        populate::relation(&mut db, &s, "stock", &[vec![1, 10], vec![2, 32]]);
+        let total = LppTransaction::new(
+            "total",
+            vec![],
+            LppCom::seq_all([
+                LppCom::Assign(TempVar::new("sum"), num(0)),
+                LppCom::ForEach {
+                    binder: "r".into(),
+                    relation: "stock".into(),
+                    body: Box::new(LppCom::Assign(
+                        TempVar::new("sum"),
+                        var("sum").add(var("r_qty")),
+                    )),
+                },
+                LppCom::Write(ObjId::new("grand_total"), var("sum")),
+            ]),
+        )
+        .lower(&s)
+        .unwrap();
+        let out = Evaluator::eval(&total, &db, &[]).unwrap();
+        assert_eq!(out.database.get(&ObjId::new("grand_total")), 42);
+    }
+
+    #[test]
+    fn lowering_errors_are_reported() {
+        let txn = LppTransaction::new(
+            "bad",
+            vec![],
+            LppCom::ArrayGet {
+                dst: TempVar::new("v"),
+                array: "nope".into(),
+                index: num(0),
+            },
+        );
+        assert!(matches!(
+            txn.lower(&schema()),
+            Err(LowerError::Undeclared(_))
+        ));
+
+        let txn = LppTransaction::new(
+            "bad2",
+            vec![],
+            LppCom::RelGet {
+                dst: TempVar::new("v"),
+                relation: "stock".into(),
+                key: num(1),
+                column: "missing".into(),
+            },
+        );
+        assert!(matches!(
+            txn.lower(&schema()),
+            Err(LowerError::UnknownColumn { .. })
+        ));
+
+        let txn = LppTransaction::new(
+            "bad3",
+            vec![],
+            LppCom::ArrayGet {
+                dst: TempVar::new("v"),
+                array: "stock".into(),
+                index: num(0),
+            },
+        );
+        assert!(matches!(
+            txn.lower(&schema()),
+            Err(LowerError::KindMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn plain_l_commands_pass_through_unchanged() {
+        let txn = LppTransaction::new(
+            "plain",
+            vec![],
+            LppCom::seq_all([
+                LppCom::Assign(TempVar::new("t"), read("x").add(num(1))),
+                LppCom::Write(ObjId::new("x"), var("t")),
+                LppCom::Print(var("t")),
+            ]),
+        );
+        let lowered = txn.lower(&schema()).unwrap();
+        let db = Database::from_pairs([("x", 4)]);
+        let out = Evaluator::eval(&lowered, &db, &[]).unwrap();
+        assert_eq!(out.database.get(&ObjId::new("x")), 5);
+        assert_eq!(out.log, vec![5]);
+    }
+}

@@ -1,0 +1,547 @@
+//! Recursive-descent parser for the concrete syntax of `L`.
+//!
+//! The grammar mirrors Figure 5 with conventional surface syntax:
+//!
+//! ```text
+//! program     := transaction*
+//! transaction := "transaction" NAME "(" params? ")" "{" stmt* "}"
+//! stmt        := "skip" ";"
+//!              | IDENT ":=" aexp ";"
+//!              | "write" "(" obj "=" aexp ")" ";"
+//!              | "print" "(" aexp ")" ";"
+//!              | "if" "(" bexp ")" "then" block ("else" block)?
+//! block       := "{" stmt* "}"
+//! aexp        := term (("+" | "-") term)*
+//! term        := factor ("*" factor)*
+//! factor      := INT | "-" factor | "(" aexp ")" | "read" "(" obj ")" | IDENT
+//! bexp        := bterm ("||" bterm)*
+//! bterm       := bfactor ("&&" bfactor)*
+//! bfactor     := "!" bfactor | "true" | "false" | "(" bexp ")" | aexp cmp aexp
+//! cmp         := "<" | "<=" | ">" | ">=" | "=" | "!="
+//! obj         := IDENT ("[" INT "]")?
+//! ```
+//!
+//! Identifiers appearing in expressions denote the transaction's declared
+//! parameters when they match one, and temporary variables otherwise.
+//! Database objects only ever appear inside `read(...)` / `write(... = ...)`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ast::{AExp, BExp, CmpOp, Com, Transaction};
+use crate::ids::{ObjId, ParamId, TempVar};
+use crate::lexer::{tokenize, Keyword, Token, TokenKind};
+
+/// Errors raised by the parser (including lexical errors).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// Byte offset in the source text.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a source file containing zero or more transactions.
+pub fn parse_program(src: &str) -> Result<Vec<Transaction>, ParseError> {
+    let tokens = tokenize(src).map_err(|e| ParseError {
+        message: e.message,
+        offset: e.offset,
+    })?;
+    let mut p = Parser::new(tokens);
+    let mut txns = Vec::new();
+    while !p.at_eof() {
+        txns.push(p.transaction()?);
+    }
+    Ok(txns)
+}
+
+/// Parses a single transaction; errors if trailing input remains.
+pub fn parse_transaction(src: &str) -> Result<Transaction, ParseError> {
+    let txns = parse_program(src)?;
+    match txns.len() {
+        1 => Ok(txns.into_iter().next().expect("checked length")),
+        n => Err(ParseError {
+            message: format!("expected exactly one transaction, found {n}"),
+            offset: 0,
+        }),
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    params: Vec<ParamId>,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser {
+            tokens,
+            pos: 0,
+            params: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: message.into(),
+            offset: self.offset(),
+        })
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), ParseError> {
+        if self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            self.error(format!("expected {what}, found {:?}", self.peek()))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: Keyword) -> Result<(), ParseError> {
+        match self.peek() {
+            TokenKind::Keyword(k) if *k == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => self.error(format!("expected keyword {kw:?}, found {other:?}")),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => self.error(format!("expected {what}, found {other:?}")),
+        }
+    }
+
+    fn transaction(&mut self) -> Result<Transaction, ParseError> {
+        self.expect_keyword(Keyword::Transaction)?;
+        let name = self.ident("transaction name")?;
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if !matches!(self.peek(), TokenKind::RParen) {
+            loop {
+                params.push(ParamId::new(self.ident("parameter name")?));
+                if matches!(self.peek(), TokenKind::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen, "`)`")?;
+        self.params = params.clone();
+        let body = self.block()?;
+        self.params.clear();
+        Ok(Transaction::new(name, params, body))
+    }
+
+    fn block(&mut self) -> Result<Com, ParseError> {
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        let mut cmds = Vec::new();
+        while !matches!(self.peek(), TokenKind::RBrace) {
+            if self.at_eof() {
+                return self.error("unterminated block");
+            }
+            cmds.push(self.stmt()?);
+        }
+        self.bump(); // consume `}`
+        Ok(Com::seq_all(cmds))
+    }
+
+    fn stmt(&mut self) -> Result<Com, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Keyword(Keyword::Skip) => {
+                self.bump();
+                self.expect(&TokenKind::Semi, "`;`")?;
+                Ok(Com::Skip)
+            }
+            TokenKind::Keyword(Keyword::Write) => {
+                self.bump();
+                self.expect(&TokenKind::LParen, "`(`")?;
+                let obj = self.obj_name()?;
+                self.expect(&TokenKind::Eq, "`=`")?;
+                let e = self.aexp()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                self.expect(&TokenKind::Semi, "`;`")?;
+                Ok(Com::Write(obj, e))
+            }
+            TokenKind::Keyword(Keyword::Print) => {
+                self.bump();
+                self.expect(&TokenKind::LParen, "`(`")?;
+                let e = self.aexp()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                self.expect(&TokenKind::Semi, "`;`")?;
+                Ok(Com::Print(e))
+            }
+            TokenKind::Keyword(Keyword::If) => {
+                self.bump();
+                self.expect(&TokenKind::LParen, "`(`")?;
+                let cond = self.bexp()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                self.expect_keyword(Keyword::Then)?;
+                let then_branch = self.block()?;
+                let else_branch = if matches!(self.peek(), TokenKind::Keyword(Keyword::Else)) {
+                    self.bump();
+                    self.block()?
+                } else {
+                    Com::Skip
+                };
+                Ok(Com::if_then_else(cond, then_branch, else_branch))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                self.expect(&TokenKind::Assign, "`:=`")?;
+                let e = self.aexp()?;
+                self.expect(&TokenKind::Semi, "`;`")?;
+                Ok(Com::Assign(TempVar::new(name), e))
+            }
+            other => self.error(format!("expected statement, found {other:?}")),
+        }
+    }
+
+    fn obj_name(&mut self) -> Result<ObjId, ParseError> {
+        let base = self.ident("object name")?;
+        if matches!(self.peek(), TokenKind::LBracket) {
+            self.bump();
+            let index = match self.bump() {
+                TokenKind::Int(n) => n,
+                other => return self.error(format!("expected array index, found {other:?}")),
+            };
+            self.expect(&TokenKind::RBracket, "`]`")?;
+            Ok(ObjId::new(format!("{base}[{index}]")))
+        } else {
+            Ok(ObjId::new(base))
+        }
+    }
+
+    fn aexp(&mut self) -> Result<AExp, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            match self.peek() {
+                TokenKind::Plus => {
+                    self.bump();
+                    lhs = lhs.add(self.term()?);
+                }
+                TokenKind::Minus => {
+                    self.bump();
+                    lhs = lhs.sub(self.term()?);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<AExp, ParseError> {
+        let mut lhs = self.factor()?;
+        while matches!(self.peek(), TokenKind::Star) {
+            self.bump();
+            lhs = lhs.mul(self.factor()?);
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<AExp, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Int(n) => {
+                self.bump();
+                Ok(AExp::Const(n))
+            }
+            TokenKind::Minus => {
+                self.bump();
+                // Fold a literal sign into the constant so that `-1` parses
+                // to the same AST the builder produces (`Const(-1)`).
+                if let TokenKind::Int(n) = self.peek() {
+                    let n = *n;
+                    self.bump();
+                    return Ok(AExp::Const(-n));
+                }
+                Ok(self.factor()?.neg())
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.aexp()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            TokenKind::Keyword(Keyword::Read) => {
+                self.bump();
+                self.expect(&TokenKind::LParen, "`(`")?;
+                let obj = self.obj_name()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(AExp::Read(obj))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                let pid = ParamId::new(&name);
+                if self.params.contains(&pid) {
+                    Ok(AExp::Param(pid))
+                } else {
+                    Ok(AExp::Var(TempVar::new(name)))
+                }
+            }
+            other => self.error(format!("expected expression, found {other:?}")),
+        }
+    }
+
+    fn bexp(&mut self) -> Result<BExp, ParseError> {
+        let mut lhs = self.bterm()?;
+        while matches!(self.peek(), TokenKind::OrOr) {
+            self.bump();
+            lhs = lhs.or(self.bterm()?);
+        }
+        Ok(lhs)
+    }
+
+    fn bterm(&mut self) -> Result<BExp, ParseError> {
+        let mut lhs = self.bfactor()?;
+        while matches!(self.peek(), TokenKind::AndAnd) {
+            self.bump();
+            lhs = lhs.and(self.bfactor()?);
+        }
+        Ok(lhs)
+    }
+
+    fn bfactor(&mut self) -> Result<BExp, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Bang => {
+                self.bump();
+                Ok(self.bfactor()?.not())
+            }
+            TokenKind::Keyword(Keyword::True) => {
+                self.bump();
+                Ok(BExp::True)
+            }
+            TokenKind::Keyword(Keyword::False) => {
+                self.bump();
+                Ok(BExp::False)
+            }
+            TokenKind::LParen => {
+                // `(` can start either a parenthesized boolean expression or
+                // the left operand of a comparison; backtrack if the boolean
+                // reading does not pan out.
+                let saved = self.pos;
+                self.bump();
+                if let Ok(inner) = self.bexp() {
+                    if matches!(self.peek(), TokenKind::RParen) {
+                        let after_rparen = self.tokens[self.pos + 1].kind.clone();
+                        let is_arith_continuation = matches!(
+                            after_rparen,
+                            TokenKind::Plus
+                                | TokenKind::Minus
+                                | TokenKind::Star
+                                | TokenKind::Lt
+                                | TokenKind::Le
+                                | TokenKind::Gt
+                                | TokenKind::Ge
+                                | TokenKind::Eq
+                                | TokenKind::Ne
+                        );
+                        if !is_arith_continuation {
+                            self.bump();
+                            return Ok(inner);
+                        }
+                    }
+                }
+                self.pos = saved;
+                self.comparison()
+            }
+            _ => self.comparison(),
+        }
+    }
+
+    fn comparison(&mut self) -> Result<BExp, ParseError> {
+        let lhs = self.aexp()?;
+        let op = self.bump();
+        let make = |l: AExp, r: AExp, op: CmpOp| BExp::Cmp(Box::new(l), op, Box::new(r));
+        match op {
+            TokenKind::Lt => Ok(make(lhs, self.aexp()?, CmpOp::Lt)),
+            TokenKind::Le => Ok(make(lhs, self.aexp()?, CmpOp::Le)),
+            TokenKind::Eq => Ok(make(lhs, self.aexp()?, CmpOp::Eq)),
+            TokenKind::Gt => Ok(lhs.gt(self.aexp()?)),
+            TokenKind::Ge => Ok(lhs.ge(self.aexp()?)),
+            TokenKind::Ne => Ok(lhs.ne(self.aexp()?)),
+            other => self.error(format!("expected comparison operator, found {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use crate::eval::Evaluator;
+    use crate::programs;
+
+    const T1_SRC: &str = r#"
+        transaction T1() {
+          xh := read(x);
+          yh := read(y);
+          if (xh + yh < 10) then {
+            write(x = xh + 1);
+          } else {
+            write(x = xh - 1);
+          }
+        }
+    "#;
+
+    #[test]
+    fn parses_t1_equal_to_builder_version() {
+        let parsed = parse_transaction(T1_SRC).unwrap();
+        assert_eq!(parsed, programs::t1());
+    }
+
+    #[test]
+    fn round_trips_through_pretty_printer() {
+        for txn in [
+            programs::t1(),
+            programs::t2(),
+            programs::t3(),
+            programs::t4(),
+            programs::remote_write_example(),
+        ] {
+            let printed = crate::pretty::transaction_to_string(&txn);
+            let reparsed = parse_transaction(&printed)
+                .unwrap_or_else(|e| panic!("failed to reparse {}:\n{printed}\n{e}", txn.name));
+            // Names with punctuation are normalised by the lexer, so compare
+            // bodies and parameter lists only.
+            assert_eq!(reparsed.params, txn.params, "params of {}", txn.name);
+            assert_eq!(reparsed.body, txn.body, "body of {}", txn.name);
+        }
+    }
+
+    #[test]
+    fn parameters_resolve_to_params_not_temps() {
+        let src = r#"
+            transaction pay(amount) {
+              bal := read(balance);
+              write(balance = bal - amount);
+            }
+        "#;
+        let txn = parse_transaction(src).unwrap();
+        assert_eq!(txn.params.len(), 1);
+        let db = Database::from_pairs([("balance", 100)]);
+        let out = Evaluator::eval(&txn, &db, &[30]).unwrap();
+        assert_eq!(out.database.get(&"balance".into()), 70);
+    }
+
+    #[test]
+    fn parses_boolean_operators_and_comparisons() {
+        let src = r#"
+            transaction t() {
+              a := read(x);
+              if (a >= 3 && !(a = 5) || a < 0) then {
+                print(a);
+              }
+            }
+        "#;
+        let txn = parse_transaction(src).unwrap();
+        let run = |x: i64| {
+            Evaluator::eval(&txn, &Database::from_pairs([("x", x)]), &[])
+                .unwrap()
+                .log
+                .len()
+        };
+        assert_eq!(run(3), 1);
+        assert_eq!(run(5), 0);
+        assert_eq!(run(-1), 1);
+        assert_eq!(run(1), 0);
+    }
+
+    #[test]
+    fn parses_parenthesized_boolean_groups() {
+        let src = r#"
+            transaction t() {
+              a := read(x);
+              if ((a < 1 || a > 9) && (a + 1) < 100) then {
+                print(1);
+              }
+            }
+        "#;
+        let txn = parse_transaction(src).unwrap();
+        let run = |x: i64| {
+            Evaluator::eval(&txn, &Database::from_pairs([("x", x)]), &[])
+                .unwrap()
+                .log
+                .len()
+        };
+        assert_eq!(run(0), 1);
+        assert_eq!(run(5), 0);
+        assert_eq!(run(10), 1);
+    }
+
+    #[test]
+    fn parses_array_indexed_objects() {
+        let src = r#"
+            transaction t() {
+              q := read(stock[7]);
+              write(stock[7] = q - 1);
+            }
+        "#;
+        let txn = parse_transaction(src).unwrap();
+        let db = Database::from_pairs([("stock[7]", 4)]);
+        let out = Evaluator::eval(&txn, &db, &[]).unwrap();
+        assert_eq!(out.database.get(&"stock[7]".into()), 3);
+    }
+
+    #[test]
+    fn program_with_multiple_transactions() {
+        let src = format!("{T1_SRC}\n transaction T0() {{ skip; }}");
+        let txns = parse_program(&src).unwrap();
+        assert_eq!(txns.len(), 2);
+        assert_eq!(txns[1].name, "T0");
+        assert_eq!(txns[1].body, Com::Skip);
+    }
+
+    #[test]
+    fn error_reports_offset_and_message() {
+        let err = parse_transaction("transaction t() { write(x 1); }").unwrap_err();
+        assert!(err.message.contains("expected `=`"), "{err}");
+        assert!(err.offset > 0);
+    }
+
+    #[test]
+    fn missing_semicolon_is_rejected() {
+        assert!(parse_transaction("transaction t() { skip }").is_err());
+    }
+
+    #[test]
+    fn parse_transaction_rejects_multiple() {
+        let src = "transaction a() { skip; } transaction b() { skip; }";
+        assert!(parse_transaction(src).is_err());
+        assert_eq!(parse_program(src).unwrap().len(), 2);
+    }
+}

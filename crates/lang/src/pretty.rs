@@ -1,0 +1,230 @@
+//! Pretty printing for `L` syntax trees.
+//!
+//! The output follows the concrete syntax accepted by [`crate::parser`], so
+//! `parse(print(t)) == t` (round-tripping is exercised by property tests).
+
+use std::fmt::Write;
+
+use crate::ast::{AExp, BExp, Com, Transaction};
+
+/// Renders an arithmetic expression.
+pub fn aexp_to_string(e: &AExp) -> String {
+    let mut s = String::new();
+    write_aexp(&mut s, e, 0);
+    s
+}
+
+/// Renders a boolean expression.
+pub fn bexp_to_string(b: &BExp) -> String {
+    let mut s = String::new();
+    write_bexp(&mut s, b, 0);
+    s
+}
+
+/// Renders a command with indentation.
+pub fn com_to_string(c: &Com) -> String {
+    let mut s = String::new();
+    write_com(&mut s, c, 1);
+    s
+}
+
+/// Renders an entire transaction in the concrete syntax.
+pub fn transaction_to_string(t: &Transaction) -> String {
+    let mut s = String::new();
+    let params = t
+        .params
+        .iter()
+        .map(|p| p.as_str())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(s, "transaction {}({}) {{", t.name, params);
+    write_com(&mut s, &t.body, 1);
+    s.push_str("}\n");
+    s
+}
+
+// Precedence: 0 = additive, 1 = multiplicative, 2 = unary/atom
+fn write_aexp(out: &mut String, e: &AExp, prec: u8) {
+    match e {
+        AExp::Const(n) => {
+            let _ = write!(out, "{n}");
+        }
+        AExp::Param(p) => {
+            let _ = write!(out, "{p}");
+        }
+        AExp::Var(v) => {
+            let _ = write!(out, "{v}");
+        }
+        AExp::Read(x) => {
+            let _ = write!(out, "read({x})");
+        }
+        AExp::Add(a, b) => {
+            let needs_parens = prec > 0;
+            if needs_parens {
+                out.push('(');
+            }
+            write_aexp(out, a, 0);
+            // Render `a + (-b)` as `a - b` for readability.
+            if let AExp::Neg(inner) = b.as_ref() {
+                out.push_str(" - ");
+                write_aexp(out, inner, 1);
+            } else {
+                out.push_str(" + ");
+                write_aexp(out, b, 1);
+            }
+            if needs_parens {
+                out.push(')');
+            }
+        }
+        AExp::Mul(a, b) => {
+            let needs_parens = prec > 1;
+            if needs_parens {
+                out.push('(');
+            }
+            write_aexp(out, a, 1);
+            out.push_str(" * ");
+            write_aexp(out, b, 2);
+            if needs_parens {
+                out.push(')');
+            }
+        }
+        AExp::Neg(a) => {
+            out.push('-');
+            write_aexp(out, a, 2);
+        }
+    }
+}
+
+fn write_bexp(out: &mut String, b: &BExp, prec: u8) {
+    match b {
+        BExp::True => out.push_str("true"),
+        BExp::False => out.push_str("false"),
+        BExp::Cmp(a, op, c) => {
+            write_aexp(out, a, 0);
+            let _ = write!(out, " {} ", op.symbol());
+            write_aexp(out, c, 0);
+        }
+        BExp::And(a, c) => {
+            let needs_parens = prec > 0;
+            if needs_parens {
+                out.push('(');
+            }
+            write_bexp(out, a, 1);
+            out.push_str(" && ");
+            write_bexp(out, c, 1);
+            if needs_parens {
+                out.push(')');
+            }
+        }
+        BExp::Not(a) => {
+            out.push_str("!(");
+            write_bexp(out, a, 0);
+            out.push(')');
+        }
+    }
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_com(out: &mut String, c: &Com, level: usize) {
+    match c {
+        Com::Skip => {
+            indent(out, level);
+            out.push_str("skip;\n");
+        }
+        Com::Assign(v, e) => {
+            indent(out, level);
+            let _ = write!(out, "{v} := ");
+            write_aexp(out, e, 0);
+            out.push_str(";\n");
+        }
+        Com::Write(x, e) => {
+            indent(out, level);
+            let _ = write!(out, "write({x} = ");
+            write_aexp(out, e, 0);
+            out.push_str(");\n");
+        }
+        Com::Print(e) => {
+            indent(out, level);
+            out.push_str("print(");
+            write_aexp(out, e, 0);
+            out.push_str(");\n");
+        }
+        Com::Seq(a, b) => {
+            write_com(out, a, level);
+            write_com(out, b, level);
+        }
+        Com::If(cond, t, e) => {
+            indent(out, level);
+            out.push_str("if (");
+            write_bexp(out, cond, 0);
+            out.push_str(") then {\n");
+            write_com(out, t, level + 1);
+            indent(out, level);
+            if matches!(e.as_ref(), Com::Skip) {
+                out.push_str("}\n");
+            } else {
+                out.push_str("} else {\n");
+                write_com(out, e, level + 1);
+                indent(out, level);
+                out.push_str("}\n");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{AExp, Com};
+    use crate::ids::{ObjId, TempVar};
+
+    #[test]
+    fn renders_sub_and_comparisons() {
+        let e = AExp::read("x").sub(AExp::Const(1));
+        assert_eq!(aexp_to_string(&e), "read(x) - 1");
+        let b = AExp::read("x").ge(AExp::Const(0));
+        assert_eq!(bexp_to_string(&b), "!(read(x) < 0)");
+    }
+
+    #[test]
+    fn renders_precedence_with_parentheses() {
+        // (x + 1) * 2
+        let e = AExp::read("x").add(AExp::Const(1)).mul(AExp::Const(2));
+        assert_eq!(aexp_to_string(&e), "(read(x) + 1) * 2");
+        // x + 1 * 2 — no parens needed
+        let e2 = AExp::read("x").add(AExp::Const(1).mul(AExp::Const(2)));
+        assert_eq!(aexp_to_string(&e2), "read(x) + 1 * 2");
+    }
+
+    #[test]
+    fn renders_transaction_t1() {
+        let t1 = crate::programs::t1();
+        let s = transaction_to_string(&t1);
+        assert!(s.contains("transaction T1()"));
+        assert!(s.contains("if (xh + yh < 10) then {"));
+        assert!(s.contains("write(x = xh + 1);"));
+        assert!(s.contains("} else {"));
+    }
+
+    #[test]
+    fn skip_else_branch_is_elided() {
+        let c = Com::if_then_else(
+            crate::ast::BExp::True,
+            Com::Assign(TempVar::new("t"), AExp::Const(1)),
+            Com::Skip,
+        );
+        let s = com_to_string(&c);
+        assert!(!s.contains("else"));
+    }
+
+    #[test]
+    fn write_command_rendering() {
+        let c = Com::Write(ObjId::new("y"), AExp::Const(3).neg());
+        assert_eq!(com_to_string(&c), "  write(y = -3);\n");
+    }
+}

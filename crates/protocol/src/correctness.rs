@@ -1,0 +1,176 @@
+//! The observational-equivalence oracle (Theorem 3.8).
+//!
+//! Even though transactions are permitted to operate on inconsistent
+//! (stale) data, an external observer must not be able to distinguish the
+//! homeostasis execution from a serial execution of the same transactions on
+//! consistent data: every transaction must produce the same log, and the
+//! final database must be the same. This module replays a cluster's
+//! committed history serially and performs exactly that comparison; the
+//! integration and property tests run it after every kind of schedule.
+
+use homeo_lang::database::Database;
+use homeo_lang::eval::Evaluator;
+
+use crate::round::HomeostasisCluster;
+
+/// The result of an equivalence check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EquivalenceResult {
+    /// The protocol execution is observationally equivalent to the serial
+    /// replay.
+    Equivalent,
+    /// The final databases differ (the listed objects disagree).
+    DatabaseMismatch(Vec<String>),
+    /// Some transaction's log differs from its serial counterpart.
+    LogMismatch {
+        /// Position in the committed history.
+        index: usize,
+        /// Log produced by the protocol.
+        protocol_log: Vec<i64>,
+        /// Log produced by the serial replay.
+        serial_log: Vec<i64>,
+    },
+}
+
+impl EquivalenceResult {
+    /// True when equivalent.
+    pub fn is_equivalent(&self) -> bool {
+        matches!(self, EquivalenceResult::Equivalent)
+    }
+}
+
+/// Replays the cluster's current-round history serially, starting from the
+/// round-start database, in the total order recorded by the protocol
+/// (which respects every per-site order), and compares logs and the final
+/// database with the cluster's authoritative global state.
+pub fn verify_round(cluster: &HomeostasisCluster) -> EquivalenceResult {
+    let mut db: Database = cluster.round_start().clone();
+    for (index, record) in cluster.round_history().iter().enumerate() {
+        let txn = &cluster.transactions()[record.txn_index];
+        let out = match Evaluator::eval(txn, &db, &[]) {
+            Ok(o) => o,
+            Err(_) => {
+                return EquivalenceResult::LogMismatch {
+                    index,
+                    protocol_log: record.log.clone(),
+                    serial_log: Vec::new(),
+                }
+            }
+        };
+        if out.log != record.log {
+            return EquivalenceResult::LogMismatch {
+                index,
+                protocol_log: record.log.clone(),
+                serial_log: out.log,
+            };
+        }
+        db = out.database;
+    }
+    let actual = cluster.global_database();
+    if actual != db {
+        let diff = actual
+            .diff(&db)
+            .into_iter()
+            .map(|o| o.as_str().to_string())
+            .collect();
+        return EquivalenceResult::DatabaseMismatch(diff);
+    }
+    EquivalenceResult::Equivalent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Loc;
+    use crate::optimizer::OptimizerConfig;
+    use homeo_lang::programs;
+    use homeo_sim::DetRng;
+
+    fn cluster(optimizer: Option<OptimizerConfig>, x: i64, y: i64) -> HomeostasisCluster {
+        HomeostasisCluster::new(
+            vec![programs::t1(), programs::t2()],
+            Loc::from_pairs([("x", 0usize), ("y", 1usize)]),
+            2,
+            Database::from_pairs([("x", x), ("y", y)]),
+            optimizer,
+        )
+    }
+
+    #[test]
+    fn alternating_schedule_is_equivalent() {
+        let mut c = cluster(None, 10, 13);
+        for i in 0..20 {
+            c.execute(i % 2).unwrap();
+            assert!(verify_round(&c).is_equivalent(), "after step {i}");
+        }
+    }
+
+    #[test]
+    fn random_schedules_are_equivalent_with_and_without_the_optimizer() {
+        for optimizer in [
+            None,
+            Some(OptimizerConfig {
+                lookahead: 8,
+                futures: 2,
+                seed: 11,
+            }),
+        ] {
+            let mut c = cluster(optimizer, 15, 2);
+            let mut rng = DetRng::seed_from(99);
+            for _ in 0..40 {
+                let t = rng.index(2);
+                c.execute(t).unwrap();
+            }
+            let result = verify_round(&c);
+            assert!(result.is_equivalent(), "{result:?}");
+        }
+    }
+
+    #[test]
+    fn equivalence_holds_across_boundary_crossings() {
+        // Start exactly at the x + y = 10 and 20 boundaries so both branch
+        // changes are exercised.
+        for (x, y) in [(5, 5), (10, 10), (0, 20), (19, 0)] {
+            let mut c = cluster(None, x, y);
+            for i in 0..30 {
+                c.execute(i % 2).unwrap();
+            }
+            assert!(verify_round(&c).is_equivalent(), "start ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn three_transaction_workload_with_shared_objects() {
+        use homeo_lang::builder::*;
+        // A third transaction on a third site reads x and y and writes z.
+        let t3 = homeo_lang::Transaction::simple(
+            "Observer",
+            seq([
+                assign("a", read("x")),
+                assign("b", read("y")),
+                ite(
+                    var("a").add(var("b")).ge(num(15)),
+                    write("z", num(1)),
+                    write("z", num(0)),
+                ),
+                print(read("z")),
+            ]),
+        );
+        let loc = Loc::from_pairs([("x", 0usize), ("y", 1usize), ("z", 2usize)]);
+        let db = Database::from_pairs([("x", 10), ("y", 13)]);
+        let mut c = HomeostasisCluster::new(
+            vec![programs::t1(), programs::t2(), t3],
+            loc,
+            3,
+            db,
+            None,
+        );
+        let mut rng = DetRng::seed_from(5);
+        for _ in 0..45 {
+            let t = rng.index(3);
+            c.execute(t).unwrap();
+            let result = verify_round(&c);
+            assert!(result.is_equivalent(), "{result:?}");
+        }
+    }
+}

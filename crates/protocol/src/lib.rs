@@ -1,0 +1,52 @@
+//! # homeo-protocol
+//!
+//! The homeostasis protocol (Sections 3–5 of *The Homeostasis Protocol:
+//! Avoiding Transaction Coordination Through Program Analysis*, SIGMOD 2015).
+//!
+//! The protocol proceeds in rounds of three phases:
+//!
+//! 1. **treaty generation** — from the joint symbolic table of the workload,
+//!    pick the row ψ satisfied by the current database, preprocess it into a
+//!    conjunction of linear constraints, split it into per-site local treaty
+//!    templates with configuration variables, and instantiate them (either
+//!    with the always-valid default of Theorem 4.3 or via the
+//!    workload-driven MaxSMT optimizer of Algorithm 1);
+//! 2. **normal execution** — each site runs transactions locally, checking
+//!    its local treaty before commit; no inter-site communication happens as
+//!    long as the treaties hold;
+//! 3. **cleanup** — when a transaction would violate the treaty it is
+//!    aborted, sites synchronize their updated objects, the offending
+//!    transaction is re-run everywhere, and a new round begins.
+//!
+//! Correctness is observational equivalence to a serial execution
+//! (Theorem 3.8); [`correctness`] provides that oracle as executable code and
+//! the integration tests exercise it continuously.
+//!
+//! Two execution paths are provided:
+//!
+//! * [`round`] — the fully general protocol over an arbitrary set of `L`
+//!   transactions (used by the examples and the correctness tests);
+//! * [`replicated`] — the scalable per-object path used by the paper's
+//!   evaluation workloads (replicated counters with `q ≥ threshold`
+//!   treaties, per Appendix B + E), built on the same template and optimizer
+//!   machinery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod correctness;
+pub mod exec;
+pub mod lrslice;
+pub mod model;
+pub mod optimizer;
+pub mod remote_writes;
+pub mod replicated;
+pub mod round;
+pub mod templates;
+pub mod treaty;
+
+pub use model::{DistributedDb, Loc, SiteId};
+pub use optimizer::{OptimizerConfig, WorkloadModel};
+pub use replicated::{ReplicatedCounters, ReplicatedMode, ReplicatedOutcome};
+pub use round::{HomeostasisCluster, TxnOutcome};
+pub use treaty::{GlobalTreaty, LocalTreaty, TreatyTable};

@@ -1,0 +1,165 @@
+//! Local-remote slices (Definition 3.4).
+//!
+//! An LR-slice `(L, R)` for a transaction `T` is a pair of sets of local and
+//! remote value vectors such that the observable behaviour of `T` (its local
+//! writes and its log) does not depend on which `r ∈ R` the remote objects
+//! hold. A valid global treaty is exactly one whose projections form an
+//! LR-slice for every transaction (Definition 3.7); this module provides an
+//! executable check used by tests, examples and the treaty validator on
+//! small domains.
+
+use homeo_lang::ast::Transaction;
+use homeo_lang::database::Database;
+use homeo_lang::eval::Evaluator;
+use homeo_lang::ids::ObjId;
+
+use crate::model::{observationally_equivalent, Loc, SiteId};
+
+/// A concrete assignment of values to a fixed list of objects.
+pub type ValueVector = Vec<i64>;
+
+/// Builds a database from local objects/values plus remote objects/values.
+pub fn compose_db(
+    local_objs: &[ObjId],
+    local_vals: &ValueVector,
+    remote_objs: &[ObjId],
+    remote_vals: &ValueVector,
+) -> Database {
+    let mut db = Database::new();
+    for (o, v) in local_objs.iter().zip(local_vals) {
+        db.set(o.clone(), *v);
+    }
+    for (o, v) in remote_objs.iter().zip(remote_vals) {
+        db.set(o.clone(), *v);
+    }
+    db
+}
+
+/// Checks Definition 3.4 exhaustively: for every `l ∈ L` and every pair
+/// `r, r' ∈ R`, `Eval(T,(l,r)) ≡ Eval(T,(l,r'))`.
+///
+/// `args` are the transaction's parameter values (the check is per concrete
+/// invocation). Evaluation errors (e.g. overflow) are treated as
+/// inequivalence.
+pub fn is_lr_slice(
+    txn: &Transaction,
+    args: &[i64],
+    loc: &Loc,
+    site: SiteId,
+    local_objs: &[ObjId],
+    local_set: &[ValueVector],
+    remote_objs: &[ObjId],
+    remote_set: &[ValueVector],
+) -> bool {
+    for l in local_set {
+        let mut reference: Option<(Database, Vec<i64>)> = None;
+        for r in remote_set {
+            let db = compose_db(local_objs, l, remote_objs, r);
+            let out = match Evaluator::eval(txn, &db, args) {
+                Ok(o) => o,
+                Err(_) => return false,
+            };
+            match &reference {
+                None => reference = Some((out.database, out.log)),
+                Some((ref_db, ref_log)) => {
+                    if !observationally_equivalent(
+                        loc,
+                        site,
+                        (ref_db, ref_log),
+                        (&out.database, &out.log),
+                    ) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homeo_lang::programs;
+
+    fn loc_t4() -> Loc {
+        // y and z local to site 0, x remote (site 1).
+        Loc::from_pairs([("y", 0usize), ("z", 0usize), ("x", 1usize)])
+    }
+
+    #[test]
+    fn example_3_5_first_slice_holds() {
+        // ({1}, {11, 12, 13}) is an LR-slice for T4.
+        let txn = programs::t4();
+        assert!(is_lr_slice(
+            &txn,
+            &[],
+            &loc_t4(),
+            0,
+            &[ObjId::new("y")],
+            &[vec![1]],
+            &[ObjId::new("x")],
+            &[vec![11], vec![12], vec![13]],
+        ));
+    }
+
+    #[test]
+    fn example_3_5_third_slice_holds() {
+        // ({2,3,4}, {0,1,2,3}) is an LR-slice: with y ≠ 1 the threshold is
+        // 100, and all of 0..3 are below it.
+        let txn = programs::t4();
+        assert!(is_lr_slice(
+            &txn,
+            &[],
+            &loc_t4(),
+            0,
+            &[ObjId::new("y")],
+            &[vec![2], vec![3], vec![4]],
+            &[ObjId::new("x")],
+            &[vec![0], vec![1], vec![2], vec![3]],
+        ));
+    }
+
+    #[test]
+    fn crossing_the_threshold_breaks_the_slice() {
+        // With y = 1 the threshold is 10, so {5, 15} is not a valid remote set.
+        let txn = programs::t4();
+        assert!(!is_lr_slice(
+            &txn,
+            &[],
+            &loc_t4(),
+            0,
+            &[ObjId::new("y")],
+            &[vec![1]],
+            &[ObjId::new("x")],
+            &[vec![5], vec![15]],
+        ));
+    }
+
+    #[test]
+    fn t3_slice_requires_sign_stability() {
+        // T3 writes y depending on sign(x): any all-positive remote set works.
+        let txn = programs::t3();
+        let loc = Loc::from_pairs([("y", 0usize), ("x", 1usize)]);
+        assert!(is_lr_slice(
+            &txn,
+            &[],
+            &loc,
+            0,
+            &[ObjId::new("y")],
+            &[vec![0], vec![5]],
+            &[ObjId::new("x")],
+            &[vec![1], vec![2], vec![100]],
+        ));
+        assert!(!is_lr_slice(
+            &txn,
+            &[],
+            &loc,
+            0,
+            &[ObjId::new("y")],
+            &[vec![0]],
+            &[ObjId::new("x")],
+            &[vec![1], vec![0]],
+        ));
+    }
+}

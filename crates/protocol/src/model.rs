@@ -1,0 +1,202 @@
+//! The distributed system model (Section 3.1).
+//!
+//! A distributed database is a pair `⟨D, Loc⟩` where `Loc : Obj → {1..K}`
+//! maps every object to the site that stores it. Each transaction runs on a
+//! particular site; under Assumption 3.1 all its writes target objects local
+//! to that site (the remote-write transformation of Appendix B makes this
+//! hold for replicated workloads).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use homeo_lang::ast::Transaction;
+use homeo_lang::database::Database;
+use homeo_lang::ids::ObjId;
+
+/// Site identifiers: `0..K`.
+pub type SiteId = usize;
+
+/// The object-location map `Loc`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Loc {
+    map: BTreeMap<ObjId, SiteId>,
+    default_site: Option<SiteId>,
+}
+
+impl Loc {
+    /// An empty location map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a map from explicit pairs.
+    pub fn from_pairs<I, K>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (K, SiteId)>,
+        K: Into<ObjId>,
+    {
+        Loc {
+            map: pairs.into_iter().map(|(k, s)| (k.into(), s)).collect(),
+            default_site: None,
+        }
+    }
+
+    /// Sets the site for objects not explicitly mapped (useful for synthetic
+    /// objects introduced by transformations).
+    pub fn with_default_site(mut self, site: SiteId) -> Self {
+        self.default_site = Some(site);
+        self
+    }
+
+    /// Assigns an object to a site.
+    pub fn assign(&mut self, obj: ObjId, site: SiteId) {
+        self.map.insert(obj, site);
+    }
+
+    /// The site storing `obj`.
+    ///
+    /// # Panics
+    /// Panics when the object is unmapped and no default site is configured.
+    pub fn site_of(&self, obj: &ObjId) -> SiteId {
+        self.map
+            .get(obj)
+            .copied()
+            .or(self.default_site)
+            .unwrap_or_else(|| panic!("object `{obj}` has no location"))
+    }
+
+    /// Whether `obj` is local to `site`.
+    pub fn is_local(&self, obj: &ObjId, site: SiteId) -> bool {
+        self.site_of(obj) == site
+    }
+
+    /// All explicitly mapped objects located at `site`.
+    pub fn objects_at(&self, site: SiteId) -> Vec<ObjId> {
+        self.map
+            .iter()
+            .filter(|(_, s)| **s == site)
+            .map(|(o, _)| o.clone())
+            .collect()
+    }
+
+    /// The number of distinct sites mentioned.
+    pub fn site_count(&self) -> usize {
+        self.map
+            .values()
+            .copied()
+            .chain(self.default_site)
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(0)
+    }
+
+    /// Checks Assumption 3.1 for a transaction running at `site`: every
+    /// object it may write is local.
+    pub fn all_writes_local(&self, txn: &Transaction, site: SiteId) -> bool {
+        txn.write_set().iter().all(|o| self.is_local(o, site))
+    }
+}
+
+/// A distributed database `⟨D, Loc⟩`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DistributedDb {
+    /// The logical global database.
+    pub db: Database,
+    /// The location map.
+    pub loc: Loc,
+}
+
+impl DistributedDb {
+    /// Creates a distributed database.
+    pub fn new(db: Database, loc: Loc) -> Self {
+        DistributedDb { db, loc }
+    }
+
+    /// The projection `Π_i(D)`: the part of the database stored at `site`.
+    pub fn local_part(&self, site: SiteId) -> Database {
+        self.db.project(|o| self.loc.is_local(o, site))
+    }
+
+    /// The part of the database *not* stored at `site`.
+    pub fn remote_part(&self, site: SiteId) -> Database {
+        self.db.project(|o| !self.loc.is_local(o, site))
+    }
+}
+
+/// Observational equivalence (Definition 3.3): two outcomes are equivalent
+/// when they agree on the local objects and produce identical logs.
+pub fn observationally_equivalent(
+    loc: &Loc,
+    site: SiteId,
+    a: (&Database, &[i64]),
+    b: (&Database, &[i64]),
+) -> bool {
+    let (da, la) = a;
+    let (db, lb) = b;
+    la == lb
+        && da.project(|o| loc.is_local(o, site)) == db.project(|o| loc.is_local(o, site))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homeo_lang::programs;
+
+    fn two_site_loc() -> Loc {
+        Loc::from_pairs([("x", 0usize), ("y", 1usize)])
+    }
+
+    #[test]
+    fn site_lookup_and_locality() {
+        let loc = two_site_loc();
+        assert_eq!(loc.site_of(&"x".into()), 0);
+        assert!(loc.is_local(&"y".into(), 1));
+        assert!(!loc.is_local(&"y".into(), 0));
+        assert_eq!(loc.site_count(), 2);
+        assert_eq!(loc.objects_at(0), vec![ObjId::new("x")]);
+    }
+
+    #[test]
+    fn default_site_covers_unmapped_objects() {
+        let loc = Loc::from_pairs([("x", 0usize)]).with_default_site(1);
+        assert_eq!(loc.site_of(&"unknown".into()), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no location")]
+    fn unmapped_object_without_default_panics() {
+        two_site_loc().site_of(&"z".into());
+    }
+
+    #[test]
+    fn assumption_3_1_check() {
+        let loc = two_site_loc();
+        // T1 writes x (site 0), T2 writes y (site 1).
+        assert!(loc.all_writes_local(&programs::t1(), 0));
+        assert!(!loc.all_writes_local(&programs::t1(), 1));
+        assert!(loc.all_writes_local(&programs::t2(), 1));
+    }
+
+    #[test]
+    fn projections_split_the_database() {
+        let db = Database::from_pairs([("x", 1), ("y", 2)]);
+        let dd = DistributedDb::new(db, two_site_loc());
+        assert_eq!(dd.local_part(0), Database::from_pairs([("x", 1)]));
+        assert_eq!(dd.remote_part(0), Database::from_pairs([("y", 2)]));
+    }
+
+    #[test]
+    fn observational_equivalence_ignores_remote_differences() {
+        let loc = two_site_loc();
+        let a = Database::from_pairs([("x", 1), ("y", 5)]);
+        let b = Database::from_pairs([("x", 1), ("y", 99)]);
+        // Same local part (x) and same logs: equivalent from site 0's view.
+        assert!(observationally_equivalent(&loc, 0, (&a, &[7]), (&b, &[7])));
+        // Different logs break equivalence.
+        assert!(!observationally_equivalent(&loc, 0, (&a, &[7]), (&b, &[8])));
+        // Different local values break equivalence.
+        let c = Database::from_pairs([("x", 2), ("y", 5)]);
+        assert!(!observationally_equivalent(&loc, 0, (&a, &[]), (&c, &[])));
+    }
+}

@@ -1,0 +1,297 @@
+//! The treaty-configuration optimizer (Algorithm 1, Appendix C.2).
+//!
+//! Given the local-treaty templates for the current round, the optimizer
+//! samples `f` possible future executions of length `L` from a workload
+//! model, turns each sampled database state into a *soft* group of
+//! constraints over the configuration variables ("no local treaty is
+//! violated in this state"), adds the exact validity condition H1 and the
+//! requirement H2 (the treaties hold on the current database) as *hard*
+//! constraints, and asks the MaxSMT engine for a configuration satisfying as
+//! many soft groups as possible.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use homeo_lang::database::Database;
+use homeo_sim::DetRng;
+use homeo_solver::maxsmt::{max_feasible_subset, SoftGroup};
+use homeo_solver::VarName;
+
+use crate::templates::TreatyTemplates;
+
+/// Tunable parameters of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OptimizerConfig {
+    /// The lookahead interval `L`: length of each sampled future execution.
+    pub lookahead: usize,
+    /// The cost factor `f`: number of sampled future executions.
+    pub futures: usize,
+    /// Seed for the sampling RNG (combined with the round number by callers
+    /// that want fresh futures every round).
+    pub seed: u64,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            lookahead: 20,
+            futures: 3,
+            seed: 7,
+        }
+    }
+}
+
+/// A model of the expected future workload: one step transforms a database
+/// into the next database (by applying one sampled transaction through its
+/// symbolic table, Section C.2).
+pub trait WorkloadModel {
+    /// Applies one sampled workload step.
+    fn step(&mut self, db: &Database, rng: &mut DetRng) -> Database;
+}
+
+impl<F> WorkloadModel for F
+where
+    F: FnMut(&Database, &mut DetRng) -> Database,
+{
+    fn step(&mut self, db: &Database, rng: &mut DetRng) -> Database {
+        self(db, rng)
+    }
+}
+
+/// The result of a treaty-configuration optimization.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OptimizedConfig {
+    /// The chosen configuration (one value per configuration variable).
+    pub config: BTreeMap<VarName, i64>,
+    /// How many of the sampled states keep all local treaties satisfied.
+    pub satisfied_states: usize,
+    /// Total number of sampled states.
+    pub total_states: usize,
+    /// Time spent inside the solver, in microseconds.
+    pub solver_micros: u64,
+}
+
+/// Runs Algorithm 1.
+///
+/// Falls back to the always-valid default configuration of Theorem 4.3 when
+/// the optimizer cannot produce an integer model (which only happens on
+/// degenerate templates).
+pub fn optimize(
+    templates: &TreatyTemplates,
+    db: &Database,
+    model: &mut dyn WorkloadModel,
+    cfg: &OptimizerConfig,
+) -> OptimizedConfig {
+    let started = Instant::now();
+    let mut rng = DetRng::seed_from(cfg.seed);
+
+    // Hard constraints: H1 (validity) plus H2 (treaties hold on D).
+    let mut hard = templates.hard_constraints();
+    hard.extend(templates.soft_group_for_db(db));
+
+    // Soft groups: one per sampled future database state.
+    let mut soft: Vec<SoftGroup> = Vec::with_capacity(cfg.futures * cfg.lookahead);
+    for _ in 0..cfg.futures {
+        let mut current = db.clone();
+        for _ in 0..cfg.lookahead {
+            current = model.step(&current, &mut rng);
+            soft.push(templates.soft_group_for_db(&current));
+        }
+    }
+    let total_states = soft.len();
+
+    let default = templates.default_config(db);
+    let result = max_feasible_subset(&hard, &soft);
+    let solver_micros = started.elapsed().as_micros() as u64;
+
+    match result {
+        Some(res) => {
+            let satisfied_states = res.selected.len();
+            // Tighten the configuration: any MaxSMT model satisfies the
+            // selected soft groups, but an arbitrary model may park slack on
+            // the wrong site. Instead, give each configuration variable the
+            // tightest (smallest) upper bound demanded by the selected
+            // groups — that assignment also satisfies every selected group,
+            // and it maximises the per-site headroom actually exercised by
+            // the sampled futures.
+            let mut config = default.clone();
+            for &j in &res.selected {
+                for constraint in &soft[j] {
+                    if let Some((var, upper)) = single_var_upper_bound(constraint) {
+                        if let Some(current) = config.get_mut(&var) {
+                            *current = (*current).min(upper);
+                        }
+                    }
+                }
+            }
+            if !templates.config_is_valid(&config, db) {
+                // Fall back to the raw model, then to the default.
+                config = default.clone();
+                if let Some(model_values) = res.model {
+                    for (k, v) in model_values {
+                        if config.contains_key(&k) {
+                            config.insert(k, v);
+                        }
+                    }
+                }
+            }
+            // Never install an invalid configuration: the hard constraints
+            // make this unreachable, but the default is always safe.
+            if !templates.config_is_valid(&config, db) {
+                config = default;
+            }
+            OptimizedConfig {
+                config,
+                satisfied_states,
+                total_states,
+                solver_micros,
+            }
+        }
+        None => OptimizedConfig {
+            config: default,
+            satisfied_states: 0,
+            total_states,
+            solver_micros,
+        },
+    }
+}
+
+/// When `constraint` has the shape `1·v ≤ upper`, returns `(v, upper)`.
+fn single_var_upper_bound(
+    constraint: &homeo_solver::LinearConstraint,
+) -> Option<(VarName, i64)> {
+    use homeo_solver::CmpKind;
+    if constraint.op != CmpKind::Le && constraint.op != CmpKind::Lt {
+        return None;
+    }
+    let mut terms = constraint.expr.terms();
+    let (var, coeff) = terms.next()?;
+    if terms.next().is_some() || coeff != 1 {
+        return None;
+    }
+    let mut upper = -constraint.expr.constant_part();
+    if constraint.op == CmpKind::Lt {
+        upper -= 1;
+    }
+    Some((var.clone(), upper))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Loc;
+    use homeo_solver::{LinExpr, LinearConstraint};
+
+    /// Two sites sharing a replicated counter with base 20 and the global
+    /// treaty "sum of deltas ≥ -18" (i.e. the counter stays above 2).
+    fn counter_templates() -> (TreatyTemplates, Database) {
+        let psi = vec![LinearConstraint::ge(
+            LinExpr::var("d0").plus(&LinExpr::var("d1")),
+            LinExpr::constant(-18),
+        )];
+        let loc = Loc::from_pairs([("d0", 0usize), ("d1", 1usize)]);
+        let db = Database::new(); // deltas start at 0
+        (TreatyTemplates::generate(&psi, &loc, 2), db)
+    }
+
+    #[test]
+    fn uniform_workload_splits_the_budget_roughly_evenly() {
+        let (templates, db) = counter_templates();
+        // Model: each step one random site decrements its delta by 1.
+        let mut model = |current: &Database, rng: &mut DetRng| {
+            let mut next = current.clone();
+            let site = rng.index(2);
+            let obj = homeo_lang::ids::ObjId::new(format!("d{site}"));
+            next.add(obj, -1);
+            next
+        };
+        let cfg = OptimizerConfig {
+            lookahead: 12,
+            futures: 3,
+            seed: 5,
+        };
+        let result = optimize(&templates, &db, &mut model, &cfg);
+        assert!(templates.config_is_valid(&result.config, &db));
+        // The chosen configuration must keep the treaties satisfiable for a
+        // good fraction of sampled states (a fully lopsided split could not).
+        assert!(
+            result.satisfied_states * 3 >= result.total_states,
+            "satisfied {} of {}",
+            result.satisfied_states,
+            result.total_states
+        );
+        // Extract the per-site allowances and check both sites got room.
+        let locals = templates.local_treaties(&result.config, &db);
+        for (site, local) in locals.iter().enumerate() {
+            // Each site should tolerate at least a couple of local decrements
+            // (the default configuration would tolerate none).
+            let mut probe = db.clone();
+            probe.set(homeo_lang::ids::ObjId::new(format!("d{site}")), -2);
+            assert!(
+                local.holds_on(&probe),
+                "site {site} treaty too tight: {:?}",
+                local.constraints
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_workload_shifts_the_allocation() {
+        let (templates, db) = counter_templates();
+        // Site 0 issues 9 out of 10 decrements.
+        let mut model = |current: &Database, rng: &mut DetRng| {
+            let mut next = current.clone();
+            let site = if rng.chance(0.9) { 0 } else { 1 };
+            next.add(homeo_lang::ids::ObjId::new(format!("d{site}")), -1);
+            next
+        };
+        let cfg = OptimizerConfig {
+            lookahead: 10,
+            futures: 4,
+            seed: 9,
+        };
+        let result = optimize(&templates, &db, &mut model, &cfg);
+        assert!(templates.config_is_valid(&result.config, &db));
+        let locals = templates.local_treaties(&result.config, &db);
+        // Site 0 must tolerate more decrements than site 1.
+        let allowance = |site: usize| {
+            let mut d = 0;
+            loop {
+                let mut probe = db.clone();
+                probe.set(homeo_lang::ids::ObjId::new(format!("d{site}")), -(d + 1));
+                if !locals[site].holds_on(&probe) {
+                    return d;
+                }
+                d += 1;
+                if d > 30 {
+                    return d;
+                }
+            }
+        };
+        // The hot site's share must at least match the cold site's and cover
+        // most of the sampled burst.
+        assert!(
+            allowance(0) >= allowance(1),
+            "site0={} site1={}",
+            allowance(0),
+            allowance(1)
+        );
+        assert!(allowance(0) >= 6, "site0={}", allowance(0));
+    }
+
+    #[test]
+    fn default_is_used_when_there_is_nothing_to_optimize() {
+        let (templates, db) = counter_templates();
+        let mut model = |current: &Database, _rng: &mut DetRng| current.clone();
+        let cfg = OptimizerConfig {
+            lookahead: 0,
+            futures: 0,
+            seed: 1,
+        };
+        let result = optimize(&templates, &db, &mut model, &cfg);
+        assert_eq!(result.total_states, 0);
+        assert!(templates.config_is_valid(&result.config, &db));
+    }
+}

@@ -1,0 +1,238 @@
+//! The remote-write transformation (Appendix B).
+//!
+//! Assumption 3.1 requires every write of a transaction to be local to the
+//! site the transaction runs on. Replicated workloads violate this: a write
+//! to a replicated object is conceptually a write at every site. The
+//! transformation introduces, for each replicated object `x` and each site
+//! `i`, a fresh **delta object** `δx@i` local to site `i`, initialised to 0,
+//! and rewrites transactions running at site `i` so that
+//!
+//! * `read(x)` becomes `read(x) + Σ_j read(δx@j)` — the "real" value, and
+//! * `write(x = e)` becomes `write(δx@i = e - read(x) - Σ_{j≠i} read(δx@j))`,
+//!
+//! after which algebraic simplification removes most remote reads (e.g. a
+//! decrement becomes a purely local decrement of the site's own delta).
+//! During the protocol's cleanup/synchronization the deltas are folded back
+//! into the base object and reset to 0.
+
+use std::collections::BTreeSet;
+
+use homeo_lang::ast::{AExp, BExp, Com, Transaction};
+use homeo_lang::database::Database;
+use homeo_lang::ids::ObjId;
+
+use crate::model::{Loc, SiteId};
+
+/// The delta object for replicated object `x` at `site`.
+pub fn delta_obj(x: &ObjId, site: SiteId) -> ObjId {
+    ObjId::delta(x, site)
+}
+
+/// Rewrites a transaction that reads/writes the replicated objects in
+/// `replicated` so that it runs at `site` with purely local writes.
+pub fn transform_for_site(
+    txn: &Transaction,
+    replicated: &BTreeSet<ObjId>,
+    sites: usize,
+    site: SiteId,
+) -> Transaction {
+    let body = transform_com(&txn.body, replicated, sites, site);
+    Transaction::new(
+        format!("{}@{site}", txn.name),
+        txn.params.clone(),
+        body,
+    )
+}
+
+/// The logical read expression for a replicated object: base plus all deltas.
+pub fn logical_read(x: &ObjId, sites: usize) -> AExp {
+    let mut e = AExp::Read(x.clone());
+    for j in 0..sites {
+        e = e.add(AExp::Read(delta_obj(x, j)));
+    }
+    e
+}
+
+fn transform_aexp(e: &AExp, replicated: &BTreeSet<ObjId>, sites: usize) -> AExp {
+    match e {
+        AExp::Read(x) if replicated.contains(x) => logical_read(x, sites),
+        AExp::Const(_) | AExp::Param(_) | AExp::Var(_) | AExp::Read(_) => e.clone(),
+        AExp::Add(a, b) => AExp::Add(
+            Box::new(transform_aexp(a, replicated, sites)),
+            Box::new(transform_aexp(b, replicated, sites)),
+        ),
+        AExp::Mul(a, b) => AExp::Mul(
+            Box::new(transform_aexp(a, replicated, sites)),
+            Box::new(transform_aexp(b, replicated, sites)),
+        ),
+        AExp::Neg(a) => AExp::Neg(Box::new(transform_aexp(a, replicated, sites))),
+    }
+}
+
+fn transform_bexp(b: &BExp, replicated: &BTreeSet<ObjId>, sites: usize) -> BExp {
+    match b {
+        BExp::True | BExp::False => b.clone(),
+        BExp::Cmp(l, op, r) => BExp::Cmp(
+            Box::new(transform_aexp(l, replicated, sites)),
+            *op,
+            Box::new(transform_aexp(r, replicated, sites)),
+        ),
+        BExp::And(l, r) => BExp::And(
+            Box::new(transform_bexp(l, replicated, sites)),
+            Box::new(transform_bexp(r, replicated, sites)),
+        ),
+        BExp::Not(inner) => BExp::Not(Box::new(transform_bexp(inner, replicated, sites))),
+    }
+}
+
+fn transform_com(c: &Com, replicated: &BTreeSet<ObjId>, sites: usize, site: SiteId) -> Com {
+    match c {
+        Com::Skip => Com::Skip,
+        Com::Assign(v, e) => Com::Assign(v.clone(), transform_aexp(e, replicated, sites)),
+        Com::Print(e) => Com::Print(transform_aexp(e, replicated, sites)),
+        Com::Seq(a, b) => Com::Seq(
+            Box::new(transform_com(a, replicated, sites, site)),
+            Box::new(transform_com(b, replicated, sites, site)),
+        ),
+        Com::If(b, t, e) => Com::If(
+            transform_bexp(b, replicated, sites),
+            Box::new(transform_com(t, replicated, sites, site)),
+            Box::new(transform_com(e, replicated, sites, site)),
+        ),
+        Com::Write(x, e) if replicated.contains(x) => {
+            // write(x = e)  ⇒  write(δx@site = e' - read(x) - Σ_{j≠site} δx@j)
+            // where e' is the transformed value expression.
+            let value = transform_aexp(e, replicated, sites);
+            let mut subtract = AExp::Read(x.clone());
+            for j in 0..sites {
+                if j != site {
+                    subtract = subtract.add(AExp::Read(delta_obj(x, j)));
+                }
+            }
+            Com::Write(delta_obj(x, site), value.sub(subtract))
+        }
+        Com::Write(x, e) => Com::Write(x.clone(), transform_aexp(e, replicated, sites)),
+    }
+}
+
+/// Builds the location map for a replicated deployment: every base object is
+/// assigned to site 0 (its value only changes during synchronization, when
+/// all sites agree), and each delta object is local to its site.
+pub fn replicated_loc(replicated: &BTreeSet<ObjId>, sites: usize) -> Loc {
+    let mut loc = Loc::new().with_default_site(0);
+    for x in replicated {
+        loc.assign(x.clone(), 0);
+        for j in 0..sites {
+            loc.assign(delta_obj(x, j), j);
+        }
+    }
+    loc
+}
+
+/// Folds all deltas of the replicated objects back into the base objects and
+/// resets the deltas to 0 — the state change performed by the cleanup
+/// phase's synchronization.
+pub fn fold_deltas(db: &mut Database, replicated: &BTreeSet<ObjId>, sites: usize) {
+    for x in replicated {
+        let mut total = db.get(x);
+        for j in 0..sites {
+            let d = delta_obj(x, j);
+            total += db.get(&d);
+            db.set(d, 0);
+        }
+        db.set(x.clone(), total);
+    }
+}
+
+/// The logical (replication-aware) value of an object in a database that
+/// stores base + deltas.
+pub fn logical_value(db: &Database, x: &ObjId, sites: usize) -> i64 {
+    let mut total = db.get(x);
+    for j in 0..sites {
+        total += db.get(&delta_obj(x, j));
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homeo_lang::eval::Evaluator;
+    use homeo_lang::programs;
+
+    fn replicated_x() -> BTreeSet<ObjId> {
+        BTreeSet::from([ObjId::new("x")])
+    }
+
+    #[test]
+    fn figure_23_transformation_behaviour() {
+        // Original: decrement x when positive, else reset to 10.
+        // Transformed for site 1 of 2: writes only δx@1.
+        let txn = programs::remote_write_example();
+        let transformed = transform_for_site(&txn, &replicated_x(), 2, 1);
+        // All writes are now local delta objects.
+        let writes: Vec<String> = transformed
+            .write_set()
+            .iter()
+            .map(|o| o.to_string())
+            .collect();
+        assert_eq!(writes, vec!["δx@1"]);
+
+        // Behaviour: with x = 3 (all deltas 0), the site decrements its delta.
+        let db = Database::from_pairs([("x", 3)]);
+        let out = Evaluator::eval(&transformed, &db, &[]).unwrap();
+        assert_eq!(out.database.get(&delta_obj(&"x".into(), 1)), -1);
+        assert_eq!(logical_value(&out.database, &"x".into(), 2), 2);
+
+        // With the logical value at 0 the refill path sets it to 10.
+        let db = Database::from_pairs([("x", 2), ("δx@0", -1), ("δx@1", -1)]);
+        let out = Evaluator::eval(&transformed, &db, &[]).unwrap();
+        assert_eq!(logical_value(&out.database, &"x".into(), 2), 10);
+    }
+
+    #[test]
+    fn transformed_transactions_satisfy_assumption_3_1() {
+        let txn = programs::remote_write_example();
+        let loc = replicated_loc(&replicated_x(), 3);
+        for site in 0..3 {
+            let t = transform_for_site(&txn, &replicated_x(), 3, site);
+            assert!(loc.all_writes_local(&t, site), "site {site}");
+        }
+    }
+
+    #[test]
+    fn concurrent_site_decrements_compose_through_deltas() {
+        // Two sites each decrement once without seeing each other's delta;
+        // folding the deltas gives the serial result.
+        let txn = programs::remote_write_example();
+        let t0 = transform_for_site(&txn, &replicated_x(), 2, 0);
+        let t1 = transform_for_site(&txn, &replicated_x(), 2, 1);
+        let mut db = Database::from_pairs([("x", 10)]);
+        db = Evaluator::eval(&t0, &db, &[]).unwrap().database;
+        db = Evaluator::eval(&t1, &db, &[]).unwrap().database;
+        assert_eq!(logical_value(&db, &"x".into(), 2), 8);
+        fold_deltas(&mut db, &replicated_x(), 2);
+        assert_eq!(db.get(&"x".into()), 8);
+        assert_eq!(db.get(&delta_obj(&"x".into(), 0)), 0);
+        assert_eq!(db.get(&delta_obj(&"x".into(), 1)), 0);
+    }
+
+    #[test]
+    fn non_replicated_objects_pass_through() {
+        let txn = programs::t1(); // writes x, reads x and y
+        let replicated = BTreeSet::from([ObjId::new("y")]);
+        let t = transform_for_site(&txn, &replicated, 2, 0);
+        // x untouched by the transform, y reads expanded.
+        assert!(t.write_set().contains(&ObjId::new("x")));
+        assert!(t.read_set().contains(&ObjId::new("δy@0")));
+        assert!(t.read_set().contains(&ObjId::new("δy@1")));
+    }
+
+    #[test]
+    fn replicated_loc_places_deltas_at_their_sites() {
+        let loc = replicated_loc(&replicated_x(), 2);
+        assert_eq!(loc.site_of(&ObjId::new("x")), 0);
+        assert_eq!(loc.site_of(&delta_obj(&"x".into(), 1)), 1);
+        assert_eq!(loc.site_of(&ObjId::new("unrelated")), 0);
+    }
+}

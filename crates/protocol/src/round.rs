@@ -1,0 +1,435 @@
+//! The general homeostasis protocol over an arbitrary set of `L`
+//! transactions (Section 3.3 + Section 5).
+//!
+//! [`HomeostasisCluster`] owns one storage engine per site. During normal
+//! execution a transaction runs entirely against its own site's engine —
+//! reads of remote objects see the (possibly stale) snapshot installed at the
+//! last synchronization, which is exactly the disconnected-execution model of
+//! Section 3.2. Before committing, the site checks its local treaty on the
+//! post-state; a violation aborts the transaction and triggers the cleanup
+//! phase: synchronize, re-run the offending transaction everywhere, generate
+//! new treaties, start a new round.
+//!
+//! The cluster records the committed transactions and their logs so that the
+//! observational-equivalence oracle ([`crate::correctness`]) can replay every
+//! round serially and compare outcomes (Theorem 3.8).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use homeo_analysis::{JointSymbolicTable, SymbolicTable};
+use homeo_lang::ast::Transaction;
+use homeo_lang::database::Database;
+use homeo_lang::ids::ObjId;
+use homeo_store::Engine;
+
+use crate::exec::{run_on_engine, ExecError};
+use crate::model::{Loc, SiteId};
+use crate::optimizer::{optimize, OptimizerConfig};
+use crate::templates::{preprocess_guard, TreatyTemplates};
+use crate::treaty::TreatyTable;
+
+/// The outcome of executing one transaction through the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxnOutcome {
+    /// Whether the transaction (eventually) committed.
+    pub committed: bool,
+    /// Whether it required inter-site communication (treaty violation).
+    pub synchronized: bool,
+    /// Number of global communication rounds incurred (0 in the common case,
+    /// 2 for a treaty renegotiation: one to synchronize state, one to
+    /// distribute the new treaties).
+    pub comm_rounds: u32,
+    /// Time spent in the treaty solver, in microseconds of real time.
+    pub solver_micros: u64,
+}
+
+/// A committed transaction recorded for the correctness oracle.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommittedRecord {
+    /// The site the transaction ran on.
+    pub site: SiteId,
+    /// Index into the cluster's transaction list.
+    pub txn_index: usize,
+    /// The log it produced.
+    pub log: Vec<i64>,
+}
+
+/// Statistics kept by the cluster.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterStats {
+    /// Transactions committed without synchronization.
+    pub local_commits: u64,
+    /// Treaty violations (and therefore protocol rounds beyond the first).
+    pub violations: u64,
+    /// Transactions aborted by local concurrency control.
+    pub cc_aborts: u64,
+}
+
+/// The general homeostasis cluster.
+pub struct HomeostasisCluster {
+    transactions: Vec<Transaction>,
+    joint: JointSymbolicTable,
+    loc: Loc,
+    sites: Vec<Engine>,
+    treaties: TreatyTable,
+    /// The globally agreed database at the start of the current round.
+    round_start: Database,
+    /// History of the current round (for the correctness oracle).
+    history: Vec<CommittedRecord>,
+    /// Optimizer settings; `None` uses the Theorem 4.3 default configuration.
+    optimizer: Option<OptimizerConfig>,
+    /// Statistics.
+    pub stats: ClusterStats,
+}
+
+impl HomeostasisCluster {
+    /// Creates a cluster for a set of parameterless transactions.
+    ///
+    /// `loc` must map every object the transactions touch; each transaction
+    /// is assumed to run on the site holding the objects it writes
+    /// (Assumption 3.1 is checked).
+    pub fn new(
+        transactions: Vec<Transaction>,
+        loc: Loc,
+        sites: usize,
+        initial: Database,
+        optimizer: Option<OptimizerConfig>,
+    ) -> Self {
+        assert!(
+            transactions.iter().all(|t| t.params.is_empty()),
+            "the general cluster requires parameterless (pre-instantiated) transactions"
+        );
+        let tables: Vec<SymbolicTable> =
+            transactions.iter().map(SymbolicTable::analyze).collect();
+        let joint = JointSymbolicTable::build(&tables);
+        let engines: Vec<Engine> = (0..sites)
+            .map(|_| {
+                let e = Engine::new();
+                for (obj, value) in initial.iter() {
+                    e.poke(obj.as_str(), value);
+                }
+                e
+            })
+            .collect();
+        let mut cluster = HomeostasisCluster {
+            transactions,
+            joint,
+            loc,
+            sites: engines,
+            treaties: TreatyTable::new(sites),
+            round_start: initial,
+            history: Vec::new(),
+            optimizer,
+            stats: ClusterStats::default(),
+        };
+        cluster.negotiate_treaties();
+        cluster
+    }
+
+    /// The site a transaction runs on: the site holding its write set.
+    pub fn home_site(&self, txn_index: usize) -> SiteId {
+        let txn = &self.transactions[txn_index];
+        let writes = txn.write_set();
+        let site = writes
+            .iter()
+            .next()
+            .map(|o| self.loc.site_of(o))
+            .unwrap_or(0);
+        debug_assert!(
+            self.loc.all_writes_local(txn, site),
+            "transaction {} violates Assumption 3.1",
+            txn.name
+        );
+        site
+    }
+
+    /// The number of sites.
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// The current treaty table.
+    pub fn treaties(&self) -> &TreatyTable {
+        &self.treaties
+    }
+
+    /// The committed history of the current round.
+    pub fn round_history(&self) -> &[CommittedRecord] {
+        &self.history
+    }
+
+    /// The database the current round started from.
+    pub fn round_start(&self) -> &Database {
+        &self.round_start
+    }
+
+    /// The transaction list.
+    pub fn transactions(&self) -> &[Transaction] {
+        &self.transactions
+    }
+
+    /// The authoritative global database: each site contributes its local
+    /// objects.
+    pub fn global_database(&self) -> Database {
+        let mut db = Database::new();
+        for (site, engine) in self.sites.iter().enumerate() {
+            for (obj, value) in engine.snapshot() {
+                let id = ObjId::new(obj);
+                if self.loc.site_of(&id) == site {
+                    db.set(id, value);
+                }
+            }
+        }
+        db
+    }
+
+    /// The (possibly stale) view a given site currently has.
+    pub fn site_view(&self, site: SiteId) -> Database {
+        Database::from_pairs(self.sites[site].snapshot())
+    }
+
+    /// Executes a transaction through the protocol.
+    pub fn execute(&mut self, txn_index: usize) -> Result<TxnOutcome, ExecError> {
+        let site = self.home_site(txn_index);
+        let txn = self.transactions[txn_index].clone();
+        let engine = &self.sites[site];
+        let result = run_on_engine(engine, &txn, &[])?;
+        if !result.committed {
+            self.stats.cc_aborts += 1;
+            return Ok(TxnOutcome {
+                committed: false,
+                synchronized: false,
+                comm_rounds: 0,
+                solver_micros: 0,
+            });
+        }
+        // Pre-commit check (performed here right after the engine commit;
+        // the engine state is rolled back via compensating pokes when the
+        // treaty is violated, which is equivalent to aborting before commit
+        // since the protocol immediately re-runs the transaction after
+        // synchronization).
+        let view = self.site_view(site);
+        if self.treaties.local(site).holds_on(&view) {
+            self.stats.local_commits += 1;
+            self.history.push(CommittedRecord {
+                site,
+                txn_index,
+                log: result.log,
+            });
+            return Ok(TxnOutcome {
+                committed: true,
+                synchronized: false,
+                comm_rounds: 0,
+                solver_micros: 0,
+            });
+        }
+
+        // Treaty violation: undo the offending writes locally, then run the
+        // cleanup phase.
+        for (obj, _) in &result.writes {
+            let previous = if self.loc.site_of(obj) == site {
+                // Local objects: recover the pre-transaction value from the
+                // round-start snapshot plus committed history (simplest: take
+                // it from the authoritative pre-violation global database).
+                self.global_database_excluding(site, obj)
+            } else {
+                self.site_view(site).get(obj)
+            };
+            self.sites[site].poke(obj.as_str(), previous);
+        }
+        self.stats.violations += 1;
+        let solver_micros = self.cleanup(txn_index);
+        self.stats.local_commits += 1;
+        Ok(TxnOutcome {
+            committed: true,
+            synchronized: true,
+            comm_rounds: 2,
+            solver_micros,
+        })
+    }
+
+    /// Recovers the committed value of a local object at `site` before the
+    /// violating transaction wrote it: replay the round history for that
+    /// object on top of the round-start state.
+    fn global_database_excluding(&self, site: SiteId, obj: &ObjId) -> i64 {
+        // The round history already reflects all committed writes; the
+        // violating transaction's writes were staged on the engine only. The
+        // committed value is whatever the engine held before — which equals
+        // the value obtained by replaying committed transactions. Since the
+        // engine has already been overwritten, recompute by serial replay.
+        let mut db = self.round_start.clone();
+        for record in &self.history {
+            if record.site != site {
+                continue;
+            }
+            let txn = &self.transactions[record.txn_index];
+            // Replay against the site view semantics: local objects from db,
+            // remote objects from the round-start snapshot (they have not
+            // changed locally).
+            if let Ok(out) = homeo_lang::Evaluator::eval(txn, &db, &[]) {
+                db = out.database;
+            }
+        }
+        db.get(obj)
+    }
+
+    /// The cleanup phase: synchronize, re-run the violating transaction at
+    /// every site, and negotiate treaties for the next round. Returns the
+    /// solver time in microseconds.
+    fn cleanup(&mut self, violating_txn: usize) -> u64 {
+        // 1. Synchronize: every site broadcasts its local objects.
+        let global = self.global_database();
+        for engine in &self.sites {
+            let mut snapshot: BTreeMap<String, i64> = BTreeMap::new();
+            for (obj, value) in global.iter() {
+                snapshot.insert(obj.as_str().to_string(), value);
+            }
+            engine.install(snapshot);
+        }
+        // 2. Run the violating transaction at every site (deterministic, so
+        //    every site reaches the same state); record its log once.
+        let txn = self.transactions[violating_txn].clone();
+        let mut recorded = false;
+        for engine in self.sites.iter() {
+            if let Ok(result) = run_on_engine(engine, &txn, &[]) {
+                if !recorded && result.committed {
+                    self.history.push(CommittedRecord {
+                        site: self.home_site(violating_txn),
+                        txn_index: violating_txn,
+                        log: result.log.clone(),
+                    });
+                    recorded = true;
+                }
+            }
+        }
+        // 3. New round: the synchronized post-T' state is the new round start.
+        self.round_start = self.global_database();
+        self.history.clear();
+        self.negotiate_treaties()
+    }
+
+    /// Treaty generation for the current round-start database. Returns the
+    /// solver time in microseconds.
+    fn negotiate_treaties(&mut self) -> u64 {
+        let db = self.round_start.clone();
+        let row = match self.joint.find_row(&db) {
+            Ok(Some(row)) => row.guard.clone(),
+            _ => homeo_lang::ast::BExp::True,
+        };
+        let psi = preprocess_guard(&row, &db);
+        let templates = TreatyTemplates::generate(&psi, &self.loc, self.sites.len());
+        let (config, solver_micros) = match &self.optimizer {
+            Some(cfg) => {
+                // Workload model: pick one of the cluster's transactions
+                // uniformly at random and apply it through direct evaluation.
+                let transactions = self.transactions.clone();
+                let mut model = move |current: &Database, rng: &mut homeo_sim::DetRng| {
+                    let idx = rng.index(transactions.len());
+                    match homeo_lang::Evaluator::eval(&transactions[idx], current, &[]) {
+                        Ok(out) => out.database,
+                        Err(_) => current.clone(),
+                    }
+                };
+                let seeded = OptimizerConfig {
+                    seed: cfg.seed.wrapping_add(self.treaties.round),
+                    ..*cfg
+                };
+                let result = optimize(&templates, &db, &mut model, &seeded);
+                (result.config, result.solver_micros)
+            }
+            None => (templates.default_config(&db), 0),
+        };
+        let locals = templates.local_treaties(&config, &db);
+        debug_assert!(templates.config_is_valid(&config, &db));
+        self.treaties.install(templates.global(), locals);
+        solver_micros
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homeo_lang::programs;
+
+    fn t1_t2_cluster(optimizer: Option<OptimizerConfig>) -> HomeostasisCluster {
+        let loc = Loc::from_pairs([("x", 0usize), ("y", 1usize)]);
+        let db = Database::from_pairs([("x", 10), ("y", 13)]);
+        HomeostasisCluster::new(
+            vec![programs::t1(), programs::t2()],
+            loc,
+            2,
+            db,
+            optimizer,
+        )
+    }
+
+    #[test]
+    fn transactions_run_disconnected_until_a_violation() {
+        let mut cluster = t1_t2_cluster(Some(OptimizerConfig {
+            lookahead: 10,
+            futures: 2,
+            seed: 3,
+        }));
+        assert_eq!(cluster.home_site(0), 0);
+        assert_eq!(cluster.home_site(1), 1);
+        let mut synced = 0;
+        for _ in 0..6 {
+            let o = cluster.execute(0).unwrap();
+            assert!(o.committed);
+            if o.synchronized {
+                synced += 1;
+            }
+            let o = cluster.execute(1).unwrap();
+            assert!(o.committed);
+            if o.synchronized {
+                synced += 1;
+            }
+        }
+        // The treaty x + y ≥ 20 with (10, 13) leaves slack, so not every
+        // transaction can require synchronization.
+        assert!(synced < 12, "synced={synced}");
+        assert!(cluster.stats.local_commits > 0);
+    }
+
+    #[test]
+    fn global_state_matches_serial_execution() {
+        // Run an alternating schedule through the protocol and compare the
+        // authoritative global state with a serial execution of the same
+        // transactions — Theorem 3.8 in executable form.
+        let mut cluster = t1_t2_cluster(None);
+        let schedule = [0usize, 1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0];
+        let mut serial = Database::from_pairs([("x", 10), ("y", 13)]);
+        for &t in &schedule {
+            let out = cluster.execute(t).unwrap();
+            assert!(out.committed);
+            serial = homeo_lang::Evaluator::eval(&cluster.transactions()[t], &serial, &[])
+                .unwrap()
+                .database;
+        }
+        assert_eq!(cluster.global_database(), serial);
+    }
+
+    #[test]
+    fn violations_trigger_synchronization_and_new_rounds() {
+        let loc = Loc::from_pairs([("x", 0usize), ("y", 1usize)]);
+        // Start right at the treaty boundary so the first decrements violate.
+        let db = Database::from_pairs([("x", 10), ("y", 10)]);
+        let mut cluster =
+            HomeostasisCluster::new(vec![programs::t1(), programs::t2()], loc, 2, db, None);
+        let initial_round = cluster.treaties().round;
+        let mut saw_sync = false;
+        for _ in 0..10 {
+            let o = cluster.execute(0).unwrap();
+            if o.synchronized {
+                saw_sync = true;
+                assert_eq!(o.comm_rounds, 2);
+            }
+            cluster.execute(1).unwrap();
+        }
+        assert!(saw_sync);
+        assert!(cluster.treaties().round > initial_round);
+        assert!(cluster.stats.violations > 0);
+    }
+}

@@ -1,0 +1,420 @@
+//! Treaty preprocessing, local-treaty templates and the always-valid default
+//! configuration (Section 4.2, Theorem 4.3, Appendix C.1).
+//!
+//! Starting from the symbolic-table row ψ satisfied by the current database:
+//!
+//! 1. **preprocess** ψ into a (stronger) conjunction of linear constraints —
+//!    non-linear or disjunctive subformulas are replaced by freezing the
+//!    involved objects at their current values (Appendix C.1);
+//! 2. **generate templates**: every clause `Σ dᵢxᵢ ⋈ n` becomes, for each
+//!    site `k`, `Σ_{Loc(xᵢ)=k} dᵢxᵢ + c_k ⋈ n` with a fresh configuration
+//!    variable `c_k`;
+//! 3. instantiate the configuration variables — either with the default
+//!    assignment of Theorem 4.3 (always valid) or with values chosen by the
+//!    workload-driven optimizer (Algorithm 1, [`crate::optimizer`]).
+//!
+//! The exact validity condition (H1) for these templates reduces to linear
+//! constraints over the configuration variables (`Σ_k c_k ≥ (K-1)·n` for
+//! `≤`-clauses after normalisation, equality for `=`-clauses), which is what
+//! the optimizer hands to the MaxSMT engine as hard constraints.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use homeo_analysis::linearize::conjuncts_to_constraints;
+use homeo_lang::ast::BExp;
+use homeo_lang::database::Database;
+use homeo_lang::ids::ObjId;
+use homeo_solver::{CmpKind, LinExpr, LinearConstraint, VarName};
+
+use crate::model::Loc;
+use crate::treaty::{GlobalTreaty, LocalTreaty};
+
+/// Preprocesses a symbolic-table guard ψ into a conjunction of linear
+/// constraints that implies it, given the current database `db` (which must
+/// satisfy ψ).
+///
+/// Linearizable conjuncts pass through unchanged. Any conjunct that cannot
+/// be expressed as a single conjunction of linear constraints (non-linear
+/// arithmetic, disjunctions arising from negated conjunctions or negated
+/// equalities) is replaced by equality constraints freezing every object it
+/// mentions at its current value — exactly the Appendix C.1 construction.
+pub fn preprocess_guard(guard: &BExp, db: &Database) -> Vec<LinearConstraint> {
+    let mut out = Vec::new();
+    let mut conjuncts = Vec::new();
+    flatten_conjuncts(guard, &mut conjuncts);
+    for conjunct in conjuncts {
+        match conjuncts_to_constraints(&conjunct) {
+            Ok(cs) => out.extend(cs),
+            Err(_) => {
+                for obj in conjunct.reads() {
+                    out.push(LinearConstraint::eq(
+                        LinExpr::var(obj.as_str()),
+                        LinExpr::constant(db.get(&obj)),
+                    ));
+                }
+            }
+        }
+    }
+    out.dedup();
+    remove_redundant(out)
+}
+
+/// Drops constraints that are implied by the remaining ones (e.g. the
+/// `x + y ≥ 10` clause subsumed by `x + y ≥ 20` in the Figure 4c row),
+/// keeping the treaty — and therefore the templates — as small as the paper's
+/// hand-derived ψ.
+fn remove_redundant(mut constraints: Vec<LinearConstraint>) -> Vec<LinearConstraint> {
+    let mut i = 0;
+    while i < constraints.len() {
+        if constraints.len() <= 1 {
+            break;
+        }
+        let mut rest = constraints.clone();
+        let candidate = rest.remove(i);
+        if homeo_solver::fm::implies(&rest, &[candidate]) {
+            constraints.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    constraints
+}
+
+fn flatten_conjuncts(b: &BExp, out: &mut Vec<BExp>) {
+    match b {
+        BExp::And(l, r) => {
+            flatten_conjuncts(l, out);
+            flatten_conjuncts(r, out);
+        }
+        BExp::True => {}
+        other => out.push(other.clone()),
+    }
+}
+
+/// One clause of the preprocessed global treaty, split by site.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClauseTemplate {
+    /// The comparison (strict `<` is tightened to `≤` over the integers).
+    pub op: CmpKind,
+    /// The right-hand side `n` of `Σ dᵢxᵢ ⋈ n`.
+    pub bound: i64,
+    /// The per-site local parts `Σ_{Loc(xᵢ)=k} dᵢxᵢ` (indexed by site).
+    pub site_terms: Vec<LinExpr>,
+    /// The per-site configuration variable names (indexed by site).
+    pub config_vars: Vec<VarName>,
+    /// The full (global) left-hand side.
+    pub full_lhs: LinExpr,
+}
+
+/// The set of clause templates for one protocol round.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreatyTemplates {
+    /// Number of sites.
+    pub sites: usize,
+    /// The clauses.
+    pub clauses: Vec<ClauseTemplate>,
+}
+
+impl TreatyTemplates {
+    /// Generates templates from a preprocessed conjunction of linear
+    /// constraints.
+    pub fn generate(psi: &[LinearConstraint], loc: &Loc, sites: usize) -> Self {
+        let clauses = psi
+            .iter()
+            .enumerate()
+            .map(|(idx, c)| {
+                let tightened = c.tightened();
+                // tightened.expr ⋈ 0  ⇔  lhs ⋈ bound with bound = -constant.
+                let bound = -tightened.expr.constant_part();
+                let mut lhs = tightened.expr.clone();
+                lhs.add_constant(bound); // remove the constant part
+                let mut site_terms = vec![LinExpr::zero(); sites];
+                for (var, coeff) in lhs.terms() {
+                    let site = loc.site_of(&ObjId::new(var.clone()));
+                    site_terms[site].add_term(var.clone(), coeff);
+                }
+                let config_vars = (0..sites)
+                    .map(|k| format!("c{idx}@{k}"))
+                    .collect();
+                ClauseTemplate {
+                    op: tightened.op,
+                    bound,
+                    site_terms,
+                    config_vars,
+                    full_lhs: lhs,
+                }
+            })
+            .collect();
+        TreatyTemplates { sites, clauses }
+    }
+
+    /// The global treaty these templates enforce.
+    pub fn global(&self) -> GlobalTreaty {
+        GlobalTreaty::new(
+            self.clauses
+                .iter()
+                .map(|c| match c.op {
+                    CmpKind::Le | CmpKind::Lt => {
+                        LinearConstraint::le(c.full_lhs.clone(), LinExpr::constant(c.bound))
+                    }
+                    CmpKind::Eq => {
+                        LinearConstraint::eq(c.full_lhs.clone(), LinExpr::constant(c.bound))
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// The always-valid default configuration of Theorem 4.3.
+    ///
+    /// * equality clauses: `c_k` is the remote part evaluated on `db`;
+    /// * inequality clauses: `c_k = n - (local part evaluated on db)`, so the
+    ///   local treaty becomes "the local sum never exceeds its current
+    ///   value".
+    pub fn default_config(&self, db: &Database) -> BTreeMap<VarName, i64> {
+        let mut config = BTreeMap::new();
+        for clause in &self.clauses {
+            for k in 0..self.sites {
+                let local_now = eval_on_db(&clause.site_terms[k], db);
+                let value = match clause.op {
+                    CmpKind::Eq => {
+                        let full_now = eval_on_db(&clause.full_lhs, db);
+                        full_now - local_now
+                    }
+                    CmpKind::Le | CmpKind::Lt => clause.bound - local_now,
+                };
+                config.insert(clause.config_vars[k].clone(), value);
+            }
+        }
+        config
+    }
+
+    /// The exact validity condition H1 expressed as linear constraints over
+    /// the configuration variables (hard constraints for the optimizer).
+    pub fn hard_constraints(&self) -> Vec<LinearConstraint> {
+        let k = self.sites as i64;
+        self.clauses
+            .iter()
+            .map(|clause| {
+                let mut sum = LinExpr::zero();
+                for v in &clause.config_vars {
+                    sum.add_term(v.clone(), 1);
+                }
+                let rhs = LinExpr::constant((k - 1) * clause.bound);
+                match clause.op {
+                    CmpKind::Le | CmpKind::Lt => LinearConstraint::ge(sum, rhs),
+                    CmpKind::Eq => LinearConstraint::eq(sum, rhs),
+                }
+            })
+            .collect()
+    }
+
+    /// The constraints on configuration variables under which *all* local
+    /// treaties hold on the given database — the per-sampled-state soft
+    /// groups of Algorithm 1.
+    pub fn soft_group_for_db(&self, db: &Database) -> Vec<LinearConstraint> {
+        let mut out = Vec::new();
+        for clause in &self.clauses {
+            for k in 0..self.sites {
+                let local_now = eval_on_db(&clause.site_terms[k], db);
+                let cvar = LinExpr::var(clause.config_vars[k].clone());
+                let needed = LinExpr::constant(clause.bound - local_now);
+                out.push(match clause.op {
+                    CmpKind::Le | CmpKind::Lt => LinearConstraint::le(cvar, needed),
+                    CmpKind::Eq => LinearConstraint::eq(cvar, needed),
+                });
+            }
+        }
+        out
+    }
+
+    /// Instantiates the templates into per-site local treaties using a
+    /// configuration (missing configuration variables fall back to the
+    /// default configuration for `db`).
+    pub fn local_treaties(
+        &self,
+        config: &BTreeMap<VarName, i64>,
+        db: &Database,
+    ) -> Vec<LocalTreaty> {
+        let defaults = self.default_config(db);
+        (0..self.sites)
+            .map(|k| {
+                let constraints = self
+                    .clauses
+                    .iter()
+                    .map(|clause| {
+                        let c_value = config
+                            .get(&clause.config_vars[k])
+                            .or_else(|| defaults.get(&clause.config_vars[k]))
+                            .copied()
+                            .unwrap_or(0);
+                        let lhs = clause.site_terms[k].plus(&LinExpr::constant(c_value));
+                        let rhs = LinExpr::constant(clause.bound);
+                        match clause.op {
+                            CmpKind::Le | CmpKind::Lt => LinearConstraint::le(lhs, rhs),
+                            CmpKind::Eq => LinearConstraint::eq(lhs, rhs),
+                        }
+                    })
+                    .collect();
+                LocalTreaty::new(k, constraints)
+            })
+            .collect()
+    }
+
+    /// Checks H1 semantically: the conjunction of the instantiated local
+    /// treaties implies the global treaty (used by tests and debug
+    /// assertions).
+    pub fn config_is_valid(&self, config: &BTreeMap<VarName, i64>, db: &Database) -> bool {
+        let locals = self.local_treaties(config, db);
+        let antecedent: Vec<LinearConstraint> = locals
+            .iter()
+            .flat_map(|l| l.constraints.iter().cloned())
+            .collect();
+        let consequent = self.global().constraints;
+        homeo_solver::fm::implies(&antecedent, &consequent)
+    }
+}
+
+fn eval_on_db(expr: &LinExpr, db: &Database) -> i64 {
+    let assignment: BTreeMap<VarName, i64> = expr
+        .vars()
+        .map(|v| (v.clone(), db.get(&ObjId::new(v.clone()))))
+        .collect();
+    expr.eval(&assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homeo_analysis::{JointSymbolicTable, SymbolicTable};
+    use homeo_lang::programs;
+
+    /// The running example of Section 4: T1/T2 with x on site 0, y on site 1,
+    /// initial database x = 10, y = 13, ψ : x + y ≥ 20.
+    fn paper_setup() -> (Vec<LinearConstraint>, Loc, Database) {
+        let t1 = SymbolicTable::analyze(&programs::t1());
+        let t2 = SymbolicTable::analyze(&programs::t2());
+        let joint = JointSymbolicTable::build(&[t1, t2]);
+        let db = Database::from_pairs([("x", 10), ("y", 13)]);
+        let row = joint.find_row(&db).unwrap().expect("row exists");
+        let psi = preprocess_guard(&row.guard, &db);
+        let loc = Loc::from_pairs([("x", 0usize), ("y", 1usize)]);
+        (psi, loc, db)
+    }
+
+    #[test]
+    fn preprocessing_the_paper_guard_yields_one_linear_clause() {
+        let (psi, _, db) = paper_setup();
+        // ψ is x + y ≥ 20 (the third row of Figure 4c): a single clause that
+        // holds on D.
+        assert_eq!(psi.len(), 1);
+        assert!(crate::treaty::constraints_hold_on(&psi, &db));
+    }
+
+    #[test]
+    fn default_config_satisfies_h1_and_h2() {
+        let (psi, loc, db) = paper_setup();
+        let templates = TreatyTemplates::generate(&psi, &loc, 2);
+        let config = templates.default_config(&db);
+        // H1: validity.
+        assert!(templates.config_is_valid(&config, &db));
+        // H2: the local treaties hold on D.
+        for local in templates.local_treaties(&config, &db) {
+            assert!(local.holds_on(&db), "local treaty for site {}", local.site);
+            assert!(local.is_well_located(&loc));
+        }
+    }
+
+    #[test]
+    fn hard_constraints_match_the_manual_derivation() {
+        // For ψ : x + y ≥ 20 over two sites the validity condition on the
+        // configuration variables is cx + cy ≤ 20 in the paper's orientation;
+        // in our normalised (≤) orientation it is c0 + c1 ≥ -20·(K-1) for the
+        // negated clause. Semantic check: the paper's configuration
+        // (cy = 12, cx = 8) must be valid, (cy = 13, cx = 8) must not.
+        let (psi, loc, db) = paper_setup();
+        let templates = TreatyTemplates::generate(&psi, &loc, 2);
+        // Find the configuration variable names for site 0 / site 1.
+        let clause = &templates.clauses[0];
+        let c0 = clause.config_vars[0].clone();
+        let c1 = clause.config_vars[1].clone();
+        // Paper orientation: local treaty at site 0 is x + cy ≥ 20, i.e. in
+        // our encoding the config var at site 0 plays the role of cy.
+        let good: BTreeMap<VarName, i64> = [(c0.clone(), 12), (c1.clone(), 8)].into();
+        let bad: BTreeMap<VarName, i64> = [(c0, 13), (c1, 8)].into();
+        // Orientation note: ψ is stored as -x - y ≤ -20, so config values are
+        // negated relative to the paper; validity must still distinguish the
+        // two cases via the semantic check.
+        let good_valid = templates.config_is_valid(
+            &good.iter().map(|(k, v)| (k.clone(), -v)).collect(),
+            &db,
+        );
+        let bad_valid = templates.config_is_valid(
+            &bad.iter().map(|(k, v)| (k.clone(), -v)).collect(),
+            &db,
+        );
+        assert!(good_valid);
+        assert!(!bad_valid);
+        // And the syntactic hard constraints agree with the semantic check.
+        let hard = templates.hard_constraints();
+        let good_neg: BTreeMap<VarName, i64> =
+            good.iter().map(|(k, v)| (k.clone(), -v)).collect();
+        let bad_neg: BTreeMap<VarName, i64> = bad.iter().map(|(k, v)| (k.clone(), -v)).collect();
+        assert!(hard.iter().all(|c| c.holds(&good_neg)));
+        assert!(!hard.iter().all(|c| c.holds(&bad_neg)));
+    }
+
+    #[test]
+    fn equality_clauses_force_the_default_configuration() {
+        // Freeze z at its current value across two sites: the only valid
+        // configurations are the defaults.
+        let db = Database::from_pairs([("z", 7)]);
+        let psi = vec![LinearConstraint::eq(
+            LinExpr::var("z"),
+            LinExpr::constant(7),
+        )];
+        let loc = Loc::from_pairs([("z", 0usize)]);
+        let templates = TreatyTemplates::generate(&psi, &loc, 2);
+        let config = templates.default_config(&db);
+        assert!(templates.config_is_valid(&config, &db));
+        for local in templates.local_treaties(&config, &db) {
+            assert!(local.holds_on(&db));
+        }
+    }
+
+    #[test]
+    fn preprocessing_freezes_nonlinear_conjuncts() {
+        use homeo_lang::builder::{num, read};
+        // (x*y ≤ 50) ∧ (z ≥ 3): the first conjunct is non-linear and gets
+        // replaced by x = D(x) ∧ y = D(y).
+        let guard = read("x")
+            .mul(read("y"))
+            .le(num(50))
+            .and(read("z").ge(num(3)));
+        let db = Database::from_pairs([("x", 5), ("y", 6), ("z", 4)]);
+        let psi = preprocess_guard(&guard, &db);
+        assert!(crate::treaty::constraints_hold_on(&psi, &db));
+        // Freezing means another database with the same z but different x
+        // violates the preprocessed formula even though it satisfies the
+        // original guard.
+        let other = Database::from_pairs([("x", 4), ("y", 6), ("z", 4)]);
+        assert!(!crate::treaty::constraints_hold_on(&psi, &other));
+    }
+
+    #[test]
+    fn soft_groups_describe_when_local_treaties_hold() {
+        let (psi, loc, db) = paper_setup();
+        let templates = TreatyTemplates::generate(&psi, &loc, 2);
+        // The soft group for D itself must be satisfied by the default
+        // configuration.
+        let soft = templates.soft_group_for_db(&db);
+        let config = templates.default_config(&db);
+        assert!(soft.iter().all(|c| c.holds(&config)));
+        // A database one decrement ahead produces a (weakly) tighter group.
+        let later = Database::from_pairs([("x", 9), ("y", 13)]);
+        let soft_later = templates.soft_group_for_db(&later);
+        assert_eq!(soft.len(), soft_later.len());
+    }
+}

@@ -1,0 +1,98 @@
+//! Virtual time.
+//!
+//! Simulated time is measured in integer microseconds to keep event ordering
+//! exact and runs reproducible.
+
+use serde::{Deserialize, Serialize};
+
+/// A point (or duration) in simulated time, in microseconds.
+pub type SimTime = u64;
+
+/// Microseconds per millisecond.
+pub const MICROS_PER_MILLI: SimTime = 1_000;
+
+/// Microseconds per second.
+pub const MICROS_PER_SEC: SimTime = 1_000_000;
+
+/// Converts milliseconds to [`SimTime`].
+pub fn millis(ms: u64) -> SimTime {
+    ms * MICROS_PER_MILLI
+}
+
+/// Converts seconds to [`SimTime`].
+pub fn seconds(s: u64) -> SimTime {
+    s * MICROS_PER_SEC
+}
+
+/// Converts a [`SimTime`] to fractional milliseconds.
+pub fn as_millis_f64(t: SimTime) -> f64 {
+    t as f64 / MICROS_PER_MILLI as f64
+}
+
+/// Converts a [`SimTime`] to fractional seconds.
+pub fn as_secs_f64(t: SimTime) -> f64 {
+    t as f64 / MICROS_PER_SEC as f64
+}
+
+/// A monotonically advancing virtual clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimClock {
+    now: SimTime,
+}
+
+impl SimClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the clock to `t`.
+    ///
+    /// # Panics
+    /// Panics if `t` is in the past — the simulation must never move time
+    /// backwards.
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(t >= self.now, "clock moved backwards: {} -> {t}", self.now);
+        self.now = t;
+    }
+
+    /// Advances the clock by `delta`.
+    pub fn advance_by(&mut self, delta: SimTime) {
+        self.now += delta;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(millis(100), 100_000);
+        assert_eq!(seconds(2), 2_000_000);
+        assert!((as_millis_f64(1500) - 1.5).abs() < 1e-9);
+        assert!((as_secs_f64(2_500_000) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut c = SimClock::new();
+        assert_eq!(c.now(), 0);
+        c.advance_to(10);
+        c.advance_by(5);
+        assert_eq!(c.now(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock moved backwards")]
+    fn clock_rejects_time_travel() {
+        let mut c = SimClock::new();
+        c.advance_to(10);
+        c.advance_to(5);
+    }
+}

@@ -1,0 +1,382 @@
+//! Closed-loop multi-client simulation driver.
+//!
+//! The paper's experiments attach `Nc` clients to each replica; every client
+//! issues transactions back-to-back (closed loop), measurements start after a
+//! warm-up period and run for a fixed measurement window (Section 6.1).
+//!
+//! The driver is generic over a [`SiteExecutor`]: the system under test
+//! (homeostasis, OPT, 2PC, local) executes each transaction *for real*
+//! against its stores/treaties and reports the cost components —
+//! local execution time, time spent waiting on the network, and solver time.
+//! The driver turns those into latency samples on the virtual clock, applies
+//! a CPU-saturation factor once the number of clients exceeds the replica's
+//! cores (the plateau visible in Figure 17), and aggregates the statistics
+//! the paper plots.
+
+use serde::{Deserialize, Serialize};
+
+use crate::clock::{millis, SimTime};
+use crate::events::EventQueue;
+use crate::rng::DetRng;
+use crate::stats::{LatencyStats, SyncCounter};
+
+/// The cost components of one transaction execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostComponents {
+    /// Local execution time (lock acquisition, reads, writes, commit).
+    pub local: SimTime,
+    /// Time spent waiting on inter-site communication.
+    pub communication: SimTime,
+    /// Time spent computing new treaties (solver / optimizer).
+    pub solver: SimTime,
+}
+
+impl CostComponents {
+    /// Total latency contribution.
+    pub fn total(&self) -> SimTime {
+        self.local + self.communication + self.solver
+    }
+
+    /// Element-wise sum.
+    pub fn plus(&self, other: &CostComponents) -> CostComponents {
+        CostComponents {
+            local: self.local + other.local,
+            communication: self.communication + other.communication,
+            solver: self.solver + other.solver,
+        }
+    }
+}
+
+/// The outcome of one client-issued transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientOutcome {
+    /// Whether the transaction committed (false = aborted; it still consumed
+    /// time).
+    pub committed: bool,
+    /// Whether the transaction required inter-site communication.
+    pub synchronized: bool,
+    /// Its cost components.
+    pub costs: CostComponents,
+}
+
+/// The system under test.
+pub trait SiteExecutor {
+    /// Executes the next transaction issued by a client attached to
+    /// `replica`, using `rng` for all workload randomness.
+    fn execute(&mut self, replica: usize, rng: &mut DetRng) -> ClientOutcome;
+}
+
+impl<F> SiteExecutor for F
+where
+    F: FnMut(usize, &mut DetRng) -> ClientOutcome,
+{
+    fn execute(&mut self, replica: usize, rng: &mut DetRng) -> ClientOutcome {
+        self(replica, rng)
+    }
+}
+
+/// Configuration of a closed-loop run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClosedLoopConfig {
+    /// Number of replicas (sites).
+    pub replicas: usize,
+    /// Clients attached to each replica.
+    pub clients_per_replica: usize,
+    /// Warm-up period excluded from measurements.
+    pub warmup: SimTime,
+    /// Measurement window.
+    pub measure: SimTime,
+    /// Random seed.
+    pub seed: u64,
+    /// CPU cores per replica; once `clients_per_replica` exceeds this, local
+    /// execution time is inflated proportionally.
+    pub cores_per_replica: usize,
+}
+
+impl Default for ClosedLoopConfig {
+    fn default() -> Self {
+        ClosedLoopConfig {
+            replicas: 2,
+            clients_per_replica: 16,
+            warmup: millis(5_000),
+            measure: millis(300_000),
+            seed: 42,
+            cores_per_replica: 32,
+        }
+    }
+}
+
+/// Aggregated metrics of a closed-loop run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Latency samples over all replicas (measurement window only).
+    pub latency: LatencyStats,
+    /// Per-replica latency samples.
+    pub per_replica_latency: Vec<LatencyStats>,
+    /// Commit / abort / synchronization counts over all replicas.
+    pub counters: SyncCounter,
+    /// Per-replica counters.
+    pub per_replica_counters: Vec<SyncCounter>,
+    /// Length of the measurement window.
+    pub measured_time: SimTime,
+    /// Summed cost components of synchronized (treaty-violating)
+    /// transactions, for latency-breakdown figures.
+    pub sync_breakdown_total: CostComponents,
+    /// Number of synchronized transactions contributing to the breakdown.
+    pub sync_breakdown_count: u64,
+}
+
+impl RunMetrics {
+    /// Throughput per replica in committed transactions per second.
+    pub fn throughput_per_replica(&self) -> f64 {
+        if self.per_replica_counters.is_empty() {
+            return 0.0;
+        }
+        self.counters.throughput_per_sec(self.measured_time) / self.per_replica_counters.len() as f64
+    }
+
+    /// Overall system throughput in committed transactions per second.
+    pub fn throughput_total(&self) -> f64 {
+        self.counters.throughput_per_sec(self.measured_time)
+    }
+
+    /// Synchronization ratio in percent.
+    pub fn sync_ratio_percent(&self) -> f64 {
+        self.counters.sync_ratio_percent()
+    }
+
+    /// Average cost breakdown of synchronized transactions, in milliseconds
+    /// `(local, solver, communication)` — the bars of Figure 24.
+    pub fn sync_breakdown_ms(&self) -> (f64, f64, f64) {
+        if self.sync_breakdown_count == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let n = self.sync_breakdown_count as f64;
+        (
+            crate::clock::as_millis_f64(self.sync_breakdown_total.local) / n,
+            crate::clock::as_millis_f64(self.sync_breakdown_total.solver) / n,
+            crate::clock::as_millis_f64(self.sync_breakdown_total.communication) / n,
+        )
+    }
+}
+
+/// Runs the closed-loop simulation.
+pub fn run(config: &ClosedLoopConfig, executor: &mut dyn SiteExecutor) -> RunMetrics {
+    assert!(config.replicas > 0 && config.clients_per_replica > 0);
+    let mut rng = DetRng::seed_from(config.seed);
+    let mut queue: EventQueue<usize> = EventQueue::new();
+    let total_clients = config.replicas * config.clients_per_replica;
+    // Stagger client start times slightly so ties don't all land at t=0.
+    for client in 0..total_clients {
+        queue.schedule(client as SimTime, client);
+    }
+
+    // CPU saturation factor: with more runnable clients than cores, local
+    // work takes proportionally longer (the replicas in the paper share one
+    // 32-core machine for the microbenchmark).
+    let saturation_num = config.clients_per_replica.max(1) as u64;
+    let saturation_den = config.cores_per_replica.max(1) as u64;
+
+    let end_time = config.warmup + config.measure;
+    let mut metrics = RunMetrics {
+        per_replica_latency: vec![LatencyStats::new(); config.replicas],
+        per_replica_counters: vec![SyncCounter::new(); config.replicas],
+        measured_time: config.measure,
+        ..Default::default()
+    };
+
+    while let Some((now, client)) = queue.pop() {
+        if now >= end_time {
+            break;
+        }
+        let replica = client % config.replicas;
+        let outcome = executor.execute(replica, &mut rng);
+        let local_effective = if saturation_num > saturation_den {
+            outcome.costs.local * saturation_num / saturation_den
+        } else {
+            outcome.costs.local
+        };
+        let latency = local_effective + outcome.costs.communication + outcome.costs.solver;
+        let latency = latency.max(1);
+        if now >= config.warmup {
+            metrics.latency.record(latency);
+            metrics.per_replica_latency[replica].record(latency);
+            metrics
+                .counters
+                .record(outcome.committed, outcome.synchronized);
+            metrics.per_replica_counters[replica].record(outcome.committed, outcome.synchronized);
+            if outcome.synchronized {
+                metrics.sync_breakdown_total = metrics.sync_breakdown_total.plus(&CostComponents {
+                    local: local_effective,
+                    communication: outcome.costs.communication,
+                    solver: outcome.costs.solver,
+                });
+                metrics.sync_breakdown_count += 1;
+            }
+        }
+        queue.schedule(now + latency, client);
+    }
+    metrics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::millis;
+
+    fn quick_config() -> ClosedLoopConfig {
+        ClosedLoopConfig {
+            replicas: 2,
+            clients_per_replica: 4,
+            warmup: millis(100),
+            measure: millis(10_000),
+            seed: 1,
+            cores_per_replica: 32,
+        }
+    }
+
+    #[test]
+    fn constant_latency_yields_expected_throughput() {
+        // Every transaction takes 10 ms; 8 clients → ~800 tx/s total.
+        let mut exec = |_replica: usize, _rng: &mut DetRng| ClientOutcome {
+            committed: true,
+            synchronized: false,
+            costs: CostComponents {
+                local: millis(10),
+                communication: 0,
+                solver: 0,
+            },
+        };
+        let metrics = run(&quick_config(), &mut exec);
+        let total = metrics.throughput_total();
+        assert!((700.0..900.0).contains(&total), "total={total}");
+        assert_eq!(metrics.sync_ratio_percent(), 0.0);
+        assert!(metrics.latency.len() > 100);
+    }
+
+    #[test]
+    fn synchronized_fraction_is_reflected_in_the_ratio() {
+        let mut count = 0u64;
+        let mut exec = move |_replica: usize, _rng: &mut DetRng| {
+            count += 1;
+            let synchronized = count % 50 == 0; // 2%
+            ClientOutcome {
+                committed: true,
+                synchronized,
+                costs: CostComponents {
+                    local: millis(2),
+                    communication: if synchronized { millis(200) } else { 0 },
+                    solver: if synchronized { millis(40) } else { 0 },
+                },
+            }
+        };
+        let metrics = run(&quick_config(), &mut exec);
+        let ratio = metrics.sync_ratio_percent();
+        assert!((1.0..4.0).contains(&ratio), "ratio={ratio}");
+        // Breakdown reflects the synchronized transactions only.
+        let (_, solver_ms, comm_ms) = metrics.sync_breakdown_ms();
+        assert!((solver_ms - 40.0).abs() < 1.0);
+        assert!((comm_ms - 200.0).abs() < 1.0);
+        // The latency profile is bimodal: p50 small, p99+ large.
+        let mut lat = metrics.latency.clone();
+        assert!(lat.percentile_ms(50.0) < 10.0);
+        assert!(lat.percentile_ms(99.5) > 100.0);
+    }
+
+    #[test]
+    fn cpu_saturation_inflates_local_time() {
+        let mk_exec = || {
+            |_r: usize, _rng: &mut DetRng| ClientOutcome {
+                committed: true,
+                synchronized: false,
+                costs: CostComponents {
+                    local: millis(2),
+                    communication: 0,
+                    solver: 0,
+                },
+            }
+        };
+        let undersubscribed = ClosedLoopConfig {
+            clients_per_replica: 8,
+            cores_per_replica: 16,
+            ..quick_config()
+        };
+        let oversubscribed = ClosedLoopConfig {
+            clients_per_replica: 64,
+            cores_per_replica: 16,
+            ..quick_config()
+        };
+        let mut a = run(&undersubscribed, &mut mk_exec());
+        let mut b = run(&oversubscribed, &mut mk_exec());
+        // Per-client latency rises under oversubscription...
+        assert!(b.latency.percentile_ms(50.0) > a.latency.percentile_ms(50.0));
+        // ...so per-replica throughput stops scaling linearly (plateau).
+        let scale = b.throughput_per_replica() / a.throughput_per_replica();
+        assert!(scale < 3.0, "scale={scale}");
+    }
+
+    #[test]
+    fn warmup_samples_are_excluded() {
+        let config = ClosedLoopConfig {
+            replicas: 1,
+            clients_per_replica: 1,
+            warmup: millis(1_000),
+            measure: millis(1_000),
+            seed: 3,
+            cores_per_replica: 4,
+        };
+        let mut exec = |_r: usize, _rng: &mut DetRng| ClientOutcome {
+            committed: true,
+            synchronized: false,
+            costs: CostComponents {
+                local: millis(100),
+                communication: 0,
+                solver: 0,
+            },
+        };
+        let metrics = run(&config, &mut exec);
+        // 1 s window / 100 ms per txn ≈ 10 samples, not 20.
+        assert!(metrics.latency.len() <= 11);
+        assert!(metrics.latency.len() >= 9);
+    }
+
+    #[test]
+    fn aborted_transactions_count_against_throughput() {
+        let mut exec = |_r: usize, _rng: &mut DetRng| ClientOutcome {
+            committed: false,
+            synchronized: true,
+            costs: CostComponents {
+                local: millis(1),
+                communication: millis(10),
+                solver: 0,
+            },
+        };
+        let metrics = run(&quick_config(), &mut exec);
+        assert_eq!(metrics.counters.committed, 0);
+        assert!(metrics.counters.aborted > 0);
+        assert_eq!(metrics.throughput_total(), 0.0);
+        assert_eq!(metrics.sync_ratio_percent(), 100.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_a_fixed_seed() {
+        let mk = || {
+            |_r: usize, rng: &mut DetRng| {
+                let heavy = rng.chance(0.05);
+                ClientOutcome {
+                    committed: true,
+                    synchronized: heavy,
+                    costs: CostComponents {
+                        local: millis(2),
+                        communication: if heavy { millis(100) } else { 0 },
+                        solver: 0,
+                    },
+                }
+            }
+        };
+        let a = run(&quick_config(), &mut mk());
+        let b = run(&quick_config(), &mut mk());
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.latency.len(), b.latency.len());
+    }
+}

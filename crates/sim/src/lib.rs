@@ -1,0 +1,36 @@
+//! # homeo-sim
+//!
+//! Deterministic discrete-event simulation substrate.
+//!
+//! The paper evaluates the homeostasis protocol on EC2 instances spread over
+//! five datacenters with round-trip times between 50 ms and ~400 ms
+//! (Table 1). This crate provides the simulation equivalent of that testbed:
+//!
+//! * a virtual clock in microseconds ([`clock`]),
+//! * an ordered event queue ([`events`]),
+//! * a deterministic, seedable random source with the distributions the
+//!   workloads need ([`rng`]),
+//! * a network model parameterised by an RTT matrix ([`net`]),
+//! * latency / throughput / synchronization-ratio statistics, including the
+//!   percentile profiles and CDFs the paper plots ([`stats`]),
+//! * a closed-loop multi-client driver ([`closedloop`]) that charges each
+//!   transaction the cost components (local execution, communication rounds,
+//!   solver time) reported by the system under test while running the *real*
+//!   protocol code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod closedloop;
+pub mod events;
+pub mod net;
+pub mod rng;
+pub mod stats;
+
+pub use clock::{SimClock, SimTime, MICROS_PER_MILLI};
+pub use closedloop::{ClientOutcome, ClosedLoopConfig, CostComponents, RunMetrics, SiteExecutor};
+pub use events::EventQueue;
+pub use net::RttMatrix;
+pub use rng::DetRng;
+pub use stats::{LatencyStats, SyncCounter};

@@ -1,0 +1,135 @@
+//! Network model: per-pair round-trip times.
+//!
+//! Table 1 of the paper gives the average RTTs between the five EC2
+//! datacenters used in the evaluation; the microbenchmark instead uses a
+//! single configurable RTT between all replicas. [`RttMatrix`] covers both.
+
+use serde::{Deserialize, Serialize};
+
+use crate::clock::{millis, SimTime};
+
+/// A symmetric matrix of round-trip times between sites.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RttMatrix {
+    /// `rtt[i][j]` is the round-trip time between sites `i` and `j`.
+    rtt: Vec<Vec<SimTime>>,
+}
+
+impl RttMatrix {
+    /// A matrix where every distinct pair has the same RTT (the
+    /// microbenchmark setting).
+    pub fn uniform(sites: usize, rtt_ms: u64) -> Self {
+        let rtt = (0..sites)
+            .map(|i| {
+                (0..sites)
+                    .map(|j| if i == j { 0 } else { millis(rtt_ms) })
+                    .collect()
+            })
+            .collect();
+        RttMatrix { rtt }
+    }
+
+    /// Builds a matrix from explicit millisecond entries (must be square and
+    /// symmetric; the diagonal is forced to zero).
+    pub fn from_millis(entries: &[Vec<u64>]) -> Self {
+        let n = entries.len();
+        assert!(entries.iter().all(|row| row.len() == n), "matrix not square");
+        let mut rtt = vec![vec![0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(entries[i][j], entries[j][i], "matrix not symmetric");
+                rtt[i][j] = if i == j { 0 } else { millis(entries[i][j]) };
+            }
+        }
+        RttMatrix { rtt }
+    }
+
+    /// Number of sites.
+    pub fn sites(&self) -> usize {
+        self.rtt.len()
+    }
+
+    /// The round-trip time between two sites.
+    pub fn rtt(&self, a: usize, b: usize) -> SimTime {
+        self.rtt[a][b]
+    }
+
+    /// One-way latency between two sites (RTT / 2).
+    pub fn one_way(&self, a: usize, b: usize) -> SimTime {
+        self.rtt[a][b] / 2
+    }
+
+    /// The largest RTT from `site` to any other site — the cost of a
+    /// broadcast round initiated by `site` (everyone must answer before the
+    /// round completes).
+    pub fn max_rtt_from(&self, site: usize) -> SimTime {
+        self.rtt[site]
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The largest RTT between any pair of sites.
+    pub fn max_rtt(&self) -> SimTime {
+        (0..self.sites())
+            .map(|i| self.max_rtt_from(i))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Restricts the matrix to the first `n` sites (used when sweeping the
+    /// number of replicas over the Table 1 datacenters in order).
+    pub fn truncated(&self, n: usize) -> RttMatrix {
+        assert!(n <= self.sites());
+        RttMatrix {
+            rtt: self.rtt[..n]
+                .iter()
+                .map(|row| row[..n].to_vec())
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_matrix() {
+        let m = RttMatrix::uniform(3, 100);
+        assert_eq!(m.sites(), 3);
+        assert_eq!(m.rtt(0, 1), millis(100));
+        assert_eq!(m.rtt(2, 2), 0);
+        assert_eq!(m.one_way(0, 2), millis(50));
+        assert_eq!(m.max_rtt(), millis(100));
+    }
+
+    #[test]
+    fn explicit_matrix_and_truncation() {
+        // A 3-site slice in the spirit of Table 1 (UE, UW, IE).
+        let m = RttMatrix::from_millis(&[
+            vec![0, 64, 80],
+            vec![64, 0, 170],
+            vec![80, 170, 0],
+        ]);
+        assert_eq!(m.rtt(1, 2), millis(170));
+        assert_eq!(m.max_rtt_from(0), millis(80));
+        assert_eq!(m.max_rtt(), millis(170));
+        let t = m.truncated(2);
+        assert_eq!(t.sites(), 2);
+        assert_eq!(t.max_rtt(), millis(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "not symmetric")]
+    fn asymmetric_matrices_are_rejected() {
+        RttMatrix::from_millis(&[vec![0, 10], vec![20, 0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not square")]
+    fn non_square_matrices_are_rejected() {
+        RttMatrix::from_millis(&[vec![0, 10]]);
+    }
+}

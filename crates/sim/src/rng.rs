@@ -1,0 +1,176 @@
+//! Deterministic random number generation for workloads.
+//!
+//! All randomness in the simulator flows through [`DetRng`], a thin wrapper
+//! around a seeded PRNG, so that every experiment is exactly reproducible
+//! from its configuration (seed included).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic, seedable random source with the helpers the paper's
+/// workloads need (uniform ranges, hot/cold item selection, weighted picks).
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    rng: StdRng,
+}
+
+impl DetRng {
+    /// Creates a generator from a seed.
+    pub fn seed_from(seed: u64) -> Self {
+        DetRng {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A uniform integer in `[lo, hi]` (inclusive).
+    pub fn int_inclusive(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// A uniform index in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index range must be non-empty");
+        self.rng.gen_range(0..n)
+    }
+
+    /// True with probability `p` (0.0..=1.0).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.rng.gen_range(0.0..1.0)
+    }
+
+    /// Selects an item id following the paper's hot/cold skew model:
+    /// `hot_fraction` of the item space (the lowest ids) is "hot" and is hit
+    /// with probability `hot_probability` (the `H` knob of Section 6.2).
+    pub fn hot_cold_item(
+        &mut self,
+        num_items: usize,
+        hot_fraction: f64,
+        hot_probability: f64,
+    ) -> usize {
+        let hot_count = ((num_items as f64 * hot_fraction).ceil() as usize)
+            .clamp(1, num_items);
+        if self.chance(hot_probability) {
+            self.index(hot_count)
+        } else if hot_count == num_items {
+            self.index(num_items)
+        } else {
+            hot_count + self.index(num_items - hot_count)
+        }
+    }
+
+    /// Picks an index according to the given (not necessarily normalised)
+    /// weights.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must sum to a positive value");
+        let mut target = self.unit() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if target < *w {
+                return i;
+            }
+            target -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// `k` distinct uniform indices in `[0, n)` (k ≤ n).
+    pub fn distinct_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot draw {k} distinct values from {n}");
+        let mut chosen = Vec::with_capacity(k);
+        while chosen.len() < k {
+            let candidate = self.index(n);
+            if !chosen.contains(&candidate) {
+                chosen.push(candidate);
+            }
+        }
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = DetRng::seed_from(7);
+        let mut b = DetRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.int_inclusive(0, 1000), b.int_inclusive(0, 1000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::seed_from(1);
+        let mut b = DetRng::seed_from(2);
+        let sa: Vec<i64> = (0..20).map(|_| a.int_inclusive(0, 1_000_000)).collect();
+        let sb: Vec<i64> = (0..20).map(|_| b.int_inclusive(0, 1_000_000)).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = DetRng::seed_from(3);
+        for _ in 0..1000 {
+            let v = rng.int_inclusive(-5, 5);
+            assert!((-5..=5).contains(&v));
+            let i = rng.index(7);
+            assert!(i < 7);
+        }
+    }
+
+    #[test]
+    fn hot_cold_skew_prefers_hot_items() {
+        let mut rng = DetRng::seed_from(11);
+        let n = 10_000;
+        let hot_fraction = 0.01;
+        let hot_probability = 0.5;
+        let hot_count = 100;
+        let mut hot_hits = 0;
+        let trials = 20_000;
+        for _ in 0..trials {
+            if rng.hot_cold_item(n, hot_fraction, hot_probability) < hot_count {
+                hot_hits += 1;
+            }
+        }
+        let ratio = hot_hits as f64 / trials as f64;
+        assert!((ratio - hot_probability).abs() < 0.03, "ratio={ratio}");
+    }
+
+    #[test]
+    fn weighted_index_follows_weights() {
+        let mut rng = DetRng::seed_from(13);
+        let weights = [45.0, 45.0, 10.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[rng.weighted_index(&weights)] += 1;
+        }
+        let f2 = counts[2] as f64 / 30_000.0;
+        assert!((f2 - 0.10).abs() < 0.02, "delivery fraction {f2}");
+    }
+
+    #[test]
+    fn distinct_indices_are_distinct() {
+        let mut rng = DetRng::seed_from(17);
+        for _ in 0..100 {
+            let picks = rng.distinct_indices(10, 5);
+            let mut sorted = picks.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        DetRng::seed_from(0).int_inclusive(3, 2);
+    }
+}

@@ -1,0 +1,270 @@
+//! Latency, throughput and synchronization statistics.
+//!
+//! The paper reports three families of metrics: latency-by-percentile
+//! profiles (Figures 10, 13, 16, 19, 21), latency CDFs (Figure 27),
+//! per-replica throughput (Figures 11, 14, 17, 20, 22, 25, 28) and the
+//! synchronization ratio — the fraction of transactions that required
+//! inter-site communication (Figures 12, 15, 18, 26, 29).
+
+use serde::{Deserialize, Serialize};
+
+use crate::clock::{as_millis_f64, as_secs_f64, SimTime};
+
+/// A collection of latency samples with percentile and CDF queries.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencyStats {
+    samples: Vec<SimTime>,
+    sorted: bool,
+}
+
+impl LatencyStats {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: SimTime) {
+        self.samples.push(latency);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// The `p`-th percentile (0.0..=100.0) in simulated microseconds.
+    pub fn percentile(&mut self, p: f64) -> SimTime {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        self.ensure_sorted();
+        let rank = (p / 100.0 * (self.samples.len() - 1) as f64).round() as usize;
+        self.samples[rank.min(self.samples.len() - 1)]
+    }
+
+    /// The `p`-th percentile in milliseconds.
+    pub fn percentile_ms(&mut self, p: f64) -> f64 {
+        as_millis_f64(self.percentile(p))
+    }
+
+    /// Mean latency in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let total: u128 = self.samples.iter().map(|s| *s as u128).sum();
+        as_millis_f64((total / self.samples.len() as u128) as SimTime)
+    }
+
+    /// Maximum latency in milliseconds.
+    pub fn max_ms(&self) -> f64 {
+        as_millis_f64(self.samples.iter().copied().max().unwrap_or(0))
+    }
+
+    /// The latency profile at the given percentiles (the x-axis used by the
+    /// paper's latency figures).
+    pub fn profile_ms(&mut self, percentiles: &[f64]) -> Vec<(f64, f64)> {
+        percentiles
+            .iter()
+            .map(|p| (*p, self.percentile_ms(*p)))
+            .collect()
+    }
+
+    /// The empirical CDF evaluated at the given latencies (in milliseconds):
+    /// returns `(latency_ms, fraction of samples ≤ latency)` pairs
+    /// (Figure 27's axes).
+    pub fn cdf_at_ms(&mut self, points_ms: &[f64]) -> Vec<(f64, f64)> {
+        self.ensure_sorted();
+        points_ms
+            .iter()
+            .map(|p| {
+                let limit = (*p * 1_000.0) as SimTime;
+                let count = self.samples.partition_point(|s| *s <= limit);
+                (*p, count as f64 / self.samples.len().max(1) as f64)
+            })
+            .collect()
+    }
+
+    /// Merges another recorder into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+}
+
+/// Counts transactions and how many of them required synchronization, plus
+/// commit/abort bookkeeping.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyncCounter {
+    /// Committed transactions.
+    pub committed: u64,
+    /// Aborted transactions (e.g. losers of a treaty-violation vote, lock
+    /// timeouts).
+    pub aborted: u64,
+    /// Transactions that required at least one round of inter-site
+    /// communication.
+    pub synchronized: u64,
+}
+
+impl SyncCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a transaction outcome.
+    pub fn record(&mut self, committed: bool, synchronized: bool) {
+        if committed {
+            self.committed += 1;
+        } else {
+            self.aborted += 1;
+        }
+        if synchronized {
+            self.synchronized += 1;
+        }
+    }
+
+    /// Total transactions seen.
+    pub fn total(&self) -> u64 {
+        self.committed + self.aborted
+    }
+
+    /// The synchronization ratio in percent (the y-axis of Figures 12, 15,
+    /// 18, 26, 29).
+    pub fn sync_ratio_percent(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            100.0 * self.synchronized as f64 / self.total() as f64
+        }
+    }
+
+    /// Committed transactions per second of simulated time.
+    pub fn throughput_per_sec(&self, elapsed: SimTime) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            self.committed as f64 / as_secs_f64(elapsed)
+        }
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &SyncCounter) {
+        self.committed += other.committed;
+        self.aborted += other.aborted;
+        self.synchronized += other.synchronized;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::millis;
+
+    #[test]
+    fn percentiles_of_a_known_distribution() {
+        let mut stats = LatencyStats::new();
+        for i in 1..=100 {
+            stats.record(millis(i));
+        }
+        assert_eq!(stats.percentile(0.0), millis(1));
+        assert_eq!(stats.percentile(100.0), millis(100));
+        let p50 = stats.percentile_ms(50.0);
+        assert!((49.0..=51.0).contains(&p50), "p50={p50}");
+        let p97 = stats.percentile_ms(97.0);
+        assert!((96.0..=98.0).contains(&p97), "p97={p97}");
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let mut stats = LatencyStats::new();
+        assert_eq!(stats.percentile(50.0), 0);
+        assert_eq!(stats.mean_ms(), 0.0);
+        assert!(stats.is_empty());
+    }
+
+    #[test]
+    fn mean_and_max() {
+        let mut stats = LatencyStats::new();
+        stats.record(millis(2));
+        stats.record(millis(4));
+        stats.record(millis(6));
+        assert!((stats.mean_ms() - 4.0).abs() < 1e-9);
+        assert!((stats.max_ms() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_matches_the_sample_distribution() {
+        let mut stats = LatencyStats::new();
+        // 90 fast (2 ms), 10 slow (200 ms) — the bimodal shape homeostasis
+        // latencies have.
+        for _ in 0..90 {
+            stats.record(millis(2));
+        }
+        for _ in 0..10 {
+            stats.record(millis(200));
+        }
+        let cdf = stats.cdf_at_ms(&[1.0, 10.0, 500.0]);
+        assert!((cdf[0].1 - 0.0).abs() < 1e-9);
+        assert!((cdf[1].1 - 0.9).abs() < 1e-9);
+        assert!((cdf[2].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profile_is_monotone() {
+        let mut stats = LatencyStats::new();
+        for i in 0..1000u64 {
+            stats.record(i * 37 % 5000);
+        }
+        let profile = stats.profile_ms(&[10.0, 50.0, 90.0, 99.0]);
+        for w in profile.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn sync_counter_ratios_and_throughput() {
+        let mut c = SyncCounter::new();
+        for i in 0..100 {
+            c.record(true, i % 50 == 0); // 2% synchronized
+        }
+        assert_eq!(c.committed, 100);
+        assert!((c.sync_ratio_percent() - 2.0).abs() < 1e-9);
+        // 100 commits over 2 simulated seconds = 50 tx/s.
+        assert!((c.throughput_per_sec(crate::clock::seconds(2)) - 50.0).abs() < 1e-9);
+        assert_eq!(c.throughput_per_sec(0), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_counters_and_samples() {
+        let mut a = LatencyStats::new();
+        a.record(millis(1));
+        let mut b = LatencyStats::new();
+        b.record(millis(3));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+
+        let mut ca = SyncCounter::new();
+        ca.record(true, false);
+        let mut cb = SyncCounter::new();
+        cb.record(false, true);
+        ca.merge(&cb);
+        assert_eq!(ca.total(), 2);
+        assert_eq!(ca.aborted, 1);
+        assert_eq!(ca.synchronized, 1);
+    }
+}

@@ -1,0 +1,260 @@
+//! Lazy MaxSMT over linear integer arithmetic.
+//!
+//! Algorithm 1 in the paper asks for "the largest satisfiable subset of
+//! constraints that includes all the hard constraints" together with a model.
+//! The soft constraints produced by sampled future executions are
+//! *conjunctions* of linear constraints (one conjunction per simulated
+//! database state), and the hard constraint is the treaty-template validity
+//! condition — also a conjunction of linear constraints.
+//!
+//! This module implements the standard lazy-SMT architecture on top of the
+//! in-crate pieces:
+//!
+//! 1. abstract each soft group `j` with a propositional selector `s_j`;
+//! 2. ask the Fu-Malik MaxSAT engine for an assignment maximizing the number
+//!    of selected groups, subject to the theory lemmas learned so far;
+//! 3. check the selected groups (plus the hard constraints) for feasibility
+//!    with the Fourier–Motzkin engine;
+//! 4. if feasible, the selection is optimal (the lemmas are sound, so the
+//!    propositional optimum is an upper bound); otherwise shrink the
+//!    selection to a minimal infeasible subset and add the corresponding
+//!    blocking clause, then repeat.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::fm::{check_feasible, Feasibility};
+use crate::linear::{LinearConstraint, VarName};
+use crate::maxsat::FuMalik;
+use crate::sat::{Clause, Cnf, Literal};
+
+/// A soft group: a conjunction of linear constraints that should ideally hold
+/// together (e.g. "no treaty violation in sampled future database Dⱼ").
+pub type SoftGroup = Vec<LinearConstraint>;
+
+/// The result of a MaxSMT call.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaxSmtResult {
+    /// Indices of the soft groups that are jointly satisfiable with the hard
+    /// constraints (a maximum-cardinality such set).
+    pub selected: Vec<usize>,
+    /// An integer model satisfying the hard constraints and every selected
+    /// group, when one could be extracted.
+    pub model: Option<BTreeMap<VarName, i64>>,
+    /// Number of soft groups left unsatisfied (`soft.len() - selected.len()`).
+    pub cost: usize,
+    /// Number of theory lemmas (blocking clauses) learned.
+    pub lemmas: usize,
+}
+
+/// Computes a maximum-cardinality subset of `soft_groups` that is jointly
+/// feasible with `hard`, together with an integer model.
+///
+/// Returns `None` when the hard constraints alone are infeasible.
+pub fn max_feasible_subset(
+    hard: &[LinearConstraint],
+    soft_groups: &[SoftGroup],
+) -> Option<MaxSmtResult> {
+    if !check_feasible(hard).is_feasible() {
+        return None;
+    }
+    let n = soft_groups.len();
+    let mut cnf = Cnf::new(n);
+    let soft_clauses: Vec<Clause> = (0..n).map(|j| Clause::new([Literal::pos(j)])).collect();
+    let mut lemmas = 0usize;
+
+    // Safety bound: each iteration learns a new blocking clause over the
+    // selectors, so 2^n is a hard ceiling; in practice a handful suffice.
+    let max_iterations = 10_000;
+    for _ in 0..max_iterations {
+        let mut engine = FuMalik::new();
+        let res = engine
+            .solve(&cnf, &soft_clauses)
+            .expect("selector abstraction is always satisfiable");
+        let selected: Vec<usize> = res.satisfied_soft.clone();
+
+        // Theory check on the selected groups.
+        let mut system: Vec<LinearConstraint> = hard.to_vec();
+        for &j in &selected {
+            system.extend(soft_groups[j].iter().cloned());
+        }
+        match check_feasible(&system) {
+            Feasibility::Feasible(model) => {
+                return Some(MaxSmtResult {
+                    cost: n - selected.len(),
+                    selected,
+                    model: Some(model),
+                    lemmas,
+                });
+            }
+            Feasibility::FeasibleRationalOnly => {
+                return Some(MaxSmtResult {
+                    cost: n - selected.len(),
+                    selected,
+                    model: None,
+                    lemmas,
+                });
+            }
+            Feasibility::Infeasible => {
+                // Shrink to a minimal infeasible subset of the selected
+                // groups (deletion-based), then block it.
+                let core = minimal_infeasible_subset(hard, soft_groups, &selected);
+                debug_assert!(!core.is_empty());
+                cnf.add_clause(Clause::new(core.iter().map(|&j| Literal::neg(j))));
+                lemmas += 1;
+            }
+        }
+    }
+    // Fall back to the hard-only solution if the iteration bound is ever hit.
+    let model = match check_feasible(hard) {
+        Feasibility::Feasible(m) => Some(m),
+        _ => None,
+    };
+    Some(MaxSmtResult {
+        selected: Vec::new(),
+        model,
+        cost: n,
+        lemmas,
+    })
+}
+
+/// Deletion-based minimal infeasible subset of `candidate` group indices
+/// (relative to the always-included hard constraints).
+fn minimal_infeasible_subset(
+    hard: &[LinearConstraint],
+    soft_groups: &[SoftGroup],
+    candidate: &[usize],
+) -> Vec<usize> {
+    let feasible_with = |indices: &[usize]| -> bool {
+        let mut system: Vec<LinearConstraint> = hard.to_vec();
+        for &j in indices {
+            system.extend(soft_groups[j].iter().cloned());
+        }
+        check_feasible(&system).is_feasible()
+    };
+    debug_assert!(!feasible_with(candidate));
+    let mut core: Vec<usize> = candidate.to_vec();
+    let mut i = 0;
+    while i < core.len() {
+        let mut smaller = core.clone();
+        smaller.remove(i);
+        if feasible_with(&smaller) {
+            i += 1;
+        } else {
+            core = smaller;
+        }
+    }
+    core
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinExpr;
+
+    fn var(v: &str) -> LinExpr {
+        LinExpr::var(v)
+    }
+
+    fn num(n: i64) -> LinExpr {
+        LinExpr::constant(n)
+    }
+
+    #[test]
+    fn all_groups_compatible() {
+        let hard = vec![LinearConstraint::ge(var("c"), num(0))];
+        let soft = vec![
+            vec![LinearConstraint::ge(var("c"), num(3))],
+            vec![LinearConstraint::ge(var("c"), num(5))],
+        ];
+        let res = max_feasible_subset(&hard, &soft).unwrap();
+        assert_eq!(res.selected, vec![0, 1]);
+        assert_eq!(res.cost, 0);
+        let m = res.model.unwrap();
+        assert!(m["c"] >= 5);
+    }
+
+    #[test]
+    fn incompatible_groups_drop_the_minority() {
+        // Hard: 0 <= c <= 10. Groups: {c >= 8}, {c >= 7}, {c <= 2}.
+        // Best: keep the two lower-bound groups, drop the upper bound.
+        let hard = vec![
+            LinearConstraint::ge(var("c"), num(0)),
+            LinearConstraint::le(var("c"), num(10)),
+        ];
+        let soft = vec![
+            vec![LinearConstraint::ge(var("c"), num(8))],
+            vec![LinearConstraint::ge(var("c"), num(7))],
+            vec![LinearConstraint::le(var("c"), num(2))],
+        ];
+        let res = max_feasible_subset(&hard, &soft).unwrap();
+        assert_eq!(res.cost, 1);
+        assert_eq!(res.selected, vec![0, 1]);
+        let m = res.model.unwrap();
+        assert!(m["c"] >= 8 && m["c"] <= 10);
+        assert!(res.lemmas >= 1);
+    }
+
+    #[test]
+    fn infeasible_hard_constraints_return_none() {
+        let hard = vec![
+            LinearConstraint::ge(var("c"), num(1)),
+            LinearConstraint::le(var("c"), num(0)),
+        ];
+        assert!(max_feasible_subset(&hard, &[]).is_none());
+    }
+
+    #[test]
+    fn paper_appendix_c_example() {
+        // Templates: ϕΓ1 : x + cy ≥ 20, ϕΓ2 : cx + y ≥ 20, with D = (10, 13).
+        // Validity (H1) reduces to cx + cy ≤ 20; the sampled futures yield the
+        // soft groups {cy ≥ 12, cx ≥ 8}, {cy ≥ 13, cx ≥ 7}, {cy ≥ 12, cx ≥ 8}.
+        // The optimizer should satisfy groups 0 and 2 (cost 1), e.g. with
+        // cy = 12, cx = 8 — exactly the configuration the paper reports.
+        let hard = vec![LinearConstraint::le(
+            var("cx").plus(&var("cy")),
+            num(20),
+        )];
+        let g = |cy: i64, cx: i64| {
+            vec![
+                LinearConstraint::ge(var("cy"), num(cy)),
+                LinearConstraint::ge(var("cx"), num(cx)),
+            ]
+        };
+        let soft = vec![g(12, 8), g(13, 7), g(12, 8)];
+        let res = max_feasible_subset(&hard, &soft).unwrap();
+        assert_eq!(res.cost, 1);
+        assert_eq!(res.selected, vec![0, 2]);
+        let m = res.model.unwrap();
+        assert!(m["cy"] >= 12 && m["cx"] >= 8 && m["cx"] + m["cy"] <= 20);
+    }
+
+    #[test]
+    fn groups_spanning_multiple_variables() {
+        // Hard: a + b <= 10. Groups pull a and b in different directions.
+        let hard = vec![LinearConstraint::le(var("a").plus(&var("b")), num(10))];
+        let soft = vec![
+            vec![
+                LinearConstraint::ge(var("a"), num(6)),
+                LinearConstraint::ge(var("b"), num(6)),
+            ], // infeasible with hard
+            vec![LinearConstraint::ge(var("a"), num(4))],
+            vec![LinearConstraint::ge(var("b"), num(5))],
+        ];
+        let res = max_feasible_subset(&hard, &soft).unwrap();
+        assert_eq!(res.cost, 1);
+        assert_eq!(res.selected, vec![1, 2]);
+        let m = res.model.unwrap();
+        assert!(m["a"] >= 4 && m["b"] >= 5 && m["a"] + m["b"] <= 10);
+    }
+
+    #[test]
+    fn empty_soft_set_is_trivially_optimal() {
+        let hard = vec![LinearConstraint::ge(var("z"), num(0))];
+        let res = max_feasible_subset(&hard, &[]).unwrap();
+        assert!(res.selected.is_empty());
+        assert_eq!(res.cost, 0);
+        assert!(res.model.is_some());
+    }
+}

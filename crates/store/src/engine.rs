@@ -1,0 +1,486 @@
+//! The storage engine façade: transactional object access plus relational
+//! tables, built from the lock manager, WAL and table layers.
+//!
+//! The engine exposes two coordinated views of the same site-local state:
+//!
+//! * a flat **object namespace** (`String → i64`), which is what compiled
+//!   `L`/`L++` transactions and the homeostasis protocol read and write, and
+//! * **relational tables**, used by workload generators to populate and
+//!   inspect data the way the paper's benchmark drivers do.
+//!
+//! Object access is transactional: reads take shared locks, writes take
+//! exclusive locks (strict 2PL), updates are staged per transaction and only
+//! applied (and logged) at commit.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::locks::{LockManager, LockMode, LockOutcome};
+use crate::schema::{Row, TableSchema, Value};
+use crate::table::{Table, TableError};
+use crate::wal::{LogRecord, Wal};
+
+/// Errors from engine operations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EngineError {
+    /// The requested lock conflicts with another transaction.
+    WouldBlock {
+        /// The object being locked.
+        object: String,
+    },
+    /// The transaction handle is not active.
+    NotActive,
+    /// A relational-layer error.
+    Table(TableError),
+    /// Unknown table.
+    UnknownTable(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::WouldBlock { object } => {
+                write!(f, "lock conflict on `{object}`")
+            }
+            EngineError::NotActive => write!(f, "transaction is not active"),
+            EngineError::Table(e) => write!(f, "table error: {e}"),
+            EngineError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<TableError> for EngineError {
+    fn from(e: TableError) -> Self {
+        EngineError::Table(e)
+    }
+}
+
+/// Status of a transaction handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TxnStatus {
+    /// Running; may read, write, commit or abort.
+    Active,
+    /// Successfully committed.
+    Committed,
+    /// Aborted; its staged writes were discarded.
+    Aborted,
+}
+
+/// A transaction handle returned by [`Engine::begin`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxnHandle {
+    /// Engine-assigned transaction id.
+    pub id: u64,
+    /// Current status.
+    pub status: TxnStatus,
+}
+
+#[derive(Debug, Default)]
+struct TxnState {
+    staged: BTreeMap<String, i64>,
+}
+
+#[derive(Debug, Default)]
+struct EngineInner {
+    objects: BTreeMap<String, i64>,
+    tables: BTreeMap<String, Table>,
+    locks: LockManager,
+    wal: Wal,
+    transactions: BTreeMap<u64, TxnState>,
+    next_txn: u64,
+    committed_count: u64,
+    aborted_count: u64,
+}
+
+/// The storage engine for one site. Cheap to share: interior mutability via
+/// a single mutex (sites in the simulator are single-threaded, the benchmark
+/// driver occasionally inspects engines from the coordinating thread).
+#[derive(Debug, Default)]
+pub struct Engine {
+    inner: Mutex<EngineInner>,
+}
+
+impl Engine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ------------------------------------------------------------------
+    // Object (key-value) transactional API
+    // ------------------------------------------------------------------
+
+    /// Begins a transaction.
+    pub fn begin(&self) -> TxnHandle {
+        let mut inner = self.inner.lock();
+        inner.next_txn += 1;
+        let id = inner.next_txn;
+        inner.transactions.insert(id, TxnState::default());
+        inner.wal.append(LogRecord::Begin { txn: id });
+        TxnHandle {
+            id,
+            status: TxnStatus::Active,
+        }
+    }
+
+    /// Reads an object within a transaction (shared lock; sees the
+    /// transaction's own staged writes).
+    pub fn read(&self, txn: &TxnHandle, object: &str) -> Result<i64, EngineError> {
+        let mut inner = self.inner.lock();
+        Self::ensure_active(&inner, txn)?;
+        if let Some(v) = inner
+            .transactions
+            .get(&txn.id)
+            .and_then(|t| t.staged.get(object))
+        {
+            return Ok(*v);
+        }
+        match inner.locks.acquire(txn.id, object, LockMode::Shared) {
+            LockOutcome::Granted => Ok(inner.objects.get(object).copied().unwrap_or(0)),
+            LockOutcome::WouldBlock => Err(EngineError::WouldBlock {
+                object: object.to_string(),
+            }),
+        }
+    }
+
+    /// Stages a write within a transaction (exclusive lock).
+    pub fn write(&self, txn: &TxnHandle, object: &str, value: i64) -> Result<(), EngineError> {
+        let mut inner = self.inner.lock();
+        Self::ensure_active(&inner, txn)?;
+        match inner.locks.acquire(txn.id, object, LockMode::Exclusive) {
+            LockOutcome::Granted => {
+                inner
+                    .transactions
+                    .get_mut(&txn.id)
+                    .expect("active transaction exists")
+                    .staged
+                    .insert(object.to_string(), value);
+                Ok(())
+            }
+            LockOutcome::WouldBlock => Err(EngineError::WouldBlock {
+                object: object.to_string(),
+            }),
+        }
+    }
+
+    /// Commits the transaction: staged writes are logged and applied, locks
+    /// released.
+    pub fn commit(&self, txn: &mut TxnHandle) -> Result<(), EngineError> {
+        let mut inner = self.inner.lock();
+        Self::ensure_active(&inner, txn)?;
+        let state = inner
+            .transactions
+            .remove(&txn.id)
+            .ok_or(EngineError::NotActive)?;
+        for (object, value) in &state.staged {
+            let previous = inner.objects.get(object).copied().unwrap_or(0);
+            inner.wal.append(LogRecord::Write {
+                txn: txn.id,
+                object: object.clone(),
+                value: *value,
+                previous,
+            });
+        }
+        inner.wal.append(LogRecord::Commit { txn: txn.id });
+        for (object, value) in state.staged {
+            if value == 0 {
+                inner.objects.remove(&object);
+            } else {
+                inner.objects.insert(object, value);
+            }
+        }
+        inner.locks.release_all(txn.id);
+        inner.committed_count += 1;
+        txn.status = TxnStatus::Committed;
+        Ok(())
+    }
+
+    /// Aborts the transaction: staged writes are discarded, locks released.
+    pub fn abort(&self, txn: &mut TxnHandle) -> Result<(), EngineError> {
+        let mut inner = self.inner.lock();
+        Self::ensure_active(&inner, txn)?;
+        inner.transactions.remove(&txn.id);
+        inner.wal.append(LogRecord::Abort { txn: txn.id });
+        inner.locks.release_all(txn.id);
+        inner.aborted_count += 1;
+        txn.status = TxnStatus::Aborted;
+        Ok(())
+    }
+
+    fn ensure_active(inner: &EngineInner, txn: &TxnHandle) -> Result<(), EngineError> {
+        if txn.status != TxnStatus::Active || !inner.transactions.contains_key(&txn.id) {
+            return Err(EngineError::NotActive);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Non-transactional object access (population, snapshots, sync)
+    // ------------------------------------------------------------------
+
+    /// Reads an object outside any transaction (used for population and by
+    /// the protocol's synchronization phase, which runs when no transactions
+    /// are active).
+    pub fn peek(&self, object: &str) -> i64 {
+        self.inner.lock().objects.get(object).copied().unwrap_or(0)
+    }
+
+    /// Writes an object outside any transaction.
+    pub fn poke(&self, object: &str, value: i64) {
+        let mut inner = self.inner.lock();
+        if value == 0 {
+            inner.objects.remove(object);
+        } else {
+            inner.objects.insert(object.to_string(), value);
+        }
+    }
+
+    /// A snapshot of the whole object namespace.
+    pub fn snapshot(&self) -> BTreeMap<String, i64> {
+        self.inner.lock().objects.clone()
+    }
+
+    /// Replaces the object namespace wholesale (used when installing a
+    /// recovered or synchronized state).
+    pub fn install(&self, objects: BTreeMap<String, i64>) {
+        self.inner.lock().objects = objects.into_iter().filter(|(_, v)| *v != 0).collect();
+    }
+
+    // ------------------------------------------------------------------
+    // Relational layer
+    // ------------------------------------------------------------------
+
+    /// Creates a table.
+    pub fn create_table(&self, schema: TableSchema) {
+        let mut inner = self.inner.lock();
+        let name = schema.name.clone();
+        inner.tables.insert(name, Table::new(schema));
+    }
+
+    /// Runs a closure with read access to a table.
+    pub fn with_table<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&Table) -> R,
+    ) -> Result<R, EngineError> {
+        let inner = self.inner.lock();
+        let table = inner
+            .tables
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))?;
+        Ok(f(table))
+    }
+
+    /// Runs a closure with mutable access to a table.
+    pub fn with_table_mut<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut Table) -> R,
+    ) -> Result<R, EngineError> {
+        let mut inner = self.inner.lock();
+        let table = inner
+            .tables
+            .get_mut(name)
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))?;
+        Ok(f(table))
+    }
+
+    /// Inserts a row into a table.
+    pub fn insert_row(&self, table: &str, row: Row) -> Result<(), EngineError> {
+        self.with_table_mut(table, |t| t.insert(row))?
+            .map_err(EngineError::from)
+    }
+
+    /// Fetches a row by primary key.
+    pub fn get_row(&self, table: &str, key: &[Value]) -> Result<Option<Row>, EngineError> {
+        self.with_table(table, |t| t.get(key).cloned())
+    }
+
+    // ------------------------------------------------------------------
+    // Durability & statistics
+    // ------------------------------------------------------------------
+
+    /// Simulates a crash + recovery: the object state is rebuilt from the
+    /// WAL replayed over an empty baseline, and all in-flight transactions
+    /// disappear. Relational tables (population data) survive, matching the
+    /// paper's "all in-memory state can be recomputed" stance.
+    pub fn crash_and_recover(&self) {
+        let mut inner = self.inner.lock();
+        let recovered = inner.wal.recover(&BTreeMap::new());
+        inner.objects = recovered
+            .objects
+            .into_iter()
+            .filter(|(_, v)| *v != 0)
+            .collect();
+        inner.transactions.clear();
+        inner.locks = LockManager::new();
+    }
+
+    /// Number of committed transactions.
+    pub fn committed_count(&self) -> u64 {
+        self.inner.lock().committed_count
+    }
+
+    /// Number of aborted transactions.
+    pub fn aborted_count(&self) -> u64 {
+        self.inner.lock().aborted_count
+    }
+
+    /// Number of WAL records (diagnostics).
+    pub fn wal_len(&self) -> usize {
+        self.inner.lock().wal.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+
+    #[test]
+    fn read_write_commit_cycle() {
+        let engine = Engine::new();
+        let mut txn = engine.begin();
+        assert_eq!(engine.read(&txn, "x").unwrap(), 0);
+        engine.write(&txn, "x", 5).unwrap();
+        // Own writes are visible before commit.
+        assert_eq!(engine.read(&txn, "x").unwrap(), 5);
+        // But not outside the transaction.
+        assert_eq!(engine.peek("x"), 0);
+        engine.commit(&mut txn).unwrap();
+        assert_eq!(engine.peek("x"), 5);
+        assert_eq!(engine.committed_count(), 1);
+    }
+
+    #[test]
+    fn abort_discards_staged_writes() {
+        let engine = Engine::new();
+        let mut txn = engine.begin();
+        engine.write(&txn, "x", 9).unwrap();
+        engine.abort(&mut txn).unwrap();
+        assert_eq!(engine.peek("x"), 0);
+        assert_eq!(engine.aborted_count(), 1);
+        assert!(matches!(
+            engine.read(&txn, "x"),
+            Err(EngineError::NotActive)
+        ));
+    }
+
+    #[test]
+    fn conflicting_writers_block() {
+        let engine = Engine::new();
+        let mut t1 = engine.begin();
+        let t2 = engine.begin();
+        engine.write(&t1, "x", 1).unwrap();
+        assert!(matches!(
+            engine.write(&t2, "x", 2),
+            Err(EngineError::WouldBlock { .. })
+        ));
+        assert!(matches!(
+            engine.read(&t2, "x"),
+            Err(EngineError::WouldBlock { .. })
+        ));
+        engine.commit(&mut t1).unwrap();
+        // After commit the lock is free.
+        assert_eq!(engine.read(&t2, "x").unwrap(), 1);
+    }
+
+    #[test]
+    fn readers_do_not_block_each_other() {
+        let engine = Engine::new();
+        engine.poke("x", 7);
+        let t1 = engine.begin();
+        let t2 = engine.begin();
+        assert_eq!(engine.read(&t1, "x").unwrap(), 7);
+        assert_eq!(engine.read(&t2, "x").unwrap(), 7);
+        // But a writer now blocks.
+        let t3 = engine.begin();
+        assert!(matches!(
+            engine.write(&t3, "x", 0),
+            Err(EngineError::WouldBlock { .. })
+        ));
+    }
+
+    #[test]
+    fn serializable_interleaving_of_counter_increments() {
+        // Two increments executed with proper locking produce the serial sum.
+        let engine = Engine::new();
+        engine.poke("counter", 0);
+        for _ in 0..10 {
+            let mut t = engine.begin();
+            let v = engine.read(&t, "counter").unwrap();
+            engine.write(&t, "counter", v + 1).unwrap();
+            engine.commit(&mut t).unwrap();
+        }
+        assert_eq!(engine.peek("counter"), 10);
+    }
+
+    #[test]
+    fn crash_recovery_replays_committed_transactions_only() {
+        let engine = Engine::new();
+        let mut t1 = engine.begin();
+        engine.write(&t1, "x", 5).unwrap();
+        engine.commit(&mut t1).unwrap();
+        let t2 = engine.begin();
+        engine.write(&t2, "y", 9).unwrap();
+        // t2 never commits; crash.
+        engine.crash_and_recover();
+        assert_eq!(engine.peek("x"), 5);
+        assert_eq!(engine.peek("y"), 0);
+        // The engine is usable after recovery.
+        let mut t3 = engine.begin();
+        engine.write(&t3, "y", 1).unwrap();
+        engine.commit(&mut t3).unwrap();
+        assert_eq!(engine.peek("y"), 1);
+    }
+
+    #[test]
+    fn snapshot_and_install() {
+        let engine = Engine::new();
+        engine.poke("a", 1);
+        engine.poke("b", 2);
+        let snap = engine.snapshot();
+        let other = Engine::new();
+        other.install(snap);
+        assert_eq!(other.peek("a"), 1);
+        assert_eq!(other.peek("b"), 2);
+    }
+
+    #[test]
+    fn relational_layer_round_trip() {
+        let engine = Engine::new();
+        engine.create_table(TableSchema::new(
+            "stock",
+            vec![Column::int("itemid"), Column::int("qty")],
+            &["itemid"],
+        ));
+        engine
+            .insert_row("stock", vec![Value::Int(1), Value::Int(10)])
+            .unwrap();
+        let row = engine.get_row("stock", &[Value::Int(1)]).unwrap().unwrap();
+        assert_eq!(row[1], Value::Int(10));
+        assert!(matches!(
+            engine.insert_row("stock", vec![Value::Int(1), Value::Int(3)]),
+            Err(EngineError::Table(TableError::DuplicateKey(_)))
+        ));
+        assert!(matches!(
+            engine.get_row("nope", &[Value::Int(1)]),
+            Err(EngineError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn zero_values_keep_namespace_canonical() {
+        let engine = Engine::new();
+        let mut t = engine.begin();
+        engine.write(&t, "x", 0).unwrap();
+        engine.commit(&mut t).unwrap();
+        assert_eq!(engine.snapshot().len(), 0);
+        engine.poke("y", 0);
+        assert_eq!(engine.snapshot().len(), 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # homeo-store
+//!
+//! In-memory transactional storage engine substrate.
+//!
+//! The paper's prototype is middleware on top of MySQL InnoDB: each site has
+//! a local database that provides serializable local execution, and the
+//! homeostasis layer's in-memory state (treaty tables, stored procedures) is
+//! rebuilt after failures using the underlying engine's recovery. This crate
+//! plays the MySQL role:
+//!
+//! * typed relational tables with primary keys and secondary indexes
+//!   ([`schema`], [`table`]),
+//! * a flat integer *object* namespace — the view the `L`-level transactions
+//!   operate on ([`engine`]),
+//! * strict two-phase locking with shared/exclusive modes for serializable
+//!   local interleavings ([`locks`]),
+//! * a write-ahead log and recovery ([`wal`]),
+//! * the [`engine::Engine`] façade tying it together.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod locks;
+pub mod schema;
+pub mod table;
+pub mod wal;
+
+pub use engine::{Engine, EngineError, TxnHandle, TxnStatus};
+pub use locks::{LockManager, LockMode, LockOutcome};
+pub use schema::{Column, ColumnType, Row, TableSchema, Value};
+pub use table::{Table, TableError};
+pub use wal::{LogRecord, RecoveredState, Wal};

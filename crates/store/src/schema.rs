@@ -1,0 +1,208 @@
+//! Values, columns, rows and table schemas for the relational layer.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A cell value.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A short text value (names, addresses in TPC-C population).
+    Text(String),
+}
+
+impl Value {
+    /// The integer payload, if any.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            Value::Text(_) => None,
+        }
+    }
+
+    /// The text payload, if any.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Int(_) => None,
+            Value::Text(s) => Some(s),
+        }
+    }
+
+    /// The type of the value.
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            Value::Int(_) => ColumnType::Int,
+            Value::Text(_) => ColumnType::Text,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Text(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_string())
+    }
+}
+
+/// Column types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColumnType {
+    /// 64-bit signed integer.
+    Int,
+    /// Text.
+    Text,
+}
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub ty: ColumnType,
+}
+
+impl Column {
+    /// An integer column.
+    pub fn int(name: impl Into<String>) -> Self {
+        Column {
+            name: name.into(),
+            ty: ColumnType::Int,
+        }
+    }
+
+    /// A text column.
+    pub fn text(name: impl Into<String>) -> Self {
+        Column {
+            name: name.into(),
+            ty: ColumnType::Text,
+        }
+    }
+}
+
+/// A row: one value per column, in schema order.
+pub type Row = Vec<Value>;
+
+/// A table schema: named columns plus the primary-key column indices.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableSchema {
+    /// Table name.
+    pub name: String,
+    /// Columns in declaration order.
+    pub columns: Vec<Column>,
+    /// Indices of the primary-key columns (in key order).
+    pub primary_key: Vec<usize>,
+}
+
+impl TableSchema {
+    /// Creates a schema; primary-key columns are given by name.
+    ///
+    /// # Panics
+    /// Panics if a primary-key column name is unknown.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>, primary_key: &[&str]) -> Self {
+        let pk = primary_key
+            .iter()
+            .map(|k| {
+                columns
+                    .iter()
+                    .position(|c| c.name == *k)
+                    .unwrap_or_else(|| panic!("unknown primary key column `{k}`"))
+            })
+            .collect();
+        TableSchema {
+            name: name.into(),
+            columns,
+            primary_key: pk,
+        }
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Extracts the primary key of a row.
+    pub fn key_of(&self, row: &Row) -> Vec<Value> {
+        self.primary_key.iter().map(|&i| row[i].clone()).collect()
+    }
+
+    /// Checks that a row matches the schema (arity and types).
+    pub fn validate(&self, row: &Row) -> bool {
+        row.len() == self.columns.len()
+            && row
+                .iter()
+                .zip(&self.columns)
+                .all(|(v, c)| v.column_type() == c.ty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stock_schema() -> TableSchema {
+        TableSchema::new(
+            "stock",
+            vec![Column::int("itemid"), Column::int("qty")],
+            &["itemid"],
+        )
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_text(), None);
+        assert_eq!(Value::from("hi").as_text(), Some("hi"));
+        assert_eq!(Value::from("hi").column_type(), ColumnType::Text);
+    }
+
+    #[test]
+    fn schema_key_extraction() {
+        let s = stock_schema();
+        let row = vec![Value::Int(7), Value::Int(40)];
+        assert_eq!(s.key_of(&row), vec![Value::Int(7)]);
+        assert_eq!(s.column_index("qty"), Some(1));
+        assert_eq!(s.column_index("nope"), None);
+    }
+
+    #[test]
+    fn row_validation_checks_arity_and_types() {
+        let s = stock_schema();
+        assert!(s.validate(&vec![Value::Int(1), Value::Int(2)]));
+        assert!(!s.validate(&vec![Value::Int(1)]));
+        assert!(!s.validate(&vec![Value::Int(1), Value::from("oops")]));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown primary key")]
+    fn unknown_pk_column_panics() {
+        TableSchema::new("t", vec![Column::int("a")], &["b"]);
+    }
+
+    #[test]
+    fn composite_primary_keys() {
+        let s = TableSchema::new(
+            "district",
+            vec![Column::int("w_id"), Column::int("d_id"), Column::int("next_o_id")],
+            &["w_id", "d_id"],
+        );
+        let row = vec![Value::Int(1), Value::Int(3), Value::Int(3001)];
+        assert_eq!(s.key_of(&row), vec![Value::Int(1), Value::Int(3)]);
+    }
+}

@@ -1,0 +1,284 @@
+//! Relational tables with primary-key storage and secondary indexes.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::schema::{Row, TableSchema, Value};
+
+/// Errors from table operations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TableError {
+    /// The row does not match the schema.
+    SchemaMismatch,
+    /// A row with the same primary key already exists.
+    DuplicateKey(Vec<Value>),
+    /// No row with the given primary key exists.
+    NotFound(Vec<Value>),
+    /// Unknown column name.
+    UnknownColumn(String),
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::SchemaMismatch => write!(f, "row does not match table schema"),
+            TableError::DuplicateKey(k) => write!(f, "duplicate primary key {k:?}"),
+            TableError::NotFound(k) => write!(f, "no row with primary key {k:?}"),
+            TableError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// A table: schema, primary-key ordered rows and secondary indexes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// The schema.
+    pub schema: TableSchema,
+    rows: BTreeMap<Vec<Value>, Row>,
+    /// Secondary indexes: indexed column → (value → keys of matching rows).
+    indexes: BTreeMap<usize, BTreeMap<Value, Vec<Vec<Value>>>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(schema: TableSchema) -> Self {
+        Table {
+            schema,
+            rows: BTreeMap::new(),
+            indexes: BTreeMap::new(),
+        }
+    }
+
+    /// Declares a secondary index on the named column (existing rows are
+    /// indexed immediately).
+    pub fn create_index(&mut self, column: &str) -> Result<(), TableError> {
+        let idx = self
+            .schema
+            .column_index(column)
+            .ok_or_else(|| TableError::UnknownColumn(column.to_string()))?;
+        let mut map: BTreeMap<Value, Vec<Vec<Value>>> = BTreeMap::new();
+        for (key, row) in &self.rows {
+            map.entry(row[idx].clone()).or_default().push(key.clone());
+        }
+        self.indexes.insert(idx, map);
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Inserts a row.
+    pub fn insert(&mut self, row: Row) -> Result<(), TableError> {
+        if !self.schema.validate(&row) {
+            return Err(TableError::SchemaMismatch);
+        }
+        let key = self.schema.key_of(&row);
+        if self.rows.contains_key(&key) {
+            return Err(TableError::DuplicateKey(key));
+        }
+        for (col, index) in self.indexes.iter_mut() {
+            index.entry(row[*col].clone()).or_default().push(key.clone());
+        }
+        self.rows.insert(key, row);
+        Ok(())
+    }
+
+    /// Fetches a row by primary key.
+    pub fn get(&self, key: &[Value]) -> Option<&Row> {
+        self.rows.get(key)
+    }
+
+    /// Updates a single column of the row with the given primary key.
+    pub fn update_column(
+        &mut self,
+        key: &[Value],
+        column: &str,
+        value: Value,
+    ) -> Result<(), TableError> {
+        let idx = self
+            .schema
+            .column_index(column)
+            .ok_or_else(|| TableError::UnknownColumn(column.to_string()))?;
+        let row = self
+            .rows
+            .get_mut(key)
+            .ok_or_else(|| TableError::NotFound(key.to_vec()))?;
+        let old = std::mem::replace(&mut row[idx], value.clone());
+        if let Some(index) = self.indexes.get_mut(&idx) {
+            if let Some(keys) = index.get_mut(&old) {
+                keys.retain(|k| k != key);
+                if keys.is_empty() {
+                    index.remove(&old);
+                }
+            }
+            index.entry(value).or_default().push(key.to_vec());
+        }
+        Ok(())
+    }
+
+    /// Deletes a row by primary key, returning it.
+    pub fn delete(&mut self, key: &[Value]) -> Result<Row, TableError> {
+        let row = self
+            .rows
+            .remove(key)
+            .ok_or_else(|| TableError::NotFound(key.to_vec()))?;
+        for (col, index) in self.indexes.iter_mut() {
+            if let Some(keys) = index.get_mut(&row[*col]) {
+                keys.retain(|k| k != key);
+                if keys.is_empty() {
+                    index.remove(&row[*col]);
+                }
+            }
+        }
+        Ok(row)
+    }
+
+    /// Full scan in primary-key order.
+    pub fn scan(&self) -> impl Iterator<Item = &Row> {
+        self.rows.values()
+    }
+
+    /// Looks up rows by an indexed column value; falls back to a scan when no
+    /// index exists on the column.
+    pub fn lookup(&self, column: &str, value: &Value) -> Result<Vec<&Row>, TableError> {
+        let idx = self
+            .schema
+            .column_index(column)
+            .ok_or_else(|| TableError::UnknownColumn(column.to_string()))?;
+        if let Some(index) = self.indexes.get(&idx) {
+            Ok(index
+                .get(value)
+                .map(|keys| keys.iter().filter_map(|k| self.rows.get(k)).collect())
+                .unwrap_or_default())
+        } else {
+            Ok(self.scan().filter(|r| &r[idx] == value).collect())
+        }
+    }
+
+    /// The smallest primary key strictly greater than `key`, if any (used by
+    /// "oldest order" style scans).
+    pub fn next_key_after(&self, key: &[Value]) -> Option<Vec<Value>> {
+        self.rows
+            .range(key.to_vec()..)
+            .find(|(k, _)| k.as_slice() != key)
+            .map(|(k, _)| k.clone())
+    }
+
+    /// The smallest primary key, if any.
+    pub fn first_key(&self) -> Option<Vec<Value>> {
+        self.rows.keys().next().cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, TableSchema};
+
+    fn stock() -> Table {
+        Table::new(TableSchema::new(
+            "stock",
+            vec![Column::int("itemid"), Column::int("qty")],
+            &["itemid"],
+        ))
+    }
+
+    fn int_row(a: i64, b: i64) -> Row {
+        vec![Value::Int(a), Value::Int(b)]
+    }
+
+    #[test]
+    fn insert_get_and_duplicate_detection() {
+        let mut t = stock();
+        t.insert(int_row(1, 10)).unwrap();
+        t.insert(int_row(2, 20)).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&[Value::Int(1)]).unwrap()[1], Value::Int(10));
+        assert_eq!(
+            t.insert(int_row(1, 99)),
+            Err(TableError::DuplicateKey(vec![Value::Int(1)]))
+        );
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let mut t = stock();
+        assert_eq!(
+            t.insert(vec![Value::Int(1)]),
+            Err(TableError::SchemaMismatch)
+        );
+        assert_eq!(
+            t.insert(vec![Value::Int(1), Value::from("x")]),
+            Err(TableError::SchemaMismatch)
+        );
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let mut t = stock();
+        t.insert(int_row(1, 10)).unwrap();
+        t.update_column(&[Value::Int(1)], "qty", Value::Int(9)).unwrap();
+        assert_eq!(t.get(&[Value::Int(1)]).unwrap()[1], Value::Int(9));
+        assert!(matches!(
+            t.update_column(&[Value::Int(9)], "qty", Value::Int(0)),
+            Err(TableError::NotFound(_))
+        ));
+        let deleted = t.delete(&[Value::Int(1)]).unwrap();
+        assert_eq!(deleted[1], Value::Int(9));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn secondary_index_lookup_and_maintenance() {
+        let mut t = stock();
+        t.insert(int_row(1, 10)).unwrap();
+        t.insert(int_row(2, 10)).unwrap();
+        t.insert(int_row(3, 30)).unwrap();
+        t.create_index("qty").unwrap();
+        assert_eq!(t.lookup("qty", &Value::Int(10)).unwrap().len(), 2);
+        // Update moves the row between index buckets.
+        t.update_column(&[Value::Int(1)], "qty", Value::Int(30)).unwrap();
+        assert_eq!(t.lookup("qty", &Value::Int(10)).unwrap().len(), 1);
+        assert_eq!(t.lookup("qty", &Value::Int(30)).unwrap().len(), 2);
+        // Delete removes from the index.
+        t.delete(&[Value::Int(3)]).unwrap();
+        assert_eq!(t.lookup("qty", &Value::Int(30)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn lookup_without_index_scans() {
+        let mut t = stock();
+        t.insert(int_row(5, 50)).unwrap();
+        assert_eq!(t.lookup("qty", &Value::Int(50)).unwrap().len(), 1);
+        assert!(matches!(
+            t.lookup("missing", &Value::Int(0)),
+            Err(TableError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn ordered_scan_and_key_navigation() {
+        let mut t = stock();
+        for i in [3, 1, 2] {
+            t.insert(int_row(i, i * 10)).unwrap();
+        }
+        let keys: Vec<i64> = t.scan().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(keys, vec![1, 2, 3]);
+        assert_eq!(t.first_key(), Some(vec![Value::Int(1)]));
+        assert_eq!(
+            t.next_key_after(&[Value::Int(1)]),
+            Some(vec![Value::Int(2)])
+        );
+        assert_eq!(t.next_key_after(&[Value::Int(3)]), None);
+    }
+}

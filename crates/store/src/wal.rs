@@ -1,0 +1,312 @@
+//! Write-ahead logging and recovery.
+//!
+//! The paper relies on "the recovery mechanisms of the underlying database"
+//! and notes that "all in-memory state can be recomputed after failure
+//! recovery" (Section 5.2). The WAL here plays that role for our in-memory
+//! engine: committed object writes are logged before they are applied, and
+//! [`Wal::recover`] rebuilds the committed object state (uncommitted
+//! transactions are discarded), after which the protocol layer can recompute
+//! its treaty tables.
+
+use std::collections::BTreeMap;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// A log sequence number.
+pub type Lsn = u64;
+
+/// Records appended to the write-ahead log.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LogRecord {
+    /// A transaction began.
+    Begin {
+        /// Transaction id.
+        txn: u64,
+    },
+    /// A transaction wrote `value` to `object` (logged before commit).
+    Write {
+        /// Transaction id.
+        txn: u64,
+        /// Object name.
+        object: String,
+        /// New value.
+        value: i64,
+        /// Previous value (for diagnostics / undo-style tooling).
+        previous: i64,
+    },
+    /// A transaction committed.
+    Commit {
+        /// Transaction id.
+        txn: u64,
+    },
+    /// A transaction aborted.
+    Abort {
+        /// Transaction id.
+        txn: u64,
+    },
+}
+
+/// The state recovered from a log.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveredState {
+    /// Committed object values.
+    pub objects: BTreeMap<String, i64>,
+    /// Ids of transactions that committed.
+    pub committed: Vec<u64>,
+    /// Ids of transactions that began but neither committed nor aborted
+    /// (losers discarded by recovery).
+    pub in_flight: Vec<u64>,
+}
+
+/// An append-only write-ahead log.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Wal {
+    records: Vec<LogRecord>,
+}
+
+impl Wal {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record, returning its LSN.
+    pub fn append(&mut self, record: LogRecord) -> Lsn {
+        self.records.push(record);
+        self.records.len() as Lsn
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over the records in append order.
+    pub fn records(&self) -> impl Iterator<Item = &LogRecord> {
+        self.records.iter()
+    }
+
+    /// Truncates the log (after a checkpoint has captured the state).
+    pub fn truncate(&mut self) {
+        self.records.clear();
+    }
+
+    /// Replays the log: redo the writes of committed transactions, in commit
+    /// order, on top of `baseline` (the last checkpoint image).
+    pub fn recover(&self, baseline: &BTreeMap<String, i64>) -> RecoveredState {
+        let mut committed: Vec<u64> = Vec::new();
+        let mut aborted: Vec<u64> = Vec::new();
+        let mut begun: Vec<u64> = Vec::new();
+        for r in &self.records {
+            match r {
+                LogRecord::Begin { txn } => begun.push(*txn),
+                LogRecord::Commit { txn } => committed.push(*txn),
+                LogRecord::Abort { txn } => aborted.push(*txn),
+                LogRecord::Write { .. } => {}
+            }
+        }
+        let mut objects = baseline.clone();
+        // Redo in log order, but only writes of committed transactions.
+        for r in &self.records {
+            if let LogRecord::Write {
+                txn,
+                object,
+                value,
+                ..
+            } = r
+            {
+                if committed.contains(txn) {
+                    objects.insert(object.clone(), *value);
+                }
+            }
+        }
+        let in_flight = begun
+            .into_iter()
+            .filter(|t| !committed.contains(t) && !aborted.contains(t))
+            .collect();
+        RecoveredState {
+            objects,
+            committed,
+            in_flight,
+        }
+    }
+
+    /// Serializes the log to a compact binary frame (length-prefixed
+    /// records), exercising the `bytes` substrate the way an on-disk log
+    /// writer would.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u32(self.records.len() as u32);
+        for r in &self.records {
+            match r {
+                LogRecord::Begin { txn } => {
+                    buf.put_u8(0);
+                    buf.put_u64(*txn);
+                }
+                LogRecord::Commit { txn } => {
+                    buf.put_u8(1);
+                    buf.put_u64(*txn);
+                }
+                LogRecord::Abort { txn } => {
+                    buf.put_u8(2);
+                    buf.put_u64(*txn);
+                }
+                LogRecord::Write {
+                    txn,
+                    object,
+                    value,
+                    previous,
+                } => {
+                    buf.put_u8(3);
+                    buf.put_u64(*txn);
+                    let name = object.as_bytes();
+                    buf.put_u32(name.len() as u32);
+                    buf.put_slice(name);
+                    buf.put_i64(*value);
+                    buf.put_i64(*previous);
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a frame produced by [`Wal::encode`].
+    pub fn decode(mut data: Bytes) -> Option<Wal> {
+        if data.remaining() < 4 {
+            return None;
+        }
+        let count = data.get_u32() as usize;
+        let mut records = Vec::with_capacity(count);
+        for _ in 0..count {
+            if data.remaining() < 9 {
+                return None;
+            }
+            let tag = data.get_u8();
+            let txn = data.get_u64();
+            let record = match tag {
+                0 => LogRecord::Begin { txn },
+                1 => LogRecord::Commit { txn },
+                2 => LogRecord::Abort { txn },
+                3 => {
+                    if data.remaining() < 4 {
+                        return None;
+                    }
+                    let len = data.get_u32() as usize;
+                    if data.remaining() < len + 16 {
+                        return None;
+                    }
+                    let name = data.split_to(len);
+                    let object = String::from_utf8(name.to_vec()).ok()?;
+                    let value = data.get_i64();
+                    let previous = data.get_i64();
+                    LogRecord::Write {
+                        txn,
+                        object,
+                        value,
+                        previous,
+                    }
+                }
+                _ => return None,
+            };
+            records.push(record);
+        }
+        Some(Wal { records })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(txn: u64, object: &str, value: i64, previous: i64) -> LogRecord {
+        LogRecord::Write {
+            txn,
+            object: object.to_string(),
+            value,
+            previous,
+        }
+    }
+
+    #[test]
+    fn committed_writes_are_redone() {
+        let mut wal = Wal::new();
+        wal.append(LogRecord::Begin { txn: 1 });
+        wal.append(write(1, "x", 5, 0));
+        wal.append(LogRecord::Commit { txn: 1 });
+        let state = wal.recover(&BTreeMap::new());
+        assert_eq!(state.objects.get("x"), Some(&5));
+        assert_eq!(state.committed, vec![1]);
+        assert!(state.in_flight.is_empty());
+    }
+
+    #[test]
+    fn uncommitted_and_aborted_writes_are_discarded() {
+        let mut wal = Wal::new();
+        wal.append(LogRecord::Begin { txn: 1 });
+        wal.append(write(1, "x", 5, 0));
+        wal.append(LogRecord::Begin { txn: 2 });
+        wal.append(write(2, "y", 7, 0));
+        wal.append(LogRecord::Abort { txn: 2 });
+        let state = wal.recover(&BTreeMap::new());
+        assert!(state.objects.is_empty());
+        assert_eq!(state.in_flight, vec![1]);
+    }
+
+    #[test]
+    fn recovery_applies_on_top_of_baseline_in_order() {
+        let mut wal = Wal::new();
+        wal.append(LogRecord::Begin { txn: 1 });
+        wal.append(write(1, "x", 5, 3));
+        wal.append(LogRecord::Commit { txn: 1 });
+        wal.append(LogRecord::Begin { txn: 2 });
+        wal.append(write(2, "x", 9, 5));
+        wal.append(LogRecord::Commit { txn: 2 });
+        let baseline: BTreeMap<String, i64> = [("x".to_string(), 3), ("z".to_string(), 1)]
+            .into_iter()
+            .collect();
+        let state = wal.recover(&baseline);
+        assert_eq!(state.objects.get("x"), Some(&9));
+        assert_eq!(state.objects.get("z"), Some(&1));
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut wal = Wal::new();
+        wal.append(LogRecord::Begin { txn: 42 });
+        wal.append(write(42, "stock[7]", 99, 100));
+        wal.append(LogRecord::Commit { txn: 42 });
+        wal.append(LogRecord::Abort { txn: 43 });
+        let encoded = wal.encode();
+        let decoded = Wal::decode(encoded).expect("decode");
+        assert_eq!(decoded.len(), wal.len());
+        assert_eq!(
+            decoded.records().collect::<Vec<_>>(),
+            wal.records().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn decode_rejects_truncated_frames() {
+        let mut wal = Wal::new();
+        wal.append(write(1, "x", 1, 0));
+        let encoded = wal.encode();
+        let truncated = encoded.slice(0..encoded.len() - 3);
+        assert!(Wal::decode(truncated).is_none());
+        assert!(Wal::decode(Bytes::new()).is_none());
+    }
+
+    #[test]
+    fn truncate_clears_the_log() {
+        let mut wal = Wal::new();
+        wal.append(LogRecord::Begin { txn: 1 });
+        assert!(!wal.is_empty());
+        wal.truncate();
+        assert!(wal.is_empty());
+    }
+}

@@ -1,0 +1,104 @@
+//! The five EC2 datacenters of the TPC-C evaluation and their average
+//! round-trip times (Table 1 of the paper).
+
+use homeo_sim::RttMatrix;
+use serde::{Deserialize, Serialize};
+
+/// A datacenter used in the evaluation, in the order replicas are added
+//  (Section 6.2: "the replicas are added in the order UE, UW, IE, SG, BR").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Datacenter {
+    /// US East (Virginia).
+    VirginiaUE,
+    /// US West (Oregon).
+    OregonUW,
+    /// Ireland.
+    IrelandIE,
+    /// Singapore.
+    SingaporeSG,
+    /// São Paulo.
+    SaoPauloBR,
+}
+
+impl Datacenter {
+    /// Short label used in the paper's table.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Datacenter::VirginiaUE => "UE",
+            Datacenter::OregonUW => "UW",
+            Datacenter::IrelandIE => "IE",
+            Datacenter::SingaporeSG => "SG",
+            Datacenter::SaoPauloBR => "BR",
+        }
+    }
+}
+
+/// The datacenters in replica-addition order.
+pub const TABLE1: [Datacenter; 5] = [
+    Datacenter::VirginiaUE,
+    Datacenter::OregonUW,
+    Datacenter::IrelandIE,
+    Datacenter::SingaporeSG,
+    Datacenter::SaoPauloBR,
+];
+
+/// The average RTTs (in milliseconds) between the datacenters, exactly as
+/// reported in Table 1. Intra-datacenter RTT is below 1 ms and treated as 0.
+pub const TABLE1_RTT_MS: [[u64; 5]; 5] = [
+    [0, 64, 80, 243, 164],
+    [64, 0, 170, 210, 227],
+    [80, 170, 0, 285, 235],
+    [243, 210, 285, 0, 372],
+    [164, 227, 235, 372, 0],
+];
+
+/// Builds the RTT matrix for the first `replicas` datacenters in Table 1
+/// order.
+pub fn table1_rtt_matrix(replicas: usize) -> RttMatrix {
+    assert!(
+        (1..=5).contains(&replicas),
+        "Table 1 covers between 1 and 5 datacenters"
+    );
+    let rows: Vec<Vec<u64>> = TABLE1_RTT_MS[..replicas]
+        .iter()
+        .map(|row| row[..replicas].to_vec())
+        .collect();
+    RttMatrix::from_millis(&rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homeo_sim::clock::millis;
+
+    #[test]
+    fn matrix_matches_table_1() {
+        let m = table1_rtt_matrix(5);
+        assert_eq!(m.rtt(0, 1), millis(64)); // UE-UW
+        assert_eq!(m.rtt(0, 3), millis(243)); // UE-SG
+        assert_eq!(m.rtt(3, 4), millis(372)); // SG-BR
+        assert_eq!(m.rtt(2, 2), 0);
+        assert_eq!(m.max_rtt(), millis(372));
+    }
+
+    #[test]
+    fn truncation_follows_replica_addition_order() {
+        let two = table1_rtt_matrix(2);
+        assert_eq!(two.sites(), 2);
+        assert_eq!(two.max_rtt(), millis(64)); // UE-UW only
+        let three = table1_rtt_matrix(3);
+        assert_eq!(three.max_rtt(), millis(170)); // UW-IE
+    }
+
+    #[test]
+    fn labels_are_the_paper_codes() {
+        let labels: Vec<_> = TABLE1.iter().map(|d| d.label()).collect();
+        assert_eq!(labels, vec!["UE", "UW", "IE", "SG", "BR"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "between 1 and 5")]
+    fn more_than_five_replicas_is_rejected() {
+        table1_rtt_matrix(6);
+    }
+}

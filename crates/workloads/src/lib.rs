@@ -1,0 +1,28 @@
+//! # homeo-workloads
+//!
+//! The workloads of the paper's evaluation (Section 6), ready to run under
+//! the closed-loop simulator:
+//!
+//! * [`datacenters`] — the five EC2 datacenters of Table 1 and their RTTs;
+//! * [`micro`] — the configurable e-commerce microbenchmark of Section 6.1
+//!   (a single `Stock(itemid, qty)` table and the decrement-or-refill
+//!   transaction of Listing 1), with executors for the four execution modes
+//!   (`homeo`, `opt`, `2pc`, `local`);
+//! * [`tpcc`] — the TPC-C subset of Section 6.2 (New Order / Payment /
+//!   Delivery at 45/45/10, hot-item skew `H`), with executors for `homeo`,
+//!   `opt` and `2pc`.
+//!
+//! Both workloads report the cost components of every transaction (local
+//! execution, communication rounds, solver time) so the simulator can build
+//! the latency/throughput/synchronization-ratio figures of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datacenters;
+pub mod micro;
+pub mod tpcc;
+
+pub use datacenters::{table1_rtt_matrix, Datacenter, TABLE1};
+pub use micro::{MicroConfig, MicroExecutor, Mode};
+pub use tpcc::{TpccConfig, TpccExecutor};

@@ -1,0 +1,570 @@
+//! The TPC-C subset of Section 6.2.
+//!
+//! Tables: Warehouse, District, Customer, Item, Stock, NewOrder (populated
+//! into the per-replica storage engines). Workload: 45% New Order, 45%
+//! Payment, 10% Delivery, with 1% of the items marked "hot" and a knob `H`
+//! giving the percentage of New Order transactions that hit hot items.
+//!
+//! Treaties follow Appendix E:
+//!
+//! * New Order needs a per-item treaty `S_QUANTITY ≥ 0`, enforced through
+//!   the replicated-counter machinery (stock decrements are the only
+//!   operations that can violate it);
+//! * Payment only increments balances, which never threatens a treaty, so it
+//!   always commits locally;
+//! * Delivery updates the per-district "lowest unprocessed order id", whose
+//!   treaty pins it to its current value — every execution violates it and
+//!   synchronizes.
+
+use serde::{Deserialize, Serialize};
+
+use homeo_baselines::TwoPcCluster;
+use homeo_lang::ids::ObjId;
+use homeo_protocol::{OptimizerConfig, ReplicatedCounters, ReplicatedMode};
+use homeo_sim::clock::SimTime;
+use homeo_sim::{ClientOutcome, CostComponents, DetRng, LatencyStats, RttMatrix, SiteExecutor, SyncCounter};
+use homeo_store::{Column, Engine, TableSchema, Value};
+
+use crate::datacenters::table1_rtt_matrix;
+use crate::micro::Mode;
+
+/// Configuration of the TPC-C experiments (defaults follow Section 6.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TpccConfig {
+    /// Number of warehouses.
+    pub warehouses: usize,
+    /// Districts per warehouse.
+    pub districts_per_warehouse: usize,
+    /// Items per district.
+    pub items_per_district: usize,
+    /// Number of customers.
+    pub customers: usize,
+    /// Number of replicas (datacenters, added in Table 1 order).
+    pub replicas: usize,
+    /// Percentage of New Order transactions that order hot items (`H`).
+    pub hotness: u32,
+    /// Fraction of items that are hot (the paper marks 1%).
+    pub hot_fraction: f64,
+    /// Transaction mix in percent: (New Order, Payment, Delivery).
+    pub mix: (u32, u32, u32),
+    /// Maximum initial stock level (initial levels are uniform in 0..=max).
+    pub initial_stock_max: i64,
+    /// Stock refill level used when an order cannot be served.
+    pub refill: i64,
+    /// Lookahead interval `L` for the optimizer.
+    pub lookahead: usize,
+    /// Cost factor `f` for the optimizer.
+    pub futures: usize,
+    /// Local execution time per transaction, in microseconds.
+    pub local_exec_us: u64,
+    /// Extra treaty-check time under homeostasis, in microseconds.
+    pub treaty_check_us: u64,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for TpccConfig {
+    fn default() -> Self {
+        TpccConfig {
+            warehouses: 10,
+            districts_per_warehouse: 10,
+            items_per_district: 1000,
+            customers: 10_000,
+            replicas: 2,
+            hotness: 10,
+            hot_fraction: 0.01,
+            mix: (45, 45, 10),
+            initial_stock_max: 100,
+            refill: 91,
+            lookahead: 10,
+            futures: 2,
+            local_exec_us: 3_000,
+            treaty_check_us: 1_500,
+            seed: 42,
+        }
+    }
+}
+
+impl TpccConfig {
+    /// Total number of stock entries.
+    pub fn total_items(&self) -> usize {
+        self.warehouses * self.districts_per_warehouse * self.items_per_district
+    }
+
+    /// The datacenter RTT matrix for this configuration.
+    pub fn rtt_matrix(&self) -> RttMatrix {
+        table1_rtt_matrix(self.replicas)
+    }
+
+    /// Optimizer settings.
+    pub fn optimizer(&self) -> OptimizerConfig {
+        OptimizerConfig {
+            lookahead: self.lookahead,
+            futures: self.futures,
+            seed: self.seed,
+        }
+    }
+}
+
+/// The stock object for a (warehouse, district, item) triple.
+pub fn stock_obj(warehouse: usize, district: usize, item: usize) -> ObjId {
+    ObjId::new(format!("stock[{warehouse}.{district}.{item}]"))
+}
+
+/// The per-district object holding the lowest unprocessed order id
+/// (Appendix E's Delivery treaty target).
+pub fn district_order_obj(warehouse: usize, district: usize) -> ObjId {
+    ObjId::new(format!("neworder.min[{warehouse}.{district}]"))
+}
+
+/// The balance object for a customer.
+pub fn customer_balance_obj(customer: usize) -> ObjId {
+    ObjId::new(format!("customer.balance[{customer}]"))
+}
+
+/// Populates the TPC-C tables in one storage engine.
+pub fn populate_engine(config: &TpccConfig, rng: &mut DetRng) -> Engine {
+    let engine = Engine::new();
+    engine.create_table(TableSchema::new(
+        "warehouse",
+        vec![Column::int("w_id"), Column::int("w_ytd")],
+        &["w_id"],
+    ));
+    engine.create_table(TableSchema::new(
+        "district",
+        vec![
+            Column::int("w_id"),
+            Column::int("d_id"),
+            Column::int("next_o_id"),
+        ],
+        &["w_id", "d_id"],
+    ));
+    engine.create_table(TableSchema::new(
+        "customer",
+        vec![Column::int("c_id"), Column::int("balance"), Column::text("name")],
+        &["c_id"],
+    ));
+    engine.create_table(TableSchema::new(
+        "stock",
+        vec![
+            Column::int("w_id"),
+            Column::int("d_id"),
+            Column::int("i_id"),
+            Column::int("quantity"),
+        ],
+        &["w_id", "d_id", "i_id"],
+    ));
+    engine.create_table(TableSchema::new(
+        "neworder",
+        vec![Column::int("w_id"), Column::int("d_id"), Column::int("o_id")],
+        &["w_id", "d_id", "o_id"],
+    ));
+    for w in 0..config.warehouses {
+        engine
+            .insert_row("warehouse", vec![Value::Int(w as i64), Value::Int(0)])
+            .expect("insert warehouse");
+        for d in 0..config.districts_per_warehouse {
+            engine
+                .insert_row(
+                    "district",
+                    vec![Value::Int(w as i64), Value::Int(d as i64), Value::Int(1)],
+                )
+                .expect("insert district");
+            for i in 0..config.items_per_district {
+                let qty = rng.int_inclusive(0, config.initial_stock_max);
+                engine
+                    .insert_row(
+                        "stock",
+                        vec![
+                            Value::Int(w as i64),
+                            Value::Int(d as i64),
+                            Value::Int(i as i64),
+                            Value::Int(qty),
+                        ],
+                    )
+                    .expect("insert stock");
+            }
+        }
+    }
+    for c in 0..config.customers {
+        engine
+            .insert_row(
+                "customer",
+                vec![
+                    Value::Int(c as i64),
+                    Value::Int(0),
+                    Value::Text(format!("customer-{c}")),
+                ],
+            )
+            .expect("insert customer");
+    }
+    engine
+}
+
+enum TpccState {
+    Replicated(ReplicatedCounters),
+    TwoPc(TwoPcCluster),
+}
+
+/// The TPC-C executor: implements [`SiteExecutor`] and separately records the
+/// New Order measurements the paper reports.
+pub struct TpccExecutor {
+    config: TpccConfig,
+    mode: Mode,
+    rtt: RttMatrix,
+    state: TpccState,
+    /// One populated engine per replica.
+    pub engines: Vec<Engine>,
+    /// Latency samples of New Order transactions only (the paper's Figures
+    /// 19–22 report New Order measurements, per the TPC-C specification).
+    pub new_order_latency: LatencyStats,
+    /// Commit / synchronization counters for New Order only.
+    pub new_order_counter: SyncCounter,
+    /// Commit / synchronization counters over all transaction types.
+    pub all_counter: SyncCounter,
+}
+
+impl TpccExecutor {
+    /// Builds the executor for a mode (`Local` is not part of the paper's
+    /// TPC-C comparison; `Opt` and `Homeostasis` share the replicated path).
+    pub fn new(config: TpccConfig, mode: Mode) -> Self {
+        let rtt = config.rtt_matrix();
+        let mut population_rng = DetRng::seed_from(config.seed);
+        let engines: Vec<Engine> = (0..config.replicas)
+            .map(|_| populate_engine(&config, &mut DetRng::seed_from(config.seed)))
+            .collect();
+        let state = match mode {
+            Mode::Homeostasis => TpccState::Replicated(ReplicatedCounters::new(
+                config.replicas,
+                ReplicatedMode::Homeostasis {
+                    optimizer: Some(config.optimizer()),
+                },
+            )),
+            Mode::Opt | Mode::Local => TpccState::Replicated(ReplicatedCounters::new(
+                config.replicas,
+                ReplicatedMode::EvenSplit,
+            )),
+            Mode::TwoPc => {
+                let mut cluster = TwoPcCluster::new();
+                for w in 0..config.warehouses {
+                    for d in 0..config.districts_per_warehouse {
+                        for i in 0..config.items_per_district {
+                            let qty = population_rng.int_inclusive(0, config.initial_stock_max);
+                            cluster.populate(stock_obj(w, d, i), qty);
+                        }
+                    }
+                }
+                TpccState::TwoPc(cluster)
+            }
+        };
+        TpccExecutor {
+            config,
+            mode,
+            rtt,
+            state,
+            engines,
+            new_order_latency: LatencyStats::new(),
+            new_order_counter: SyncCounter::new(),
+            all_counter: SyncCounter::new(),
+        }
+    }
+
+    /// The mode under test.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    fn sync_comm_cost(&self, replica: usize) -> SimTime {
+        2 * self.rtt.max_rtt_from(replica)
+    }
+
+    fn local_cost(&self) -> SimTime {
+        match self.mode {
+            Mode::Homeostasis | Mode::Opt => {
+                self.config.local_exec_us + self.config.treaty_check_us
+            }
+            _ => self.config.local_exec_us,
+        }
+    }
+
+    fn pick_item(&self, rng: &mut DetRng) -> (usize, usize, usize) {
+        let w = rng.index(self.config.warehouses);
+        let d = rng.index(self.config.districts_per_warehouse);
+        // Hot items are the first `hot_fraction` of each district's item
+        // space; `hotness`% of New Orders go to a hot item.
+        let per_district = self.config.items_per_district;
+        let hot_count = ((per_district as f64 * self.config.hot_fraction).ceil() as usize).max(1);
+        let item = if rng.chance(self.config.hotness as f64 / 100.0) {
+            rng.index(hot_count)
+        } else {
+            hot_count + rng.index(per_district - hot_count)
+        };
+        (w, d, item)
+    }
+
+    fn new_order(&mut self, replica: usize, rng: &mut DetRng) -> ClientOutcome {
+        let (w, d, item) = self.pick_item(rng);
+        let qty = rng.int_inclusive(1, 5);
+        let obj = stock_obj(w, d, item);
+        let local = self.local_cost();
+        let outcome = match &mut self.state {
+            TpccState::Replicated(counters) => {
+                if !counters.is_registered(&obj) {
+                    let initial = self.engines[0]
+                        .get_row(
+                            "stock",
+                            &[
+                                Value::Int(w as i64),
+                                Value::Int(d as i64),
+                                Value::Int(item as i64),
+                            ],
+                        )
+                        .ok()
+                        .flatten()
+                        .and_then(|row| row[3].as_int())
+                        .unwrap_or(0);
+                    counters.register(obj.clone(), initial, 0);
+                }
+                let out = counters.order(replica, &obj, qty, Some(self.config.refill));
+                ClientOutcome {
+                    committed: true,
+                    synchronized: out.synchronized,
+                    costs: CostComponents {
+                        local,
+                        communication: if out.synchronized {
+                            self.sync_comm_cost(replica)
+                        } else {
+                            0
+                        },
+                        solver: out.solver_micros,
+                    },
+                }
+            }
+            TpccState::TwoPc(cluster) => {
+                let out = cluster.order(&obj, qty, Some(self.config.refill));
+                ClientOutcome {
+                    committed: out.committed,
+                    synchronized: true,
+                    costs: CostComponents {
+                        local,
+                        communication: 2 * self.rtt.max_rtt_from(replica),
+                        solver: 0,
+                    },
+                }
+            }
+        };
+        // Record the per-site order id bookkeeping in the relational layer:
+        // each site generates its own monotonically increasing ids, which is
+        // exactly the ordering relaxation Appendix E allows.
+        let next = self.engines[replica]
+            .get_row("district", &[Value::Int(w as i64), Value::Int(d as i64)])
+            .ok()
+            .flatten()
+            .and_then(|row| row[2].as_int())
+            .unwrap_or(1);
+        let _ = self.engines[replica].with_table_mut("district", |t| {
+            t.update_column(
+                &[Value::Int(w as i64), Value::Int(d as i64)],
+                "next_o_id",
+                Value::Int(next + 1),
+            )
+        });
+        let _ = self.engines[replica].insert_row(
+            "neworder",
+            vec![
+                Value::Int(w as i64),
+                Value::Int(d as i64),
+                Value::Int(next * self.config.replicas as i64 + replica as i64),
+            ],
+        );
+        outcome
+    }
+
+    fn payment(&mut self, replica: usize, rng: &mut DetRng) -> ClientOutcome {
+        let customer = rng.index(self.config.customers);
+        let amount = rng.int_inclusive(1, 5000);
+        let obj = customer_balance_obj(customer);
+        let local = self.local_cost();
+        match &mut self.state {
+            TpccState::Replicated(counters) => {
+                if !counters.is_registered(&obj) {
+                    counters.register(obj.clone(), 0, -1_000_000_000);
+                }
+                counters.increment(replica, &obj, amount);
+                ClientOutcome {
+                    committed: true,
+                    synchronized: false,
+                    costs: CostComponents {
+                        local,
+                        communication: 0,
+                        solver: 0,
+                    },
+                }
+            }
+            TpccState::TwoPc(cluster) => {
+                let out = cluster.order(&obj, -amount, None);
+                ClientOutcome {
+                    committed: out.committed,
+                    synchronized: true,
+                    costs: CostComponents {
+                        local,
+                        communication: 2 * self.rtt.max_rtt_from(replica),
+                        solver: 0,
+                    },
+                }
+            }
+        }
+    }
+
+    fn delivery(&mut self, replica: usize, rng: &mut DetRng) -> ClientOutcome {
+        let w = rng.index(self.config.warehouses);
+        let d = rng.index(self.config.districts_per_warehouse);
+        let obj = district_order_obj(w, d);
+        let local = self.local_cost();
+        // Remove the oldest order from the relational NewOrder table.
+        let _ = self.engines[replica].with_table_mut("neworder", |t| {
+            if let Some(key) = t.first_key() {
+                let _ = t.delete(&key);
+            }
+        });
+        match &mut self.state {
+            TpccState::Replicated(counters) => {
+                if !counters.is_registered(&obj) {
+                    counters.register(obj.clone(), 0, 0);
+                }
+                let out = counters.force_sync(&obj);
+                ClientOutcome {
+                    committed: true,
+                    synchronized: true,
+                    costs: CostComponents {
+                        local,
+                        communication: self.sync_comm_cost(replica),
+                        solver: out.solver_micros,
+                    },
+                }
+            }
+            TpccState::TwoPc(cluster) => {
+                let out = cluster.order(&obj, 0, None);
+                ClientOutcome {
+                    committed: out.committed,
+                    synchronized: true,
+                    costs: CostComponents {
+                        local,
+                        communication: 2 * self.rtt.max_rtt_from(replica),
+                        solver: 0,
+                    },
+                }
+            }
+        }
+    }
+}
+
+impl SiteExecutor for TpccExecutor {
+    fn execute(&mut self, replica: usize, rng: &mut DetRng) -> ClientOutcome {
+        let (no, pay, del) = self.config.mix;
+        let kind = rng.weighted_index(&[no as f64, pay as f64, del as f64]);
+        let outcome = match kind {
+            0 => self.new_order(replica, rng),
+            1 => self.payment(replica, rng),
+            _ => self.delivery(replica, rng),
+        };
+        self.all_counter
+            .record(outcome.committed, outcome.synchronized);
+        if kind == 0 {
+            self.new_order_latency.record(outcome.costs.total().max(1));
+            self.new_order_counter
+                .record(outcome.committed, outcome.synchronized);
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homeo_sim::closedloop;
+    use homeo_sim::clock::millis;
+
+    fn small_config() -> TpccConfig {
+        TpccConfig {
+            warehouses: 2,
+            districts_per_warehouse: 2,
+            items_per_district: 50,
+            customers: 200,
+            replicas: 2,
+            lookahead: 8,
+            futures: 2,
+            ..TpccConfig::default()
+        }
+    }
+
+    fn run(mode: Mode, config: &TpccConfig) -> (homeo_sim::RunMetrics, TpccExecutor) {
+        let mut exec = TpccExecutor::new(config.clone(), mode);
+        let loop_config = homeo_sim::ClosedLoopConfig {
+            replicas: config.replicas,
+            clients_per_replica: 8,
+            warmup: millis(500),
+            measure: millis(4_000),
+            seed: 7,
+            cores_per_replica: 16,
+        };
+        let metrics = closedloop::run(&loop_config, &mut exec);
+        (metrics, exec)
+    }
+
+    #[test]
+    fn population_matches_the_scaled_down_schema() {
+        let config = small_config();
+        let exec = TpccExecutor::new(config.clone(), Mode::Homeostasis);
+        let stock_rows = exec.engines[0].with_table("stock", |t| t.len()).unwrap();
+        assert_eq!(stock_rows, config.total_items());
+        let customers = exec.engines[0].with_table("customer", |t| t.len()).unwrap();
+        assert_eq!(customers, 200);
+    }
+
+    #[test]
+    fn homeostasis_outperforms_two_phase_commit() {
+        let config = small_config();
+        let (_, homeo) = run(Mode::Homeostasis, &config);
+        let (_, twopc) = run(Mode::TwoPc, &config);
+        // New Order throughput comparison is done on the executor-side
+        // counters (the paper reports New Order only).
+        let homeo_commits = homeo.new_order_counter.committed;
+        let twopc_commits = twopc.new_order_counter.committed;
+        assert!(
+            homeo_commits > 2 * twopc_commits,
+            "homeo {homeo_commits} vs 2pc {twopc_commits}"
+        );
+        // And homeostasis New Orders mostly commit locally.
+        assert!(homeo.new_order_counter.sync_ratio_percent() < 50.0);
+    }
+
+    #[test]
+    fn payments_never_synchronize_and_deliveries_always_do() {
+        let config = small_config();
+        let mut exec = TpccExecutor::new(config, Mode::Homeostasis);
+        let mut rng = DetRng::seed_from(3);
+        let pay = exec.payment(0, &mut rng);
+        assert!(!pay.synchronized);
+        let del = exec.delivery(1, &mut rng);
+        assert!(del.synchronized);
+    }
+
+    #[test]
+    fn hotness_increases_the_new_order_sync_ratio() {
+        let cold = small_config();
+        let hot = TpccConfig {
+            hotness: 50,
+            ..small_config()
+        };
+        let (_, cold_exec) = run(Mode::Homeostasis, &cold);
+        let (_, hot_exec) = run(Mode::Homeostasis, &hot);
+        assert!(
+            hot_exec.new_order_counter.sync_ratio_percent() + 0.5
+                >= cold_exec.new_order_counter.sync_ratio_percent(),
+            "hot {} vs cold {}",
+            hot_exec.new_order_counter.sync_ratio_percent(),
+            cold_exec.new_order_counter.sync_ratio_percent()
+        );
+    }
+}

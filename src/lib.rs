@@ -1,0 +1,21 @@
+//! Umbrella crate for the Homeostasis Protocol reproduction.
+//!
+//! This crate exists to host the repository-level examples (`examples/`) and
+//! integration tests (`tests/`). Library users should depend on
+//! [`homeostasis_core`] (crate `homeostasis-core`), which is re-exported here
+//! in full.
+
+pub use homeostasis_core::*;
+
+/// Crates that make up the workspace, re-exported for integration tests and
+/// examples that need to reach below the facade.
+pub mod crates {
+    pub use homeo_analysis as analysis;
+    pub use homeo_baselines as baselines;
+    pub use homeo_lang as lang;
+    pub use homeo_protocol as protocol;
+    pub use homeo_sim as sim;
+    pub use homeo_solver as solver;
+    pub use homeo_store as store;
+    pub use homeo_workloads as workloads;
+}
