@@ -40,11 +40,7 @@ impl FactorizedTable {
             .into_iter()
             .enumerate()
             .map(|(i, body)| {
-                let sub = Transaction::new(
-                    format!("{}#{}", txn.name, i),
-                    txn.params.clone(),
-                    body,
-                );
+                let sub = Transaction::new(format!("{}#{}", txn.name, i), txn.params.clone(), body);
                 SymbolicTable::analyze(&sub)
             })
             .collect();
@@ -186,10 +182,10 @@ fn split_independent(txn: &Transaction) -> Vec<Com> {
     // in the number of commands rather than quadratic in footprint size.
     let mut group_fp: Vec<Footprint> = footprints.clone();
     for i in 0..commands.len() {
-        for j in (i + 1)..commands.len() {
+        for (j, footprint) in footprints.iter().enumerate().skip(i + 1) {
             let ri = find(&mut parent, i);
             let rj = find(&mut parent, j);
-            if ri != rj && group_fp[ri].overlaps(&footprints[j]) {
+            if ri != rj && group_fp[ri].overlaps(footprint) {
                 let merged = {
                     let mut m = group_fp[ri].clone();
                     m.merge(&group_fp[rj]);
@@ -203,13 +199,14 @@ fn split_independent(txn: &Transaction) -> Vec<Com> {
 
     // Collect components in order of their first command.
     let mut roots_in_order: Vec<usize> = Vec::new();
-    let mut members: std::collections::BTreeMap<usize, Vec<Com>> = std::collections::BTreeMap::new();
-    for i in 0..commands.len() {
+    let mut members: std::collections::BTreeMap<usize, Vec<Com>> =
+        std::collections::BTreeMap::new();
+    for (i, command) in commands.iter().enumerate() {
         let r = find(&mut parent, i);
         if !members.contains_key(&r) {
             roots_in_order.push(r);
         }
-        members.entry(r).or_default().push(commands[i].clone());
+        members.entry(r).or_default().push(command.clone());
     }
     roots_in_order
         .into_iter()

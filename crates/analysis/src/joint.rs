@@ -121,8 +121,8 @@ impl fmt::Display for JointSymbolicTable {
 mod tests {
     use super::*;
     use homeo_lang::database::Database;
-    use homeo_lang::programs;
     use homeo_lang::eval::Evaluator;
+    use homeo_lang::programs;
 
     fn joint_t1_t2() -> JointSymbolicTable {
         let t1 = SymbolicTable::analyze(&programs::t1());
@@ -150,9 +150,11 @@ mod tests {
         let row = joint.find_row(&db).unwrap().expect("row must exist");
         // Both effects must be the "decrement" variants in that row: running
         // them decreases x and y respectively.
-        let t1_out = Evaluator::eval(&row.effects[0].to_transaction("p1", vec![]), &db, &[]).unwrap();
+        let t1_out =
+            Evaluator::eval(&row.effects[0].to_transaction("p1", vec![]), &db, &[]).unwrap();
         assert_eq!(t1_out.database.get(&"x".into()), 9);
-        let t2_out = Evaluator::eval(&row.effects[1].to_transaction("p2", vec![]), &db, &[]).unwrap();
+        let t2_out =
+            Evaluator::eval(&row.effects[1].to_transaction("p2", vec![]), &db, &[]).unwrap();
         assert_eq!(t2_out.database.get(&"y".into()), 12);
     }
 
@@ -184,7 +186,7 @@ mod tests {
     #[test]
     fn singleton_joint_table_mirrors_the_member() {
         let t3 = SymbolicTable::analyze(&programs::t3());
-        let joint = JointSymbolicTable::build(&[t3.clone()]);
+        let joint = JointSymbolicTable::build(std::slice::from_ref(&t3));
         assert_eq!(joint.len(), t3.len());
         assert_eq!(joint.transactions, vec!["T3"]);
     }

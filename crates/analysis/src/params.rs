@@ -53,9 +53,9 @@ impl ObjectTemplateTable {
     pub fn for_object(&self, value: i64) -> SymbolicTable {
         let marker = placeholder(&self.object_param);
         let replacement = value.to_string();
-        let renamed = self.template.rename_objects(&|o: &ObjId| {
-            ObjId::new(o.as_str().replace(&marker, &replacement))
-        });
+        let renamed = self
+            .template
+            .rename_objects(&|o: &ObjId| ObjId::new(o.as_str().replace(&marker, &replacement)));
         SymbolicTable {
             transaction: format!("{}[{}={}]", renamed.transaction, self.object_param, value),
             ..renamed
@@ -94,9 +94,10 @@ mod tests {
 
         // The per-item table behaves exactly like the directly-analysed
         // per-item transaction.
-        let direct = crate::symbolic::SymbolicTable::analyze(
-            &programs::micro_order_for_item(42, programs::DEFAULT_REFILL),
-        );
+        let direct = crate::symbolic::SymbolicTable::analyze(&programs::micro_order_for_item(
+            42,
+            programs::DEFAULT_REFILL,
+        ));
         for qty in [0, 1, 2, 5, 100] {
             let db = Database::from_pairs([("stock[42]", qty)]);
             let a = t42.eval_via_table(&db, &[0]).unwrap().unwrap();

@@ -189,9 +189,10 @@ impl SymbolicTable {
         match self.find_row(db, &binding)? {
             None => Ok(None),
             Some(row) => {
-                let txn = row
-                    .effect
-                    .to_transaction(format!("{}::partial", self.transaction), self.params.clone());
+                let txn = row.effect.to_transaction(
+                    format!("{}::partial", self.transaction),
+                    self.params.clone(),
+                );
                 Ok(Some(Evaluator::eval(&txn, db, args)?))
             }
         }
@@ -397,7 +398,11 @@ mod tests {
         for row in &table.rows {
             assert!(row.guard.temp_vars().is_empty());
             assert_eq!(
-                row.guard.reads().iter().map(|o| o.to_string()).collect::<Vec<_>>(),
+                row.guard
+                    .reads()
+                    .iter()
+                    .map(|o| o.to_string())
+                    .collect::<Vec<_>>(),
                 vec!["x", "y"]
             );
         }
@@ -425,11 +430,7 @@ mod tests {
             let table = SymbolicTable::analyze(&txn);
             for x in [-5, 0, 3, 9, 10, 15, 25, 101] {
                 for y in [0, 1, 5, 13, 40] {
-                    let db = Database::from_pairs([
-                        ("x", x),
-                        ("y", y),
-                        ("stock[3]", x),
-                    ]);
+                    let db = Database::from_pairs([("x", x), ("y", y), ("stock[3]", x)]);
                     let direct = Evaluator::eval(&txn, &db, &[]).unwrap();
                     let via = table
                         .eval_via_table(&db, &[])
@@ -466,7 +467,11 @@ mod tests {
             "nested",
             assign("xh", read("x")).then(ite(
                 var("xh").lt(num(0)),
-                ite(var("xh").gt(num(10)), write("y", num(1)), write("y", num(2))),
+                ite(
+                    var("xh").gt(num(10)),
+                    write("y", num(1)),
+                    write("y", num(2)),
+                ),
                 write("y", num(3)),
             )),
         );
@@ -510,12 +515,7 @@ mod tests {
         // With stock = 7 >= 5 the first row applies and decrements.
         let db = Database::from_pairs([("stock", 7)]);
         let row = closed.find_row(&db, &ParamBinding::new()).unwrap().unwrap();
-        let out = Evaluator::eval(
-            &row.effect.to_transaction("p", vec![]),
-            &db,
-            &[],
-        )
-        .unwrap();
+        let out = Evaluator::eval(&row.effect.to_transaction("p", vec![]), &db, &[]).unwrap();
         assert_eq!(out.database.get(&"stock".into()), 2);
     }
 
@@ -539,9 +539,8 @@ mod tests {
     #[test]
     fn rename_objects_retargets_guards_and_effects() {
         let table = SymbolicTable::analyze(&programs::micro_order_for_item(0, 100));
-        let renamed = table.rename_objects(&|o| {
-            ObjId::new(o.as_str().replace("stock[0]", "stock[77]"))
-        });
+        let renamed =
+            table.rename_objects(&|o| ObjId::new(o.as_str().replace("stock[0]", "stock[77]")));
         let objs: Vec<String> = renamed.objects().iter().map(|o| o.to_string()).collect();
         assert_eq!(objs, vec!["stock[77]"]);
         // And the renamed table still evaluates correctly.
@@ -557,13 +556,11 @@ mod tests {
         // only the `else` path is feasible.
         let txn = Transaction::simple(
             "wr",
-            write("x", num(5))
-                .then(assign("xh", read("x")))
-                .then(ite(
-                    var("xh").lt(num(3)),
-                    homeo_lang::builder::print(num(1)),
-                    homeo_lang::builder::print(num(2)),
-                )),
+            write("x", num(5)).then(assign("xh", read("x"))).then(ite(
+                var("xh").lt(num(3)),
+                homeo_lang::builder::print(num(1)),
+                homeo_lang::builder::print(num(2)),
+            )),
         );
         let table = SymbolicTable::analyze(&txn);
         assert_eq!(table.len(), 1);

@@ -74,7 +74,12 @@ impl TwoPcCluster {
 
     /// Completes a transaction started with [`Self::begin`], applying the
     /// decrement-or-refill semantics of the workloads.
-    pub fn finish_order(&mut self, obj: &ObjId, amount: i64, refill_to: Option<i64>) -> TwoPcOutcome {
+    pub fn finish_order(
+        &mut self,
+        obj: &ObjId,
+        amount: i64,
+        refill_to: Option<i64>,
+    ) -> TwoPcOutcome {
         let value = self.value(obj);
         let new = if value > amount {
             value - amount

@@ -4,7 +4,9 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use homeo_lang::{programs, Database};
-use homeo_protocol::{HomeostasisCluster, Loc, OptimizerConfig, ReplicatedCounters, ReplicatedMode};
+use homeo_protocol::{
+    HomeostasisCluster, Loc, OptimizerConfig, ReplicatedCounters, ReplicatedMode,
+};
 
 fn bench_protocol(c: &mut Criterion) {
     let mut group = c.benchmark_group("protocol");

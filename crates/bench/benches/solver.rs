@@ -14,7 +14,10 @@ fn chain_constraints(n: usize) -> Vec<LinearConstraint> {
             LinExpr::var(format!("x{}", i + 1)),
         ));
     }
-    cs.push(LinearConstraint::ge(LinExpr::var("x0"), LinExpr::constant(0)));
+    cs.push(LinearConstraint::ge(
+        LinExpr::var("x0"),
+        LinExpr::constant(0),
+    ));
     cs.push(LinearConstraint::le(
         LinExpr::var(format!("x{n}")),
         LinExpr::constant(100),

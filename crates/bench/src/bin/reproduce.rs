@@ -40,8 +40,18 @@ fn main() {
             other => requested.push(other.to_string()),
         }
     }
+    let known = all_figure_ids();
+    for id in &requested {
+        if id != "all" && !known.contains(&id.as_str()) {
+            eprintln!(
+                "unknown figure id `{id}`; expected one of: all {}",
+                known.join(" ")
+            );
+            std::process::exit(2);
+        }
+    }
     if requested.is_empty() || requested.iter().any(|r| r == "all") {
-        requested = all_figure_ids().iter().map(|s| s.to_string()).collect();
+        requested = known.iter().map(|s| s.to_string()).collect();
     }
 
     if let Some(dir) = &csv_dir {

@@ -2,8 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use homeo_sim::closedloop::{self, ClosedLoopConfig};
 use homeo_sim::clock::millis;
+use homeo_sim::closedloop::{self, ClosedLoopConfig};
 use homeo_workloads::micro::{closed_loop_config, MicroConfig, MicroExecutor, Mode};
 use homeo_workloads::tpcc::{TpccConfig, TpccExecutor};
 

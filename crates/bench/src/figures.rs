@@ -81,9 +81,8 @@ fn tpcc_config(effort: Effort) -> TpccConfig {
 /// All reproducible ids, in paper order.
 pub fn all_figure_ids() -> Vec<&'static str> {
     vec![
-        "table1", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-        "fig18", "fig19", "fig20", "fig21", "fig22", "fig24", "fig25", "fig26", "fig27",
-        "fig28", "fig29",
+        "table1", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+        "fig19", "fig20", "fig21", "fig22", "fig24", "fig25", "fig26", "fig27", "fig28", "fig29",
     ]
 }
 
@@ -121,7 +120,11 @@ pub fn generate(id: &str, effort: Effort) -> Figure {
 pub fn table1() -> Figure {
     let mut columns = vec!["from/to".to_string()];
     columns.extend(TABLE1.iter().map(|d| d.label().to_string()));
-    let mut fig = Figure::new("table1", "Average RTTs between Amazon datacenters (ms)", columns);
+    let mut fig = Figure::new(
+        "table1",
+        "Average RTTs between Amazon datacenters (ms)",
+        columns,
+    );
     for (i, dc) in TABLE1.iter().enumerate() {
         fig.push_row(
             dc.label(),
@@ -131,11 +134,7 @@ pub fn table1() -> Figure {
     fig
 }
 
-fn latency_profile_figure(
-    id: &str,
-    title: &str,
-    series: Vec<(String, Vec<(f64, f64)>)>,
-) -> Figure {
+fn latency_profile_figure(id: &str, title: &str, series: Vec<(String, Vec<(f64, f64)>)>) -> Figure {
     let mut columns = vec!["percentile".to_string()];
     columns.extend(series.iter().map(|(label, _)| label.clone()));
     let mut fig = Figure::new(id, title, columns);
@@ -357,7 +356,12 @@ pub fn fig18(effort: Effort) -> Figure {
     );
     for &clients in clients_sweep {
         let config = micro_config(effort);
-        let h = micro_experiment(&config, Mode::Homeostasis, clients, effort.micro_measure_ms());
+        let h = micro_experiment(
+            &config,
+            Mode::Homeostasis,
+            clients,
+            effort.micro_measure_ms(),
+        );
         let o = micro_experiment(&config, Mode::Opt, clients, effort.micro_measure_ms());
         fig.push_row(
             format!("{clients}"),
@@ -460,10 +464,7 @@ pub fn fig22(effort: Effort) -> Figure {
             .new_order_throughput_per_replica;
         let twopc_c1 = tpcc_experiment(&config, Mode::TwoPc, 1, effort.tpcc_measure_ms())
             .new_order_throughput_per_replica;
-        fig.push_row(
-            format!("{replicas}"),
-            vec![homeo, twopc_c1, twopc_c1 * 8.0],
-        );
+        fig.push_row(format!("{replicas}"), vec![homeo, twopc_c1, twopc_c1 * 8.0]);
     }
     fig
 }
@@ -572,8 +573,7 @@ pub fn fig27(effort: Effort) -> Figure {
             ..micro_config(effort)
         };
         curves.push(
-            micro_experiment(&config, Mode::Homeostasis, 20, effort.micro_measure_ms())
-                .latency_cdf,
+            micro_experiment(&config, Mode::Homeostasis, 20, effort.micro_measure_ms()).latency_cdf,
         );
     }
     for n in [1usize, 5] {
@@ -581,7 +581,9 @@ pub fn fig27(effort: Effort) -> Figure {
             items_per_txn: n,
             ..micro_config(effort)
         };
-        curves.push(micro_experiment(&config, Mode::TwoPc, 20, effort.micro_measure_ms()).latency_cdf);
+        curves.push(
+            micro_experiment(&config, Mode::TwoPc, 20, effort.micro_measure_ms()).latency_cdf,
+        );
     }
     for (i, point) in cdf_points.iter().enumerate() {
         let values = curves.iter().map(|curve| curve[i].1).collect();

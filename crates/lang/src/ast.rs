@@ -134,22 +134,31 @@ impl AExp {
         AExp::Param(p.into())
     }
 
+    // The arithmetic builder methods below deliberately shadow the std ops
+    // names: they are the surface syntax of the `L` expression DSL
+    // (`x.add(y)` reads as the paper's `x + y`), and taking `self` by value
+    // keeps construction allocation-free in the common chaining case.
+
     /// `self + rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: AExp) -> Self {
         AExp::Add(Box::new(self), Box::new(rhs))
     }
 
     /// `self - rhs`, encoded as `self + (-rhs)`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, rhs: AExp) -> Self {
         AExp::Add(Box::new(self), Box::new(AExp::Neg(Box::new(rhs))))
     }
 
     /// `self * rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: AExp) -> Self {
         AExp::Mul(Box::new(self), Box::new(rhs))
     }
 
     /// `-self`.
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Self {
         AExp::Neg(Box::new(self))
     }
@@ -253,14 +262,8 @@ impl AExp {
         match self {
             AExp::Var(w) if w == v => e.clone(),
             AExp::Const(_) | AExp::Param(_) | AExp::Var(_) | AExp::Read(_) => self.clone(),
-            AExp::Add(a, b) => AExp::Add(
-                Box::new(a.subst_var(v, e)),
-                Box::new(b.subst_var(v, e)),
-            ),
-            AExp::Mul(a, b) => AExp::Mul(
-                Box::new(a.subst_var(v, e)),
-                Box::new(b.subst_var(v, e)),
-            ),
+            AExp::Add(a, b) => AExp::Add(Box::new(a.subst_var(v, e)), Box::new(b.subst_var(v, e))),
+            AExp::Mul(a, b) => AExp::Mul(Box::new(a.subst_var(v, e)), Box::new(b.subst_var(v, e))),
             AExp::Neg(a) => AExp::Neg(Box::new(a.subst_var(v, e))),
         }
     }
@@ -271,14 +274,12 @@ impl AExp {
         match self {
             AExp::Read(y) if y == x => e.clone(),
             AExp::Const(_) | AExp::Param(_) | AExp::Var(_) | AExp::Read(_) => self.clone(),
-            AExp::Add(a, b) => AExp::Add(
-                Box::new(a.subst_read(x, e)),
-                Box::new(b.subst_read(x, e)),
-            ),
-            AExp::Mul(a, b) => AExp::Mul(
-                Box::new(a.subst_read(x, e)),
-                Box::new(b.subst_read(x, e)),
-            ),
+            AExp::Add(a, b) => {
+                AExp::Add(Box::new(a.subst_read(x, e)), Box::new(b.subst_read(x, e)))
+            }
+            AExp::Mul(a, b) => {
+                AExp::Mul(Box::new(a.subst_read(x, e)), Box::new(b.subst_read(x, e)))
+            }
             AExp::Neg(a) => AExp::Neg(Box::new(a.subst_read(x, e))),
         }
     }
@@ -331,6 +332,11 @@ impl BExp {
     }
 
     /// Negation `¬self` with double-negation elimination.
+    ///
+    /// Named after the paper's `¬` rather than implementing `std::ops::Not`:
+    /// the simplifying constructor is part of the DSL surface next to
+    /// [`BExp::and`].
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> BExp {
         match self {
             BExp::True => BExp::False,
@@ -433,10 +439,7 @@ impl BExp {
                 *op,
                 Box::new(b.subst_var(v, e)),
             ),
-            BExp::And(a, b) => BExp::And(
-                Box::new(a.subst_var(v, e)),
-                Box::new(b.subst_var(v, e)),
-            ),
+            BExp::And(a, b) => BExp::And(Box::new(a.subst_var(v, e)), Box::new(b.subst_var(v, e))),
             BExp::Not(a) => BExp::Not(Box::new(a.subst_var(v, e))),
         }
     }
@@ -450,10 +453,9 @@ impl BExp {
                 *op,
                 Box::new(b.subst_read(x, e)),
             ),
-            BExp::And(a, b) => BExp::And(
-                Box::new(a.subst_read(x, e)),
-                Box::new(b.subst_read(x, e)),
-            ),
+            BExp::And(a, b) => {
+                BExp::And(Box::new(a.subst_read(x, e)), Box::new(b.subst_read(x, e)))
+            }
             BExp::Not(a) => BExp::Not(Box::new(a.subst_read(x, e))),
         }
     }
@@ -696,9 +698,15 @@ mod tests {
 
     #[test]
     fn and_simplifies_units() {
-        assert_eq!(BExp::True.and(x().lt(AExp::Const(3))), x().lt(AExp::Const(3)));
+        assert_eq!(
+            BExp::True.and(x().lt(AExp::Const(3))),
+            x().lt(AExp::Const(3))
+        );
         assert_eq!(BExp::False.and(BExp::True), BExp::False);
-        assert_eq!(x().lt(AExp::Const(3)).and(BExp::True), x().lt(AExp::Const(3)));
+        assert_eq!(
+            x().lt(AExp::Const(3)).and(BExp::True),
+            x().lt(AExp::Const(3))
+        );
     }
 
     #[test]
@@ -713,11 +721,17 @@ mod tests {
         let c = Com::Write(ObjId::new("x"), AExp::read("y").add(AExp::read("z")))
             .then(Com::Print(AExp::read("w")));
         assert_eq!(
-            c.reads().into_iter().map(|o| o.to_string()).collect::<Vec<_>>(),
+            c.reads()
+                .into_iter()
+                .map(|o| o.to_string())
+                .collect::<Vec<_>>(),
             vec!["w", "y", "z"]
         );
         assert_eq!(
-            c.writes().into_iter().map(|o| o.to_string()).collect::<Vec<_>>(),
+            c.writes()
+                .into_iter()
+                .map(|o| o.to_string())
+                .collect::<Vec<_>>(),
             vec!["x"]
         );
     }

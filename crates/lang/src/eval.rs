@@ -69,11 +69,7 @@ impl Evaluator {
 
     /// Evaluates transaction `txn` on database `db` with positional
     /// arguments `args` (must match the transaction's parameter list).
-    pub fn eval(
-        txn: &Transaction,
-        db: &Database,
-        args: &[i64],
-    ) -> Result<EvalOutcome, EvalError> {
+    pub fn eval(txn: &Transaction, db: &Database, args: &[i64]) -> Result<EvalOutcome, EvalError> {
         if args.len() != txn.params.len() {
             return Err(EvalError::UnboundParam(format!(
                 "{} expects {} arguments, got {}",
@@ -246,11 +242,7 @@ mod tests {
 
     #[test]
     fn missing_parameter_is_an_error() {
-        let txn = Transaction::new(
-            "t",
-            vec![ParamId::new("p")],
-            write("x", AExp::param("p")),
-        );
+        let txn = Transaction::new("t", vec![ParamId::new("p")], write("x", AExp::param("p")));
         let err = Evaluator::eval(&txn, &Database::new(), &[]).unwrap_err();
         assert!(matches!(err, EvalError::UnboundParam(_)));
         let ok = Evaluator::eval(&txn, &Database::new(), &[7]).unwrap();
@@ -270,10 +262,7 @@ mod tests {
 
     #[test]
     fn overflow_is_detected() {
-        let txn = Transaction::simple(
-            "t",
-            write("x", AExp::Const(i64::MAX).add(AExp::Const(1))),
-        );
+        let txn = Transaction::simple("t", write("x", AExp::Const(i64::MAX).add(AExp::Const(1))));
         let err = Evaluator::eval(&txn, &Database::new(), &[]).unwrap_err();
         assert_eq!(err, EvalError::Overflow);
     }

@@ -133,7 +133,7 @@ mod tests {
 
     #[test]
     fn ordering_is_lexicographic() {
-        let mut v = vec![ObjId::new("b"), ObjId::new("a"), ObjId::new("c")];
+        let mut v = [ObjId::new("b"), ObjId::new("a"), ObjId::new("c")];
         v.sort();
         let names: Vec<_> = v.iter().map(|o| o.as_str().to_string()).collect();
         assert_eq!(names, vec!["a", "b", "c"]);

@@ -462,6 +462,77 @@ mod tests {
         assert!(err.message.contains("out of range"));
     }
 
+    /// Renders a token back to the surface syntax it was lexed from.
+    fn lexeme(kind: &TokenKind) -> String {
+        match kind {
+            TokenKind::Int(n) => n.to_string(),
+            TokenKind::Ident(s) => s.clone(),
+            TokenKind::Keyword(k) => format!("{k:?}").to_lowercase(),
+            TokenKind::Assign => ":=".into(),
+            TokenKind::LParen => "(".into(),
+            TokenKind::RParen => ")".into(),
+            TokenKind::LBrace => "{".into(),
+            TokenKind::RBrace => "}".into(),
+            TokenKind::LBracket => "[".into(),
+            TokenKind::RBracket => "]".into(),
+            TokenKind::Semi => ";".into(),
+            TokenKind::Comma => ",".into(),
+            TokenKind::Eq => "=".into(),
+            TokenKind::Lt => "<".into(),
+            TokenKind::Le => "<=".into(),
+            TokenKind::Gt => ">".into(),
+            TokenKind::Ge => ">=".into(),
+            TokenKind::Ne => "!=".into(),
+            TokenKind::Plus => "+".into(),
+            TokenKind::Minus => "-".into(),
+            TokenKind::Star => "*".into(),
+            TokenKind::AndAnd => "&&".into(),
+            TokenKind::OrOr => "||".into(),
+            TokenKind::Bang => "!".into(),
+            TokenKind::Eof => String::new(),
+        }
+    }
+
+    #[test]
+    fn token_stream_round_trips_through_rendered_lexemes() {
+        let src = r#"
+            transaction Order(itemid, amount) {
+              qty := read(stock[itemid]);
+              if (qty - amount >= 0 && !(amount <= 0)) then {
+                write(stock[itemid] = qty - amount);
+              } else {
+                print(-1);
+              };
+              count := size(orders) * 2 + 1;
+            }
+        "#;
+        let original = kinds(src);
+        let rendered: String = original.iter().map(lexeme).collect::<Vec<_>>().join(" ");
+        assert_eq!(
+            kinds(&rendered),
+            original,
+            "re-lexing the rendered lexemes must reproduce the token stream"
+        );
+    }
+
+    #[test]
+    fn offsets_point_at_token_starts() {
+        let src = "ab := 12;";
+        let tokens = tokenize(src).unwrap();
+        for t in &tokens {
+            if t.kind != TokenKind::Eof {
+                let head = lexeme(&t.kind);
+                assert!(
+                    src[t.offset..].starts_with(head.chars().next().unwrap()),
+                    "token {:?} offset {} does not point at its first character",
+                    t.kind,
+                    t.offset
+                );
+            }
+        }
+        assert_eq!(tokens.last().unwrap().offset, src.len());
+    }
+
     #[test]
     fn identifiers_may_contain_dots_and_at() {
         let ks = kinds("stock.qty @itemid");

@@ -73,12 +73,7 @@ impl Schema {
     }
 
     /// Adds a relation declaration.
-    pub fn relation(
-        mut self,
-        name: impl Into<String>,
-        cols: &[&str],
-        max_rows: usize,
-    ) -> Self {
+    pub fn relation(mut self, name: impl Into<String>, cols: &[&str], max_rows: usize) -> Self {
         let name = name.into();
         self.decls.insert(
             name.clone(),
@@ -273,7 +268,11 @@ impl LppTransaction {
     /// Lowers the transaction to plain `L` against the given schema.
     pub fn lower(&self, schema: &Schema) -> Result<Transaction, LowerError> {
         let body = lower_com(&self.body, schema, &mut 0)?;
-        Ok(Transaction::new(self.name.clone(), self.params.clone(), body))
+        Ok(Transaction::new(
+            self.name.clone(),
+            self.params.clone(),
+            body,
+        ))
     }
 }
 
@@ -285,10 +284,7 @@ fn array_len(schema: &Schema, name: &str) -> Result<usize, LowerError> {
     }
 }
 
-fn relation_decl<'s>(
-    schema: &'s Schema,
-    name: &str,
-) -> Result<(&'s [String], usize), LowerError> {
+fn relation_decl<'s>(schema: &'s Schema, name: &str) -> Result<(&'s [String], usize), LowerError> {
     match schema.get(name) {
         Some(Decl::Relation { cols, max_rows, .. }) => Ok((cols.as_slice(), *max_rows)),
         Some(Decl::Array { .. }) => Err(LowerError::KindMismatch(name.to_string())),
@@ -315,11 +311,7 @@ fn index_dispatch(
 ) -> Com {
     let mut out = fallback;
     for i in (0..len).rev() {
-        out = Com::if_then_else(
-            selector.clone().eq(AExp::Const(i as i64)),
-            body(i),
-            out,
-        );
+        out = Com::if_then_else(selector.clone().eq(AExp::Const(i as i64)), body(i), out);
     }
     out
 }

@@ -75,7 +75,11 @@ pub fn t4() -> Transaction {
     b.push(assign("yh", read("y")));
     b.push(ite(
         var("yh").eq(num(1)),
-        ite(var("xh").gt(num(10)), write("z", num(1)), write("z", num(0))),
+        ite(
+            var("xh").gt(num(10)),
+            write("z", num(1)),
+            write("z", num(0)),
+        ),
         ite(
             var("xh").gt(num(100)),
             write("z", num(1)),

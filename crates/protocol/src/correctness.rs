@@ -158,13 +158,8 @@ mod tests {
         );
         let loc = Loc::from_pairs([("x", 0usize), ("y", 1usize), ("z", 2usize)]);
         let db = Database::from_pairs([("x", 10), ("y", 13)]);
-        let mut c = HomeostasisCluster::new(
-            vec![programs::t1(), programs::t2(), t3],
-            loc,
-            3,
-            db,
-            None,
-        );
+        let mut c =
+            HomeostasisCluster::new(vec![programs::t1(), programs::t2(), t3], loc, 3, db, None);
         let mut rng = DetRng::seed_from(5);
         for _ in 0..45 {
             let t = rng.index(3);

@@ -41,6 +41,10 @@ pub fn compose_db(
 /// `args` are the transaction's parameter values (the check is per concrete
 /// invocation). Evaluation errors (e.g. overflow) are treated as
 /// inequivalence.
+// The eight arguments are the literal components of Definition 3.4's
+// `(T, args, Loc, s, L, R)` tuple with the object lists split out; bundling
+// them into a struct would only move the noise to the call sites.
+#[allow(clippy::too_many_arguments)]
 pub fn is_lr_slice(
     txn: &Transaction,
     args: &[i64],

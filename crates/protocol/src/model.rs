@@ -134,8 +134,7 @@ pub fn observationally_equivalent(
 ) -> bool {
     let (da, la) = a;
     let (db, lb) = b;
-    la == lb
-        && da.project(|o| loc.is_local(o, site)) == db.project(|o| loc.is_local(o, site))
+    la == lb && da.project(|o| loc.is_local(o, site)) == db.project(|o| loc.is_local(o, site))
 }
 
 #[cfg(test)]

@@ -159,9 +159,7 @@ pub fn optimize(
 }
 
 /// When `constraint` has the shape `1·v ≤ upper`, returns `(v, upper)`.
-fn single_var_upper_bound(
-    constraint: &homeo_solver::LinearConstraint,
-) -> Option<(VarName, i64)> {
+fn single_var_upper_bound(constraint: &homeo_solver::LinearConstraint) -> Option<(VarName, i64)> {
     use homeo_solver::CmpKind;
     if constraint.op != CmpKind::Le && constraint.op != CmpKind::Lt {
         return None;

@@ -37,11 +37,7 @@ pub fn transform_for_site(
     site: SiteId,
 ) -> Transaction {
     let body = transform_com(&txn.body, replicated, sites, site);
-    Transaction::new(
-        format!("{}@{site}", txn.name),
-        txn.params.clone(),
-        body,
-    )
+    Transaction::new(format!("{}@{site}", txn.name), txn.params.clone(), body)
 }
 
 /// The logical read expression for a replicated object: base plus all deltas.

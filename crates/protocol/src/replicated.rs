@@ -306,10 +306,7 @@ impl ReplicatedCounters {
                         sum.add_term(delta_var(i), 1);
                         loc.assign(ObjId::new(delta_var(i)), i);
                     }
-                    let psi = vec![LinearConstraint::ge(
-                        sum,
-                        LinExpr::constant(-headroom),
-                    )];
+                    let psi = vec![LinearConstraint::ge(sum, LinExpr::constant(-headroom))];
                     let templates = TreatyTemplates::generate(&psi, &loc, sites);
                     let db = Database::new();
                     // Workload model: a weighted random site decrements by
@@ -348,11 +345,16 @@ impl ReplicatedCounters {
                     let mut leftover = headroom - used;
                     if leftover > 0 {
                         let weight_total: f64 = site_weights.iter().sum();
-                        for i in 0..sites {
-                            let share = ((leftover as f64) * site_weights[i]
+                        for (allowance, weight) in state
+                            .allowances
+                            .iter_mut()
+                            .zip(site_weights.iter())
+                            .take(sites)
+                        {
+                            let share = ((leftover as f64) * weight
                                 / weight_total.max(f64::MIN_POSITIVE))
-                                .floor() as i64;
-                            state.allowances[i] -= share;
+                            .floor() as i64;
+                            *allowance -= share;
                         }
                         let used: i64 = state.allowances.iter().map(|a| -a).sum();
                         leftover = headroom - used;

@@ -101,8 +101,7 @@ impl HomeostasisCluster {
             transactions.iter().all(|t| t.params.is_empty()),
             "the general cluster requires parameterless (pre-instantiated) transactions"
         );
-        let tables: Vec<SymbolicTable> =
-            transactions.iter().map(SymbolicTable::analyze).collect();
+        let tables: Vec<SymbolicTable> = transactions.iter().map(SymbolicTable::analyze).collect();
         let joint = JointSymbolicTable::build(&tables);
         let engines: Vec<Engine> = (0..sites)
             .map(|_| {
@@ -228,7 +227,7 @@ impl HomeostasisCluster {
 
         // Treaty violation: undo the offending writes locally, then run the
         // cleanup phase.
-        for (obj, _) in &result.writes {
+        for obj in result.writes.keys() {
             let previous = if self.loc.site_of(obj) == site {
                 // Local objects: recover the pre-transaction value from the
                 // round-start snapshot plus committed history (simplest: take
@@ -356,13 +355,7 @@ mod tests {
     fn t1_t2_cluster(optimizer: Option<OptimizerConfig>) -> HomeostasisCluster {
         let loc = Loc::from_pairs([("x", 0usize), ("y", 1usize)]);
         let db = Database::from_pairs([("x", 10), ("y", 13)]);
-        HomeostasisCluster::new(
-            vec![programs::t1(), programs::t2()],
-            loc,
-            2,
-            db,
-            optimizer,
-        )
+        HomeostasisCluster::new(vec![programs::t1(), programs::t2()], loc, 2, db, optimizer)
     }
 
     #[test]

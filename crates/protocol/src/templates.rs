@@ -135,9 +135,7 @@ impl TreatyTemplates {
                     let site = loc.site_of(&ObjId::new(var.clone()));
                     site_terms[site].add_term(var.clone(), coeff);
                 }
-                let config_vars = (0..sites)
-                    .map(|k| format!("c{idx}@{k}"))
-                    .collect();
+                let config_vars = (0..sites).map(|k| format!("c{idx}@{k}")).collect();
                 ClauseTemplate {
                     op: tightened.op,
                     bound,
@@ -347,20 +345,15 @@ mod tests {
         // Orientation note: ψ is stored as -x - y ≤ -20, so config values are
         // negated relative to the paper; validity must still distinguish the
         // two cases via the semantic check.
-        let good_valid = templates.config_is_valid(
-            &good.iter().map(|(k, v)| (k.clone(), -v)).collect(),
-            &db,
-        );
-        let bad_valid = templates.config_is_valid(
-            &bad.iter().map(|(k, v)| (k.clone(), -v)).collect(),
-            &db,
-        );
+        let good_valid =
+            templates.config_is_valid(&good.iter().map(|(k, v)| (k.clone(), -v)).collect(), &db);
+        let bad_valid =
+            templates.config_is_valid(&bad.iter().map(|(k, v)| (k.clone(), -v)).collect(), &db);
         assert!(good_valid);
         assert!(!bad_valid);
         // And the syntactic hard constraints agree with the semantic check.
         let hard = templates.hard_constraints();
-        let good_neg: BTreeMap<VarName, i64> =
-            good.iter().map(|(k, v)| (k.clone(), -v)).collect();
+        let good_neg: BTreeMap<VarName, i64> = good.iter().map(|(k, v)| (k.clone(), -v)).collect();
         let bad_neg: BTreeMap<VarName, i64> = bad.iter().map(|(k, v)| (k.clone(), -v)).collect();
         assert!(hard.iter().all(|c| c.holds(&good_neg)));
         assert!(!hard.iter().all(|c| c.holds(&bad_neg)));

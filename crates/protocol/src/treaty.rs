@@ -112,7 +112,9 @@ impl TreatyTable {
     pub fn new(sites: usize) -> Self {
         TreatyTable {
             global: GlobalTreaty::default(),
-            locals: (0..sites).map(|s| LocalTreaty::new(s, Vec::new())).collect(),
+            locals: (0..sites)
+                .map(|s| LocalTreaty::new(s, Vec::new()))
+                .collect(),
             round: 0,
         }
     }
@@ -153,10 +155,7 @@ mod tests {
         )]);
         assert!(t.holds_on(&Database::from_pairs([("x", 10), ("y", 13)])));
         assert!(!t.holds_on(&Database::from_pairs([("x", 10), ("y", 9)])));
-        assert_eq!(
-            t.objects(),
-            vec![ObjId::new("x"), ObjId::new("y")]
-        );
+        assert_eq!(t.objects(), vec![ObjId::new("x"), ObjId::new("y")]);
     }
 
     #[test]

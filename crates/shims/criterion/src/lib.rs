@@ -1,0 +1,185 @@
+//! Offline in-tree shim for the `criterion` benchmark harness.
+//!
+//! The build environment cannot reach crates.io, so this crate provides the
+//! slice of criterion's API that the workspace's six bench targets use —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher`], [`black_box`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — backed by a plain
+//! timed-loop harness. Timings are printed as `group/name: mean per-iter`;
+//! statistical analysis, plots and HTML reports are out of scope. Swapping
+//! the real criterion back in is a one-line change in the workspace manifest.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from eliding a value or the computation behind it.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Entry point handed to every bench target; hands out benchmark groups.
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement: Duration,
+    default_warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+            default_measurement: Duration::from_secs(1),
+            default_warm_up: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            measurement: self.default_measurement,
+            warm_up: self.default_warm_up,
+            _criterion: self,
+        }
+    }
+
+    /// Registers a stand-alone benchmark outside any group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        let measurement = self.default_measurement;
+        let warm_up = self.default_warm_up;
+        run_benchmark(&name.into(), sample_size, measurement, warm_up, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    measurement: Duration,
+    warm_up: Duration,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Target wall-clock budget for the measurement phase.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Wall-clock budget for the warm-up phase.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.into());
+        run_benchmark(&full, self.sample_size, self.measurement, self.warm_up, f);
+        self
+    }
+
+    /// Ends the group (a no-op in the shim; results are printed as they run).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`, preventing the result from being
+    /// optimized away.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark(
+    name: &str,
+    sample_size: usize,
+    measurement: Duration,
+    warm_up: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Warm-up: run single iterations until the warm-up budget is spent, and
+    // use the observed rate to size the measurement batches.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    while warm_start.elapsed() < warm_up || warm_iters == 0 {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        warm_iters += 1;
+        if warm_iters >= 10_000 {
+            break;
+        }
+    }
+    let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+    let budget_iters = (measurement.as_secs_f64() / per_iter.max(1e-9)) as u64;
+    let iters_per_sample = (budget_iters / sample_size as u64).clamp(1, 1_000_000);
+
+    let mut total = Duration::ZERO;
+    let mut total_iters: u64 = 0;
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        total_iters += iters_per_sample;
+    }
+    let mean = total.as_secs_f64() / total_iters.max(1) as f64;
+    println!("{name}: {:.3} µs/iter ({total_iters} iters)", mean * 1e6);
+}
+
+/// Declares a function that runs the listed benchmark targets, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

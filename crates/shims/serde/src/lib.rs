@@ -1,0 +1,25 @@
+//! Offline in-tree shim for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, and the workspace uses
+//! serde purely as `#[derive(Serialize, Deserialize)]` annotations on value
+//! types — nothing ever instantiates a serializer. This shim provides the two
+//! marker traits and (behind the `derive` feature) derive macros that emit
+//! trivial implementations, so every annotated type compiles unchanged and
+//! the real serde can be swapped back in via `[workspace.dependencies]`
+//! without touching any source file.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+///
+/// The real trait's methods are generic over a `Serializer`; since no code in
+/// this workspace serializes anything, the shim needs no methods at all.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+///
+/// Lifetime-free: the workspace never names the trait, it only derives it.
+pub trait Deserialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

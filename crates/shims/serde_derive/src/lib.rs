@@ -1,0 +1,23 @@
+//! Offline in-tree shim for `serde_derive`.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` as documentation of
+//! which types are wire-safe; no serializer is ever constructed and no bound
+//! `T: Serialize` appears anywhere, so the derives can legally expand to
+//! nothing. Written against `proc_macro` alone — no syn/quote — because the
+//! build environment is fully offline.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and any `#[serde(...)]` helper
+/// attributes) and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and any `#[serde(...)]` helper
+/// attributes) and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

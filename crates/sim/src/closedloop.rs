@@ -132,7 +132,8 @@ impl RunMetrics {
         if self.per_replica_counters.is_empty() {
             return 0.0;
         }
-        self.counters.throughput_per_sec(self.measured_time) / self.per_replica_counters.len() as f64
+        self.counters.throughput_per_sec(self.measured_time)
+            / self.per_replica_counters.len() as f64
     }
 
     /// Overall system throughput in committed transactions per second.
@@ -259,7 +260,7 @@ mod tests {
         let mut count = 0u64;
         let mut exec = move |_replica: usize, _rng: &mut DetRng| {
             count += 1;
-            let synchronized = count % 50 == 0; // 2%
+            let synchronized = count.is_multiple_of(50); // 2%
             ClientOutcome {
                 committed: true,
                 synchronized,

@@ -33,7 +33,10 @@ impl RttMatrix {
     /// symmetric; the diagonal is forced to zero).
     pub fn from_millis(entries: &[Vec<u64>]) -> Self {
         let n = entries.len();
-        assert!(entries.iter().all(|row| row.len() == n), "matrix not square");
+        assert!(
+            entries.iter().all(|row| row.len() == n),
+            "matrix not square"
+        );
         let mut rtt = vec![vec![0; n]; n];
         for i in 0..n {
             for j in 0..n {
@@ -63,11 +66,7 @@ impl RttMatrix {
     /// broadcast round initiated by `site` (everyone must answer before the
     /// round completes).
     pub fn max_rtt_from(&self, site: usize) -> SimTime {
-        self.rtt[site]
-            .iter()
-            .copied()
-            .max()
-            .unwrap_or(0)
+        self.rtt[site].iter().copied().max().unwrap_or(0)
     }
 
     /// The largest RTT between any pair of sites.
@@ -83,10 +82,7 @@ impl RttMatrix {
     pub fn truncated(&self, n: usize) -> RttMatrix {
         assert!(n <= self.sites());
         RttMatrix {
-            rtt: self.rtt[..n]
-                .iter()
-                .map(|row| row[..n].to_vec())
-                .collect(),
+            rtt: self.rtt[..n].iter().map(|row| row[..n].to_vec()).collect(),
         }
     }
 }
@@ -108,11 +104,7 @@ mod tests {
     #[test]
     fn explicit_matrix_and_truncation() {
         // A 3-site slice in the spirit of Table 1 (UE, UW, IE).
-        let m = RttMatrix::from_millis(&[
-            vec![0, 64, 80],
-            vec![64, 0, 170],
-            vec![80, 170, 0],
-        ]);
+        let m = RttMatrix::from_millis(&[vec![0, 64, 80], vec![64, 0, 170], vec![80, 170, 0]]);
         assert_eq!(m.rtt(1, 2), millis(170));
         assert_eq!(m.max_rtt_from(0), millis(80));
         assert_eq!(m.max_rtt(), millis(170));

@@ -1,47 +1,88 @@
 //! Deterministic random number generation for workloads.
 //!
-//! All randomness in the simulator flows through [`DetRng`], a thin wrapper
-//! around a seeded PRNG, so that every experiment is exactly reproducible
-//! from its configuration (seed included).
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//! All randomness in the simulator flows through [`DetRng`], a self-contained
+//! seeded PRNG (xoshiro256++ initialised via splitmix64, no external crates),
+//! so that every experiment is exactly reproducible from its configuration
+//! (seed included) on any platform and toolchain.
 
 /// A deterministic, seedable random source with the helpers the paper's
 /// workloads need (uniform ranges, hot/cold item selection, weighted picks).
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    rng: StdRng,
+    state: [u64; 4],
 }
 
 impl DetRng {
     /// Creates a generator from a seed.
     pub fn seed_from(seed: u64) -> Self {
+        // Expand the 64-bit seed into the 256-bit xoshiro state with
+        // splitmix64, the initialisation the xoshiro authors recommend.
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
         DetRng {
-            rng: StdRng::seed_from_u64(seed),
+            state: [next_sm(), next_sm(), next_sm(), next_sm()],
+        }
+    }
+
+    /// The next raw 64-bit output (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
+    }
+
+    /// A uniform value in `[0, bound)` via Lemire's multiply-shift reduction
+    /// (debiased with a rejection loop).
+    fn bounded(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let wide = u128::from(self.next_u64()) * u128::from(bound);
+            if (wide as u64) >= threshold {
+                return (wide >> 64) as u64;
+            }
         }
     }
 
     /// A uniform integer in `[lo, hi]` (inclusive).
     pub fn int_inclusive(&mut self, lo: i64, hi: i64) -> i64 {
         assert!(lo <= hi, "empty range {lo}..={hi}");
-        self.rng.gen_range(lo..=hi)
+        let span = hi.wrapping_sub(lo) as u64;
+        if span == u64::MAX {
+            return self.next_u64() as i64;
+        }
+        lo.wrapping_add(self.bounded(span + 1) as i64)
     }
 
     /// A uniform index in `[0, n)`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index range must be non-empty");
-        self.rng.gen_range(0..n)
+        self.bounded(n as u64) as usize
     }
 
     /// True with probability `p` (0.0..=1.0).
     pub fn chance(&mut self, p: f64) -> bool {
-        self.rng.gen_bool(p.clamp(0.0, 1.0))
+        self.unit() < p.clamp(0.0, 1.0)
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.rng.gen_range(0.0..1.0)
+        // 53 high bits give the standard dyadic-uniform double in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Selects an item id following the paper's hot/cold skew model:
@@ -53,8 +94,7 @@ impl DetRng {
         hot_fraction: f64,
         hot_probability: f64,
     ) -> usize {
-        let hot_count = ((num_items as f64 * hot_fraction).ceil() as usize)
-            .clamp(1, num_items);
+        let hot_count = ((num_items as f64 * hot_fraction).ceil() as usize).clamp(1, num_items);
         if self.chance(hot_probability) {
             self.index(hot_count)
         } else if hot_count == num_items {

@@ -476,7 +476,7 @@ mod tests {
         let cons = vec![LinearConstraint::ge(var("x").plus(&var("y")), num(20))];
         assert!(implies(&ante, &cons));
         // (x >= 12) alone does not imply it.
-        assert!(!implies(&ante[..1].to_vec(), &cons));
+        assert!(!implies(&ante[..1], &cons));
         // Anything implies a trivially true consequent.
         assert!(implies(&ante, &[LinearConstraint::le(num(0), num(0))]));
         // An infeasible antecedent implies anything.

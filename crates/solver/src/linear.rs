@@ -396,8 +396,14 @@ mod tests {
         let c2 = c.substitute("y", 3);
         assert!(c2.holds(&assignment(&[("x", 2)])));
         assert!(!c2.holds(&assignment(&[("x", 3)])));
-        assert_eq!(c.substitute("x", 0).substitute("y", 0).trivially(), Some(true));
-        assert_eq!(c.substitute("x", 9).substitute("y", 0).trivially(), Some(false));
+        assert_eq!(
+            c.substitute("x", 0).substitute("y", 0).trivially(),
+            Some(true)
+        );
+        assert_eq!(
+            c.substitute("x", 9).substitute("y", 0).trivially(),
+            Some(false)
+        );
     }
 
     #[test]
@@ -409,7 +415,9 @@ mod tests {
         // x + y >= 20 is normalised to 20 - x - y <= 0, displayed from terms.
         let s = c.to_string();
         assert!(s.contains("<= "), "{s}");
-        let e = LinExpr::term("x", 2).minus(&LinExpr::var("y")).plus(&LinExpr::constant(-7));
+        let e = LinExpr::term("x", 2)
+            .minus(&LinExpr::var("y"))
+            .plus(&LinExpr::constant(-7));
         assert_eq!(e.to_string(), "2*x - y - 7");
         assert_eq!(LinExpr::constant(0).to_string(), "0");
     }

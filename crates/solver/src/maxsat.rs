@@ -52,14 +52,12 @@ impl FuMalik {
     pub fn solve(&mut self, hard: &Cnf, soft: &[Clause]) -> Option<MaxSatResult> {
         self.sat_calls = 0;
         self.rounds = 0;
-        let original_vars = hard
-            .num_vars
-            .max(
-                soft.iter()
-                    .flat_map(|c| c.literals.iter().map(|l| l.var + 1))
-                    .max()
-                    .unwrap_or(0),
-            );
+        let original_vars = hard.num_vars.max(
+            soft.iter()
+                .flat_map(|c| c.literals.iter().map(|l| l.var + 1))
+                .max()
+                .unwrap_or(0),
+        );
 
         let mut solver = DpllSolver::new();
         // Hard clauses must be satisfiable on their own.
@@ -152,10 +150,7 @@ mod tests {
     #[test]
     fn all_soft_satisfiable_costs_zero() {
         let hard = Cnf::new(2);
-        let soft = vec![
-            Clause::new([lit(0, true)]),
-            Clause::new([lit(1, false)]),
-        ];
+        let soft = vec![Clause::new([lit(0, true)]), Clause::new([lit(1, false)])];
         let res = FuMalik::new().solve(&hard, &soft).unwrap();
         assert_eq!(res.cost, 0);
         assert_eq!(res.satisfied_soft, vec![0, 1]);

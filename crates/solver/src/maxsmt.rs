@@ -212,10 +212,7 @@ mod tests {
         // soft groups {cy ≥ 12, cx ≥ 8}, {cy ≥ 13, cx ≥ 7}, {cy ≥ 12, cx ≥ 8}.
         // The optimizer should satisfy groups 0 and 2 (cost 1), e.g. with
         // cy = 12, cx = 8 — exactly the configuration the paper reports.
-        let hard = vec![LinearConstraint::le(
-            var("cx").plus(&var("cy")),
-            num(20),
-        )];
+        let hard = vec![LinearConstraint::le(var("cx").plus(&var("cy")), num(20))];
         let g = |cy: i64, cx: i64| {
             vec![
                 LinearConstraint::ge(var("cy"), num(cy)),

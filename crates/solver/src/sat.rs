@@ -6,7 +6,6 @@
 //! to audit. Assumption literals are supported so that the MaxSAT layer can
 //! perform deletion-based unsat-core extraction.
 
-
 use std::fmt;
 
 use serde::{Deserialize, Serialize};

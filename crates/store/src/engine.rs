@@ -13,8 +13,8 @@
 //! applied (and logged) at commit.
 
 use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use crate::locks::{LockManager, LockMode, LockOutcome};
@@ -110,13 +110,20 @@ impl Engine {
         Self::default()
     }
 
+    /// Locks the engine state. A panic while holding the lock poisons it in
+    /// std; the state is still consistent (every mutation completes under the
+    /// lock), so recover the guard rather than propagating the poison.
+    fn lock(&self) -> MutexGuard<'_, EngineInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     // ------------------------------------------------------------------
     // Object (key-value) transactional API
     // ------------------------------------------------------------------
 
     /// Begins a transaction.
     pub fn begin(&self) -> TxnHandle {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         inner.next_txn += 1;
         let id = inner.next_txn;
         inner.transactions.insert(id, TxnState::default());
@@ -130,7 +137,7 @@ impl Engine {
     /// Reads an object within a transaction (shared lock; sees the
     /// transaction's own staged writes).
     pub fn read(&self, txn: &TxnHandle, object: &str) -> Result<i64, EngineError> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         Self::ensure_active(&inner, txn)?;
         if let Some(v) = inner
             .transactions
@@ -149,7 +156,7 @@ impl Engine {
 
     /// Stages a write within a transaction (exclusive lock).
     pub fn write(&self, txn: &TxnHandle, object: &str, value: i64) -> Result<(), EngineError> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         Self::ensure_active(&inner, txn)?;
         match inner.locks.acquire(txn.id, object, LockMode::Exclusive) {
             LockOutcome::Granted => {
@@ -170,7 +177,7 @@ impl Engine {
     /// Commits the transaction: staged writes are logged and applied, locks
     /// released.
     pub fn commit(&self, txn: &mut TxnHandle) -> Result<(), EngineError> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         Self::ensure_active(&inner, txn)?;
         let state = inner
             .transactions
@@ -201,7 +208,7 @@ impl Engine {
 
     /// Aborts the transaction: staged writes are discarded, locks released.
     pub fn abort(&self, txn: &mut TxnHandle) -> Result<(), EngineError> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         Self::ensure_active(&inner, txn)?;
         inner.transactions.remove(&txn.id);
         inner.wal.append(LogRecord::Abort { txn: txn.id });
@@ -226,12 +233,12 @@ impl Engine {
     /// the protocol's synchronization phase, which runs when no transactions
     /// are active).
     pub fn peek(&self, object: &str) -> i64 {
-        self.inner.lock().objects.get(object).copied().unwrap_or(0)
+        self.lock().objects.get(object).copied().unwrap_or(0)
     }
 
     /// Writes an object outside any transaction.
     pub fn poke(&self, object: &str, value: i64) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         if value == 0 {
             inner.objects.remove(object);
         } else {
@@ -241,13 +248,13 @@ impl Engine {
 
     /// A snapshot of the whole object namespace.
     pub fn snapshot(&self) -> BTreeMap<String, i64> {
-        self.inner.lock().objects.clone()
+        self.lock().objects.clone()
     }
 
     /// Replaces the object namespace wholesale (used when installing a
     /// recovered or synchronized state).
     pub fn install(&self, objects: BTreeMap<String, i64>) {
-        self.inner.lock().objects = objects.into_iter().filter(|(_, v)| *v != 0).collect();
+        self.lock().objects = objects.into_iter().filter(|(_, v)| *v != 0).collect();
     }
 
     // ------------------------------------------------------------------
@@ -256,18 +263,14 @@ impl Engine {
 
     /// Creates a table.
     pub fn create_table(&self, schema: TableSchema) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         let name = schema.name.clone();
         inner.tables.insert(name, Table::new(schema));
     }
 
     /// Runs a closure with read access to a table.
-    pub fn with_table<R>(
-        &self,
-        name: &str,
-        f: impl FnOnce(&Table) -> R,
-    ) -> Result<R, EngineError> {
-        let inner = self.inner.lock();
+    pub fn with_table<R>(&self, name: &str, f: impl FnOnce(&Table) -> R) -> Result<R, EngineError> {
+        let inner = self.lock();
         let table = inner
             .tables
             .get(name)
@@ -281,7 +284,7 @@ impl Engine {
         name: &str,
         f: impl FnOnce(&mut Table) -> R,
     ) -> Result<R, EngineError> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         let table = inner
             .tables
             .get_mut(name)
@@ -309,7 +312,7 @@ impl Engine {
     /// disappear. Relational tables (population data) survive, matching the
     /// paper's "all in-memory state can be recomputed" stance.
     pub fn crash_and_recover(&self) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         let recovered = inner.wal.recover(&BTreeMap::new());
         inner.objects = recovered
             .objects
@@ -322,17 +325,17 @@ impl Engine {
 
     /// Number of committed transactions.
     pub fn committed_count(&self) -> u64 {
-        self.inner.lock().committed_count
+        self.lock().committed_count
     }
 
     /// Number of aborted transactions.
     pub fn aborted_count(&self) -> u64 {
-        self.inner.lock().aborted_count
+        self.lock().aborted_count
     }
 
     /// Number of WAL records (diagnostics).
     pub fn wal_len(&self) -> usize {
-        self.inner.lock().wal.len()
+        self.lock().wal.len()
     }
 }
 

@@ -79,7 +79,10 @@ impl LockManager {
                 entry.shared.insert(txn);
             }
         }
-        self.held.entry(txn).or_default().insert(resource.to_string());
+        self.held
+            .entry(txn)
+            .or_default()
+            .insert(resource.to_string());
         LockOutcome::Granted
     }
 
@@ -152,9 +155,18 @@ mod tests {
     #[test]
     fn exclusive_conflicts_with_everything() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.acquire(1, "x", LockMode::Exclusive), LockOutcome::Granted);
-        assert_eq!(lm.acquire(2, "x", LockMode::Shared), LockOutcome::WouldBlock);
-        assert_eq!(lm.acquire(2, "x", LockMode::Exclusive), LockOutcome::WouldBlock);
+        assert_eq!(
+            lm.acquire(1, "x", LockMode::Exclusive),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            lm.acquire(2, "x", LockMode::Shared),
+            LockOutcome::WouldBlock
+        );
+        assert_eq!(
+            lm.acquire(2, "x", LockMode::Exclusive),
+            LockOutcome::WouldBlock
+        );
         assert_eq!(lm.blockers(2, "x", LockMode::Shared), vec![1]);
     }
 
@@ -162,13 +174,19 @@ mod tests {
     fn reacquisition_and_upgrade_by_the_same_txn() {
         let mut lm = LockManager::new();
         assert_eq!(lm.acquire(1, "x", LockMode::Shared), LockOutcome::Granted);
-        assert_eq!(lm.acquire(1, "x", LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(
+            lm.acquire(1, "x", LockMode::Exclusive),
+            LockOutcome::Granted
+        );
         assert_eq!(lm.acquire(1, "x", LockMode::Shared), LockOutcome::Granted);
         // Another reader blocks the upgrade.
         let mut lm = LockManager::new();
         lm.acquire(1, "x", LockMode::Shared);
         lm.acquire(2, "x", LockMode::Shared);
-        assert_eq!(lm.acquire(1, "x", LockMode::Exclusive), LockOutcome::WouldBlock);
+        assert_eq!(
+            lm.acquire(1, "x", LockMode::Exclusive),
+            LockOutcome::WouldBlock
+        );
         assert_eq!(lm.blockers(1, "x", LockMode::Exclusive), vec![2]);
     }
 
@@ -180,14 +198,23 @@ mod tests {
         assert_eq!(lm.locked_resources(), 2);
         lm.release_all(1);
         assert_eq!(lm.locked_resources(), 0);
-        assert_eq!(lm.acquire(2, "x", LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(
+            lm.acquire(2, "x", LockMode::Exclusive),
+            LockOutcome::Granted
+        );
     }
 
     #[test]
     fn disjoint_resources_do_not_conflict() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.acquire(1, "x", LockMode::Exclusive), LockOutcome::Granted);
-        assert_eq!(lm.acquire(2, "y", LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(
+            lm.acquire(1, "x", LockMode::Exclusive),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            lm.acquire(2, "y", LockMode::Exclusive),
+            LockOutcome::Granted
+        );
     }
 
     #[test]

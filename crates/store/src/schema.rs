@@ -199,7 +199,11 @@ mod tests {
     fn composite_primary_keys() {
         let s = TableSchema::new(
             "district",
-            vec![Column::int("w_id"), Column::int("d_id"), Column::int("next_o_id")],
+            vec![
+                Column::int("w_id"),
+                Column::int("d_id"),
+                Column::int("next_o_id"),
+            ],
             &["w_id", "d_id"],
         );
         let row = vec![Value::Int(1), Value::Int(3), Value::Int(3001)];

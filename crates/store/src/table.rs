@@ -87,7 +87,10 @@ impl Table {
             return Err(TableError::DuplicateKey(key));
         }
         for (col, index) in self.indexes.iter_mut() {
-            index.entry(row[*col].clone()).or_default().push(key.clone());
+            index
+                .entry(row[*col].clone())
+                .or_default()
+                .push(key.clone());
         }
         self.rows.insert(key, row);
         Ok(())
@@ -227,7 +230,8 @@ mod tests {
     fn update_and_delete() {
         let mut t = stock();
         t.insert(int_row(1, 10)).unwrap();
-        t.update_column(&[Value::Int(1)], "qty", Value::Int(9)).unwrap();
+        t.update_column(&[Value::Int(1)], "qty", Value::Int(9))
+            .unwrap();
         assert_eq!(t.get(&[Value::Int(1)]).unwrap()[1], Value::Int(9));
         assert!(matches!(
             t.update_column(&[Value::Int(9)], "qty", Value::Int(0)),
@@ -247,7 +251,8 @@ mod tests {
         t.create_index("qty").unwrap();
         assert_eq!(t.lookup("qty", &Value::Int(10)).unwrap().len(), 2);
         // Update moves the row between index buckets.
-        t.update_column(&[Value::Int(1)], "qty", Value::Int(30)).unwrap();
+        t.update_column(&[Value::Int(1)], "qty", Value::Int(30))
+            .unwrap();
         assert_eq!(t.lookup("qty", &Value::Int(10)).unwrap().len(), 1);
         assert_eq!(t.lookup("qty", &Value::Int(30)).unwrap().len(), 2);
         // Delete removes from the index.

@@ -10,7 +10,6 @@
 
 use std::collections::BTreeMap;
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
 
 /// A log sequence number.
@@ -115,10 +114,7 @@ impl Wal {
         // Redo in log order, but only writes of committed transactions.
         for r in &self.records {
             if let LogRecord::Write {
-                txn,
-                object,
-                value,
-                ..
+                txn, object, value, ..
             } = r
             {
                 if committed.contains(txn) {
@@ -138,24 +134,23 @@ impl Wal {
     }
 
     /// Serializes the log to a compact binary frame (length-prefixed
-    /// records), exercising the `bytes` substrate the way an on-disk log
-    /// writer would.
-    pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::new();
-        buf.put_u32(self.records.len() as u32);
+    /// records, big-endian), the way an on-disk log writer would.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(self.records.len() as u32).to_be_bytes());
         for r in &self.records {
             match r {
                 LogRecord::Begin { txn } => {
-                    buf.put_u8(0);
-                    buf.put_u64(*txn);
+                    buf.push(0);
+                    buf.extend_from_slice(&txn.to_be_bytes());
                 }
                 LogRecord::Commit { txn } => {
-                    buf.put_u8(1);
-                    buf.put_u64(*txn);
+                    buf.push(1);
+                    buf.extend_from_slice(&txn.to_be_bytes());
                 }
                 LogRecord::Abort { txn } => {
-                    buf.put_u8(2);
-                    buf.put_u64(*txn);
+                    buf.push(2);
+                    buf.extend_from_slice(&txn.to_be_bytes());
                 }
                 LogRecord::Write {
                     txn,
@@ -163,48 +158,38 @@ impl Wal {
                     value,
                     previous,
                 } => {
-                    buf.put_u8(3);
-                    buf.put_u64(*txn);
+                    buf.push(3);
+                    buf.extend_from_slice(&txn.to_be_bytes());
                     let name = object.as_bytes();
-                    buf.put_u32(name.len() as u32);
-                    buf.put_slice(name);
-                    buf.put_i64(*value);
-                    buf.put_i64(*previous);
+                    buf.extend_from_slice(&(name.len() as u32).to_be_bytes());
+                    buf.extend_from_slice(name);
+                    buf.extend_from_slice(&value.to_be_bytes());
+                    buf.extend_from_slice(&previous.to_be_bytes());
                 }
             }
         }
-        buf.freeze()
+        buf
     }
 
-    /// Decodes a frame produced by [`Wal::encode`].
-    pub fn decode(mut data: Bytes) -> Option<Wal> {
-        if data.remaining() < 4 {
-            return None;
-        }
-        let count = data.get_u32() as usize;
-        let mut records = Vec::with_capacity(count);
+    /// Decodes a frame produced by [`Wal::encode`]. Returns `None` on any
+    /// truncated or malformed input.
+    pub fn decode(data: &[u8]) -> Option<Wal> {
+        let mut cursor = Cursor { data, pos: 0 };
+        let count = cursor.u32()? as usize;
+        let mut records = Vec::with_capacity(count.min(1 << 20));
         for _ in 0..count {
-            if data.remaining() < 9 {
-                return None;
-            }
-            let tag = data.get_u8();
-            let txn = data.get_u64();
+            let tag = cursor.u8()?;
+            let txn = cursor.u64()?;
             let record = match tag {
                 0 => LogRecord::Begin { txn },
                 1 => LogRecord::Commit { txn },
                 2 => LogRecord::Abort { txn },
                 3 => {
-                    if data.remaining() < 4 {
-                        return None;
-                    }
-                    let len = data.get_u32() as usize;
-                    if data.remaining() < len + 16 {
-                        return None;
-                    }
-                    let name = data.split_to(len);
+                    let len = cursor.u32()? as usize;
+                    let name = cursor.take(len)?;
                     let object = String::from_utf8(name.to_vec()).ok()?;
-                    let value = data.get_i64();
-                    let previous = data.get_i64();
+                    let value = cursor.i64()?;
+                    let previous = cursor.i64()?;
                     LogRecord::Write {
                         txn,
                         object,
@@ -217,6 +202,40 @@ impl Wal {
             records.push(record);
         }
         Some(Wal { records })
+    }
+}
+
+/// A bounds-checked big-endian reader over a byte slice.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.data.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_be_bytes(s.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|s| u64::from_be_bytes(s.try_into().expect("8 bytes")))
+    }
+
+    fn i64(&mut self) -> Option<i64> {
+        self.take(8)
+            .map(|s| i64::from_be_bytes(s.try_into().expect("8 bytes")))
     }
 }
 
@@ -276,6 +295,39 @@ mod tests {
     }
 
     #[test]
+    fn replay_of_interleaved_transactions_is_deterministic_and_idempotent() {
+        // Two writers interleave; one aborts, one commits, one crashes
+        // in flight. Replay must keep exactly the committed effects, in log
+        // order, and replaying the same log twice must agree.
+        let mut wal = Wal::new();
+        wal.append(LogRecord::Begin { txn: 1 });
+        wal.append(LogRecord::Begin { txn: 2 });
+        wal.append(write(1, "x", 10, 0));
+        wal.append(write(2, "x", 20, 0));
+        wal.append(write(2, "y", 2, 0));
+        wal.append(LogRecord::Abort { txn: 2 });
+        wal.append(write(1, "y", 1, 0));
+        wal.append(LogRecord::Commit { txn: 1 });
+        wal.append(LogRecord::Begin { txn: 3 });
+        wal.append(write(3, "z", 30, 0));
+        let first = wal.recover(&BTreeMap::new());
+        assert_eq!(first.objects.get("x"), Some(&10));
+        assert_eq!(first.objects.get("y"), Some(&1));
+        assert_eq!(
+            first.objects.get("z"),
+            None,
+            "in-flight txn 3 must not replay"
+        );
+        assert_eq!(first.committed, vec![1]);
+        assert_eq!(first.in_flight, vec![3]);
+        let second = wal.recover(&BTreeMap::new());
+        assert_eq!(first, second, "replay must be deterministic");
+        // Replay also survives an encode/decode cycle of the log itself.
+        let decoded = Wal::decode(&wal.encode()).expect("decode");
+        assert_eq!(decoded.recover(&BTreeMap::new()), first);
+    }
+
+    #[test]
     fn encode_decode_round_trip() {
         let mut wal = Wal::new();
         wal.append(LogRecord::Begin { txn: 42 });
@@ -283,7 +335,7 @@ mod tests {
         wal.append(LogRecord::Commit { txn: 42 });
         wal.append(LogRecord::Abort { txn: 43 });
         let encoded = wal.encode();
-        let decoded = Wal::decode(encoded).expect("decode");
+        let decoded = Wal::decode(&encoded).expect("decode");
         assert_eq!(decoded.len(), wal.len());
         assert_eq!(
             decoded.records().collect::<Vec<_>>(),
@@ -296,9 +348,9 @@ mod tests {
         let mut wal = Wal::new();
         wal.append(write(1, "x", 1, 0));
         let encoded = wal.encode();
-        let truncated = encoded.slice(0..encoded.len() - 3);
+        let truncated = &encoded[..encoded.len() - 3];
         assert!(Wal::decode(truncated).is_none());
-        assert!(Wal::decode(Bytes::new()).is_none());
+        assert!(Wal::decode(&[]).is_none());
     }
 
     #[test]

@@ -14,10 +14,10 @@
 
 use serde::{Deserialize, Serialize};
 
+use homeo_baselines::{LocalCounters, TwoPcCluster};
 use homeo_lang::ids::ObjId;
 use homeo_lang::programs;
 use homeo_protocol::{OptimizerConfig, ReplicatedCounters, ReplicatedMode};
-use homeo_baselines::{LocalCounters, TwoPcCluster};
 use homeo_sim::clock::{millis, SimTime};
 use homeo_sim::{ClientOutcome, CostComponents, DetRng, RttMatrix, SiteExecutor};
 use homeo_store::{Column, Engine, TableSchema, Value};

@@ -22,7 +22,9 @@ use homeo_baselines::TwoPcCluster;
 use homeo_lang::ids::ObjId;
 use homeo_protocol::{OptimizerConfig, ReplicatedCounters, ReplicatedMode};
 use homeo_sim::clock::SimTime;
-use homeo_sim::{ClientOutcome, CostComponents, DetRng, LatencyStats, RttMatrix, SiteExecutor, SyncCounter};
+use homeo_sim::{
+    ClientOutcome, CostComponents, DetRng, LatencyStats, RttMatrix, SiteExecutor, SyncCounter,
+};
 use homeo_store::{Column, Engine, TableSchema, Value};
 
 use crate::datacenters::table1_rtt_matrix;
@@ -141,7 +143,11 @@ pub fn populate_engine(config: &TpccConfig, rng: &mut DetRng) -> Engine {
     ));
     engine.create_table(TableSchema::new(
         "customer",
-        vec![Column::int("c_id"), Column::int("balance"), Column::text("name")],
+        vec![
+            Column::int("c_id"),
+            Column::int("balance"),
+            Column::text("name"),
+        ],
         &["c_id"],
     ));
     engine.create_table(TableSchema::new(
@@ -156,7 +162,11 @@ pub fn populate_engine(config: &TpccConfig, rng: &mut DetRng) -> Engine {
     ));
     engine.create_table(TableSchema::new(
         "neworder",
-        vec![Column::int("w_id"), Column::int("d_id"), Column::int("o_id")],
+        vec![
+            Column::int("w_id"),
+            Column::int("d_id"),
+            Column::int("o_id"),
+        ],
         &["w_id", "d_id", "o_id"],
     ));
     for w in 0..config.warehouses {
@@ -482,8 +492,8 @@ impl SiteExecutor for TpccExecutor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use homeo_sim::closedloop;
     use homeo_sim::clock::millis;
+    use homeo_sim::closedloop;
 
     fn small_config() -> TpccConfig {
         TpccConfig {

@@ -7,8 +7,8 @@
 //! cargo run --release --example ecommerce
 //! ```
 
-use homeostasis::crates::workloads::micro::{MicroConfig, Mode};
 use homeo_bench_free::micro_point;
+use homeostasis::crates::workloads::micro::{MicroConfig, Mode};
 
 /// A tiny stand-in for the bench crate's experiment runner so the example
 /// only depends on the public workspace crates.

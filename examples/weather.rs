@@ -21,7 +21,10 @@ fn record(station: usize) -> Transaction {
     let mut b = TxnBuilder::new(format!("Record{station}"));
     let min_obj = format!("daily_min[{station}]");
     b.push(assign("cur", read(min_obj.as_str())));
-    b.push(assign("obs", read(format!("observation[{station}]").as_str())));
+    b.push(assign(
+        "obs",
+        read(format!("observation[{station}]").as_str()),
+    ));
     b.push(when(
         var("obs").lt(var("cur")),
         write(min_obj.as_str(), var("obs")),
@@ -102,7 +105,10 @@ fn main() {
         }
     }
     println!("\n{total} observations processed, {synced} required synchronization");
-    println!("display now shows: {}", system.global_database().get(&"display".into()));
+    println!(
+        "display now shows: {}",
+        system.global_database().get(&"display".into())
+    );
     assert!(system.verify_equivalence());
     println!("observational equivalence: verified ✔");
 }

@@ -5,6 +5,9 @@
 //! [`homeostasis_core`] (crate `homeostasis-core`), which is re-exported here
 //! in full.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use homeostasis_core::*;
 
 /// Crates that make up the workspace, re-exported for integration tests and

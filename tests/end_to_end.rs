@@ -66,7 +66,9 @@ fn protocol_execution_of_the_parsed_workload_is_equivalent_to_serial() {
         let t = rng.index(2);
         let out = cluster.execute(t).unwrap();
         assert!(out.committed);
-        serial = Evaluator::eval(&transactions[t], &serial, &[]).unwrap().database;
+        serial = Evaluator::eval(&transactions[t], &serial, &[])
+            .unwrap()
+            .database;
         assert!(verify_round(&cluster).is_equivalent());
     }
     assert_eq!(cluster.global_database(), serial);
@@ -127,7 +129,6 @@ fn store_engine_recovery_preserves_protocol_state() {
     engine.commit(&mut committed).unwrap();
     let in_flight = engine.begin();
     engine.write(&in_flight, "stock[1]", 42).unwrap(); // staged but never committed
-    drop(in_flight);
     engine.crash_and_recover();
     assert_eq!(engine.peek("stock[1]"), 99);
 

@@ -1,28 +1,37 @@
 //! Property-based tests of the protocol's correctness guarantees
-//! (Theorem 3.8 and the treaty invariants), driven by proptest.
-
-use proptest::prelude::*;
+//! (Theorem 3.8 and the treaty invariants).
+//!
+//! Driven by the in-tree deterministic RNG rather than proptest: the build
+//! environment is offline, and seeded generation keeps every failure exactly
+//! reproducible from the case number printed in the assertion message.
 
 use homeostasis::lang::{programs, Database};
 use homeostasis::protocol::correctness::verify_round;
 use homeostasis::protocol::{
     HomeostasisCluster, Loc, OptimizerConfig, ReplicatedCounters, ReplicatedMode,
 };
+use homeostasis::sim::DetRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: usize = 24;
 
-    /// Any schedule of T1/T2 from any starting state is observationally
-    /// equivalent to its serial execution, with and without the optimizer.
-    #[test]
-    fn general_protocol_matches_serial_execution(
-        x in -30i64..60,
-        y in -30i64..60,
-        schedule in proptest::collection::vec(0usize..2, 1..60),
-        use_optimizer in proptest::bool::ANY,
-    ) {
+/// Any schedule of T1/T2 from any starting state is observationally
+/// equivalent to its serial execution, with and without the optimizer.
+#[test]
+fn general_protocol_matches_serial_execution() {
+    let mut rng = DetRng::seed_from(0xE0E0);
+    for case in 0..CASES {
+        let x = rng.int_inclusive(-30, 59);
+        let y = rng.int_inclusive(-30, 59);
+        let schedule: Vec<usize> = (0..rng.int_inclusive(1, 59))
+            .map(|_| rng.index(2))
+            .collect();
+        let use_optimizer = rng.chance(0.5);
         let optimizer = if use_optimizer {
-            Some(OptimizerConfig { lookahead: 6, futures: 2, seed: 9 })
+            Some(OptimizerConfig {
+                lookahead: 6,
+                futures: 2,
+                seed: 9,
+            })
         } else {
             None
         };
@@ -36,31 +45,46 @@ proptest! {
         let mut serial = Database::from_pairs([("x", x), ("y", y)]);
         for &t in &schedule {
             let out = cluster.execute(t).unwrap();
-            prop_assert!(out.committed);
-            serial = homeostasis::lang::Evaluator::eval(
-                &cluster.transactions()[t], &serial, &[],
-            ).unwrap().database;
+            assert!(out.committed, "case {case}: transaction {t} aborted");
+            serial = homeostasis::lang::Evaluator::eval(&cluster.transactions()[t], &serial, &[])
+                .unwrap()
+                .database;
         }
-        prop_assert!(verify_round(&cluster).is_equivalent());
-        prop_assert_eq!(cluster.global_database(), serial);
+        assert!(
+            verify_round(&cluster).is_equivalent(),
+            "case {case}: round not equivalent (x={x}, y={y}, schedule={schedule:?}, optimizer={use_optimizer})"
+        );
+        assert_eq!(
+            cluster.global_database(),
+            serial,
+            "case {case}: global state diverged from serial execution"
+        );
     }
+}
 
-    /// The replicated-counter path tracks the serial decrement/refill
-    /// semantics exactly, for every mode, site count and operation pattern,
-    /// and never lets a counter drop below its treaty bound.
-    #[test]
-    fn replicated_counters_match_serial_semantics(
-        sites in 2usize..5,
-        initial in 2i64..60,
-        refill in 5i64..80,
-        ops in proptest::collection::vec((0usize..4, 1i64..3), 1..120),
-        even_split in proptest::bool::ANY,
-    ) {
+/// The replicated-counter path tracks the serial decrement/refill semantics
+/// exactly, for every mode, site count and operation pattern, and never lets
+/// a counter drop below its treaty bound.
+#[test]
+fn replicated_counters_match_serial_semantics() {
+    let mut rng = DetRng::seed_from(0xC0C0);
+    for case in 0..CASES {
+        let sites = rng.int_inclusive(2, 4) as usize;
+        let initial = rng.int_inclusive(2, 59);
+        let refill = rng.int_inclusive(5, 79);
+        let ops: Vec<(usize, i64)> = (0..rng.int_inclusive(1, 119))
+            .map(|_| (rng.index(4), rng.int_inclusive(1, 2)))
+            .collect();
+        let even_split = rng.chance(0.5);
         let mode = if even_split {
             ReplicatedMode::EvenSplit
         } else {
             ReplicatedMode::Homeostasis {
-                optimizer: Some(OptimizerConfig { lookahead: 6, futures: 2, seed: 3 }),
+                optimizer: Some(OptimizerConfig {
+                    lookahead: 6,
+                    futures: 2,
+                    seed: 3,
+                }),
             }
         };
         let mut counters = ReplicatedCounters::new(sites, mode);
@@ -70,20 +94,33 @@ proptest! {
         for (site, amount) in ops {
             let site = site % sites;
             counters.order(site, &obj, amount, Some(refill));
-            serial = if serial - amount >= 1 { serial - amount } else { refill };
-            prop_assert_eq!(counters.logical_value(&obj), serial);
-            prop_assert!(counters.logical_value(&obj) >= 1);
+            serial = if serial - amount >= 1 {
+                serial - amount
+            } else {
+                refill
+            };
+            assert_eq!(
+                counters.logical_value(&obj),
+                serial,
+                "case {case}: counter diverged (sites={sites}, initial={initial}, refill={refill}, even_split={even_split})"
+            );
+            assert!(
+                counters.logical_value(&obj) >= 1,
+                "case {case}: treaty bound violated"
+            );
         }
     }
+}
 
-    /// Symbolic-table evaluation agrees with direct evaluation on arbitrary
-    /// databases — Definition 2.2 as a property.
-    #[test]
-    fn symbolic_tables_preserve_semantics(
-        x in -100i64..100,
-        y in -100i64..100,
-        which in 0usize..4,
-    ) {
+/// Symbolic-table evaluation agrees with direct evaluation on arbitrary
+/// databases — Definition 2.2 as a property.
+#[test]
+fn symbolic_tables_preserve_semantics() {
+    let mut rng = DetRng::seed_from(0xABBA);
+    for case in 0..CASES {
+        let x = rng.int_inclusive(-100, 99);
+        let y = rng.int_inclusive(-100, 99);
+        let which = rng.index(4);
         let txn = match which {
             0 => programs::t1(),
             1 => programs::t2(),
@@ -93,8 +130,17 @@ proptest! {
         let table = homeostasis::analysis::SymbolicTable::analyze(&txn);
         let db = Database::from_pairs([("x", x), ("y", y)]);
         let direct = homeostasis::lang::Evaluator::eval(&txn, &db, &[]).unwrap();
-        let via = table.eval_via_table(&db, &[]).unwrap().expect("a row matches");
-        prop_assert_eq!(direct.database, via.database);
-        prop_assert_eq!(direct.log, via.log);
+        let via = table
+            .eval_via_table(&db, &[])
+            .unwrap()
+            .expect("a row matches");
+        assert_eq!(
+            direct.database, via.database,
+            "case {case}: database mismatch (x={x}, y={y}, which={which})"
+        );
+        assert_eq!(
+            direct.log, via.log,
+            "case {case}: print log mismatch (x={x}, y={y}, which={which})"
+        );
     }
 }
