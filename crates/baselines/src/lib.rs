@@ -1,6 +1,8 @@
 //! # homeo-baselines
 //!
-//! The baseline execution modes the paper compares against (Section 6.1):
+//! The baseline execution modes the paper compares against (Section 6.1),
+//! all implemented behind the shared `SiteRuntime` surface of
+//! `homeo-runtime` and backed by real per-site storage engines:
 //!
 //! * **2PC** ([`twopc`]) — classical two-phase commit across all replicas:
 //!   every transaction pays two round trips of coordination and holds its
@@ -10,8 +12,9 @@
 //!   is the latency/throughput floor.
 //! * **OPT** — the hand-crafted demarcation-protocol variant that splits the
 //!   remaining headroom evenly among replicas at each synchronization point;
-//!   it is implemented as [`homeo_protocol::ReplicatedMode::EvenSplit`] and
-//!   re-exported here for discoverability.
+//!   it is implemented as [`homeo_protocol::ReplicatedMode::EvenSplit`]
+//!   (executed by `homeo_runtime::ReplicatedRuntime`) and re-exported here
+//!   for discoverability.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,5 +23,5 @@ pub mod local;
 pub mod twopc;
 
 pub use homeo_protocol::ReplicatedMode;
-pub use local::LocalCounters;
-pub use twopc::{TwoPcCluster, TwoPcOutcome};
+pub use local::LocalRuntime;
+pub use twopc::TwoPcRuntime;

@@ -1,67 +1,134 @@
 //! The "local" baseline: every replica executes transactions against its own
-//! copy with no communication whatsoever.
+//! engine with no communication whatsoever, behind the shared
+//! [`SiteRuntime`] surface.
 //!
 //! This is the paper's bare-bones performance floor — "database consistency
-//! across replicas is not guaranteed". The module tracks per-replica values
-//! so tests (and the examples) can demonstrate exactly that divergence.
+//! across replicas is not guaranteed". Each replica owns a real storage
+//! engine (2PL + WAL, like every other runtime), so tests and examples can
+//! demonstrate exactly that divergence on durable, engine-backed state.
 
-use std::collections::BTreeMap;
-
-use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 use homeo_lang::ids::ObjId;
+use homeo_runtime::{OpOutcome, SiteOp, SiteRuntime};
+use homeo_store::{Engine, EngineError};
 
-/// Per-replica counters with no coordination.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct LocalCounters {
-    replicas: usize,
-    values: Vec<BTreeMap<ObjId, i64>>,
+/// Per-replica engines with no coordination.
+pub struct LocalRuntime {
+    engines: Vec<Engine>,
+    inboxes: Vec<VecDeque<SiteOp>>,
     /// Committed operations.
     pub commits: u64,
 }
 
-impl LocalCounters {
-    /// Creates `replicas` independent copies.
+impl LocalRuntime {
+    /// Creates `replicas` independent copies with fresh engines.
     pub fn new(replicas: usize) -> Self {
         assert!(replicas > 0);
-        LocalCounters {
-            replicas,
-            values: vec![BTreeMap::new(); replicas],
+        Self::from_engines((0..replicas).map(|_| Engine::new()).collect())
+    }
+
+    /// Creates the runtime over pre-populated engines (one per replica).
+    pub fn from_engines(engines: Vec<Engine>) -> Self {
+        assert!(!engines.is_empty());
+        let replicas = engines.len();
+        LocalRuntime {
+            engines,
+            inboxes: vec![VecDeque::new(); replicas],
             commits: 0,
         }
     }
 
-    /// Sets an object's value on every replica (consistent population).
+    /// Sets an object's value on every replica (consistent population,
+    /// logged through each engine).
     pub fn populate(&mut self, obj: ObjId, value: i64) {
-        for replica in &mut self.values {
-            replica.insert(obj.clone(), value);
+        for engine in &self.engines {
+            let mut txn = engine.begin();
+            engine
+                .write(&txn, obj.as_str(), value)
+                .and_then(|()| engine.commit(&mut txn))
+                .expect("population write cannot conflict");
         }
-    }
-
-    /// The value a replica currently holds.
-    pub fn value_at(&self, replica: usize, obj: &ObjId) -> i64 {
-        self.values[replica].get(obj).copied().unwrap_or(0)
-    }
-
-    /// Applies the decrement-or-refill order at one replica only.
-    pub fn order(&mut self, replica: usize, obj: &ObjId, amount: i64, refill_to: Option<i64>) {
-        let value = self.value_at(replica, obj);
-        let new = if value > amount {
-            value - amount
-        } else if let Some(r) = refill_to {
-            r
-        } else {
-            value - amount
-        };
-        self.values[replica].insert(obj.clone(), new);
-        self.commits += 1;
     }
 
     /// True when every replica agrees on the value of `obj` — generally
     /// false once the workload has run, which is the point of the baseline.
     pub fn is_consistent(&self, obj: &ObjId) -> bool {
-        let first = self.value_at(0, obj);
-        (1..self.replicas).all(|r| self.value_at(r, obj) == first)
+        let first = self.engines[0].peek(obj.as_str());
+        self.engines[1..]
+            .iter()
+            .all(|e| e.peek(obj.as_str()) == first)
+    }
+
+    fn run_op(&mut self, site: usize, op: SiteOp) -> OpOutcome {
+        let obj = match &op {
+            SiteOp::Order { obj, .. } | SiteOp::Increment { obj, .. } => obj.clone(),
+            // Local execution never communicates; a forced synchronization
+            // is a no-op that "commits" without touching anything.
+            SiteOp::ForceSync { .. } => {
+                self.commits += 1;
+                return OpOutcome::local_commit();
+            }
+            SiteOp::Transaction { .. } => {
+                panic!("the local baseline executes counter operations only")
+            }
+        };
+        let engine = &self.engines[site];
+        let mut txn = engine.begin();
+        let value = match engine.read(&txn, obj.as_str()) {
+            Ok(v) => v,
+            Err(EngineError::WouldBlock { .. }) => {
+                engine.abort(&mut txn).ok();
+                return OpOutcome::default();
+            }
+            Err(e) => panic!("local read failed: {e}"),
+        };
+        let new = match &op {
+            SiteOp::Order {
+                amount, refill_to, ..
+            } => {
+                if value > *amount {
+                    value - amount
+                } else if let Some(r) = refill_to {
+                    *r
+                } else {
+                    value - amount
+                }
+            }
+            SiteOp::Increment { amount, .. } => value + amount.abs(),
+            _ => unreachable!("handled above"),
+        };
+        engine
+            .write(&txn, obj.as_str(), new)
+            .and_then(|()| engine.commit(&mut txn))
+            .expect("writer already holds the lock");
+        self.commits += 1;
+        OpOutcome::local_commit()
+    }
+}
+
+impl SiteRuntime for LocalRuntime {
+    fn sites(&self) -> usize {
+        self.engines.len()
+    }
+
+    fn engine(&self, site: usize) -> &Engine {
+        &self.engines[site]
+    }
+
+    fn submit(&mut self, site: usize, op: SiteOp) {
+        self.inboxes[site].push_back(op);
+    }
+
+    fn poll(&mut self, site: usize) -> Vec<OpOutcome> {
+        let batch: Vec<SiteOp> = self.inboxes[site].drain(..).collect();
+        batch.into_iter().map(|op| self.run_op(site, op)).collect()
+    }
+
+    /// The local baseline never synchronizes — that is its defining
+    /// property (and its consistency bug).
+    fn synchronize(&mut self, _site: usize) -> u64 {
+        0
     }
 }
 
@@ -71,11 +138,19 @@ mod tests {
 
     #[test]
     fn replicas_diverge_without_coordination() {
-        let mut l = LocalCounters::new(2);
+        let mut l = LocalRuntime::new(2);
         let obj = ObjId::new("stock[1]");
         l.populate(obj.clone(), 10);
         assert!(l.is_consistent(&obj));
-        l.order(0, &obj, 1, None);
+        let out = l.execute(
+            0,
+            SiteOp::Order {
+                obj: obj.clone(),
+                amount: 1,
+                refill_to: None,
+            },
+        );
+        assert!(out.committed && !out.synchronized);
         assert!(!l.is_consistent(&obj));
         assert_eq!(l.value_at(0, &obj), 9);
         assert_eq!(l.value_at(1, &obj), 10);
@@ -84,11 +159,38 @@ mod tests {
 
     #[test]
     fn refill_happens_per_replica() {
-        let mut l = LocalCounters::new(2);
+        let mut l = LocalRuntime::new(2);
         let obj = ObjId::new("stock[2]");
         l.populate(obj.clone(), 1);
-        l.order(0, &obj, 1, Some(100));
+        l.execute(
+            0,
+            SiteOp::Order {
+                obj: obj.clone(),
+                amount: 1,
+                refill_to: Some(100),
+            },
+        );
         assert_eq!(l.value_at(0, &obj), 100);
         assert_eq!(l.value_at(1, &obj), 1);
+    }
+
+    #[test]
+    fn local_state_is_engine_backed_and_recoverable() {
+        let mut l = LocalRuntime::new(2);
+        let obj = ObjId::new("stock[3]");
+        l.populate(obj.clone(), 10);
+        for _ in 0..3 {
+            l.execute(
+                0,
+                SiteOp::Order {
+                    obj: obj.clone(),
+                    amount: 1,
+                    refill_to: None,
+                },
+            );
+        }
+        assert!(l.engine(0).wal_len() > 0);
+        l.engines[0].crash_and_recover();
+        assert_eq!(l.value_at(0, &obj), 7);
     }
 }

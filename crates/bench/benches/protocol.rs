@@ -4,9 +4,8 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use homeo_lang::{programs, Database};
-use homeo_protocol::{
-    HomeostasisCluster, Loc, OptimizerConfig, ReplicatedCounters, ReplicatedMode,
-};
+use homeo_protocol::{HomeostasisCluster, Loc, OptimizerConfig, ReplicatedMode};
+use homeo_runtime::{ReplicatedRuntime, SiteOp, SiteRuntime};
 
 fn bench_protocol(c: &mut Criterion) {
     let mut group = c.benchmark_group("protocol");
@@ -34,7 +33,7 @@ fn bench_protocol(c: &mut Criterion) {
     for lookahead in [10usize, 50] {
         group.bench_function(format!("treaty_negotiation_lookahead_{lookahead}"), |b| {
             b.iter(|| {
-                let mut counters = ReplicatedCounters::new(
+                let mut counters = ReplicatedRuntime::new(
                     2,
                     ReplicatedMode::Homeostasis {
                         optimizer: Some(OptimizerConfig {
@@ -49,10 +48,40 @@ fn bench_protocol(c: &mut Criterion) {
         });
     }
     group.bench_function("replicated_local_order", |b| {
-        let mut counters = ReplicatedCounters::new(2, ReplicatedMode::EvenSplit);
+        let mut counters = ReplicatedRuntime::new(2, ReplicatedMode::EvenSplit);
         counters.register(homeo_lang::ids::ObjId::new("stock[0]"), i64::MAX / 4, 1);
         let obj = homeo_lang::ids::ObjId::new("stock[0]");
-        b.iter(|| counters.order(0, black_box(&obj), 1, None))
+        b.iter(|| {
+            counters.execute(
+                0,
+                SiteOp::Order {
+                    obj: black_box(obj.clone()),
+                    amount: 1,
+                    refill_to: None,
+                },
+            )
+        })
+    });
+    group.bench_function("sharded_order_spread_over_1000_counters", |b| {
+        let mut counters = ReplicatedRuntime::new(2, ReplicatedMode::EvenSplit);
+        let objs: Vec<_> = (0..1000)
+            .map(|i| homeo_lang::ids::ObjId::new(format!("stock[{i}]")))
+            .collect();
+        for obj in &objs {
+            counters.register(obj.clone(), i64::MAX / 4, 1);
+        }
+        let mut next = 0usize;
+        b.iter(|| {
+            next = (next + 1) % objs.len();
+            counters.execute(
+                0,
+                SiteOp::Order {
+                    obj: objs[next].clone(),
+                    amount: 1,
+                    refill_to: None,
+                },
+            )
+        })
     });
     group.finish();
 }

@@ -1,13 +1,18 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! reproduce [--full] [--csv-dir DIR] [all | table1 | fig10 | ... | fig29]...
+//! reproduce [--full] [--csv-dir DIR] [--list] [all | table1 | fig10 | ... | fig29]...
 //! ```
 //!
 //! With no arguments, `all` is assumed. `--full` runs the larger sweeps
 //! (closer to the paper's configuration); the default "quick" effort keeps
 //! the whole reproduction within a few minutes. `--csv-dir` additionally
-//! writes one CSV file per figure.
+//! writes one CSV file per figure. `--list` prints the available figure and
+//! table ids (one per line) and exits.
+//!
+//! Exit codes: `0` on success, `1` when one or more requested figures fail
+//! to generate or write (the remaining figures are still produced), `2` on
+//! usage errors.
 
 use std::path::PathBuf;
 
@@ -23,6 +28,12 @@ fn main() {
         match arg.as_str() {
             "--full" => effort = Effort::Full,
             "--quick" => effort = Effort::Quick,
+            "--list" => {
+                for id in all_figure_ids() {
+                    println!("{id}");
+                }
+                return;
+            }
             "--csv-dir" => {
                 let dir = args.next().unwrap_or_else(|| {
                     eprintln!("--csv-dir requires a directory argument");
@@ -32,7 +43,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: reproduce [--full] [--csv-dir DIR] [all | {}]...",
+                    "usage: reproduce [--full] [--csv-dir DIR] [--list] [all | {}]...",
                     all_figure_ids().join(" | ")
                 );
                 return;
@@ -55,7 +66,10 @@ fn main() {
     }
 
     if let Some(dir) = &csv_dir {
-        std::fs::create_dir_all(dir).expect("create csv output directory");
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create csv output directory {}: {e}", dir.display());
+            std::process::exit(2);
+        }
     }
 
     println!(
@@ -63,14 +77,37 @@ fn main() {
         requested.len(),
         effort
     );
+    let mut failed: Vec<String> = Vec::new();
     for id in &requested {
         let started = std::time::Instant::now();
-        let figure = generate(id, effort);
+        // A figure that panics (e.g. a degenerate sweep) must not take the
+        // rest of the reproduction down with it — record it and move on.
+        let result = std::panic::catch_unwind(|| generate(id, effort));
+        let figure = match result {
+            Ok(figure) => figure,
+            Err(_) => {
+                eprintln!("FAILED to generate `{id}`\n");
+                failed.push(id.clone());
+                continue;
+            }
+        };
         println!("{}", figure.to_text());
         println!("({} generated in {:.1?})\n", figure.id, started.elapsed());
         if let Some(dir) = &csv_dir {
             let path = dir.join(format!("{}.csv", figure.id));
-            std::fs::write(&path, figure.to_csv()).expect("write csv");
+            if let Err(e) = std::fs::write(&path, figure.to_csv()) {
+                eprintln!("FAILED to write {}: {e}\n", path.display());
+                failed.push(id.clone());
+            }
         }
+    }
+    if !failed.is_empty() {
+        eprintln!(
+            "{} of {} figure(s) failed: {}",
+            failed.len(),
+            requested.len(),
+            failed.join(" ")
+        );
+        std::process::exit(1);
     }
 }

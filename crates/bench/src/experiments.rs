@@ -1,11 +1,16 @@
 //! Single experiment points: one workload, one mode, one parameter setting.
+//!
+//! Every point builds the mode's `SiteRuntime` (the system under test) and
+//! its workload driver, then lets `homeo_runtime::drive` run the closed
+//! loop.
 
 use serde::{Deserialize, Serialize};
 
+use homeo_runtime::drive;
 use homeo_sim::clock::millis;
-use homeo_sim::closedloop::{self, ClosedLoopConfig};
-use homeo_workloads::micro::{closed_loop_config, MicroConfig, MicroExecutor, Mode};
-use homeo_workloads::tpcc::{TpccConfig, TpccExecutor};
+use homeo_sim::ClosedLoopConfig;
+use homeo_workloads::micro::{self, closed_loop_config, MicroConfig, MicroWorkload, Mode};
+use homeo_workloads::tpcc::{self, TpccConfig, TpccWorkload};
 
 /// The percentiles used by the paper's latency-profile figures.
 pub const LATENCY_PERCENTILES: [f64; 8] = [10.0, 30.0, 50.0, 70.0, 90.0, 95.0, 98.0, 100.0];
@@ -35,9 +40,10 @@ pub fn micro_experiment(
     clients_per_replica: usize,
     measure_ms: u64,
 ) -> ExperimentPoint {
-    let mut exec = MicroExecutor::new(config.clone(), mode);
+    let mut runtime = micro::build_runtime(config, mode);
+    let mut workload = MicroWorkload::new(config.clone(), mode);
     let loop_config = closed_loop_config(config, clients_per_replica, measure_ms);
-    let mut metrics = closedloop::run(&loop_config, &mut exec);
+    let mut metrics = drive(&loop_config, runtime.as_mut(), &mut workload);
     let cdf_points: Vec<f64> = vec![1.0, 2.0, 4.0, 8.0, 16.0, 50.0, 100.0, 200.0, 400.0, 1000.0];
     ExperimentPoint {
         mode: mode.label().to_string(),
@@ -72,7 +78,8 @@ pub fn tpcc_experiment(
     clients_per_replica: usize,
     measure_ms: u64,
 ) -> TpccPoint {
-    let mut exec = TpccExecutor::new(config.clone(), mode);
+    let mut runtime = tpcc::build_runtime(config, mode);
+    let mut workload = TpccWorkload::new(config.clone(), mode);
     let loop_config = ClosedLoopConfig {
         replicas: config.replicas,
         clients_per_replica,
@@ -81,16 +88,16 @@ pub fn tpcc_experiment(
         seed: config.seed,
         cores_per_replica: 16,
     };
-    let metrics = closedloop::run(&loop_config, &mut exec);
+    let metrics = drive(&loop_config, runtime.as_mut(), &mut workload);
     let measured_secs = measure_ms as f64 / 1000.0;
     let new_order_throughput =
-        exec.new_order_counter.committed as f64 / measured_secs / config.replicas as f64;
+        workload.new_order_counter.committed as f64 / measured_secs / config.replicas as f64;
     TpccPoint {
         mode: mode.label().to_string(),
-        new_order_latency_ms: exec.new_order_latency.profile_ms(&LATENCY_PERCENTILES),
+        new_order_latency_ms: workload.new_order_latency.profile_ms(&LATENCY_PERCENTILES),
         new_order_throughput_per_replica: new_order_throughput,
         total_throughput: metrics.throughput_total(),
-        new_order_sync_ratio_percent: exec.new_order_counter.sync_ratio_percent(),
+        new_order_sync_ratio_percent: workload.new_order_counter.sync_ratio_percent(),
     }
 }
 

@@ -52,6 +52,10 @@ pub use homeo_sim as sim;
 /// The homeostasis protocol itself (Sections 3–5).
 pub use homeo_protocol as protocol;
 
+/// The shared per-site execution runtime (`submit`/`poll`/`synchronize`
+/// over engine-backed sites) every protocol variant runs through.
+pub use homeo_runtime as runtime;
+
 /// Baseline coordination protocols (2PC, local, demarcation/OPT).
 pub use homeo_baselines as baselines;
 

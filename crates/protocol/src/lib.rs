@@ -22,14 +22,19 @@
 //! (Theorem 3.8); [`correctness`] provides that oracle as executable code and
 //! the integration tests exercise it continuously.
 //!
-//! Two execution paths are provided:
+//! Two protocol cores are provided:
 //!
 //! * [`round`] — the fully general protocol over an arbitrary set of `L`
 //!   transactions (used by the examples and the correctness tests);
-//! * [`replicated`] — the scalable per-object path used by the paper's
-//!   evaluation workloads (replicated counters with `q ≥ threshold`
-//!   treaties, per Appendix B + E), built on the same template and optimizer
-//!   machinery.
+//! * [`replicated`] — the treaty negotiation for the scalable per-object
+//!   fast path used by the paper's evaluation workloads (replicated counters
+//!   with `q ≥ threshold` treaties, per Appendix B + E), built on the same
+//!   template and optimizer machinery.
+//!
+//! Both are *executed* through the shared per-site runtime layer in the
+//! `homeo-runtime` crate, which owns the storage engines, operation inboxes
+//! and the `submit / poll / synchronize` surface every protocol variant
+//! (including the baselines) shares.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,6 +52,8 @@ pub mod treaty;
 
 pub use model::{DistributedDb, Loc, SiteId};
 pub use optimizer::{OptimizerConfig, WorkloadModel};
-pub use replicated::{ReplicatedCounters, ReplicatedMode, ReplicatedOutcome};
+pub use replicated::{
+    negotiate_allowances, ReplicatedMode, ReplicatedOutcome, ReplicatedStats, WorkloadHints,
+};
 pub use round::{HomeostasisCluster, TxnOutcome};
 pub use treaty::{GlobalTreaty, LocalTreaty, TreatyTable};

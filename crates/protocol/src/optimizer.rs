@@ -10,12 +10,11 @@
 //! many soft groups as possible.
 
 use std::collections::BTreeMap;
-use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
 use homeo_lang::database::Database;
-use homeo_sim::DetRng;
+use homeo_sim::{DetRng, Timer};
 use homeo_solver::maxsmt::{max_feasible_subset, SoftGroup};
 use homeo_solver::VarName;
 
@@ -73,7 +72,7 @@ pub struct OptimizedConfig {
     pub solver_micros: u64,
 }
 
-/// Runs Algorithm 1.
+/// Runs Algorithm 1, measuring solver time with the wall clock.
 ///
 /// Falls back to the always-valid default configuration of Theorem 4.3 when
 /// the optimizer cannot produce an integer model (which only happens on
@@ -84,7 +83,21 @@ pub fn optimize(
     model: &mut dyn WorkloadModel,
     cfg: &OptimizerConfig,
 ) -> OptimizedConfig {
-    let started = Instant::now();
+    optimize_timed(templates, db, model, cfg, Timer::Wall)
+}
+
+/// Runs Algorithm 1 with an explicit [`Timer`] for the reported solver time.
+///
+/// Seeded reproductions pass [`Timer::Fixed`] so the `solver_micros` field —
+/// and everything derived from it downstream — is byte-for-byte
+/// deterministic; `reproduce` and other production paths use [`Timer::Wall`].
+pub fn optimize_timed(
+    templates: &TreatyTemplates,
+    db: &Database,
+    model: &mut dyn WorkloadModel,
+    cfg: &OptimizerConfig,
+    timer: Timer,
+) -> OptimizedConfig {
     let mut rng = DetRng::seed_from(cfg.seed);
 
     // Hard constraints: H1 (validity) plus H2 (treaties hold on D).
@@ -103,8 +116,7 @@ pub fn optimize(
     let total_states = soft.len();
 
     let default = templates.default_config(db);
-    let result = max_feasible_subset(&hard, &soft);
-    let solver_micros = started.elapsed().as_micros() as u64;
+    let (result, solver_micros) = timer.measure(|| max_feasible_subset(&hard, &soft));
 
     match result {
         Some(res) => {

@@ -1,28 +1,31 @@
-//! The scalable replicated-counter path of the protocol (Appendices B and E).
+//! The replicated-counter treaty machinery of the protocol (Appendices B
+//! and E).
 //!
 //! The paper's evaluation workloads (the stock/refill microbenchmark and the
 //! TPC-C subset) boil down, after the remote-write transformation and the
 //! independence-based factorization, to a large number of *independent
 //! replicated counters*, each with a global treaty of the form
 //! `value ≥ lower_bound` and per-site local treaties that bound each site's
-//! delta object (`δq@i ≥ allowance_i`). This module manages those counters
-//! directly: every counter carries its base value (last synchronized), its
-//! per-site deltas, and its per-site allowances; allowances are produced by
-//! the same template + optimizer machinery as the general path, or by the
-//! hand-crafted even split of the demarcation protocol (the paper's OPT
+//! delta object (`δq@i ≥ allowance_i`). This module provides the shared
+//! protocol pieces of that fast path: the negotiation [`ReplicatedMode`]s
+//! and [`negotiate_allowances`], which produces the per-site allowances from
+//! the same template + optimizer machinery as the general path (or from the
+//! hand-crafted even split of the demarcation protocol — the paper's OPT
 //! baseline).
-
-use std::collections::BTreeMap;
-use std::time::Instant;
+//!
+//! The counters themselves — their storage, sharding and execution — live in
+//! the `homeo-runtime` crate's `ReplicatedRuntime`, where every operation
+//! runs through a site's storage engine (strict 2PL + WAL).
 
 use serde::{Deserialize, Serialize};
 
 use homeo_lang::database::Database;
 use homeo_lang::ids::ObjId;
+use homeo_sim::Timer;
 use homeo_solver::{LinExpr, LinearConstraint};
 
 use crate::model::Loc;
-use crate::optimizer::{optimize, OptimizerConfig};
+use crate::optimizer::{optimize_timed, OptimizerConfig};
 use crate::templates::TreatyTemplates;
 
 /// How local treaties (allowances) are chosen at each negotiation.
@@ -49,7 +52,7 @@ pub struct ReplicatedOutcome {
     pub synchronized: bool,
     /// Whether the refill branch of the transaction ran.
     pub refilled: bool,
-    /// Time spent in the treaty solver, in microseconds of real time.
+    /// Time spent in the treaty solver, in microseconds.
     pub solver_micros: u64,
 }
 
@@ -65,480 +68,203 @@ pub struct ReplicatedStats {
     pub negotiations: u64,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct CounterState {
-    base: i64,
-    lower_bound: i64,
-    deltas: Vec<i64>,
-    allowances: Vec<i64>,
+/// The workload hints the negotiation's sampled futures are drawn from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadHints {
+    /// Expected share of the workload issued by each site (uniform by
+    /// default).
+    pub site_weights: Vec<f64>,
+    /// Expected decrement size.
+    pub expected_amount: i64,
 }
 
-impl CounterState {
-    fn logical_value(&self) -> i64 {
-        self.base + self.deltas.iter().sum::<i64>()
-    }
-}
-
-/// A set of independent replicated counters managed under the homeostasis
-/// protocol (or the OPT baseline).
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct ReplicatedCounters {
-    sites: usize,
-    mode: ReplicatedMode,
-    /// Expected share of the workload issued by each site (used by the
-    /// optimizer's workload model; uniform by default).
-    site_weights: Vec<f64>,
-    /// Expected decrement size (used by the optimizer's workload model).
-    expected_amount: i64,
-    counters: BTreeMap<ObjId, CounterState>,
-    /// Statistics.
-    pub stats: ReplicatedStats,
-}
-
-impl ReplicatedCounters {
-    /// Creates a manager for `sites` replicas.
-    pub fn new(sites: usize, mode: ReplicatedMode) -> Self {
-        assert!(sites > 0);
-        ReplicatedCounters {
-            sites,
-            mode,
+impl WorkloadHints {
+    /// Uniform hints for `sites` replicas.
+    pub fn uniform(sites: usize) -> Self {
+        WorkloadHints {
             site_weights: vec![1.0; sites],
             expected_amount: 1,
-            counters: BTreeMap::new(),
-            stats: ReplicatedStats::default(),
         }
     }
+}
 
-    /// Sets the workload model hints used by the optimizer.
-    pub fn with_workload_hints(mut self, site_weights: Vec<f64>, expected_amount: i64) -> Self {
-        assert_eq!(site_weights.len(), self.sites);
-        self.site_weights = site_weights;
-        self.expected_amount = expected_amount.max(1);
-        self
-    }
-
-    /// Number of sites.
-    pub fn sites(&self) -> usize {
-        self.sites
-    }
-
-    /// Registers a counter with its initial value and the lower bound its
-    /// global treaty maintains. The initial treaty is negotiated immediately.
-    pub fn register(&mut self, obj: ObjId, initial: i64, lower_bound: i64) -> u64 {
-        let mut state = CounterState {
-            base: initial,
-            lower_bound,
-            deltas: vec![0; self.sites],
-            allowances: vec![0; self.sites],
-        };
-        let solver = self.negotiate(&mut state);
-        self.counters.insert(obj, state);
-        solver
-    }
-
-    /// True when the counter is registered.
-    pub fn is_registered(&self, obj: &ObjId) -> bool {
-        self.counters.contains_key(obj)
-    }
-
-    /// The authoritative (global) value of a counter.
-    pub fn logical_value(&self, obj: &ObjId) -> i64 {
-        self.counters
-            .get(obj)
-            .map(|c| c.logical_value())
-            .unwrap_or(0)
-    }
-
-    /// The value a given site believes the counter has (base plus its own
-    /// delta — other sites' deltas are not visible without synchronizing).
-    pub fn visible_value(&self, site: usize, obj: &ObjId) -> i64 {
-        self.counters
-            .get(obj)
-            .map(|c| c.base + c.deltas[site])
-            .unwrap_or(0)
-    }
-
-    /// A pure local increment (e.g. the TPC-C Payment balance updates):
-    /// increments never threaten a `≥`-treaty, so they always commit locally
-    /// (Appendix E: "instances of Payment run without ever needing to
-    /// synchronize").
-    pub fn increment(&mut self, site: usize, obj: &ObjId, amount: i64) -> ReplicatedOutcome {
-        let state = self
-            .counters
-            .get_mut(obj)
-            .unwrap_or_else(|| panic!("counter `{obj}` not registered"));
-        state.deltas[site] += amount.abs();
-        self.stats.local_commits += 1;
-        ReplicatedOutcome {
-            committed: true,
-            synchronized: false,
-            refilled: false,
-            solver_micros: 0,
+/// Negotiates the per-site allowances for one replicated counter.
+///
+/// The counter currently holds the synchronized value `base` (all deltas
+/// zero) and its global treaty maintains `value ≥ lower_bound`. The result
+/// is one allowance per site — the most negative delta the site's local
+/// treaty tolerates (allowances are `≤ 0`; a site may decrement until its
+/// delta would drop below its allowance) — together with the solver time in
+/// microseconds as measured by `timer`.
+pub fn negotiate_allowances(
+    mode: ReplicatedMode,
+    hints: &WorkloadHints,
+    sites: usize,
+    base: i64,
+    lower_bound: i64,
+    timer: Timer,
+) -> (Vec<i64>, u64) {
+    assert!(sites > 0);
+    assert_eq!(hints.site_weights.len(), sites);
+    let headroom = base.saturating_sub(lower_bound).max(0);
+    match mode {
+        ReplicatedMode::EvenSplit => {
+            let share = headroom / sites as i64;
+            (vec![-share; sites], 0)
         }
-    }
-
-    /// The order/decrement-or-refill operation (Listing 1 / TPC-C New Order
-    /// stock update): decrement `amount`, refilling to `refill_to` when the
-    /// synchronized value can no longer support the decrement.
-    pub fn order(
-        &mut self,
-        site: usize,
-        obj: &ObjId,
-        amount: i64,
-        refill_to: Option<i64>,
-    ) -> ReplicatedOutcome {
-        assert!(amount >= 0);
-        let mode = self.mode;
-        let site_weights = self.site_weights.clone();
-        let expected_amount = self.expected_amount;
-        let state = self
-            .counters
-            .get_mut(obj)
-            .unwrap_or_else(|| panic!("counter `{obj}` not registered"));
-
-        // Normal execution: the decrement stays within this site's local
-        // treaty, so it commits without communication.
-        let new_delta = state.deltas[site] - amount;
-        if new_delta >= state.allowances[site] {
-            state.deltas[site] = new_delta;
-            self.stats.local_commits += 1;
-            return ReplicatedOutcome {
-                committed: true,
-                synchronized: false,
-                refilled: false,
-                solver_micros: 0,
-            };
-        }
-
-        // Treaty violation: cleanup phase. Synchronize (fold deltas into the
-        // base), run the transaction on the consistent state, renegotiate.
-        state.base = state.logical_value();
-        state.deltas.iter_mut().for_each(|d| *d = 0);
-        let refilled = if state.base - amount >= state.lower_bound {
-            state.base -= amount;
-            false
-        } else if let Some(refill) = refill_to {
-            state.base = refill;
-            true
-        } else {
-            // No refill semantics: apply the decrement on the consistent
-            // state (it is now a fully synchronized, serial operation).
-            state.base -= amount;
-            false
-        };
-        let solver_micros =
-            Self::negotiate_with(mode, &site_weights, expected_amount, self.sites, state);
-        self.stats.synchronizations += 1;
-        self.stats.negotiations += 1;
-        ReplicatedOutcome {
-            committed: true,
-            synchronized: true,
-            refilled,
-            solver_micros,
-        }
-    }
-
-    /// Forces a synchronization on behalf of an operation whose treaty pins
-    /// an object to its current value (e.g. the TPC-C Delivery transaction,
-    /// whose "lowest unprocessed order id" treaty is violated by every
-    /// execution — Appendix E).
-    pub fn force_sync(&mut self, obj: &ObjId) -> ReplicatedOutcome {
-        let mode = self.mode;
-        let site_weights = self.site_weights.clone();
-        let expected_amount = self.expected_amount;
-        let solver_micros = if let Some(state) = self.counters.get_mut(obj) {
-            state.base = state.logical_value();
-            state.deltas.iter_mut().for_each(|d| *d = 0);
-            Self::negotiate_with(mode, &site_weights, expected_amount, self.sites, state)
-        } else {
-            0
-        };
-        self.stats.synchronizations += 1;
-        self.stats.negotiations += 1;
-        ReplicatedOutcome {
-            committed: true,
-            synchronized: true,
-            refilled: false,
-            solver_micros,
-        }
-    }
-
-    /// Treaty negotiation for one counter in the current mode.
-    fn negotiate(&mut self, state: &mut CounterState) -> u64 {
-        self.stats.negotiations += 1;
-        Self::negotiate_with(
-            self.mode,
-            &self.site_weights,
-            self.expected_amount,
-            self.sites,
-            state,
-        )
-    }
-
-    fn negotiate_with(
-        mode: ReplicatedMode,
-        site_weights: &[f64],
-        expected_amount: i64,
-        sites: usize,
-        state: &mut CounterState,
-    ) -> u64 {
-        let headroom = state.base.saturating_sub(state.lower_bound).max(0);
-        match mode {
-            ReplicatedMode::EvenSplit => {
-                let share = headroom / sites as i64;
-                state.allowances = vec![-share; sites];
-                0
+        ReplicatedMode::Homeostasis { optimizer } => match optimizer {
+            None => {
+                // Theorem 4.3 default: local sums frozen at their current
+                // (zero-delta) values — synchronize on every decrement.
+                (vec![0; sites], 0)
             }
-            ReplicatedMode::Homeostasis { optimizer } => match optimizer {
-                None => {
-                    // Theorem 4.3 default: local sums frozen at their current
-                    // (zero-delta) values — synchronize on every decrement.
-                    state.allowances = vec![0; sites];
-                    0
+            Some(cfg) => {
+                let expected_amount = hints.expected_amount.max(1);
+                // Build the per-counter treaty template: Σ δᵢ ≥ -headroom.
+                let delta_var = |i: usize| format!("δ@{i}");
+                let mut sum = LinExpr::zero();
+                let mut loc = Loc::new().with_default_site(0);
+                for i in 0..sites {
+                    sum.add_term(delta_var(i), 1);
+                    loc.assign(ObjId::new(delta_var(i)), i);
                 }
-                Some(cfg) => {
-                    let started = Instant::now();
-                    // Build the per-counter treaty template: Σ δᵢ ≥ -headroom.
-                    let delta_var = |i: usize| format!("δ@{i}");
-                    let mut sum = LinExpr::zero();
-                    let mut loc = Loc::new().with_default_site(0);
-                    for i in 0..sites {
-                        sum.add_term(delta_var(i), 1);
-                        loc.assign(ObjId::new(delta_var(i)), i);
+                let psi = vec![LinearConstraint::ge(sum, LinExpr::constant(-headroom))];
+                let templates = TreatyTemplates::generate(&psi, &loc, sites);
+                let db = Database::new();
+                // Workload model: a weighted random site decrements by the
+                // expected amount.
+                let weights = hints.site_weights.clone();
+                let mut model = move |current: &Database, rng: &mut homeo_sim::DetRng| {
+                    let site = rng.weighted_index(&weights);
+                    let mut next = current.clone();
+                    next.add(ObjId::new(format!("δ@{site}")), -expected_amount);
+                    next
+                };
+                let result = optimize_timed(&templates, &db, &mut model, &cfg, timer);
+                let solver_micros = result.solver_micros;
+                // allowance_i = the most negative δᵢ the local treaty
+                // tolerates: from  -δᵢ + cᵢ ≤ headroom  we get
+                // δᵢ ≥ cᵢ - headroom.
+                let mut allowances: Vec<i64> = (0..sites)
+                    .map(|i| {
+                        let cvar = &templates.clauses[0].config_vars[i];
+                        let c = result.config.get(cvar).copied().unwrap_or(headroom);
+                        c - headroom
+                    })
+                    .collect();
+                // Safety net: never allow the allowances to oversubscribe
+                // the headroom (the hard constraints already guarantee this;
+                // clamp defensively against a degenerate model).
+                let total: i64 = allowances.iter().map(|a| -a).sum();
+                if total > headroom {
+                    let share = headroom / sites as i64;
+                    allowances = vec![-share; sites];
+                }
+                // Distribute any leftover headroom in proportion to the
+                // expected per-site load, so slack is not parked at a site
+                // that will not use it.
+                let used: i64 = allowances.iter().map(|a| -a).sum();
+                let mut leftover = headroom - used;
+                if leftover > 0 {
+                    let weight_total: f64 = hints.site_weights.iter().sum();
+                    for (allowance, weight) in allowances
+                        .iter_mut()
+                        .zip(hints.site_weights.iter())
+                        .take(sites)
+                    {
+                        let share = ((leftover as f64) * weight
+                            / weight_total.max(f64::MIN_POSITIVE))
+                        .floor() as i64;
+                        *allowance -= share;
                     }
-                    let psi = vec![LinearConstraint::ge(sum, LinExpr::constant(-headroom))];
-                    let templates = TreatyTemplates::generate(&psi, &loc, sites);
-                    let db = Database::new();
-                    // Workload model: a weighted random site decrements by
-                    // the expected amount.
-                    let weights = site_weights.to_vec();
-                    let mut model = move |current: &Database, rng: &mut homeo_sim::DetRng| {
-                        let site = rng.weighted_index(&weights);
-                        let mut next = current.clone();
-                        next.add(ObjId::new(format!("δ@{site}")), -expected_amount);
-                        next
-                    };
-                    let result = optimize(&templates, &db, &mut model, &cfg);
-                    let _locals = templates.local_treaties(&result.config, &db);
-                    // allowance_i = the most negative δᵢ the local treaty
-                    // tolerates: from  -δᵢ + cᵢ ≤ headroom  we get
-                    // δᵢ ≥ cᵢ - headroom.
-                    state.allowances = (0..sites)
-                        .map(|i| {
-                            let cvar = &templates.clauses[0].config_vars[i];
-                            let c = result.config.get(cvar).copied().unwrap_or(headroom);
-                            c - headroom
-                        })
-                        .collect();
-                    // Safety net: never allow the allowances to oversubscribe
-                    // the headroom (the hard constraints already guarantee
-                    // this; clamp defensively against a degenerate model).
-                    let total: i64 = state.allowances.iter().map(|a| -a).sum();
-                    if total > headroom {
-                        let share = headroom / sites as i64;
-                        state.allowances = vec![-share; sites];
-                    }
-                    // Distribute any leftover headroom in proportion to the
-                    // expected per-site load, so slack is not parked at a
-                    // site that will not use it.
-                    let used: i64 = state.allowances.iter().map(|a| -a).sum();
-                    let mut leftover = headroom - used;
+                    let used: i64 = allowances.iter().map(|a| -a).sum();
+                    leftover = headroom - used;
                     if leftover > 0 {
-                        let weight_total: f64 = site_weights.iter().sum();
-                        for (allowance, weight) in state
-                            .allowances
-                            .iter_mut()
-                            .zip(site_weights.iter())
-                            .take(sites)
-                        {
-                            let share = ((leftover as f64) * weight
-                                / weight_total.max(f64::MIN_POSITIVE))
-                            .floor() as i64;
-                            *allowance -= share;
-                        }
-                        let used: i64 = state.allowances.iter().map(|a| -a).sum();
-                        leftover = headroom - used;
-                        if leftover > 0 {
-                            // Give the remainder to the most loaded site.
-                            let hottest = site_weights
-                                .iter()
-                                .enumerate()
-                                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite weights"))
-                                .map(|(i, _)| i)
-                                .unwrap_or(0);
-                            state.allowances[hottest] -= leftover;
-                        }
+                        // Give the remainder to the most loaded site.
+                        let hottest = hints
+                            .site_weights
+                            .iter()
+                            .enumerate()
+                            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite weights"))
+                            .map(|(i, _)| i)
+                            .unwrap_or(0);
+                        allowances[hottest] -= leftover;
                     }
-                    started.elapsed().as_micros() as u64
                 }
-            },
-        }
-    }
-
-    /// The global-treaty invariant: as long as only `order` operations run,
-    /// every counter's logical value stays at or above its lower bound
-    /// (checked by tests and the property suite).
-    pub fn all_treaties_hold(&self) -> bool {
-        self.counters
-            .values()
-            .all(|c| c.logical_value() >= c.lower_bound.min(c.base))
-    }
-
-    /// Number of registered counters.
-    pub fn len(&self) -> usize {
-        self.counters.len()
-    }
-
-    /// True when no counters are registered.
-    pub fn is_empty(&self) -> bool {
-        self.counters.is_empty()
+                (allowances, solver_micros)
+            }
+        },
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use homeo_sim::DetRng;
 
-    fn stock(i: usize) -> ObjId {
-        ObjId::new(format!("stock[{i}]"))
-    }
-
-    fn homeo(sites: usize) -> ReplicatedCounters {
-        ReplicatedCounters::new(
-            sites,
-            ReplicatedMode::Homeostasis {
-                optimizer: Some(OptimizerConfig {
-                    lookahead: 10,
-                    futures: 2,
-                    seed: 21,
-                }),
-            },
-        )
-    }
-
-    #[test]
-    fn most_orders_commit_locally() {
-        let mut counters = homeo(2);
-        counters.register(stock(0), 100, 1);
-        let mut synced = 0;
-        for i in 0..60 {
-            let out = counters.order(i % 2, &stock(0), 1, Some(99));
-            assert!(out.committed);
-            if out.synchronized {
-                synced += 1;
-            }
+    fn homeo_cfg(seed: u64) -> ReplicatedMode {
+        ReplicatedMode::Homeostasis {
+            optimizer: Some(OptimizerConfig {
+                lookahead: 10,
+                futures: 2,
+                seed,
+            }),
         }
-        // 60 decrements over ~99 of headroom: synchronization must be rare.
-        assert!(synced <= 6, "synced={synced}");
-        assert!(counters.stats.local_commits >= 54);
     }
 
     #[test]
-    fn protocol_value_matches_serial_micro_order_semantics() {
-        // The logical counter value must follow the serial decrement/refill
-        // semantics of Listing 1 exactly, no matter how operations are
-        // spread over sites.
-        for mode in [
+    fn even_split_divides_the_headroom() {
+        let (allowances, micros) = negotiate_allowances(
             ReplicatedMode::EvenSplit,
-            ReplicatedMode::Homeostasis {
-                optimizer: Some(OptimizerConfig {
-                    lookahead: 8,
-                    futures: 2,
-                    seed: 5,
-                }),
-            },
+            &WorkloadHints::uniform(2),
+            2,
+            101,
+            1,
+            Timer::fixed_zero(),
+        );
+        assert_eq!(allowances, vec![-50, -50]);
+        assert_eq!(micros, 0);
+    }
+
+    #[test]
+    fn the_default_configuration_freezes_all_sites() {
+        let (allowances, _) = negotiate_allowances(
             ReplicatedMode::Homeostasis { optimizer: None },
-        ] {
-            let refill = 20;
-            let mut counters = ReplicatedCounters::new(3, mode);
-            counters.register(stock(7), 12, 1);
-            let mut serial = 12i64;
-            let mut rng = DetRng::seed_from(17);
-            for step in 0..200 {
-                let site = rng.index(3);
-                counters.order(site, &stock(7), 1, Some(refill - 1));
-                serial = if serial > 1 { serial - 1 } else { refill - 1 };
-                assert_eq!(
-                    counters.logical_value(&stock(7)),
-                    serial,
-                    "mode {mode:?}, step {step}"
-                );
-            }
-        }
+            &WorkloadHints::uniform(3),
+            3,
+            50,
+            1,
+            Timer::fixed_zero(),
+        );
+        assert_eq!(allowances, vec![0, 0, 0]);
     }
 
     #[test]
-    fn default_configuration_synchronizes_on_every_decrement() {
-        let mut counters =
-            ReplicatedCounters::new(2, ReplicatedMode::Homeostasis { optimizer: None });
-        counters.register(stock(1), 50, 1);
-        for i in 0..10 {
-            let out = counters.order(i % 2, &stock(1), 1, None);
-            assert!(out.synchronized, "op {i}");
+    fn optimized_allowances_never_oversubscribe_the_headroom() {
+        for base in [3i64, 12, 40, 100] {
+            let (allowances, _) = negotiate_allowances(
+                homeo_cfg(21),
+                &WorkloadHints::uniform(2),
+                2,
+                base,
+                1,
+                Timer::fixed_zero(),
+            );
+            let consumed: i64 = allowances.iter().map(|a| -a).sum();
+            assert!(
+                consumed < base,
+                "base={base}: allowances {allowances:?} exceed headroom"
+            );
+            assert!(allowances.iter().all(|a| *a <= 0));
         }
-    }
-
-    #[test]
-    fn even_split_matches_the_demarcation_behaviour() {
-        let mut counters = ReplicatedCounters::new(2, ReplicatedMode::EvenSplit);
-        counters.register(stock(2), 101, 1);
-        // Each site can take 50 decrements before the first synchronization.
-        let mut synced_at = None;
-        for i in 0..60 {
-            let out = counters.order(0, &stock(2), 1, Some(100));
-            if out.synchronized {
-                synced_at = Some(i);
-                break;
-            }
-        }
-        assert_eq!(synced_at, Some(50));
-    }
-
-    #[test]
-    fn increments_never_synchronize() {
-        let mut counters = homeo(4);
-        counters.register(ObjId::new("balance[3]"), 0, -1_000_000_000);
-        for i in 0..40 {
-            let out = counters.increment(i % 4, &ObjId::new("balance[3]"), 7);
-            assert!(!out.synchronized);
-        }
-        assert_eq!(counters.logical_value(&ObjId::new("balance[3]")), 40 * 7);
-        assert_eq!(counters.stats.synchronizations, 0);
-    }
-
-    #[test]
-    fn force_sync_counts_as_synchronization() {
-        let mut counters = homeo(2);
-        counters.register(ObjId::new("neworder[1]"), 5, 0);
-        let before = counters.stats.synchronizations;
-        let out = counters.force_sync(&ObjId::new("neworder[1]"));
-        assert!(out.synchronized);
-        assert_eq!(counters.stats.synchronizations, before + 1);
-    }
-
-    #[test]
-    fn treaty_invariant_is_maintained_under_random_load() {
-        let mut counters = homeo(3);
-        for i in 0..20 {
-            counters.register(stock(i), 100, 1);
-        }
-        let mut rng = DetRng::seed_from(3);
-        for _ in 0..2000 {
-            let site = rng.index(3);
-            let item = rng.index(20);
-            counters.order(site, &stock(item), rng.int_inclusive(1, 3), Some(99));
-            assert!(counters.all_treaties_hold());
-        }
-        // Synchronizations happen, but far less often than operations.
-        assert!(counters.stats.synchronizations > 0);
-        assert!(counters.stats.synchronizations * 5 < counters.stats.local_commits);
     }
 
     #[test]
     fn skewed_hints_shift_allowances_toward_the_hot_site() {
-        let mut counters = ReplicatedCounters::new(
-            2,
+        let hints = WorkloadHints {
+            site_weights: vec![0.9, 0.1],
+            expected_amount: 1,
+        };
+        let (allowances, _) = negotiate_allowances(
             ReplicatedMode::Homeostasis {
                 optimizer: Some(OptimizerConfig {
                     lookahead: 12,
@@ -546,13 +272,26 @@ mod tests {
                     seed: 2,
                 }),
             },
-        )
-        .with_workload_hints(vec![0.9, 0.1], 1);
-        counters.register(stock(9), 40, 1);
-        let state = counters.counters.get(&stock(9)).unwrap();
-        let a0 = -state.allowances[0];
-        let a1 = -state.allowances[1];
+            &hints,
+            2,
+            40,
+            1,
+            Timer::fixed_zero(),
+        );
+        let a0 = -allowances[0];
+        let a1 = -allowances[1];
         assert!(a0 >= a1, "a0={a0} a1={a1}");
         assert!(a0 + a1 <= 39);
+    }
+
+    #[test]
+    fn fixed_timers_make_negotiation_fully_deterministic() {
+        let hints = WorkloadHints::uniform(3);
+        let run = || negotiate_allowances(homeo_cfg(5), &hints, 3, 77, 1, Timer::Fixed(9));
+        let (a, micros_a) = run();
+        let (b, micros_b) = run();
+        assert_eq!(a, b);
+        assert_eq!(micros_a, 9);
+        assert_eq!(micros_b, 9);
     }
 }

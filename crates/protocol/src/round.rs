@@ -22,11 +22,12 @@ use homeo_analysis::{JointSymbolicTable, SymbolicTable};
 use homeo_lang::ast::Transaction;
 use homeo_lang::database::Database;
 use homeo_lang::ids::ObjId;
+use homeo_sim::Timer;
 use homeo_store::Engine;
 
 use crate::exec::{run_on_engine, ExecError};
 use crate::model::{Loc, SiteId};
-use crate::optimizer::{optimize, OptimizerConfig};
+use crate::optimizer::{optimize_timed, OptimizerConfig};
 use crate::templates::{preprocess_guard, TreatyTemplates};
 use crate::treaty::TreatyTable;
 
@@ -80,6 +81,8 @@ pub struct HomeostasisCluster {
     history: Vec<CommittedRecord>,
     /// Optimizer settings; `None` uses the Theorem 4.3 default configuration.
     optimizer: Option<OptimizerConfig>,
+    /// Elapsed-time source for the reported solver times.
+    timer: Timer,
     /// Statistics.
     pub stats: ClusterStats,
 }
@@ -121,10 +124,18 @@ impl HomeostasisCluster {
             round_start: initial,
             history: Vec::new(),
             optimizer,
+            timer: Timer::Wall,
             stats: ClusterStats::default(),
         };
         cluster.negotiate_treaties();
         cluster
+    }
+
+    /// Replaces the elapsed-time source used for the reported solver times
+    /// ([`Timer::Fixed`] makes seeded runs byte-for-byte reproducible).
+    pub fn with_timer(mut self, timer: Timer) -> Self {
+        self.timer = timer;
+        self
     }
 
     /// The site a transaction runs on: the site holding its write set.
@@ -147,6 +158,11 @@ impl HomeostasisCluster {
     /// The number of sites.
     pub fn site_count(&self) -> usize {
         self.sites.len()
+    }
+
+    /// The storage engine of one site.
+    pub fn engine(&self, site: SiteId) -> &Engine {
+        &self.sites[site]
     }
 
     /// The current treaty table.
@@ -274,6 +290,26 @@ impl HomeostasisCluster {
         db.get(obj)
     }
 
+    /// Forces a synchronization outside the cleanup path: every site
+    /// installs the authoritative global state and a new round begins with
+    /// freshly negotiated treaties. Returns the solver time in microseconds.
+    ///
+    /// This is the `synchronize` surface of the runtime layer; the protocol
+    /// itself only synchronizes through [`Self::execute`]'s cleanup phase.
+    pub fn resynchronize(&mut self) -> u64 {
+        let global = self.global_database();
+        let snapshot: BTreeMap<String, i64> = global
+            .iter()
+            .map(|(obj, value)| (obj.as_str().to_string(), value))
+            .collect();
+        for engine in &self.sites {
+            engine.install(snapshot.clone());
+        }
+        self.round_start = global;
+        self.history.clear();
+        self.negotiate_treaties()
+    }
+
     /// The cleanup phase: synchronize, re-run the violating transaction at
     /// every site, and negotiate treaties for the next round. Returns the
     /// solver time in microseconds.
@@ -335,7 +371,7 @@ impl HomeostasisCluster {
                     seed: cfg.seed.wrapping_add(self.treaties.round),
                     ..*cfg
                 };
-                let result = optimize(&templates, &db, &mut model, &seeded);
+                let result = optimize_timed(&templates, &db, &mut model, &seeded, self.timer);
                 (result.config, result.solver_micros)
             }
             None => (templates.default_config(&db), 0),

@@ -1,0 +1,172 @@
+//! The fully general homeostasis protocol behind the [`SiteRuntime`]
+//! surface.
+//!
+//! [`GeneralRuntime`] adapts [`HomeostasisCluster`] — arbitrary `L`
+//! transactions, symbolic tables, per-round treaties — to the same
+//! `submit / poll / synchronize` surface the fast path and the baselines
+//! use, so the closed-loop driver (and any future multi-threaded site
+//! scheduler) does not care which protocol variant it is driving.
+
+use std::collections::VecDeque;
+
+use homeo_protocol::HomeostasisCluster;
+use homeo_store::Engine;
+
+use crate::{OpOutcome, SiteOp, SiteRuntime};
+
+/// The general protocol runtime: one [`HomeostasisCluster`] whose
+/// transactions are executed through site inboxes.
+pub struct GeneralRuntime {
+    cluster: HomeostasisCluster,
+    inboxes: Vec<VecDeque<SiteOp>>,
+}
+
+impl GeneralRuntime {
+    /// Wraps a cluster (built with the workload's transactions, `Loc` map
+    /// and initial database).
+    pub fn new(cluster: HomeostasisCluster) -> Self {
+        let sites = cluster.site_count();
+        GeneralRuntime {
+            cluster,
+            inboxes: vec![VecDeque::new(); sites],
+        }
+    }
+
+    /// The underlying cluster (treaty inspection, statistics, the
+    /// correctness oracle).
+    pub fn cluster(&self) -> &HomeostasisCluster {
+        &self.cluster
+    }
+
+    /// The home site of a registered transaction — the site holding its
+    /// write set, where its [`SiteOp::Transaction`] should be submitted.
+    pub fn home_site(&self, index: usize) -> usize {
+        self.cluster.home_site(index)
+    }
+}
+
+impl SiteRuntime for GeneralRuntime {
+    fn sites(&self) -> usize {
+        self.cluster.site_count()
+    }
+
+    fn engine(&self, site: usize) -> &Engine {
+        self.cluster.engine(site)
+    }
+
+    fn submit(&mut self, site: usize, op: SiteOp) {
+        debug_assert!(
+            matches!(op, SiteOp::Transaction { .. }),
+            "the general runtime executes registered transactions only"
+        );
+        self.inboxes[site].push_back(op);
+    }
+
+    fn poll(&mut self, site: usize) -> Vec<OpOutcome> {
+        let batch: Vec<SiteOp> = self.inboxes[site].drain(..).collect();
+        batch
+            .into_iter()
+            .map(|op| match op {
+                SiteOp::Transaction { index } => {
+                    // The cluster routes to the transaction's home site
+                    // (Assumption 3.1); the submitting site's inbox is just
+                    // the queueing point.
+                    let out = self
+                        .cluster
+                        .execute(index)
+                        .expect("registered transactions are well-formed");
+                    OpOutcome {
+                        committed: out.committed,
+                        synchronized: out.synchronized,
+                        refilled: false,
+                        comm_rounds: out.comm_rounds,
+                        solver_micros: out.solver_micros,
+                    }
+                }
+                other => panic!(
+                    "the general runtime executes registered transactions only, got {other:?}"
+                ),
+            })
+            .collect()
+    }
+
+    fn synchronize(&mut self, _site: usize) -> u64 {
+        self.cluster.resynchronize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homeo_lang::{programs, Database};
+    use homeo_protocol::correctness::verify_round;
+    use homeo_protocol::Loc;
+
+    fn runtime() -> GeneralRuntime {
+        let loc = Loc::from_pairs([("x", 0usize), ("y", 1usize)]);
+        let db = Database::from_pairs([("x", 10), ("y", 13)]);
+        GeneralRuntime::new(HomeostasisCluster::new(
+            vec![programs::t1(), programs::t2()],
+            loc,
+            2,
+            db,
+            None,
+        ))
+    }
+
+    #[test]
+    fn transactions_flow_through_the_runtime_surface() {
+        let mut rt = runtime();
+        assert_eq!(rt.sites(), 2);
+        for i in 0..6 {
+            let index = i % 2;
+            let site = rt.home_site(index);
+            let out = rt.execute(site, SiteOp::Transaction { index });
+            assert!(out.committed);
+        }
+        assert!(verify_round(rt.cluster()).is_equivalent());
+        assert!(rt.cluster().stats.local_commits > 0);
+    }
+
+    #[test]
+    fn batches_drain_in_order_and_match_serial_execution() {
+        let mut rt = runtime();
+        let schedule = [0usize, 1, 0, 1, 1, 0];
+        for &index in &schedule {
+            rt.submit(rt.home_site(index), SiteOp::Transaction { index });
+        }
+        let out0 = rt.poll(0);
+        let out1 = rt.poll(1);
+        assert_eq!(out0.len() + out1.len(), schedule.len());
+        assert!(out0.iter().chain(&out1).all(|o| o.committed));
+        // Compare against serial execution of the same schedule, poll order.
+        let mut serial = Database::from_pairs([("x", 10), ("y", 13)]);
+        for &index in schedule.iter().filter(|&&i| rt.home_site(i) == 0) {
+            serial = homeo_lang::Evaluator::eval(&rt.cluster().transactions()[index], &serial, &[])
+                .unwrap()
+                .database;
+        }
+        for &index in schedule.iter().filter(|&&i| rt.home_site(i) == 1) {
+            serial = homeo_lang::Evaluator::eval(&rt.cluster().transactions()[index], &serial, &[])
+                .unwrap()
+                .database;
+        }
+        assert_eq!(rt.cluster().global_database(), serial);
+    }
+
+    #[test]
+    fn synchronize_starts_a_fresh_round() {
+        let mut rt = runtime();
+        rt.execute(0, SiteOp::Transaction { index: 0 });
+        let round_before = rt.cluster().treaties().round;
+        rt.synchronize(0);
+        assert!(rt.cluster().treaties().round > round_before);
+        // After synchronizing, both sites share the authoritative state.
+        let global = rt.cluster().global_database();
+        for site in 0..2 {
+            for (obj, value) in global.iter() {
+                assert_eq!(rt.value_at(site, obj), value);
+            }
+        }
+    }
+}

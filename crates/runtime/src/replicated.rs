@@ -1,0 +1,702 @@
+//! The engine-backed replicated-counter runtime (the paper's evaluation
+//! fast path, Appendices B and E).
+//!
+//! Every counter's per-site state lives in the site's storage engine: site
+//! `i`'s engine holds the value the site currently observes
+//! (`base + δ_i`), so every order and increment runs as a real engine
+//! transaction — strict 2PL locks, staged writes, and a WAL record on
+//! commit. A site that crashes recovers its counters from its log
+//! ([`homeo_store::Engine::crash_and_recover`]), which the seed's
+//! `BTreeMap`-only fast path could not do.
+//!
+//! Treaty metadata (the synchronized base, the global lower bound and the
+//! per-site allowances) is kept in shards selected by `ObjId` hash, so
+//! independent counters no longer serialize through one map — the seam a
+//! future multi-threaded site can split work along.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use homeo_lang::ids::ObjId;
+use homeo_protocol::{negotiate_allowances, ReplicatedMode, ReplicatedStats, WorkloadHints};
+use homeo_sim::Timer;
+use homeo_store::{Engine, EngineError};
+
+use crate::{shard_hash, OpOutcome, SiteOp, SiteRuntime};
+
+/// Default number of shards the counter map is split into.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Treaty state of one counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CounterMeta {
+    /// The synchronized value (all deltas folded in at the last
+    /// synchronization).
+    base: i64,
+    /// The global treaty maintains `value ≥ lower_bound`.
+    lower_bound: i64,
+    /// Per-site allowances: site `i` may let its delta drop to
+    /// `allowances[i]` (`≤ 0`) before it must synchronize.
+    allowances: Vec<i64>,
+}
+
+/// One shard of the counter map.
+#[derive(Debug, Default)]
+struct Shard {
+    counters: BTreeMap<ObjId, CounterMeta>,
+}
+
+/// A set of independent replicated counters managed under the homeostasis
+/// protocol (or the OPT baseline), executing through per-site storage
+/// engines.
+pub struct ReplicatedRuntime {
+    mode: ReplicatedMode,
+    hints: WorkloadHints,
+    timer: Timer,
+    engines: Vec<Engine>,
+    shards: Vec<Shard>,
+    inboxes: Vec<VecDeque<SiteOp>>,
+    /// Aggregate statistics.
+    pub stats: ReplicatedStats,
+}
+
+impl ReplicatedRuntime {
+    /// Creates a runtime for `sites` replicas with fresh (empty) engines.
+    pub fn new(sites: usize, mode: ReplicatedMode) -> Self {
+        assert!(sites > 0);
+        Self::from_engines((0..sites).map(|_| Engine::new()).collect(), mode)
+    }
+
+    /// Creates a runtime over pre-populated engines (one per site) — the
+    /// workload generators load relational tables and object namespaces
+    /// before handing the engines over.
+    pub fn from_engines(engines: Vec<Engine>, mode: ReplicatedMode) -> Self {
+        assert!(!engines.is_empty());
+        let sites = engines.len();
+        ReplicatedRuntime {
+            mode,
+            hints: WorkloadHints::uniform(sites),
+            timer: Timer::Wall,
+            engines,
+            shards: (0..DEFAULT_SHARDS).map(|_| Shard::default()).collect(),
+            inboxes: vec![VecDeque::new(); sites],
+            stats: ReplicatedStats::default(),
+        }
+    }
+
+    /// Sets the workload model hints used by the optimizer.
+    pub fn with_workload_hints(mut self, site_weights: Vec<f64>, expected_amount: i64) -> Self {
+        assert_eq!(site_weights.len(), self.engines.len());
+        self.hints = WorkloadHints {
+            site_weights,
+            expected_amount: expected_amount.max(1),
+        };
+        self
+    }
+
+    /// Replaces the elapsed-time source for the reported solver times
+    /// ([`Timer::Fixed`] makes seeded runs byte-for-byte reproducible).
+    pub fn with_timer(mut self, timer: Timer) -> Self {
+        self.timer = timer;
+        self
+    }
+
+    /// Overrides the number of shards (must be called before any counter is
+    /// registered).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0);
+        assert!(self.is_empty(), "reshard before registering counters");
+        self.shards = (0..shards).map(|_| Shard::default()).collect();
+        self
+    }
+
+    /// Number of shards the counter map is split into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a counter lives in.
+    pub fn shard_of(&self, obj: &ObjId) -> usize {
+        (shard_hash(obj) % self.shards.len() as u64) as usize
+    }
+
+    /// Number of counters in one shard (diagnostics and sharding tests).
+    pub fn shard_len(&self, shard: usize) -> usize {
+        self.shards[shard].counters.len()
+    }
+
+    /// Registers a counter with its initial value and the lower bound its
+    /// global treaty maintains. The initial value is written through every
+    /// site's engine inside a logged transaction (so recovery replays it),
+    /// and the initial treaty is negotiated immediately. Returns the solver
+    /// time in microseconds.
+    pub fn register(&mut self, obj: ObjId, initial: i64, lower_bound: i64) -> u64 {
+        for engine in &self.engines {
+            write_through(engine, &obj, initial).expect("population write cannot conflict");
+        }
+        let sites = self.engines.len();
+        let (allowances, solver_micros) = negotiate_allowances(
+            self.mode,
+            &self.hints,
+            sites,
+            initial,
+            lower_bound,
+            self.timer,
+        );
+        self.stats.negotiations += 1;
+        let shard = self.shard_of(&obj);
+        self.shards[shard].counters.insert(
+            obj,
+            CounterMeta {
+                base: initial,
+                lower_bound,
+                allowances,
+            },
+        );
+        solver_micros
+    }
+
+    /// True when the counter is registered.
+    pub fn is_registered(&self, obj: &ObjId) -> bool {
+        self.shards[self.shard_of(obj)].counters.contains_key(obj)
+    }
+
+    /// The authoritative (global) value of a counter: its base plus every
+    /// site's unsynchronized delta.
+    pub fn logical_value(&self, obj: &ObjId) -> i64 {
+        let shard = self.shard_of(obj);
+        match self.shards[shard].counters.get(obj) {
+            None => 0,
+            Some(meta) => {
+                let deltas: i64 = self
+                    .engines
+                    .iter()
+                    .map(|e| e.peek(obj.as_str()) - meta.base)
+                    .sum();
+                meta.base + deltas
+            }
+        }
+    }
+
+    /// The value a given site believes the counter has (its engine's state —
+    /// other sites' deltas are not visible without synchronizing).
+    pub fn visible_value(&self, site: usize, obj: &ObjId) -> i64 {
+        self.engines[site].peek(obj.as_str())
+    }
+
+    /// Number of registered counters.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.counters.len()).sum()
+    }
+
+    /// True when no counters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.counters.is_empty())
+    }
+
+    /// The global-treaty invariant: as long as only `order` operations run,
+    /// every counter's logical value stays at or above its lower bound
+    /// (checked by tests and the property suite).
+    pub fn all_treaties_hold(&self) -> bool {
+        self.shards.iter().all(|shard| {
+            shard
+                .counters
+                .iter()
+                .all(|(obj, meta)| self.logical_value(obj) >= meta.lower_bound.min(meta.base))
+        })
+    }
+
+    /// Simulates a crash of one site: its engine loses all in-memory object
+    /// state and rebuilds it from the WAL. Counter state survives because
+    /// every counter mutation ran through a logged engine transaction.
+    pub fn crash_site(&mut self, site: usize) {
+        self.engines[site].crash_and_recover();
+    }
+
+    fn run_op(&mut self, site: usize, op: SiteOp) -> OpOutcome {
+        match op {
+            SiteOp::Order {
+                obj,
+                amount,
+                refill_to,
+            } => self.order(site, &obj, amount, refill_to),
+            SiteOp::Increment { obj, amount } => self.increment(site, &obj, amount),
+            SiteOp::ForceSync { obj } => self.force_sync(&obj),
+            SiteOp::Transaction { .. } => {
+                panic!("ReplicatedRuntime executes counter operations, not general transactions")
+            }
+        }
+    }
+
+    /// The order/decrement-or-refill operation (Listing 1 / TPC-C New Order
+    /// stock update).
+    fn order(
+        &mut self,
+        site: usize,
+        obj: &ObjId,
+        amount: i64,
+        refill_to: Option<i64>,
+    ) -> OpOutcome {
+        assert!(amount >= 0);
+        let shard = self.shard_of(obj);
+        let meta = self.shards[shard]
+            .counters
+            .get(obj)
+            .unwrap_or_else(|| panic!("counter `{obj}` not registered"));
+        let (base, floor) = (meta.base, meta.base + meta.allowances[site]);
+
+        // Normal execution: the decrement stays within this site's local
+        // treaty, so it commits without communication — one engine
+        // transaction, fully covered by 2PL and the WAL.
+        let engine = &self.engines[site];
+        let mut txn = engine.begin();
+        let value = match engine.read(&txn, obj.as_str()) {
+            Ok(v) => v,
+            Err(EngineError::WouldBlock { .. }) => {
+                engine.abort(&mut txn).ok();
+                return OpOutcome::default();
+            }
+            Err(e) => panic!("counter read failed: {e}"),
+        };
+        let new_value = value - amount;
+        if new_value >= floor {
+            engine
+                .write(&txn, obj.as_str(), new_value)
+                .and_then(|()| engine.commit(&mut txn))
+                .expect("writer already holds the lock");
+            self.stats.local_commits += 1;
+            return OpOutcome::local_commit();
+        }
+        engine.abort(&mut txn).expect("abort of active transaction");
+
+        // Treaty violation: cleanup phase. Fold every site's delta into the
+        // base, run the transaction on the consistent state, renegotiate.
+        let logical = base
+            + self
+                .engines
+                .iter()
+                .map(|e| e.peek(obj.as_str()) - base)
+                .sum::<i64>();
+        let lower_bound = self.shards[shard].counters[obj].lower_bound;
+        let (new_base, refilled) = if logical - amount >= lower_bound {
+            (logical - amount, false)
+        } else if let Some(refill) = refill_to {
+            (refill, true)
+        } else {
+            // No refill semantics: apply the decrement on the consistent
+            // state (it is now a fully synchronized, serial operation).
+            (logical - amount, false)
+        };
+        let solver_micros = self.install_synchronized(obj, new_base);
+        self.stats.synchronizations += 1;
+        OpOutcome::synchronized(refilled, solver_micros)
+    }
+
+    /// A pure local increment: increments never threaten a `≥`-treaty, so
+    /// they always commit locally (Appendix E: "instances of Payment run
+    /// without ever needing to synchronize").
+    fn increment(&mut self, site: usize, obj: &ObjId, amount: i64) -> OpOutcome {
+        assert!(self.is_registered(obj), "counter `{obj}` not registered");
+        let engine = &self.engines[site];
+        let mut txn = engine.begin();
+        match engine.read(&txn, obj.as_str()) {
+            Ok(value) => {
+                engine
+                    .write(&txn, obj.as_str(), value + amount.abs())
+                    .and_then(|()| engine.commit(&mut txn))
+                    .expect("writer already holds the lock");
+                self.stats.local_commits += 1;
+                OpOutcome::local_commit()
+            }
+            Err(EngineError::WouldBlock { .. }) => {
+                engine.abort(&mut txn).ok();
+                OpOutcome::default()
+            }
+            Err(e) => panic!("counter read failed: {e}"),
+        }
+    }
+
+    /// Forces a synchronization on behalf of an operation whose treaty pins
+    /// an object to its current value (e.g. TPC-C Delivery — Appendix E).
+    fn force_sync(&mut self, obj: &ObjId) -> OpOutcome {
+        let solver_micros = if self.is_registered(obj) {
+            let base = self.shards[self.shard_of(obj)].counters[obj].base;
+            let logical = base
+                + self
+                    .engines
+                    .iter()
+                    .map(|e| e.peek(obj.as_str()) - base)
+                    .sum::<i64>();
+            self.install_synchronized(obj, logical)
+        } else {
+            self.stats.negotiations += 1;
+            0
+        };
+        self.stats.synchronizations += 1;
+        OpOutcome::synchronized(false, solver_micros)
+    }
+
+    /// Installs a freshly synchronized base on every site (through logged
+    /// engine transactions) and renegotiates the counter's allowances.
+    /// Returns the solver time in microseconds.
+    fn install_synchronized(&mut self, obj: &ObjId, new_base: i64) -> u64 {
+        for engine in &self.engines {
+            write_through(engine, obj, new_base)
+                .expect("synchronization runs with no transactions in flight");
+        }
+        let sites = self.engines.len();
+        let shard = self.shard_of(obj);
+        let meta = self.shards[shard]
+            .counters
+            .get_mut(obj)
+            .expect("synchronizing a registered counter");
+        meta.base = new_base;
+        let (allowances, solver_micros) = negotiate_allowances(
+            self.mode,
+            &self.hints,
+            sites,
+            new_base,
+            meta.lower_bound,
+            self.timer,
+        );
+        meta.allowances = allowances;
+        self.stats.negotiations += 1;
+        solver_micros
+    }
+}
+
+/// Writes `value` to `obj` through a fresh logged engine transaction.
+fn write_through(engine: &Engine, obj: &ObjId, value: i64) -> Result<(), EngineError> {
+    let mut txn = engine.begin();
+    match engine
+        .write(&txn, obj.as_str(), value)
+        .and_then(|()| engine.commit(&mut txn))
+    {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            engine.abort(&mut txn).ok();
+            Err(e)
+        }
+    }
+}
+
+impl SiteRuntime for ReplicatedRuntime {
+    fn sites(&self) -> usize {
+        self.engines.len()
+    }
+
+    fn engine(&self, site: usize) -> &Engine {
+        &self.engines[site]
+    }
+
+    fn submit(&mut self, site: usize, op: SiteOp) {
+        self.inboxes[site].push_back(op);
+    }
+
+    fn poll(&mut self, site: usize) -> Vec<OpOutcome> {
+        let batch: Vec<SiteOp> = self.inboxes[site].drain(..).collect();
+        batch.into_iter().map(|op| self.run_op(site, op)).collect()
+    }
+
+    fn synchronize(&mut self, _site: usize) -> u64 {
+        // A full synchronization folds every counter with outstanding
+        // deltas; counters already at their base are left untouched.
+        let objs: Vec<ObjId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.counters.keys().cloned())
+            .collect();
+        let mut solver_micros = 0;
+        let mut folded = false;
+        for obj in objs {
+            let logical = self.logical_value(&obj);
+            if logical != self.shards[self.shard_of(&obj)].counters[&obj].base {
+                solver_micros += self.install_synchronized(&obj, logical);
+                folded = true;
+            }
+        }
+        if folded {
+            self.stats.synchronizations += 1;
+        }
+        solver_micros
+    }
+
+    fn ensure_registered(&mut self, obj: &ObjId, initial: i64, lower_bound: i64) {
+        if !self.is_registered(obj) {
+            self.register(obj.clone(), initial, lower_bound);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homeo_protocol::OptimizerConfig;
+    use homeo_sim::DetRng;
+
+    fn stock(i: usize) -> ObjId {
+        ObjId::new(format!("stock[{i}]"))
+    }
+
+    fn homeo(sites: usize) -> ReplicatedRuntime {
+        ReplicatedRuntime::new(
+            sites,
+            ReplicatedMode::Homeostasis {
+                optimizer: Some(OptimizerConfig {
+                    lookahead: 10,
+                    futures: 2,
+                    seed: 21,
+                }),
+            },
+        )
+        .with_timer(Timer::fixed_zero())
+    }
+
+    fn order(
+        runtime: &mut ReplicatedRuntime,
+        site: usize,
+        obj: &ObjId,
+        amount: i64,
+        refill_to: Option<i64>,
+    ) -> OpOutcome {
+        runtime.execute(
+            site,
+            SiteOp::Order {
+                obj: obj.clone(),
+                amount,
+                refill_to,
+            },
+        )
+    }
+
+    #[test]
+    fn most_orders_commit_locally() {
+        let mut counters = homeo(2);
+        counters.register(stock(0), 100, 1);
+        let mut synced = 0;
+        for i in 0..60 {
+            let out = order(&mut counters, i % 2, &stock(0), 1, Some(99));
+            assert!(out.committed);
+            if out.synchronized {
+                synced += 1;
+            }
+        }
+        // 60 decrements over ~99 of headroom: synchronization must be rare.
+        assert!(synced <= 6, "synced={synced}");
+        assert!(counters.stats.local_commits >= 54);
+    }
+
+    #[test]
+    fn protocol_value_matches_serial_micro_order_semantics() {
+        // The logical counter value must follow the serial decrement/refill
+        // semantics of Listing 1 exactly, no matter how operations are
+        // spread over sites.
+        for mode in [
+            ReplicatedMode::EvenSplit,
+            ReplicatedMode::Homeostasis {
+                optimizer: Some(OptimizerConfig {
+                    lookahead: 8,
+                    futures: 2,
+                    seed: 5,
+                }),
+            },
+            ReplicatedMode::Homeostasis { optimizer: None },
+        ] {
+            let refill = 20;
+            let mut counters = ReplicatedRuntime::new(3, mode).with_timer(Timer::fixed_zero());
+            counters.register(stock(7), 12, 1);
+            let mut serial = 12i64;
+            let mut rng = DetRng::seed_from(17);
+            for step in 0..200 {
+                let site = rng.index(3);
+                order(&mut counters, site, &stock(7), 1, Some(refill - 1));
+                serial = if serial > 1 { serial - 1 } else { refill - 1 };
+                assert_eq!(
+                    counters.logical_value(&stock(7)),
+                    serial,
+                    "mode {mode:?}, step {step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_configuration_synchronizes_on_every_decrement() {
+        let mut counters =
+            ReplicatedRuntime::new(2, ReplicatedMode::Homeostasis { optimizer: None })
+                .with_timer(Timer::fixed_zero());
+        counters.register(stock(1), 50, 1);
+        for i in 0..10 {
+            let out = order(&mut counters, i % 2, &stock(1), 1, None);
+            assert!(out.synchronized, "op {i}");
+        }
+    }
+
+    #[test]
+    fn even_split_matches_the_demarcation_behaviour() {
+        let mut counters = ReplicatedRuntime::new(2, ReplicatedMode::EvenSplit);
+        counters.register(stock(2), 101, 1);
+        // Each site can take 50 decrements before the first synchronization.
+        let mut synced_at = None;
+        for i in 0..60 {
+            let out = order(&mut counters, 0, &stock(2), 1, Some(100));
+            if out.synchronized {
+                synced_at = Some(i);
+                break;
+            }
+        }
+        assert_eq!(synced_at, Some(50));
+    }
+
+    #[test]
+    fn increments_never_synchronize() {
+        let mut counters = homeo(4);
+        let balance = ObjId::new("balance[3]");
+        counters.register(balance.clone(), 0, -1_000_000_000);
+        for i in 0..40 {
+            let out = counters.execute(
+                i % 4,
+                SiteOp::Increment {
+                    obj: balance.clone(),
+                    amount: 7,
+                },
+            );
+            assert!(!out.synchronized);
+        }
+        assert_eq!(counters.logical_value(&balance), 40 * 7);
+        assert_eq!(counters.stats.synchronizations, 0);
+    }
+
+    #[test]
+    fn force_sync_counts_as_synchronization_and_folds_deltas() {
+        let mut counters = homeo(2);
+        let obj = ObjId::new("neworder[1]");
+        counters.register(obj.clone(), 5, 0);
+        order(&mut counters, 0, &obj, 1, None);
+        let before = counters.stats.synchronizations;
+        let out = counters.execute(0, SiteOp::ForceSync { obj: obj.clone() });
+        assert!(out.synchronized);
+        assert_eq!(counters.stats.synchronizations, before + 1);
+        // After the sync every site observes the folded value.
+        assert_eq!(counters.visible_value(0, &obj), 4);
+        assert_eq!(counters.visible_value(1, &obj), 4);
+    }
+
+    #[test]
+    fn treaty_invariant_is_maintained_under_random_load() {
+        let mut counters = homeo(3);
+        for i in 0..20 {
+            counters.register(stock(i), 100, 1);
+        }
+        let mut rng = DetRng::seed_from(3);
+        for _ in 0..2000 {
+            let site = rng.index(3);
+            let item = rng.index(20);
+            order(
+                &mut counters,
+                site,
+                &stock(item),
+                rng.int_inclusive(1, 3),
+                Some(99),
+            );
+            assert!(counters.all_treaties_hold());
+        }
+        // Synchronizations happen, but far less often than operations.
+        assert!(counters.stats.synchronizations > 0);
+        assert!(counters.stats.synchronizations * 5 < counters.stats.local_commits);
+    }
+
+    #[test]
+    fn counters_are_spread_over_shards() {
+        let mut counters = homeo(2);
+        for i in 0..200 {
+            counters.register(stock(i), 50, 1);
+        }
+        assert_eq!(counters.len(), 200);
+        assert_eq!(counters.shard_count(), DEFAULT_SHARDS);
+        let populated = (0..counters.shard_count())
+            .filter(|&s| counters.shard_len(s) > 0)
+            .count();
+        assert!(
+            populated > DEFAULT_SHARDS / 2,
+            "only {populated} shards used"
+        );
+        // No shard holds everything.
+        let max = (0..counters.shard_count())
+            .map(|s| counters.shard_len(s))
+            .max()
+            .unwrap();
+        assert!(max < 200, "one shard holds all counters");
+        // Lookups route to the right shard.
+        for i in 0..200 {
+            assert!(counters.is_registered(&stock(i)));
+            assert_eq!(counters.logical_value(&stock(i)), 50);
+        }
+    }
+
+    #[test]
+    fn resharding_is_supported_before_registration() {
+        let counters = homeo(2).with_shards(4);
+        assert_eq!(counters.shard_count(), 4);
+    }
+
+    #[test]
+    fn batched_inbox_executes_in_submission_order() {
+        let mut counters = homeo(2);
+        counters.register(stock(0), 100, 1);
+        counters.register(stock(1), 100, 1);
+        for item in [0usize, 1, 0] {
+            counters.submit(
+                0,
+                SiteOp::Order {
+                    obj: stock(item),
+                    amount: 1,
+                    refill_to: Some(99),
+                },
+            );
+        }
+        let outcomes = counters.poll(0);
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes.iter().all(|o| o.committed));
+        assert_eq!(counters.logical_value(&stock(0)), 98);
+        assert_eq!(counters.logical_value(&stock(1)), 99);
+        // The inbox is drained.
+        assert!(counters.poll(0).is_empty());
+    }
+
+    #[test]
+    fn counter_state_survives_a_site_crash() {
+        // The point of making the fast path engine-backed: counter state is
+        // durable. Orders run through the WAL, so a crashed site replays its
+        // committed decrements.
+        let mut counters = homeo(2);
+        counters.register(stock(0), 100, 1);
+        for _ in 0..7 {
+            let out = order(&mut counters, 0, &stock(0), 1, Some(99));
+            assert!(out.committed);
+        }
+        let before = counters.visible_value(0, &stock(0));
+        let logical_before = counters.logical_value(&stock(0));
+        let wal_before = counters.engine(0).wal_len();
+        assert!(wal_before > 0, "orders must be WAL-logged");
+        counters.crash_site(0);
+        assert_eq!(counters.visible_value(0, &stock(0)), before);
+        assert_eq!(counters.logical_value(&stock(0)), logical_before);
+        // And the runtime keeps working after recovery.
+        let out = order(&mut counters, 0, &stock(0), 1, Some(99));
+        assert!(out.committed);
+    }
+
+    #[test]
+    fn explicit_synchronize_folds_outstanding_deltas() {
+        let mut counters = homeo(2);
+        counters.register(stock(0), 100, 1);
+        order(&mut counters, 0, &stock(0), 5, Some(99));
+        order(&mut counters, 1, &stock(0), 3, Some(99));
+        let logical = counters.logical_value(&stock(0));
+        counters.synchronize(0);
+        // Every site now observes the logical value directly.
+        assert_eq!(counters.visible_value(0, &stock(0)), logical);
+        assert_eq!(counters.visible_value(1, &stock(0)), logical);
+        assert_eq!(counters.logical_value(&stock(0)), logical);
+    }
+}

@@ -1,17 +1,21 @@
-//! Closed-loop multi-client simulation driver.
+//! Closed-loop multi-client simulation mechanics.
 //!
 //! The paper's experiments attach `Nc` clients to each replica; every client
 //! issues transactions back-to-back (closed loop), measurements start after a
 //! warm-up period and run for a fixed measurement window (Section 6.1).
 //!
-//! The driver is generic over a [`SiteExecutor`]: the system under test
-//! (homeostasis, OPT, 2PC, local) executes each transaction *for real*
-//! against its stores/treaties and reports the cost components —
-//! local execution time, time spent waiting on the network, and solver time.
-//! The driver turns those into latency samples on the virtual clock, applies
-//! a CPU-saturation factor once the number of clients exceeds the replica's
-//! cores (the plateau visible in Figure 17), and aggregates the statistics
-//! the paper plots.
+//! This module owns the *mechanics* of that loop — the event queue, the
+//! virtual clock, the CPU-saturation model and the metric aggregation — but
+//! deliberately not the system under test. The simulator crate sits below
+//! the protocol layers in the dependency graph, so it cannot (and does not)
+//! define an executor interface; instead [`ClosedLoop`] is a pull-based
+//! driver: callers ask for the [`Arrival`] of the next client, execute that
+//! client's transaction however they like (the runtime layer drives a
+//! `SiteRuntime`), and report the resulting [`ClientOutcome`] back via
+//! [`ClosedLoop::complete`]. The loop turns outcomes into latency samples on
+//! the virtual clock, applies a CPU-saturation factor once the number of
+//! clients exceeds the replica's cores (the plateau visible in Figure 17),
+//! and aggregates the statistics the paper plots.
 
 use serde::{Deserialize, Serialize};
 
@@ -57,22 +61,6 @@ pub struct ClientOutcome {
     pub synchronized: bool,
     /// Its cost components.
     pub costs: CostComponents,
-}
-
-/// The system under test.
-pub trait SiteExecutor {
-    /// Executes the next transaction issued by a client attached to
-    /// `replica`, using `rng` for all workload randomness.
-    fn execute(&mut self, replica: usize, rng: &mut DetRng) -> ClientOutcome;
-}
-
-impl<F> SiteExecutor for F
-where
-    F: FnMut(usize, &mut DetRng) -> ClientOutcome,
-{
-    fn execute(&mut self, replica: usize, rng: &mut DetRng) -> ClientOutcome {
-        self(replica, rng)
-    }
 }
 
 /// Configuration of a closed-loop run.
@@ -161,69 +149,137 @@ impl RunMetrics {
     }
 }
 
-/// Runs the closed-loop simulation.
-pub fn run(config: &ClosedLoopConfig, executor: &mut dyn SiteExecutor) -> RunMetrics {
-    assert!(config.replicas > 0 && config.clients_per_replica > 0);
-    let mut rng = DetRng::seed_from(config.seed);
-    let mut queue: EventQueue<usize> = EventQueue::new();
-    let total_clients = config.replicas * config.clients_per_replica;
-    // Stagger client start times slightly so ties don't all land at t=0.
-    for client in 0..total_clients {
-        queue.schedule(client as SimTime, client);
+/// One client becoming runnable: the loop hands these out in virtual-time
+/// order and expects a [`ClientOutcome`] back via [`ClosedLoop::complete`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Virtual time of the arrival.
+    pub now: SimTime,
+    /// The client id (global across replicas).
+    pub client: usize,
+    /// The replica the client is attached to.
+    pub replica: usize,
+}
+
+/// The closed-loop driver. See the module docs for the protocol:
+/// [`ClosedLoop::next_arrival`] → execute → [`ClosedLoop::complete`], until
+/// `next_arrival` returns `None`, then [`ClosedLoop::into_metrics`].
+#[derive(Debug)]
+pub struct ClosedLoop {
+    config: ClosedLoopConfig,
+    rng: DetRng,
+    queue: EventQueue<usize>,
+    metrics: RunMetrics,
+    end_time: SimTime,
+    saturation_num: u64,
+    saturation_den: u64,
+}
+
+impl ClosedLoop {
+    /// Sets up a run: all clients are scheduled with slightly staggered
+    /// start times so ties don't all land at t=0.
+    pub fn new(config: &ClosedLoopConfig) -> Self {
+        assert!(config.replicas > 0 && config.clients_per_replica > 0);
+        let mut queue: EventQueue<usize> = EventQueue::new();
+        let total_clients = config.replicas * config.clients_per_replica;
+        for client in 0..total_clients {
+            queue.schedule(client as SimTime, client);
+        }
+        ClosedLoop {
+            config: *config,
+            rng: DetRng::seed_from(config.seed),
+            queue,
+            metrics: RunMetrics {
+                per_replica_latency: vec![LatencyStats::new(); config.replicas],
+                per_replica_counters: vec![SyncCounter::new(); config.replicas],
+                measured_time: config.measure,
+                ..Default::default()
+            },
+            end_time: config.warmup + config.measure,
+            // CPU saturation factor: with more runnable clients than cores,
+            // local work takes proportionally longer (the replicas in the
+            // paper share one 32-core machine for the microbenchmark).
+            saturation_num: config.clients_per_replica.max(1) as u64,
+            saturation_den: config.cores_per_replica.max(1) as u64,
+        }
     }
 
-    // CPU saturation factor: with more runnable clients than cores, local
-    // work takes proportionally longer (the replicas in the paper share one
-    // 32-core machine for the microbenchmark).
-    let saturation_num = config.clients_per_replica.max(1) as u64;
-    let saturation_den = config.cores_per_replica.max(1) as u64;
-
-    let end_time = config.warmup + config.measure;
-    let mut metrics = RunMetrics {
-        per_replica_latency: vec![LatencyStats::new(); config.replicas],
-        per_replica_counters: vec![SyncCounter::new(); config.replicas],
-        measured_time: config.measure,
-        ..Default::default()
-    };
-
-    while let Some((now, client)) = queue.pop() {
-        if now >= end_time {
-            break;
+    /// The next client to run, or `None` once the measurement window has
+    /// elapsed.
+    pub fn next_arrival(&mut self) -> Option<Arrival> {
+        let (now, client) = self.queue.pop()?;
+        if now >= self.end_time {
+            return None;
         }
-        let replica = client % config.replicas;
-        let outcome = executor.execute(replica, &mut rng);
-        let local_effective = if saturation_num > saturation_den {
-            outcome.costs.local * saturation_num / saturation_den
+        Some(Arrival {
+            now,
+            client,
+            replica: client % self.config.replicas,
+        })
+    }
+
+    /// The workload randomness source for this run.
+    pub fn rng(&mut self) -> &mut DetRng {
+        &mut self.rng
+    }
+
+    /// Records the outcome of the transaction issued at `arrival` and
+    /// reschedules the client (closed loop: it immediately issues its next
+    /// transaction once this one completes).
+    pub fn complete(&mut self, arrival: Arrival, outcome: ClientOutcome) {
+        let local_effective = if self.saturation_num > self.saturation_den {
+            outcome.costs.local * self.saturation_num / self.saturation_den
         } else {
             outcome.costs.local
         };
         let latency = local_effective + outcome.costs.communication + outcome.costs.solver;
         let latency = latency.max(1);
-        if now >= config.warmup {
-            metrics.latency.record(latency);
-            metrics.per_replica_latency[replica].record(latency);
-            metrics
+        if arrival.now >= self.config.warmup {
+            let replica = arrival.replica;
+            self.metrics.latency.record(latency);
+            self.metrics.per_replica_latency[replica].record(latency);
+            self.metrics
                 .counters
                 .record(outcome.committed, outcome.synchronized);
-            metrics.per_replica_counters[replica].record(outcome.committed, outcome.synchronized);
+            self.metrics.per_replica_counters[replica]
+                .record(outcome.committed, outcome.synchronized);
             if outcome.synchronized {
-                metrics.sync_breakdown_total = metrics.sync_breakdown_total.plus(&CostComponents {
-                    local: local_effective,
-                    communication: outcome.costs.communication,
-                    solver: outcome.costs.solver,
-                });
-                metrics.sync_breakdown_count += 1;
+                self.metrics.sync_breakdown_total =
+                    self.metrics.sync_breakdown_total.plus(&CostComponents {
+                        local: local_effective,
+                        communication: outcome.costs.communication,
+                        solver: outcome.costs.solver,
+                    });
+                self.metrics.sync_breakdown_count += 1;
             }
         }
-        queue.schedule(now + latency, client);
+        self.queue.schedule(arrival.now + latency, arrival.client);
     }
-    metrics
+
+    /// Finishes the run and returns the aggregated metrics.
+    pub fn into_metrics(self) -> RunMetrics {
+        self.metrics
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::clock::millis;
+
+    /// Test-local convenience mirroring how the runtime layer drives the
+    /// loop: one closure call per arrival.
+    fn run_with(
+        config: &ClosedLoopConfig,
+        mut execute: impl FnMut(usize, &mut DetRng) -> ClientOutcome,
+    ) -> RunMetrics {
+        let mut driver = ClosedLoop::new(config);
+        while let Some(arrival) = driver.next_arrival() {
+            let outcome = execute(arrival.replica, driver.rng());
+            driver.complete(arrival, outcome);
+        }
+        driver.into_metrics()
+    }
 
     fn quick_config() -> ClosedLoopConfig {
         ClosedLoopConfig {
@@ -239,7 +295,7 @@ mod tests {
     #[test]
     fn constant_latency_yields_expected_throughput() {
         // Every transaction takes 10 ms; 8 clients → ~800 tx/s total.
-        let mut exec = |_replica: usize, _rng: &mut DetRng| ClientOutcome {
+        let metrics = run_with(&quick_config(), |_replica, _rng| ClientOutcome {
             committed: true,
             synchronized: false,
             costs: CostComponents {
@@ -247,8 +303,7 @@ mod tests {
                 communication: 0,
                 solver: 0,
             },
-        };
-        let metrics = run(&quick_config(), &mut exec);
+        });
         let total = metrics.throughput_total();
         assert!((700.0..900.0).contains(&total), "total={total}");
         assert_eq!(metrics.sync_ratio_percent(), 0.0);
@@ -258,7 +313,7 @@ mod tests {
     #[test]
     fn synchronized_fraction_is_reflected_in_the_ratio() {
         let mut count = 0u64;
-        let mut exec = move |_replica: usize, _rng: &mut DetRng| {
+        let metrics = run_with(&quick_config(), move |_replica, _rng| {
             count += 1;
             let synchronized = count.is_multiple_of(50); // 2%
             ClientOutcome {
@@ -270,8 +325,7 @@ mod tests {
                     solver: if synchronized { millis(40) } else { 0 },
                 },
             }
-        };
-        let metrics = run(&quick_config(), &mut exec);
+        });
         let ratio = metrics.sync_ratio_percent();
         assert!((1.0..4.0).contains(&ratio), "ratio={ratio}");
         // Breakdown reflects the synchronized transactions only.
@@ -286,16 +340,14 @@ mod tests {
 
     #[test]
     fn cpu_saturation_inflates_local_time() {
-        let mk_exec = || {
-            |_r: usize, _rng: &mut DetRng| ClientOutcome {
-                committed: true,
-                synchronized: false,
-                costs: CostComponents {
-                    local: millis(2),
-                    communication: 0,
-                    solver: 0,
-                },
-            }
+        let exec = |_r: usize, _rng: &mut DetRng| ClientOutcome {
+            committed: true,
+            synchronized: false,
+            costs: CostComponents {
+                local: millis(2),
+                communication: 0,
+                solver: 0,
+            },
         };
         let undersubscribed = ClosedLoopConfig {
             clients_per_replica: 8,
@@ -307,8 +359,8 @@ mod tests {
             cores_per_replica: 16,
             ..quick_config()
         };
-        let mut a = run(&undersubscribed, &mut mk_exec());
-        let mut b = run(&oversubscribed, &mut mk_exec());
+        let mut a = run_with(&undersubscribed, exec);
+        let mut b = run_with(&oversubscribed, exec);
         // Per-client latency rises under oversubscription...
         assert!(b.latency.percentile_ms(50.0) > a.latency.percentile_ms(50.0));
         // ...so per-replica throughput stops scaling linearly (plateau).
@@ -326,7 +378,7 @@ mod tests {
             seed: 3,
             cores_per_replica: 4,
         };
-        let mut exec = |_r: usize, _rng: &mut DetRng| ClientOutcome {
+        let metrics = run_with(&config, |_r, _rng| ClientOutcome {
             committed: true,
             synchronized: false,
             costs: CostComponents {
@@ -334,8 +386,7 @@ mod tests {
                 communication: 0,
                 solver: 0,
             },
-        };
-        let metrics = run(&config, &mut exec);
+        });
         // 1 s window / 100 ms per txn ≈ 10 samples, not 20.
         assert!(metrics.latency.len() <= 11);
         assert!(metrics.latency.len() >= 9);
@@ -343,7 +394,7 @@ mod tests {
 
     #[test]
     fn aborted_transactions_count_against_throughput() {
-        let mut exec = |_r: usize, _rng: &mut DetRng| ClientOutcome {
+        let metrics = run_with(&quick_config(), |_r, _rng| ClientOutcome {
             committed: false,
             synchronized: true,
             costs: CostComponents {
@@ -351,8 +402,7 @@ mod tests {
                 communication: millis(10),
                 solver: 0,
             },
-        };
-        let metrics = run(&quick_config(), &mut exec);
+        });
         assert_eq!(metrics.counters.committed, 0);
         assert!(metrics.counters.aborted > 0);
         assert_eq!(metrics.throughput_total(), 0.0);
@@ -361,23 +411,52 @@ mod tests {
 
     #[test]
     fn runs_are_deterministic_for_a_fixed_seed() {
-        let mk = || {
-            |_r: usize, rng: &mut DetRng| {
-                let heavy = rng.chance(0.05);
-                ClientOutcome {
-                    committed: true,
-                    synchronized: heavy,
-                    costs: CostComponents {
-                        local: millis(2),
-                        communication: if heavy { millis(100) } else { 0 },
-                        solver: 0,
-                    },
-                }
+        let exec = |_r: usize, rng: &mut DetRng| {
+            let heavy = rng.chance(0.05);
+            ClientOutcome {
+                committed: true,
+                synchronized: heavy,
+                costs: CostComponents {
+                    local: millis(2),
+                    communication: if heavy { millis(100) } else { 0 },
+                    solver: 0,
+                },
             }
         };
-        let a = run(&quick_config(), &mut mk());
-        let b = run(&quick_config(), &mut mk());
+        let a = run_with(&quick_config(), exec);
+        let b = run_with(&quick_config(), exec);
         assert_eq!(a.counters, b.counters);
         assert_eq!(a.latency.len(), b.latency.len());
+    }
+
+    #[test]
+    fn arrivals_carry_the_replica_assignment() {
+        let config = ClosedLoopConfig {
+            replicas: 3,
+            clients_per_replica: 2,
+            warmup: 0,
+            measure: millis(10),
+            seed: 5,
+            cores_per_replica: 4,
+        };
+        let mut driver = ClosedLoop::new(&config);
+        let mut seen = std::collections::BTreeSet::new();
+        while let Some(arrival) = driver.next_arrival() {
+            assert_eq!(arrival.replica, arrival.client % 3);
+            seen.insert(arrival.replica);
+            driver.complete(
+                arrival,
+                ClientOutcome {
+                    committed: true,
+                    synchronized: false,
+                    costs: CostComponents {
+                        local: millis(1),
+                        communication: 0,
+                        solver: 0,
+                    },
+                },
+            );
+        }
+        assert_eq!(seen.len(), 3, "every replica served arrivals");
     }
 }

@@ -13,10 +13,15 @@
 //! * a network model parameterised by an RTT matrix ([`net`]),
 //! * latency / throughput / synchronization-ratio statistics, including the
 //!   percentile profiles and CDFs the paper plots ([`stats`]),
-//! * a closed-loop multi-client driver ([`closedloop`]) that charges each
-//!   transaction the cost components (local execution, communication rounds,
-//!   solver time) reported by the system under test while running the *real*
-//!   protocol code.
+//! * an injectable elapsed-time source ([`timing`]) so seeded runs can be
+//!   byte-for-byte reproducible while production runs measure real solver
+//!   time,
+//! * the closed-loop multi-client mechanics ([`closedloop`]): a pull-based
+//!   driver that hands out client arrivals and charges each transaction the
+//!   cost components (local execution, communication rounds, solver time)
+//!   reported by the system under test. The system itself is driven through
+//!   the `SiteRuntime` layer (crate `homeo-runtime`), which sits above this
+//!   crate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,10 +32,14 @@ pub mod events;
 pub mod net;
 pub mod rng;
 pub mod stats;
+pub mod timing;
 
 pub use clock::{SimClock, SimTime, MICROS_PER_MILLI};
-pub use closedloop::{ClientOutcome, ClosedLoopConfig, CostComponents, RunMetrics, SiteExecutor};
+pub use closedloop::{
+    Arrival, ClientOutcome, ClosedLoop, ClosedLoopConfig, CostComponents, RunMetrics,
+};
 pub use events::EventQueue;
 pub use net::RttMatrix;
 pub use rng::DetRng;
 pub use stats::{LatencyStats, SyncCounter};
+pub use timing::Timer;

@@ -91,6 +91,22 @@ impl Wal {
         self.records.iter()
     }
 
+    /// The highest transaction id appearing anywhere in the log (0 when the
+    /// log is empty). Recovery seeds its id counter past this so fresh
+    /// transactions can never collide with logged ones.
+    pub fn max_txn_id(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|r| match r {
+                LogRecord::Begin { txn }
+                | LogRecord::Commit { txn }
+                | LogRecord::Abort { txn }
+                | LogRecord::Write { txn, .. } => *txn,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Truncates the log (after a checkpoint has captured the state).
     pub fn truncate(&mut self) {
         self.records.clear();
@@ -174,34 +190,55 @@ impl Wal {
     /// Decodes a frame produced by [`Wal::encode`]. Returns `None` on any
     /// truncated or malformed input.
     pub fn decode(data: &[u8]) -> Option<Wal> {
+        let (wal, complete) = Self::decode_lenient(data)?;
+        complete.then_some(wal)
+    }
+
+    /// Decodes as much of a frame as is intact: a crash can tear the tail of
+    /// an on-disk log mid-record, and recovery must still replay the clean
+    /// prefix (a torn record cannot belong to a committed transaction — its
+    /// commit record would have to follow it). Returns `None` only when even
+    /// the frame header is unreadable.
+    pub fn decode_prefix(data: &[u8]) -> Option<Wal> {
+        Self::decode_lenient(data).map(|(wal, _)| wal)
+    }
+
+    /// Shared decoder: returns the longest cleanly decodable prefix and
+    /// whether the full frame was intact.
+    fn decode_lenient(data: &[u8]) -> Option<(Wal, bool)> {
         let mut cursor = Cursor { data, pos: 0 };
         let count = cursor.u32()? as usize;
         let mut records = Vec::with_capacity(count.min(1 << 20));
         for _ in 0..count {
-            let tag = cursor.u8()?;
-            let txn = cursor.u64()?;
-            let record = match tag {
-                0 => LogRecord::Begin { txn },
-                1 => LogRecord::Commit { txn },
-                2 => LogRecord::Abort { txn },
-                3 => {
-                    let len = cursor.u32()? as usize;
-                    let name = cursor.take(len)?;
-                    let object = String::from_utf8(name.to_vec()).ok()?;
-                    let value = cursor.i64()?;
-                    let previous = cursor.i64()?;
-                    LogRecord::Write {
-                        txn,
-                        object,
-                        value,
-                        previous,
+            let record = (|| {
+                let tag = cursor.u8()?;
+                let txn = cursor.u64()?;
+                Some(match tag {
+                    0 => LogRecord::Begin { txn },
+                    1 => LogRecord::Commit { txn },
+                    2 => LogRecord::Abort { txn },
+                    3 => {
+                        let len = cursor.u32()? as usize;
+                        let name = cursor.take(len)?;
+                        let object = String::from_utf8(name.to_vec()).ok()?;
+                        let value = cursor.i64()?;
+                        let previous = cursor.i64()?;
+                        LogRecord::Write {
+                            txn,
+                            object,
+                            value,
+                            previous,
+                        }
                     }
-                }
-                _ => return None,
-            };
-            records.push(record);
+                    _ => return None,
+                })
+            })();
+            match record {
+                Some(record) => records.push(record),
+                None => return Some((Wal { records }, false)),
+            }
         }
-        Some(Wal { records })
+        Some((Wal { records }, true))
     }
 }
 
@@ -351,6 +388,33 @@ mod tests {
         let truncated = &encoded[..encoded.len() - 3];
         assert!(Wal::decode(truncated).is_none());
         assert!(Wal::decode(&[]).is_none());
+    }
+
+    #[test]
+    fn decode_prefix_recovers_the_clean_prefix_of_a_torn_frame() {
+        // A committed transaction followed by a second one whose final write
+        // is torn mid-record by the crash.
+        let mut wal = Wal::new();
+        wal.append(LogRecord::Begin { txn: 1 });
+        wal.append(write(1, "x", 5, 0));
+        wal.append(LogRecord::Commit { txn: 1 });
+        wal.append(LogRecord::Begin { txn: 2 });
+        wal.append(write(2, "stock[123]", 77, 0));
+        let encoded = wal.encode();
+        // Tear the tail mid-way through the last record.
+        let torn = &encoded[..encoded.len() - 10];
+        let prefix = Wal::decode_prefix(torn).expect("frame header is intact");
+        assert_eq!(prefix.len(), 4, "the torn record is dropped");
+        // The clean prefix replays exactly the committed state.
+        let state = prefix.recover(&BTreeMap::new());
+        assert_eq!(state.objects.get("x"), Some(&5));
+        assert!(!state.objects.contains_key("stock[123]"));
+        assert_eq!(state.committed, vec![1]);
+        assert_eq!(state.in_flight, vec![2]);
+        // An intact frame decodes identically through both entry points.
+        assert_eq!(Wal::decode_prefix(&encoded).unwrap().len(), wal.len());
+        // Even a frame torn inside the header is rejected, not mis-read.
+        assert!(Wal::decode_prefix(&encoded[..3]).is_none());
     }
 
     #[test]

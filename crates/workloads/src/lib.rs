@@ -6,15 +6,17 @@
 //! * [`datacenters`] — the five EC2 datacenters of Table 1 and their RTTs;
 //! * [`micro`] — the configurable e-commerce microbenchmark of Section 6.1
 //!   (a single `Stock(itemid, qty)` table and the decrement-or-refill
-//!   transaction of Listing 1), with executors for the four execution modes
+//!   transaction of Listing 1), covering the four execution modes
 //!   (`homeo`, `opt`, `2pc`, `local`);
 //! * [`tpcc`] — the TPC-C subset of Section 6.2 (New Order / Payment /
-//!   Delivery at 45/45/10, hot-item skew `H`), with executors for `homeo`,
-//!   `opt` and `2pc`.
+//!   Delivery at 45/45/10, hot-item skew `H`) for `homeo`, `opt` and `2pc`.
 //!
-//! Both workloads report the cost components of every transaction (local
-//! execution, communication rounds, solver time) so the simulator can build
-//! the latency/throughput/synchronization-ratio figures of the paper.
+//! Every mode executes through the shared `SiteRuntime` surface of
+//! `homeo-runtime`: each workload module provides a `build_runtime`
+//! constructor for the system under test and a `WorkloadDriver` that issues
+//! transactions against it and reports their cost components (local
+//! execution, communication rounds, solver time), from which the simulator
+//! builds the latency/throughput/synchronization-ratio figures of the paper.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,5 +26,5 @@ pub mod micro;
 pub mod tpcc;
 
 pub use datacenters::{table1_rtt_matrix, Datacenter, TABLE1};
-pub use micro::{MicroConfig, MicroExecutor, Mode};
-pub use tpcc::{TpccConfig, TpccExecutor};
+pub use micro::{MicroConfig, MicroWorkload, Mode};
+pub use tpcc::{TpccConfig, TpccWorkload};

@@ -7,19 +7,21 @@
 //! (`homeo`), the hand-crafted demarcation split (`opt`), two-phase commit
 //! (`2pc`) and uncoordinated local execution (`local`).
 //!
-//! The executor produced here implements [`homeo_sim::SiteExecutor`]: every
-//! call executes one client transaction *for real* against the protocol (or
-//! baseline) state and reports its cost components so the closed-loop driver
-//! can turn them into latency and throughput figures.
+//! All four modes execute through the shared [`SiteRuntime`] surface
+//! (built by [`build_runtime`]); [`MicroWorkload`] implements
+//! [`homeo_runtime::WorkloadDriver`], issuing every client transaction *for
+//! real* against the runtime's engines and pricing its cost components so
+//! the closed-loop driver can build the latency and throughput figures.
 
 use serde::{Deserialize, Serialize};
 
-use homeo_baselines::{LocalCounters, TwoPcCluster};
+use homeo_baselines::{LocalRuntime, TwoPcRuntime};
 use homeo_lang::ids::ObjId;
 use homeo_lang::programs;
-use homeo_protocol::{OptimizerConfig, ReplicatedCounters, ReplicatedMode};
+use homeo_protocol::{OptimizerConfig, ReplicatedMode};
+use homeo_runtime::{ReplicatedRuntime, SiteOp, SiteRuntime, WorkloadDriver};
 use homeo_sim::clock::{millis, SimTime};
-use homeo_sim::{ClientOutcome, CostComponents, DetRng, RttMatrix, SiteExecutor};
+use homeo_sim::{ClientOutcome, CostComponents, DetRng, RttMatrix, Timer};
 use homeo_store::{Column, Engine, TableSchema, Value};
 
 /// The execution modes compared in the evaluation.
@@ -118,8 +120,9 @@ pub fn stock_obj(item: usize) -> ObjId {
     programs::stock_obj(item as i64)
 }
 
-/// Populates a relational `stock` table in a storage engine — the analogue of
-/// loading MySQL before the experiment. Returns the engine.
+/// Populates a relational `stock` table (plus the flat stock objects) in a
+/// storage engine — the analogue of loading MySQL before the experiment.
+/// Returns the engine.
 pub fn populate_stock_engine(config: &MicroConfig) -> Engine {
     let engine = Engine::new();
     engine.create_table(TableSchema::new(
@@ -139,84 +142,58 @@ pub fn populate_stock_engine(config: &MicroConfig) -> Engine {
     engine
 }
 
-enum ModeState {
-    Replicated(ReplicatedCounters),
-    TwoPc(TwoPcCluster),
-    Local(LocalCounters),
+/// Builds the [`SiteRuntime`] under test for one mode: per-replica engines
+/// populated with the stock table, wrapped in the mode's runtime.
+pub fn build_runtime(config: &MicroConfig, mode: Mode) -> Box<dyn SiteRuntime> {
+    build_runtime_with_timer(config, mode, Timer::Wall)
 }
 
-/// The microbenchmark executor: owns the system under test for one mode and
-/// implements [`SiteExecutor`].
-pub struct MicroExecutor {
-    config: MicroConfig,
+/// [`build_runtime`] with an explicit solver [`Timer`] ([`Timer::Fixed`]
+/// makes seeded runs byte-for-byte reproducible).
+pub fn build_runtime_with_timer(
+    config: &MicroConfig,
     mode: Mode,
-    rtt: RttMatrix,
-    state: ModeState,
-    /// The per-replica storage engines holding the relational `stock` table
-    /// (population data; the protocol state itself lives in `state`).
-    pub engines: Vec<Engine>,
-}
-
-impl MicroExecutor {
-    /// Builds the executor for a mode.
-    pub fn new(config: MicroConfig, mode: Mode) -> Self {
-        let rtt = config.rtt_matrix();
-        let engines = (0..config.replicas)
-            .map(|_| populate_stock_engine(&config))
-            .collect();
-        let state = match mode {
-            Mode::Homeostasis => ModeState::Replicated(ReplicatedCounters::new(
-                config.replicas,
+    timer: Timer,
+) -> Box<dyn SiteRuntime> {
+    let engines: Vec<Engine> = (0..config.replicas)
+        .map(|_| populate_stock_engine(config))
+        .collect();
+    match mode {
+        Mode::Homeostasis => Box::new(
+            ReplicatedRuntime::from_engines(
+                engines,
                 ReplicatedMode::Homeostasis {
                     optimizer: Some(config.optimizer()),
                 },
-            )),
-            Mode::Opt => ModeState::Replicated(ReplicatedCounters::new(
-                config.replicas,
-                ReplicatedMode::EvenSplit,
-            )),
-            Mode::TwoPc => {
-                let mut cluster = TwoPcCluster::new();
-                for item in 0..config.num_items {
-                    cluster.populate(stock_obj(item), config.refill);
-                }
-                ModeState::TwoPc(cluster)
-            }
-            Mode::Local => {
-                let mut counters = LocalCounters::new(config.replicas);
-                for item in 0..config.num_items {
-                    counters.populate(stock_obj(item), config.refill);
-                }
-                ModeState::Local(counters)
-            }
-        };
-        MicroExecutor {
-            config,
-            mode,
-            rtt,
-            state,
-            engines,
-        }
+            )
+            .with_timer(timer),
+        ),
+        Mode::Opt => Box::new(
+            ReplicatedRuntime::from_engines(engines, ReplicatedMode::EvenSplit).with_timer(timer),
+        ),
+        Mode::TwoPc => Box::new(TwoPcRuntime::from_engines(engines)),
+        Mode::Local => Box::new(LocalRuntime::from_engines(engines)),
+    }
+}
+
+/// The microbenchmark workload: issues Listing 1 transactions through any
+/// [`SiteRuntime`] and prices their cost components.
+pub struct MicroWorkload {
+    config: MicroConfig,
+    mode: Mode,
+    rtt: RttMatrix,
+}
+
+impl MicroWorkload {
+    /// Builds the workload for a mode.
+    pub fn new(config: MicroConfig, mode: Mode) -> Self {
+        let rtt = config.rtt_matrix();
+        MicroWorkload { config, mode, rtt }
     }
 
-    /// The mode this executor runs.
+    /// The mode this workload drives.
     pub fn mode(&self) -> Mode {
         self.mode
-    }
-
-    /// The synchronization ratio observed so far (homeo/opt only).
-    pub fn sync_ratio_percent(&self) -> f64 {
-        match &self.state {
-            ModeState::Replicated(counters) => {
-                let total = counters.stats.local_commits + counters.stats.synchronizations;
-                if total == 0 {
-                    0.0
-                } else {
-                    100.0 * counters.stats.synchronizations as f64 / total as f64
-                }
-            }
-            _ => 0.0,
-        }
     }
 
     fn local_cost(&self) -> SimTime {
@@ -229,8 +206,9 @@ impl MicroExecutor {
     }
 
     fn sync_comm_cost(&self, replica: usize) -> SimTime {
-        // A synchronization is two global rounds: state exchange plus treaty
-        // distribution (Section 5.1), each bounded by the slowest peer.
+        // A synchronization (and a 2PC commit) is two global rounds: state
+        // exchange plus treaty distribution (Section 5.1), each bounded by
+        // the slowest peer.
         2 * self.rtt.max_rtt_from(replica)
     }
 
@@ -239,68 +217,45 @@ impl MicroExecutor {
     }
 }
 
-impl SiteExecutor for MicroExecutor {
-    fn execute(&mut self, replica: usize, rng: &mut DetRng) -> ClientOutcome {
+impl WorkloadDriver for MicroWorkload {
+    fn run_once(
+        &mut self,
+        site: usize,
+        runtime: &mut dyn SiteRuntime,
+        rng: &mut DetRng,
+    ) -> ClientOutcome {
         let items = self.pick_items(rng);
         let refill_to = self.config.refill - 1;
         let local = self.local_cost() * items.len() as u64;
-        match &mut self.state {
-            ModeState::Replicated(counters) => {
-                let mut synchronized = false;
-                let mut solver = 0u64;
-                for item in &items {
-                    let obj = stock_obj(*item);
-                    if !counters.is_registered(&obj) {
-                        counters.register(obj.clone(), self.config.refill, 1);
-                    }
-                    let out = counters.order(replica, &obj, 1, Some(refill_to));
-                    synchronized |= out.synchronized;
-                    solver += out.solver_micros;
-                }
-                ClientOutcome {
-                    committed: true,
-                    synchronized,
-                    costs: CostComponents {
-                        local,
-                        communication: if synchronized {
-                            self.sync_comm_cost(replica)
-                        } else {
-                            0
-                        },
-                        solver,
-                    },
-                }
-            }
-            ModeState::TwoPc(cluster) => {
-                let mut committed = true;
-                for item in &items {
-                    let out = cluster.order(&stock_obj(*item), 1, Some(refill_to));
-                    committed &= out.committed;
-                }
-                ClientOutcome {
-                    committed,
-                    synchronized: true,
-                    costs: CostComponents {
-                        local,
-                        communication: 2 * self.rtt.max_rtt_from(replica),
-                        solver: 0,
-                    },
-                }
-            }
-            ModeState::Local(counters) => {
-                for item in &items {
-                    counters.order(replica, &stock_obj(*item), 1, Some(refill_to));
-                }
-                ClientOutcome {
-                    committed: true,
-                    synchronized: false,
-                    costs: CostComponents {
-                        local,
-                        communication: 0,
-                        solver: 0,
-                    },
-                }
-            }
+        for item in &items {
+            let obj = stock_obj(*item);
+            runtime.ensure_registered(&obj, self.config.refill, 1);
+            runtime.submit(
+                site,
+                SiteOp::Order {
+                    obj,
+                    amount: 1,
+                    refill_to: Some(refill_to),
+                },
+            );
+        }
+        let outcomes = runtime.poll(site);
+        let committed = outcomes.iter().all(|o| o.committed);
+        let synchronized = outcomes.iter().any(|o| o.synchronized);
+        let communicated = outcomes.iter().any(|o| o.comm_rounds > 0);
+        let solver = outcomes.iter().map(|o| o.solver_micros).sum();
+        ClientOutcome {
+            committed,
+            synchronized,
+            costs: CostComponents {
+                local,
+                communication: if communicated {
+                    self.sync_comm_cost(site)
+                } else {
+                    0
+                },
+                solver,
+            },
         }
     }
 }
@@ -326,7 +281,7 @@ pub fn closed_loop_config(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use homeo_sim::closedloop;
+    use homeo_runtime::drive;
 
     fn small_config() -> MicroConfig {
         MicroConfig {
@@ -340,9 +295,10 @@ mod tests {
     }
 
     fn run_mode(mode: Mode, config: &MicroConfig) -> homeo_sim::RunMetrics {
-        let mut exec = MicroExecutor::new(config.clone(), mode);
+        let mut runtime = build_runtime_with_timer(config, mode, Timer::fixed_zero());
+        let mut workload = MicroWorkload::new(config.clone(), mode);
         let loop_config = closed_loop_config(config, 8, 3_000);
-        closedloop::run(&loop_config, &mut exec)
+        drive(&loop_config, runtime.as_mut(), &mut workload)
     }
 
     #[test]
@@ -378,19 +334,22 @@ mod tests {
     }
 
     #[test]
-    fn stock_population_loads_engine_and_counters() {
+    fn stock_population_loads_every_replica_engine() {
         let config = MicroConfig {
             num_items: 50,
             ..small_config()
         };
-        let exec = MicroExecutor::new(config.clone(), Mode::Homeostasis);
-        assert_eq!(exec.engines.len(), 2);
-        let row = exec.engines[0]
-            .get_row("stock", &[Value::Int(7)])
-            .unwrap()
-            .unwrap();
-        assert_eq!(row[1], Value::Int(config.refill));
-        assert_eq!(exec.engines[0].peek(stock_obj(7).as_str()), config.refill);
+        let runtime = build_runtime(&config, Mode::Homeostasis);
+        assert_eq!(runtime.sites(), 2);
+        for site in 0..2 {
+            let row = runtime
+                .engine(site)
+                .get_row("stock", &[Value::Int(7)])
+                .unwrap()
+                .unwrap();
+            assert_eq!(row[1], Value::Int(config.refill));
+            assert_eq!(runtime.value_at(site, &stock_obj(7)), config.refill);
+        }
     }
 
     #[test]
@@ -405,5 +364,27 @@ mod tests {
             },
         );
         assert!(multi.sync_ratio_percent() >= single.sync_ratio_percent());
+    }
+
+    #[test]
+    fn all_modes_share_the_runtime_surface_and_stay_engine_backed() {
+        let config = MicroConfig {
+            num_items: 20,
+            ..small_config()
+        };
+        for mode in Mode::all() {
+            let mut runtime = build_runtime_with_timer(&config, mode, Timer::fixed_zero());
+            let mut workload = MicroWorkload::new(config.clone(), mode);
+            let mut rng = DetRng::seed_from(1);
+            for site in [0usize, 1, 0, 1] {
+                let out = workload.run_once(site, runtime.as_mut(), &mut rng);
+                assert!(out.committed, "{mode:?}");
+            }
+            // Every mode's orders ran through a WAL-logged engine.
+            assert!(
+                runtime.engine(0).wal_len() > 0 || runtime.engine(1).wal_len() > 0,
+                "{mode:?} did not log through the engine"
+            );
+        }
     }
 }

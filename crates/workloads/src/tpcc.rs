@@ -15,15 +15,20 @@
 //! * Delivery updates the per-district "lowest unprocessed order id", whose
 //!   treaty pins it to its current value — every execution violates it and
 //!   synchronizes.
+//!
+//! Execution goes through the shared [`SiteRuntime`] surface:
+//! [`build_runtime`] constructs the mode under test over populated engines
+//! and [`TpccWorkload`] implements [`homeo_runtime::WorkloadDriver`].
 
 use serde::{Deserialize, Serialize};
 
-use homeo_baselines::TwoPcCluster;
+use homeo_baselines::TwoPcRuntime;
 use homeo_lang::ids::ObjId;
-use homeo_protocol::{OptimizerConfig, ReplicatedCounters, ReplicatedMode};
+use homeo_protocol::{OptimizerConfig, ReplicatedMode};
+use homeo_runtime::{ReplicatedRuntime, SiteOp, SiteRuntime, WorkloadDriver};
 use homeo_sim::clock::SimTime;
 use homeo_sim::{
-    ClientOutcome, CostComponents, DetRng, LatencyStats, RttMatrix, SiteExecutor, SyncCounter,
+    ClientOutcome, CostComponents, DetRng, LatencyStats, RttMatrix, SyncCounter, Timer,
 };
 use homeo_store::{Column, Engine, TableSchema, Value};
 
@@ -124,7 +129,8 @@ pub fn customer_balance_obj(customer: usize) -> ObjId {
     ObjId::new(format!("customer.balance[{customer}]"))
 }
 
-/// Populates the TPC-C tables in one storage engine.
+/// Populates the TPC-C tables (and the flat stock objects) in one storage
+/// engine.
 pub fn populate_engine(config: &TpccConfig, rng: &mut DetRng) -> Engine {
     let engine = Engine::new();
     engine.create_table(TableSchema::new(
@@ -193,6 +199,7 @@ pub fn populate_engine(config: &TpccConfig, rng: &mut DetRng) -> Engine {
                         ],
                     )
                     .expect("insert stock");
+                engine.poke(stock_obj(w, d, i).as_str(), qty);
             }
         }
     }
@@ -211,20 +218,45 @@ pub fn populate_engine(config: &TpccConfig, rng: &mut DetRng) -> Engine {
     engine
 }
 
-enum TpccState {
-    Replicated(ReplicatedCounters),
-    TwoPc(TwoPcCluster),
+/// Builds the [`SiteRuntime`] under test for one TPC-C mode. `Local` is not
+/// part of the paper's TPC-C comparison; `Opt` and `Homeostasis` share the
+/// replicated runtime.
+pub fn build_runtime(config: &TpccConfig, mode: Mode) -> Box<dyn SiteRuntime> {
+    build_runtime_with_timer(config, mode, Timer::Wall)
 }
 
-/// The TPC-C executor: implements [`SiteExecutor`] and separately records the
+/// [`build_runtime`] with an explicit solver [`Timer`].
+pub fn build_runtime_with_timer(
+    config: &TpccConfig,
+    mode: Mode,
+    timer: Timer,
+) -> Box<dyn SiteRuntime> {
+    let engines: Vec<Engine> = (0..config.replicas)
+        .map(|_| populate_engine(config, &mut DetRng::seed_from(config.seed)))
+        .collect();
+    match mode {
+        Mode::Homeostasis => Box::new(
+            ReplicatedRuntime::from_engines(
+                engines,
+                ReplicatedMode::Homeostasis {
+                    optimizer: Some(config.optimizer()),
+                },
+            )
+            .with_timer(timer),
+        ),
+        Mode::Opt | Mode::Local => Box::new(
+            ReplicatedRuntime::from_engines(engines, ReplicatedMode::EvenSplit).with_timer(timer),
+        ),
+        Mode::TwoPc => Box::new(TwoPcRuntime::from_engines(engines)),
+    }
+}
+
+/// The TPC-C workload: drives any [`SiteRuntime`] and separately records the
 /// New Order measurements the paper reports.
-pub struct TpccExecutor {
+pub struct TpccWorkload {
     config: TpccConfig,
     mode: Mode,
     rtt: RttMatrix,
-    state: TpccState,
-    /// One populated engine per replica.
-    pub engines: Vec<Engine>,
     /// Latency samples of New Order transactions only (the paper's Figures
     /// 19–22 report New Order measurements, per the TPC-C specification).
     pub new_order_latency: LatencyStats,
@@ -234,45 +266,14 @@ pub struct TpccExecutor {
     pub all_counter: SyncCounter,
 }
 
-impl TpccExecutor {
-    /// Builds the executor for a mode (`Local` is not part of the paper's
-    /// TPC-C comparison; `Opt` and `Homeostasis` share the replicated path).
+impl TpccWorkload {
+    /// Builds the workload for a mode.
     pub fn new(config: TpccConfig, mode: Mode) -> Self {
         let rtt = config.rtt_matrix();
-        let mut population_rng = DetRng::seed_from(config.seed);
-        let engines: Vec<Engine> = (0..config.replicas)
-            .map(|_| populate_engine(&config, &mut DetRng::seed_from(config.seed)))
-            .collect();
-        let state = match mode {
-            Mode::Homeostasis => TpccState::Replicated(ReplicatedCounters::new(
-                config.replicas,
-                ReplicatedMode::Homeostasis {
-                    optimizer: Some(config.optimizer()),
-                },
-            )),
-            Mode::Opt | Mode::Local => TpccState::Replicated(ReplicatedCounters::new(
-                config.replicas,
-                ReplicatedMode::EvenSplit,
-            )),
-            Mode::TwoPc => {
-                let mut cluster = TwoPcCluster::new();
-                for w in 0..config.warehouses {
-                    for d in 0..config.districts_per_warehouse {
-                        for i in 0..config.items_per_district {
-                            let qty = population_rng.int_inclusive(0, config.initial_stock_max);
-                            cluster.populate(stock_obj(w, d, i), qty);
-                        }
-                    }
-                }
-                TpccState::TwoPc(cluster)
-            }
-        };
-        TpccExecutor {
+        TpccWorkload {
             config,
             mode,
             rtt,
-            state,
-            engines,
             new_order_latency: LatencyStats::new(),
             new_order_counter: SyncCounter::new(),
             all_counter: SyncCounter::new(),
@@ -312,74 +313,60 @@ impl TpccExecutor {
         (w, d, item)
     }
 
-    fn new_order(&mut self, replica: usize, rng: &mut DetRng) -> ClientOutcome {
+    fn price(&self, replica: usize, out: homeo_runtime::OpOutcome) -> ClientOutcome {
+        ClientOutcome {
+            committed: out.committed,
+            synchronized: out.synchronized,
+            costs: CostComponents {
+                local: self.local_cost(),
+                communication: if out.comm_rounds > 0 {
+                    self.sync_comm_cost(replica)
+                } else {
+                    0
+                },
+                solver: out.solver_micros,
+            },
+        }
+    }
+
+    fn new_order(
+        &mut self,
+        replica: usize,
+        runtime: &mut dyn SiteRuntime,
+        rng: &mut DetRng,
+    ) -> ClientOutcome {
         let (w, d, item) = self.pick_item(rng);
         let qty = rng.int_inclusive(1, 5);
         let obj = stock_obj(w, d, item);
-        let local = self.local_cost();
-        let outcome = match &mut self.state {
-            TpccState::Replicated(counters) => {
-                if !counters.is_registered(&obj) {
-                    let initial = self.engines[0]
-                        .get_row(
-                            "stock",
-                            &[
-                                Value::Int(w as i64),
-                                Value::Int(d as i64),
-                                Value::Int(item as i64),
-                            ],
-                        )
-                        .ok()
-                        .flatten()
-                        .and_then(|row| row[3].as_int())
-                        .unwrap_or(0);
-                    counters.register(obj.clone(), initial, 0);
-                }
-                let out = counters.order(replica, &obj, qty, Some(self.config.refill));
-                ClientOutcome {
-                    committed: true,
-                    synchronized: out.synchronized,
-                    costs: CostComponents {
-                        local,
-                        communication: if out.synchronized {
-                            self.sync_comm_cost(replica)
-                        } else {
-                            0
-                        },
-                        solver: out.solver_micros,
-                    },
-                }
-            }
-            TpccState::TwoPc(cluster) => {
-                let out = cluster.order(&obj, qty, Some(self.config.refill));
-                ClientOutcome {
-                    committed: out.committed,
-                    synchronized: true,
-                    costs: CostComponents {
-                        local,
-                        communication: 2 * self.rtt.max_rtt_from(replica),
-                        solver: 0,
-                    },
-                }
-            }
-        };
+        let initial = runtime.value_at(0, &obj);
+        runtime.ensure_registered(&obj, initial, 0);
+        let out = runtime.execute(
+            replica,
+            SiteOp::Order {
+                obj,
+                amount: qty,
+                refill_to: Some(self.config.refill),
+            },
+        );
+        let outcome = self.price(replica, out);
         // Record the per-site order id bookkeeping in the relational layer:
         // each site generates its own monotonically increasing ids, which is
         // exactly the ordering relaxation Appendix E allows.
-        let next = self.engines[replica]
+        let engine = runtime.engine(replica);
+        let next = engine
             .get_row("district", &[Value::Int(w as i64), Value::Int(d as i64)])
             .ok()
             .flatten()
             .and_then(|row| row[2].as_int())
             .unwrap_or(1);
-        let _ = self.engines[replica].with_table_mut("district", |t| {
+        let _ = engine.with_table_mut("district", |t| {
             t.update_column(
                 &[Value::Int(w as i64), Value::Int(d as i64)],
                 "next_o_id",
                 Value::Int(next + 1),
             )
         });
-        let _ = self.engines[replica].insert_row(
+        let _ = engine.insert_row(
             "neworder",
             vec![
                 Value::Int(w as i64),
@@ -390,93 +377,54 @@ impl TpccExecutor {
         outcome
     }
 
-    fn payment(&mut self, replica: usize, rng: &mut DetRng) -> ClientOutcome {
+    fn payment(
+        &mut self,
+        replica: usize,
+        runtime: &mut dyn SiteRuntime,
+        rng: &mut DetRng,
+    ) -> ClientOutcome {
         let customer = rng.index(self.config.customers);
         let amount = rng.int_inclusive(1, 5000);
         let obj = customer_balance_obj(customer);
-        let local = self.local_cost();
-        match &mut self.state {
-            TpccState::Replicated(counters) => {
-                if !counters.is_registered(&obj) {
-                    counters.register(obj.clone(), 0, -1_000_000_000);
-                }
-                counters.increment(replica, &obj, amount);
-                ClientOutcome {
-                    committed: true,
-                    synchronized: false,
-                    costs: CostComponents {
-                        local,
-                        communication: 0,
-                        solver: 0,
-                    },
-                }
-            }
-            TpccState::TwoPc(cluster) => {
-                let out = cluster.order(&obj, -amount, None);
-                ClientOutcome {
-                    committed: out.committed,
-                    synchronized: true,
-                    costs: CostComponents {
-                        local,
-                        communication: 2 * self.rtt.max_rtt_from(replica),
-                        solver: 0,
-                    },
-                }
-            }
-        }
+        runtime.ensure_registered(&obj, 0, -1_000_000_000);
+        let out = runtime.execute(replica, SiteOp::Increment { obj, amount });
+        self.price(replica, out)
     }
 
-    fn delivery(&mut self, replica: usize, rng: &mut DetRng) -> ClientOutcome {
+    fn delivery(
+        &mut self,
+        replica: usize,
+        runtime: &mut dyn SiteRuntime,
+        rng: &mut DetRng,
+    ) -> ClientOutcome {
         let w = rng.index(self.config.warehouses);
         let d = rng.index(self.config.districts_per_warehouse);
         let obj = district_order_obj(w, d);
-        let local = self.local_cost();
         // Remove the oldest order from the relational NewOrder table.
-        let _ = self.engines[replica].with_table_mut("neworder", |t| {
+        let _ = runtime.engine(replica).with_table_mut("neworder", |t| {
             if let Some(key) = t.first_key() {
                 let _ = t.delete(&key);
             }
         });
-        match &mut self.state {
-            TpccState::Replicated(counters) => {
-                if !counters.is_registered(&obj) {
-                    counters.register(obj.clone(), 0, 0);
-                }
-                let out = counters.force_sync(&obj);
-                ClientOutcome {
-                    committed: true,
-                    synchronized: true,
-                    costs: CostComponents {
-                        local,
-                        communication: self.sync_comm_cost(replica),
-                        solver: out.solver_micros,
-                    },
-                }
-            }
-            TpccState::TwoPc(cluster) => {
-                let out = cluster.order(&obj, 0, None);
-                ClientOutcome {
-                    committed: out.committed,
-                    synchronized: true,
-                    costs: CostComponents {
-                        local,
-                        communication: 2 * self.rtt.max_rtt_from(replica),
-                        solver: 0,
-                    },
-                }
-            }
-        }
+        runtime.ensure_registered(&obj, 0, 0);
+        let out = runtime.execute(replica, SiteOp::ForceSync { obj });
+        self.price(replica, out)
     }
 }
 
-impl SiteExecutor for TpccExecutor {
-    fn execute(&mut self, replica: usize, rng: &mut DetRng) -> ClientOutcome {
+impl WorkloadDriver for TpccWorkload {
+    fn run_once(
+        &mut self,
+        site: usize,
+        runtime: &mut dyn SiteRuntime,
+        rng: &mut DetRng,
+    ) -> ClientOutcome {
         let (no, pay, del) = self.config.mix;
         let kind = rng.weighted_index(&[no as f64, pay as f64, del as f64]);
         let outcome = match kind {
-            0 => self.new_order(replica, rng),
-            1 => self.payment(replica, rng),
-            _ => self.delivery(replica, rng),
+            0 => self.new_order(site, runtime, rng),
+            1 => self.payment(site, runtime, rng),
+            _ => self.delivery(site, runtime, rng),
         };
         self.all_counter
             .record(outcome.committed, outcome.synchronized);
@@ -492,8 +440,8 @@ impl SiteExecutor for TpccExecutor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use homeo_runtime::drive;
     use homeo_sim::clock::millis;
-    use homeo_sim::closedloop;
 
     fn small_config() -> TpccConfig {
         TpccConfig {
@@ -508,8 +456,9 @@ mod tests {
         }
     }
 
-    fn run(mode: Mode, config: &TpccConfig) -> (homeo_sim::RunMetrics, TpccExecutor) {
-        let mut exec = TpccExecutor::new(config.clone(), mode);
+    fn run(mode: Mode, config: &TpccConfig) -> (homeo_sim::RunMetrics, TpccWorkload) {
+        let mut runtime = build_runtime_with_timer(config, mode, Timer::fixed_zero());
+        let mut workload = TpccWorkload::new(config.clone(), mode);
         let loop_config = homeo_sim::ClosedLoopConfig {
             replicas: config.replicas,
             clients_per_replica: 8,
@@ -518,18 +467,31 @@ mod tests {
             seed: 7,
             cores_per_replica: 16,
         };
-        let metrics = closedloop::run(&loop_config, &mut exec);
-        (metrics, exec)
+        let metrics = drive(&loop_config, runtime.as_mut(), &mut workload);
+        (metrics, workload)
     }
 
     #[test]
     fn population_matches_the_scaled_down_schema() {
         let config = small_config();
-        let exec = TpccExecutor::new(config.clone(), Mode::Homeostasis);
-        let stock_rows = exec.engines[0].with_table("stock", |t| t.len()).unwrap();
+        let runtime = build_runtime(&config, Mode::Homeostasis);
+        let stock_rows = runtime.engine(0).with_table("stock", |t| t.len()).unwrap();
         assert_eq!(stock_rows, config.total_items());
-        let customers = exec.engines[0].with_table("customer", |t| t.len()).unwrap();
+        let customers = runtime
+            .engine(0)
+            .with_table("customer", |t| t.len())
+            .unwrap();
         assert_eq!(customers, 200);
+        // The flat stock objects mirror the relational quantities, on every
+        // replica identically.
+        let row = runtime
+            .engine(0)
+            .get_row("stock", &[Value::Int(1), Value::Int(1), Value::Int(7)])
+            .unwrap()
+            .unwrap();
+        let qty = row[3].as_int().unwrap();
+        assert_eq!(runtime.value_at(0, &stock_obj(1, 1, 7)), qty);
+        assert_eq!(runtime.value_at(1, &stock_obj(1, 1, 7)), qty);
     }
 
     #[test]
@@ -537,7 +499,7 @@ mod tests {
         let config = small_config();
         let (_, homeo) = run(Mode::Homeostasis, &config);
         let (_, twopc) = run(Mode::TwoPc, &config);
-        // New Order throughput comparison is done on the executor-side
+        // New Order throughput comparison is done on the workload-side
         // counters (the paper reports New Order only).
         let homeo_commits = homeo.new_order_counter.committed;
         let twopc_commits = twopc.new_order_counter.committed;
@@ -552,11 +514,12 @@ mod tests {
     #[test]
     fn payments_never_synchronize_and_deliveries_always_do() {
         let config = small_config();
-        let mut exec = TpccExecutor::new(config, Mode::Homeostasis);
+        let mut runtime = build_runtime_with_timer(&config, Mode::Homeostasis, Timer::fixed_zero());
+        let mut workload = TpccWorkload::new(config, Mode::Homeostasis);
         let mut rng = DetRng::seed_from(3);
-        let pay = exec.payment(0, &mut rng);
+        let pay = workload.payment(0, runtime.as_mut(), &mut rng);
         assert!(!pay.synchronized);
-        let del = exec.delivery(1, &mut rng);
+        let del = workload.delivery(1, runtime.as_mut(), &mut rng);
         assert!(del.synchronized);
     }
 
@@ -567,14 +530,14 @@ mod tests {
             hotness: 50,
             ..small_config()
         };
-        let (_, cold_exec) = run(Mode::Homeostasis, &cold);
-        let (_, hot_exec) = run(Mode::Homeostasis, &hot);
+        let (_, cold_wl) = run(Mode::Homeostasis, &cold);
+        let (_, hot_wl) = run(Mode::Homeostasis, &hot);
         assert!(
-            hot_exec.new_order_counter.sync_ratio_percent() + 0.5
-                >= cold_exec.new_order_counter.sync_ratio_percent(),
+            hot_wl.new_order_counter.sync_ratio_percent() + 0.5
+                >= cold_wl.new_order_counter.sync_ratio_percent(),
             "hot {} vs cold {}",
-            hot_exec.new_order_counter.sync_ratio_percent(),
-            cold_exec.new_order_counter.sync_ratio_percent()
+            hot_wl.new_order_counter.sync_ratio_percent(),
+            cold_wl.new_order_counter.sync_ratio_percent()
         );
     }
 }

@@ -3,6 +3,8 @@
 //! stock/refill workload of Listing 1 and prints a small version of
 //! Figures 11 and 12.
 //!
+//! All four modes run through the shared `SiteRuntime` surface.
+//!
 //! ```text
 //! cargo run --release --example ecommerce
 //! ```
@@ -13,9 +15,9 @@ use homeostasis::crates::workloads::micro::{MicroConfig, Mode};
 /// A tiny stand-in for the bench crate's experiment runner so the example
 /// only depends on the public workspace crates.
 mod homeo_bench_free {
-    use homeostasis::crates::sim::closedloop;
+    use homeostasis::crates::runtime::drive;
     use homeostasis::crates::workloads::micro::{
-        closed_loop_config, MicroConfig, MicroExecutor, Mode,
+        build_runtime, closed_loop_config, MicroConfig, MicroWorkload, Mode,
     };
 
     pub struct Point {
@@ -27,9 +29,10 @@ mod homeo_bench_free {
     }
 
     pub fn micro_point(config: &MicroConfig, mode: Mode) -> Point {
-        let mut exec = MicroExecutor::new(config.clone(), mode);
+        let mut runtime = build_runtime(config, mode);
+        let mut workload = MicroWorkload::new(config.clone(), mode);
         let loop_config = closed_loop_config(config, 8, 3_000);
-        let mut metrics = closedloop::run(&loop_config, &mut exec);
+        let mut metrics = drive(&loop_config, runtime.as_mut(), &mut workload);
         Point {
             mode: mode.label(),
             throughput_per_replica: metrics.throughput_per_replica(),

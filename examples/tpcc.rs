@@ -2,17 +2,21 @@
 //! Delivery over two simulated datacenters (UE and UW from Table 1), with a
 //! sweep over the hot-item percentage `H`.
 //!
+//! Every mode runs through the shared `SiteRuntime` surface.
+//!
 //! ```text
 //! cargo run --release --example tpcc
 //! ```
 
+use homeostasis::crates::runtime::drive;
 use homeostasis::crates::sim::clock::millis;
-use homeostasis::crates::sim::{closedloop, ClosedLoopConfig};
+use homeostasis::crates::sim::ClosedLoopConfig;
 use homeostasis::crates::workloads::micro::Mode;
-use homeostasis::crates::workloads::tpcc::{TpccConfig, TpccExecutor};
+use homeostasis::crates::workloads::tpcc::{build_runtime, TpccConfig, TpccWorkload};
 
 fn run(config: &TpccConfig, mode: Mode) -> (f64, f64) {
-    let mut exec = TpccExecutor::new(config.clone(), mode);
+    let mut runtime = build_runtime(config, mode);
+    let mut workload = TpccWorkload::new(config.clone(), mode);
     let loop_config = ClosedLoopConfig {
         replicas: config.replicas,
         clients_per_replica: 8,
@@ -21,9 +25,9 @@ fn run(config: &TpccConfig, mode: Mode) -> (f64, f64) {
         seed: 11,
         cores_per_replica: 16,
     };
-    let _ = closedloop::run(&loop_config, &mut exec);
-    let throughput = exec.new_order_counter.committed as f64 / 3.0 / config.replicas as f64;
-    (throughput, exec.new_order_counter.sync_ratio_percent())
+    let _ = drive(&loop_config, runtime.as_mut(), &mut workload);
+    let throughput = workload.new_order_counter.committed as f64 / 3.0 / config.replicas as f64;
+    (throughput, workload.new_order_counter.sync_ratio_percent())
 }
 
 fn main() {

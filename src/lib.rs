@@ -17,6 +17,7 @@ pub mod crates {
     pub use homeo_baselines as baselines;
     pub use homeo_lang as lang;
     pub use homeo_protocol as protocol;
+    pub use homeo_runtime as runtime;
     pub use homeo_sim as sim;
     pub use homeo_solver as solver;
     pub use homeo_store as store;

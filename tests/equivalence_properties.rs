@@ -7,10 +7,9 @@
 
 use homeostasis::lang::{programs, Database};
 use homeostasis::protocol::correctness::verify_round;
-use homeostasis::protocol::{
-    HomeostasisCluster, Loc, OptimizerConfig, ReplicatedCounters, ReplicatedMode,
-};
-use homeostasis::sim::DetRng;
+use homeostasis::protocol::{HomeostasisCluster, Loc, OptimizerConfig, ReplicatedMode};
+use homeostasis::runtime::{ReplicatedRuntime, SiteOp, SiteRuntime};
+use homeostasis::sim::{DetRng, Timer};
 
 const CASES: usize = 24;
 
@@ -87,13 +86,20 @@ fn replicated_counters_match_serial_semantics() {
                 }),
             }
         };
-        let mut counters = ReplicatedCounters::new(sites, mode);
+        let mut counters = ReplicatedRuntime::new(sites, mode).with_timer(Timer::fixed_zero());
         let obj = homeostasis::lang::ids::ObjId::new("stock[0]");
         counters.register(obj.clone(), initial, 1);
         let mut serial = initial;
         for (site, amount) in ops {
             let site = site % sites;
-            counters.order(site, &obj, amount, Some(refill));
+            counters.execute(
+                site,
+                SiteOp::Order {
+                    obj: obj.clone(),
+                    amount,
+                    refill_to: Some(refill),
+                },
+            );
             serial = if serial - amount >= 1 {
                 serial - amount
             } else {
