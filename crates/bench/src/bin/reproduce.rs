@@ -1,26 +1,32 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! reproduce [--full] [--csv-dir DIR] [--list] [all | table1 | fig10 | ... | fig29]...
+//! reproduce [--full] [--csv-dir DIR] [--list] [--threads N]
+//!           [all | table1 | fig10 | ... | fig29 | cluster-partition | ...]...
 //! ```
 //!
-//! With no arguments, `all` is assumed. `--full` runs the larger sweeps
-//! (closer to the paper's configuration); the default "quick" effort keeps
-//! the whole reproduction within a few minutes. `--csv-dir` additionally
-//! writes one CSV file per figure. `--list` prints the available figure and
-//! table ids (one per line) and exits.
+//! With no arguments, `all` is assumed: every paper figure plus the cluster
+//! fault scenarios (partition-then-heal, kill-then-recover, skew). `--full`
+//! runs the larger sweeps (closer to the paper's configuration); the
+//! default "quick" effort keeps the whole reproduction within a few
+//! minutes. `--csv-dir` additionally writes one CSV file per figure.
+//! `--list` prints the available ids (one per line) and exits. `--threads N`
+//! additionally runs the real-concurrency load mode: N worker threads, one
+//! client thread each, over the channel transport.
 //!
-//! Exit codes: `0` on success, `1` when one or more requested figures fail
-//! to generate or write (the remaining figures are still produced), `2` on
-//! usage errors.
+//! Exit codes: `0` on success, `1` when one or more requested figures or
+//! scenarios fail to generate or write (the remaining ones are still
+//! produced), `2` on usage errors.
 
 use std::path::PathBuf;
 
-use homeo_bench::{all_figure_ids, generate, Effort};
+use homeo_bench::{all_ids, generate, Effort};
+use homeo_cluster::threaded_load;
 
 fn main() {
     let mut effort = Effort::Quick;
     let mut csv_dir: Option<PathBuf> = None;
+    let mut threads: Option<usize> = None;
     let mut requested: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1).peekable();
@@ -29,10 +35,20 @@ fn main() {
             "--full" => effort = Effort::Full,
             "--quick" => effort = Effort::Quick,
             "--list" => {
-                for id in all_figure_ids() {
+                for id in all_ids() {
                     println!("{id}");
                 }
                 return;
+            }
+            "--threads" => {
+                let n = args.next().and_then(|n| n.parse::<usize>().ok());
+                match n {
+                    Some(n) if n > 0 => threads = Some(n),
+                    _ => {
+                        eprintln!("--threads requires a positive thread count");
+                        std::process::exit(2);
+                    }
+                }
             }
             "--csv-dir" => {
                 let dir = args.next().unwrap_or_else(|| {
@@ -43,15 +59,15 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: reproduce [--full] [--csv-dir DIR] [--list] [all | {}]...",
-                    all_figure_ids().join(" | ")
+                    "usage: reproduce [--full] [--csv-dir DIR] [--list] [--threads N] [all | {}]...",
+                    all_ids().join(" | ")
                 );
                 return;
             }
             other => requested.push(other.to_string()),
         }
     }
-    let known = all_figure_ids();
+    let known = all_ids();
     for id in &requested {
         if id != "all" && !known.contains(&id.as_str()) {
             eprintln!(
@@ -61,7 +77,9 @@ fn main() {
             std::process::exit(2);
         }
     }
-    if requested.is_empty() || requested.iter().any(|r| r == "all") {
+    if requested.is_empty() && threads.is_some() {
+        // `--threads N` alone runs just the load mode.
+    } else if requested.is_empty() || requested.iter().any(|r| r == "all") {
         requested = known.iter().map(|s| s.to_string()).collect();
     }
 
@@ -72,11 +90,13 @@ fn main() {
         }
     }
 
-    println!(
-        "Reproducing {} figure(s) at {:?} effort\n",
-        requested.len(),
-        effort
-    );
+    if !requested.is_empty() {
+        println!(
+            "Reproducing {} figure(s) at {:?} effort\n",
+            requested.len(),
+            effort
+        );
+    }
     let mut failed: Vec<String> = Vec::new();
     for id in &requested {
         let started = std::time::Instant::now();
@@ -101,11 +121,37 @@ fn main() {
             }
         }
     }
+    if let Some(sites) = threads {
+        const OPS_PER_SITE: usize = 2_000;
+        const ITEMS: usize = 64;
+        println!("Threaded load: {sites} site worker threads, one client thread each");
+        let result = std::panic::catch_unwind(|| threaded_load(sites, OPS_PER_SITE, ITEMS, 42));
+        match result {
+            Ok(report) => {
+                println!(
+                    "{} sites x {OPS_PER_SITE} ops: {} committed ({} synchronized) in {:.2}s = {:.0} ops/s\n",
+                    report.sites,
+                    report.committed,
+                    report.synchronized,
+                    report.elapsed_secs,
+                    report.throughput
+                );
+                if report.committed != (sites * OPS_PER_SITE) as u64 {
+                    eprintln!("FAILED: threaded load lost operations\n");
+                    failed.push("--threads".to_string());
+                }
+            }
+            Err(_) => {
+                eprintln!("FAILED to run the threaded load mode\n");
+                failed.push("--threads".to_string());
+            }
+        }
+    }
     if !failed.is_empty() {
         eprintln!(
-            "{} of {} figure(s) failed: {}",
+            "{} of {} task(s) failed: {}",
             failed.len(),
-            requested.len(),
+            requested.len() + usize::from(threads.is_some()),
             failed.join(" ")
         );
         std::process::exit(1);

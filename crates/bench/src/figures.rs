@@ -6,7 +6,8 @@
 //! but the shapes (who wins, by what factor, where the crossovers are) are
 //! the reproduction target; see `EXPERIMENTS.md`.
 
-use homeo_workloads::datacenters::{TABLE1, TABLE1_RTT_MS};
+use homeo_sim::TABLE1_RTT_MS;
+use homeo_workloads::datacenters::TABLE1;
 use homeo_workloads::micro::{MicroConfig, Mode};
 use homeo_workloads::tpcc::TpccConfig;
 
@@ -86,11 +87,15 @@ pub fn all_figure_ids() -> Vec<&'static str> {
     ]
 }
 
-/// Generates one figure by id.
+/// Generates one figure or cluster scenario by id.
 ///
 /// # Panics
-/// Panics on an unknown id (see [`all_figure_ids`]).
+/// Panics on an unknown id (see [`crate::all_ids`]) and on any violation a
+/// cluster scenario detects while verifying itself.
 pub fn generate(id: &str, effort: Effort) -> Figure {
+    if id.starts_with("cluster-") {
+        return crate::cluster::scenario(id);
+    }
     match id {
         "table1" => table1(),
         "fig10" => fig10(effort),

@@ -10,6 +10,9 @@
 //!   ratios.
 //! * [`figures`] — one generator per table/figure of the paper; each returns
 //!   a [`report::Figure`] with the same series the paper plots.
+//! * [`cluster`] — the fault scenarios of the cluster subsystem
+//!   (partition-then-heal, kill-then-recover, skewed allowances), verified
+//!   as they generate.
 //! * [`report`] — rendering to aligned text / CSV.
 //!
 //! The `reproduce` binary drives everything:
@@ -23,10 +26,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod experiments;
 pub mod figures;
 pub mod report;
 
+pub use cluster::all_scenario_ids;
 pub use experiments::{micro_experiment, tpcc_experiment, ExperimentPoint, TpccPoint};
 pub use figures::{all_figure_ids, generate, Effort};
 pub use report::Figure;
+
+/// Every reproducible id: the paper's tables and figures followed by the
+/// cluster scenarios.
+pub fn all_ids() -> Vec<&'static str> {
+    let mut ids = all_figure_ids();
+    ids.extend(all_scenario_ids());
+    ids
+}

@@ -1,0 +1,265 @@
+//! # homeo-cluster
+//!
+//! The threaded, message-passing cluster subsystem: each site of the
+//! replicated-counter protocol becomes an isolated worker that owns its
+//! engine-backed shard and communicates with its peers **only** through a
+//! [`Transport`] carrying length-prefixed serialized [`Message`] frames —
+//! treaty negotiation, delta exchange, synchronization rounds and client
+//! operations all go over the wire.
+//!
+//! The paper's central claim — sites execute without coordination while
+//! treaties hold — was previously reproduced only under a single-threaded
+//! loop over a virtual clock. This crate exercises it under the conditions
+//! the claim is actually about:
+//!
+//! * [`ThreadedCluster`] — one OS thread per site over
+//!   [`ChannelTransport`] (std `mpsc`): real concurrency, real channels,
+//!   wall-clock throughput ([`threaded_load`]).
+//! * [`SimCluster`] — the same per-site state machines
+//!   ([`worker::SiteWorker`]) pumped deterministically over a
+//!   [`sim::SimTransport`] fault injector: RTT-matrix delays, seeded
+//!   jitter and reordering, drops surfaced as retransmission delay,
+//!   symmetric partitions, and site kill/restart that reopens the engine
+//!   from its WAL frame.
+//!
+//! [`ClusterRuntime`] wraps either backend behind
+//! [`homeo_runtime::SiteRuntime`], so `drive()`, every workload and the
+//! cross-protocol equivalence suites run unchanged on top of the cluster.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod msg;
+pub mod sim;
+pub mod threaded;
+pub mod transport;
+pub mod worker;
+
+use homeo_lang::ids::ObjId;
+use homeo_protocol::{ReplicatedMode, ReplicatedStats, WorkloadHints};
+use homeo_runtime::{OpOutcome, SiteOp, SiteRuntime};
+use homeo_sim::Timer;
+use homeo_store::Engine;
+
+pub use msg::{CounterMeta, Message, SyncKind};
+pub use sim::{SimCluster, SimMetrics, SimNetConfig, SimTransport};
+pub use threaded::{threaded_load, ClusterClient, Control, LoadReport, ThreadedCluster};
+pub use transport::{ChannelTransport, Transport, CLIENT};
+
+/// Shared configuration of a cluster: the negotiation mode, the solver
+/// timer and the optimizer's workload hints.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// How local treaties are chosen at each negotiation.
+    pub mode: ReplicatedMode,
+    /// Elapsed-time source for reported solver times ([`Timer::Fixed`]
+    /// makes seeded runs byte-for-byte reproducible).
+    pub timer: Timer,
+    /// Workload hints for the optimizer; `None` means uniform.
+    pub hints: Option<WorkloadHints>,
+}
+
+impl ClusterConfig {
+    /// A configuration with a wall-clock timer and uniform hints.
+    pub fn new(mode: ReplicatedMode) -> Self {
+        ClusterConfig {
+            mode,
+            timer: Timer::Wall,
+            hints: None,
+        }
+    }
+
+    /// Replaces the elapsed-time source.
+    pub fn with_timer(mut self, timer: Timer) -> Self {
+        self.timer = timer;
+        self
+    }
+
+    /// Sets the optimizer's workload hints.
+    pub fn with_hints(mut self, hints: WorkloadHints) -> Self {
+        self.hints = hints.into();
+        self
+    }
+
+    /// The effective hints for `sites` replicas.
+    pub(crate) fn hints(&self, sites: usize) -> WorkloadHints {
+        self.hints
+            .clone()
+            .unwrap_or_else(|| WorkloadHints::uniform(sites))
+    }
+}
+
+/// A cluster behind the shared [`SiteRuntime`] surface, backed by either
+/// real worker threads ([`ThreadedCluster`]) or the deterministic fault
+/// injector ([`SimCluster`]).
+pub enum ClusterRuntime {
+    /// One OS thread per site over channels.
+    Threaded(ThreadedCluster),
+    /// Virtual-clock scheduling with fault injection.
+    Sim(Box<SimCluster>),
+}
+
+impl ClusterRuntime {
+    /// A threaded cluster over fresh engines.
+    pub fn threaded(sites: usize, config: ClusterConfig) -> Self {
+        ClusterRuntime::Threaded(ThreadedCluster::new(sites, config))
+    }
+
+    /// A threaded cluster over pre-populated engines.
+    pub fn threaded_from_engines(engines: Vec<Engine>, config: ClusterConfig) -> Self {
+        ClusterRuntime::Threaded(ThreadedCluster::from_engines(engines, config))
+    }
+
+    /// A simulated cluster over fresh engines.
+    pub fn sim(sites: usize, config: ClusterConfig, net: SimNetConfig) -> Self {
+        ClusterRuntime::Sim(Box::new(SimCluster::new(sites, config, net)))
+    }
+
+    /// A simulated cluster over pre-populated engines.
+    pub fn sim_from_engines(
+        engines: Vec<Engine>,
+        config: ClusterConfig,
+        net: SimNetConfig,
+    ) -> Self {
+        ClusterRuntime::Sim(Box::new(SimCluster::from_engines(engines, config, net)))
+    }
+
+    /// Registers a counter cluster-wide. Returns the solver time in
+    /// microseconds.
+    pub fn register(&mut self, obj: ObjId, initial: i64, lower_bound: i64) -> u64 {
+        match self {
+            ClusterRuntime::Threaded(c) => c.register(obj, initial, lower_bound),
+            ClusterRuntime::Sim(c) => c.register(obj, initial, lower_bound),
+        }
+    }
+
+    /// Aggregate statistics across every site.
+    pub fn stats(&self) -> ReplicatedStats {
+        match self {
+            ClusterRuntime::Threaded(c) => c.stats(),
+            ClusterRuntime::Sim(c) => c.stats(),
+        }
+    }
+}
+
+impl SiteRuntime for ClusterRuntime {
+    fn sites(&self) -> usize {
+        match self {
+            ClusterRuntime::Threaded(c) => c.sites(),
+            ClusterRuntime::Sim(c) => c.sites(),
+        }
+    }
+
+    fn engine(&self, site: usize) -> &Engine {
+        match self {
+            ClusterRuntime::Threaded(c) => c.engine(site),
+            ClusterRuntime::Sim(c) => c.engine(site),
+        }
+    }
+
+    fn submit(&mut self, site: usize, op: SiteOp) {
+        match self {
+            ClusterRuntime::Threaded(c) => c.submit(site, op),
+            ClusterRuntime::Sim(c) => c.submit(site, op),
+        }
+    }
+
+    fn poll(&mut self, site: usize) -> Vec<OpOutcome> {
+        match self {
+            ClusterRuntime::Threaded(c) => c.poll(site),
+            ClusterRuntime::Sim(c) => c.poll(site),
+        }
+    }
+
+    fn synchronize(&mut self, site: usize) -> u64 {
+        match self {
+            ClusterRuntime::Threaded(c) => c.synchronize(site),
+            ClusterRuntime::Sim(c) => c.synchronize(site),
+        }
+    }
+
+    fn ensure_registered(&mut self, obj: &ObjId, initial: i64, lower_bound: i64) {
+        match self {
+            ClusterRuntime::Threaded(c) => c.ensure_registered(obj, initial, lower_bound),
+            ClusterRuntime::Sim(c) => c.ensure_registered(obj, initial, lower_bound),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homeo_sim::clock::millis;
+    use homeo_sim::{ClientOutcome, ClosedLoopConfig, CostComponents, DetRng};
+
+    fn stock(i: usize) -> ObjId {
+        ObjId::new(format!("stock[{i}]"))
+    }
+
+    #[test]
+    fn drive_runs_unchanged_over_both_backends() {
+        // The closed-loop driver from homeo-runtime drives the cluster the
+        // same way it drives the single-threaded runtimes.
+        let config = ClosedLoopConfig {
+            replicas: 2,
+            clients_per_replica: 4,
+            warmup: millis(100),
+            measure: millis(1_000),
+            seed: 9,
+            cores_per_replica: 8,
+        };
+        let cluster_config =
+            ClusterConfig::new(ReplicatedMode::EvenSplit).with_timer(Timer::fixed_zero());
+        let backends: Vec<ClusterRuntime> = vec![
+            ClusterRuntime::threaded(2, cluster_config.clone()),
+            ClusterRuntime::sim(2, cluster_config, SimNetConfig::reliable(2, 100)),
+        ];
+        for mut runtime in backends {
+            for i in 0..40 {
+                runtime.register(stock(i), 100, 1);
+            }
+            let mut workload = |site: usize, rt: &mut dyn SiteRuntime, rng: &mut DetRng| {
+                let out = rt.execute(
+                    site,
+                    SiteOp::Order {
+                        obj: stock(rng.index(40)),
+                        amount: 1,
+                        refill_to: Some(99),
+                    },
+                );
+                ClientOutcome {
+                    committed: out.committed,
+                    synchronized: out.synchronized,
+                    costs: CostComponents {
+                        local: 2_000,
+                        communication: if out.synchronized { millis(200) } else { 0 },
+                        solver: out.solver_micros,
+                    },
+                }
+            };
+            let metrics = homeo_runtime::drive(&config, &mut runtime, &mut workload);
+            assert!(metrics.counters.committed > 50);
+            assert!(runtime.stats().local_commits > 0);
+            assert!(runtime.engine(0).wal_len() > 0);
+        }
+    }
+
+    #[test]
+    fn execute_contract_holds_on_the_cluster() {
+        let mut runtime = ClusterRuntime::threaded(
+            2,
+            ClusterConfig::new(ReplicatedMode::EvenSplit).with_timer(Timer::fixed_zero()),
+        );
+        runtime.register(stock(0), 100, 1);
+        let out = runtime.execute(
+            0,
+            SiteOp::Order {
+                obj: stock(0),
+                amount: 1,
+                refill_to: Some(99),
+            },
+        );
+        assert!(out.committed);
+        assert_eq!(runtime.value_at(0, &stock(0)), 99);
+    }
+}

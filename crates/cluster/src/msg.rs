@@ -1,0 +1,591 @@
+//! The cluster wire protocol: [`Message`] and its length-prefixed binary
+//! frame codec.
+//!
+//! Sites exchange nothing but these frames (through a
+//! [`Transport`](crate::Transport)): client operations, treaty negotiation,
+//! delta exchange, synchronization rounds and crash recovery all travel as
+//! encoded [`Message`]s. The codec mirrors the WAL's on-disk idiom
+//! (`homeo_store::Wal::encode`): big-endian fixed-width integers,
+//! `u32`-length-prefixed strings, one tag byte per variant, and the whole
+//! message wrapped in a `u32` length prefix so a byte stream can be framed
+//! without lookahead.
+
+use homeo_lang::ids::ObjId;
+use homeo_runtime::SiteOp;
+use serde::{Deserialize, Serialize};
+
+/// Treaty metadata of one replicated counter, as carried by registration,
+/// installation and recovery messages.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterMeta {
+    /// The counter object.
+    pub obj: ObjId,
+    /// The synchronized value (all deltas folded in at the last
+    /// synchronization).
+    pub base: i64,
+    /// The global treaty maintains `value ≥ lower_bound`.
+    pub lower_bound: i64,
+    /// Per-site allowances: site `i` may let its delta drop to
+    /// `allowances[i]` (`≤ 0`) before it must synchronize.
+    pub allowances: Vec<i64>,
+}
+
+/// What a synchronization round does to the folded (consistent) state once
+/// every site's delta has been collected.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyncKind {
+    /// A treaty-violating order, executed serially on the folded state:
+    /// decrement `amount`, refilling to `refill_to` when the folded value
+    /// can no longer support the decrement.
+    Order {
+        /// The (non-negative) decrement.
+        amount: i64,
+        /// The refill level, if the workload has refill semantics.
+        refill_to: Option<i64>,
+    },
+    /// A pin-treaty operation (`SiteOp::ForceSync`): install the folded
+    /// value as the new base.
+    Pin,
+    /// An explicit fold with no operation attached
+    /// (`SiteRuntime::synchronize`): install the folded value, skipping the
+    /// renegotiation when no deltas were outstanding.
+    Fold,
+}
+
+/// One frame of the cluster protocol.
+///
+/// Identifier conventions: `req` is an origin-scoped request id (globally
+/// unique because it is allocated as `n * sites + origin`), `sync` is a
+/// coordinator-scoped round id with the same namespacing, so any site can
+/// recover the coordinator of a round as `sync % sites`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Message {
+    /// A client operation submitted to a site's inbox (sent by the client
+    /// attachment, never site-to-site).
+    Submit {
+        /// The operation.
+        op: SiteOp,
+    },
+    /// Registers a counter on every site with its freshly negotiated treaty
+    /// state.
+    Register {
+        /// The counter and its treaty metadata.
+        meta: CounterMeta,
+    },
+    /// Asks the counter's coordinator to run a synchronization round.
+    SyncRequest {
+        /// Origin-scoped request id (for deduplication and completion).
+        req: u64,
+        /// The counter to fold.
+        obj: ObjId,
+        /// What to do on the folded state.
+        kind: SyncKind,
+    },
+    /// Coordinator → peers: report your delta for `obj` and freeze it until
+    /// the matching [`Message::Install`] arrives.
+    DeltaRequest {
+        /// Coordinator-scoped round id.
+        sync: u64,
+        /// The counter being folded.
+        obj: ObjId,
+    },
+    /// Peer → coordinator: the peer's unsynchronized delta (its engine value
+    /// minus the shared base).
+    DeltaReply {
+        /// The round being answered.
+        sync: u64,
+        /// The counter being folded.
+        obj: ObjId,
+        /// `value@site − base`.
+        delta: i64,
+    },
+    /// Coordinator → peers: complete the round and unfreeze. With `apply`
+    /// set, install the synchronized base and the renegotiated treaty; with
+    /// it clear (a fold whose deltas summed to zero), leave local state —
+    /// including any nonzero per-site delta — untouched, mirroring
+    /// `ReplicatedRuntime::synchronize`'s skip of already-synchronized
+    /// counters.
+    Install {
+        /// The round being completed.
+        sync: u64,
+        /// The treaty state (base, lower bound, allowances).
+        meta: CounterMeta,
+        /// Whether to rebase the local engine value and treaty metadata.
+        apply: bool,
+    },
+    /// Peer → coordinator: the install was applied.
+    InstallAck {
+        /// The round being acknowledged.
+        sync: u64,
+        /// The counter that was installed.
+        obj: ObjId,
+    },
+    /// Coordinator → origin: the requested round completed.
+    SyncDone {
+        /// The origin's request id.
+        req: u64,
+        /// Whether the refill branch ran (order kinds only).
+        refilled: bool,
+        /// Solver time of the renegotiation, in microseconds.
+        solver_micros: u64,
+        /// Whether any outstanding delta was actually folded (`Fold` kinds
+        /// report `false` when the counter was already synchronized).
+        folded: bool,
+    },
+    /// A restarted site asking a live peer for the cluster's treaty state
+    /// (the paper's "all in-memory state can be recomputed" stance: engines
+    /// recover from their WAL, treaty metadata from any peer).
+    StateRequest,
+    /// The peer's full treaty state.
+    StateReply {
+        /// Every registered counter's metadata.
+        counters: Vec<CounterMeta>,
+    },
+}
+
+impl Message {
+    /// Encodes the message as a length-prefixed frame: a `u32` byte length
+    /// (big-endian, excluding the prefix itself) followed by the body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        self.encode_body(&mut body);
+        let mut frame = Vec::with_capacity(4 + body.len());
+        frame.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        frame.extend_from_slice(&body);
+        frame
+    }
+
+    /// Decodes one frame produced by [`Message::encode`]. Returns `None` on
+    /// a truncated or malformed frame, or when trailing bytes follow the
+    /// message body (frames carry exactly one message).
+    pub fn decode(frame: &[u8]) -> Option<Message> {
+        let mut cursor = Cursor {
+            data: frame,
+            pos: 0,
+        };
+        let len = cursor.u32()? as usize;
+        if frame.len() != 4 + len {
+            return None;
+        }
+        let msg = Self::decode_body(&mut cursor)?;
+        (cursor.pos == frame.len()).then_some(msg)
+    }
+
+    fn encode_body(&self, buf: &mut Vec<u8>) {
+        match self {
+            Message::Submit { op } => {
+                buf.push(0);
+                encode_op(op, buf);
+            }
+            Message::Register { meta } => {
+                buf.push(1);
+                encode_meta(meta, buf);
+            }
+            Message::SyncRequest { req, obj, kind } => {
+                buf.push(2);
+                buf.extend_from_slice(&req.to_be_bytes());
+                encode_str(obj.as_str(), buf);
+                encode_kind(kind, buf);
+            }
+            Message::DeltaRequest { sync, obj } => {
+                buf.push(3);
+                buf.extend_from_slice(&sync.to_be_bytes());
+                encode_str(obj.as_str(), buf);
+            }
+            Message::DeltaReply { sync, obj, delta } => {
+                buf.push(4);
+                buf.extend_from_slice(&sync.to_be_bytes());
+                encode_str(obj.as_str(), buf);
+                buf.extend_from_slice(&delta.to_be_bytes());
+            }
+            Message::Install { sync, meta, apply } => {
+                buf.push(5);
+                buf.extend_from_slice(&sync.to_be_bytes());
+                encode_meta(meta, buf);
+                buf.push(u8::from(*apply));
+            }
+            Message::InstallAck { sync, obj } => {
+                buf.push(6);
+                buf.extend_from_slice(&sync.to_be_bytes());
+                encode_str(obj.as_str(), buf);
+            }
+            Message::SyncDone {
+                req,
+                refilled,
+                solver_micros,
+                folded,
+            } => {
+                buf.push(7);
+                buf.extend_from_slice(&req.to_be_bytes());
+                buf.push(u8::from(*refilled));
+                buf.extend_from_slice(&solver_micros.to_be_bytes());
+                buf.push(u8::from(*folded));
+            }
+            Message::StateRequest => buf.push(8),
+            Message::StateReply { counters } => {
+                buf.push(9);
+                buf.extend_from_slice(&(counters.len() as u32).to_be_bytes());
+                for meta in counters {
+                    encode_meta(meta, buf);
+                }
+            }
+        }
+    }
+
+    fn decode_body(cursor: &mut Cursor<'_>) -> Option<Message> {
+        Some(match cursor.u8()? {
+            0 => Message::Submit {
+                op: decode_op(cursor)?,
+            },
+            1 => Message::Register {
+                meta: decode_meta(cursor)?,
+            },
+            2 => Message::SyncRequest {
+                req: cursor.u64()?,
+                obj: ObjId::new(decode_str(cursor)?),
+                kind: decode_kind(cursor)?,
+            },
+            3 => Message::DeltaRequest {
+                sync: cursor.u64()?,
+                obj: ObjId::new(decode_str(cursor)?),
+            },
+            4 => Message::DeltaReply {
+                sync: cursor.u64()?,
+                obj: ObjId::new(decode_str(cursor)?),
+                delta: cursor.i64()?,
+            },
+            5 => Message::Install {
+                sync: cursor.u64()?,
+                meta: decode_meta(cursor)?,
+                apply: match cursor.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return None,
+                },
+            },
+            6 => Message::InstallAck {
+                sync: cursor.u64()?,
+                obj: ObjId::new(decode_str(cursor)?),
+            },
+            7 => Message::SyncDone {
+                req: cursor.u64()?,
+                refilled: cursor.u8()? != 0,
+                solver_micros: cursor.u64()?,
+                folded: cursor.u8()? != 0,
+            },
+            8 => Message::StateRequest,
+            9 => {
+                let count = cursor.u32()? as usize;
+                let mut counters = Vec::with_capacity(count.min(1 << 16));
+                for _ in 0..count {
+                    counters.push(decode_meta(cursor)?);
+                }
+                Message::StateReply { counters }
+            }
+            _ => return None,
+        })
+    }
+}
+
+fn encode_op(op: &SiteOp, buf: &mut Vec<u8>) {
+    match op {
+        SiteOp::Order {
+            obj,
+            amount,
+            refill_to,
+        } => {
+            buf.push(0);
+            encode_str(obj.as_str(), buf);
+            buf.extend_from_slice(&amount.to_be_bytes());
+            match refill_to {
+                None => buf.push(0),
+                Some(r) => {
+                    buf.push(1);
+                    buf.extend_from_slice(&r.to_be_bytes());
+                }
+            }
+        }
+        SiteOp::Increment { obj, amount } => {
+            buf.push(1);
+            encode_str(obj.as_str(), buf);
+            buf.extend_from_slice(&amount.to_be_bytes());
+        }
+        SiteOp::ForceSync { obj } => {
+            buf.push(2);
+            encode_str(obj.as_str(), buf);
+        }
+        SiteOp::Transaction { index } => {
+            buf.push(3);
+            buf.extend_from_slice(&(*index as u64).to_be_bytes());
+        }
+    }
+}
+
+fn decode_op(cursor: &mut Cursor<'_>) -> Option<SiteOp> {
+    Some(match cursor.u8()? {
+        0 => SiteOp::Order {
+            obj: ObjId::new(decode_str(cursor)?),
+            amount: cursor.i64()?,
+            refill_to: match cursor.u8()? {
+                0 => None,
+                1 => Some(cursor.i64()?),
+                _ => return None,
+            },
+        },
+        1 => SiteOp::Increment {
+            obj: ObjId::new(decode_str(cursor)?),
+            amount: cursor.i64()?,
+        },
+        2 => SiteOp::ForceSync {
+            obj: ObjId::new(decode_str(cursor)?),
+        },
+        3 => SiteOp::Transaction {
+            index: cursor.u64()? as usize,
+        },
+        _ => return None,
+    })
+}
+
+fn encode_kind(kind: &SyncKind, buf: &mut Vec<u8>) {
+    match kind {
+        SyncKind::Order { amount, refill_to } => {
+            buf.push(0);
+            buf.extend_from_slice(&amount.to_be_bytes());
+            match refill_to {
+                None => buf.push(0),
+                Some(r) => {
+                    buf.push(1);
+                    buf.extend_from_slice(&r.to_be_bytes());
+                }
+            }
+        }
+        SyncKind::Pin => buf.push(1),
+        SyncKind::Fold => buf.push(2),
+    }
+}
+
+fn decode_kind(cursor: &mut Cursor<'_>) -> Option<SyncKind> {
+    Some(match cursor.u8()? {
+        0 => SyncKind::Order {
+            amount: cursor.i64()?,
+            refill_to: match cursor.u8()? {
+                0 => None,
+                1 => Some(cursor.i64()?),
+                _ => return None,
+            },
+        },
+        1 => SyncKind::Pin,
+        2 => SyncKind::Fold,
+        _ => return None,
+    })
+}
+
+fn encode_meta(meta: &CounterMeta, buf: &mut Vec<u8>) {
+    encode_str(meta.obj.as_str(), buf);
+    buf.extend_from_slice(&meta.base.to_be_bytes());
+    buf.extend_from_slice(&meta.lower_bound.to_be_bytes());
+    buf.extend_from_slice(&(meta.allowances.len() as u32).to_be_bytes());
+    for a in &meta.allowances {
+        buf.extend_from_slice(&a.to_be_bytes());
+    }
+}
+
+fn decode_meta(cursor: &mut Cursor<'_>) -> Option<CounterMeta> {
+    let obj = ObjId::new(decode_str(cursor)?);
+    let base = cursor.i64()?;
+    let lower_bound = cursor.i64()?;
+    let count = cursor.u32()? as usize;
+    let mut allowances = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        allowances.push(cursor.i64()?);
+    }
+    Some(CounterMeta {
+        obj,
+        base,
+        lower_bound,
+        allowances,
+    })
+}
+
+fn encode_str(s: &str, buf: &mut Vec<u8>) {
+    let bytes = s.as_bytes();
+    buf.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    buf.extend_from_slice(bytes);
+}
+
+fn decode_str(cursor: &mut Cursor<'_>) -> Option<String> {
+    let len = cursor.u32()? as usize;
+    String::from_utf8(cursor.take(len)?.to_vec()).ok()
+}
+
+/// A bounds-checked big-endian reader over a byte slice.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.data.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_be_bytes(s.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|s| u64::from_be_bytes(s.try_into().expect("8 bytes")))
+    }
+
+    fn i64(&mut self) -> Option<i64> {
+        self.take(8)
+            .map(|s| i64::from_be_bytes(s.try_into().expect("8 bytes")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> CounterMeta {
+        CounterMeta {
+            obj: ObjId::new("stock[7]"),
+            base: 100,
+            lower_bound: 1,
+            allowances: vec![-33, -33, 0],
+        }
+    }
+
+    fn exemplars() -> Vec<Message> {
+        vec![
+            Message::Submit {
+                op: SiteOp::Order {
+                    obj: ObjId::new("stock[0]"),
+                    amount: 3,
+                    refill_to: Some(99),
+                },
+            },
+            Message::Submit {
+                op: SiteOp::Order {
+                    obj: ObjId::new("stock[1]"),
+                    amount: 1,
+                    refill_to: None,
+                },
+            },
+            Message::Submit {
+                op: SiteOp::Increment {
+                    obj: ObjId::new("balance[2]"),
+                    amount: -7,
+                },
+            },
+            Message::Submit {
+                op: SiteOp::ForceSync {
+                    obj: ObjId::new("neworder[1]"),
+                },
+            },
+            Message::Submit {
+                op: SiteOp::Transaction { index: 5 },
+            },
+            Message::Register { meta: meta() },
+            Message::SyncRequest {
+                req: 17,
+                obj: ObjId::new("stock[7]"),
+                kind: SyncKind::Order {
+                    amount: 2,
+                    refill_to: Some(40),
+                },
+            },
+            Message::SyncRequest {
+                req: 18,
+                obj: ObjId::new("stock[7]"),
+                kind: SyncKind::Pin,
+            },
+            Message::SyncRequest {
+                req: 19,
+                obj: ObjId::new("stock[7]"),
+                kind: SyncKind::Fold,
+            },
+            Message::DeltaRequest {
+                sync: 4,
+                obj: ObjId::new("stock[7]"),
+            },
+            Message::DeltaReply {
+                sync: 4,
+                obj: ObjId::new("stock[7]"),
+                delta: -12,
+            },
+            Message::Install {
+                sync: 4,
+                meta: meta(),
+                apply: true,
+            },
+            Message::Install {
+                sync: 5,
+                meta: meta(),
+                apply: false,
+            },
+            Message::InstallAck {
+                sync: 4,
+                obj: ObjId::new("stock[7]"),
+            },
+            Message::SyncDone {
+                req: 17,
+                refilled: true,
+                solver_micros: 250,
+                folded: true,
+            },
+            Message::StateRequest,
+            Message::StateReply {
+                counters: vec![meta(), meta()],
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for msg in exemplars() {
+            let frame = msg.encode();
+            let decoded = Message::decode(&frame).unwrap_or_else(|| panic!("decode {msg:?}"));
+            assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn frames_are_length_prefixed() {
+        let frame = Message::StateRequest.encode();
+        assert_eq!(frame.len(), 5);
+        assert_eq!(u32::from_be_bytes(frame[..4].try_into().unwrap()), 1);
+    }
+
+    #[test]
+    fn truncated_and_padded_frames_are_rejected() {
+        for msg in exemplars() {
+            let frame = msg.encode();
+            for cut in 0..frame.len() {
+                assert!(
+                    Message::decode(&frame[..cut]).is_none(),
+                    "truncation at {cut} of {msg:?} decoded"
+                );
+            }
+            let mut padded = frame.clone();
+            padded.push(0);
+            assert!(Message::decode(&padded).is_none(), "padding accepted");
+        }
+        assert!(Message::decode(&[]).is_none());
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        let frame = vec![0, 0, 0, 1, 99];
+        assert!(Message::decode(&frame).is_none());
+    }
+}

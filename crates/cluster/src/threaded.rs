@@ -1,0 +1,542 @@
+//! The real-thread backend: one OS thread per site over a
+//! [`ChannelTransport`].
+//!
+//! [`ThreadedCluster`] spawns each [`SiteWorker`]
+//! on its own thread; the threads share nothing but the transport (frames)
+//! and the engines' internal mutexes (which the coordinating thread uses
+//! for inspection, exactly as the single-threaded runtimes allow). The
+//! cluster implements [`SiteRuntime`], so `drive()`, the workloads and the
+//! equivalence suites run unchanged on top of real concurrency; a
+//! [`ClusterClient`] per site additionally lets load-generator threads
+//! hammer the sites in parallel without going through the coordinating
+//! thread ([`threaded_load`]).
+
+use std::collections::BTreeSet;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use homeo_lang::ids::ObjId;
+use homeo_protocol::{negotiate_allowances, ReplicatedMode, ReplicatedStats};
+use homeo_runtime::{OpOutcome, SiteOp, SiteRuntime};
+use homeo_sim::DetRng;
+use homeo_store::Engine;
+
+use crate::msg::{CounterMeta, Message};
+use crate::transport::{ChannelTransport, Input, Transport, CLIENT};
+use crate::worker::SiteWorker;
+use crate::ClusterConfig;
+
+/// Control-plane commands the coordinating thread (or a client attachment)
+/// sends to a worker thread alongside protocol frames.
+#[derive(Debug)]
+pub enum Control {
+    /// Reply with the outcomes of every submitted operation once the site
+    /// is idle (all operations completed).
+    Poll {
+        /// Where to send the outcomes.
+        reply: Sender<Vec<OpOutcome>>,
+    },
+    /// Fold every registered counter and reply with the total solver time.
+    Synchronize {
+        /// Where to send the solver micros.
+        reply: Sender<u64>,
+    },
+    /// Reply with the worker's aggregate statistics.
+    Stats {
+        /// Where to send the statistics.
+        reply: Sender<ReplicatedStats>,
+    },
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+/// A set of replicated counters executed by per-site worker threads that
+/// communicate only through length-prefixed [`Message`] frames.
+pub struct ThreadedCluster {
+    engines: Vec<Arc<Engine>>,
+    transport: ChannelTransport,
+    handles: Vec<JoinHandle<()>>,
+    registered: BTreeSet<ObjId>,
+    config: ClusterConfig,
+    /// Negotiations run by the registration path (worker statistics are
+    /// aggregated on top by [`ThreadedCluster::stats`]).
+    registration_negotiations: u64,
+}
+
+impl ThreadedCluster {
+    /// Spawns `sites` worker threads over fresh (empty) engines.
+    pub fn new(sites: usize, config: ClusterConfig) -> Self {
+        assert!(sites > 0);
+        Self::from_engines((0..sites).map(|_| Engine::new()).collect(), config)
+    }
+
+    /// Spawns one worker thread per pre-populated engine.
+    pub fn from_engines(engines: Vec<Engine>, config: ClusterConfig) -> Self {
+        assert!(!engines.is_empty());
+        let sites = engines.len();
+        let engines: Vec<Arc<Engine>> = engines.into_iter().map(Arc::new).collect();
+        let hints = config.hints(sites);
+        let mut senders = Vec::with_capacity(sites);
+        let mut receivers = Vec::with_capacity(sites);
+        for _ in 0..sites {
+            let (tx, rx) = channel::<Input>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let transport = ChannelTransport::new(senders);
+        let handles = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(site, rx)| {
+                let worker = SiteWorker::new(
+                    site,
+                    sites,
+                    config.mode,
+                    hints.clone(),
+                    config.timer,
+                    engines[site].clone(),
+                );
+                let transport = transport.clone();
+                std::thread::Builder::new()
+                    .name(format!("homeo-site-{site}"))
+                    .spawn(move || worker_loop(worker, rx, transport))
+                    .expect("spawn site worker thread")
+            })
+            .collect();
+        ThreadedCluster {
+            engines,
+            transport,
+            handles,
+            registered: BTreeSet::new(),
+            config,
+            registration_negotiations: 0,
+        }
+    }
+
+    /// Registers a counter cluster-wide: the initial value is written
+    /// through every site's engine (WAL-logged), the initial treaty is
+    /// negotiated here, and the metadata is broadcast to every worker.
+    /// Ordering is safe without an ack round: a worker's channel delivers
+    /// its `Register` before any frame caused by a later `submit`, because
+    /// every frame chain is causally ordered behind this broadcast.
+    /// Returns the solver time in microseconds.
+    pub fn register(&mut self, obj: ObjId, initial: i64, lower_bound: i64) -> u64 {
+        if !self.registered.insert(obj.clone()) {
+            return 0;
+        }
+        for engine in &self.engines {
+            engine
+                .write_logged(obj.as_str(), initial)
+                .expect("population write cannot conflict");
+        }
+        let sites = self.engines.len();
+        let (allowances, solver_micros) = negotiate_allowances(
+            self.config.mode,
+            &self.config.hints(sites),
+            sites,
+            initial,
+            lower_bound,
+            self.config.timer,
+        );
+        self.registration_negotiations += 1;
+        let meta = CounterMeta {
+            obj,
+            base: initial,
+            lower_bound,
+            allowances,
+        };
+        for site in 0..sites {
+            self.transport.send(
+                CLIENT,
+                site,
+                Message::Register { meta: meta.clone() }.encode(),
+            );
+        }
+        solver_micros
+    }
+
+    /// True when the counter has been registered.
+    pub fn is_registered(&self, obj: &ObjId) -> bool {
+        self.registered.contains(obj)
+    }
+
+    /// A client attachment for one site, usable from its own thread: load
+    /// generators create one per site and drive them in parallel. At most
+    /// one attachment per site should poll at a time (outcomes are drained
+    /// to whichever poll completes first).
+    pub fn client(&self, site: usize) -> ClusterClient {
+        assert!(site < self.engines.len());
+        ClusterClient {
+            site,
+            transport: self.transport.clone(),
+        }
+    }
+
+    /// Aggregate statistics: every worker's counters plus the
+    /// registration-path negotiations.
+    pub fn stats(&self) -> ReplicatedStats {
+        let mut total = ReplicatedStats {
+            negotiations: self.registration_negotiations,
+            ..ReplicatedStats::default()
+        };
+        for site in 0..self.engines.len() {
+            let (tx, rx) = channel();
+            self.transport.control(site, Control::Stats { reply: tx });
+            let stats = rx.recv().expect("site worker terminated");
+            total.local_commits += stats.local_commits;
+            total.synchronizations += stats.synchronizations;
+            total.negotiations += stats.negotiations;
+        }
+        total
+    }
+}
+
+impl SiteRuntime for ThreadedCluster {
+    fn sites(&self) -> usize {
+        self.engines.len()
+    }
+
+    fn engine(&self, site: usize) -> &Engine {
+        &self.engines[site]
+    }
+
+    fn submit(&mut self, site: usize, op: SiteOp) {
+        self.transport
+            .send(CLIENT, site, Message::Submit { op }.encode());
+    }
+
+    fn poll(&mut self, site: usize) -> Vec<OpOutcome> {
+        let (tx, rx) = channel();
+        self.transport.control(site, Control::Poll { reply: tx });
+        rx.recv().expect("site worker terminated")
+    }
+
+    fn synchronize(&mut self, site: usize) -> u64 {
+        let (tx, rx) = channel();
+        self.transport
+            .control(site, Control::Synchronize { reply: tx });
+        rx.recv().expect("site worker terminated")
+    }
+
+    fn ensure_registered(&mut self, obj: &ObjId, initial: i64, lower_bound: i64) {
+        if !self.is_registered(obj) {
+            self.register(obj.clone(), initial, lower_bound);
+        }
+    }
+}
+
+impl Drop for ThreadedCluster {
+    fn drop(&mut self) {
+        for site in 0..self.engines.len() {
+            self.transport.control(site, Control::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A per-site client attachment (see [`ThreadedCluster::client`]).
+pub struct ClusterClient {
+    site: usize,
+    transport: ChannelTransport,
+}
+
+impl ClusterClient {
+    /// The attached site.
+    pub fn site(&self) -> usize {
+        self.site
+    }
+
+    /// Submits an operation to the attached site's inbox.
+    pub fn submit(&mut self, op: SiteOp) {
+        self.transport
+            .send(CLIENT, self.site, Message::Submit { op }.encode());
+    }
+
+    /// Blocks until every submitted operation has completed and returns
+    /// their outcomes (submission order).
+    pub fn poll(&self) -> Vec<OpOutcome> {
+        let (tx, rx) = channel();
+        self.transport
+            .control(self.site, Control::Poll { reply: tx });
+        rx.recv().expect("site worker terminated")
+    }
+}
+
+/// The per-site worker thread: pump frames and control commands off the
+/// channel, ship the worker's outbox through the transport, and answer
+/// poll/synchronize once the worker reaches the requested state.
+fn worker_loop(mut worker: SiteWorker, rx: Receiver<Input>, mut transport: ChannelTransport) {
+    let mut out = Vec::new();
+    let mut poll_replies: Vec<Sender<Vec<OpOutcome>>> = Vec::new();
+    let mut sync_reply: Option<Sender<u64>> = None;
+    loop {
+        let input = match rx.recv() {
+            Ok(input) => input,
+            Err(_) => return, // cluster dropped
+        };
+        match input {
+            Input::Frame(from, frame) => {
+                let msg = Message::decode(&frame).expect("malformed frame on the wire");
+                worker.handle(from, msg, &mut out);
+            }
+            Input::Control(Control::Poll { reply }) => poll_replies.push(reply),
+            Input::Control(Control::Synchronize { reply }) => {
+                worker.begin_full_sync(&mut out);
+                sync_reply = Some(reply);
+            }
+            Input::Control(Control::Stats { reply }) => {
+                let _ = reply.send(worker.stats);
+            }
+            Input::Control(Control::Shutdown) => return,
+        }
+        for (to, msg) in out.drain(..) {
+            transport.send(worker.site(), to, msg.encode());
+        }
+        if worker.idle() && !poll_replies.is_empty() {
+            let mut outcomes = Some(worker.take_completed());
+            for reply in poll_replies.drain(..) {
+                let _ = reply.send(outcomes.take().unwrap_or_default());
+            }
+        }
+        if let Some(total) = worker.take_full_sync_result() {
+            if let Some(reply) = sync_reply.take() {
+                let _ = reply.send(total);
+            }
+        }
+    }
+}
+
+/// The report of one [`threaded_load`] run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Worker threads (= sites) under load.
+    pub sites: usize,
+    /// Operations committed across all sites.
+    pub committed: u64,
+    /// Operations that required a synchronization round.
+    pub synchronized: u64,
+    /// Wall-clock duration of the measured phase, in seconds.
+    pub elapsed_secs: f64,
+    /// Committed operations per wall-clock second (all sites).
+    pub throughput: f64,
+}
+
+/// The `--threads` load mode: `sites` worker threads, one client thread per
+/// site, every client issuing `ops_per_site` seeded order transactions
+/// against a shared set of counters. Real threads, real channels, real
+/// wall-clock — the one measurement the virtual-clock simulator cannot
+/// provide.
+pub fn threaded_load(sites: usize, ops_per_site: usize, items: usize, seed: u64) -> LoadReport {
+    assert!(sites > 0 && items > 0);
+    let config = ClusterConfig::new(ReplicatedMode::EvenSplit);
+    let mut cluster = ThreadedCluster::new(sites, config);
+    let refill = 1_000;
+    for item in 0..items {
+        cluster.register(ObjId::new(format!("stock[{item}]")), refill, 1);
+    }
+    let started = std::time::Instant::now();
+    let batch = 64usize;
+    let results: Vec<(u64, u64)> = std::thread::scope(|scope| {
+        let clients: Vec<_> = (0..sites)
+            .map(|site| {
+                let mut client = cluster.client(site);
+                scope.spawn(move || {
+                    let mut rng = DetRng::seed_from(seed ^ (site as u64).wrapping_mul(0x9E37));
+                    let mut committed = 0u64;
+                    let mut synchronized = 0u64;
+                    let mut issued = 0usize;
+                    while issued < ops_per_site {
+                        let n = batch.min(ops_per_site - issued);
+                        for _ in 0..n {
+                            client.submit(SiteOp::Order {
+                                obj: ObjId::new(format!("stock[{}]", rng.index(items))),
+                                amount: 1,
+                                refill_to: Some(refill - 1),
+                            });
+                        }
+                        issued += n;
+                        for outcome in client.poll() {
+                            if outcome.committed {
+                                committed += 1;
+                            }
+                            if outcome.synchronized {
+                                synchronized += 1;
+                            }
+                        }
+                    }
+                    (committed, synchronized)
+                })
+            })
+            .collect();
+        clients
+            .into_iter()
+            .map(|h| h.join().expect("load client panicked"))
+            .collect()
+    });
+    let elapsed_secs = started.elapsed().as_secs_f64();
+    let committed: u64 = results.iter().map(|(c, _)| c).sum();
+    let synchronized: u64 = results.iter().map(|(_, s)| s).sum();
+    LoadReport {
+        sites,
+        committed,
+        synchronized,
+        elapsed_secs,
+        throughput: committed as f64 / elapsed_secs.max(f64::MIN_POSITIVE),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homeo_sim::Timer;
+
+    fn stock(i: usize) -> ObjId {
+        ObjId::new(format!("stock[{i}]"))
+    }
+
+    fn cluster(sites: usize) -> ThreadedCluster {
+        ThreadedCluster::new(
+            sites,
+            ClusterConfig::new(ReplicatedMode::EvenSplit).with_timer(Timer::fixed_zero()),
+        )
+    }
+
+    #[test]
+    fn orders_execute_on_worker_threads_and_reach_the_engines() {
+        let mut cluster = cluster(2);
+        cluster.register(stock(0), 101, 1);
+        for i in 0..10 {
+            let out = cluster.execute(
+                i % 2,
+                SiteOp::Order {
+                    obj: stock(0),
+                    amount: 1,
+                    refill_to: Some(100),
+                },
+            );
+            assert!(out.committed);
+        }
+        // Engines really moved and the writes were WAL-logged.
+        let total: i64 = (0..2)
+            .map(|s| cluster.engine(s).peek(stock(0).as_str()))
+            .sum();
+        assert_eq!(total, 2 * 101 - 10);
+        assert!(cluster.engine(0).wal_len() > 0);
+        let stats = cluster.stats();
+        assert_eq!(stats.local_commits, 10);
+    }
+
+    #[test]
+    fn violations_synchronize_across_threads() {
+        let mut cluster = cluster(2);
+        cluster.register(stock(0), 11, 1);
+        let mut synced = 0;
+        for i in 0..30 {
+            let out = cluster.execute(
+                i % 2,
+                SiteOp::Order {
+                    obj: stock(0),
+                    amount: 1,
+                    refill_to: Some(10),
+                },
+            );
+            assert!(out.committed, "op {i}");
+            if out.synchronized {
+                synced += 1;
+                assert_eq!(out.comm_rounds, 2);
+            }
+        }
+        assert!(synced > 0, "30 decrements over 10 headroom must sync");
+        // The even split matches the demarcation maths: after a refill to
+        // 10 with lower bound 1, each site gets (10-1)/2 = 4 decrements.
+        assert!(cluster.stats().synchronizations >= synced);
+    }
+
+    #[test]
+    fn batched_submits_poll_in_submission_order() {
+        let mut cluster = cluster(3);
+        cluster.register(stock(0), 100, 1);
+        cluster.register(stock(1), 100, 1);
+        for item in [0usize, 1, 0, 1] {
+            cluster.submit(
+                1,
+                SiteOp::Order {
+                    obj: stock(item),
+                    amount: 1,
+                    refill_to: Some(99),
+                },
+            );
+        }
+        let outcomes = cluster.poll(1);
+        assert_eq!(outcomes.len(), 4);
+        assert!(outcomes.iter().all(|o| o.committed));
+        assert!(cluster.poll(1).is_empty());
+    }
+
+    #[test]
+    fn synchronize_folds_everything_and_all_sites_agree() {
+        let mut cluster = cluster(3);
+        for i in 0..5 {
+            cluster.register(stock(i), 60, 1);
+        }
+        for i in 0..30 {
+            let out = cluster.execute(
+                i % 3,
+                SiteOp::Order {
+                    obj: stock(i % 5),
+                    amount: 1,
+                    refill_to: Some(59),
+                },
+            );
+            assert!(out.committed);
+        }
+        cluster.synchronize(0);
+        for i in 0..5 {
+            let expected = cluster.value_at(0, &stock(i));
+            for site in 1..3 {
+                assert_eq!(cluster.value_at(site, &stock(i)), expected, "stock[{i}]");
+            }
+            assert_eq!(expected, 60 - 6, "each counter took 6 decrements");
+        }
+    }
+
+    #[test]
+    fn parallel_clients_drive_all_sites_concurrently() {
+        let report = threaded_load(4, 300, 16, 7);
+        assert_eq!(report.sites, 4);
+        assert_eq!(report.committed, 4 * 300);
+        assert!(report.throughput > 0.0);
+    }
+
+    #[test]
+    fn threaded_cluster_matches_the_serial_oracle() {
+        // The concurrency acid test: interleave order streams over real
+        // threads, then check the folded state against the serial oracle
+        // (every op either commits within its allowance or serializes
+        // through its coordinator, so the logical value is order-free).
+        let mut cluster = cluster(2);
+        cluster.register(stock(0), 20, 1);
+        let refill = 35;
+        let mut rng = DetRng::seed_from(99);
+        let mut serial = 20i64;
+        for _ in 0..200 {
+            let site = rng.index(2);
+            let out = cluster.execute(
+                site,
+                SiteOp::Order {
+                    obj: stock(0),
+                    amount: 1,
+                    refill_to: Some(refill - 1),
+                },
+            );
+            assert!(out.committed);
+            serial = if serial > 1 { serial - 1 } else { refill - 1 };
+        }
+        cluster.synchronize(0);
+        assert_eq!(cluster.value_at(0, &stock(0)), serial);
+        assert_eq!(cluster.value_at(1, &stock(0)), serial);
+    }
+}

@@ -1,0 +1,120 @@
+//! The transport seam: how encoded [`Message`](crate::Message) frames move
+//! between sites.
+//!
+//! Workers never hold references to each other — the only way state leaves a
+//! site is `transport.send(from, to, frame)`. Two implementations cover the
+//! two execution backends:
+//!
+//! * [`ChannelTransport`] — `std::sync::mpsc` senders into real worker
+//!   threads ([`ThreadedCluster`](crate::ThreadedCluster)); per-pair FIFO,
+//!   no faults, hardware-speed.
+//! * `SimTransport` (module [`crate::sim`]) — a deterministic fault
+//!   injector over a virtual clock: per-pair delay from an
+//!   [`homeo_sim::RttMatrix`], seeded jitter/reordering, drops surfaced as
+//!   retransmission delay, symmetric partitions and site kill/restart.
+
+use std::sync::mpsc::Sender;
+
+/// Sender id used for frames originating from the client attachment (the
+/// coordinating thread or a load-generator client) rather than a peer site.
+/// Client frames are exempt from fault injection: the client "connection" is
+/// local to the site, only site-to-site traffic crosses the network.
+pub const CLIENT: usize = usize::MAX;
+
+/// Moves one encoded [`Message`](crate::Message) frame from `from` to `to`.
+///
+/// Implementations must preserve causal order per sender pair for live,
+/// connected sites (the sync protocol's ack barriers make that sufficient
+/// for correctness); they may delay, reorder across pairs, or hold frames
+/// for partitioned or dead destinations.
+pub trait Transport {
+    /// Ships `frame` from site `from` (or [`CLIENT`]) to site `to`.
+    fn send(&mut self, from: usize, to: usize, frame: Vec<u8>);
+}
+
+/// What a worker thread receives: either a peer/client frame or a
+/// control-plane command from the owning [`ThreadedCluster`](crate::ThreadedCluster).
+#[derive(Debug)]
+pub enum Input {
+    /// An encoded [`Message`](crate::Message) frame from `from`.
+    Frame(usize, Vec<u8>),
+    /// A control command (poll, synchronize, register, stats, shutdown).
+    Control(crate::threaded::Control),
+}
+
+/// The real-thread transport: one `mpsc` channel per site, frames delivered
+/// in send order per sender, no faults. Cloned into every worker thread and
+/// into client attachments.
+#[derive(Clone)]
+pub struct ChannelTransport {
+    peers: Vec<Sender<Input>>,
+}
+
+impl ChannelTransport {
+    /// Builds the transport over the per-site input channels.
+    pub(crate) fn new(peers: Vec<Sender<Input>>) -> Self {
+        ChannelTransport { peers }
+    }
+
+    /// Number of reachable sites.
+    pub fn sites(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Sends a control command to a site's worker thread.
+    pub(crate) fn control(&self, to: usize, cmd: crate::threaded::Control) {
+        // A send error means the worker is gone (panicked or shut down);
+        // the caller's reply-channel recv will surface that.
+        let _ = self.peers[to].send(Input::Control(cmd));
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn send(&mut self, from: usize, to: usize, frame: Vec<u8>) {
+        let _ = self.peers[to].send(Input::Frame(from, frame));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Message;
+    use std::sync::mpsc::channel;
+
+    #[test]
+    fn frames_arrive_in_send_order_with_sender_id() {
+        let (tx, rx) = channel();
+        let mut transport = ChannelTransport::new(vec![tx]);
+        assert_eq!(transport.sites(), 1);
+        transport.send(2, 0, Message::StateRequest.encode());
+        transport.send(
+            CLIENT,
+            0,
+            Message::InstallAck {
+                sync: 1,
+                obj: homeo_lang::ids::ObjId::new("x"),
+            }
+            .encode(),
+        );
+        match rx.recv().unwrap() {
+            Input::Frame(from, frame) => {
+                assert_eq!(from, 2);
+                assert_eq!(Message::decode(&frame), Some(Message::StateRequest));
+            }
+            other => panic!("unexpected input {other:?}"),
+        }
+        match rx.recv().unwrap() {
+            Input::Frame(from, frame) => {
+                assert_eq!(from, CLIENT);
+                assert_eq!(
+                    Message::decode(&frame),
+                    Some(Message::InstallAck {
+                        sync: 1,
+                        obj: homeo_lang::ids::ObjId::new("x"),
+                    })
+                );
+            }
+            other => panic!("unexpected input {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,1102 @@
+//! The per-site protocol state machine.
+//!
+//! A [`SiteWorker`] is everything one site knows: its engine (the only
+//! durable state), its treaty metadata, its client inbox and its role in any
+//! in-flight synchronization rounds. It is a *pure message-passing state
+//! machine*: every entry point takes an [`Outbox`] and pushes the frames the
+//! site wants delivered; it never blocks and never touches another site's
+//! state. The threaded backend pumps one worker per OS thread off an `mpsc`
+//! receiver; the simulation backend pumps the same workers off a virtual
+//! clock — identical protocol logic under both schedulers.
+//!
+//! # The synchronization protocol
+//!
+//! Within its treaty a site commits locally (one engine transaction, 2PL +
+//! WAL, no messages). A treaty violation routes to the counter's
+//! *coordinator* — the site `shard_hash(obj) % sites`, aligning sync routing
+//! with shard placement — which serializes rounds per counter:
+//!
+//! 1. `SyncRequest` (origin → coordinator) carries the violating operation.
+//! 2. `DeltaRequest` / `DeltaReply`: every peer reports `value − base` and
+//!    *freezes* the counter (client operations on it stall) so no committed
+//!    delta can be lost between the fold and the install.
+//! 3. The coordinator applies the operation to the folded value,
+//!    renegotiates allowances ([`negotiate_allowances`]), and broadcasts
+//!    `Install`; peers rebase, unfreeze and ack.
+//! 4. When every ack is in, `SyncDone` reports the outcome to the origin
+//!    and the next queued round for that counter starts.
+//!
+//! The ack barrier means at most one round is ever in flight per counter,
+//! which keeps the protocol correct under arbitrary cross-pair reordering.
+//!
+//! # Crash model
+//!
+//! Fail-stop with recovery (simulation backend only): a killed site loses
+//! everything but its WAL. On restart the engine is reopened from the log
+//! frame ([`homeo_store::Engine::reopen_from_frame`]) and the treaty
+//! metadata is refetched from a live peer (`StateRequest` / `StateReply`) —
+//! the paper's "all in-memory state can be recomputed after failure
+//! recovery" stance. Until the state transfer completes the worker defers
+//! every incoming frame, so stale rounds settle before new work starts.
+//! Sites are killed between coordination rounds (fail-stop, not
+//! fail-mid-commit): the harness asserts the victim coordinates no active
+//! round, which the head-of-line client queue makes the common state.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+
+use homeo_lang::ids::ObjId;
+use homeo_protocol::{negotiate_allowances, ReplicatedMode, ReplicatedStats, WorkloadHints};
+use homeo_runtime::{shard_hash, OpOutcome, SiteOp};
+use homeo_sim::Timer;
+use homeo_store::{Engine, EngineError};
+
+use crate::msg::{CounterMeta, Message, SyncKind};
+
+/// Frames a worker wants delivered: `(destination site, message)` pairs,
+/// appended in send order. The owning backend encodes and ships them.
+pub type Outbox = Vec<(usize, Message)>;
+
+/// Treaty state of one counter as one site knows it.
+#[derive(Debug, Clone)]
+struct CounterState {
+    base: i64,
+    lower_bound: i64,
+    allowances: Vec<i64>,
+}
+
+/// One synchronization round this site is coordinating.
+#[derive(Debug)]
+struct ActiveRound {
+    sync: u64,
+    origin: usize,
+    req: u64,
+    kind: SyncKind,
+    deltas: BTreeMap<usize, i64>,
+    acks: BTreeSet<usize>,
+    /// Filled at install time, reported with the final `SyncDone`.
+    outcome: Option<(bool, u64, bool)>, // (refilled, solver_micros, folded)
+}
+
+/// A sync request queued behind the counter's active round.
+#[derive(Debug)]
+struct QueuedRequest {
+    origin: usize,
+    req: u64,
+    kind: SyncKind,
+}
+
+/// An in-progress `synchronize()` (fold of every registered counter).
+#[derive(Debug)]
+struct FullSync {
+    pending: BTreeSet<u64>,
+    solver_micros: u64,
+    complete: bool,
+}
+
+/// The state machine of one site.
+pub struct SiteWorker {
+    site: usize,
+    sites: usize,
+    mode: ReplicatedMode,
+    hints: WorkloadHints,
+    timer: Timer,
+    engine: Arc<Engine>,
+    counters: BTreeMap<ObjId, CounterState>,
+    /// Counters frozen by an in-flight round (value of the map: round id).
+    frozen: BTreeMap<ObjId, u64>,
+    /// Client inbox; executed strictly in submission order (head-of-line).
+    queue: VecDeque<SiteOp>,
+    /// Outcomes of completed operations, in submission order.
+    completed: Vec<OpOutcome>,
+    /// Request id of the head operation awaiting its `SyncDone`.
+    waiting: Option<u64>,
+    /// Coordinator duties: one active round per counter, the rest queued.
+    active: BTreeMap<ObjId, ActiveRound>,
+    backlog: BTreeMap<ObjId, VecDeque<QueuedRequest>>,
+    full_sync: Option<FullSync>,
+    next_req: u64,
+    next_sync: u64,
+    /// While `true` (post-restart), every frame is deferred to
+    /// `recovery_backlog` until the `StateReply` arrives.
+    recovering: bool,
+    recovery_backlog: VecDeque<(usize, Message)>,
+    /// Aggregate statistics (local commits, synchronizations this site
+    /// coordinated, negotiations this site ran).
+    pub stats: ReplicatedStats,
+}
+
+impl SiteWorker {
+    /// Creates the worker for `site` of `sites`, owning `engine`.
+    pub fn new(
+        site: usize,
+        sites: usize,
+        mode: ReplicatedMode,
+        hints: WorkloadHints,
+        timer: Timer,
+        engine: Arc<Engine>,
+    ) -> Self {
+        assert!(site < sites);
+        assert_eq!(hints.site_weights.len(), sites);
+        SiteWorker {
+            site,
+            sites,
+            mode,
+            hints,
+            timer,
+            engine,
+            counters: BTreeMap::new(),
+            frozen: BTreeMap::new(),
+            queue: VecDeque::new(),
+            completed: Vec::new(),
+            waiting: None,
+            active: BTreeMap::new(),
+            backlog: BTreeMap::new(),
+            full_sync: None,
+            next_req: 0,
+            next_sync: 0,
+            recovering: false,
+            recovery_backlog: VecDeque::new(),
+            stats: ReplicatedStats::default(),
+        }
+    }
+
+    /// This worker's site id.
+    pub fn site(&self) -> usize {
+        self.site
+    }
+
+    /// The site's storage engine.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// The coordinator of a counter: `shard_hash(obj) % sites`.
+    pub fn coordinator(&self, obj: &ObjId) -> usize {
+        (shard_hash(obj) % self.sites as u64) as usize
+    }
+
+    /// True when every submitted operation has completed.
+    pub fn idle(&self) -> bool {
+        self.queue.is_empty() && self.waiting.is_none()
+    }
+
+    /// True when this site coordinates no in-flight round (the precondition
+    /// for a fail-stop kill in the simulation backend).
+    pub fn quiescent_coordinator(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// True when this site is not frozen inside any peer-coordinated round
+    /// (the other half of the fail-stop-between-rounds precondition: a
+    /// frozen participant has reported a delta that the round's `Install`
+    /// will rebase, so killing it mid-round could let that install land
+    /// after recovery and silently erase a post-restart commit).
+    pub fn quiescent_participant(&self) -> bool {
+        self.frozen.is_empty()
+    }
+
+    /// Installs a counter's treaty metadata directly (registration).
+    pub fn install_counter(&mut self, meta: CounterMeta) {
+        self.counters.insert(
+            meta.obj,
+            CounterState {
+                base: meta.base,
+                lower_bound: meta.lower_bound,
+                allowances: meta.allowances,
+            },
+        );
+    }
+
+    /// True when the counter's treaty is known to this site.
+    pub fn knows_counter(&self, obj: &ObjId) -> bool {
+        self.counters.contains_key(obj)
+    }
+
+    /// The synchronized base this site holds for a counter, if known.
+    pub fn counter_base(&self, obj: &ObjId) -> Option<i64> {
+        self.counters.get(obj).map(|state| state.base)
+    }
+
+    /// Drains the outcomes of completed operations (submission order).
+    pub fn take_completed(&mut self) -> Vec<OpOutcome> {
+        std::mem::take(&mut self.completed)
+    }
+
+    // ------------------------------------------------------------------
+    // Client surface
+    // ------------------------------------------------------------------
+
+    /// Enqueues a client operation and pumps the queue.
+    pub fn submit(&mut self, op: SiteOp, out: &mut Outbox) {
+        self.queue.push_back(op);
+        self.pump(out);
+    }
+
+    /// Starts a fold of every registered counter (the message-passing form
+    /// of `SiteRuntime::synchronize`). The result is available through
+    /// [`SiteWorker::take_full_sync_result`] once every per-counter round
+    /// reports back.
+    ///
+    /// # Panics
+    /// Panics if a full synchronization is already in flight.
+    pub fn begin_full_sync(&mut self, out: &mut Outbox) {
+        assert!(
+            self.full_sync.is_none(),
+            "a full synchronization is already in flight"
+        );
+        let objs: Vec<ObjId> = self.counters.keys().cloned().collect();
+        let mut pending = BTreeSet::new();
+        for obj in objs {
+            let req = self.fresh_req();
+            pending.insert(req);
+            out.push((
+                self.coordinator(&obj),
+                Message::SyncRequest {
+                    req,
+                    obj,
+                    kind: SyncKind::Fold,
+                },
+            ));
+        }
+        let complete = pending.is_empty();
+        self.full_sync = Some(FullSync {
+            pending,
+            solver_micros: 0,
+            complete,
+        });
+    }
+
+    /// The total solver time of a completed full synchronization, if one
+    /// has finished since the last call.
+    pub fn take_full_sync_result(&mut self) -> Option<u64> {
+        if self.full_sync.as_ref().is_some_and(|fs| fs.complete) {
+            self.full_sync.take().map(|fs| fs.solver_micros)
+        } else {
+            None
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Frame handling
+    // ------------------------------------------------------------------
+
+    /// Handles one delivered frame.
+    pub fn handle(&mut self, from: usize, msg: Message, out: &mut Outbox) {
+        if self.recovering {
+            if let Message::StateReply { counters } = msg {
+                self.finish_recovery(counters, out);
+            } else {
+                self.recovery_backlog.push_back((from, msg));
+            }
+            return;
+        }
+        match msg {
+            Message::Submit { op } => self.submit(op, out),
+            Message::Register { meta } => self.install_counter(meta),
+            Message::SyncRequest { req, obj, kind } => {
+                self.on_sync_request(from, req, obj, kind, out)
+            }
+            Message::DeltaRequest { sync, obj } => {
+                let meta = self
+                    .counters
+                    .get(&obj)
+                    .unwrap_or_else(|| panic!("delta request for unknown counter `{obj}`"));
+                let delta = self.engine.peek(obj.as_str()) - meta.base;
+                // Freeze: no local commit may move the counter between this
+                // reply and the round's install. A stale freeze can only
+                // be overwritten by the same coordinator's next round,
+                // which the ack barrier orders after our install.
+                self.frozen.insert(obj.clone(), sync);
+                out.push((from, Message::DeltaReply { sync, obj, delta }));
+            }
+            Message::DeltaReply { sync, obj, delta } => {
+                let complete = match self.active.get_mut(&obj) {
+                    Some(round) if round.sync == sync => {
+                        round.deltas.insert(from, delta);
+                        round.deltas.len() == self.sites
+                    }
+                    _ => false, // stale reply from a superseded round
+                };
+                if complete {
+                    self.finish_collect(&obj, out);
+                }
+            }
+            Message::Install { sync, meta, apply } => {
+                let obj = meta.obj.clone();
+                if apply {
+                    self.engine
+                        .write_logged(obj.as_str(), meta.base)
+                        .expect("install runs between local transactions");
+                    self.install_counter(meta);
+                }
+                self.frozen.remove(&obj);
+                out.push((from, Message::InstallAck { sync, obj }));
+                self.pump(out);
+            }
+            Message::InstallAck { sync, obj } => {
+                let complete = match self.active.get_mut(&obj) {
+                    Some(round) if round.sync == sync => {
+                        round.acks.insert(from);
+                        round.acks.len() == self.sites - 1
+                    }
+                    _ => false,
+                };
+                if complete {
+                    self.complete_round(&obj, out);
+                }
+            }
+            Message::SyncDone {
+                req,
+                refilled,
+                solver_micros,
+                folded: _,
+            } => self.on_sync_done(req, refilled, solver_micros, out),
+            Message::StateRequest => {
+                let counters = self
+                    .counters
+                    .iter()
+                    .map(|(obj, state)| CounterMeta {
+                        obj: obj.clone(),
+                        base: state.base,
+                        lower_bound: state.lower_bound,
+                        allowances: state.allowances.clone(),
+                    })
+                    .collect();
+                out.push((from, Message::StateReply { counters }));
+            }
+            Message::StateReply { .. } => {
+                // Only meaningful while recovering; ignore otherwise.
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Crash recovery (simulation backend)
+    // ------------------------------------------------------------------
+
+    /// Restarts the worker after a fail-stop crash: `engine` is the engine
+    /// reopened from the site's WAL frame; all volatile protocol state
+    /// (treaty metadata, freezes, coordination rounds) is discarded and
+    /// refetched from `buddy` via `StateRequest`. The client attachment
+    /// (queued operations, completed outcomes, the id allocators) survives —
+    /// it models the clients and the persisted epoch counter, not site RAM.
+    pub fn crash_restart(&mut self, engine: Arc<Engine>, buddy: usize, out: &mut Outbox) {
+        assert_ne!(buddy, self.site, "a site cannot recover state from itself");
+        self.engine = engine;
+        self.counters.clear();
+        self.frozen.clear();
+        self.active.clear();
+        self.backlog.clear();
+        self.recovering = true;
+        out.push((buddy, Message::StateRequest));
+    }
+
+    fn finish_recovery(&mut self, counters: Vec<CounterMeta>, out: &mut Outbox) {
+        for meta in counters {
+            self.install_counter(meta);
+        }
+        self.recovering = false;
+        let backlog: Vec<(usize, Message)> = self.recovery_backlog.drain(..).collect();
+        for (from, msg) in backlog {
+            self.handle(from, msg, out);
+        }
+        self.pump(out);
+    }
+
+    // ------------------------------------------------------------------
+    // Client queue pump (head-of-line, submission order)
+    // ------------------------------------------------------------------
+
+    fn pump(&mut self, out: &mut Outbox) {
+        if self.recovering {
+            return;
+        }
+        while self.waiting.is_none() {
+            let Some(op) = self.queue.front().cloned() else {
+                break;
+            };
+            match op {
+                SiteOp::Order {
+                    obj,
+                    amount,
+                    refill_to,
+                } => {
+                    if self.frozen.contains_key(&obj) {
+                        break; // stalled until the in-flight round installs
+                    }
+                    if !self.try_local_order(&obj, amount) {
+                        // Treaty violation: hand the operation to the
+                        // counter's coordinator for a serialized round.
+                        self.queue.pop_front();
+                        let req = self.fresh_req();
+                        self.waiting = Some(req);
+                        out.push((
+                            self.coordinator(&obj),
+                            Message::SyncRequest {
+                                req,
+                                obj,
+                                kind: SyncKind::Order { amount, refill_to },
+                            },
+                        ));
+                        break;
+                    }
+                    self.queue.pop_front();
+                }
+                SiteOp::Increment { obj, amount } => {
+                    if self.frozen.contains_key(&obj) {
+                        break;
+                    }
+                    assert!(
+                        self.counters.contains_key(&obj),
+                        "counter `{obj}` not registered"
+                    );
+                    let outcome = match self.engine_rmw(&obj, |v| v + amount.abs()) {
+                        Ok(()) => {
+                            self.stats.local_commits += 1;
+                            OpOutcome::local_commit()
+                        }
+                        Err(EngineError::WouldBlock { .. }) => OpOutcome::default(),
+                        Err(e) => panic!("counter read failed: {e}"),
+                    };
+                    self.completed.push(outcome);
+                    self.queue.pop_front();
+                }
+                SiteOp::ForceSync { obj } => {
+                    if self.frozen.contains_key(&obj) {
+                        break;
+                    }
+                    if !self.counters.contains_key(&obj) {
+                        // Mirror `ReplicatedRuntime::force_sync` on an
+                        // unregistered counter: a degenerate negotiation.
+                        self.stats.negotiations += 1;
+                        self.stats.synchronizations += 1;
+                        self.completed.push(OpOutcome::synchronized(false, 0));
+                        self.queue.pop_front();
+                        continue;
+                    }
+                    self.queue.pop_front();
+                    let req = self.fresh_req();
+                    self.waiting = Some(req);
+                    out.push((
+                        self.coordinator(&obj),
+                        Message::SyncRequest {
+                            req,
+                            obj,
+                            kind: SyncKind::Pin,
+                        },
+                    ));
+                    break;
+                }
+                SiteOp::Transaction { .. } => {
+                    panic!(
+                        "the cluster runtime executes counter operations, not general transactions"
+                    )
+                }
+            }
+        }
+    }
+
+    /// Attempts the within-treaty fast path of an order. Returns `false` on
+    /// a treaty violation (nothing committed); pushes the outcome and
+    /// returns `true` otherwise.
+    fn try_local_order(&mut self, obj: &ObjId, amount: i64) -> bool {
+        assert!(amount >= 0);
+        let meta = self
+            .counters
+            .get(obj)
+            .unwrap_or_else(|| panic!("counter `{obj}` not registered"));
+        let floor = meta.base + meta.allowances[self.site];
+        let engine = &*self.engine;
+        let mut txn = engine.begin();
+        let value = match engine.read(&txn, obj.as_str()) {
+            Ok(v) => v,
+            Err(EngineError::WouldBlock { .. }) => {
+                engine.abort(&mut txn).ok();
+                self.completed.push(OpOutcome::default());
+                return true;
+            }
+            Err(e) => panic!("counter read failed: {e}"),
+        };
+        let new_value = value - amount;
+        if new_value >= floor {
+            engine
+                .write(&txn, obj.as_str(), new_value)
+                .and_then(|()| engine.commit(&mut txn))
+                .expect("writer already holds the lock");
+            self.stats.local_commits += 1;
+            self.completed.push(OpOutcome::local_commit());
+            return true;
+        }
+        engine.abort(&mut txn).expect("abort of active transaction");
+        false
+    }
+
+    fn engine_rmw(&self, obj: &ObjId, f: impl FnOnce(i64) -> i64) -> Result<(), EngineError> {
+        let engine = &*self.engine;
+        let mut txn = engine.begin();
+        match engine.read(&txn, obj.as_str()) {
+            Ok(value) => engine
+                .write(&txn, obj.as_str(), f(value))
+                .and_then(|()| engine.commit(&mut txn)),
+            Err(e) => {
+                engine.abort(&mut txn).ok();
+                Err(e)
+            }
+        }
+    }
+
+    fn on_sync_done(&mut self, req: u64, refilled: bool, solver_micros: u64, out: &mut Outbox) {
+        if self.waiting == Some(req) {
+            self.waiting = None;
+            self.completed
+                .push(OpOutcome::synchronized(refilled, solver_micros));
+            self.pump(out);
+            return;
+        }
+        if let Some(fs) = &mut self.full_sync {
+            if fs.pending.remove(&req) {
+                fs.solver_micros += solver_micros;
+                fs.complete = fs.pending.is_empty();
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Coordinator duties
+    // ------------------------------------------------------------------
+
+    fn on_sync_request(
+        &mut self,
+        from: usize,
+        req: u64,
+        obj: ObjId,
+        kind: SyncKind,
+        out: &mut Outbox,
+    ) {
+        debug_assert_eq!(
+            self.coordinator(&obj),
+            self.site,
+            "sync request routed to the wrong coordinator"
+        );
+        self.backlog
+            .entry(obj.clone())
+            .or_default()
+            .push_back(QueuedRequest {
+                origin: from,
+                req,
+                kind,
+            });
+        self.try_start_round(obj, out);
+    }
+
+    fn try_start_round(&mut self, obj: ObjId, out: &mut Outbox) {
+        if self.active.contains_key(&obj) {
+            return; // the ack barrier: one round per counter at a time
+        }
+        let Some(request) = self.backlog.get_mut(&obj).and_then(|q| q.pop_front()) else {
+            return;
+        };
+        let meta = self
+            .counters
+            .get(&obj)
+            .unwrap_or_else(|| panic!("sync requested for unknown counter `{obj}`"));
+        let sync = self.next_sync * self.sites as u64 + self.site as u64;
+        self.next_sync += 1;
+        let own_delta = self.engine.peek(obj.as_str()) - meta.base;
+        self.frozen.insert(obj.clone(), sync);
+        let mut deltas = BTreeMap::new();
+        deltas.insert(self.site, own_delta);
+        self.active.insert(
+            obj.clone(),
+            ActiveRound {
+                sync,
+                origin: request.origin,
+                req: request.req,
+                kind: request.kind,
+                deltas,
+                acks: BTreeSet::new(),
+                outcome: None,
+            },
+        );
+        if self.sites == 1 {
+            self.finish_collect(&obj, out);
+            return;
+        }
+        for peer in 0..self.sites {
+            if peer != self.site {
+                out.push((
+                    peer,
+                    Message::DeltaRequest {
+                        sync,
+                        obj: obj.clone(),
+                    },
+                ));
+            }
+        }
+    }
+
+    /// All deltas are in: execute the request on the folded value,
+    /// renegotiate, install locally and broadcast the install.
+    fn finish_collect(&mut self, obj: &ObjId, out: &mut Outbox) {
+        let round = self.active.get(obj).expect("round active");
+        let meta = self.counters.get(obj).expect("counter known");
+        let logical = meta.base + round.deltas.values().sum::<i64>();
+        let (new_base, refilled, renegotiate) = match &round.kind {
+            SyncKind::Order { amount, refill_to } => {
+                if logical - amount >= meta.lower_bound {
+                    (logical - amount, false, true)
+                } else if let Some(refill) = refill_to {
+                    (*refill, true, true)
+                } else {
+                    // No refill semantics: the decrement applies on the
+                    // consistent state as a fully synchronized operation.
+                    (logical - amount, false, true)
+                }
+            }
+            SyncKind::Pin => (logical, false, true),
+            // A fold of an already-synchronized counter (every delta zero)
+            // releases the freezes without touching any state. The check is
+            // per-site, not on the sum: mixed increments and decrements can
+            // cancel to a zero sum while the replicas still disagree, and a
+            // fold must leave them converged.
+            SyncKind::Fold => (
+                logical,
+                false,
+                round.deltas.values().any(|delta| *delta != 0),
+            ),
+        };
+        let folded = renegotiate;
+        let (allowances, solver_micros) = if renegotiate {
+            self.stats.negotiations += 1;
+            negotiate_allowances(
+                self.mode,
+                &self.hints,
+                self.sites,
+                new_base,
+                meta.lower_bound,
+                self.timer,
+            )
+        } else {
+            (meta.allowances.clone(), 0)
+        };
+        let install_meta = CounterMeta {
+            obj: obj.clone(),
+            base: new_base,
+            lower_bound: meta.lower_bound,
+            allowances,
+        };
+        if renegotiate {
+            self.engine
+                .write_logged(obj.as_str(), new_base)
+                .expect("install runs between local transactions");
+            self.install_counter(install_meta.clone());
+        }
+        self.frozen.remove(obj);
+        let round = self.active.get_mut(obj).expect("round active");
+        round.outcome = Some((refilled, solver_micros, folded));
+        let sync = round.sync;
+        if self.sites == 1 {
+            self.complete_round(obj, out);
+        } else {
+            for peer in 0..self.sites {
+                if peer != self.site {
+                    out.push((
+                        peer,
+                        Message::Install {
+                            sync,
+                            meta: install_meta.clone(),
+                            apply: renegotiate,
+                        },
+                    ));
+                }
+            }
+            // Unfreezing may unblock this site's own client queue.
+            self.pump(out);
+        }
+    }
+
+    fn complete_round(&mut self, obj: &ObjId, out: &mut Outbox) {
+        let round = self.active.remove(obj).expect("round active");
+        let (refilled, solver_micros, folded) =
+            round.outcome.expect("round completed its install phase");
+        if folded {
+            self.stats.synchronizations += 1;
+        }
+        if round.origin == self.site {
+            self.on_sync_done(round.req, refilled, solver_micros, out);
+        } else {
+            out.push((
+                round.origin,
+                Message::SyncDone {
+                    req: round.req,
+                    refilled,
+                    solver_micros,
+                    folded,
+                },
+            ));
+        }
+        self.try_start_round(obj.clone(), out);
+    }
+
+    fn fresh_req(&mut self) -> u64 {
+        let req = self.next_req * self.sites as u64 + self.site as u64;
+        self.next_req += 1;
+        req
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homeo_protocol::OptimizerConfig;
+
+    fn stock(i: usize) -> ObjId {
+        ObjId::new(format!("stock[{i}]"))
+    }
+
+    fn mode() -> ReplicatedMode {
+        ReplicatedMode::Homeostasis {
+            optimizer: Some(OptimizerConfig {
+                lookahead: 10,
+                futures: 2,
+                seed: 21,
+            }),
+        }
+    }
+
+    /// A tiny in-test router: delivers every outbox frame immediately,
+    /// depth-first, until the cluster of workers is quiescent.
+    fn route(workers: &mut [SiteWorker], mut out: Outbox, from: usize) {
+        let mut wire: VecDeque<(usize, usize, Vec<u8>)> = out
+            .drain(..)
+            .map(|(to, msg)| (from, to, msg.encode()))
+            .collect();
+        while let Some((from, to, frame)) = wire.pop_front() {
+            let msg = Message::decode(&frame).expect("well-formed frame");
+            let mut next = Outbox::new();
+            workers[to].handle(from, msg, &mut next);
+            wire.extend(next.drain(..).map(|(dest, msg)| (to, dest, msg.encode())));
+        }
+    }
+
+    fn cluster(sites: usize) -> Vec<SiteWorker> {
+        let workers: Vec<SiteWorker> = (0..sites)
+            .map(|site| {
+                SiteWorker::new(
+                    site,
+                    sites,
+                    mode(),
+                    WorkloadHints::uniform(sites),
+                    Timer::fixed_zero(),
+                    Arc::new(Engine::new()),
+                )
+            })
+            .collect();
+        workers
+    }
+
+    fn register(workers: &mut [SiteWorker], obj: &ObjId, initial: i64, lower_bound: i64) {
+        let sites = workers.len();
+        let (allowances, _) = negotiate_allowances(
+            mode(),
+            &WorkloadHints::uniform(sites),
+            sites,
+            initial,
+            lower_bound,
+            Timer::fixed_zero(),
+        );
+        for worker in workers.iter_mut() {
+            worker
+                .engine()
+                .write_logged(obj.as_str(), initial)
+                .expect("population write");
+            worker.install_counter(CounterMeta {
+                obj: obj.clone(),
+                base: initial,
+                lower_bound,
+                allowances: allowances.clone(),
+            });
+        }
+    }
+
+    fn submit(workers: &mut [SiteWorker], site: usize, op: SiteOp) {
+        let mut out = Outbox::new();
+        workers[site].submit(op, &mut out);
+        route(workers, out, site);
+    }
+
+    #[test]
+    fn local_orders_commit_without_messages() {
+        let mut workers = cluster(2);
+        register(&mut workers, &stock(0), 100, 1);
+        let mut out = Outbox::new();
+        workers[0].submit(
+            SiteOp::Order {
+                obj: stock(0),
+                amount: 1,
+                refill_to: Some(99),
+            },
+            &mut out,
+        );
+        assert!(out.is_empty(), "within-treaty order sent {out:?}");
+        let outcomes = workers[0].take_completed();
+        assert_eq!(outcomes, vec![OpOutcome::local_commit()]);
+        assert_eq!(workers[0].engine().peek(stock(0).as_str()), 99);
+    }
+
+    #[test]
+    fn treaty_violation_runs_a_full_round_and_matches_serial_semantics() {
+        let mut workers = cluster(2);
+        register(&mut workers, &stock(0), 4, 1);
+        // Drain the headroom from site 0 until a violation synchronizes.
+        let mut synced = 0;
+        for _ in 0..12 {
+            submit(
+                &mut workers,
+                0,
+                SiteOp::Order {
+                    obj: stock(0),
+                    amount: 1,
+                    refill_to: Some(9),
+                },
+            );
+            let outcomes = workers[0].take_completed();
+            assert_eq!(outcomes.len(), 1, "head-of-line op must complete");
+            assert!(outcomes[0].committed);
+            if outcomes[0].synchronized {
+                synced += 1;
+                assert_eq!(outcomes[0].comm_rounds, 2);
+            }
+        }
+        assert!(synced > 0, "12 decrements over 3 headroom must synchronize");
+        // Serial decrement-or-refill oracle over the same stream.
+        let mut serial = 4i64;
+        for _ in 0..12 {
+            serial = if serial > 1 { serial - 1 } else { 9 };
+        }
+        let logical: i64 = {
+            let base_site = 0;
+            let _ = base_site;
+            // logical = folded value: every site's engine value minus base,
+            // but after the last op all workers agree or hold base+delta.
+            let w0 = workers[0].engine().peek(stock(0).as_str());
+            let w1 = workers[1].engine().peek(stock(0).as_str());
+            let base = workers[0].counters[&stock(0)].base;
+            base + (w0 - base) + (w1 - base)
+        };
+        assert_eq!(logical, serial);
+    }
+
+    #[test]
+    fn increments_commit_locally_and_never_message() {
+        let mut workers = cluster(3);
+        let balance = ObjId::new("balance[0]");
+        register(&mut workers, &balance, 0, -1_000_000);
+        for i in 0..9 {
+            let mut out = Outbox::new();
+            workers[i % 3].submit(
+                SiteOp::Increment {
+                    obj: balance.clone(),
+                    amount: 5,
+                },
+                &mut out,
+            );
+            assert!(out.is_empty());
+        }
+        let total: i64 = workers
+            .iter()
+            .map(|w| {
+                let base = w.counters[&balance].base;
+                w.engine().peek(balance.as_str()) - base
+            })
+            .sum();
+        assert_eq!(total, 45);
+    }
+
+    #[test]
+    fn force_sync_folds_deltas_on_every_site() {
+        let mut workers = cluster(2);
+        register(&mut workers, &stock(0), 10, 0);
+        submit(
+            &mut workers,
+            0,
+            SiteOp::Order {
+                obj: stock(0),
+                amount: 1,
+                refill_to: None,
+            },
+        );
+        submit(&mut workers, 1, SiteOp::ForceSync { obj: stock(0) });
+        let outcomes = workers[1].take_completed();
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].synchronized);
+        // After the pin-round both engines hold the folded value.
+        assert_eq!(workers[0].engine().peek(stock(0).as_str()), 9);
+        assert_eq!(workers[1].engine().peek(stock(0).as_str()), 9);
+        assert_eq!(workers[0].counters[&stock(0)].base, 9);
+        assert_eq!(workers[1].counters[&stock(0)].base, 9);
+    }
+
+    #[test]
+    fn full_sync_reports_once_all_counters_fold() {
+        let mut workers = cluster(2);
+        register(&mut workers, &stock(0), 50, 1);
+        register(&mut workers, &stock(1), 50, 1);
+        submit(
+            &mut workers,
+            0,
+            SiteOp::Order {
+                obj: stock(0),
+                amount: 3,
+                refill_to: Some(49),
+            },
+        );
+        let mut out = Outbox::new();
+        workers[1].begin_full_sync(&mut out);
+        assert!(workers[1].take_full_sync_result().is_none());
+        route(&mut workers, out, 1);
+        assert!(workers[1].take_full_sync_result().is_some());
+        // stock[0] folded everywhere; stock[1] (no deltas) untouched.
+        assert_eq!(workers[1].engine().peek(stock(0).as_str()), 47);
+        assert_eq!(workers[0].counters[&stock(0)].base, 47);
+        assert_eq!(workers[0].counters[&stock(1)].base, 50);
+    }
+
+    #[test]
+    fn frozen_counters_stall_the_client_queue_until_install() {
+        let mut workers = cluster(2);
+        register(&mut workers, &stock(0), 100, 1);
+        // Freeze stock[0] at site 1 by hand (as an in-flight round would).
+        let mut out = Outbox::new();
+        let coordinator = workers[1].coordinator(&stock(0));
+        workers[1].handle(
+            coordinator,
+            Message::DeltaRequest {
+                sync: 0,
+                obj: stock(0),
+            },
+            &mut out,
+        );
+        out.clear();
+        workers[1].submit(
+            SiteOp::Order {
+                obj: stock(0),
+                amount: 1,
+                refill_to: Some(99),
+            },
+            &mut out,
+        );
+        assert!(
+            workers[1].take_completed().is_empty(),
+            "frozen op must stall"
+        );
+        assert!(!workers[1].idle());
+        // The install releases the freeze and the op completes.
+        let meta = CounterMeta {
+            obj: stock(0),
+            base: 100,
+            lower_bound: 1,
+            allowances: workers[1].counters[&stock(0)].allowances.clone(),
+        };
+        workers[1].handle(
+            coordinator,
+            Message::Install {
+                sync: 0,
+                meta,
+                apply: true,
+            },
+            &mut out,
+        );
+        let outcomes = workers[1].take_completed();
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].committed);
+        assert!(workers[1].idle());
+    }
+
+    #[test]
+    fn concurrent_violations_on_one_counter_serialize_through_the_backlog() {
+        let mut workers = cluster(3);
+        register(&mut workers, &stock(0), 3, 1);
+        // Exhaust every site's allowance so all three violate at once.
+        let mut outs: Vec<Outbox> = Vec::new();
+        for worker in workers.iter_mut() {
+            let mut out = Outbox::new();
+            worker.submit(
+                SiteOp::Order {
+                    obj: stock(0),
+                    amount: 2,
+                    refill_to: Some(10),
+                },
+                &mut out,
+            );
+            outs.push(out);
+        }
+        for (site, out) in outs.into_iter().enumerate() {
+            route(&mut workers, out, site);
+        }
+        // All three ops complete, and the final state follows the serial
+        // decrement-or-refill semantics of some serialization.
+        let mut committed = 0;
+        for worker in workers.iter_mut() {
+            for outcome in worker.take_completed() {
+                assert!(outcome.committed);
+                committed += 1;
+            }
+        }
+        assert_eq!(committed, 3);
+        let serial = {
+            // 3 → refill-to-10? No: 3-2=1 ≥ lower_bound 1, then 1-2 < 1 →
+            // refill 10, then 10-2=8 (all three serializations agree).
+            8
+        };
+        let base = workers[0].counters[&stock(0)].base;
+        let logical: i64 = base
+            + workers
+                .iter()
+                .map(|w| w.engine().peek(stock(0).as_str()) - base)
+                .sum::<i64>();
+        assert_eq!(logical, serial);
+        for worker in &workers {
+            assert!(worker.quiescent_coordinator());
+        }
+    }
+
+    #[test]
+    fn crash_restart_recovers_engine_from_wal_and_meta_from_a_peer() {
+        let mut workers = cluster(2);
+        register(&mut workers, &stock(0), 100, 1);
+        for _ in 0..5 {
+            submit(
+                &mut workers,
+                1,
+                SiteOp::Order {
+                    obj: stock(0),
+                    amount: 1,
+                    refill_to: Some(99),
+                },
+            );
+        }
+        let frame = workers[1].engine().wal_frame();
+        let reopened = Engine::reopen_from_frame(&frame).expect("intact frame");
+        assert_eq!(reopened.peek(stock(0).as_str()), 95, "WAL replays orders");
+        let mut out = Outbox::new();
+        workers[1].crash_restart(Arc::new(reopened), 0, &mut out);
+        assert!(!workers[1].knows_counter(&stock(0)));
+        // Frames arriving mid-recovery are deferred, not lost.
+        workers[1].handle(
+            0,
+            Message::DeltaRequest {
+                sync: 0,
+                obj: stock(0),
+            },
+            &mut out,
+        );
+        route(&mut workers, out, 1);
+        assert!(workers[1].knows_counter(&stock(0)));
+        assert_eq!(workers[1].counters[&stock(0)].base, 100);
+        // The deferred delta request was answered after recovery with the
+        // WAL-recovered delta.
+        assert_eq!(workers[1].frozen.get(&stock(0)), Some(&0));
+    }
+}

@@ -59,6 +59,10 @@ pub use homeo_runtime as runtime;
 /// Baseline coordination protocols (2PC, local, demarcation/OPT).
 pub use homeo_baselines as baselines;
 
+/// The threaded, message-passing cluster subsystem (worker threads behind
+/// a `Transport` of serialized frames; deterministic fault injection).
+pub use homeo_cluster as cluster;
+
 /// The evaluation workloads (microbenchmark, TPC-C subset, Table 1).
 pub use homeo_workloads as workloads;
 

@@ -170,17 +170,32 @@ pub trait SiteRuntime {
 
     /// Convenience for unbatched callers: submit one operation and poll it.
     ///
-    /// Must only be used when the inbox is empty (it returns the last
-    /// outcome of the drained batch).
+    /// # Contract
+    ///
+    /// `site`'s inbox must be empty when this is called: the drained batch
+    /// then contains exactly the submitted operation, whose outcome is
+    /// returned. Calling it with queued operations would silently discard
+    /// their outcomes, so debug builds assert the batch was a singleton —
+    /// batched submitters must use [`Self::poll`] directly.
     fn execute(&mut self, site: usize, op: SiteOp) -> OpOutcome {
         self.submit(site, op);
-        self.poll(site).pop().unwrap_or_default()
+        let mut outcomes = self.poll(site);
+        let last = outcomes.pop().unwrap_or_default();
+        debug_assert!(
+            outcomes.is_empty(),
+            "execute() requires an empty inbox, but the drained batch held {} \
+             earlier outcome(s) that would be discarded",
+            outcomes.len()
+        );
+        last
     }
 }
 
 /// FNV-1a over an object name — the shard hash. Stable across platforms so
-/// seeded runs place counters identically everywhere.
-pub(crate) fn shard_hash(obj: &ObjId) -> u64 {
+/// seeded runs place counters identically everywhere. Public because the
+/// cluster layer (`homeo-cluster`) derives each counter's coordinator site
+/// from the same hash, keeping shard placement and sync routing aligned.
+pub fn shard_hash(obj: &ObjId) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for byte in obj.as_str().as_bytes() {
         hash ^= u64::from(*byte);

@@ -366,17 +366,7 @@ impl ReplicatedRuntime {
 
 /// Writes `value` to `obj` through a fresh logged engine transaction.
 fn write_through(engine: &Engine, obj: &ObjId, value: i64) -> Result<(), EngineError> {
-    let mut txn = engine.begin();
-    match engine
-        .write(&txn, obj.as_str(), value)
-        .and_then(|()| engine.commit(&mut txn))
-    {
-        Ok(()) => Ok(()),
-        Err(e) => {
-            engine.abort(&mut txn).ok();
-            Err(e)
-        }
-    }
+    engine.write_logged(obj.as_str(), value)
 }
 
 impl SiteRuntime for ReplicatedRuntime {

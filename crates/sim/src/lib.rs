@@ -39,7 +39,7 @@ pub use closedloop::{
     Arrival, ClientOutcome, ClosedLoop, ClosedLoopConfig, CostComponents, RunMetrics,
 };
 pub use events::EventQueue;
-pub use net::RttMatrix;
+pub use net::{RttMatrix, TABLE1_RTT_MS};
 pub use rng::DetRng;
 pub use stats::{LatencyStats, SyncCounter};
 pub use timing::Timer;

@@ -8,6 +8,20 @@ use serde::{Deserialize, Serialize};
 
 use crate::clock::{millis, SimTime};
 
+/// The average RTTs (in milliseconds) between the five EC2 datacenters of
+/// the paper's evaluation, exactly as reported in Table 1, in
+/// replica-addition order (UE, UW, IE, SG, BR). Intra-datacenter RTT is
+/// below 1 ms and treated as 0. This is the single source of truth; every
+/// consumer (workload scenarios, figure generators) derives from it via
+/// [`RttMatrix::table1`].
+pub const TABLE1_RTT_MS: [[u64; 5]; 5] = [
+    [0, 64, 80, 243, 164],
+    [64, 0, 170, 210, 227],
+    [80, 170, 0, 285, 235],
+    [243, 210, 285, 0, 372],
+    [164, 227, 235, 372, 0],
+];
+
 /// A symmetric matrix of round-trip times between sites.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RttMatrix {
@@ -16,6 +30,14 @@ pub struct RttMatrix {
 }
 
 impl RttMatrix {
+    /// The five-datacenter matrix of the paper's Table 1
+    /// ([`TABLE1_RTT_MS`]). Use [`RttMatrix::truncated`] for the first `n`
+    /// datacenters in replica-addition order.
+    pub fn table1() -> Self {
+        let rows: Vec<Vec<u64>> = TABLE1_RTT_MS.iter().map(|row| row.to_vec()).collect();
+        Self::from_millis(&rows)
+    }
+
     /// A matrix where every distinct pair has the same RTT (the
     /// microbenchmark setting).
     pub fn uniform(sites: usize, rtt_ms: u64) -> Self {
@@ -111,6 +133,22 @@ mod tests {
         let t = m.truncated(2);
         assert_eq!(t.sites(), 2);
         assert_eq!(t.max_rtt(), millis(64));
+    }
+
+    #[test]
+    fn table1_matches_the_paper() {
+        let m = RttMatrix::table1();
+        assert_eq!(m.sites(), 5);
+        assert_eq!(m.rtt(0, 1), millis(64)); // UE-UW
+        assert_eq!(m.rtt(0, 3), millis(243)); // UE-SG
+        assert_eq!(m.rtt(3, 4), millis(372)); // SG-BR
+        assert_eq!(m.max_rtt(), millis(372));
+        for i in 0..5 {
+            assert_eq!(m.rtt(i, i), 0);
+            for j in 0..5 {
+                assert_eq!(m.rtt(i, j), m.rtt(j, i));
+            }
+        }
     }
 
     #[test]

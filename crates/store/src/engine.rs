@@ -246,6 +246,25 @@ impl Engine {
         }
     }
 
+    /// Writes `value` to `object` through a fresh logged transaction — the
+    /// one-shot form of begin/write/commit used for population writes and
+    /// for installing synchronized state (both run when the caller knows no
+    /// conflicting transaction is in flight). Unlike [`Engine::poke`], the
+    /// write is WAL-logged, so it survives [`Engine::crash_and_recover`].
+    pub fn write_logged(&self, object: &str, value: i64) -> Result<(), EngineError> {
+        let mut txn = self.begin();
+        match self
+            .write(&txn, object, value)
+            .and_then(|()| self.commit(&mut txn))
+        {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.abort(&mut txn).ok();
+                Err(e)
+            }
+        }
+    }
+
     /// A snapshot of the whole object namespace.
     pub fn snapshot(&self) -> BTreeMap<String, i64> {
         self.lock().objects.clone()
@@ -530,6 +549,24 @@ mod tests {
         assert_eq!(reopened.peek("x"), 5);
         assert_eq!(reopened.peek("y"), 1);
         assert_eq!(reopened.peek("z"), 0, "torn write resurrected");
+    }
+
+    #[test]
+    fn write_logged_is_durable_and_respects_locks() {
+        let engine = Engine::new();
+        engine.write_logged("x", 5).unwrap();
+        assert_eq!(engine.peek("x"), 5);
+        engine.crash_and_recover();
+        assert_eq!(engine.peek("x"), 5, "write_logged must be WAL-covered");
+        // A conflicting in-flight writer blocks it instead of clobbering.
+        let mut t = engine.begin();
+        engine.write(&t, "x", 9).unwrap();
+        assert!(matches!(
+            engine.write_logged("x", 1),
+            Err(EngineError::WouldBlock { .. })
+        ));
+        engine.commit(&mut t).unwrap();
+        assert_eq!(engine.peek("x"), 9);
     }
 
     #[test]

@@ -42,28 +42,18 @@ pub const TABLE1: [Datacenter; 5] = [
     Datacenter::SaoPauloBR,
 ];
 
-/// The average RTTs (in milliseconds) between the datacenters, exactly as
-/// reported in Table 1. Intra-datacenter RTT is below 1 ms and treated as 0.
-pub const TABLE1_RTT_MS: [[u64; 5]; 5] = [
-    [0, 64, 80, 243, 164],
-    [64, 0, 170, 210, 227],
-    [80, 170, 0, 285, 235],
-    [243, 210, 285, 0, 372],
-    [164, 227, 235, 372, 0],
-];
+/// The Table 1 RTT constants, re-exported from their single source of truth
+/// in the network model ([`homeo_sim::net::TABLE1_RTT_MS`]).
+pub use homeo_sim::TABLE1_RTT_MS;
 
 /// Builds the RTT matrix for the first `replicas` datacenters in Table 1
-/// order.
+/// order (a truncation of [`RttMatrix::table1`]).
 pub fn table1_rtt_matrix(replicas: usize) -> RttMatrix {
     assert!(
         (1..=5).contains(&replicas),
         "Table 1 covers between 1 and 5 datacenters"
     );
-    let rows: Vec<Vec<u64>> = TABLE1_RTT_MS[..replicas]
-        .iter()
-        .map(|row| row[..replicas].to_vec())
-        .collect();
-    RttMatrix::from_millis(&rows)
+    RttMatrix::table1().truncated(replicas)
 }
 
 #[cfg(test)]

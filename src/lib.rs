@@ -15,6 +15,7 @@ pub use homeostasis_core::*;
 pub mod crates {
     pub use homeo_analysis as analysis;
     pub use homeo_baselines as baselines;
+    pub use homeo_cluster as cluster;
     pub use homeo_lang as lang;
     pub use homeo_protocol as protocol;
     pub use homeo_runtime as runtime;

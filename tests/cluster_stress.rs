@@ -1,0 +1,294 @@
+//! Stress and determinism coverage for the cluster subsystem, beyond the
+//! happy path the closed-loop driver exercises:
+//!
+//! * seeded interleavings of `submit` / `poll` / `synchronize` across sites
+//!   with conservation of counter totals checked against the outcome
+//!   stream, on both the threaded and the simulated backend;
+//! * `SimTransport` determinism: the same seed produces byte-for-byte
+//!   identical metrics, values and WALs under jitter, reordering, drops,
+//!   partitions and a site crash;
+//! * the convergence acceptance run: partitions plus one site kill/restart,
+//!   after which every site agrees and nothing is lost.
+
+use std::collections::VecDeque;
+
+use homeostasis::cluster::{ClusterConfig, ClusterRuntime, SimCluster, SimMetrics, SimNetConfig};
+use homeostasis::lang::ids::ObjId;
+use homeostasis::protocol::{OptimizerConfig, ReplicatedMode};
+use homeostasis::runtime::{SiteOp, SiteRuntime};
+use homeostasis::sim::{DetRng, RttMatrix, Timer};
+
+const SITES: usize = 3;
+const ITEMS: usize = 6;
+const INITIAL: i64 = 50;
+/// Low enough that no-refill orders always apply their decrement (keeping
+/// conservation exact) while the headroom above it stays small enough that
+/// treaty violations — and thus real synchronization rounds — occur.
+const LOWER: i64 = 0;
+
+fn item_obj(i: usize) -> ObjId {
+    ObjId::new(format!("stock[{i}]"))
+}
+
+fn homeo_config() -> ClusterConfig {
+    ClusterConfig::new(ReplicatedMode::Homeostasis {
+        optimizer: Some(OptimizerConfig {
+            lookahead: 8,
+            futures: 2,
+            seed: 31,
+        }),
+    })
+    .with_timer(Timer::fixed_zero())
+}
+
+/// Interleaves batched submits, polls and synchronizes across all sites,
+/// pairing every outcome with its submitted operation, and returns the net
+/// committed delta per item.
+fn stress(runtime: &mut dyn SiteRuntime, seed: u64, steps: usize) -> Vec<i64> {
+    for i in 0..ITEMS {
+        runtime.ensure_registered(&item_obj(i), INITIAL, LOWER);
+    }
+    let mut rng = DetRng::seed_from(seed);
+    // Per site, the amounts of submitted-but-not-yet-polled operations
+    // (positive = increment, negative = order/decrement).
+    let mut in_flight: Vec<VecDeque<i64>> = vec![VecDeque::new(); SITES];
+    let mut net_delta = vec![0i64; ITEMS];
+    let drain = |site: usize,
+                 runtime: &mut dyn SiteRuntime,
+                 in_flight: &mut Vec<VecDeque<i64>>,
+                 net_delta: &mut Vec<i64>,
+                 items: &mut VecDeque<usize>| {
+        for outcome in runtime.poll(site) {
+            let amount = in_flight[site].pop_front().expect("outcome without op");
+            let item = items.pop_front().expect("outcome without item");
+            if outcome.committed {
+                net_delta[item] += amount;
+            }
+        }
+    };
+    // Items of in-flight ops, per site, in submission order.
+    let mut in_flight_items: Vec<VecDeque<usize>> = vec![VecDeque::new(); SITES];
+    for _ in 0..steps {
+        let site = rng.index(SITES);
+        match rng.index(10) {
+            // Mostly submits: orders (70%) and increments (20%)…
+            0..=6 => {
+                let item = rng.index(ITEMS);
+                let amount = rng.int_inclusive(1, 3);
+                runtime.submit(
+                    site,
+                    SiteOp::Order {
+                        obj: item_obj(item),
+                        amount,
+                        refill_to: None,
+                    },
+                );
+                in_flight[site].push_back(-amount);
+                in_flight_items[site].push_back(item);
+            }
+            7..=8 => {
+                let item = rng.index(ITEMS);
+                let amount = rng.int_inclusive(1, 5);
+                runtime.submit(
+                    site,
+                    SiteOp::Increment {
+                        obj: item_obj(item),
+                        amount,
+                    },
+                );
+                in_flight[site].push_back(amount);
+                in_flight_items[site].push_back(item);
+            }
+            // …with polls and the occasional cluster-wide fold mixed in.
+            _ => {
+                if rng.chance(0.5) {
+                    drain(
+                        site,
+                        runtime,
+                        &mut in_flight,
+                        &mut net_delta,
+                        &mut in_flight_items[site],
+                    );
+                } else {
+                    runtime.synchronize(site);
+                }
+            }
+        }
+    }
+    for site in 0..SITES {
+        drain(
+            site,
+            runtime,
+            &mut in_flight,
+            &mut net_delta,
+            &mut in_flight_items[site],
+        );
+        assert!(in_flight[site].is_empty(), "poll must drain everything");
+    }
+    net_delta
+}
+
+/// Conservation + convergence: after a final fold, every site observes
+/// `INITIAL + net committed delta` for every item.
+fn assert_conserved(runtime: &mut dyn SiteRuntime, net_delta: &[i64]) {
+    runtime.synchronize(0);
+    for (i, delta) in net_delta.iter().enumerate() {
+        let expected = INITIAL + delta;
+        for site in 0..SITES {
+            assert_eq!(
+                runtime.value_at(site, &item_obj(i)),
+                expected,
+                "stock[{i}] at site {site}: committed outcomes and state disagree"
+            );
+        }
+    }
+}
+
+#[test]
+fn threaded_interleaved_stress_conserves_totals() {
+    let mut runtime = ClusterRuntime::threaded(SITES, homeo_config());
+    let net_delta = stress(&mut runtime, 0xBEEF, 600);
+    assert_conserved(&mut runtime, &net_delta);
+}
+
+#[test]
+fn simulated_interleaved_stress_conserves_totals_under_faults() {
+    let mut runtime = ClusterRuntime::sim(
+        SITES,
+        homeo_config(),
+        SimNetConfig::faulty(RttMatrix::table1().truncated(SITES), 0xD06),
+    );
+    let net_delta = stress(&mut runtime, 0xBEEF, 600);
+    assert_conserved(&mut runtime, &net_delta);
+}
+
+#[test]
+fn threaded_and_simulated_backends_agree_on_final_state() {
+    // Same seeded interleaving, same protocol: the scheduler (real threads
+    // vs virtual clock with faults) must not change what commits.
+    let mut threaded = ClusterRuntime::threaded(SITES, homeo_config());
+    let threaded_delta = stress(&mut threaded, 0x5EED, 400);
+    assert_conserved(&mut threaded, &threaded_delta);
+    let mut sim = ClusterRuntime::sim(
+        SITES,
+        homeo_config(),
+        SimNetConfig::faulty(RttMatrix::table1().truncated(SITES), 0xD06),
+    );
+    let sim_delta = stress(&mut sim, 0x5EED, 400);
+    assert_conserved(&mut sim, &sim_delta);
+    assert_eq!(threaded_delta, sim_delta);
+}
+
+/// The convergence acceptance run: a seeded `SimTransport` cluster with
+/// jitter, reordering and drops, a partition that heals, and one site
+/// crash/restart. Returns every determinism witness the run produces.
+fn faulted_run() -> (SimMetrics, Vec<i64>, Vec<usize>) {
+    let net = SimNetConfig {
+        rtt: RttMatrix::table1().truncated(SITES),
+        jitter_us: 10_000,
+        drop_chance: 0.05,
+        reorder_chance: 0.10,
+        seed: 0xFA17,
+    };
+    let mut cluster = SimCluster::new(SITES, homeo_config(), net);
+    for i in 0..ITEMS {
+        cluster.register(item_obj(i), INITIAL, LOWER);
+    }
+    let mut rng = DetRng::seed_from(0xFA17);
+    let mut net_delta = vec![0i64; ITEMS];
+    let run_ops = |cluster: &mut SimCluster,
+                   rng: &mut DetRng,
+                   net_delta: &mut Vec<i64>,
+                   sites: &[usize],
+                   ops: usize,
+                   increments_only: bool| {
+        for _ in 0..ops {
+            let site = sites[rng.index(sites.len())];
+            let item = rng.index(ITEMS);
+            let op = if increments_only || rng.chance(0.3) {
+                net_delta[item] += 2;
+                SiteOp::Increment {
+                    obj: item_obj(item),
+                    amount: 2,
+                }
+            } else {
+                net_delta[item] -= 1;
+                SiteOp::Order {
+                    obj: item_obj(item),
+                    amount: 1,
+                    refill_to: None,
+                }
+            };
+            let out = cluster.execute(site, op);
+            assert!(out.committed, "polled ops must commit");
+        }
+    };
+    // Phase 1: all sites, mixed load, full fault cocktail.
+    run_ops(
+        &mut cluster,
+        &mut rng,
+        &mut net_delta,
+        &[0, 1, 2],
+        120,
+        false,
+    );
+    // Phase 2: partition site 2 away; both sides keep committing
+    // treaty-covered work (increments never violate).
+    cluster.partition(0, 2);
+    cluster.partition(1, 2);
+    run_ops(&mut cluster, &mut rng, &mut net_delta, &[0, 1], 40, true);
+    run_ops(&mut cluster, &mut rng, &mut net_delta, &[2], 20, true);
+    cluster.heal_all();
+    run_ops(
+        &mut cluster,
+        &mut rng,
+        &mut net_delta,
+        &[0, 1, 2],
+        60,
+        false,
+    );
+    // Phase 3: crash site 1 (quiescent after the polls above), run on the
+    // survivors, restart, and converge.
+    cluster.synchronize(0);
+    cluster.kill(1);
+    run_ops(&mut cluster, &mut rng, &mut net_delta, &[0, 2], 30, true);
+    cluster.restart(1);
+    cluster.run_until_quiescent();
+    run_ops(
+        &mut cluster,
+        &mut rng,
+        &mut net_delta,
+        &[0, 1, 2],
+        40,
+        false,
+    );
+    // Convergence: after the final fold every site agrees with the ledger
+    // of committed outcomes — nothing was lost to the partition, the
+    // faults, or the crash.
+    cluster.synchronize(0);
+    let mut values = Vec::new();
+    for (i, delta) in net_delta.iter().enumerate() {
+        let expected = INITIAL + delta;
+        for site in 0..SITES {
+            assert_eq!(
+                cluster.value_at(site, &item_obj(i)),
+                expected,
+                "stock[{i}] at site {site} after heal + restart"
+            );
+        }
+        values.push(expected);
+    }
+    let wal_lens = (0..SITES).map(|s| cluster.engine(s).wal_len()).collect();
+    (cluster.metrics(), values, wal_lens)
+}
+
+#[test]
+fn partitions_plus_crash_converge_and_are_reproducible() {
+    let first = faulted_run();
+    let second = faulted_run();
+    assert!(
+        first.0.frames_retransmitted > 0,
+        "the fault cocktail must actually drop frames"
+    );
+    assert_eq!(first, second, "same seed must be byte-for-byte identical");
+}

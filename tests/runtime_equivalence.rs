@@ -14,10 +14,11 @@
 //!   guaranteed").
 
 use homeostasis::baselines::{LocalRuntime, TwoPcRuntime};
+use homeostasis::cluster::{ClusterConfig, ClusterRuntime, SimNetConfig};
 use homeostasis::lang::ids::ObjId;
 use homeostasis::protocol::{OptimizerConfig, ReplicatedMode};
 use homeostasis::runtime::{ReplicatedRuntime, SiteOp, SiteRuntime};
-use homeostasis::sim::{DetRng, Timer};
+use homeostasis::sim::{DetRng, RttMatrix, Timer};
 
 const SITES: usize = 3;
 const ITEMS: usize = 12;
@@ -73,10 +74,36 @@ fn synchronized_runtimes() -> Vec<(&'static str, Box<dyn SiteRuntime>)> {
     for i in 0..ITEMS {
         twopc.populate(item_obj(i), INITIAL);
     }
+    // The cluster subsystem behind the same surface: the homeostasis
+    // protocol as message-passing worker threads (channel transport, one
+    // OS thread per site), and as the deterministic fault-injected
+    // simulation (jitter, reordering, retransmitted drops).
+    let mut homeo_threaded = ClusterRuntime::threaded(
+        SITES,
+        ClusterConfig::new(ReplicatedMode::Homeostasis {
+            optimizer: Some(OptimizerConfig {
+                lookahead: 8,
+                futures: 2,
+                seed: 13,
+            }),
+        })
+        .with_timer(Timer::fixed_zero()),
+    );
+    let mut opt_sim = ClusterRuntime::sim(
+        SITES,
+        ClusterConfig::new(ReplicatedMode::EvenSplit).with_timer(Timer::fixed_zero()),
+        SimNetConfig::faulty(RttMatrix::table1().truncated(SITES), 0xC0DE),
+    );
+    for i in 0..ITEMS {
+        homeo_threaded.register(item_obj(i), INITIAL, 1);
+        opt_sim.register(item_obj(i), INITIAL, 1);
+    }
     vec![
         ("homeo", Box::new(homeo)),
         ("opt", Box::new(opt)),
         ("2pc", Box::new(twopc)),
+        ("homeo-cluster-threaded", Box::new(homeo_threaded)),
+        ("opt-cluster-sim", Box::new(opt_sim)),
     ]
 }
 
