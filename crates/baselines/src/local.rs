@@ -130,6 +130,14 @@ impl SiteRuntime for LocalRuntime {
     fn synchronize(&mut self, _site: usize) -> u64 {
         0
     }
+
+    /// The batched path runs each operation directly against the replica's
+    /// engine, skipping the per-operation inbox round-trip. Semantics are
+    /// identical to one-at-a-time execution (there is no cross-operation
+    /// state to amortize — local execution is already coordination-free).
+    fn submit_batch(&mut self, site: usize, ops: &[SiteOp]) -> Vec<OpOutcome> {
+        ops.iter().map(|op| self.run_op(site, op.clone())).collect()
+    }
 }
 
 #[cfg(test)]

@@ -1,31 +1,40 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! reproduce [--full] [--csv-dir DIR] [--list] [--threads N]
-//!           [all | table1 | fig10 | ... | fig29 | cluster-partition | ...]...
+//! reproduce [--full] [--csv-dir DIR] [--json PATH] [--baseline PATH]
+//!           [--list] [--threads N]
+//!           [all | table1 | fig10 | ... | fig29 | cluster-partition | ...
+//!            | bench]...
 //! ```
 //!
-//! With no arguments, `all` is assumed: every paper figure plus the cluster
-//! fault scenarios (partition-then-heal, kill-then-recover, skew). `--full`
-//! runs the larger sweeps (closer to the paper's configuration); the
-//! default "quick" effort keeps the whole reproduction within a few
-//! minutes. `--csv-dir` additionally writes one CSV file per figure.
-//! `--list` prints the available ids (one per line) and exits. `--threads N`
-//! additionally runs the real-concurrency load mode: N worker threads, one
-//! client thread each, over the channel transport.
+//! With no arguments, `all` is assumed: every paper figure, the cluster
+//! fault scenarios (partition-then-heal, kill-then-recover, skew) and the
+//! batched-throughput suite (`bench`). `--full` runs the larger sweeps
+//! (closer to the paper's configuration); the default "quick" effort keeps
+//! the whole reproduction within a few minutes. `--csv-dir` additionally
+//! writes one CSV file per figure. `--json PATH` serializes every generated
+//! figure to one machine-readable JSON file (the stable schema CI and the
+//! `BENCH_*.json` trajectory consume). `--baseline PATH` compares the
+//! generated figures against a previously emitted JSON file and fails on a
+//! more-than-2× ops/sec regression of any cell (the CI perf gate). `--list` prints
+//! the available ids (one per line) and exits. `--threads N` additionally
+//! runs the real-concurrency load mode: N worker threads, one client thread
+//! each, over the channel transport.
 //!
 //! Exit codes: `0` on success, `1` when one or more requested figures or
-//! scenarios fail to generate or write (the remaining ones are still
-//! produced), `2` on usage errors.
+//! scenarios fail to generate or write, or when the baseline check finds a
+//! regression (the remaining ones are still produced), `2` on usage errors.
 
 use std::path::PathBuf;
 
-use homeo_bench::{all_ids, generate, Effort};
+use homeo_bench::{all_ids, generate, Effort, Figure, Json};
 use homeo_cluster::threaded_load;
 
 fn main() {
     let mut effort = Effort::Quick;
     let mut csv_dir: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
     let mut threads: Option<usize> = None;
     let mut requested: Vec<String> = Vec::new();
 
@@ -57,9 +66,24 @@ fn main() {
                 });
                 csv_dir = Some(PathBuf::from(dir));
             }
+            "--json" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("--json requires an output path");
+                    std::process::exit(2);
+                });
+                json_path = Some(PathBuf::from(path));
+            }
+            "--baseline" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("--baseline requires a baseline JSON path");
+                    std::process::exit(2);
+                });
+                baseline_path = Some(PathBuf::from(path));
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: reproduce [--full] [--csv-dir DIR] [--list] [--threads N] [all | {}]...",
+                    "usage: reproduce [--full] [--csv-dir DIR] [--json PATH] \
+                     [--baseline PATH] [--list] [--threads N] [all | {}]...",
                     all_ids().join(" | ")
                 );
                 return;
@@ -98,6 +122,7 @@ fn main() {
         );
     }
     let mut failed: Vec<String> = Vec::new();
+    let mut figures: Vec<Figure> = Vec::new();
     for id in &requested {
         let started = std::time::Instant::now();
         // A figure that panics (e.g. a degenerate sweep) must not take the
@@ -118,6 +143,40 @@ fn main() {
             if let Err(e) = std::fs::write(&path, figure.to_csv()) {
                 eprintln!("FAILED to write {}: {e}\n", path.display());
                 failed.push(id.clone());
+            }
+        }
+        figures.push(figure);
+    }
+    if let Some(path) = &json_path {
+        let doc = Json::Obj(vec![
+            ("schema_version".into(), Json::Num(1.0)),
+            (
+                "effort".into(),
+                Json::Str(format!("{effort:?}").to_lowercase()),
+            ),
+            (
+                "figures".into(),
+                Json::Arr(figures.iter().map(Figure::to_json).collect()),
+            ),
+        ]);
+        if let Err(e) = std::fs::write(path, doc.to_pretty_string()) {
+            eprintln!("FAILED to write {}: {e}\n", path.display());
+            failed.push("--json".to_string());
+        } else {
+            println!("Wrote {} figure(s) to {}\n", figures.len(), path.display());
+        }
+    }
+    if let Some(path) = &baseline_path {
+        match check_baseline(path, &figures) {
+            Ok(checked) => {
+                println!("Baseline check passed: {checked} cell(s) within tolerance\n");
+            }
+            Err(problems) => {
+                for problem in &problems {
+                    eprintln!("BASELINE REGRESSION: {problem}");
+                }
+                eprintln!();
+                failed.push("--baseline".to_string());
             }
         }
     }
@@ -155,5 +214,85 @@ fn main() {
             failed.join(" ")
         );
         std::process::exit(1);
+    }
+}
+
+/// Compares the generated figures against a baseline JSON file (the schema
+/// `--json` emits). Every numeric cell present in both is checked with the
+/// generous CI tolerance: the current value must be at least **half** the
+/// baseline value (ops/sec cells regressing by more than 2× fail). Cells,
+/// rows or figures missing from the baseline are skipped, so the baseline
+/// only pins what it names. Returns the number of cells checked.
+fn check_baseline(path: &std::path::Path, figures: &[Figure]) -> Result<usize, Vec<String>> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| vec![format!("cannot read baseline {}: {e}", path.display())])?;
+    let doc = Json::parse(&text)
+        .ok_or_else(|| vec![format!("baseline {} is not valid JSON", path.display())])?;
+    let baseline_figures: Vec<Figure> = doc
+        .get("figures")
+        .and_then(Json::as_arr)
+        .map(|figs| figs.iter().filter_map(Figure::from_json).collect())
+        .unwrap_or_default();
+    if baseline_figures.is_empty() {
+        return Err(vec![format!(
+            "baseline {} holds no figures in the expected schema",
+            path.display()
+        )]);
+    }
+    let mut problems = Vec::new();
+    let mut checked = 0;
+    for base in &baseline_figures {
+        let Some(current) = figures.iter().find(|f| f.id == base.id) else {
+            continue; // the baseline only gates figures that were generated
+        };
+        for (label, base_values) in &base.rows {
+            let Some((_, current_values)) = current.rows.iter().find(|(l, _)| l == label) else {
+                problems.push(format!("{}: row `{label}` missing from the run", base.id));
+                continue;
+            };
+            for (col, base_value) in base.columns.iter().skip(1).zip(base_values) {
+                if !base_value.is_finite() {
+                    continue; // null baseline cell = unpinned
+                }
+                // Search data columns only (skip the label column), so a
+                // malformed baseline naming the label column reports as
+                // missing instead of indexing out of the row.
+                let Some(position) = current.columns.iter().skip(1).position(|c| c == col) else {
+                    problems.push(format!("{}: column `{col}` missing from the run", base.id));
+                    continue;
+                };
+                let current_value = current_values[position];
+                checked += 1;
+                // `<` would silently pass on NaN; an unparseable cell must
+                // fail the gate, not sneak through it.
+                let holds = matches!(
+                    current_value.partial_cmp(&(base_value / 2.0)),
+                    Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+                );
+                if !holds {
+                    problems.push(format!(
+                        "{} [{label} × {col}]: {current_value:.0} ops/s is below half \
+                         the baseline {base_value:.0}",
+                        base.id
+                    ));
+                }
+            }
+        }
+    }
+    // Fail closed: a baseline that pinned figures none of which were
+    // generated means the gate checked nothing — that is a misconfigured
+    // invocation (wrong ids requested), not a pass.
+    if checked == 0 {
+        problems.push(format!(
+            "baseline {} pinned {} figure(s) but no cell was checked — \
+             was the gated figure requested?",
+            path.display(),
+            baseline_figures.len()
+        ));
+    }
+    if problems.is_empty() {
+        Ok(checked)
+    } else {
+        Err(problems)
     }
 }

@@ -96,6 +96,9 @@ pub fn generate(id: &str, effort: Effort) -> Figure {
     if id.starts_with("cluster-") {
         return crate::cluster::scenario(id);
     }
+    if id == "bench" {
+        return crate::throughput::suite(effort);
+    }
     match id {
         "table1" => table1(),
         "fig10" => fig10(effort),

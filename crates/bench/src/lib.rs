@@ -13,7 +13,12 @@
 //! * [`cluster`] — the fault scenarios of the cluster subsystem
 //!   (partition-then-heal, kill-then-recover, skewed allowances), verified
 //!   as they generate.
-//! * [`report`] — rendering to aligned text / CSV.
+//! * [`throughput`] — the batched-execution throughput suite (`bench`):
+//!   wall-clock ops/sec over batch size × execution mode, the figure CI's
+//!   `bench-smoke` job gates against `crates/bench/baseline.json`.
+//! * [`report`] — rendering to aligned text / CSV / JSON.
+//! * [`json`] — the minimal JSON writer/parser behind `--json` and the
+//!   baseline gate (the workspace is offline; there is no `serde_json`).
 //!
 //! The `reproduce` binary drives everything:
 //!
@@ -29,17 +34,21 @@
 pub mod cluster;
 pub mod experiments;
 pub mod figures;
+pub mod json;
 pub mod report;
+pub mod throughput;
 
 pub use cluster::all_scenario_ids;
 pub use experiments::{micro_experiment, tpcc_experiment, ExperimentPoint, TpccPoint};
 pub use figures::{all_figure_ids, generate, Effort};
+pub use json::Json;
 pub use report::Figure;
 
-/// Every reproducible id: the paper's tables and figures followed by the
-/// cluster scenarios.
+/// Every reproducible id: the paper's tables and figures, the cluster
+/// scenarios, and the batched-throughput suite.
 pub fn all_ids() -> Vec<&'static str> {
     let mut ids = all_figure_ids();
     ids.extend(all_scenario_ids());
+    ids.push("bench");
     ids
 }

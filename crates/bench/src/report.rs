@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::json::Json;
+
 /// One reproduced figure or table: a labelled grid of numbers.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Figure {
@@ -75,6 +77,73 @@ impl Figure {
         out
     }
 
+    /// The figure as a JSON value, in the stable machine-readable schema
+    /// `reproduce --json` emits:
+    ///
+    /// ```json
+    /// {"id": "...", "title": "...", "columns": ["...", ...],
+    ///  "rows": [{"label": "...", "values": [1.0, ...]}, ...]}
+    /// ```
+    ///
+    /// Non-finite values serialize as `null`. The schema is what CI's
+    /// baseline gate and the `BENCH_*.json` trajectory consume; extend it
+    /// by adding keys, never by renaming existing ones.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("id".into(), Json::Str(self.id.clone())),
+            ("title".into(), Json::Str(self.title.clone())),
+            (
+                "columns".into(),
+                Json::Arr(self.columns.iter().map(|c| Json::Str(c.clone())).collect()),
+            ),
+            (
+                "rows".into(),
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|(label, values)| {
+                            Json::Obj(vec![
+                                ("label".into(), Json::Str(label.clone())),
+                                (
+                                    "values".into(),
+                                    Json::Arr(values.iter().map(|v| Json::Num(*v)).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Rebuilds a figure from the JSON produced by [`Figure::to_json`]
+    /// (`null` values come back as NaN). Used by the baseline gate.
+    pub fn from_json(json: &Json) -> Option<Figure> {
+        let mut fig = Figure::new(
+            json.get("id")?.as_str()?,
+            json.get("title").and_then(Json::as_str).unwrap_or_default(),
+            json.get("columns")?
+                .as_arr()?
+                .iter()
+                .map(|c| c.as_str().map(str::to_string))
+                .collect::<Option<Vec<String>>>()?,
+        );
+        for row in json.get("rows")?.as_arr()? {
+            let label = row.get("label")?.as_str()?;
+            let values: Vec<f64> = row
+                .get("values")?
+                .as_arr()?
+                .iter()
+                .map(|v| v.as_num().unwrap_or(f64::NAN))
+                .collect();
+            if values.len() + 1 != fig.columns.len() {
+                return None;
+            }
+            fig.push_row(label, values);
+        }
+        Some(fig)
+    }
+
     /// Renders the figure as CSV.
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
@@ -121,6 +190,15 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert_eq!(lines[0], "rtt_ms,homeo,2pc");
         assert!(lines[1].starts_with("50,4000"));
+    }
+
+    #[test]
+    fn json_rendering_round_trips() {
+        let fig = sample();
+        let json = fig.to_json();
+        let text = json.to_pretty_string();
+        let parsed = crate::json::Json::parse(&text).expect("valid JSON");
+        assert_eq!(Figure::from_json(&parsed), Some(fig));
     }
 
     #[test]

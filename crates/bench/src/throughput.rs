@@ -1,0 +1,229 @@
+//! The batched-execution throughput suite (`reproduce bench`).
+//!
+//! The paper's headline claim is that the common path runs at memory speed:
+//! while treaties hold, a site commits without coordination. This suite
+//! measures exactly that path on the real clock — committed operations per
+//! wall-clock second through [`SiteRuntime::submit_batch`] — sweeping the
+//! batch size over every execution mode plus the threaded cluster. The
+//! resulting [`Figure`] (id `bench`) is what `reproduce --json` serializes
+//! and what CI's `bench-smoke` job gates against
+//! `crates/bench/baseline.json`: a cell regressing to below half its
+//! baseline value fails the build.
+//!
+//! The workload is the Listing 1 order stream over a pool of counters with
+//! ample headroom, so synchronizations are rare and the number measures the
+//! fast path (batch=1) against the amortized path (group commit / one wire
+//! frame per batch). Wall-clock numbers are inherently machine-dependent;
+//! the baseline values are deliberately conservative floors, not targets.
+
+use std::time::Instant;
+
+use homeo_baselines::{LocalRuntime, TwoPcRuntime};
+use homeo_cluster::{ClusterConfig, ClusterRuntime};
+use homeo_lang::ids::ObjId;
+use homeo_protocol::{OptimizerConfig, ReplicatedMode};
+use homeo_runtime::{ReplicatedRuntime, SiteOp, SiteRuntime};
+use homeo_sim::{DetRng, Timer};
+
+use crate::figures::Effort;
+use crate::report::Figure;
+
+/// The swept batch sizes.
+pub const BATCH_SIZES: [usize; 4] = [1, 8, 64, 256];
+
+/// The swept execution modes, in column order.
+pub const MODES: [&str; 5] = ["homeo", "opt", "2pc", "local", "cluster-threaded"];
+
+/// Sites under load in every cell.
+const SITES: usize = 2;
+/// Counters in the pool.
+const ITEMS: usize = 64;
+/// Hot counters: like the paper's TPC-C hotness parameter, most traffic
+/// concentrates on a few counters, which is exactly the shape batching
+/// amortizes (a batch's repeated touches of a hot counter fold into one
+/// group-committed write).
+const HOT_ITEMS: usize = 4;
+/// Percent of operations that hit a hot counter.
+const HOTNESS: f64 = 0.8;
+/// Initial value / refill level: large enough that a measurement window
+/// almost never violates a treaty (the suite measures the common path).
+const INITIAL: i64 = 1_000_000_000;
+
+fn stock(i: usize) -> ObjId {
+    ObjId::new(format!("stock[{i}]"))
+}
+
+fn build_mode(mode: &str) -> Box<dyn SiteRuntime> {
+    match mode {
+        "homeo" => Box::new(
+            ReplicatedRuntime::new(
+                SITES,
+                ReplicatedMode::Homeostasis {
+                    optimizer: Some(OptimizerConfig {
+                        lookahead: 10,
+                        futures: 2,
+                        seed: 21,
+                    }),
+                },
+            )
+            .with_timer(Timer::fixed_zero()),
+        ),
+        "opt" => Box::new(
+            ReplicatedRuntime::new(SITES, ReplicatedMode::EvenSplit)
+                .with_timer(Timer::fixed_zero()),
+        ),
+        "2pc" => Box::new(TwoPcRuntime::new(SITES)),
+        "local" => Box::new(LocalRuntime::new(SITES)),
+        "cluster-threaded" => Box::new(ClusterRuntime::threaded(
+            SITES,
+            ClusterConfig::new(ReplicatedMode::EvenSplit).with_timer(Timer::fixed_zero()),
+        )),
+        other => panic!("unknown bench mode `{other}`"),
+    }
+}
+
+fn register_pool(runtime: &mut dyn SiteRuntime) {
+    for i in 0..ITEMS {
+        runtime.ensure_registered(&stock(i), INITIAL, 1);
+    }
+    // The baselines have no registration concept; populate their replicas
+    // through the same surface the workloads use.
+    if runtime.value_at(0, &stock(0)) == 0 {
+        panic!("counter population failed");
+    }
+}
+
+/// Populates baselines (2pc / local) that ignore `ensure_registered`.
+fn populate_baseline(runtime: &mut dyn SiteRuntime, mode: &str) {
+    match mode {
+        "2pc" | "local" => {
+            // Reach through the trait object is not possible here; both
+            // baselines implement population via their own methods, so the
+            // suite writes the initial values through per-site engines.
+            for site in 0..runtime.sites() {
+                for i in 0..ITEMS {
+                    runtime
+                        .engine(site)
+                        .write_logged(stock(i).as_str(), INITIAL)
+                        .expect("population write cannot conflict");
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Measures one cell: committed operations per wall-clock second through
+/// `submit_batch` chunks of `batch` operations, running until `min_secs`
+/// of measured time has accumulated.
+fn measure_cell(mode: &str, batch: usize, min_secs: f64) -> f64 {
+    let mut runtime = build_mode(mode);
+    populate_baseline(runtime.as_mut(), mode);
+    register_pool(runtime.as_mut());
+    // Interned object pool: the generator must not pay a string allocation
+    // per operation, or the workload-side cost masks the runtime-side
+    // batching effect under measurement.
+    let pool: Vec<ObjId> = (0..ITEMS).map(stock).collect();
+    let mut rng = DetRng::seed_from(0xB47C ^ batch as u64);
+    let mut ops = Vec::with_capacity(batch);
+    let mut issue = |runtime: &mut dyn SiteRuntime, site: usize, rng: &mut DetRng| -> u64 {
+        ops.clear();
+        for _ in 0..batch {
+            let item = if rng.chance(HOTNESS) {
+                rng.index(HOT_ITEMS)
+            } else {
+                HOT_ITEMS + rng.index(ITEMS - HOT_ITEMS)
+            };
+            ops.push(SiteOp::Order {
+                obj: pool[item].clone(),
+                amount: 1,
+                refill_to: Some(INITIAL),
+            });
+        }
+        let outcomes = runtime.submit_batch(site, &ops);
+        outcomes.iter().filter(|o| o.committed).count() as u64
+    };
+    // Warm up: one batch per site primes caches and lock tables.
+    for site in 0..SITES {
+        issue(runtime.as_mut(), site, &mut rng);
+    }
+    let mut committed = 0u64;
+    let started = Instant::now();
+    let mut site = 0;
+    loop {
+        committed += issue(runtime.as_mut(), site, &mut rng);
+        site = (site + 1) % SITES;
+        // Check the clock once per round-robin sweep, not per batch.
+        if site == 0 && started.elapsed().as_secs_f64() >= min_secs {
+            break;
+        }
+    }
+    committed as f64 / started.elapsed().as_secs_f64()
+}
+
+/// Generates the `bench` figure: ops/sec for every batch size × mode cell.
+pub fn suite(effort: Effort) -> Figure {
+    let min_secs = match effort {
+        Effort::Quick => 0.05,
+        Effort::Full => 0.5,
+    };
+    let mut columns = vec!["batch".to_string()];
+    columns.extend(MODES.iter().map(|m| m.to_string()));
+    let mut fig = Figure::new(
+        "bench",
+        "Batched submission throughput (committed ops/s, wall clock, 2 sites, \
+         64 counters, 80% of traffic on 4 hot counters)",
+        columns,
+    );
+    for &batch in &BATCH_SIZES {
+        let values: Vec<f64> = MODES
+            .iter()
+            .map(|mode| measure_cell(mode, batch, min_secs))
+            .collect();
+        fig.push_row(format!("{batch}"), values);
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_suite_produces_a_full_grid_of_positive_numbers() {
+        let fig = suite(Effort::Quick);
+        assert_eq!(fig.id, "bench");
+        assert_eq!(fig.rows.len(), BATCH_SIZES.len());
+        assert_eq!(fig.columns.len(), MODES.len() + 1);
+        for (label, values) in &fig.rows {
+            for (mode, v) in MODES.iter().zip(values) {
+                assert!(
+                    v.is_finite() && *v > 0.0,
+                    "batch {label} mode {mode}: throughput {v}"
+                );
+            }
+        }
+    }
+
+    /// The tentpole claim: amortizing per-operation bookkeeping over a
+    /// 64-op batch at least doubles homeostasis fast-path throughput.
+    /// Wall-clock-sensitive, so it runs in the release-mode CI test pass
+    /// only (debug timings are not what the gate is about), with two
+    /// half-second samples per cell (best-of) to ride out scheduler noise
+    /// on shared runners.
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "wall-clock assertion; run in release")]
+    fn homeo_batch_64_at_least_doubles_batch_1() {
+        let best = |batch: usize| {
+            (0..2)
+                .map(|_| measure_cell("homeo", batch, 0.5))
+                .fold(0.0f64, f64::max)
+        };
+        let single = best(1);
+        let batched = best(64);
+        assert!(
+            batched >= 2.0 * single,
+            "batch=64 must be ≥2× batch=1: {batched:.0} vs {single:.0} ops/s"
+        );
+    }
+}

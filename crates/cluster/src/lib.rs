@@ -171,6 +171,13 @@ impl SiteRuntime for ClusterRuntime {
         }
     }
 
+    fn submit_batch(&mut self, site: usize, ops: &[SiteOp]) -> Vec<OpOutcome> {
+        match self {
+            ClusterRuntime::Threaded(c) => c.submit_batch(site, ops),
+            ClusterRuntime::Sim(c) => c.submit_batch(site, ops),
+        }
+    }
+
     fn synchronize(&mut self, site: usize) -> u64 {
         match self {
             ClusterRuntime::Threaded(c) => c.synchronize(site),

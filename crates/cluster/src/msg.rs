@@ -60,11 +60,14 @@ pub enum SyncKind {
 /// recover the coordinator of a round as `sync % sites`.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Message {
-    /// A client operation submitted to a site's inbox (sent by the client
-    /// attachment, never site-to-site).
+    /// A batch of client operations submitted to a site's inbox in one
+    /// frame (sent by the client attachment, never site-to-site). Batching
+    /// at the frame level is what lets a load generator amortize the
+    /// encode/enqueue cost over many operations; a singleton batch is the
+    /// unbatched submit.
     Submit {
-        /// The operation.
-        op: SiteOp,
+        /// The operations, in submission order.
+        ops: Vec<SiteOp>,
     },
     /// Registers a counter on every site with its freshly negotiated treaty
     /// state.
@@ -147,12 +150,40 @@ impl Message {
     /// Encodes the message as a length-prefixed frame: a `u32` byte length
     /// (big-endian, excluding the prefix itself) followed by the body.
     pub fn encode(&self) -> Vec<u8> {
-        let mut body = Vec::new();
-        self.encode_body(&mut body);
-        let mut frame = Vec::with_capacity(4 + body.len());
-        frame.extend_from_slice(&(body.len() as u32).to_be_bytes());
-        frame.extend_from_slice(&body);
-        frame
+        self.encode_into(&mut Vec::new())
+    }
+
+    /// Encodes a [`Message::Submit`] frame directly from a **borrowed**
+    /// batch, through the same scratch-buffer path as
+    /// [`Message::encode_into`]. This is the client attachments' hot path:
+    /// shipping a batch must not deep-clone every operation just to build
+    /// an owned `Message` that is immediately encoded and dropped.
+    pub fn encode_submit_into(ops: &[SiteOp], scratch: &mut Vec<u8>) -> Vec<u8> {
+        scratch.clear();
+        scratch.extend_from_slice(&[0u8; 4]);
+        scratch.push(0); // the Submit tag
+        scratch.extend_from_slice(&(ops.len() as u32).to_be_bytes());
+        for op in ops {
+            encode_op(op, scratch);
+        }
+        let len = (scratch.len() - 4) as u32;
+        scratch[..4].copy_from_slice(&len.to_be_bytes());
+        scratch.as_slice().to_vec()
+    }
+
+    /// [`Message::encode`] through a reusable per-connection scratch buffer:
+    /// the frame is assembled in `scratch` (cleared first, capacity kept
+    /// across calls) and the returned `Vec` is one exact-size allocation of
+    /// the finished frame. Encoding a stream of frames through one scratch
+    /// buffer avoids the per-frame body allocation and its growth
+    /// reallocations — the hot path for every transport connection.
+    pub fn encode_into(&self, scratch: &mut Vec<u8>) -> Vec<u8> {
+        scratch.clear();
+        scratch.extend_from_slice(&[0u8; 4]);
+        self.encode_body(scratch);
+        let len = (scratch.len() - 4) as u32;
+        scratch[..4].copy_from_slice(&len.to_be_bytes());
+        scratch.as_slice().to_vec()
     }
 
     /// Decodes one frame produced by [`Message::encode`]. Returns `None` on
@@ -173,9 +204,12 @@ impl Message {
 
     fn encode_body(&self, buf: &mut Vec<u8>) {
         match self {
-            Message::Submit { op } => {
+            Message::Submit { ops } => {
                 buf.push(0);
-                encode_op(op, buf);
+                buf.extend_from_slice(&(ops.len() as u32).to_be_bytes());
+                for op in ops {
+                    encode_op(op, buf);
+                }
             }
             Message::Register { meta } => {
                 buf.push(1);
@@ -234,9 +268,14 @@ impl Message {
 
     fn decode_body(cursor: &mut Cursor<'_>) -> Option<Message> {
         Some(match cursor.u8()? {
-            0 => Message::Submit {
-                op: decode_op(cursor)?,
-            },
+            0 => {
+                let count = cursor.u32()? as usize;
+                let mut ops = Vec::with_capacity(count.min(1 << 16));
+                for _ in 0..count {
+                    ops.push(decode_op(cursor)?);
+                }
+                Message::Submit { ops }
+            }
             1 => Message::Register {
                 meta: decode_meta(cursor)?,
             },
@@ -468,33 +507,30 @@ mod tests {
     fn exemplars() -> Vec<Message> {
         vec![
             Message::Submit {
-                op: SiteOp::Order {
+                ops: vec![SiteOp::Order {
                     obj: ObjId::new("stock[0]"),
                     amount: 3,
                     refill_to: Some(99),
-                },
+                }],
             },
             Message::Submit {
-                op: SiteOp::Order {
-                    obj: ObjId::new("stock[1]"),
-                    amount: 1,
-                    refill_to: None,
-                },
+                ops: vec![
+                    SiteOp::Order {
+                        obj: ObjId::new("stock[1]"),
+                        amount: 1,
+                        refill_to: None,
+                    },
+                    SiteOp::Increment {
+                        obj: ObjId::new("balance[2]"),
+                        amount: -7,
+                    },
+                    SiteOp::ForceSync {
+                        obj: ObjId::new("neworder[1]"),
+                    },
+                    SiteOp::Transaction { index: 5 },
+                ],
             },
-            Message::Submit {
-                op: SiteOp::Increment {
-                    obj: ObjId::new("balance[2]"),
-                    amount: -7,
-                },
-            },
-            Message::Submit {
-                op: SiteOp::ForceSync {
-                    obj: ObjId::new("neworder[1]"),
-                },
-            },
-            Message::Submit {
-                op: SiteOp::Transaction { index: 5 },
-            },
+            Message::Submit { ops: Vec::new() },
             Message::Register { meta: meta() },
             Message::SyncRequest {
                 req: 17,
@@ -557,6 +593,36 @@ mod tests {
             let decoded = Message::decode(&frame).unwrap_or_else(|| panic!("decode {msg:?}"));
             assert_eq!(decoded, msg);
         }
+    }
+
+    #[test]
+    fn encode_into_reuses_the_scratch_and_matches_encode() {
+        let mut scratch = Vec::new();
+        for msg in exemplars() {
+            let frame = msg.encode_into(&mut scratch);
+            assert_eq!(frame, msg.encode());
+            assert_eq!(Message::decode(&frame), Some(msg));
+        }
+        // The scratch retains its capacity across frames (that is the
+        // point), and holds the last frame's bytes.
+        assert!(scratch.capacity() > 0);
+    }
+
+    #[test]
+    fn encode_submit_into_matches_the_owned_encoding() {
+        let ops = vec![
+            SiteOp::Order {
+                obj: ObjId::new("stock[3]"),
+                amount: 2,
+                refill_to: None,
+            },
+            SiteOp::Transaction { index: 1 },
+        ];
+        let mut scratch = Vec::new();
+        let frame = Message::encode_submit_into(&ops, &mut scratch);
+        assert_eq!(frame, Message::Submit { ops }.encode());
+        let empty = Message::encode_submit_into(&[], &mut scratch);
+        assert_eq!(empty, Message::Submit { ops: Vec::new() }.encode());
     }
 
     #[test]

@@ -250,6 +250,9 @@ pub struct SimCluster {
     registration_negotiations: u64,
     /// WAL frames captured at kill time, consumed by restart.
     wal_frames: Vec<Option<Vec<u8>>>,
+    /// Per-cluster frame-encode scratch ([`Message::encode_into`]): reused
+    /// across every frame the scheduler ships.
+    scratch: Vec<u8>,
 }
 
 impl SimCluster {
@@ -285,6 +288,7 @@ impl SimCluster {
             registered: BTreeSet::new(),
             registration_negotiations: 0,
             wal_frames: vec![None; sites],
+            scratch: Vec::new(),
         }
     }
 
@@ -335,7 +339,8 @@ impl SimCluster {
             let mut out = Vec::new();
             self.workers[to].handle(from, msg, &mut out);
             for (dest, msg) in out {
-                self.transport.send(to, dest, msg.encode());
+                self.transport
+                    .send(to, dest, msg.encode_into(&mut self.scratch));
             }
             delivered += 1;
         }
@@ -441,7 +446,8 @@ impl SimCluster {
         let mut out = Vec::new();
         self.workers[site].crash_restart(Arc::new(engine), buddy, &mut out);
         for (dest, msg) in out {
-            self.transport.send(site, dest, msg.encode());
+            self.transport
+                .send(site, dest, msg.encode_into(&mut self.scratch));
         }
     }
 
@@ -497,8 +503,8 @@ impl SiteRuntime for SimCluster {
 
     fn submit(&mut self, site: usize, op: SiteOp) {
         let clock = self.transport.clock;
-        self.transport
-            .push(clock, CLIENT, site, Message::Submit { op }.encode());
+        let frame = Message::encode_submit_into(std::slice::from_ref(&op), &mut self.scratch);
+        self.transport.push(clock, CLIENT, site, frame);
     }
 
     fn poll(&mut self, site: usize) -> Vec<OpOutcome> {
@@ -506,11 +512,26 @@ impl SiteRuntime for SimCluster {
         self.workers[site].take_completed()
     }
 
+    /// The batched path: one `Submit` frame (encoded straight from the
+    /// borrowed slice) carries the whole batch into the site's scheduling
+    /// round, then the scheduler runs to quiescence and the outcomes are
+    /// drained.
+    fn submit_batch(&mut self, site: usize, ops: &[SiteOp]) -> Vec<OpOutcome> {
+        if ops.is_empty() {
+            return Vec::new();
+        }
+        let clock = self.transport.clock;
+        let frame = Message::encode_submit_into(ops, &mut self.scratch);
+        self.transport.push(clock, CLIENT, site, frame);
+        self.poll(site)
+    }
+
     fn synchronize(&mut self, site: usize) -> u64 {
         let mut out = Vec::new();
         self.workers[site].begin_full_sync(&mut out);
         for (dest, msg) in out {
-            self.transport.send(site, dest, msg.encode());
+            self.transport
+                .send(site, dest, msg.encode_into(&mut self.scratch));
         }
         self.run_until_quiescent();
         self.workers[site].take_full_sync_result().expect(

@@ -62,6 +62,9 @@ pub struct ThreadedCluster {
     /// Negotiations run by the registration path (worker statistics are
     /// aggregated on top by [`ThreadedCluster::stats`]).
     registration_negotiations: u64,
+    /// Frame-encode scratch for the coordinating thread's batched sends
+    /// ([`Message::encode_submit_into`]).
+    scratch: Vec<u8>,
 }
 
 impl ThreadedCluster {
@@ -111,6 +114,7 @@ impl ThreadedCluster {
             registered: BTreeSet::new(),
             config,
             registration_negotiations: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -146,12 +150,11 @@ impl ThreadedCluster {
             lower_bound,
             allowances,
         };
+        // Encode the broadcast once; each site gets a byte-copy of the same
+        // frame instead of a fresh encoding pass.
+        let frame = Message::Register { meta }.encode();
         for site in 0..sites {
-            self.transport.send(
-                CLIENT,
-                site,
-                Message::Register { meta: meta.clone() }.encode(),
-            );
+            self.transport.send(CLIENT, site, frame.clone());
         }
         solver_micros
     }
@@ -170,6 +173,7 @@ impl ThreadedCluster {
         ClusterClient {
             site,
             transport: self.transport.clone(),
+            scratch: Vec::new(),
         }
     }
 
@@ -202,14 +206,27 @@ impl SiteRuntime for ThreadedCluster {
     }
 
     fn submit(&mut self, site: usize, op: SiteOp) {
-        self.transport
-            .send(CLIENT, site, Message::Submit { op }.encode());
+        let frame = Message::encode_submit_into(std::slice::from_ref(&op), &mut self.scratch);
+        self.transport.send(CLIENT, site, frame);
     }
 
     fn poll(&mut self, site: usize) -> Vec<OpOutcome> {
         let (tx, rx) = channel();
         self.transport.control(site, Control::Poll { reply: tx });
         rx.recv().expect("site worker terminated")
+    }
+
+    /// The batched path: the whole batch travels as **one** `Submit` frame
+    /// (one encode straight from the borrowed slice, one channel send, one
+    /// scheduling round on the worker) and one poll round-trip collects
+    /// the outcomes.
+    fn submit_batch(&mut self, site: usize, ops: &[SiteOp]) -> Vec<OpOutcome> {
+        if ops.is_empty() {
+            return Vec::new();
+        }
+        let frame = Message::encode_submit_into(ops, &mut self.scratch);
+        self.transport.send(CLIENT, site, frame);
+        self.poll(site)
     }
 
     fn synchronize(&mut self, site: usize) -> u64 {
@@ -241,6 +258,8 @@ impl Drop for ThreadedCluster {
 pub struct ClusterClient {
     site: usize,
     transport: ChannelTransport,
+    /// Per-connection frame-encode scratch ([`Message::encode_submit_into`]).
+    scratch: Vec<u8>,
 }
 
 impl ClusterClient {
@@ -251,8 +270,19 @@ impl ClusterClient {
 
     /// Submits an operation to the attached site's inbox.
     pub fn submit(&mut self, op: SiteOp) {
-        self.transport
-            .send(CLIENT, self.site, Message::Submit { op }.encode());
+        let frame = Message::encode_submit_into(std::slice::from_ref(&op), &mut self.scratch);
+        self.transport.send(CLIENT, self.site, frame);
+    }
+
+    /// Submits a whole batch of operations as one frame — the load
+    /// generator's fast path (one encode straight from the borrowed slice
+    /// + one channel send per batch).
+    pub fn submit_batch(&mut self, ops: &[SiteOp]) {
+        if ops.is_empty() {
+            return;
+        }
+        let frame = Message::encode_submit_into(ops, &mut self.scratch);
+        self.transport.send(CLIENT, self.site, frame);
     }
 
     /// Blocks until every submitted operation has completed and returns
@@ -265,35 +295,48 @@ impl ClusterClient {
     }
 }
 
-/// The per-site worker thread: pump frames and control commands off the
-/// channel, ship the worker's outbox through the transport, and answer
-/// poll/synchronize once the worker reaches the requested state.
+/// The per-site worker thread: drain every queued frame and control command
+/// off the channel into one scheduling round, ship the worker's outbox
+/// through the transport, and answer poll/synchronize once the worker
+/// reaches the requested state.
+///
+/// Draining the whole inbox per round (one blocking `recv`, then `try_recv`
+/// until empty) batches the outbox flush and the idle checks over however
+/// much work has piled up, instead of paying them per frame. Outgoing
+/// frames are encoded through one per-connection scratch buffer
+/// ([`Message::encode_into`]), so a round's worth of sends costs one
+/// exact-size allocation per frame and no body-buffer churn.
 fn worker_loop(mut worker: SiteWorker, rx: Receiver<Input>, mut transport: ChannelTransport) {
     let mut out = Vec::new();
+    let mut scratch = Vec::new();
     let mut poll_replies: Vec<Sender<Vec<OpOutcome>>> = Vec::new();
     let mut sync_reply: Option<Sender<u64>> = None;
     loop {
-        let input = match rx.recv() {
+        let first = match rx.recv() {
             Ok(input) => input,
             Err(_) => return, // cluster dropped
         };
-        match input {
-            Input::Frame(from, frame) => {
-                let msg = Message::decode(&frame).expect("malformed frame on the wire");
-                worker.handle(from, msg, &mut out);
+        let mut next = Some(first);
+        while let Some(input) = next {
+            match input {
+                Input::Frame(from, frame) => {
+                    let msg = Message::decode(&frame).expect("malformed frame on the wire");
+                    worker.handle(from, msg, &mut out);
+                }
+                Input::Control(Control::Poll { reply }) => poll_replies.push(reply),
+                Input::Control(Control::Synchronize { reply }) => {
+                    worker.begin_full_sync(&mut out);
+                    sync_reply = Some(reply);
+                }
+                Input::Control(Control::Stats { reply }) => {
+                    let _ = reply.send(worker.stats);
+                }
+                Input::Control(Control::Shutdown) => return,
             }
-            Input::Control(Control::Poll { reply }) => poll_replies.push(reply),
-            Input::Control(Control::Synchronize { reply }) => {
-                worker.begin_full_sync(&mut out);
-                sync_reply = Some(reply);
-            }
-            Input::Control(Control::Stats { reply }) => {
-                let _ = reply.send(worker.stats);
-            }
-            Input::Control(Control::Shutdown) => return,
+            next = rx.try_recv().ok();
         }
         for (to, msg) in out.drain(..) {
-            transport.send(worker.site(), to, msg.encode());
+            transport.send(worker.site(), to, msg.encode_into(&mut scratch));
         }
         if worker.idle() && !poll_replies.is_empty() {
             let mut outcomes = Some(worker.take_completed());
@@ -348,15 +391,18 @@ pub fn threaded_load(sites: usize, ops_per_site: usize, items: usize, seed: u64)
                     let mut committed = 0u64;
                     let mut synchronized = 0u64;
                     let mut issued = 0usize;
+                    let mut ops: Vec<SiteOp> = Vec::with_capacity(batch);
                     while issued < ops_per_site {
                         let n = batch.min(ops_per_site - issued);
-                        for _ in 0..n {
-                            client.submit(SiteOp::Order {
-                                obj: ObjId::new(format!("stock[{}]", rng.index(items))),
-                                amount: 1,
-                                refill_to: Some(refill - 1),
-                            });
-                        }
+                        // One frame per batch: the load generator pays one
+                        // encode + one channel send for `n` operations.
+                        ops.clear();
+                        ops.extend((0..n).map(|_| SiteOp::Order {
+                            obj: ObjId::new(format!("stock[{}]", rng.index(items))),
+                            amount: 1,
+                            refill_to: Some(refill - 1),
+                        }));
+                        client.submit_batch(&ops);
                         issued += n;
                         for outcome in client.poll() {
                             if outcome.committed {

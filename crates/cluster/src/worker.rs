@@ -233,6 +233,16 @@ impl SiteWorker {
         self.pump(out);
     }
 
+    /// Enqueues a whole batch of client operations and pumps the queue
+    /// **once** — the batched scheduling round. Within-treaty operations in
+    /// the batch commit back to back without re-entering the scheduler;
+    /// the first stalled operation (frozen counter or in-flight sync)
+    /// leaves the rest queued, exactly as per-operation submission would.
+    pub fn submit_batch(&mut self, ops: impl IntoIterator<Item = SiteOp>, out: &mut Outbox) {
+        self.queue.extend(ops);
+        self.pump(out);
+    }
+
     /// Starts a fold of every registered counter (the message-passing form
     /// of `SiteRuntime::synchronize`). The result is available through
     /// [`SiteWorker::take_full_sync_result`] once every per-counter round
@@ -292,7 +302,7 @@ impl SiteWorker {
             return;
         }
         match msg {
-            Message::Submit { op } => self.submit(op, out),
+            Message::Submit { ops } => self.submit_batch(ops, out),
             Message::Register { meta } => self.install_counter(meta),
             Message::SyncRequest { req, obj, kind } => {
                 self.on_sync_request(from, req, obj, kind, out)
@@ -412,8 +422,10 @@ impl SiteWorker {
         if self.recovering {
             return;
         }
+        // Operations are popped (not clone-peeked) and pushed back only on
+        // a stall, so the common path moves each op exactly once.
         while self.waiting.is_none() {
-            let Some(op) = self.queue.front().cloned() else {
+            let Some(op) = self.queue.pop_front() else {
                 break;
             };
             match op {
@@ -423,12 +435,17 @@ impl SiteWorker {
                     refill_to,
                 } => {
                     if self.frozen.contains_key(&obj) {
-                        break; // stalled until the in-flight round installs
+                        // Stalled until the in-flight round installs.
+                        self.queue.push_front(SiteOp::Order {
+                            obj,
+                            amount,
+                            refill_to,
+                        });
+                        break;
                     }
                     if !self.try_local_order(&obj, amount) {
                         // Treaty violation: hand the operation to the
                         // counter's coordinator for a serialized round.
-                        self.queue.pop_front();
                         let req = self.fresh_req();
                         self.waiting = Some(req);
                         out.push((
@@ -441,10 +458,10 @@ impl SiteWorker {
                         ));
                         break;
                     }
-                    self.queue.pop_front();
                 }
                 SiteOp::Increment { obj, amount } => {
                     if self.frozen.contains_key(&obj) {
+                        self.queue.push_front(SiteOp::Increment { obj, amount });
                         break;
                     }
                     assert!(
@@ -460,10 +477,10 @@ impl SiteWorker {
                         Err(e) => panic!("counter read failed: {e}"),
                     };
                     self.completed.push(outcome);
-                    self.queue.pop_front();
                 }
                 SiteOp::ForceSync { obj } => {
                     if self.frozen.contains_key(&obj) {
+                        self.queue.push_front(SiteOp::ForceSync { obj });
                         break;
                     }
                     if !self.counters.contains_key(&obj) {
@@ -472,10 +489,8 @@ impl SiteWorker {
                         self.stats.negotiations += 1;
                         self.stats.synchronizations += 1;
                         self.completed.push(OpOutcome::synchronized(false, 0));
-                        self.queue.pop_front();
                         continue;
                     }
-                    self.queue.pop_front();
                     let req = self.fresh_req();
                     self.waiting = Some(req);
                     out.push((

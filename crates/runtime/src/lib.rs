@@ -16,6 +16,9 @@
 //! * [`SiteRuntime::submit`] — enqueue a [`SiteOp`] into a site's inbox;
 //! * [`SiteRuntime::poll`] — drain the inbox, executing the batch against
 //!   the site's engine under its local concurrency control;
+//! * [`SiteRuntime::submit_batch`] — execute a whole batch in one call,
+//!   letting implementations amortize per-operation bookkeeping (group
+//!   commit, one wire frame per batch) without changing the semantics;
 //! * [`SiteRuntime::synchronize`] — force a cross-site synchronization and
 //!   treaty renegotiation.
 //!
@@ -168,26 +171,39 @@ pub trait SiteRuntime {
         self.engine(site).peek(obj.as_str())
     }
 
-    /// Convenience for unbatched callers: submit one operation and poll it.
+    /// Executes a whole batch of operations on `site` and returns one
+    /// outcome per operation, in batch order.
     ///
-    /// # Contract
+    /// This is the first-class batched submission path: implementations
+    /// override it to amortize per-operation bookkeeping across the batch
+    /// (one group-committed WAL cycle for a run of within-treaty writes, one
+    /// wire frame for a whole cluster batch) while keeping the observable
+    /// semantics of executing the operations one at a time in order. The
+    /// default loops `submit`/`poll` per operation, so any implementation
+    /// is batchable even before it optimizes.
     ///
-    /// `site`'s inbox must be empty when this is called: the drained batch
-    /// then contains exactly the submitted operation, whose outcome is
-    /// returned. Calling it with queued operations would silently discard
-    /// their outcomes, so debug builds assert the batch was a singleton —
-    /// batched submitters must use [`Self::poll`] directly.
+    /// `site`'s inbox should be empty when this is called; outcomes of
+    /// previously queued operations would otherwise be interleaved into the
+    /// returned vector.
+    fn submit_batch(&mut self, site: usize, ops: &[SiteOp]) -> Vec<OpOutcome> {
+        let mut outcomes = Vec::with_capacity(ops.len());
+        for op in ops {
+            self.submit(site, op.clone());
+            outcomes.extend(self.poll(site));
+        }
+        outcomes
+    }
+
+    /// Convenience for unbatched callers: a singleton [`Self::submit_batch`].
+    ///
+    /// `site`'s inbox should be empty when this is called (the returned
+    /// outcome is the last of the drained batch, so queued operations'
+    /// outcomes would be discarded) — batched submitters use
+    /// [`Self::submit_batch`] or [`Self::poll`] directly.
     fn execute(&mut self, site: usize, op: SiteOp) -> OpOutcome {
-        self.submit(site, op);
-        let mut outcomes = self.poll(site);
-        let last = outcomes.pop().unwrap_or_default();
-        debug_assert!(
-            outcomes.is_empty(),
-            "execute() requires an empty inbox, but the drained batch held {} \
-             earlier outcome(s) that would be discarded",
-            outcomes.len()
-        );
-        last
+        self.submit_batch(site, std::slice::from_ref(&op))
+            .pop()
+            .unwrap_or_default()
     }
 }
 

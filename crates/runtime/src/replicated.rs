@@ -14,7 +14,7 @@
 //! independent counters no longer serialize through one map — the seam a
 //! future multi-threaded site can split work along.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use homeo_lang::ids::ObjId;
 use homeo_protocol::{negotiate_allowances, ReplicatedMode, ReplicatedStats, WorkloadHints};
@@ -212,107 +212,183 @@ impl ReplicatedRuntime {
         self.engines[site].crash_and_recover();
     }
 
-    fn run_op(&mut self, site: usize, op: SiteOp) -> OpOutcome {
-        match op {
-            SiteOp::Order {
-                obj,
-                amount,
-                refill_to,
-            } => self.order(site, &obj, amount, refill_to),
-            SiteOp::Increment { obj, amount } => self.increment(site, &obj, amount),
-            SiteOp::ForceSync { obj } => self.force_sync(&obj),
-            SiteOp::Transaction { .. } => {
-                panic!("ReplicatedRuntime executes counter operations, not general transactions")
+    /// Executes a batch of operations against `site`, group-committing runs
+    /// of within-treaty writes.
+    ///
+    /// Consecutive within-treaty orders and increments stage their values in
+    /// memory and are flushed through **one** logged engine transaction
+    /// ([`Engine::write_logged_batch`]): one lock-acquisition cycle and one
+    /// WAL `Begin`/`Commit` for the whole run instead of one per operation.
+    /// A treaty violation (or a `ForceSync`) flushes the run first — so the
+    /// fold over every site's engine state observes the batch's earlier
+    /// commits — and then synchronizes exactly as the one-at-a-time path
+    /// did. The observable outcomes, counter values and recovered state are
+    /// identical to executing the operations one at a time; only the WAL's
+    /// transaction grouping differs.
+    fn run_batch(&mut self, site: usize, ops: &[SiteOp]) -> Vec<OpOutcome> {
+        let mut outcomes = vec![OpOutcome::default(); ops.len()];
+        // Staged within-treaty values (`obj → value`, hashed — this map is
+        // touched once or twice per operation) and the write order plus the
+        // indices of the operations whose commits ride on the next flush.
+        let mut staged: HashMap<ObjId, i64> = HashMap::new();
+        let mut write_order: Vec<ObjId> = Vec::new();
+        let mut segment: Vec<usize> = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                SiteOp::Order {
+                    obj,
+                    amount,
+                    refill_to,
+                } => {
+                    assert!(*amount >= 0);
+                    let shard = self.shard_of(obj);
+                    let meta = self.shards[shard]
+                        .counters
+                        .get(obj)
+                        .unwrap_or_else(|| panic!("counter `{obj}` not registered"));
+                    let (base, floor) = (meta.base, meta.base + meta.allowances[site]);
+                    let value = staged
+                        .get(obj)
+                        .copied()
+                        .unwrap_or_else(|| self.engines[site].peek(obj.as_str()));
+                    let new_value = value - amount;
+                    if new_value >= floor {
+                        // Normal execution: the decrement stays within this
+                        // site's local treaty — stage it for the group
+                        // commit.
+                        if staged.insert(obj.clone(), new_value).is_none() {
+                            write_order.push(obj.clone());
+                        }
+                        segment.push(i);
+                        outcomes[i] = OpOutcome::local_commit();
+                        continue;
+                    }
+                    // Treaty violation: cleanup phase. Flush the staged run
+                    // (its commits must be visible to the fold) and probe
+                    // the counter's lock the way the serial path's
+                    // transactional read did: if a concurrent engine
+                    // transaction holds the object, the operation reports
+                    // uncommitted instead of panicking inside the fold.
+                    self.flush(
+                        site,
+                        &mut staged,
+                        &mut write_order,
+                        &mut segment,
+                        &mut outcomes,
+                    );
+                    let engine = &self.engines[site];
+                    let mut probe = engine.begin();
+                    match engine.read(&probe, obj.as_str()) {
+                        Ok(_) => engine
+                            .abort(&mut probe)
+                            .expect("abort of active transaction"),
+                        Err(EngineError::WouldBlock { .. }) => {
+                            engine.abort(&mut probe).ok();
+                            continue; // outcomes[i] stays uncommitted
+                        }
+                        Err(e) => panic!("counter read failed: {e}"),
+                    }
+                    // Fold every site's delta into the base, run the
+                    // operation on the consistent state, renegotiate.
+                    let logical = base
+                        + self
+                            .engines
+                            .iter()
+                            .map(|e| e.peek(obj.as_str()) - base)
+                            .sum::<i64>();
+                    let lower_bound = self.shards[shard].counters[obj].lower_bound;
+                    let (new_base, refilled) = if logical - amount >= lower_bound {
+                        (logical - amount, false)
+                    } else if let Some(refill) = refill_to {
+                        (*refill, true)
+                    } else {
+                        // No refill semantics: apply the decrement on the
+                        // consistent state (it is now a fully synchronized,
+                        // serial operation).
+                        (logical - amount, false)
+                    };
+                    let solver_micros = self.install_synchronized(obj, new_base);
+                    self.stats.synchronizations += 1;
+                    outcomes[i] = OpOutcome::synchronized(refilled, solver_micros);
+                }
+                SiteOp::Increment { obj, amount } => {
+                    // A pure local increment: increments never threaten a
+                    // `≥`-treaty, so they always commit locally (Appendix E:
+                    // "instances of Payment run without ever needing to
+                    // synchronize").
+                    assert!(self.is_registered(obj), "counter `{obj}` not registered");
+                    let value = staged
+                        .get(obj)
+                        .copied()
+                        .unwrap_or_else(|| self.engines[site].peek(obj.as_str()));
+                    if staged.insert(obj.clone(), value + amount.abs()).is_none() {
+                        write_order.push(obj.clone());
+                    }
+                    segment.push(i);
+                    outcomes[i] = OpOutcome::local_commit();
+                }
+                SiteOp::ForceSync { obj } => {
+                    self.flush(
+                        site,
+                        &mut staged,
+                        &mut write_order,
+                        &mut segment,
+                        &mut outcomes,
+                    );
+                    outcomes[i] = self.force_sync(obj);
+                }
+                SiteOp::Transaction { .. } => {
+                    panic!(
+                        "ReplicatedRuntime executes counter operations, not general transactions"
+                    )
+                }
             }
         }
+        self.flush(
+            site,
+            &mut staged,
+            &mut write_order,
+            &mut segment,
+            &mut outcomes,
+        );
+        outcomes
     }
 
-    /// The order/decrement-or-refill operation (Listing 1 / TPC-C New Order
-    /// stock update).
-    fn order(
+    /// Group-commits the staged run through one logged engine transaction,
+    /// writing objects in first-touch order so seeded runs stay
+    /// byte-for-byte reproducible. Like the one-at-a-time path, a lock
+    /// conflict with a concurrent engine transaction does not panic — the
+    /// run's operations report as uncommitted (the batch aborts as a unit,
+    /// which is the group-commit analogue of the per-operation `WouldBlock`
+    /// outcome).
+    fn flush(
         &mut self,
         site: usize,
-        obj: &ObjId,
-        amount: i64,
-        refill_to: Option<i64>,
-    ) -> OpOutcome {
-        assert!(amount >= 0);
-        let shard = self.shard_of(obj);
-        let meta = self.shards[shard]
-            .counters
-            .get(obj)
-            .unwrap_or_else(|| panic!("counter `{obj}` not registered"));
-        let (base, floor) = (meta.base, meta.base + meta.allowances[site]);
-
-        // Normal execution: the decrement stays within this site's local
-        // treaty, so it commits without communication — one engine
-        // transaction, fully covered by 2PL and the WAL.
-        let engine = &self.engines[site];
-        let mut txn = engine.begin();
-        let value = match engine.read(&txn, obj.as_str()) {
-            Ok(v) => v,
-            Err(EngineError::WouldBlock { .. }) => {
-                engine.abort(&mut txn).ok();
-                return OpOutcome::default();
-            }
-            Err(e) => panic!("counter read failed: {e}"),
-        };
-        let new_value = value - amount;
-        if new_value >= floor {
-            engine
-                .write(&txn, obj.as_str(), new_value)
-                .and_then(|()| engine.commit(&mut txn))
-                .expect("writer already holds the lock");
-            self.stats.local_commits += 1;
-            return OpOutcome::local_commit();
+        staged: &mut HashMap<ObjId, i64>,
+        write_order: &mut Vec<ObjId>,
+        segment: &mut Vec<usize>,
+        outcomes: &mut [OpOutcome],
+    ) {
+        if staged.is_empty() {
+            segment.clear();
+            return;
         }
-        engine.abort(&mut txn).expect("abort of active transaction");
-
-        // Treaty violation: cleanup phase. Fold every site's delta into the
-        // base, run the transaction on the consistent state, renegotiate.
-        let logical = base
-            + self
-                .engines
-                .iter()
-                .map(|e| e.peek(obj.as_str()) - base)
-                .sum::<i64>();
-        let lower_bound = self.shards[shard].counters[obj].lower_bound;
-        let (new_base, refilled) = if logical - amount >= lower_bound {
-            (logical - amount, false)
-        } else if let Some(refill) = refill_to {
-            (refill, true)
-        } else {
-            // No refill semantics: apply the decrement on the consistent
-            // state (it is now a fully synchronized, serial operation).
-            (logical - amount, false)
-        };
-        let solver_micros = self.install_synchronized(obj, new_base);
-        self.stats.synchronizations += 1;
-        OpOutcome::synchronized(refilled, solver_micros)
-    }
-
-    /// A pure local increment: increments never threaten a `≥`-treaty, so
-    /// they always commit locally (Appendix E: "instances of Payment run
-    /// without ever needing to synchronize").
-    fn increment(&mut self, site: usize, obj: &ObjId, amount: i64) -> OpOutcome {
-        assert!(self.is_registered(obj), "counter `{obj}` not registered");
-        let engine = &self.engines[site];
-        let mut txn = engine.begin();
-        match engine.read(&txn, obj.as_str()) {
-            Ok(value) => {
-                engine
-                    .write(&txn, obj.as_str(), value + amount.abs())
-                    .and_then(|()| engine.commit(&mut txn))
-                    .expect("writer already holds the lock");
-                self.stats.local_commits += 1;
-                OpOutcome::local_commit()
-            }
+        let writes: Vec<(&str, i64)> = write_order
+            .iter()
+            .map(|o| (o.as_str(), staged[o]))
+            .collect();
+        match self.engines[site].write_logged_batch(&writes) {
+            Ok(()) => self.stats.local_commits += segment.len() as u64,
             Err(EngineError::WouldBlock { .. }) => {
-                engine.abort(&mut txn).ok();
-                OpOutcome::default()
+                for &i in segment.iter() {
+                    outcomes[i] = OpOutcome::default();
+                }
             }
-            Err(e) => panic!("counter read failed: {e}"),
+            Err(e) => panic!("group commit failed: {e}"),
         }
+        staged.clear();
+        write_order.clear();
+        segment.clear();
     }
 
     /// Forces a synchronization on behalf of an operation whose treaty pins
@@ -384,7 +460,13 @@ impl SiteRuntime for ReplicatedRuntime {
 
     fn poll(&mut self, site: usize) -> Vec<OpOutcome> {
         let batch: Vec<SiteOp> = self.inboxes[site].drain(..).collect();
-        batch.into_iter().map(|op| self.run_op(site, op)).collect()
+        self.run_batch(site, &batch)
+    }
+
+    fn submit_batch(&mut self, site: usize, ops: &[SiteOp]) -> Vec<OpOutcome> {
+        // The batch bypasses the inbox: operations queued via `submit` stay
+        // queued (a later `poll` runs them), and nothing is discarded.
+        self.run_batch(site, ops)
     }
 
     fn synchronize(&mut self, _site: usize) -> u64 {
@@ -651,6 +733,124 @@ mod tests {
         assert_eq!(counters.logical_value(&stock(1)), 99);
         // The inbox is drained.
         assert!(counters.poll(0).is_empty());
+    }
+
+    #[test]
+    fn submit_batch_group_commits_and_matches_one_at_a_time() {
+        let ops: Vec<SiteOp> = (0..64)
+            .map(|i| SiteOp::Order {
+                obj: stock(i % 4),
+                amount: 1,
+                refill_to: Some(99),
+            })
+            .collect();
+        // One-at-a-time reference run.
+        let mut serial = homeo(2);
+        for i in 0..4 {
+            serial.register(stock(i), 100, 1);
+        }
+        let serial_outcomes: Vec<OpOutcome> =
+            ops.iter().map(|op| serial.execute(0, op.clone())).collect();
+        // Batched run over identical state.
+        let mut batched = homeo(2);
+        for i in 0..4 {
+            batched.register(stock(i), 100, 1);
+        }
+        let batched_outcomes = batched.submit_batch(0, &ops);
+        assert_eq!(serial_outcomes, batched_outcomes);
+        for i in 0..4 {
+            assert_eq!(
+                serial.logical_value(&stock(i)),
+                batched.logical_value(&stock(i))
+            );
+            assert_eq!(
+                serial.visible_value(0, &stock(i)),
+                batched.visible_value(0, &stock(i))
+            );
+        }
+        assert_eq!(serial.stats.local_commits, batched.stats.local_commits);
+        assert_eq!(
+            serial.stats.synchronizations,
+            batched.stats.synchronizations
+        );
+        // The batch folded its within-treaty run into far fewer WAL
+        // transactions (group commit), while recovering to the same state.
+        assert!(
+            batched.engine(0).wal_len() < serial.engine(0).wal_len(),
+            "group commit must shrink the log: {} vs {}",
+            batched.engine(0).wal_len(),
+            serial.engine(0).wal_len()
+        );
+        batched.crash_site(0);
+        assert_eq!(
+            batched.visible_value(0, &stock(0)),
+            serial.visible_value(0, &stock(0)),
+            "the group-committed state must be durable"
+        );
+    }
+
+    #[test]
+    fn violation_with_concurrently_locked_counter_reports_uncommitted() {
+        let mut counters = homeo(2);
+        counters.register(stock(0), 4, 1);
+        // A concurrent engine transaction holds the counter's lock.
+        let mut foreign = {
+            let engine = counters.engine(0);
+            let t = engine.begin();
+            engine.write(&t, stock(0).as_str(), 100).unwrap();
+            t
+        };
+        // The violating order must report uncommitted (as the serial path's
+        // transactional read did), not panic inside the fold.
+        let out = counters.execute(
+            0,
+            SiteOp::Order {
+                obj: stock(0),
+                amount: 10,
+                refill_to: Some(50),
+            },
+        );
+        assert!(!out.committed && !out.synchronized);
+        counters.engine(0).abort(&mut foreign).unwrap();
+        // Once the conflict clears the same operation synchronizes.
+        let out = counters.execute(
+            0,
+            SiteOp::Order {
+                obj: stock(0),
+                amount: 10,
+                refill_to: Some(50),
+            },
+        );
+        assert!(out.committed && out.synchronized && out.refilled);
+    }
+
+    #[test]
+    fn batched_increments_and_force_sync_flush_correctly() {
+        let mut counters = homeo(2);
+        counters.register(stock(0), 100, 1);
+        let ops = vec![
+            SiteOp::Increment {
+                obj: stock(0),
+                amount: 5,
+            },
+            SiteOp::Order {
+                obj: stock(0),
+                amount: 2,
+                refill_to: Some(99),
+            },
+            SiteOp::ForceSync { obj: stock(0) },
+            SiteOp::Increment {
+                obj: stock(0),
+                amount: 3,
+            },
+        ];
+        let outcomes = counters.submit_batch(0, &ops);
+        assert_eq!(outcomes.len(), 4);
+        assert!(outcomes.iter().all(|o| o.committed));
+        assert!(outcomes[2].synchronized);
+        // 100 + 5 − 2 folded by the sync, then +3 locally.
+        assert_eq!(counters.logical_value(&stock(0)), 106);
+        assert_eq!(counters.visible_value(1, &stock(0)), 103);
     }
 
     #[test]

@@ -227,19 +227,22 @@ impl WorkloadDriver for MicroWorkload {
         let items = self.pick_items(rng);
         let refill_to = self.config.refill - 1;
         let local = self.local_cost() * items.len() as u64;
-        for item in &items {
-            let obj = stock_obj(*item);
-            runtime.ensure_registered(&obj, self.config.refill, 1);
-            runtime.submit(
-                site,
+        // A multi-item transaction is one batch: its within-treaty orders
+        // group-commit through a single WAL cycle (or one wire frame on the
+        // cluster backends).
+        let ops: Vec<SiteOp> = items
+            .iter()
+            .map(|item| {
+                let obj = stock_obj(*item);
+                runtime.ensure_registered(&obj, self.config.refill, 1);
                 SiteOp::Order {
                     obj,
                     amount: 1,
                     refill_to: Some(refill_to),
-                },
-            );
-        }
-        let outcomes = runtime.poll(site);
+                }
+            })
+            .collect();
+        let outcomes = runtime.submit_batch(site, &ops);
         let committed = outcomes.iter().all(|o| o.committed);
         let synchronized = outcomes.iter().any(|o| o.synchronized);
         let communicated = outcomes.iter().any(|o| o.comm_rounds > 0);
