@@ -2,9 +2,9 @@
 //!
 //! ```text
 //! reproduce [--full] [--csv-dir DIR] [--json PATH] [--baseline PATH]
-//!           [--list] [--threads N]
+//!           [--list] [--threads N] [--homeo-load CONFIG] [--ops N]
 //!           [all | table1 | fig10 | ... | fig29 | cluster-partition | ...
-//!            | bench]...
+//!            | cluster-tcp | bench]...
 //! ```
 //!
 //! With no arguments, `all` is assumed: every paper figure, the cluster
@@ -19,7 +19,12 @@
 //! more-than-2× ops/sec regression of any cell (the CI perf gate). `--list` prints
 //! the available ids (one per line) and exits. `--threads N` additionally
 //! runs the real-concurrency load mode: N worker threads, one client thread
-//! each, over the channel transport.
+//! each, over the channel transport. `--homeo-load CONFIG` is the TCP load
+//! client: it connects to the `homeostasisd` cluster described by CONFIG
+//! (started separately, any mix of processes/machines on the config's
+//! addresses), drives `--ops N` (default 2000) seeded order operations per
+//! site over the sockets, and self-verifies counter conservation — a failed
+//! check is a non-zero exit.
 //!
 //! Exit codes: `0` on success, `1` when one or more requested figures or
 //! scenarios fail to generate or write, or when the baseline check finds a
@@ -28,7 +33,7 @@
 use std::path::PathBuf;
 
 use homeo_bench::{all_ids, generate, Effort, Figure, Json};
-use homeo_cluster::threaded_load;
+use homeo_cluster::{tcp_load, threaded_load, ClusterSpec};
 
 fn main() {
     let mut effort = Effort::Quick;
@@ -36,6 +41,8 @@ fn main() {
     let mut json_path: Option<PathBuf> = None;
     let mut baseline_path: Option<PathBuf> = None;
     let mut threads: Option<usize> = None;
+    let mut homeo_load: Option<PathBuf> = None;
+    let mut ops_per_site: usize = 2_000;
     let mut requested: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1).peekable();
@@ -55,6 +62,23 @@ fn main() {
                     Some(n) if n > 0 => threads = Some(n),
                     _ => {
                         eprintln!("--threads requires a positive thread count");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--homeo-load" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("--homeo-load requires a cluster config path");
+                    std::process::exit(2);
+                });
+                homeo_load = Some(PathBuf::from(path));
+            }
+            "--ops" => {
+                let n = args.next().and_then(|n| n.parse::<usize>().ok());
+                match n {
+                    Some(n) if n > 0 => ops_per_site = n,
+                    _ => {
+                        eprintln!("--ops requires a positive per-site operation count");
                         std::process::exit(2);
                     }
                 }
@@ -83,7 +107,8 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: reproduce [--full] [--csv-dir DIR] [--json PATH] \
-                     [--baseline PATH] [--list] [--threads N] [all | {}]...",
+                     [--baseline PATH] [--list] [--threads N] \
+                     [--homeo-load CONFIG] [--ops N] [all | {}]...",
                     all_ids().join(" | ")
                 );
                 return;
@@ -101,8 +126,8 @@ fn main() {
             std::process::exit(2);
         }
     }
-    if requested.is_empty() && threads.is_some() {
-        // `--threads N` alone runs just the load mode.
+    if requested.is_empty() && (threads.is_some() || homeo_load.is_some()) {
+        // `--threads N` / `--homeo-load CONFIG` alone run just the load mode.
     } else if requested.is_empty() || requested.iter().any(|r| r == "all") {
         requested = known.iter().map(|s| s.to_string()).collect();
     }
@@ -206,15 +231,58 @@ fn main() {
             }
         }
     }
+    if let Some(config_path) = &homeo_load {
+        match run_homeo_load(config_path, ops_per_site) {
+            Ok(()) => {}
+            Err(problem) => {
+                eprintln!("FAILED: {problem}\n");
+                failed.push("--homeo-load".to_string());
+            }
+        }
+    }
     if !failed.is_empty() {
         eprintln!(
             "{} of {} task(s) failed: {}",
             failed.len(),
-            requested.len() + usize::from(threads.is_some()),
+            requested.len() + usize::from(threads.is_some()) + usize::from(homeo_load.is_some()),
             failed.join(" ")
         );
         std::process::exit(1);
     }
+}
+
+/// The `homeo-load` client mode: drive `submit_batch` order traffic over
+/// TCP against an externally started `homeostasisd` cluster and
+/// self-verify counter conservation. Any lost operation, cross-site
+/// disagreement or conservation violation is an `Err` (and thus a non-zero
+/// exit).
+fn run_homeo_load(config_path: &std::path::Path, ops_per_site: usize) -> Result<(), String> {
+    let text = std::fs::read_to_string(config_path)
+        .map_err(|e| format!("cannot read {}: {e}", config_path.display()))?;
+    let spec = ClusterSpec::parse(&text)
+        .map_err(|e| format!("bad cluster config {}: {e}", config_path.display()))?;
+    const ITEMS: usize = 16;
+    println!(
+        "homeo-load: {} site(s) over TCP, {ops_per_site} ops per site, {ITEMS} counters",
+        spec.sites()
+    );
+    let report =
+        tcp_load(&spec, ops_per_site, ITEMS, 42).map_err(|e| format!("TCP load failed: {e}"))?;
+    println!(
+        "{} sites x {ops_per_site} ops: {} committed ({} synchronized) in {:.2}s = {:.0} ops/s",
+        report.sites, report.committed, report.synchronized, report.elapsed_secs, report.throughput
+    );
+    println!(
+        "conservation: seeded {} - committed {} = folded {} ({})\n",
+        report.initial_total,
+        report.committed,
+        report.final_total,
+        if report.conserved { "OK" } else { "VIOLATED" }
+    );
+    if !report.conserved {
+        return Err("counter conservation check failed".to_string());
+    }
+    Ok(())
 }
 
 /// Compares the generated figures against a baseline JSON file (the schema

@@ -9,7 +9,10 @@
 //! non-zero exit code. The returned [`Figure`] reports what happened per
 //! phase; with a fixed seed it is byte-for-byte reproducible.
 
-use homeo_cluster::{ClusterConfig, SimCluster, SimNetConfig};
+use homeo_cluster::{
+    free_loopback_addrs, spawn_cluster, tcp_load, ClusterConfig, ClusterSpec, DaemonFleet,
+    SimCluster, SimNetConfig,
+};
 use homeo_lang::ids::ObjId;
 use homeo_protocol::{OptimizerConfig, ReplicatedMode, WorkloadHints};
 use homeo_runtime::{SiteOp, SiteRuntime};
@@ -19,7 +22,12 @@ use crate::report::Figure;
 
 /// The cluster scenario ids, in presentation order.
 pub fn all_scenario_ids() -> Vec<&'static str> {
-    vec!["cluster-partition", "cluster-crash", "cluster-skew"]
+    vec![
+        "cluster-partition",
+        "cluster-crash",
+        "cluster-skew",
+        "cluster-tcp",
+    ]
 }
 
 /// Generates one cluster scenario by id.
@@ -32,6 +40,7 @@ pub fn scenario(id: &str) -> Figure {
         "cluster-partition" => partition_then_heal(),
         "cluster-crash" => kill_then_recover(),
         "cluster-skew" => skewed_allowances(),
+        "cluster-tcp" => tcp_loopback_smoke(),
         other => panic!("unknown scenario id `{other}`"),
     }
 }
@@ -277,6 +286,81 @@ fn skewed_allowances() -> Figure {
             ],
         );
     }
+    fig
+}
+
+/// `cluster-tcp`: a real-socket loopback cluster end to end. Spawns one
+/// `homeostasisd` **process per site** when the binary is next to the
+/// running executable (it is, after `cargo build`), falling back to
+/// in-process TCP site nodes otherwise (every frame still crosses a
+/// loopback socket); then runs the `homeo-load` client — seeded
+/// `submit_batch` order traffic from one thread per site — and panics
+/// unless the self-verified conservation check passes: all operations
+/// committed, every site reports the same folded state, and the folded
+/// total equals the seeded total minus the committed decrements.
+fn tcp_loopback_smoke() -> Figure {
+    let mut fig = Figure::new(
+        "cluster-tcp",
+        "Loopback TCP cluster smoke (3 sites, one homeostasisd process each when \
+         the binary is available): homeo-load traffic, conservation self-verified",
+        vec![
+            "deployment".into(),
+            "committed".into(),
+            "synchronized".into(),
+            "total_after_fold".into(),
+        ],
+    );
+    let spec = ClusterSpec::new(
+        free_loopback_addrs(3).expect("reserve loopback addresses for the TCP smoke"),
+    );
+
+    // A multi-process deployment needs the homeostasisd binary; `reproduce`
+    // and the test harnesses have it in their own target directory.
+    let daemon = std::env::current_exe().ok().and_then(|exe| {
+        let dir = exe.parent()?;
+        [dir.join("homeostasisd"), dir.join("../homeostasisd")]
+            .into_iter()
+            .find(|p| p.is_file())
+    });
+    let (label, _fleet, _nodes) = match daemon {
+        Some(bin) => {
+            // The fleet kills its daemons (and removes its temp config) on
+            // drop, even when the load client panics.
+            let fleet = DaemonFleet::spawn(&bin, &spec).expect("spawn the homeostasisd fleet");
+            ("multi-process", Some(fleet), Vec::new())
+        }
+        None => {
+            eprintln!(
+                "cluster-tcp: homeostasisd binary not found next to the executable; \
+                 running the sites in-process (still over loopback TCP)"
+            );
+            let nodes = spawn_cluster(&spec, ClusterConfig::new(spec.mode))
+                .expect("spawn in-process TCP sites");
+            ("in-process", None, nodes)
+        }
+    };
+    let report = tcp_load(&spec, 1_500, 16, 0x7C9).expect("run the homeo-load client");
+    assert_eq!(
+        report.committed, report.issued,
+        "the TCP load lost operations"
+    );
+    assert!(
+        report.synchronized > 0,
+        "draining the headroom must synchronize over the sockets"
+    );
+    assert!(
+        report.conserved,
+        "counter conservation failed: seeded {} − committed {} must equal folded {}",
+        report.initial_total, report.committed, report.final_total
+    );
+    fig.push_row(
+        label,
+        vec![
+            report.committed as f64,
+            report.synchronized as f64,
+            report.final_total as f64,
+        ],
+    );
     fig
 }
 

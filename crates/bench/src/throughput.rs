@@ -4,7 +4,9 @@
 //! while treaties hold, a site commits without coordination. This suite
 //! measures exactly that path on the real clock — committed operations per
 //! wall-clock second through [`SiteRuntime::submit_batch`] — sweeping the
-//! batch size over every execution mode plus the threaded cluster. The
+//! batch size over every execution mode plus the threaded cluster and the
+//! loopback-TCP cluster (one wire frame and one socket round trip per
+//! batch). The
 //! resulting [`Figure`] (id `bench`) is what `reproduce --json` serializes
 //! and what CI's `bench-smoke` job gates against
 //! `crates/bench/baseline.json`: a cell regressing to below half its
@@ -31,8 +33,17 @@ use crate::report::Figure;
 /// The swept batch sizes.
 pub const BATCH_SIZES: [usize; 4] = [1, 8, 64, 256];
 
-/// The swept execution modes, in column order.
-pub const MODES: [&str; 5] = ["homeo", "opt", "2pc", "local", "cluster-threaded"];
+/// The swept execution modes, in column order. `cluster-tcp` pays a real
+/// loopback-socket round trip per poll, so its cells measure the wire
+/// (frame encode + syscalls + kernel buffering), not just the engine.
+pub const MODES: [&str; 6] = [
+    "homeo",
+    "opt",
+    "2pc",
+    "local",
+    "cluster-threaded",
+    "cluster-tcp",
+];
 
 /// Sites under load in every cell.
 const SITES: usize = 2;
@@ -75,6 +86,10 @@ fn build_mode(mode: &str) -> Box<dyn SiteRuntime> {
         "2pc" => Box::new(TwoPcRuntime::new(SITES)),
         "local" => Box::new(LocalRuntime::new(SITES)),
         "cluster-threaded" => Box::new(ClusterRuntime::threaded(
+            SITES,
+            ClusterConfig::new(ReplicatedMode::EvenSplit).with_timer(Timer::fixed_zero()),
+        )),
+        "cluster-tcp" => Box::new(ClusterRuntime::tcp(
             SITES,
             ClusterConfig::new(ReplicatedMode::EvenSplit).with_timer(Timer::fixed_zero()),
         )),

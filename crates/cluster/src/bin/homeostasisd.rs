@@ -1,0 +1,121 @@
+//! `homeostasisd` — run one site (or all sites) of a homeostasis cluster
+//! over real TCP sockets.
+//!
+//! ```text
+//! homeostasisd --config PATH [--site N | --site all]
+//! ```
+//!
+//! The config file names every site's listen address and the shared
+//! negotiation mode (see `homeo_cluster::ClusterSpec` for the format):
+//!
+//! ```text
+//! sites = 3
+//! site.0 = 127.0.0.1:7841
+//! site.1 = 127.0.0.1:7842
+//! site.2 = 127.0.0.1:7843
+//! mode = even-split
+//! ```
+//!
+//! Start one process per site (`--site N`) for a real multi-process
+//! deployment, or one process hosting every site (`--site all`, the
+//! default) for a single-machine playground. Counters are registered by
+//! clients over the wire (`Seed` frames — what `reproduce --homeo-load`
+//! and `reproduce cluster-tcp` do), so a freshly started cluster is empty
+//! and ready.
+//!
+//! Exit codes: `2` on usage/config errors, `1` when a socket cannot be
+//! bound. The daemon runs until killed.
+
+use std::process::exit;
+use std::sync::Arc;
+
+use homeo_cluster::{spawn_cluster, ClusterConfig, ClusterSpec, NodeOptions, SiteNode};
+use homeo_store::Engine;
+
+fn usage() -> ! {
+    eprintln!("usage: homeostasisd --config PATH [--site N | --site all]");
+    exit(2);
+}
+
+fn main() {
+    let mut config_path: Option<String> = None;
+    let mut site_arg: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--config" => config_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--site" => site_arg = Some(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => {
+                println!("usage: homeostasisd --config PATH [--site N | --site all]");
+                return;
+            }
+            _ => usage(),
+        }
+    }
+    let Some(config_path) = config_path else {
+        usage()
+    };
+    let text = match std::fs::read_to_string(&config_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("homeostasisd: cannot read {config_path}: {e}");
+            exit(2);
+        }
+    };
+    let spec = match ClusterSpec::parse(&text) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("homeostasisd: bad config {config_path}: {e}");
+            exit(2);
+        }
+    };
+    let config = ClusterConfig::new(spec.mode);
+    let nodes: Vec<SiteNode> = match site_arg.as_deref() {
+        None | Some("all") => match spawn_cluster(&spec, config) {
+            Ok(nodes) => nodes,
+            Err(e) => {
+                eprintln!("homeostasisd: cannot bind cluster sockets: {e}");
+                exit(1);
+            }
+        },
+        Some(n) => {
+            let site: usize = match n.parse() {
+                Ok(site) if site < spec.sites() => site,
+                _ => {
+                    eprintln!(
+                        "homeostasisd: --site must be `all` or 0..{} (got `{n}`)",
+                        spec.sites()
+                    );
+                    exit(2);
+                }
+            };
+            match SiteNode::bind(NodeOptions {
+                site,
+                addrs: spec.addrs.clone(),
+                config,
+                engine: Arc::new(Engine::new()),
+                recover_from: None,
+            }) {
+                Ok(node) => vec![node],
+                Err(e) => {
+                    eprintln!(
+                        "homeostasisd: cannot bind site {site} on {}: {e}",
+                        spec.addrs[site]
+                    );
+                    exit(1);
+                }
+            }
+        }
+    };
+    for node in &nodes {
+        println!(
+            "homeostasisd: site {} listening on {}",
+            node.site(),
+            node.addr()
+        );
+    }
+    // Serve until killed; all the work happens on the nodes' threads.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(60));
+    }
+}

@@ -1,0 +1,220 @@
+//! The `homeostasisd` cluster configuration: which sites exist, where they
+//! listen, and how treaties are negotiated.
+//!
+//! The format is deliberately tiny — `key = value` lines with `#` comments,
+//! parseable without any external dependency (the workspace is offline):
+//!
+//! ```text
+//! # Three sites on loopback, demarcation-style even-split treaties.
+//! sites = 3
+//! site.0 = 127.0.0.1:7841
+//! site.1 = 127.0.0.1:7842
+//! site.2 = 127.0.0.1:7843
+//! mode = even-split        # or: homeostasis
+//! ```
+//!
+//! Every process of a cluster — each `homeostasisd` site and every load
+//! client — reads the *same* file, so the peer address list and the
+//! negotiation mode (which must agree across sites for allowances to line
+//! up) have a single source of truth.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+
+use homeo_protocol::{OptimizerConfig, ReplicatedMode};
+
+/// A parsed cluster configuration: one listen address per site plus the
+/// shared negotiation mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterSpec {
+    /// Listen address of each site, indexed by site id.
+    pub addrs: Vec<SocketAddr>,
+    /// How local treaties are chosen at each negotiation (must be the same
+    /// in every process of the cluster).
+    pub mode: ReplicatedMode,
+}
+
+impl ClusterSpec {
+    /// A loopback spec over explicit addresses with even-split treaties.
+    pub fn new(addrs: Vec<SocketAddr>) -> Self {
+        ClusterSpec {
+            addrs,
+            mode: ReplicatedMode::EvenSplit,
+        }
+    }
+
+    /// Number of sites.
+    pub fn sites(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Parses the `key = value` format documented on this module. Returns a
+    /// human-readable description of the first problem found.
+    pub fn parse(text: &str) -> Result<ClusterSpec, String> {
+        let mut sites: Option<usize> = None;
+        let mut addrs: Vec<Option<SocketAddr>> = Vec::new();
+        let mut mode = ReplicatedMode::EvenSplit;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `key = value`", lineno + 1));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            if key == "sites" {
+                if sites.is_some() {
+                    return Err(format!("line {}: `sites` declared twice", lineno + 1));
+                }
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| format!("line {}: `sites` is not a number", lineno + 1))?;
+                if n == 0 {
+                    return Err(format!(
+                        "line {}: a cluster needs at least one site",
+                        lineno + 1
+                    ));
+                }
+                sites = Some(n);
+                // Only grow: `site.K` lines may legally precede `sites = N`,
+                // and a too-small N is caught by the final count check
+                // instead of silently truncating already-parsed addresses.
+                if addrs.len() < n {
+                    addrs.resize(n, None);
+                }
+            } else if let Some(index) = key.strip_prefix("site.") {
+                let site: usize = index
+                    .parse()
+                    .map_err(|_| format!("line {}: bad site index `{index}`", lineno + 1))?;
+                let addr = resolve(value)
+                    .ok_or_else(|| format!("line {}: cannot resolve `{value}`", lineno + 1))?;
+                if site >= addrs.len() {
+                    addrs.resize(site + 1, None);
+                }
+                addrs[site] = Some(addr);
+            } else if key == "mode" {
+                mode = match value {
+                    "even-split" => ReplicatedMode::EvenSplit,
+                    "homeostasis" => ReplicatedMode::Homeostasis {
+                        optimizer: Some(OptimizerConfig {
+                            lookahead: 10,
+                            futures: 2,
+                            seed: 21,
+                        }),
+                    },
+                    other => {
+                        return Err(format!(
+                            "line {}: unknown mode `{other}` (expected even-split or homeostasis)",
+                            lineno + 1
+                        ))
+                    }
+                };
+            } else {
+                return Err(format!("line {}: unknown key `{key}`", lineno + 1));
+            }
+        }
+        let declared = sites.ok_or("missing `sites = N`".to_string())?;
+        if addrs.len() != declared {
+            return Err(format!(
+                "`sites = {declared}` but {} site addresses were given",
+                addrs.len()
+            ));
+        }
+        let addrs: Vec<SocketAddr> = addrs
+            .into_iter()
+            .enumerate()
+            .map(|(i, a)| a.ok_or(format!("missing `site.{i} = HOST:PORT`")))
+            .collect::<Result<_, _>>()?;
+        Ok(ClusterSpec { addrs, mode })
+    }
+
+    /// Renders the spec back into the parseable file format (what the
+    /// self-contained smoke scenario writes for the daemons it spawns).
+    pub fn to_config_string(&self) -> String {
+        let mut out = String::from("# Homeostasis cluster configuration\n");
+        out.push_str(&format!("sites = {}\n", self.addrs.len()));
+        for (site, addr) in self.addrs.iter().enumerate() {
+            out.push_str(&format!("site.{site} = {addr}\n"));
+        }
+        let mode = match self.mode {
+            ReplicatedMode::EvenSplit => "even-split",
+            ReplicatedMode::Homeostasis { .. } => "homeostasis",
+        };
+        out.push_str(&format!("mode = {mode}\n"));
+        out
+    }
+}
+
+/// Resolves `HOST:PORT`, accepting both literal socket addresses and
+/// resolvable host names (`localhost:7841`).
+fn resolve(value: &str) -> Option<SocketAddr> {
+    if let Ok(addr) = value.parse() {
+        return Some(addr);
+    }
+    value.to_socket_addrs().ok()?.next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_documented_example_parses_and_round_trips() {
+        let text = "\
+# comment\n\
+sites = 2\n\
+site.0 = 127.0.0.1:7841   # trailing comment\n\
+site.1 = 127.0.0.1:7842\n\
+mode = even-split\n";
+        let spec = ClusterSpec::parse(text).expect("valid config");
+        assert_eq!(spec.sites(), 2);
+        assert_eq!(spec.addrs[1].port(), 7842);
+        assert_eq!(spec.mode, ReplicatedMode::EvenSplit);
+        let rendered = spec.to_config_string();
+        assert_eq!(ClusterSpec::parse(&rendered), Ok(spec));
+    }
+
+    #[test]
+    fn homeostasis_mode_and_hostnames_parse() {
+        let text = "sites = 1\nsite.0 = localhost:7999\nmode = homeostasis\n";
+        let spec = ClusterSpec::parse(text).expect("valid config");
+        assert!(matches!(spec.mode, ReplicatedMode::Homeostasis { .. }));
+        assert_eq!(spec.addrs[0].port(), 7999);
+    }
+
+    #[test]
+    fn problems_are_reported_with_line_numbers() {
+        assert!(ClusterSpec::parse("nonsense\n")
+            .unwrap_err()
+            .contains("line 1"));
+        assert!(ClusterSpec::parse("sites = 0\n")
+            .unwrap_err()
+            .contains("at least one"));
+        assert!(ClusterSpec::parse("sites = 2\nsite.0 = 127.0.0.1:1\n")
+            .unwrap_err()
+            .contains("site.1"));
+        assert!(ClusterSpec::parse("sites = 1\nsite.0 = not-an-addr\n")
+            .unwrap_err()
+            .contains("resolve"));
+        assert!(
+            ClusterSpec::parse("sites = 1\nsite.0 = 127.0.0.1:1\nmode = magic\n")
+                .unwrap_err()
+                .contains("unknown mode")
+        );
+        assert!(ClusterSpec::parse("").unwrap_err().contains("sites"));
+    }
+
+    #[test]
+    fn declaration_order_cannot_truncate_or_redeclare() {
+        // `sites = N` after the site entries must not silently drop
+        // already-parsed addresses: a too-small N is a count mismatch.
+        let late = "site.0 = 127.0.0.1:1\nsite.1 = 127.0.0.1:2\nsites = 1\n";
+        assert!(ClusterSpec::parse(late).unwrap_err().contains("1"));
+        // The same config with a matching count parses fine either way.
+        let ok = "site.0 = 127.0.0.1:1\nsite.1 = 127.0.0.1:2\nsites = 2\n";
+        assert_eq!(ClusterSpec::parse(ok).expect("valid").sites(), 2);
+        // A duplicate `sites` line is an error, not a resize.
+        let dup = "sites = 2\nsite.0 = 127.0.0.1:1\nsite.1 = 127.0.0.1:2\nsites = 2\n";
+        assert!(ClusterSpec::parse(dup).unwrap_err().contains("twice"));
+    }
+}

@@ -21,6 +21,11 @@
 //!   jitter and reordering, drops surfaced as retransmission delay,
 //!   symmetric partitions, and site kill/restart that reopens the engine
 //!   from its WAL frame.
+//! * [`TcpCluster`] — the same state machines over **real sockets**
+//!   ([`tcp::TcpTransport`], `std::net` loopback/LAN): partial-frame
+//!   reassembly, reconnect-with-backoff, and the `homeostasisd` binary
+//!   that runs sites as separate OS processes ([`tcp::SiteNode`], with
+//!   [`tcp_load`] as the self-verifying load client).
 //!
 //! [`ClusterRuntime`] wraps either backend behind
 //! [`homeo_runtime::SiteRuntime`], so `drive()`, every workload and the
@@ -29,8 +34,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod config;
 pub mod msg;
 pub mod sim;
+pub mod tcp;
 pub mod threaded;
 pub mod transport;
 pub mod worker;
@@ -41,8 +48,13 @@ use homeo_runtime::{OpOutcome, SiteOp, SiteRuntime};
 use homeo_sim::Timer;
 use homeo_store::Engine;
 
-pub use msg::{CounterMeta, Message, SyncKind};
+pub use config::ClusterSpec;
+pub use msg::{CodecError, CounterMeta, FrameAssembler, Message, SyncKind, MAX_FRAME_LEN};
 pub use sim::{SimCluster, SimMetrics, SimNetConfig, SimTransport};
+pub use tcp::{
+    free_loopback_addrs, spawn_cluster, tcp_load, DaemonFleet, NodeOptions, SiteNode, TcpClient,
+    TcpCluster, TcpLoadReport, TcpTransport,
+};
 pub use threaded::{threaded_load, ClusterClient, Control, LoadReport, ThreadedCluster};
 pub use transport::{ChannelTransport, Transport, CLIENT};
 
@@ -97,6 +109,9 @@ pub enum ClusterRuntime {
     Threaded(ThreadedCluster),
     /// Virtual-clock scheduling with fault injection.
     Sim(Box<SimCluster>),
+    /// One TCP endpoint per site over loopback sockets (the in-process form
+    /// of the deployable `homeostasisd` path).
+    Tcp(TcpCluster),
 }
 
 impl ClusterRuntime {
@@ -124,12 +139,23 @@ impl ClusterRuntime {
         ClusterRuntime::Sim(Box::new(SimCluster::from_engines(engines, config, net)))
     }
 
+    /// A TCP cluster over fresh engines (ephemeral loopback ports).
+    pub fn tcp(sites: usize, config: ClusterConfig) -> Self {
+        ClusterRuntime::Tcp(TcpCluster::new(sites, config))
+    }
+
+    /// A TCP cluster over pre-populated engines.
+    pub fn tcp_from_engines(engines: Vec<Engine>, config: ClusterConfig) -> Self {
+        ClusterRuntime::Tcp(TcpCluster::from_engines(engines, config))
+    }
+
     /// Registers a counter cluster-wide. Returns the solver time in
     /// microseconds.
     pub fn register(&mut self, obj: ObjId, initial: i64, lower_bound: i64) -> u64 {
         match self {
             ClusterRuntime::Threaded(c) => c.register(obj, initial, lower_bound),
             ClusterRuntime::Sim(c) => c.register(obj, initial, lower_bound),
+            ClusterRuntime::Tcp(c) => c.register(obj, initial, lower_bound),
         }
     }
 
@@ -138,6 +164,7 @@ impl ClusterRuntime {
         match self {
             ClusterRuntime::Threaded(c) => c.stats(),
             ClusterRuntime::Sim(c) => c.stats(),
+            ClusterRuntime::Tcp(c) => c.stats(),
         }
     }
 }
@@ -147,6 +174,7 @@ impl SiteRuntime for ClusterRuntime {
         match self {
             ClusterRuntime::Threaded(c) => c.sites(),
             ClusterRuntime::Sim(c) => c.sites(),
+            ClusterRuntime::Tcp(c) => c.sites(),
         }
     }
 
@@ -154,6 +182,7 @@ impl SiteRuntime for ClusterRuntime {
         match self {
             ClusterRuntime::Threaded(c) => c.engine(site),
             ClusterRuntime::Sim(c) => c.engine(site),
+            ClusterRuntime::Tcp(c) => c.engine(site),
         }
     }
 
@@ -161,6 +190,7 @@ impl SiteRuntime for ClusterRuntime {
         match self {
             ClusterRuntime::Threaded(c) => c.submit(site, op),
             ClusterRuntime::Sim(c) => c.submit(site, op),
+            ClusterRuntime::Tcp(c) => c.submit(site, op),
         }
     }
 
@@ -168,6 +198,7 @@ impl SiteRuntime for ClusterRuntime {
         match self {
             ClusterRuntime::Threaded(c) => c.poll(site),
             ClusterRuntime::Sim(c) => c.poll(site),
+            ClusterRuntime::Tcp(c) => c.poll(site),
         }
     }
 
@@ -175,6 +206,7 @@ impl SiteRuntime for ClusterRuntime {
         match self {
             ClusterRuntime::Threaded(c) => c.submit_batch(site, ops),
             ClusterRuntime::Sim(c) => c.submit_batch(site, ops),
+            ClusterRuntime::Tcp(c) => c.submit_batch(site, ops),
         }
     }
 
@@ -182,6 +214,7 @@ impl SiteRuntime for ClusterRuntime {
         match self {
             ClusterRuntime::Threaded(c) => c.synchronize(site),
             ClusterRuntime::Sim(c) => c.synchronize(site),
+            ClusterRuntime::Tcp(c) => c.synchronize(site),
         }
     }
 
@@ -189,6 +222,7 @@ impl SiteRuntime for ClusterRuntime {
         match self {
             ClusterRuntime::Threaded(c) => c.ensure_registered(obj, initial, lower_bound),
             ClusterRuntime::Sim(c) => c.ensure_registered(obj, initial, lower_bound),
+            ClusterRuntime::Tcp(c) => c.ensure_registered(obj, initial, lower_bound),
         }
     }
 }
@@ -219,7 +253,8 @@ mod tests {
             ClusterConfig::new(ReplicatedMode::EvenSplit).with_timer(Timer::fixed_zero());
         let backends: Vec<ClusterRuntime> = vec![
             ClusterRuntime::threaded(2, cluster_config.clone()),
-            ClusterRuntime::sim(2, cluster_config, SimNetConfig::reliable(2, 100)),
+            ClusterRuntime::sim(2, cluster_config.clone(), SimNetConfig::reliable(2, 100)),
+            ClusterRuntime::tcp(2, cluster_config),
         ];
         for mut runtime in backends {
             for i in 0..40 {

@@ -11,8 +11,109 @@
 //! without lookahead.
 
 use homeo_lang::ids::ObjId;
-use homeo_runtime::SiteOp;
+use homeo_protocol::ReplicatedStats;
+use homeo_runtime::{OpOutcome, SiteOp};
 use serde::{Deserialize, Serialize};
+
+/// Upper bound on one frame's body length, enforced **before** any body
+/// bytes are buffered or parsed. An untrusted socket can claim any `u32` in
+/// its length prefix; without this bound a single 4-byte prefix could make
+/// the receiver allocate gigabytes. Generous for real traffic (the largest
+/// legitimate frames — multi-thousand-op submit batches, full state
+/// replies — are a few hundred KiB).
+pub const MAX_FRAME_LEN: usize = 16 << 20;
+
+/// Why a frame failed to decode. Transports treat any of these as a fatal
+/// protocol error on the connection that produced the bytes: the stream
+/// offset is unrecoverable once framing is wrong, so the connection is
+/// closed (peers reconnect with a fresh stream; clients surface the error).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the frame its length prefix promised.
+    Truncated,
+    /// The length prefix claims a body larger than [`MAX_FRAME_LEN`].
+    Oversized {
+        /// The claimed body length.
+        len: usize,
+    },
+    /// The body bytes do not parse as exactly one message (unknown tag,
+    /// invalid value, short body or trailing bytes).
+    Malformed,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "frame truncated before its declared length"),
+            CodecError::Oversized { len } => write!(
+                f,
+                "frame length prefix {len} exceeds the {MAX_FRAME_LEN}-byte bound"
+            ),
+            CodecError::Malformed => write!(f, "frame body is not exactly one valid message"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Reassembles length-prefixed frames from an arbitrary sequence of byte
+/// chunks — the read side of a TCP connection, where one `read` may return
+/// half a frame, three frames, or a frame boundary split inside the length
+/// prefix itself.
+///
+/// Push whatever the socket produced with [`FrameAssembler::push`], then
+/// drain complete messages with [`FrameAssembler::next_message`]. The
+/// length-prefix bound ([`MAX_FRAME_LEN`]) is checked as soon as the four
+/// prefix bytes are available, before any body byte is buffered against it,
+/// so a hostile prefix cannot force an allocation.
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+}
+
+impl FrameAssembler {
+    /// An empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes read from the connection.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a complete frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pops the next complete frame (length prefix included), or `Ok(None)`
+    /// when the buffer holds only a partial frame. `Err` means the stream
+    /// is unrecoverable and the connection must be closed.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, CodecError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(CodecError::Oversized { len });
+        }
+        let total = 4 + len;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        Ok(Some(self.buf.drain(..total).collect()))
+    }
+
+    /// Pops and decodes the next complete message, or `Ok(None)` when only
+    /// a partial frame is buffered.
+    pub fn next_message(&mut self) -> Result<Option<Message>, CodecError> {
+        match self.next_frame()? {
+            Some(frame) => Message::decode(&frame).map(Some),
+            None => Ok(None),
+        }
+    }
+}
 
 /// Treaty metadata of one replicated counter, as carried by registration,
 /// installation and recovery messages.
@@ -144,7 +245,65 @@ pub enum Message {
         /// Every registered counter's metadata.
         counters: Vec<CounterMeta>,
     },
+    /// The first frame on every TCP connection: who is connecting. Peers
+    /// identify with their site id and their **incarnation epoch** (fresh
+    /// per node start); client attachments send [`CLIENT_PEER`]. Consumed
+    /// by the accepting transport — a worker never sees it. The epoch is
+    /// how a site distinguishes a restarted peer (new epoch → its cached
+    /// outbound socket to that peer is dead and must be dropped) from a
+    /// mere reconnect by the same incarnation (same epoch → keep it).
+    Hello {
+        /// The connecting side's site id, or [`CLIENT_PEER`] for a client.
+        peer: u64,
+        /// The connecting node's incarnation epoch (0 for clients).
+        epoch: u64,
+    },
+    /// Client → site: install this counter's initial value and treaty
+    /// metadata (the multi-process form of cluster-wide registration, where
+    /// no coordinating thread can reach every engine directly). The site
+    /// writes `meta.base` through its engine (WAL-logged) if the counter is
+    /// unknown, installs the treaty, and always answers [`Message::SeedAck`]
+    /// — so re-seeding after a client reconnect is idempotent. The seeding
+    /// client must collect every site's ack before submitting operations:
+    /// the acks are what orders the seed before any cross-connection frame
+    /// that references the counter.
+    Seed {
+        /// The counter and its negotiated treaty metadata.
+        meta: CounterMeta,
+    },
+    /// Site → seeding client: the seed was applied (or was already known).
+    SeedAck {
+        /// The seeded counter.
+        obj: ObjId,
+    },
+    /// Client → site: reply with the outcomes of every submitted operation
+    /// once the site is idle (the wire form of the poll control command).
+    PollRequest,
+    /// Site → client: the drained outcomes, in submission order.
+    PollReply {
+        /// One outcome per completed operation.
+        outcomes: Vec<OpOutcome>,
+    },
+    /// Client → site: fold every registered counter
+    /// (`SiteRuntime::synchronize` over the wire).
+    SyncAllRequest,
+    /// Site → client: the fold completed everywhere.
+    SyncAllReply {
+        /// Total solver time of the renegotiations, in microseconds.
+        solver_micros: u64,
+    },
+    /// Client → site: reply with the site's aggregate statistics.
+    StatsRequest,
+    /// Site → client: the site's aggregate statistics.
+    StatsReply {
+        /// Local commits, synchronizations and negotiations at this site.
+        stats: ReplicatedStats,
+    },
 }
+
+/// The [`Message::Hello`] peer id a client attachment announces (sites use
+/// their index). Mirrors [`crate::transport::CLIENT`] on the wire.
+pub const CLIENT_PEER: u64 = u64::MAX;
 
 impl Message {
     /// Encodes the message as a length-prefixed frame: a `u32` byte length
@@ -186,20 +345,34 @@ impl Message {
         scratch.as_slice().to_vec()
     }
 
-    /// Decodes one frame produced by [`Message::encode`]. Returns `None` on
-    /// a truncated or malformed frame, or when trailing bytes follow the
-    /// message body (frames carry exactly one message).
-    pub fn decode(frame: &[u8]) -> Option<Message> {
+    /// Decodes one frame produced by [`Message::encode`].
+    ///
+    /// Never panics on hostile input: an oversized length prefix, a frame
+    /// shorter than its prefix promises, an unknown tag, an invalid value
+    /// or trailing bytes after the body all return the matching
+    /// [`CodecError`] (frames carry exactly one message). Transports treat
+    /// any error as fatal for the connection that produced the bytes.
+    pub fn decode(frame: &[u8]) -> Result<Message, CodecError> {
         let mut cursor = Cursor {
             data: frame,
             pos: 0,
         };
-        let len = cursor.u32()? as usize;
-        if frame.len() != 4 + len {
-            return None;
+        let len = cursor.u32().ok_or(CodecError::Truncated)? as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(CodecError::Oversized { len });
         }
-        let msg = Self::decode_body(&mut cursor)?;
-        (cursor.pos == frame.len()).then_some(msg)
+        if frame.len() < 4 + len {
+            return Err(CodecError::Truncated);
+        }
+        if frame.len() > 4 + len {
+            return Err(CodecError::Malformed);
+        }
+        let msg = Self::decode_body(&mut cursor).ok_or(CodecError::Malformed)?;
+        if cursor.pos == frame.len() {
+            Ok(msg)
+        } else {
+            Err(CodecError::Malformed)
+        }
     }
 
     fn encode_body(&self, buf: &mut Vec<u8>) {
@@ -263,6 +436,39 @@ impl Message {
                     encode_meta(meta, buf);
                 }
             }
+            Message::Hello { peer, epoch } => {
+                buf.push(10);
+                buf.extend_from_slice(&peer.to_be_bytes());
+                buf.extend_from_slice(&epoch.to_be_bytes());
+            }
+            Message::Seed { meta } => {
+                buf.push(11);
+                encode_meta(meta, buf);
+            }
+            Message::SeedAck { obj } => {
+                buf.push(12);
+                encode_str(obj.as_str(), buf);
+            }
+            Message::PollRequest => buf.push(13),
+            Message::PollReply { outcomes } => {
+                buf.push(14);
+                buf.extend_from_slice(&(outcomes.len() as u32).to_be_bytes());
+                for outcome in outcomes {
+                    encode_outcome(outcome, buf);
+                }
+            }
+            Message::SyncAllRequest => buf.push(15),
+            Message::SyncAllReply { solver_micros } => {
+                buf.push(16);
+                buf.extend_from_slice(&solver_micros.to_be_bytes());
+            }
+            Message::StatsRequest => buf.push(17),
+            Message::StatsReply { stats } => {
+                buf.push(18);
+                buf.extend_from_slice(&stats.local_commits.to_be_bytes());
+                buf.extend_from_slice(&stats.synchronizations.to_be_bytes());
+                buf.extend_from_slice(&stats.negotiations.to_be_bytes());
+            }
         }
     }
 
@@ -321,9 +527,63 @@ impl Message {
                 }
                 Message::StateReply { counters }
             }
+            10 => Message::Hello {
+                peer: cursor.u64()?,
+                epoch: cursor.u64()?,
+            },
+            11 => Message::Seed {
+                meta: decode_meta(cursor)?,
+            },
+            12 => Message::SeedAck {
+                obj: ObjId::new(decode_str(cursor)?),
+            },
+            13 => Message::PollRequest,
+            14 => {
+                let count = cursor.u32()? as usize;
+                let mut outcomes = Vec::with_capacity(count.min(1 << 16));
+                for _ in 0..count {
+                    outcomes.push(decode_outcome(cursor)?);
+                }
+                Message::PollReply { outcomes }
+            }
+            15 => Message::SyncAllRequest,
+            16 => Message::SyncAllReply {
+                solver_micros: cursor.u64()?,
+            },
+            17 => Message::StatsRequest,
+            18 => Message::StatsReply {
+                stats: ReplicatedStats {
+                    local_commits: cursor.u64()?,
+                    synchronizations: cursor.u64()?,
+                    negotiations: cursor.u64()?,
+                },
+            },
             _ => return None,
         })
     }
+}
+
+fn encode_outcome(outcome: &OpOutcome, buf: &mut Vec<u8>) {
+    let flags = u8::from(outcome.committed)
+        | (u8::from(outcome.synchronized) << 1)
+        | (u8::from(outcome.refilled) << 2);
+    buf.push(flags);
+    buf.extend_from_slice(&outcome.comm_rounds.to_be_bytes());
+    buf.extend_from_slice(&outcome.solver_micros.to_be_bytes());
+}
+
+fn decode_outcome(cursor: &mut Cursor<'_>) -> Option<OpOutcome> {
+    let flags = cursor.u8()?;
+    if flags > 0b111 {
+        return None;
+    }
+    Some(OpOutcome {
+        committed: flags & 1 != 0,
+        synchronized: flags & 2 != 0,
+        refilled: flags & 4 != 0,
+        comm_rounds: cursor.u32()?,
+        solver_micros: cursor.u64()?,
+    })
 }
 
 fn encode_op(op: &SiteOp, buf: &mut Vec<u8>) {
@@ -583,6 +843,33 @@ mod tests {
             Message::StateReply {
                 counters: vec![meta(), meta()],
             },
+            Message::Hello { peer: 2, epoch: 9 },
+            Message::Hello {
+                peer: CLIENT_PEER,
+                epoch: 0,
+            },
+            Message::Seed { meta: meta() },
+            Message::SeedAck {
+                obj: ObjId::new("stock[7]"),
+            },
+            Message::PollRequest,
+            Message::PollReply {
+                outcomes: vec![
+                    OpOutcome::local_commit(),
+                    OpOutcome::synchronized(true, 77),
+                    OpOutcome::default(),
+                ],
+            },
+            Message::SyncAllRequest,
+            Message::SyncAllReply { solver_micros: 12 },
+            Message::StatsRequest,
+            Message::StatsReply {
+                stats: ReplicatedStats {
+                    local_commits: 5,
+                    synchronizations: 2,
+                    negotiations: 3,
+                },
+            },
         ]
     }
 
@@ -590,7 +877,7 @@ mod tests {
     fn every_variant_round_trips() {
         for msg in exemplars() {
             let frame = msg.encode();
-            let decoded = Message::decode(&frame).unwrap_or_else(|| panic!("decode {msg:?}"));
+            let decoded = Message::decode(&frame).unwrap_or_else(|e| panic!("decode {msg:?}: {e}"));
             assert_eq!(decoded, msg);
         }
     }
@@ -601,7 +888,7 @@ mod tests {
         for msg in exemplars() {
             let frame = msg.encode_into(&mut scratch);
             assert_eq!(frame, msg.encode());
-            assert_eq!(Message::decode(&frame), Some(msg));
+            assert_eq!(Message::decode(&frame), Ok(msg));
         }
         // The scratch retains its capacity across frames (that is the
         // point), and holds the last frame's bytes.
@@ -638,20 +925,82 @@ mod tests {
             let frame = msg.encode();
             for cut in 0..frame.len() {
                 assert!(
-                    Message::decode(&frame[..cut]).is_none(),
+                    Message::decode(&frame[..cut]).is_err(),
                     "truncation at {cut} of {msg:?} decoded"
                 );
             }
             let mut padded = frame.clone();
             padded.push(0);
-            assert!(Message::decode(&padded).is_none(), "padding accepted");
+            assert_eq!(
+                Message::decode(&padded),
+                Err(CodecError::Malformed),
+                "padding accepted"
+            );
         }
-        assert!(Message::decode(&[]).is_none());
+        assert_eq!(Message::decode(&[]), Err(CodecError::Truncated));
     }
 
     #[test]
     fn unknown_tags_are_rejected() {
         let frame = vec![0, 0, 0, 1, 99];
-        assert!(Message::decode(&frame).is_none());
+        assert_eq!(Message::decode(&frame), Err(CodecError::Malformed));
+    }
+
+    #[test]
+    fn oversized_length_prefixes_are_rejected_without_allocation() {
+        // A hostile prefix claiming a 4 GiB body must fail before anything
+        // is buffered against it — both on a complete slice and in the
+        // streaming assembler (which only has the 4 prefix bytes).
+        let mut frame = (u32::MAX).to_be_bytes().to_vec();
+        frame.push(0);
+        assert_eq!(
+            Message::decode(&frame),
+            Err(CodecError::Oversized {
+                len: u32::MAX as usize
+            })
+        );
+        let mut asm = FrameAssembler::new();
+        asm.push(&(u32::MAX).to_be_bytes());
+        assert_eq!(
+            asm.next_message(),
+            Err(CodecError::Oversized {
+                len: u32::MAX as usize
+            })
+        );
+    }
+
+    #[test]
+    fn assembler_reassembles_frames_from_arbitrary_chunks() {
+        // Concatenate every exemplar frame into one byte stream, then feed
+        // it to the assembler split at seeded random boundaries — including
+        // splits inside length prefixes — and check the exact message
+        // sequence comes back out, for many different tearings.
+        let msgs = exemplars();
+        let stream: Vec<u8> = msgs.iter().flat_map(Message::encode).collect();
+        let mut rng = homeo_sim::DetRng::seed_from(0x7EA5);
+        for _ in 0..200 {
+            let mut asm = FrameAssembler::new();
+            let mut decoded = Vec::new();
+            let mut pos = 0;
+            while pos < stream.len() {
+                let take = 1 + rng.index(17.min(stream.len() - pos));
+                asm.push(&stream[pos..pos + take]);
+                pos += take;
+                while let Some(msg) = asm.next_message().expect("well-formed stream") {
+                    decoded.push(msg);
+                }
+            }
+            assert_eq!(decoded, msgs);
+            assert_eq!(asm.pending(), 0);
+        }
+    }
+
+    #[test]
+    fn assembler_surfaces_garbage_as_a_codec_error() {
+        // A stream that frames correctly but carries a bogus body errors at
+        // the message layer; the caller closes the connection.
+        let mut asm = FrameAssembler::new();
+        asm.push(&[0, 0, 0, 2, 99, 99]);
+        assert_eq!(asm.next_message(), Err(CodecError::Malformed));
     }
 }

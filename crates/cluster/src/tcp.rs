@@ -1,0 +1,1625 @@
+//! The real-socket backend: sites as TCP endpoints over `std::net`
+//! loopback/LAN sockets.
+//!
+//! This is the first deployment path where the cluster runs as separate OS
+//! processes: every frame of the protocol — client batches, treaty
+//! negotiation, delta exchange, synchronization rounds, crash recovery —
+//! crosses an actual socket with partial reads, kernel buffering and
+//! connection loss in play. The pieces:
+//!
+//! * [`TcpTransport`] — the [`Transport`] implementation: one dedicated
+//!   sender thread per peer with an outbound queue,
+//!   reconnect-with-exponential-backoff on connection drop, and
+//!   [`FrameAssembler`]-based partial-frame reassembly on the read side.
+//! * [`SiteNode`] — one running site: an acceptor thread for its listen
+//!   address, one reader thread per live connection, and an event loop that
+//!   pumps the same [`SiteWorker`] state machine the threaded and simulated
+//!   backends run. Client-protocol frames (`PollRequest`, `SyncAllRequest`,
+//!   `StatsRequest`) are answered by the node loop, which is what the
+//!   `homeostasisd` binary runs per site.
+//! * [`TcpClient`] — a client attachment over one TCP connection: seed
+//!   counters, submit batches, poll outcomes, force a full fold, fetch
+//!   state and statistics.
+//! * [`TcpCluster`] — the in-process form (all sites in one process, every
+//!   frame still over loopback TCP) behind [`SiteRuntime`], so `drive()`,
+//!   the equivalence suites and the throughput sweep get a `cluster-tcp`
+//!   mode for free. It also models fail-stop crashes:
+//!   [`TcpCluster::kill`] / [`TcpCluster::restart`] mirror the simulator's
+//!   kill/restart (WAL-recovered engine, treaty refetch from a peer).
+//! * [`tcp_load`] — the `homeo-load` client: drives `submit_batch` traffic
+//!   over TCP from one thread per site and **self-verifies counter
+//!   conservation** at the end (fold everything, check every site agrees
+//!   and the folded total equals the seeded total minus the committed
+//!   decrements).
+//!
+//! # Failure model
+//!
+//! Fail-stop, like the simulator: a connection drop is treated as a peer
+//! crash/restart boundary. Frames already accepted by the kernel when a
+//! peer dies are lost with the peer's RAM (its engine recovers from the
+//! WAL, its treaty state from a live peer); frames still queued on the
+//! sender side survive the reconnect.
+//!
+//! Stale-socket detection matters because TCP accepts one more write into a
+//! half-closed socket before the reset comes back — a frame written there
+//! vanishes silently. Two signals mark an outbound socket stale *before*
+//! that write can happen: the peer's inbound connection reaching EOF (the
+//! peer died — its sockets closed with it), and a fresh inbound connection
+//! carrying a **new incarnation epoch** in its [`Message::Hello`] (the peer
+//! restarted). A reconnect by the same incarnation keeps the same epoch, so
+//! it does not cascade into mutual connection resets.
+//!
+//! # Trust model
+//!
+//! The *byte* layer is hardened against hostile input — bounded length
+//! prefixes, decode errors close the connection, clients speaking the
+//! site-to-site protocol are dropped — but peer *identity* is not
+//! authenticated: a connection announcing `Hello { peer: N }` is believed.
+//! Sites must only be reachable from the cluster's own network (loopback
+//! here; a private segment or an authenticating proxy in any real
+//! deployment), exactly like the unauthenticated intra-cluster ports of
+//! most coordination systems.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Ipv4Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use homeo_lang::ids::ObjId;
+use homeo_protocol::{negotiate_allowances, ReplicatedStats, WorkloadHints};
+use homeo_runtime::{OpOutcome, SiteOp, SiteRuntime};
+use homeo_sim::{DetRng, Timer};
+use homeo_store::Engine;
+
+use crate::config::ClusterSpec;
+use crate::msg::{CounterMeta, FrameAssembler, Message, CLIENT_PEER};
+use crate::transport::Transport;
+use crate::worker::{Outbox, SiteWorker};
+use crate::ClusterConfig;
+
+/// How often blocked reads wake to check the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(50);
+/// First reconnect delay after a failed connect/write.
+const BACKOFF_MIN: Duration = Duration::from_millis(5);
+/// Reconnect delay cap.
+const BACKOFF_MAX: Duration = Duration::from_millis(200);
+/// A client request with no reply within this window is a dead site.
+const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+/// Writes blocked longer than this mark the connection dead. The node
+/// event loop is single-threaded and writes client replies while holding
+/// the clients map, so a client that stops draining its socket must stall
+/// the site for at most this long before being dropped, not forever.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Per-process counter behind incarnation epochs: combined with the
+/// process id, every [`SiteNode`] spawn gets an epoch no other incarnation
+/// of the site (in this process or another) announces.
+static NEXT_EPOCH: AtomicUsize = AtomicUsize::new(1);
+
+fn fresh_epoch() -> u64 {
+    ((std::process::id() as u64) << 32) ^ NEXT_EPOCH.fetch_add(1, Ordering::Relaxed) as u64
+}
+
+/// Reserves `n` distinct loopback addresses by briefly binding ephemeral
+/// listeners. The self-contained smoke scenario uses this to write a config
+/// for the daemons it spawns; the tiny close-to-rebind window is acceptable
+/// on a CI loopback.
+pub fn free_loopback_addrs(n: usize) -> std::io::Result<Vec<SocketAddr>> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind((Ipv4Addr::LOCALHOST, 0)))
+        .collect::<std::io::Result<_>>()?;
+    listeners.iter().map(|l| l.local_addr()).collect()
+}
+
+/// What the node event loop receives from reader threads (and itself).
+enum NodeInput {
+    /// A decoded message from connection `from` (a site id, or a client
+    /// connection id `>= sites`).
+    Msg { from: usize, msg: Message },
+    /// A client connection closed.
+    ClientGone(usize),
+    /// Stop the event loop.
+    Shutdown,
+}
+
+/// State shared between the acceptor, the reader threads, the per-peer
+/// sender threads and the event loop of one site.
+struct NodeShared {
+    site: usize,
+    sites: usize,
+    shutdown: AtomicBool,
+    /// Client connection ids start at `sites` so they never collide with
+    /// site ids in the worker's outbox destinations.
+    next_client: AtomicUsize,
+    /// Write halves of live client connections, keyed by connection id.
+    clients: Mutex<BTreeMap<usize, TcpStream>>,
+    /// Tokens for entries in `conns` (distinct from client ids: every
+    /// accepted connection gets one, peers included).
+    next_conn: AtomicUsize,
+    /// Clones of live accepted connections, keyed by connection token:
+    /// shut down at node shutdown so blocked peers/readers fail fast.
+    /// Each reader removes its own entry on exit, so connection churn
+    /// (client reconnects, per-call stats connections, peer restarts)
+    /// does not leak file descriptors over a daemon's lifetime.
+    conns: Mutex<BTreeMap<usize, TcpStream>>,
+    /// Live reader thread handles, joined at shutdown (the acceptor prunes
+    /// finished ones as connections come and go).
+    readers: Mutex<Vec<JoinHandle<()>>>,
+    /// `peer_resets[p]` set when site `p` is known to have died or
+    /// restarted: the sender thread for `p` must drop its cached socket
+    /// before the next write (the old one predates `p`'s restart).
+    peer_resets: Vec<AtomicBool>,
+    /// Last incarnation epoch seen from each peer — how a fresh inbound
+    /// connection is classified as a restart (new epoch, reset) versus a
+    /// reconnect by the same incarnation (same epoch, keep the socket).
+    peer_epochs: Mutex<Vec<Option<u64>>>,
+}
+
+/// The [`Transport`] over real sockets, as owned by one site's event loop:
+/// per-peer outbound queues drained by reconnecting sender threads, plus
+/// direct writes to client connections and a self-delivery shortcut.
+pub struct TcpTransport {
+    site: usize,
+    input: Sender<NodeInput>,
+    peers: Vec<Option<Sender<Vec<u8>>>>,
+    shared: Arc<NodeShared>,
+    /// Per-connection frame-encode scratch ([`Message::encode_into`]).
+    scratch: Vec<u8>,
+}
+
+impl TcpTransport {
+    /// Ships one outbox message without re-encoding on the self path (the
+    /// node loop's form of [`Transport::send`] — same routing, but it
+    /// still holds the decoded message).
+    fn ship(&mut self, to: usize, msg: Message) {
+        if to == self.site {
+            let _ = self.input.send(NodeInput::Msg {
+                from: self.site,
+                msg,
+            });
+        } else if to < self.peers.len() {
+            let frame = msg.encode_into(&mut self.scratch);
+            self.enqueue_peer(to, frame);
+        } else {
+            self.send_client(to, &msg);
+        }
+    }
+
+    /// Hands an encoded frame to the destination peer's sender thread.
+    fn enqueue_peer(&mut self, to: usize, frame: Vec<u8>) {
+        if let Some(queue) = &self.peers[to] {
+            let _ = queue.send(frame);
+        }
+    }
+
+    /// Writes a message to a client connection.
+    fn send_client(&mut self, id: usize, msg: &Message) {
+        let frame = msg.encode_into(&mut self.scratch);
+        self.write_client(id, &frame);
+    }
+
+    /// Writes an encoded frame to a client connection; a failed write drops
+    /// the client and surfaces it to the event loop as
+    /// [`NodeInput::ClientGone`].
+    fn write_client(&mut self, id: usize, frame: &[u8]) {
+        let mut clients = self.shared.clients.lock().expect("clients lock");
+        if let Some(stream) = clients.get_mut(&id) {
+            if stream.write_all(frame).is_err() {
+                clients.remove(&id);
+                drop(clients);
+                let _ = self.input.send(NodeInput::ClientGone(id));
+            }
+        }
+    }
+
+    /// Closes a client connection (protocol violation).
+    fn drop_client(&mut self, id: usize) {
+        if let Some(stream) = self
+            .shared
+            .clients
+            .lock()
+            .expect("clients lock")
+            .remove(&id)
+        {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    /// The raw-frame form of [`TcpTransport::ship`], sharing its routing
+    /// helpers: peers get the frame queued to their sender thread, clients
+    /// get it written to their connection, and self-delivery goes back
+    /// through the input channel (preserving the "own frames are handled in
+    /// a later round" ordering the other backends have — at the cost of a
+    /// decode the node loop's `ship` avoids).
+    fn send(&mut self, from: usize, to: usize, frame: Vec<u8>) {
+        if to == self.site {
+            match Message::decode(&frame) {
+                Ok(msg) => {
+                    let _ = self.input.send(NodeInput::Msg { from, msg });
+                }
+                Err(e) => debug_assert!(false, "self-addressed frame failed to decode: {e}"),
+            }
+        } else if to < self.peers.len() {
+            self.enqueue_peer(to, frame);
+        } else {
+            self.write_client(to, &frame);
+        }
+    }
+}
+
+/// The outbound half of one site-to-peer link: connect (with backoff),
+/// announce with [`Message::Hello`], then drain the frame queue, reconnecting
+/// and resending the in-hand frame on any write failure.
+fn peer_sender_loop(
+    site: usize,
+    epoch: u64,
+    peer: usize,
+    addr: SocketAddr,
+    frames: Receiver<Vec<u8>>,
+    shared: Arc<NodeShared>,
+) {
+    let hello = Message::Hello {
+        peer: site as u64,
+        epoch,
+    }
+    .encode();
+    let mut stream: Option<TcpStream> = None;
+    let mut backoff = BACKOFF_MIN;
+    'frames: loop {
+        let frame = match frames.recv() {
+            Ok(frame) => frame,
+            Err(_) => return, // node shut down
+        };
+        loop {
+            if shared.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            if shared.peer_resets[peer].swap(false, Ordering::Relaxed) {
+                // The peer restarted (its fresh inbound connection arrived):
+                // the cached socket is dead even if the kernel still accepts
+                // writes into it.
+                stream = None;
+            }
+            if stream.is_none() {
+                if let Ok(mut fresh) = TcpStream::connect(addr) {
+                    let _ = fresh.set_nodelay(true);
+                    // A blocked write is a dead peer: error out (this
+                    // sender keeps the frame and reconnects) instead of
+                    // hanging the sender thread on a full buffer.
+                    let _ = fresh.set_write_timeout(Some(WRITE_TIMEOUT));
+                    if fresh.write_all(&hello).is_ok() {
+                        backoff = BACKOFF_MIN;
+                        stream = Some(fresh);
+                    }
+                }
+                if stream.is_none() {
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(BACKOFF_MAX);
+                    continue;
+                }
+            }
+            match stream.as_mut().expect("connected").write_all(&frame) {
+                Ok(()) => continue 'frames,
+                Err(_) => stream = None,
+            }
+        }
+    }
+}
+
+/// Accepts connections for one site and spawns a reader thread per
+/// connection.
+fn acceptor_loop(listener: TcpListener, shared: Arc<NodeShared>, input: Sender<NodeInput>) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let Ok(stream) = conn else { continue };
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(READ_POLL));
+        // Applies to the write half cloned into the clients map (socket
+        // options live on the underlying socket, not the handle): a reply
+        // write into a full send buffer errors out instead of blocking the
+        // event loop forever, and the erroring client is dropped.
+        let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+        let conn_token = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            shared
+                .conns
+                .lock()
+                .expect("conns lock")
+                .insert(conn_token, clone);
+        }
+        let reader_shared = shared.clone();
+        let reader_input = input.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("homeo-tcp-{}-reader", shared.site))
+            .spawn(move || reader_loop(stream, conn_token, reader_shared, reader_input))
+            .expect("spawn reader thread");
+        let mut readers = shared.readers.lock().expect("readers lock");
+        readers.retain(|reader| !reader.is_finished());
+        readers.push(handle);
+    }
+}
+
+/// The inbound half of one connection: reassemble frames from whatever the
+/// socket returns, identify the sender from its `Hello`, and feed decoded
+/// messages to the event loop. Any codec error is a fatal protocol error
+/// for this connection: log it and close.
+fn reader_loop(
+    mut stream: TcpStream,
+    conn_token: usize,
+    shared: Arc<NodeShared>,
+    input: Sender<NodeInput>,
+) {
+    let mut asm = FrameAssembler::new();
+    let mut chunk = [0u8; 16 * 1024];
+    let mut from: Option<usize> = None;
+    let mut client_id: Option<usize> = None;
+    'conn: while !shared.shutdown.load(Ordering::Relaxed) {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) =>
+            {
+                continue
+            }
+            Err(_) => break,
+        };
+        asm.push(&chunk[..n]);
+        loop {
+            let msg = match asm.next_message() {
+                Ok(Some(msg)) => msg,
+                Ok(None) => break,
+                Err(e) => {
+                    eprintln!(
+                        "homeo-tcp site {}: protocol error on connection ({e}); closing",
+                        shared.site
+                    );
+                    break 'conn;
+                }
+            };
+            let Some(from) = from else {
+                // The first frame must identify the connection.
+                match msg {
+                    Message::Hello { peer, .. } if peer == CLIENT_PEER => {
+                        let id = shared.next_client.fetch_add(1, Ordering::Relaxed);
+                        match stream.try_clone() {
+                            Ok(write_half) => {
+                                shared
+                                    .clients
+                                    .lock()
+                                    .expect("clients lock")
+                                    .insert(id, write_half);
+                                client_id = Some(id);
+                                from = Some(id);
+                            }
+                            Err(_) => break 'conn,
+                        }
+                    }
+                    Message::Hello { peer, epoch } if (peer as usize) < shared.sites => {
+                        let peer = peer as usize;
+                        // A new incarnation of the peer: any cached
+                        // outbound socket to it predates its restart.
+                        let mut epochs = shared.peer_epochs.lock().expect("epochs lock");
+                        if epochs[peer].is_some_and(|known| known != epoch) {
+                            shared.peer_resets[peer].store(true, Ordering::Relaxed);
+                        }
+                        epochs[peer] = Some(epoch);
+                        drop(epochs);
+                        from = Some(peer);
+                    }
+                    other => {
+                        eprintln!(
+                            "homeo-tcp site {}: connection opened with {other:?} instead of a \
+                             Hello; closing",
+                            shared.site
+                        );
+                        break 'conn;
+                    }
+                }
+                continue;
+            };
+            if input.send(NodeInput::Msg { from, msg }).is_err() {
+                break 'conn; // event loop gone
+            }
+        }
+    }
+    shared.conns.lock().expect("conns lock").remove(&conn_token);
+    if let Some(id) = client_id {
+        shared.clients.lock().expect("clients lock").remove(&id);
+        let _ = input.send(NodeInput::ClientGone(id));
+    } else if let Some(peer) = from.filter(|f| *f < shared.sites) {
+        // A peer connection died: the peer's incarnation is gone (fail-stop),
+        // so our cached outbound socket to it is dead too. Marking it stale
+        // now — before any post-restart write — is what keeps the first
+        // frame to the restarted peer from vanishing into a half-closed
+        // socket.
+        shared.peer_resets[peer].store(true, Ordering::Relaxed);
+    }
+}
+
+/// Construction parameters of a [`SiteNode`].
+pub struct NodeOptions {
+    /// This node's site id.
+    pub site: usize,
+    /// Listen address of every site, indexed by site id.
+    pub addrs: Vec<SocketAddr>,
+    /// Shared cluster configuration (mode, timer, hints).
+    pub config: ClusterConfig,
+    /// The site's storage engine.
+    pub engine: Arc<Engine>,
+    /// When restarting after a crash: a live peer to refetch treaty state
+    /// from (`StateRequest`), after the engine was reopened from its WAL.
+    pub recover_from: Option<usize>,
+}
+
+/// One running TCP site: the acceptor, reader, sender and event-loop
+/// threads behind one listen address. `homeostasisd` runs one (or all) of
+/// these per process; [`TcpCluster`] runs all of them in-process.
+pub struct SiteNode {
+    site: usize,
+    addr: SocketAddr,
+    input: Sender<NodeInput>,
+    shared: Arc<NodeShared>,
+    handles: Vec<JoinHandle<()>>,
+    engine: Arc<Engine>,
+}
+
+impl SiteNode {
+    /// Binds `opts.addrs[opts.site]` and spawns the node.
+    pub fn bind(opts: NodeOptions) -> std::io::Result<SiteNode> {
+        let listener = TcpListener::bind(opts.addrs[opts.site])?;
+        Ok(SiteNode::spawn(listener, opts))
+    }
+
+    /// Spawns the node on an already-bound listener (how [`TcpCluster`]
+    /// hands out ephemeral loopback ports race-free).
+    pub fn spawn(listener: TcpListener, opts: NodeOptions) -> SiteNode {
+        let NodeOptions {
+            site,
+            addrs,
+            config,
+            engine,
+            recover_from,
+        } = opts;
+        let sites = addrs.len();
+        assert!(site < sites, "site {site} out of range for {sites} sites");
+        let addr = listener
+            .local_addr()
+            .expect("bound listener has an address");
+        let epoch = fresh_epoch();
+        let (input, rx) = channel::<NodeInput>();
+        let shared = Arc::new(NodeShared {
+            site,
+            sites,
+            shutdown: AtomicBool::new(false),
+            next_client: AtomicUsize::new(sites),
+            clients: Mutex::new(BTreeMap::new()),
+            next_conn: AtomicUsize::new(0),
+            conns: Mutex::new(BTreeMap::new()),
+            readers: Mutex::new(Vec::new()),
+            peer_resets: (0..sites).map(|_| AtomicBool::new(false)).collect(),
+            peer_epochs: Mutex::new(vec![None; sites]),
+        });
+        let mut handles = Vec::new();
+        let mut peers: Vec<Option<Sender<Vec<u8>>>> = Vec::with_capacity(sites);
+        for (peer, peer_addr) in addrs.iter().copied().enumerate() {
+            if peer == site {
+                peers.push(None);
+                continue;
+            }
+            let (tx, frames) = channel::<Vec<u8>>();
+            let sender_shared = shared.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("homeo-tcp-{site}-to-{peer}"))
+                    .spawn(move || {
+                        peer_sender_loop(site, epoch, peer, peer_addr, frames, sender_shared)
+                    })
+                    .expect("spawn peer sender thread"),
+            );
+            peers.push(Some(tx));
+        }
+        let acceptor_shared = shared.clone();
+        let acceptor_input = input.clone();
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("homeo-tcp-{site}-accept"))
+                .spawn(move || acceptor_loop(listener, acceptor_shared, acceptor_input))
+                .expect("spawn acceptor thread"),
+        );
+        let worker = SiteWorker::new(
+            site,
+            sites,
+            config.mode,
+            config.hints(sites),
+            config.timer,
+            engine.clone(),
+        );
+        let transport = TcpTransport {
+            site,
+            input: input.clone(),
+            peers,
+            shared: shared.clone(),
+            scratch: Vec::new(),
+        };
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("homeo-tcp-{site}-loop"))
+                .spawn(move || node_loop(worker, rx, transport, recover_from))
+                .expect("spawn node event loop"),
+        );
+        SiteNode {
+            site,
+            addr,
+            input,
+            shared,
+            handles,
+            engine,
+        }
+    }
+
+    /// This node's site id.
+    pub fn site(&self) -> usize {
+        self.site
+    }
+
+    /// The address the node listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The site's storage engine (in-process inspection, exactly as the
+    /// other backends allow).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Stops every thread of the node and closes its connections.
+    /// Idempotent; called by `Drop`.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let _ = self.input.send(NodeInput::Shutdown);
+        // Wake the acceptor out of its blocking accept.
+        let _ = TcpStream::connect(self.addr);
+        let conns: Vec<TcpStream> = {
+            let mut held = self.shared.conns.lock().expect("conns lock");
+            std::mem::take(&mut *held).into_values().collect()
+        };
+        for conn in conns {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+        let readers: Vec<JoinHandle<()>> = self
+            .shared
+            .readers
+            .lock()
+            .expect("readers lock")
+            .drain(..)
+            .collect();
+        for handle in readers {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for SiteNode {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The per-site event loop: drain every queued input into one scheduling
+/// round (exactly like the threaded backend's worker loop), ship the
+/// worker's outbox, and answer the client protocol — poll replies once the
+/// site is idle, `SyncAllReply` once a full fold completes, statistics
+/// immediately.
+fn node_loop(
+    mut worker: SiteWorker,
+    rx: Receiver<NodeInput>,
+    mut transport: TcpTransport,
+    recover_from: Option<usize>,
+) {
+    let mut out = Outbox::new();
+    let mut poll_waiters: Vec<usize> = Vec::new();
+    let mut sync_waiters: VecDeque<usize> = VecDeque::new();
+    let mut full_sync_inflight = false;
+    if let Some(buddy) = recover_from {
+        let engine = worker.engine().clone();
+        worker.crash_restart(engine, buddy, &mut out);
+        for (to, msg) in out.drain(..) {
+            transport.ship(to, msg);
+        }
+    }
+    let sites = transport.peers.len();
+    loop {
+        let first = match rx.recv() {
+            Ok(input) => input,
+            Err(_) => return, // node handle dropped
+        };
+        let mut next = Some(first);
+        while let Some(input) = next {
+            match input {
+                NodeInput::Msg { from, msg } if from < sites => worker.handle(from, msg, &mut out),
+                NodeInput::Msg { from, msg } => match msg {
+                    // General transactions never travel the wire (the
+                    // cluster runtime executes counter operations), so a
+                    // batch carrying one is a protocol violation, not a
+                    // worker panic waiting to happen. Unknown counters and
+                    // negative amounts need no check here: the worker
+                    // completes those as uncommitted no-ops.
+                    Message::Submit { ref ops }
+                        if ops
+                            .iter()
+                            .any(|op| matches!(op, SiteOp::Transaction { .. })) =>
+                    {
+                        eprintln!(
+                            "homeo-tcp site {}: client submitted a general transaction; \
+                             closing its connection",
+                            worker.site()
+                        );
+                        transport.drop_client(from);
+                        poll_waiters.retain(|w| *w != from);
+                        sync_waiters.retain(|w| *w != from);
+                    }
+                    // The worker-bound client messages: batches, seeds and
+                    // state fetches. The worker addresses its replies to
+                    // `from`, which the transport routes back to the client
+                    // connection.
+                    Message::Submit { .. } | Message::Seed { .. } | Message::StateRequest => {
+                        worker.handle(from, msg, &mut out)
+                    }
+                    Message::PollRequest => poll_waiters.push(from),
+                    Message::SyncAllRequest => sync_waiters.push_back(from),
+                    Message::StatsRequest => {
+                        let stats = worker.stats;
+                        transport.send_client(from, &Message::StatsReply { stats });
+                    }
+                    other => {
+                        eprintln!(
+                            "homeo-tcp site {}: client sent site-protocol frame {other:?}; \
+                             closing its connection",
+                            worker.site()
+                        );
+                        transport.drop_client(from);
+                        poll_waiters.retain(|w| *w != from);
+                        sync_waiters.retain(|w| *w != from);
+                    }
+                },
+                NodeInput::ClientGone(id) => {
+                    poll_waiters.retain(|w| *w != id);
+                    sync_waiters.retain(|w| *w != id);
+                }
+                NodeInput::Shutdown => return,
+            }
+            next = rx.try_recv().ok();
+        }
+        // Settle the round: ship frames, answer whoever can be answered,
+        // and start a queued full fold once the previous one finished.
+        loop {
+            for (to, msg) in out.drain(..) {
+                transport.ship(to, msg);
+            }
+            // While recovering, deferred submits are invisible to `idle()`,
+            // so neither polls nor folds may be answered yet.
+            if !worker.recovering() && worker.idle() && !poll_waiters.is_empty() {
+                let mut outcomes = Some(worker.take_completed());
+                for id in poll_waiters.drain(..) {
+                    let reply = Message::PollReply {
+                        outcomes: outcomes.take().unwrap_or_default(),
+                    };
+                    transport.send_client(id, &reply);
+                }
+            }
+            if full_sync_inflight {
+                if let Some(total) = worker.take_full_sync_result() {
+                    full_sync_inflight = false;
+                    if let Some(id) = sync_waiters.pop_front() {
+                        transport.send_client(
+                            id,
+                            &Message::SyncAllReply {
+                                solver_micros: total,
+                            },
+                        );
+                    }
+                }
+            }
+            if !full_sync_inflight && !sync_waiters.is_empty() && !worker.recovering() {
+                worker.begin_full_sync(&mut out);
+                full_sync_inflight = true;
+                continue; // ship the fold requests, re-check completion
+            }
+            break;
+        }
+    }
+}
+
+/// A client attachment over one TCP connection to one site.
+///
+/// The connection is strictly request-response from the client's point of
+/// view (submits are fire-and-forget; `poll` collects their outcomes), and
+/// the stream's FIFO ordering is what orders a submit before the poll that
+/// observes it. At most one client per site should poll at a time, exactly
+/// as with the threaded backend's attachments.
+pub struct TcpClient {
+    stream: TcpStream,
+    asm: FrameAssembler,
+    /// Per-connection frame-encode scratch.
+    scratch: Vec<u8>,
+}
+
+impl TcpClient {
+    /// Connects to a site and announces as a client.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<TcpClient> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(CLIENT_READ_TIMEOUT))?;
+        stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+        stream.write_all(
+            &Message::Hello {
+                peer: CLIENT_PEER,
+                epoch: 0,
+            }
+            .encode(),
+        )?;
+        Ok(TcpClient {
+            stream,
+            asm: FrameAssembler::new(),
+            scratch: Vec::new(),
+        })
+    }
+
+    /// [`TcpClient::connect`] with exponential-backoff retries for up to
+    /// `within` — how a load client waits out daemons that are still
+    /// binding their sockets.
+    pub fn connect_retry(addr: SocketAddr, within: Duration) -> std::io::Result<TcpClient> {
+        let deadline = Instant::now() + within;
+        let mut backoff = BACKOFF_MIN;
+        loop {
+            match TcpClient::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) => {
+                    if Instant::now() + backoff >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(BACKOFF_MAX);
+                }
+            }
+        }
+    }
+
+    fn send(&mut self, msg: &Message) -> std::io::Result<()> {
+        let frame = msg.encode_into(&mut self.scratch);
+        self.stream.write_all(&frame)
+    }
+
+    fn recv(&mut self) -> std::io::Result<Message> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match self.asm.next_message() {
+                Ok(Some(msg)) => return Ok(msg),
+                Ok(None) => {}
+                Err(e) => return Err(std::io::Error::new(ErrorKind::InvalidData, e)),
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "site closed the connection",
+                ));
+            }
+            self.asm.push(&chunk[..n]);
+        }
+    }
+
+    fn expect_reply<T>(
+        &mut self,
+        extract: impl Fn(Message) -> Result<T, Message>,
+    ) -> std::io::Result<T> {
+        match extract(self.recv()?) {
+            Ok(value) => Ok(value),
+            Err(other) => Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("unexpected reply {other:?}"),
+            )),
+        }
+    }
+
+    /// Submits a whole batch as one `Submit` frame (fire-and-forget; pair
+    /// with [`TcpClient::poll`]).
+    pub fn submit_batch(&mut self, ops: &[SiteOp]) -> std::io::Result<()> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        let frame = Message::encode_submit_into(ops, &mut self.scratch);
+        self.stream.write_all(&frame)
+    }
+
+    /// Blocks until every submitted operation completed and returns the
+    /// outcomes in submission order.
+    pub fn poll(&mut self) -> std::io::Result<Vec<OpOutcome>> {
+        self.send(&Message::PollRequest)?;
+        self.expect_reply(|msg| match msg {
+            Message::PollReply { outcomes } => Ok(outcomes),
+            other => Err(other),
+        })
+    }
+
+    /// Installs a counter's initial value and treaty on the connected site
+    /// and waits for the ack. Cluster-wide registration = seeding every
+    /// site and collecting every ack **before** submitting operations.
+    pub fn seed(&mut self, meta: CounterMeta) -> std::io::Result<()> {
+        self.send(&Message::Seed { meta })?;
+        self.expect_reply(|msg| match msg {
+            Message::SeedAck { .. } => Ok(()),
+            other => Err(other),
+        })
+    }
+
+    /// Folds every registered counter cluster-wide
+    /// (`SiteRuntime::synchronize` over the wire); returns the solver time.
+    pub fn synchronize_all(&mut self) -> std::io::Result<u64> {
+        self.send(&Message::SyncAllRequest)?;
+        self.expect_reply(|msg| match msg {
+            Message::SyncAllReply { solver_micros } => Ok(solver_micros),
+            other => Err(other),
+        })
+    }
+
+    /// The connected site's aggregate statistics.
+    pub fn stats(&mut self) -> std::io::Result<ReplicatedStats> {
+        self.send(&Message::StatsRequest)?;
+        self.expect_reply(|msg| match msg {
+            Message::StatsReply { stats } => Ok(stats),
+            other => Err(other),
+        })
+    }
+
+    /// The connected site's full treaty state (after a fold, the bases are
+    /// the authoritative counter values — what the load client's
+    /// conservation check reads).
+    pub fn state(&mut self) -> std::io::Result<Vec<CounterMeta>> {
+        self.send(&Message::StateRequest)?;
+        self.expect_reply(|msg| match msg {
+            Message::StateReply { counters } => Ok(counters),
+            other => Err(other),
+        })
+    }
+}
+
+/// A fleet of spawned `homeostasisd` **processes** — one per site of a
+/// [`ClusterSpec`] — plus the temp config file they read. Dropping the
+/// fleet kills every daemon (and reaps it) and removes the config, on
+/// every exit path including panics; the smoke scenario and the
+/// multi-process tests both deploy through this.
+pub struct DaemonFleet {
+    children: Vec<std::process::Child>,
+    config_path: std::path::PathBuf,
+}
+
+impl DaemonFleet {
+    /// Writes `spec` to a fresh temp config and spawns `binary` (a
+    /// `homeostasisd` executable) once per site with
+    /// `--config <temp> --site <n>`. Daemons already spawned are killed if
+    /// a later spawn fails.
+    pub fn spawn(binary: &std::path::Path, spec: &ClusterSpec) -> std::io::Result<DaemonFleet> {
+        let config_path = std::env::temp_dir().join(format!(
+            "homeo-cluster-{}-{}.conf",
+            std::process::id(),
+            NEXT_EPOCH.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&config_path, spec.to_config_string())?;
+        let mut fleet = DaemonFleet {
+            children: Vec::with_capacity(spec.sites()),
+            config_path,
+        };
+        for site in 0..spec.sites() {
+            let child = std::process::Command::new(binary)
+                .arg("--config")
+                .arg(&fleet.config_path)
+                .arg("--site")
+                .arg(site.to_string())
+                .spawn()?; // Drop of the partial fleet reaps what spawned
+            fleet.children.push(child);
+        }
+        Ok(fleet)
+    }
+
+    /// The config file the daemons read (hand it to a load client).
+    pub fn config_path(&self) -> &std::path::Path {
+        &self.config_path
+    }
+}
+
+impl Drop for DaemonFleet {
+    fn drop(&mut self) {
+        for child in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        let _ = std::fs::remove_file(&self.config_path);
+    }
+}
+
+/// Spawns every site of `spec` in this process (fresh engines), each on its
+/// configured address. `homeostasisd --site all` and the in-process
+/// fallback of the smoke scenario are this.
+pub fn spawn_cluster(spec: &ClusterSpec, config: ClusterConfig) -> std::io::Result<Vec<SiteNode>> {
+    (0..spec.sites())
+        .map(|site| {
+            SiteNode::bind(NodeOptions {
+                site,
+                addrs: spec.addrs.clone(),
+                config: config.clone(),
+                engine: Arc::new(Engine::new()),
+                recover_from: None,
+            })
+        })
+        .collect()
+}
+
+/// All sites of a cluster in one process, every frame over loopback TCP,
+/// behind the [`SiteRuntime`] surface — the `cluster-tcp` execution mode.
+pub struct TcpCluster {
+    spec: ClusterSpec,
+    config: ClusterConfig,
+    engines: Vec<Arc<Engine>>,
+    nodes: Vec<Option<SiteNode>>,
+    clients: Vec<Option<TcpClient>>,
+    registered: BTreeSet<ObjId>,
+    registration_negotiations: u64,
+}
+
+impl TcpCluster {
+    /// Spawns `sites` TCP site nodes on ephemeral loopback ports over fresh
+    /// engines.
+    pub fn new(sites: usize, config: ClusterConfig) -> Self {
+        assert!(sites > 0);
+        Self::from_engines((0..sites).map(|_| Engine::new()).collect(), config)
+    }
+
+    /// Spawns one TCP site node per pre-populated engine.
+    pub fn from_engines(engines: Vec<Engine>, config: ClusterConfig) -> Self {
+        assert!(!engines.is_empty());
+        let sites = engines.len();
+        // Bind every listener first so the full address list exists before
+        // any node spawns — no free-port race.
+        let listeners: Vec<TcpListener> = (0..sites)
+            .map(|_| TcpListener::bind((Ipv4Addr::LOCALHOST, 0)).expect("bind loopback listener"))
+            .collect();
+        let addrs: Vec<SocketAddr> = listeners
+            .iter()
+            .map(|l| l.local_addr().expect("bound listener"))
+            .collect();
+        let spec = ClusterSpec {
+            addrs: addrs.clone(),
+            mode: config.mode,
+        };
+        let engines: Vec<Arc<Engine>> = engines.into_iter().map(Arc::new).collect();
+        let nodes: Vec<Option<SiteNode>> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(site, listener)| {
+                Some(SiteNode::spawn(
+                    listener,
+                    NodeOptions {
+                        site,
+                        addrs: addrs.clone(),
+                        config: config.clone(),
+                        engine: engines[site].clone(),
+                        recover_from: None,
+                    },
+                ))
+            })
+            .collect();
+        let clients: Vec<Option<TcpClient>> = addrs
+            .iter()
+            .map(|addr| {
+                Some(
+                    TcpClient::connect_retry(*addr, Duration::from_secs(5))
+                        .expect("connect to in-process site"),
+                )
+            })
+            .collect();
+        TcpCluster {
+            spec,
+            config,
+            engines,
+            nodes,
+            clients,
+            registered: BTreeSet::new(),
+            registration_negotiations: 0,
+        }
+    }
+
+    /// The sites' listen addresses.
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.spec.addrs
+    }
+
+    fn client(&mut self, site: usize) -> &mut TcpClient {
+        self.clients[site]
+            .as_mut()
+            .unwrap_or_else(|| panic!("site {site} is down"))
+    }
+
+    /// Registers a counter cluster-wide: negotiate the initial treaty here,
+    /// then seed every site over its client connection and collect every
+    /// ack (the acks order the seed before any later frame that references
+    /// the counter). Returns the solver time in microseconds.
+    pub fn register(&mut self, obj: ObjId, initial: i64, lower_bound: i64) -> u64 {
+        if !self.registered.insert(obj.clone()) {
+            return 0;
+        }
+        let sites = self.sites();
+        let (allowances, solver_micros) = negotiate_allowances(
+            self.config.mode,
+            &self.config.hints(sites),
+            sites,
+            initial,
+            lower_bound,
+            self.config.timer,
+        );
+        self.registration_negotiations += 1;
+        let meta = CounterMeta {
+            obj,
+            base: initial,
+            lower_bound,
+            allowances,
+        };
+        for site in 0..sites {
+            self.client(site)
+                .seed(meta.clone())
+                .expect("seed counter over TCP");
+        }
+        solver_micros
+    }
+
+    /// True when the counter has been registered.
+    pub fn is_registered(&self, obj: &ObjId) -> bool {
+        self.registered.contains(obj)
+    }
+
+    /// Aggregate statistics across every live site (over the wire), plus
+    /// the registration-path negotiations.
+    pub fn stats(&self) -> ReplicatedStats {
+        let mut total = ReplicatedStats {
+            negotiations: self.registration_negotiations,
+            ..ReplicatedStats::default()
+        };
+        for (site, node) in self.nodes.iter().enumerate() {
+            if node.is_none() {
+                continue;
+            }
+            let mut client =
+                TcpClient::connect_retry(self.spec.addrs[site], Duration::from_secs(5))
+                    .expect("stats connection");
+            let stats = client.stats().expect("stats reply");
+            total.local_commits += stats.local_commits;
+            total.synchronizations += stats.synchronizations;
+            total.negotiations += stats.negotiations;
+        }
+        total
+    }
+
+    /// Fail-stop kill of one site: every thread stops, every connection
+    /// closes, all volatile state (treaty metadata, in-flight rounds,
+    /// queued clients) is gone. Only the WAL survives, exactly like the
+    /// simulator's `kill`. Call at a quiescent point (all submitted
+    /// operations polled): frames in flight at the kill are lost with it.
+    pub fn kill(&mut self, site: usize) {
+        self.clients[site] = None;
+        if let Some(mut node) = self.nodes[site].take() {
+            node.shutdown();
+        }
+    }
+
+    /// Restarts a killed site on its original address: the engine is
+    /// reopened from the WAL frame ([`Engine::reopen_from_frame`]) and the
+    /// treaty metadata refetched from the next live peer (`StateRequest`),
+    /// mirroring the simulator's `restart`. Peers' sender threads
+    /// reconnect with backoff on their next write.
+    pub fn restart(&mut self, site: usize) {
+        assert!(self.nodes[site].is_none(), "site {site} is not down");
+        assert!(self.sites() > 1, "a lone site has no peer to recover from");
+        let frame = self.engines[site].wal_frame();
+        let engine =
+            Arc::new(Engine::reopen_from_frame(&frame).expect("reopen engine from its WAL frame"));
+        self.engines[site] = engine.clone();
+        let buddy = (site + 1) % self.sites();
+        assert!(
+            self.nodes[buddy].is_some(),
+            "recovery buddy {buddy} must be alive"
+        );
+        let node = SiteNode::bind(NodeOptions {
+            site,
+            addrs: self.spec.addrs.clone(),
+            config: self.config.clone(),
+            engine,
+            recover_from: Some(buddy),
+        })
+        .expect("rebind the site's address");
+        self.nodes[site] = Some(node);
+        self.clients[site] = Some(
+            TcpClient::connect_retry(self.spec.addrs[site], Duration::from_secs(5))
+                .expect("reconnect to restarted site"),
+        );
+    }
+}
+
+impl SiteRuntime for TcpCluster {
+    fn sites(&self) -> usize {
+        self.engines.len()
+    }
+
+    fn engine(&self, site: usize) -> &Engine {
+        &self.engines[site]
+    }
+
+    fn submit(&mut self, site: usize, op: SiteOp) {
+        self.client(site)
+            .submit_batch(std::slice::from_ref(&op))
+            .expect("submit over TCP");
+    }
+
+    fn poll(&mut self, site: usize) -> Vec<OpOutcome> {
+        self.client(site).poll().expect("poll over TCP")
+    }
+
+    /// The batched path: one `Submit` frame over the socket, one
+    /// poll round trip for the outcomes.
+    fn submit_batch(&mut self, site: usize, ops: &[SiteOp]) -> Vec<OpOutcome> {
+        if ops.is_empty() {
+            return Vec::new();
+        }
+        let client = self.client(site);
+        client.submit_batch(ops).expect("submit batch over TCP");
+        client.poll().expect("poll over TCP")
+    }
+
+    fn synchronize(&mut self, site: usize) -> u64 {
+        self.client(site)
+            .synchronize_all()
+            .expect("synchronize over TCP")
+    }
+
+    fn ensure_registered(&mut self, obj: &ObjId, initial: i64, lower_bound: i64) {
+        if !self.is_registered(obj) {
+            self.register(obj.clone(), initial, lower_bound);
+        }
+    }
+}
+
+impl Drop for TcpCluster {
+    fn drop(&mut self) {
+        // Close client connections first so no reader blocks on them, then
+        // stop the nodes.
+        self.clients.clear();
+        for node in self.nodes.iter_mut().filter_map(Option::take) {
+            drop(node); // Drop runs shutdown()
+        }
+    }
+}
+
+/// The report of one [`tcp_load`] run, including the self-verified
+/// conservation check.
+#[derive(Debug, Clone)]
+pub struct TcpLoadReport {
+    /// Sites under load (one client thread each).
+    pub sites: usize,
+    /// Operations committed across all sites.
+    pub committed: u64,
+    /// Operations that required a synchronization round.
+    pub synchronized: u64,
+    /// Operations issued (`sites × ops_per_site`).
+    pub issued: u64,
+    /// Wall-clock duration of the load phase, in seconds.
+    pub elapsed_secs: f64,
+    /// Committed operations per wall-clock second.
+    pub throughput: f64,
+    /// Sum of every counter's base at load start — the seeded value on a
+    /// fresh cluster, the drained value left by a previous load otherwise
+    /// (seeding is skip-if-known).
+    pub initial_total: i64,
+    /// Sum of every counter's folded value after the final fold.
+    pub final_total: i64,
+    /// The conservation verdict: every operation committed, every site
+    /// reports the same folded state, and
+    /// `final_total == initial_total − committed`.
+    pub conserved: bool,
+}
+
+/// Initial value each [`tcp_load`] counter is seeded with: small enough
+/// that the load drains allowances and forces real synchronization rounds
+/// over the sockets (once a counter's headroom is gone, every further
+/// decrement serializes through its coordinator), large enough that the
+/// early phase exercises the local fast path.
+pub const LOAD_INITIAL: i64 = 100;
+
+/// The `homeo-load` client: one thread per site drives seeded unit-order
+/// batches over TCP (`submit_batch` + poll, 64 operations per frame), then
+/// folds every counter and self-verifies conservation — the orders carry no
+/// refill semantics, so the folded total must equal the seeded total minus
+/// the committed decrements, and every site must report the same folded
+/// state.
+///
+/// Connections retry with backoff for up to ten seconds, so the client can
+/// start while `homeostasisd` sites are still binding their sockets.
+pub fn tcp_load(
+    spec: &ClusterSpec,
+    ops_per_site: usize,
+    items: usize,
+    seed: u64,
+) -> std::io::Result<TcpLoadReport> {
+    assert!(spec.sites() > 0 && items > 0);
+    let sites = spec.sites();
+    let stock = |i: usize| ObjId::new(format!("stock[{i}]"));
+    let mut clients: Vec<TcpClient> = spec
+        .addrs
+        .iter()
+        .map(|addr| TcpClient::connect_retry(*addr, Duration::from_secs(10)))
+        .collect::<std::io::Result<_>>()?;
+    // Seed every counter on every site and collect every ack before any
+    // operation is issued: the acks order the registration before the load.
+    let hints = WorkloadHints::uniform(sites);
+    for item in 0..items {
+        let (allowances, _) =
+            negotiate_allowances(spec.mode, &hints, sites, LOAD_INITIAL, 0, Timer::Wall);
+        let meta = CounterMeta {
+            obj: stock(item),
+            base: LOAD_INITIAL,
+            lower_bound: 0,
+            allowances,
+        };
+        for client in &mut clients {
+            client.seed(meta.clone())?;
+        }
+    }
+    // The conservation baseline is the *acked* state, not the seed values:
+    // seeding is skip-if-known, so against a cluster that already served a
+    // load the counters keep their drained bases — a re-run must measure
+    // conservation from those, or it would report a spurious violation.
+    // Fold first so leftover deltas from an interrupted earlier run are in
+    // the bases. (Single load client at a time, like every other poll
+    // attachment.)
+    clients[0].synchronize_all()?;
+    let seeded = clients[0].state()?;
+    let mut initial_total = 0i64;
+    for item in 0..items {
+        let obj = stock(item);
+        let base = seeded
+            .iter()
+            .find(|meta| meta.obj == obj)
+            .map(|meta| meta.base)
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    ErrorKind::InvalidData,
+                    format!("site 0 does not know `{obj}` after seeding"),
+                )
+            })?;
+        initial_total += base;
+    }
+    let batch = 64usize;
+    let started = Instant::now();
+    let results: Vec<std::io::Result<(TcpClient, u64, u64)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = clients
+            .into_iter()
+            .enumerate()
+            .map(|(site, mut client)| {
+                scope.spawn(move || {
+                    let mut rng = DetRng::seed_from(seed ^ (site as u64).wrapping_mul(0x9E37));
+                    let mut committed = 0u64;
+                    let mut synchronized = 0u64;
+                    let mut issued = 0usize;
+                    let mut ops: Vec<SiteOp> = Vec::with_capacity(batch);
+                    while issued < ops_per_site {
+                        let n = batch.min(ops_per_site - issued);
+                        ops.clear();
+                        ops.extend((0..n).map(|_| SiteOp::Order {
+                            obj: stock(rng.index(items)),
+                            amount: 1,
+                            refill_to: None,
+                        }));
+                        client.submit_batch(&ops)?;
+                        issued += n;
+                        for outcome in client.poll()? {
+                            if outcome.committed {
+                                committed += 1;
+                            }
+                            if outcome.synchronized {
+                                synchronized += 1;
+                            }
+                        }
+                    }
+                    Ok((client, committed, synchronized))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load client thread panicked"))
+            .collect()
+    });
+    let elapsed_secs = started.elapsed().as_secs_f64();
+    let mut clients = Vec::with_capacity(sites);
+    let mut committed = 0u64;
+    let mut synchronized = 0u64;
+    for result in results {
+        let (client, c, s) = result?;
+        clients.push(client);
+        committed += c;
+        synchronized += s;
+    }
+    // Fold everything, then read every site's folded state and verify
+    // conservation: agreement across sites, and the folded total equal to
+    // the seeded total minus the committed decrements.
+    clients[0].synchronize_all()?;
+    let reference = clients[0].state()?;
+    let final_total: i64 = reference.iter().map(|meta| meta.base).sum();
+    let mut consistent = reference.len() == items;
+    for client in clients.iter_mut().skip(1) {
+        let state = client.state()?;
+        consistent &= state.len() == reference.len()
+            && state
+                .iter()
+                .zip(&reference)
+                .all(|(a, b)| a.obj == b.obj && a.base == b.base);
+    }
+    let issued = (sites * ops_per_site) as u64;
+    let conserved =
+        consistent && committed == issued && final_total == initial_total - committed as i64;
+    Ok(TcpLoadReport {
+        sites,
+        committed,
+        synchronized,
+        issued,
+        elapsed_secs,
+        throughput: committed as f64 / elapsed_secs.max(f64::MIN_POSITIVE),
+        initial_total,
+        final_total,
+        conserved,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homeo_protocol::ReplicatedMode;
+
+    fn stock(i: usize) -> ObjId {
+        ObjId::new(format!("stock[{i}]"))
+    }
+
+    fn cluster(sites: usize) -> TcpCluster {
+        TcpCluster::new(
+            sites,
+            ClusterConfig::new(ReplicatedMode::EvenSplit).with_timer(Timer::fixed_zero()),
+        )
+    }
+
+    #[test]
+    fn the_transport_trait_routes_raw_frames_like_the_node_loop() {
+        // The `Transport` impl is the raw-frame form of the node loop's
+        // `ship`: self-addressed frames decode back through the input
+        // channel, peer frames queue to the sender thread.
+        let (input, rx) = channel::<NodeInput>();
+        let (peer_tx, peer_rx) = channel::<Vec<u8>>();
+        let shared = Arc::new(NodeShared {
+            site: 0,
+            sites: 2,
+            shutdown: AtomicBool::new(false),
+            next_client: AtomicUsize::new(2),
+            clients: Mutex::new(BTreeMap::new()),
+            next_conn: AtomicUsize::new(0),
+            conns: Mutex::new(BTreeMap::new()),
+            readers: Mutex::new(Vec::new()),
+            peer_resets: (0..2).map(|_| AtomicBool::new(false)).collect(),
+            peer_epochs: Mutex::new(vec![None; 2]),
+        });
+        let mut transport = TcpTransport {
+            site: 0,
+            input,
+            peers: vec![None, Some(peer_tx)],
+            shared,
+            scratch: Vec::new(),
+        };
+        transport.send(1, 0, Message::StateRequest.encode());
+        match rx.try_recv().expect("self frame delivered") {
+            NodeInput::Msg { from, msg } => {
+                assert_eq!(from, 1);
+                assert_eq!(msg, Message::StateRequest);
+            }
+            _ => panic!("unexpected input"),
+        }
+        transport.send(0, 1, Message::StateRequest.encode());
+        assert_eq!(
+            peer_rx.try_recv().expect("peer frame queued"),
+            Message::StateRequest.encode()
+        );
+    }
+
+    #[test]
+    fn orders_cross_real_sockets_and_reach_the_engines() {
+        let mut cluster = cluster(2);
+        cluster.register(stock(0), 101, 1);
+        for i in 0..10 {
+            let out = cluster.execute(
+                i % 2,
+                SiteOp::Order {
+                    obj: stock(0),
+                    amount: 1,
+                    refill_to: Some(100),
+                },
+            );
+            assert!(out.committed);
+        }
+        let total: i64 = (0..2)
+            .map(|s| cluster.engine(s).peek(stock(0).as_str()))
+            .sum();
+        assert_eq!(total, 2 * 101 - 10);
+        assert!(cluster.engine(0).wal_len() > 0);
+        assert_eq!(cluster.stats().local_commits, 10);
+    }
+
+    #[test]
+    fn violations_synchronize_over_tcp_and_match_the_serial_oracle() {
+        let mut cluster = cluster(2);
+        cluster.register(stock(0), 20, 1);
+        let refill = 35;
+        let mut rng = DetRng::seed_from(99);
+        let mut serial = 20i64;
+        let mut synced = 0;
+        for _ in 0..200 {
+            let site = rng.index(2);
+            let out = cluster.execute(
+                site,
+                SiteOp::Order {
+                    obj: stock(0),
+                    amount: 1,
+                    refill_to: Some(refill - 1),
+                },
+            );
+            assert!(out.committed);
+            if out.synchronized {
+                synced += 1;
+            }
+            serial = if serial > 1 { serial - 1 } else { refill - 1 };
+        }
+        assert!(synced > 0, "draining 200 over 19 headroom must synchronize");
+        cluster.synchronize(0);
+        assert_eq!(cluster.value_at(0, &stock(0)), serial);
+        assert_eq!(cluster.value_at(1, &stock(0)), serial);
+    }
+
+    #[test]
+    fn batched_submits_travel_as_one_frame_and_poll_in_order() {
+        let mut cluster = cluster(3);
+        cluster.register(stock(0), 100, 1);
+        cluster.register(stock(1), 100, 1);
+        let ops: Vec<SiteOp> = [0usize, 1, 0, 1]
+            .iter()
+            .map(|item| SiteOp::Order {
+                obj: stock(*item),
+                amount: 1,
+                refill_to: Some(99),
+            })
+            .collect();
+        let outcomes = cluster.submit_batch(1, &ops);
+        assert_eq!(outcomes.len(), 4);
+        assert!(outcomes.iter().all(|o| o.committed));
+        assert!(cluster.poll(1).is_empty());
+    }
+
+    #[test]
+    fn tcp_load_conserves_counters_in_process() {
+        let mut nodes_cluster = cluster(2);
+        let spec = ClusterSpec {
+            addrs: nodes_cluster.addrs().to_vec(),
+            mode: ReplicatedMode::EvenSplit,
+        };
+        let report = tcp_load(&spec, 400, 8, 7).expect("load run");
+        assert_eq!(report.committed, 800);
+        assert!(report.conserved, "conservation failed: {report:?}");
+        assert!(report.synchronized > 0, "load must force sync rounds");
+        // A second run against the same (drained) cluster still conserves:
+        // the baseline is the acked post-seed state, not the seed values.
+        let again = tcp_load(&spec, 100, 8, 8).expect("re-run");
+        assert!(again.conserved, "re-run conservation failed: {again:?}");
+        assert_eq!(again.initial_total, report.final_total);
+        // The cluster object is still usable afterwards.
+        nodes_cluster.register(stock(100), 50, 1);
+        drop(nodes_cluster);
+    }
+
+    #[test]
+    fn a_garbage_connection_is_dropped_without_disturbing_the_site() {
+        let mut cluster = cluster(2);
+        cluster.register(stock(0), 100, 1);
+        // A connection that opens with an oversized length prefix is closed
+        // by the reader without taking the site down.
+        let mut rogue = TcpStream::connect(cluster.addrs()[0]).expect("connect");
+        rogue.write_all(&[0xFF; 64]).expect("write garbage");
+        let mut buf = [0u8; 8];
+        // The site closes the connection: read returns EOF (or a reset).
+        rogue
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        match rogue.read(&mut buf) {
+            Ok(0) | Err(_) => {}
+            Ok(n) => panic!("site answered {n} bytes to a garbage connection"),
+        }
+        drop(rogue);
+        // And a client that identifies correctly but then speaks the
+        // site-to-site protocol is dropped by the node loop.
+        let mut rogue = TcpClient::connect(cluster.addrs()[0]).expect("connect");
+        rogue
+            .send(&Message::DeltaReply {
+                sync: 0,
+                obj: stock(0),
+                delta: -1_000_000,
+            })
+            .expect("send");
+        match rogue.recv() {
+            Err(_) => {}
+            Ok(msg) => panic!("site answered {msg:?} to a protocol violation"),
+        }
+        // Well-formed but hostile submits — unknown counters, negative
+        // amounts — complete as uncommitted no-ops in submission order
+        // instead of panicking the site's event loop.
+        let mut rogue = TcpClient::connect(cluster.addrs()[0]).expect("connect");
+        rogue
+            .submit_batch(&[
+                SiteOp::Order {
+                    obj: ObjId::new("no-such-counter"),
+                    amount: 1,
+                    refill_to: None,
+                },
+                SiteOp::Order {
+                    obj: stock(0),
+                    amount: -5,
+                    refill_to: None,
+                },
+                SiteOp::Increment {
+                    obj: ObjId::new("also-unknown"),
+                    amount: 1,
+                },
+            ])
+            .expect("submit hostile batch");
+        let outcomes = rogue.poll().expect("site must stay up");
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes.iter().all(|o| !o.committed));
+        // A batch carrying a general transaction is a protocol violation:
+        // the client is dropped.
+        rogue
+            .submit_batch(&[SiteOp::Transaction { index: 0 }])
+            .expect("send");
+        match rogue.poll() {
+            Err(_) => {}
+            Ok(msg) => panic!("site answered {msg:?} to a transaction submit"),
+        }
+        // The site still serves real traffic.
+        let out = cluster.execute(
+            0,
+            SiteOp::Order {
+                obj: stock(0),
+                amount: 1,
+                refill_to: Some(99),
+            },
+        );
+        assert!(out.committed);
+        assert_eq!(cluster.value_at(0, &stock(0)), 99);
+    }
+}

@@ -99,7 +99,7 @@ mod tests {
         match rx.recv().unwrap() {
             Input::Frame(from, frame) => {
                 assert_eq!(from, 2);
-                assert_eq!(Message::decode(&frame), Some(Message::StateRequest));
+                assert_eq!(Message::decode(&frame), Ok(Message::StateRequest));
             }
             other => panic!("unexpected input {other:?}"),
         }
@@ -108,7 +108,7 @@ mod tests {
                 assert_eq!(from, CLIENT);
                 assert_eq!(
                     Message::decode(&frame),
-                    Some(Message::InstallAck {
+                    Ok(Message::InstallAck {
                         sync: 1,
                         obj: homeo_lang::ids::ObjId::new("x"),
                     })

@@ -181,6 +181,14 @@ impl SiteWorker {
         self.queue.is_empty() && self.waiting.is_none()
     }
 
+    /// True while the worker is waiting for its post-restart `StateReply`
+    /// (every other frame is deferred meanwhile). Poll answers and full
+    /// folds must wait this out: deferred submits are invisible to
+    /// [`SiteWorker::idle`], so an early poll would report an empty batch.
+    pub fn recovering(&self) -> bool {
+        self.recovering
+    }
+
     /// True when this site coordinates no in-flight round (the precondition
     /// for a fail-stop kill in the simulation backend).
     pub fn quiescent_coordinator(&self) -> bool {
@@ -378,6 +386,35 @@ impl SiteWorker {
             Message::StateReply { .. } => {
                 // Only meaningful while recovering; ignore otherwise.
             }
+            Message::Seed { meta } => {
+                // Cluster-wide registration over the wire (TCP backends,
+                // where no coordinating thread reaches every engine): write
+                // the initial value through the engine if the counter is
+                // new, install the treaty, and always ack — a re-seed after
+                // a client reconnect is idempotent.
+                let obj = meta.obj.clone();
+                if !self.counters.contains_key(&obj) {
+                    self.engine
+                        .write_logged(obj.as_str(), meta.base)
+                        .expect("seed write runs between local transactions");
+                    self.install_counter(meta);
+                }
+                out.push((from, Message::SeedAck { obj }));
+            }
+            Message::Hello { .. }
+            | Message::SeedAck { .. }
+            | Message::PollRequest
+            | Message::PollReply { .. }
+            | Message::SyncAllRequest
+            | Message::SyncAllReply { .. }
+            | Message::StatsRequest
+            | Message::StatsReply { .. } => {
+                // Connection-layer and client-side messages. The TCP node
+                // loop answers these itself (poll and full-sync completion
+                // span scheduling rounds, which a per-frame state machine
+                // cannot observe); a worker that still receives one — a
+                // misbehaving client on a permissive transport — ignores it.
+            }
         }
     }
 
@@ -434,6 +471,16 @@ impl SiteWorker {
                     amount,
                     refill_to,
                 } => {
+                    if amount < 0 || !self.counters.contains_key(&obj) {
+                        // Wire-originated batches are untrusted (any TCP
+                        // client can submit one): an order on an unknown
+                        // counter or with a negative amount completes as an
+                        // uncommitted no-op — at the head of the line, so
+                        // outcome order is preserved — instead of tearing
+                        // the site down.
+                        self.completed.push(OpOutcome::default());
+                        continue;
+                    }
                     if self.frozen.contains_key(&obj) {
                         // Stalled until the in-flight round installs.
                         self.queue.push_front(SiteOp::Order {
@@ -460,14 +507,15 @@ impl SiteWorker {
                     }
                 }
                 SiteOp::Increment { obj, amount } => {
+                    if !self.counters.contains_key(&obj) {
+                        // Untrusted wire input, as for orders above.
+                        self.completed.push(OpOutcome::default());
+                        continue;
+                    }
                     if self.frozen.contains_key(&obj) {
                         self.queue.push_front(SiteOp::Increment { obj, amount });
                         break;
                     }
-                    assert!(
-                        self.counters.contains_key(&obj),
-                        "counter `{obj}` not registered"
-                    );
                     let outcome = match self.engine_rmw(&obj, |v| v + amount.abs()) {
                         Ok(()) => {
                             self.stats.local_commits += 1;

@@ -1,0 +1,54 @@
+//! End-to-end multi-process test: real `homeostasisd` processes on
+//! loopback, driven by the `tcp_load` client, conservation self-verified.
+//!
+//! This is the acceptance path of the deployable cluster — one OS process
+//! per site, every protocol frame over the kernel's network stack — run
+//! against the binary Cargo builds for this crate
+//! (`CARGO_BIN_EXE_homeostasisd`), deployed through the same
+//! [`DaemonFleet`] the `cluster-tcp` smoke scenario uses.
+
+use std::path::Path;
+use std::process::Command;
+
+use homeo_cluster::{free_loopback_addrs, tcp_load, ClusterSpec, DaemonFleet};
+
+#[test]
+fn homeostasisd_processes_serve_a_conserving_cluster() {
+    let spec = ClusterSpec::new(free_loopback_addrs(3).expect("reserve loopback ports"));
+    let _fleet = DaemonFleet::spawn(Path::new(env!("CARGO_BIN_EXE_homeostasisd")), &spec)
+        .expect("spawn homeostasisd site processes");
+    let report = tcp_load(&spec, 800, 8, 11).expect("drive the cluster over TCP");
+    assert_eq!(report.committed, report.issued, "operations were lost");
+    assert!(
+        report.synchronized > 0,
+        "the load must force synchronization rounds across processes"
+    );
+    assert!(
+        report.conserved,
+        "conservation failed across processes: {report:?}"
+    );
+    // A second client run against the same (now drained) daemons must
+    // still conserve: the baseline is the acked post-seed state, not the
+    // seed values.
+    let again = tcp_load(&spec, 200, 8, 12).expect("re-run the load client");
+    assert!(
+        again.conserved,
+        "conservation failed on a reused cluster: {again:?}"
+    );
+}
+
+#[test]
+fn homeostasisd_rejects_bad_usage() {
+    // Unknown flags and unreadable configs are usage errors (exit 2), so a
+    // misconfigured CI job fails loudly instead of hanging.
+    let status = Command::new(env!("CARGO_BIN_EXE_homeostasisd"))
+        .arg("--nonsense")
+        .status()
+        .expect("run homeostasisd");
+    assert_eq!(status.code(), Some(2));
+    let status = Command::new(env!("CARGO_BIN_EXE_homeostasisd"))
+        .args(["--config", "/definitely/not/a/file"])
+        .status()
+        .expect("run homeostasisd");
+    assert_eq!(status.code(), Some(2));
+}

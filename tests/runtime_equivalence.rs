@@ -76,8 +76,9 @@ fn synchronized_runtimes() -> Vec<(&'static str, Box<dyn SiteRuntime>)> {
     }
     // The cluster subsystem behind the same surface: the homeostasis
     // protocol as message-passing worker threads (channel transport, one
-    // OS thread per site), and as the deterministic fault-injected
-    // simulation (jitter, reordering, retransmitted drops).
+    // OS thread per site), as the deterministic fault-injected
+    // simulation (jitter, reordering, retransmitted drops), and as real
+    // TCP endpoints over loopback sockets (every frame crosses the kernel).
     let mut homeo_threaded = ClusterRuntime::threaded(
         SITES,
         ClusterConfig::new(ReplicatedMode::Homeostasis {
@@ -94,9 +95,14 @@ fn synchronized_runtimes() -> Vec<(&'static str, Box<dyn SiteRuntime>)> {
         ClusterConfig::new(ReplicatedMode::EvenSplit).with_timer(Timer::fixed_zero()),
         SimNetConfig::faulty(RttMatrix::table1().truncated(SITES), 0xC0DE),
     );
+    let mut opt_tcp = ClusterRuntime::tcp(
+        SITES,
+        ClusterConfig::new(ReplicatedMode::EvenSplit).with_timer(Timer::fixed_zero()),
+    );
     for i in 0..ITEMS {
         homeo_threaded.register(item_obj(i), INITIAL, 1);
         opt_sim.register(item_obj(i), INITIAL, 1);
+        opt_tcp.register(item_obj(i), INITIAL, 1);
     }
     vec![
         ("homeo", Box::new(homeo)),
@@ -104,6 +110,7 @@ fn synchronized_runtimes() -> Vec<(&'static str, Box<dyn SiteRuntime>)> {
         ("2pc", Box::new(twopc)),
         ("homeo-cluster-threaded", Box::new(homeo_threaded)),
         ("opt-cluster-sim", Box::new(opt_sim)),
+        ("opt-cluster-tcp", Box::new(opt_tcp)),
     ]
 }
 
