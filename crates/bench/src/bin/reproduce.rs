@@ -3,8 +3,8 @@
 //! ```text
 //! reproduce [--full] [--csv-dir DIR] [--json PATH] [--baseline PATH]
 //!           [--list] [--threads N] [--homeo-load CONFIG] [--ops N]
-//!           [all | table1 | fig10 | ... | fig29 | cluster-partition | ...
-//!            | cluster-tcp | bench]...
+//!           [--clients N] [all | table1 | fig10 | ... | fig29
+//!            | cluster-partition | ... | cluster-tcp | bench]...
 //! ```
 //!
 //! With no arguments, `all` is assumed: every paper figure, the cluster
@@ -24,7 +24,10 @@
 //! (started separately, any mix of processes/machines on the config's
 //! addresses), drives `--ops N` (default 2000) seeded order operations per
 //! site over the sockets, and self-verifies counter conservation — a failed
-//! check is a non-zero exit.
+//! check is a non-zero exit. `--clients N` fans the load out over N
+//! concurrent pipelined connections (spread round-robin across the sites;
+//! default one per site), exercising the sites' epoll reactors at real
+//! connection counts — `--clients 10000` is a meaningful smoke test.
 //!
 //! Exit codes: `0` on success, `1` when one or more requested figures or
 //! scenarios fail to generate or write, or when the baseline check finds a
@@ -33,7 +36,7 @@
 use std::path::PathBuf;
 
 use homeo_bench::{all_ids, generate, Effort, Figure, Json};
-use homeo_cluster::{tcp_load, threaded_load, ClusterSpec};
+use homeo_cluster::{tcp_load_opts, threaded_load, ClusterSpec, LoadOptions};
 
 fn main() {
     let mut effort = Effort::Quick;
@@ -43,6 +46,7 @@ fn main() {
     let mut threads: Option<usize> = None;
     let mut homeo_load: Option<PathBuf> = None;
     let mut ops_per_site: usize = 2_000;
+    let mut clients: usize = 0;
     let mut requested: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1).peekable();
@@ -83,6 +87,16 @@ fn main() {
                     }
                 }
             }
+            "--clients" => {
+                let n = args.next().and_then(|n| n.parse::<usize>().ok());
+                match n {
+                    Some(n) if n > 0 => clients = n,
+                    _ => {
+                        eprintln!("--clients requires a positive connection count");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--csv-dir" => {
                 let dir = args.next().unwrap_or_else(|| {
                     eprintln!("--csv-dir requires a directory argument");
@@ -108,7 +122,7 @@ fn main() {
                 println!(
                     "usage: reproduce [--full] [--csv-dir DIR] [--json PATH] \
                      [--baseline PATH] [--list] [--threads N] \
-                     [--homeo-load CONFIG] [--ops N] [all | {}]...",
+                     [--homeo-load CONFIG] [--ops N] [--clients N] [all | {}]...",
                     all_ids().join(" | ")
                 );
                 return;
@@ -232,7 +246,7 @@ fn main() {
         }
     }
     if let Some(config_path) = &homeo_load {
-        match run_homeo_load(config_path, ops_per_site) {
+        match run_homeo_load(config_path, ops_per_site, clients) {
             Ok(()) => {}
             Err(problem) => {
                 eprintln!("FAILED: {problem}\n");
@@ -256,21 +270,39 @@ fn main() {
 /// self-verify counter conservation. Any lost operation, cross-site
 /// disagreement or conservation violation is an `Err` (and thus a non-zero
 /// exit).
-fn run_homeo_load(config_path: &std::path::Path, ops_per_site: usize) -> Result<(), String> {
+fn run_homeo_load(
+    config_path: &std::path::Path,
+    ops_per_site: usize,
+    clients: usize,
+) -> Result<(), String> {
     let text = std::fs::read_to_string(config_path)
         .map_err(|e| format!("cannot read {}: {e}", config_path.display()))?;
     let spec = ClusterSpec::parse(&text)
         .map_err(|e| format!("bad cluster config {}: {e}", config_path.display()))?;
     const ITEMS: usize = 16;
+    let opts = LoadOptions {
+        clients,
+        ..LoadOptions::new(ops_per_site, ITEMS, 42)
+    };
     println!(
-        "homeo-load: {} site(s) over TCP, {ops_per_site} ops per site, {ITEMS} counters",
-        spec.sites()
+        "homeo-load: {} site(s) over TCP, {ops_per_site} ops per site, {ITEMS} counters{}",
+        spec.sites(),
+        if clients > 0 {
+            format!(", {clients} concurrent connections")
+        } else {
+            String::new()
+        }
     );
-    let report =
-        tcp_load(&spec, ops_per_site, ITEMS, 42).map_err(|e| format!("TCP load failed: {e}"))?;
+    let report = tcp_load_opts(&spec, &opts).map_err(|e| format!("TCP load failed: {e}"))?;
     println!(
-        "{} sites x {ops_per_site} ops: {} committed ({} synchronized) in {:.2}s = {:.0} ops/s",
-        report.sites, report.committed, report.synchronized, report.elapsed_secs, report.throughput
+        "{} sites x {ops_per_site} ops over {} connection(s): {} committed \
+         ({} synchronized) in {:.2}s = {:.0} ops/s",
+        report.sites,
+        report.clients,
+        report.committed,
+        report.synchronized,
+        report.elapsed_secs,
+        report.throughput
     );
     println!(
         "conservation: seeded {} - committed {} = folded {} ({})\n",

@@ -29,7 +29,9 @@
 use std::process::exit;
 use std::sync::Arc;
 
-use homeo_cluster::{spawn_cluster, ClusterConfig, ClusterSpec, NodeOptions, SiteNode};
+use homeo_cluster::{
+    spawn_cluster, ClusterConfig, ClusterSpec, NodeOptions, SiteNode, DEFAULT_CLIENT_QUEUE_CAP,
+};
 use homeo_store::Engine;
 
 fn usage() -> ! {
@@ -70,6 +72,9 @@ fn main() {
         }
     };
     let config = ClusterConfig::new(spec.mode);
+    // Thousands of client connections per site need file descriptors;
+    // best-effort — on failure the inherited limit stands.
+    let _ = epoll::raise_nofile_limit();
     let nodes: Vec<SiteNode> = match site_arg.as_deref() {
         None | Some("all") => match spawn_cluster(&spec, config) {
             Ok(nodes) => nodes,
@@ -95,6 +100,7 @@ fn main() {
                 config,
                 engine: Arc::new(Engine::new()),
                 recover_from: None,
+                client_queue_cap: DEFAULT_CLIENT_QUEUE_CAP,
             }) {
                 Ok(node) => vec![node],
                 Err(e) => {

@@ -21,11 +21,13 @@
 //!   jitter and reordering, drops surfaced as retransmission delay,
 //!   symmetric partitions, and site kill/restart that reopens the engine
 //!   from its WAL frame.
-//! * [`TcpCluster`] — the same state machines over **real sockets**
-//!   ([`tcp::TcpTransport`], `std::net` loopback/LAN): partial-frame
-//!   reassembly, reconnect-with-backoff, and the `homeostasisd` binary
-//!   that runs sites as separate OS processes ([`tcp::SiteNode`], with
-//!   [`tcp_load`] as the self-verifying load client).
+//! * [`TcpCluster`] — the same state machines over **real sockets**: one
+//!   nonblocking epoll reactor per site (the `reactor` module) multiplexes
+//!   the listener, every client connection and every peer link, with
+//!   partial-frame reassembly, vectored-write flushes,
+//!   reconnect-with-backoff, and the `homeostasisd` binary that runs sites
+//!   as separate OS processes ([`tcp::SiteNode`], with [`tcp_load`] as
+//!   the self-verifying, pipelining load client).
 //!
 //! [`ClusterRuntime`] wraps either backend behind
 //! [`homeo_runtime::SiteRuntime`], so `drive()`, every workload and the
@@ -36,6 +38,7 @@
 
 pub mod config;
 pub mod msg;
+mod reactor;
 pub mod sim;
 pub mod tcp;
 pub mod threaded;
@@ -50,10 +53,11 @@ use homeo_store::Engine;
 
 pub use config::ClusterSpec;
 pub use msg::{CodecError, CounterMeta, FrameAssembler, Message, SyncKind, MAX_FRAME_LEN};
+pub use reactor::DEFAULT_CLIENT_QUEUE_CAP;
 pub use sim::{SimCluster, SimMetrics, SimNetConfig, SimTransport};
 pub use tcp::{
-    free_loopback_addrs, spawn_cluster, tcp_load, DaemonFleet, NodeOptions, SiteNode, TcpClient,
-    TcpCluster, TcpLoadReport, TcpTransport,
+    free_loopback_addrs, spawn_cluster, tcp_load, tcp_load_opts, DaemonFleet, LoadOptions,
+    NodeOptions, SiteNode, TcpClient, TcpCluster, TcpLoadReport,
 };
 pub use threaded::{threaded_load, ClusterClient, Control, LoadReport, ThreadedCluster};
 pub use transport::{ChannelTransport, Transport, CLIENT};

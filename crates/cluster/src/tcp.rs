@@ -7,30 +7,33 @@
 //! crosses an actual socket with partial reads, kernel buffering and
 //! connection loss in play. The pieces:
 //!
-//! * [`TcpTransport`] — the [`Transport`] implementation: one dedicated
-//!   sender thread per peer with an outbound queue,
-//!   reconnect-with-exponential-backoff on connection drop, and
-//!   [`FrameAssembler`]-based partial-frame reassembly on the read side.
-//! * [`SiteNode`] — one running site: an acceptor thread for its listen
-//!   address, one reader thread per live connection, and an event loop that
-//!   pumps the same [`SiteWorker`] state machine the threaded and simulated
-//!   backends run. Client-protocol frames (`PollRequest`, `SyncAllRequest`,
-//!   `StatsRequest`) are answered by the node loop, which is what the
-//!   `homeostasisd` binary runs per site.
+//! * [`SiteNode`] — one running site: a **single nonblocking epoll event
+//!   loop** (the reactor, `crate::reactor`) multiplexing the listener,
+//!   every client connection and every peer link, pumping the same
+//!   [`SiteWorker`] state machine the threaded and simulated backends run.
+//!   Reads feed per-connection [`FrameAssembler`]s; writes queue whole
+//!   frames and flush with vectored `writev`; client-protocol frames
+//!   (`PollRequest`, `SyncAllRequest`, `StatsRequest`) are answered by the
+//!   loop itself. This is what the `homeostasisd` binary runs per site.
 //! * [`TcpClient`] — a client attachment over one TCP connection: seed
 //!   counters, submit batches, poll outcomes, force a full fold, fetch
-//!   state and statistics.
+//!   state and statistics. Submits and polls can be **pipelined**: any
+//!   number of `Submit`+`PollRequest` pairs may be in flight per
+//!   connection ([`TcpClient::send_poll`] / [`TcpClient::recv_poll_reply`]);
+//!   the site answers each poll as soon as the operations that preceded it
+//!   on this connection have completed, in poll order.
 //! * [`TcpCluster`] — the in-process form (all sites in one process, every
 //!   frame still over loopback TCP) behind [`SiteRuntime`], so `drive()`,
 //!   the equivalence suites and the throughput sweep get a `cluster-tcp`
 //!   mode for free. It also models fail-stop crashes:
 //!   [`TcpCluster::kill`] / [`TcpCluster::restart`] mirror the simulator's
 //!   kill/restart (WAL-recovered engine, treaty refetch from a peer).
-//! * [`tcp_load`] — the `homeo-load` client: drives `submit_batch` traffic
-//!   over TCP from one thread per site and **self-verifies counter
-//!   conservation** at the end (fold everything, check every site agrees
-//!   and the folded total equals the seeded total minus the committed
-//!   decrements).
+//! * [`tcp_load`] / [`tcp_load_opts`] — the `homeo-load` client: drives
+//!   pipelined `Submit` traffic over a configurable number of concurrent
+//!   connections (an epoll fan-out driver of its own, [`LoadOptions`]) and
+//!   **self-verifies counter conservation** at the end (fold everything,
+//!   check every site agrees and the folded total equals the seeded total
+//!   minus the committed decrements).
 //!
 //! # Failure model
 //!
@@ -49,6 +52,16 @@
 //! restarted). A reconnect by the same incarnation keeps the same epoch, so
 //! it does not cascade into mutual connection resets.
 //!
+//! # Backpressure
+//!
+//! A client that stops draining its socket used to be handled by a blanket
+//! 10-second write timeout; the reactor instead bounds the **bytes** a
+//! client connection may queue ([`NodeOptions::client_queue_cap`]) and
+//! disconnects past the cap — memory stays bounded per connection and a
+//! slow client never stalls the event loop. Peer queues are unbounded by
+//! design: protocol frames must survive a reconnect (dropping them would
+//! wedge an ack barrier), and peers drain each other by construction.
+//!
 //! # Trust model
 //!
 //! The *byte* layer is hardened against hostile input — bounded length
@@ -60,15 +73,16 @@
 //! deployment), exactly like the unauthenticated intra-cluster ports of
 //! most coordination systems.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::BTreeSet;
 use std::io::{ErrorKind, Read, Write};
-use std::net::{Ipv4Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use epoll::{Events, Poller};
 use homeo_lang::ids::ObjId;
 use homeo_protocol::{negotiate_allowances, ReplicatedStats, WorkloadHints};
 use homeo_runtime::{OpOutcome, SiteOp, SiteRuntime};
@@ -77,23 +91,19 @@ use homeo_store::Engine;
 
 use crate::config::ClusterSpec;
 use crate::msg::{CounterMeta, FrameAssembler, Message, CLIENT_PEER};
-use crate::transport::Transport;
-use crate::worker::{Outbox, SiteWorker};
+use crate::reactor::{
+    Reactor, ReactorConfig, WriteQueue, BACKOFF_MAX, BACKOFF_MIN, DEFAULT_CLIENT_QUEUE_CAP,
+    LISTEN_BACKLOG,
+};
+use crate::worker::SiteWorker;
 use crate::ClusterConfig;
 
-/// How often blocked reads wake to check the shutdown flag.
-const READ_POLL: Duration = Duration::from_millis(50);
-/// First reconnect delay after a failed connect/write.
-const BACKOFF_MIN: Duration = Duration::from_millis(5);
-/// Reconnect delay cap.
-const BACKOFF_MAX: Duration = Duration::from_millis(200);
 /// A client request with no reply within this window is a dead site.
 const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(30);
-/// Writes blocked longer than this mark the connection dead. The node
-/// event loop is single-threaded and writes client replies while holding
-/// the clients map, so a client that stops draining its socket must stall
-/// the site for at most this long before being dropped, not forever.
-const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+/// Blocking-client write timeout: a site that stops reading for this long
+/// is dead (the site itself never stops reading, so this only fires on a
+/// crashed or partitioned site).
+const CLIENT_WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Per-process counter behind incarnation epochs: combined with the
 /// process id, every [`SiteNode`] spawn gets an epoch no other incarnation
@@ -115,339 +125,6 @@ pub fn free_loopback_addrs(n: usize) -> std::io::Result<Vec<SocketAddr>> {
     listeners.iter().map(|l| l.local_addr()).collect()
 }
 
-/// What the node event loop receives from reader threads (and itself).
-enum NodeInput {
-    /// A decoded message from connection `from` (a site id, or a client
-    /// connection id `>= sites`).
-    Msg { from: usize, msg: Message },
-    /// A client connection closed.
-    ClientGone(usize),
-    /// Stop the event loop.
-    Shutdown,
-}
-
-/// State shared between the acceptor, the reader threads, the per-peer
-/// sender threads and the event loop of one site.
-struct NodeShared {
-    site: usize,
-    sites: usize,
-    shutdown: AtomicBool,
-    /// Client connection ids start at `sites` so they never collide with
-    /// site ids in the worker's outbox destinations.
-    next_client: AtomicUsize,
-    /// Write halves of live client connections, keyed by connection id.
-    clients: Mutex<BTreeMap<usize, TcpStream>>,
-    /// Tokens for entries in `conns` (distinct from client ids: every
-    /// accepted connection gets one, peers included).
-    next_conn: AtomicUsize,
-    /// Clones of live accepted connections, keyed by connection token:
-    /// shut down at node shutdown so blocked peers/readers fail fast.
-    /// Each reader removes its own entry on exit, so connection churn
-    /// (client reconnects, per-call stats connections, peer restarts)
-    /// does not leak file descriptors over a daemon's lifetime.
-    conns: Mutex<BTreeMap<usize, TcpStream>>,
-    /// Live reader thread handles, joined at shutdown (the acceptor prunes
-    /// finished ones as connections come and go).
-    readers: Mutex<Vec<JoinHandle<()>>>,
-    /// `peer_resets[p]` set when site `p` is known to have died or
-    /// restarted: the sender thread for `p` must drop its cached socket
-    /// before the next write (the old one predates `p`'s restart).
-    peer_resets: Vec<AtomicBool>,
-    /// Last incarnation epoch seen from each peer — how a fresh inbound
-    /// connection is classified as a restart (new epoch, reset) versus a
-    /// reconnect by the same incarnation (same epoch, keep the socket).
-    peer_epochs: Mutex<Vec<Option<u64>>>,
-}
-
-/// The [`Transport`] over real sockets, as owned by one site's event loop:
-/// per-peer outbound queues drained by reconnecting sender threads, plus
-/// direct writes to client connections and a self-delivery shortcut.
-pub struct TcpTransport {
-    site: usize,
-    input: Sender<NodeInput>,
-    peers: Vec<Option<Sender<Vec<u8>>>>,
-    shared: Arc<NodeShared>,
-    /// Per-connection frame-encode scratch ([`Message::encode_into`]).
-    scratch: Vec<u8>,
-}
-
-impl TcpTransport {
-    /// Ships one outbox message without re-encoding on the self path (the
-    /// node loop's form of [`Transport::send`] — same routing, but it
-    /// still holds the decoded message).
-    fn ship(&mut self, to: usize, msg: Message) {
-        if to == self.site {
-            let _ = self.input.send(NodeInput::Msg {
-                from: self.site,
-                msg,
-            });
-        } else if to < self.peers.len() {
-            let frame = msg.encode_into(&mut self.scratch);
-            self.enqueue_peer(to, frame);
-        } else {
-            self.send_client(to, &msg);
-        }
-    }
-
-    /// Hands an encoded frame to the destination peer's sender thread.
-    fn enqueue_peer(&mut self, to: usize, frame: Vec<u8>) {
-        if let Some(queue) = &self.peers[to] {
-            let _ = queue.send(frame);
-        }
-    }
-
-    /// Writes a message to a client connection.
-    fn send_client(&mut self, id: usize, msg: &Message) {
-        let frame = msg.encode_into(&mut self.scratch);
-        self.write_client(id, &frame);
-    }
-
-    /// Writes an encoded frame to a client connection; a failed write drops
-    /// the client and surfaces it to the event loop as
-    /// [`NodeInput::ClientGone`].
-    fn write_client(&mut self, id: usize, frame: &[u8]) {
-        let mut clients = self.shared.clients.lock().expect("clients lock");
-        if let Some(stream) = clients.get_mut(&id) {
-            if stream.write_all(frame).is_err() {
-                clients.remove(&id);
-                drop(clients);
-                let _ = self.input.send(NodeInput::ClientGone(id));
-            }
-        }
-    }
-
-    /// Closes a client connection (protocol violation).
-    fn drop_client(&mut self, id: usize) {
-        if let Some(stream) = self
-            .shared
-            .clients
-            .lock()
-            .expect("clients lock")
-            .remove(&id)
-        {
-            let _ = stream.shutdown(Shutdown::Both);
-        }
-    }
-}
-
-impl Transport for TcpTransport {
-    /// The raw-frame form of [`TcpTransport::ship`], sharing its routing
-    /// helpers: peers get the frame queued to their sender thread, clients
-    /// get it written to their connection, and self-delivery goes back
-    /// through the input channel (preserving the "own frames are handled in
-    /// a later round" ordering the other backends have — at the cost of a
-    /// decode the node loop's `ship` avoids).
-    fn send(&mut self, from: usize, to: usize, frame: Vec<u8>) {
-        if to == self.site {
-            match Message::decode(&frame) {
-                Ok(msg) => {
-                    let _ = self.input.send(NodeInput::Msg { from, msg });
-                }
-                Err(e) => debug_assert!(false, "self-addressed frame failed to decode: {e}"),
-            }
-        } else if to < self.peers.len() {
-            self.enqueue_peer(to, frame);
-        } else {
-            self.write_client(to, &frame);
-        }
-    }
-}
-
-/// The outbound half of one site-to-peer link: connect (with backoff),
-/// announce with [`Message::Hello`], then drain the frame queue, reconnecting
-/// and resending the in-hand frame on any write failure.
-fn peer_sender_loop(
-    site: usize,
-    epoch: u64,
-    peer: usize,
-    addr: SocketAddr,
-    frames: Receiver<Vec<u8>>,
-    shared: Arc<NodeShared>,
-) {
-    let hello = Message::Hello {
-        peer: site as u64,
-        epoch,
-    }
-    .encode();
-    let mut stream: Option<TcpStream> = None;
-    let mut backoff = BACKOFF_MIN;
-    'frames: loop {
-        let frame = match frames.recv() {
-            Ok(frame) => frame,
-            Err(_) => return, // node shut down
-        };
-        loop {
-            if shared.shutdown.load(Ordering::Relaxed) {
-                return;
-            }
-            if shared.peer_resets[peer].swap(false, Ordering::Relaxed) {
-                // The peer restarted (its fresh inbound connection arrived):
-                // the cached socket is dead even if the kernel still accepts
-                // writes into it.
-                stream = None;
-            }
-            if stream.is_none() {
-                if let Ok(mut fresh) = TcpStream::connect(addr) {
-                    let _ = fresh.set_nodelay(true);
-                    // A blocked write is a dead peer: error out (this
-                    // sender keeps the frame and reconnects) instead of
-                    // hanging the sender thread on a full buffer.
-                    let _ = fresh.set_write_timeout(Some(WRITE_TIMEOUT));
-                    if fresh.write_all(&hello).is_ok() {
-                        backoff = BACKOFF_MIN;
-                        stream = Some(fresh);
-                    }
-                }
-                if stream.is_none() {
-                    std::thread::sleep(backoff);
-                    backoff = (backoff * 2).min(BACKOFF_MAX);
-                    continue;
-                }
-            }
-            match stream.as_mut().expect("connected").write_all(&frame) {
-                Ok(()) => continue 'frames,
-                Err(_) => stream = None,
-            }
-        }
-    }
-}
-
-/// Accepts connections for one site and spawns a reader thread per
-/// connection.
-fn acceptor_loop(listener: TcpListener, shared: Arc<NodeShared>, input: Sender<NodeInput>) {
-    for conn in listener.incoming() {
-        if shared.shutdown.load(Ordering::Relaxed) {
-            return;
-        }
-        let Ok(stream) = conn else { continue };
-        let _ = stream.set_nodelay(true);
-        let _ = stream.set_read_timeout(Some(READ_POLL));
-        // Applies to the write half cloned into the clients map (socket
-        // options live on the underlying socket, not the handle): a reply
-        // write into a full send buffer errors out instead of blocking the
-        // event loop forever, and the erroring client is dropped.
-        let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
-        let conn_token = shared.next_conn.fetch_add(1, Ordering::Relaxed);
-        if let Ok(clone) = stream.try_clone() {
-            shared
-                .conns
-                .lock()
-                .expect("conns lock")
-                .insert(conn_token, clone);
-        }
-        let reader_shared = shared.clone();
-        let reader_input = input.clone();
-        let handle = std::thread::Builder::new()
-            .name(format!("homeo-tcp-{}-reader", shared.site))
-            .spawn(move || reader_loop(stream, conn_token, reader_shared, reader_input))
-            .expect("spawn reader thread");
-        let mut readers = shared.readers.lock().expect("readers lock");
-        readers.retain(|reader| !reader.is_finished());
-        readers.push(handle);
-    }
-}
-
-/// The inbound half of one connection: reassemble frames from whatever the
-/// socket returns, identify the sender from its `Hello`, and feed decoded
-/// messages to the event loop. Any codec error is a fatal protocol error
-/// for this connection: log it and close.
-fn reader_loop(
-    mut stream: TcpStream,
-    conn_token: usize,
-    shared: Arc<NodeShared>,
-    input: Sender<NodeInput>,
-) {
-    let mut asm = FrameAssembler::new();
-    let mut chunk = [0u8; 16 * 1024];
-    let mut from: Option<usize> = None;
-    let mut client_id: Option<usize> = None;
-    'conn: while !shared.shutdown.load(Ordering::Relaxed) {
-        let n = match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => n,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
-                ) =>
-            {
-                continue
-            }
-            Err(_) => break,
-        };
-        asm.push(&chunk[..n]);
-        loop {
-            let msg = match asm.next_message() {
-                Ok(Some(msg)) => msg,
-                Ok(None) => break,
-                Err(e) => {
-                    eprintln!(
-                        "homeo-tcp site {}: protocol error on connection ({e}); closing",
-                        shared.site
-                    );
-                    break 'conn;
-                }
-            };
-            let Some(from) = from else {
-                // The first frame must identify the connection.
-                match msg {
-                    Message::Hello { peer, .. } if peer == CLIENT_PEER => {
-                        let id = shared.next_client.fetch_add(1, Ordering::Relaxed);
-                        match stream.try_clone() {
-                            Ok(write_half) => {
-                                shared
-                                    .clients
-                                    .lock()
-                                    .expect("clients lock")
-                                    .insert(id, write_half);
-                                client_id = Some(id);
-                                from = Some(id);
-                            }
-                            Err(_) => break 'conn,
-                        }
-                    }
-                    Message::Hello { peer, epoch } if (peer as usize) < shared.sites => {
-                        let peer = peer as usize;
-                        // A new incarnation of the peer: any cached
-                        // outbound socket to it predates its restart.
-                        let mut epochs = shared.peer_epochs.lock().expect("epochs lock");
-                        if epochs[peer].is_some_and(|known| known != epoch) {
-                            shared.peer_resets[peer].store(true, Ordering::Relaxed);
-                        }
-                        epochs[peer] = Some(epoch);
-                        drop(epochs);
-                        from = Some(peer);
-                    }
-                    other => {
-                        eprintln!(
-                            "homeo-tcp site {}: connection opened with {other:?} instead of a \
-                             Hello; closing",
-                            shared.site
-                        );
-                        break 'conn;
-                    }
-                }
-                continue;
-            };
-            if input.send(NodeInput::Msg { from, msg }).is_err() {
-                break 'conn; // event loop gone
-            }
-        }
-    }
-    shared.conns.lock().expect("conns lock").remove(&conn_token);
-    if let Some(id) = client_id {
-        shared.clients.lock().expect("clients lock").remove(&id);
-        let _ = input.send(NodeInput::ClientGone(id));
-    } else if let Some(peer) = from.filter(|f| *f < shared.sites) {
-        // A peer connection died: the peer's incarnation is gone (fail-stop),
-        // so our cached outbound socket to it is dead too. Marking it stale
-        // now — before any post-restart write — is what keeps the first
-        // frame to the restarted peer from vanishing into a half-closed
-        // socket.
-        shared.peer_resets[peer].store(true, Ordering::Relaxed);
-    }
-}
-
 /// Construction parameters of a [`SiteNode`].
 pub struct NodeOptions {
     /// This node's site id.
@@ -461,24 +138,30 @@ pub struct NodeOptions {
     /// When restarting after a crash: a live peer to refetch treaty state
     /// from (`StateRequest`), after the engine was reopened from its WAL.
     pub recover_from: Option<usize>,
+    /// How many unflushed reply bytes one client connection may accumulate
+    /// before the site disconnects it (the reactor's backpressure bound;
+    /// [`crate::DEFAULT_CLIENT_QUEUE_CAP`] unless a test narrows it).
+    pub client_queue_cap: usize,
 }
 
-/// One running TCP site: the acceptor, reader, sender and event-loop
-/// threads behind one listen address. `homeostasisd` runs one (or all) of
-/// these per process; [`TcpCluster`] runs all of them in-process.
+/// One running TCP site: a single reactor thread behind one listen
+/// address. `homeostasisd` runs one (or all) of these per process;
+/// [`TcpCluster`] runs all of them in-process.
 pub struct SiteNode {
     site: usize,
     addr: SocketAddr,
-    input: Sender<NodeInput>,
-    shared: Arc<NodeShared>,
-    handles: Vec<JoinHandle<()>>,
     engine: Arc<Engine>,
+    shutdown: Arc<AtomicBool>,
+    /// Write half of the reactor's waker pipe.
+    waker: UnixStream,
+    handle: Option<JoinHandle<()>>,
 }
 
 impl SiteNode {
-    /// Binds `opts.addrs[opts.site]` and spawns the node.
+    /// Binds `opts.addrs[opts.site]` (with a high-fanout listen backlog)
+    /// and spawns the node.
     pub fn bind(opts: NodeOptions) -> std::io::Result<SiteNode> {
-        let listener = TcpListener::bind(opts.addrs[opts.site])?;
+        let listener = epoll::listen_on(opts.addrs[opts.site], LISTEN_BACKLOG)?;
         Ok(SiteNode::spawn(listener, opts))
     }
 
@@ -491,53 +174,13 @@ impl SiteNode {
             config,
             engine,
             recover_from,
+            client_queue_cap,
         } = opts;
         let sites = addrs.len();
         assert!(site < sites, "site {site} out of range for {sites} sites");
         let addr = listener
             .local_addr()
             .expect("bound listener has an address");
-        let epoch = fresh_epoch();
-        let (input, rx) = channel::<NodeInput>();
-        let shared = Arc::new(NodeShared {
-            site,
-            sites,
-            shutdown: AtomicBool::new(false),
-            next_client: AtomicUsize::new(sites),
-            clients: Mutex::new(BTreeMap::new()),
-            next_conn: AtomicUsize::new(0),
-            conns: Mutex::new(BTreeMap::new()),
-            readers: Mutex::new(Vec::new()),
-            peer_resets: (0..sites).map(|_| AtomicBool::new(false)).collect(),
-            peer_epochs: Mutex::new(vec![None; sites]),
-        });
-        let mut handles = Vec::new();
-        let mut peers: Vec<Option<Sender<Vec<u8>>>> = Vec::with_capacity(sites);
-        for (peer, peer_addr) in addrs.iter().copied().enumerate() {
-            if peer == site {
-                peers.push(None);
-                continue;
-            }
-            let (tx, frames) = channel::<Vec<u8>>();
-            let sender_shared = shared.clone();
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("homeo-tcp-{site}-to-{peer}"))
-                    .spawn(move || {
-                        peer_sender_loop(site, epoch, peer, peer_addr, frames, sender_shared)
-                    })
-                    .expect("spawn peer sender thread"),
-            );
-            peers.push(Some(tx));
-        }
-        let acceptor_shared = shared.clone();
-        let acceptor_input = input.clone();
-        handles.push(
-            std::thread::Builder::new()
-                .name(format!("homeo-tcp-{site}-accept"))
-                .spawn(move || acceptor_loop(listener, acceptor_shared, acceptor_input))
-                .expect("spawn acceptor thread"),
-        );
         let worker = SiteWorker::new(
             site,
             sites,
@@ -546,26 +189,32 @@ impl SiteNode {
             config.timer,
             engine.clone(),
         );
-        let transport = TcpTransport {
-            site,
-            input: input.clone(),
-            peers,
-            shared: shared.clone(),
-            scratch: Vec::new(),
-        };
-        handles.push(
-            std::thread::Builder::new()
-                .name(format!("homeo-tcp-{site}-loop"))
-                .spawn(move || node_loop(worker, rx, transport, recover_from))
-                .expect("spawn node event loop"),
-        );
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (waker, reactor_waker) = UnixStream::pair().expect("create waker pipe");
+        let reactor = Reactor::new(
+            listener,
+            reactor_waker,
+            shutdown.clone(),
+            worker,
+            ReactorConfig {
+                site,
+                epoch: fresh_epoch(),
+                addrs,
+                client_queue_cap,
+            },
+        )
+        .expect("create the site's epoll reactor");
+        let handle = std::thread::Builder::new()
+            .name(format!("homeo-tcp-{site}"))
+            .spawn(move || reactor.run(recover_from))
+            .expect("spawn site reactor thread");
         SiteNode {
             site,
             addr,
-            input,
-            shared,
-            handles,
             engine,
+            shutdown,
+            waker,
+            handle: Some(handle),
         }
     }
 
@@ -585,31 +234,12 @@ impl SiteNode {
         &self.engine
     }
 
-    /// Stops every thread of the node and closes its connections.
-    /// Idempotent; called by `Drop`.
+    /// Stops the reactor and closes every connection. Idempotent; called
+    /// by `Drop`.
     pub fn shutdown(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        let _ = self.input.send(NodeInput::Shutdown);
-        // Wake the acceptor out of its blocking accept.
-        let _ = TcpStream::connect(self.addr);
-        let conns: Vec<TcpStream> = {
-            let mut held = self.shared.conns.lock().expect("conns lock");
-            std::mem::take(&mut *held).into_values().collect()
-        };
-        for conn in conns {
-            let _ = conn.shutdown(Shutdown::Both);
-        }
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
-        }
-        let readers: Vec<JoinHandle<()>> = self
-            .shared
-            .readers
-            .lock()
-            .expect("readers lock")
-            .drain(..)
-            .collect();
-        for handle in readers {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = (&self.waker).write(&[1]);
+        if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }
     }
@@ -621,138 +251,16 @@ impl Drop for SiteNode {
     }
 }
 
-/// The per-site event loop: drain every queued input into one scheduling
-/// round (exactly like the threaded backend's worker loop), ship the
-/// worker's outbox, and answer the client protocol — poll replies once the
-/// site is idle, `SyncAllReply` once a full fold completes, statistics
-/// immediately.
-fn node_loop(
-    mut worker: SiteWorker,
-    rx: Receiver<NodeInput>,
-    mut transport: TcpTransport,
-    recover_from: Option<usize>,
-) {
-    let mut out = Outbox::new();
-    let mut poll_waiters: Vec<usize> = Vec::new();
-    let mut sync_waiters: VecDeque<usize> = VecDeque::new();
-    let mut full_sync_inflight = false;
-    if let Some(buddy) = recover_from {
-        let engine = worker.engine().clone();
-        worker.crash_restart(engine, buddy, &mut out);
-        for (to, msg) in out.drain(..) {
-            transport.ship(to, msg);
-        }
-    }
-    let sites = transport.peers.len();
-    loop {
-        let first = match rx.recv() {
-            Ok(input) => input,
-            Err(_) => return, // node handle dropped
-        };
-        let mut next = Some(first);
-        while let Some(input) = next {
-            match input {
-                NodeInput::Msg { from, msg } if from < sites => worker.handle(from, msg, &mut out),
-                NodeInput::Msg { from, msg } => match msg {
-                    // General transactions never travel the wire (the
-                    // cluster runtime executes counter operations), so a
-                    // batch carrying one is a protocol violation, not a
-                    // worker panic waiting to happen. Unknown counters and
-                    // negative amounts need no check here: the worker
-                    // completes those as uncommitted no-ops.
-                    Message::Submit { ref ops }
-                        if ops
-                            .iter()
-                            .any(|op| matches!(op, SiteOp::Transaction { .. })) =>
-                    {
-                        eprintln!(
-                            "homeo-tcp site {}: client submitted a general transaction; \
-                             closing its connection",
-                            worker.site()
-                        );
-                        transport.drop_client(from);
-                        poll_waiters.retain(|w| *w != from);
-                        sync_waiters.retain(|w| *w != from);
-                    }
-                    // The worker-bound client messages: batches, seeds and
-                    // state fetches. The worker addresses its replies to
-                    // `from`, which the transport routes back to the client
-                    // connection.
-                    Message::Submit { .. } | Message::Seed { .. } | Message::StateRequest => {
-                        worker.handle(from, msg, &mut out)
-                    }
-                    Message::PollRequest => poll_waiters.push(from),
-                    Message::SyncAllRequest => sync_waiters.push_back(from),
-                    Message::StatsRequest => {
-                        let stats = worker.stats;
-                        transport.send_client(from, &Message::StatsReply { stats });
-                    }
-                    other => {
-                        eprintln!(
-                            "homeo-tcp site {}: client sent site-protocol frame {other:?}; \
-                             closing its connection",
-                            worker.site()
-                        );
-                        transport.drop_client(from);
-                        poll_waiters.retain(|w| *w != from);
-                        sync_waiters.retain(|w| *w != from);
-                    }
-                },
-                NodeInput::ClientGone(id) => {
-                    poll_waiters.retain(|w| *w != id);
-                    sync_waiters.retain(|w| *w != id);
-                }
-                NodeInput::Shutdown => return,
-            }
-            next = rx.try_recv().ok();
-        }
-        // Settle the round: ship frames, answer whoever can be answered,
-        // and start a queued full fold once the previous one finished.
-        loop {
-            for (to, msg) in out.drain(..) {
-                transport.ship(to, msg);
-            }
-            // While recovering, deferred submits are invisible to `idle()`,
-            // so neither polls nor folds may be answered yet.
-            if !worker.recovering() && worker.idle() && !poll_waiters.is_empty() {
-                let mut outcomes = Some(worker.take_completed());
-                for id in poll_waiters.drain(..) {
-                    let reply = Message::PollReply {
-                        outcomes: outcomes.take().unwrap_or_default(),
-                    };
-                    transport.send_client(id, &reply);
-                }
-            }
-            if full_sync_inflight {
-                if let Some(total) = worker.take_full_sync_result() {
-                    full_sync_inflight = false;
-                    if let Some(id) = sync_waiters.pop_front() {
-                        transport.send_client(
-                            id,
-                            &Message::SyncAllReply {
-                                solver_micros: total,
-                            },
-                        );
-                    }
-                }
-            }
-            if !full_sync_inflight && !sync_waiters.is_empty() && !worker.recovering() {
-                worker.begin_full_sync(&mut out);
-                full_sync_inflight = true;
-                continue; // ship the fold requests, re-check completion
-            }
-            break;
-        }
-    }
-}
-
 /// A client attachment over one TCP connection to one site.
 ///
-/// The connection is strictly request-response from the client's point of
-/// view (submits are fire-and-forget; `poll` collects their outcomes), and
-/// the stream's FIFO ordering is what orders a submit before the poll that
-/// observes it. At most one client per site should poll at a time, exactly
-/// as with the threaded backend's attachments.
+/// The connection is request-response by default (submits are
+/// fire-and-forget; [`TcpClient::poll`] collects their outcomes), and the
+/// stream's FIFO ordering is what orders a submit before the poll that
+/// observes it. Polls are answered **per connection**: a poll waits for
+/// the operations submitted on *this* connection before it, so any number
+/// of clients may poll a site concurrently, and one client may pipeline
+/// several `Submit`+poll pairs ([`TcpClient::send_poll`] /
+/// [`TcpClient::recv_poll_reply`]) — replies arrive in poll order.
 pub struct TcpClient {
     stream: TcpStream,
     asm: FrameAssembler,
@@ -766,7 +274,7 @@ impl TcpClient {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(CLIENT_READ_TIMEOUT))?;
-        stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+        stream.set_write_timeout(Some(CLIENT_WRITE_TIMEOUT))?;
         stream.write_all(
             &Message::Hello {
                 peer: CLIENT_PEER,
@@ -839,7 +347,7 @@ impl TcpClient {
     }
 
     /// Submits a whole batch as one `Submit` frame (fire-and-forget; pair
-    /// with [`TcpClient::poll`]).
+    /// with [`TcpClient::poll`], or pipeline with [`TcpClient::send_poll`]).
     pub fn submit_batch(&mut self, ops: &[SiteOp]) -> std::io::Result<()> {
         if ops.is_empty() {
             return Ok(());
@@ -848,14 +356,31 @@ impl TcpClient {
         self.stream.write_all(&frame)
     }
 
-    /// Blocks until every submitted operation completed and returns the
-    /// outcomes in submission order.
-    pub fn poll(&mut self) -> std::io::Result<Vec<OpOutcome>> {
-        self.send(&Message::PollRequest)?;
+    /// Fires a `PollRequest` without waiting for the reply — the pipelined
+    /// half of [`TcpClient::poll`]. The site answers once every operation
+    /// submitted on this connection *before* the poll has completed, so a
+    /// window of `submit_batch` + `send_poll` pairs may be kept in flight
+    /// and the replies collected with [`TcpClient::recv_poll_reply`] in
+    /// the same order.
+    pub fn send_poll(&mut self) -> std::io::Result<()> {
+        self.send(&Message::PollRequest)
+    }
+
+    /// Receives one `PollReply` (the outcomes drained since the previous
+    /// reply, in submission order). Blocks until the matching poll is
+    /// answered.
+    pub fn recv_poll_reply(&mut self) -> std::io::Result<Vec<OpOutcome>> {
         self.expect_reply(|msg| match msg {
             Message::PollReply { outcomes } => Ok(outcomes),
             other => Err(other),
         })
+    }
+
+    /// Blocks until every operation submitted on this connection completed
+    /// and returns the outcomes in submission order.
+    pub fn poll(&mut self) -> std::io::Result<Vec<OpOutcome>> {
+        self.send_poll()?;
+        self.recv_poll_reply()
     }
 
     /// Installs a counter's initial value and treaty on the connected site
@@ -966,6 +491,7 @@ pub fn spawn_cluster(spec: &ClusterSpec, config: ClusterConfig) -> std::io::Resu
                 config: config.clone(),
                 engine: Arc::new(Engine::new()),
                 recover_from: None,
+                client_queue_cap: DEFAULT_CLIENT_QUEUE_CAP,
             })
         })
         .collect()
@@ -998,7 +524,7 @@ impl TcpCluster {
         // Bind every listener first so the full address list exists before
         // any node spawns — no free-port race.
         let listeners: Vec<TcpListener> = (0..sites)
-            .map(|_| TcpListener::bind((Ipv4Addr::LOCALHOST, 0)).expect("bind loopback listener"))
+            .map(|_| epoll::listen_on(epoll::loopback(0), LISTEN_BACKLOG).expect("bind loopback"))
             .collect();
         let addrs: Vec<SocketAddr> = listeners
             .iter()
@@ -1021,6 +547,7 @@ impl TcpCluster {
                         config: config.clone(),
                         engine: engines[site].clone(),
                         recover_from: None,
+                        client_queue_cap: DEFAULT_CLIENT_QUEUE_CAP,
                     },
                 ))
             })
@@ -1115,7 +642,7 @@ impl TcpCluster {
         total
     }
 
-    /// Fail-stop kill of one site: every thread stops, every connection
+    /// Fail-stop kill of one site: the reactor stops, every connection
     /// closes, all volatile state (treaty metadata, in-flight rounds,
     /// queued clients) is gone. Only the WAL survives, exactly like the
     /// simulator's `kill`. Call at a quiescent point (all submitted
@@ -1130,8 +657,8 @@ impl TcpCluster {
     /// Restarts a killed site on its original address: the engine is
     /// reopened from the WAL frame ([`Engine::reopen_from_frame`]) and the
     /// treaty metadata refetched from the next live peer (`StateRequest`),
-    /// mirroring the simulator's `restart`. Peers' sender threads
-    /// reconnect with backoff on their next write.
+    /// mirroring the simulator's `restart`. Peers reconnect with backoff
+    /// on their next outbound frame.
     pub fn restart(&mut self, site: usize) {
         assert!(self.nodes[site].is_none(), "site {site} is not down");
         assert!(self.sites() > 1, "a lone site has no peer to recover from");
@@ -1150,6 +677,7 @@ impl TcpCluster {
             config: self.config.clone(),
             engine,
             recover_from: Some(buddy),
+            client_queue_cap: DEFAULT_CLIENT_QUEUE_CAP,
         })
         .expect("rebind the site's address");
         self.nodes[site] = Some(node);
@@ -1218,8 +746,10 @@ impl Drop for TcpCluster {
 /// conservation check.
 #[derive(Debug, Clone)]
 pub struct TcpLoadReport {
-    /// Sites under load (one client thread each).
+    /// Sites under load.
     pub sites: usize,
+    /// Concurrent client connections driven by the fan-out driver.
+    pub clients: usize,
     /// Operations committed across all sites.
     pub committed: u64,
     /// Operations that required a synchronization round.
@@ -1249,24 +779,393 @@ pub struct TcpLoadReport {
 /// early phase exercises the local fast path.
 pub const LOAD_INITIAL: i64 = 100;
 
-/// The `homeo-load` client: one thread per site drives seeded unit-order
-/// batches over TCP (`submit_batch` + poll, 64 operations per frame), then
-/// folds every counter and self-verifies conservation — the orders carry no
-/// refill semantics, so the folded total must equal the seeded total minus
-/// the committed decrements, and every site must report the same folded
-/// state.
-///
-/// Connections retry with backoff for up to ten seconds, so the client can
-/// start while `homeostasisd` sites are still binding their sockets.
+/// Knobs of the [`tcp_load_opts`] fan-out driver.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Operations issued per site (split across that site's connections).
+    pub ops_per_site: usize,
+    /// Distinct counters under load.
+    pub items: usize,
+    /// Workload seed (deterministic op streams per connection).
+    pub seed: u64,
+    /// Total concurrent connections, spread round-robin across sites.
+    /// `0` means one per site (the classic `homeo-load` shape).
+    pub clients: usize,
+    /// Outstanding `Submit`+`PollRequest` pairs kept in flight per
+    /// connection (the pipelining window).
+    pub window: usize,
+    /// Operations per `Submit` frame.
+    pub batch: usize,
+}
+
+impl LoadOptions {
+    /// The classic load shape: one connection per site, a window of
+    /// [`LOAD_WINDOW`] pipelined batches of 64.
+    pub fn new(ops_per_site: usize, items: usize, seed: u64) -> LoadOptions {
+        LoadOptions {
+            ops_per_site,
+            items,
+            seed,
+            clients: 0,
+            window: LOAD_WINDOW,
+            batch: 64,
+        }
+    }
+}
+
+/// Default pipelining window of the load driver: enough outstanding
+/// batches to keep the site's socket fed while a reply is in flight,
+/// small enough that outcome buffers stay tiny.
+pub const LOAD_WINDOW: usize = 4;
+
+/// Dial-wave width of the fan-out driver: how many nonblocking connects
+/// are kept in flight at once (bounded well under the listen backlog so a
+/// 10k-client ramp never overruns the accept queue).
+const DIAL_WAVE: usize = 512;
+
+/// The fan-out driver aborts when nothing happens for this long (a dead
+/// site mid-load).
+const LOAD_STALL_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn load_stock(i: usize) -> ObjId {
+    ObjId::new(format!("stock[{i}]"))
+}
+
+/// One connection of the fan-out driver: a tiny nonblocking state machine
+/// (dial → announce → pipelined submit/poll window → done).
+struct LoadConn {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    connected: bool,
+    asm: FrameAssembler,
+    out: WriteQueue,
+    want_write: bool,
+    rng: DetRng,
+    /// Operations this connection must issue.
+    quota: usize,
+    issued: usize,
+    /// Outstanding `PollRequest`s.
+    polls_out: usize,
+    /// Outcomes received back.
+    received: usize,
+    committed: u64,
+    synchronized: u64,
+    done: bool,
+    retry_at: Option<Instant>,
+    backoff: Duration,
+}
+
+/// The epoll fan-out driver of [`tcp_load_opts`]: one thread multiplexes
+/// every load connection, dialing in waves and keeping `window` pipelined
+/// `Submit`+`PollRequest` pairs in flight per connection. Connections stay
+/// open until **every** connection finished, so a `--clients 10000` run
+/// really holds 10k concurrent sockets against the fleet.
+struct FanoutDriver {
+    poller: Poller,
+    conns: Vec<LoadConn>,
+    items: usize,
+    window: usize,
+    batch: usize,
+    chunk: Vec<u8>,
+    scratch: Vec<u8>,
+    ops: Vec<SiteOp>,
+    done_count: usize,
+    dialing: usize,
+    next_dial: usize,
+    last_progress: Instant,
+}
+
+impl FanoutDriver {
+    fn new(conns: Vec<LoadConn>, opts: &LoadOptions) -> std::io::Result<FanoutDriver> {
+        Ok(FanoutDriver {
+            poller: Poller::new()?,
+            conns,
+            items: opts.items,
+            window: opts.window.max(1),
+            batch: opts.batch.max(1),
+            chunk: vec![0u8; 64 * 1024],
+            scratch: Vec::new(),
+            ops: Vec::new(),
+            done_count: 0,
+            dialing: 0,
+            next_dial: 0,
+            last_progress: Instant::now(),
+        })
+    }
+
+    /// Runs every connection to completion; returns
+    /// `(committed, synchronized)` totals.
+    fn run(mut self) -> std::io::Result<(u64, u64)> {
+        let total = self.conns.len();
+        let mut events = Events::with_capacity(1024);
+        while self.done_count < total {
+            // Keep the dial wave topped up.
+            while self.dialing < DIAL_WAVE && self.next_dial < total {
+                let i = self.next_dial;
+                self.next_dial += 1;
+                self.dial(i);
+            }
+            let now = Instant::now();
+            for i in 0..total {
+                if self.conns[i].retry_at.is_some_and(|at| at <= now) {
+                    self.conns[i].retry_at = None;
+                    if self.conns[i].stream.is_none() && !self.conns[i].done {
+                        self.dial(i);
+                    }
+                }
+            }
+            let timeout = self
+                .conns
+                .iter()
+                .filter_map(|c| c.retry_at)
+                .min()
+                .map(|at| at.saturating_duration_since(Instant::now()))
+                .unwrap_or(Duration::from_millis(100))
+                .min(Duration::from_millis(100));
+            self.poller.wait(&mut events, Some(timeout))?;
+            if events.is_empty() && self.last_progress.elapsed() > LOAD_STALL_TIMEOUT {
+                return Err(std::io::Error::new(
+                    ErrorKind::TimedOut,
+                    "load stalled: no site activity for 30s",
+                ));
+            }
+            for event in events.iter() {
+                let i = event.token as usize;
+                if event.writable {
+                    self.on_writable(i)?;
+                }
+                if event.readable {
+                    self.on_readable(i)?;
+                }
+            }
+        }
+        Ok(self.conns.iter().fold((0, 0), |(c, s), conn| {
+            (c + conn.committed, s + conn.synchronized)
+        }))
+    }
+
+    fn dial(&mut self, i: usize) {
+        debug_assert!(self.conns[i].stream.is_none());
+        match epoll::connect_nonblocking(self.conns[i].addr) {
+            Ok(stream) => {
+                if self.poller.add(&stream, i as u64, false, true).is_ok() {
+                    self.conns[i].stream = Some(stream);
+                    self.conns[i].want_write = true;
+                    self.dialing += 1;
+                    return;
+                }
+                self.schedule_redial(i);
+            }
+            Err(_) => self.schedule_redial(i),
+        }
+    }
+
+    fn schedule_redial(&mut self, i: usize) {
+        let conn = &mut self.conns[i];
+        conn.retry_at = Some(Instant::now() + conn.backoff);
+        conn.backoff = (conn.backoff * 2).min(BACKOFF_MAX);
+    }
+
+    fn on_writable(&mut self, i: usize) -> std::io::Result<()> {
+        if self.conns[i].stream.is_none() {
+            return Ok(());
+        }
+        if !self.conns[i].connected {
+            let healthy = {
+                let stream = self.conns[i].stream.as_ref().expect("checked");
+                matches!(stream.take_error(), Ok(None))
+            };
+            self.dialing -= 1;
+            if !healthy {
+                // The connect failed (e.g. a site still binding): back off
+                // and redial. Re-dial slots count against the wave again.
+                let stream = self.conns[i].stream.take().expect("checked");
+                let _ = self.poller.remove(&stream);
+                self.schedule_redial(i);
+                return Ok(());
+            }
+            self.last_progress = Instant::now();
+            let conn = &mut self.conns[i];
+            conn.connected = true;
+            conn.backoff = BACKOFF_MIN;
+            let _ = conn.stream.as_ref().expect("checked").set_nodelay(true);
+            let hello = Message::Hello {
+                peer: CLIENT_PEER,
+                epoch: 0,
+            }
+            .encode_into(&mut self.scratch);
+            conn.out.push(hello);
+            self.fill_window(i);
+            if self.conns[i].quota == 0 {
+                // Nothing to issue: this connection only contributes to the
+                // concurrent-connection count. It stays open (and
+                // registered for EOF detection) until the whole load
+                // finishes.
+                self.conns[i].done = true;
+                self.done_count += 1;
+            }
+            self.flush(i)?;
+            return Ok(());
+        }
+        self.flush(i)
+    }
+
+    fn on_readable(&mut self, i: usize) -> std::io::Result<()> {
+        if self.conns[i].stream.is_none() || !self.conns[i].connected {
+            return Ok(());
+        }
+        loop {
+            let read = {
+                let conn = &mut self.conns[i];
+                conn.stream.as_mut().expect("checked").read(&mut self.chunk)
+            };
+            match read {
+                Ok(0) => {
+                    if self.conns[i].done {
+                        // The site dropped an idle finished connection
+                        // (e.g. it was restarted after our quota drained).
+                        let stream = self.conns[i].stream.take().expect("checked");
+                        let _ = self.poller.remove(&stream);
+                        return Ok(());
+                    }
+                    return Err(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "site closed a load connection mid-run",
+                    ));
+                }
+                Ok(n) => {
+                    self.last_progress = Instant::now();
+                    let short = n < self.chunk.len();
+                    self.conns[i].asm.push(&self.chunk[..n]);
+                    self.drain_replies(i)?;
+                    if short {
+                        return Ok(());
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn drain_replies(&mut self, i: usize) -> std::io::Result<()> {
+        loop {
+            let next = self.conns[i]
+                .asm
+                .next_message()
+                .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e))?;
+            let Some(msg) = next else { return Ok(()) };
+            let Message::PollReply { outcomes } = msg else {
+                return Err(std::io::Error::new(
+                    ErrorKind::InvalidData,
+                    format!("unexpected frame on a load connection: {msg:?}"),
+                ));
+            };
+            let conn = &mut self.conns[i];
+            conn.polls_out -= 1;
+            conn.received += outcomes.len();
+            for outcome in &outcomes {
+                if outcome.committed {
+                    conn.committed += 1;
+                }
+                if outcome.synchronized {
+                    conn.synchronized += 1;
+                }
+            }
+            self.fill_window(i);
+            self.flush(i)?;
+            let conn = &self.conns[i];
+            if !conn.done && conn.issued == conn.quota && conn.polls_out == 0 {
+                debug_assert_eq!(conn.received, conn.quota, "pipelined outcomes must balance");
+                self.conns[i].done = true;
+                self.done_count += 1;
+            }
+        }
+    }
+
+    /// Tops the pipelining window up: pairs of one `Submit` batch and one
+    /// `PollRequest`, until `window` polls are outstanding or the quota is
+    /// issued.
+    fn fill_window(&mut self, i: usize) {
+        let items = self.items;
+        let batch = self.batch;
+        loop {
+            let conn = &mut self.conns[i];
+            if conn.issued >= conn.quota || conn.polls_out >= self.window {
+                return;
+            }
+            let n = batch.min(conn.quota - conn.issued);
+            self.ops.clear();
+            self.ops.extend((0..n).map(|_| SiteOp::Order {
+                obj: load_stock(conn.rng.index(items)),
+                amount: 1,
+                refill_to: None,
+            }));
+            let submit = Message::encode_submit_into(&self.ops, &mut self.scratch);
+            let conn = &mut self.conns[i];
+            conn.out.push(submit);
+            let poll = Message::PollRequest.encode_into(&mut self.scratch);
+            let conn = &mut self.conns[i];
+            conn.out.push(poll);
+            conn.issued += n;
+            conn.polls_out += 1;
+        }
+    }
+
+    /// Flushes a connection's queue and keeps its write interest in sync.
+    fn flush(&mut self, i: usize) -> std::io::Result<()> {
+        let conn = &mut self.conns[i];
+        let Some(stream) = conn.stream.as_mut() else {
+            return Ok(());
+        };
+        let drained = conn.out.flush(stream)?;
+        let want = !drained;
+        if want != conn.want_write {
+            conn.want_write = want;
+            let _ = self.poller.modify(stream, i as u64, true, want);
+        } else if drained && conn.out.is_empty() && conn.want_write {
+            // Unreachable by construction; keep interest consistent anyway.
+            conn.want_write = false;
+            let _ = self.poller.modify(stream, i as u64, true, false);
+        }
+        Ok(())
+    }
+}
+
+/// [`tcp_load_opts`] with the classic shape: one connection per site,
+/// batches of 64, a window of [`LOAD_WINDOW`].
 pub fn tcp_load(
     spec: &ClusterSpec,
     ops_per_site: usize,
     items: usize,
     seed: u64,
 ) -> std::io::Result<TcpLoadReport> {
-    assert!(spec.sites() > 0 && items > 0);
+    tcp_load_opts(spec, &LoadOptions::new(ops_per_site, items, seed))
+}
+
+/// The `homeo-load` client: seeds every counter on every site, then drives
+/// pipelined unit-order batches over `opts.clients` concurrent connections
+/// (round-robin across sites, window of `opts.window` outstanding
+/// `Submit`+poll pairs each), then folds every counter and self-verifies
+/// conservation — the orders carry no refill semantics, so the folded
+/// total must equal the seeded total minus the committed decrements, and
+/// every site must report the same folded state.
+///
+/// Connections retry with backoff for up to ten seconds, so the client can
+/// start while `homeostasisd` sites are still binding their sockets.
+pub fn tcp_load_opts(spec: &ClusterSpec, opts: &LoadOptions) -> std::io::Result<TcpLoadReport> {
+    assert!(spec.sites() > 0 && opts.items > 0);
     let sites = spec.sites();
-    let stock = |i: usize| ObjId::new(format!("stock[{i}]"));
+    let items = opts.items;
+    let fanout = if opts.clients == 0 {
+        sites
+    } else {
+        opts.clients.max(sites)
+    };
+    // High fan-out needs file descriptors; best-effort raise, the dial
+    // loop surfaces a hard failure anyway.
+    let _ = epoll::raise_nofile_limit();
     let mut clients: Vec<TcpClient> = spec
         .addrs
         .iter()
@@ -1279,7 +1178,7 @@ pub fn tcp_load(
         let (allowances, _) =
             negotiate_allowances(spec.mode, &hints, sites, LOAD_INITIAL, 0, Timer::Wall);
         let meta = CounterMeta {
-            obj: stock(item),
+            obj: load_stock(item),
             base: LOAD_INITIAL,
             lower_bound: 0,
             allowances,
@@ -1293,13 +1192,12 @@ pub fn tcp_load(
     // load the counters keep their drained bases — a re-run must measure
     // conservation from those, or it would report a spurious violation.
     // Fold first so leftover deltas from an interrupted earlier run are in
-    // the bases. (Single load client at a time, like every other poll
-    // attachment.)
+    // the bases.
     clients[0].synchronize_all()?;
     let seeded = clients[0].state()?;
     let mut initial_total = 0i64;
     for item in 0..items {
-        let obj = stock(item);
+        let obj = load_stock(item);
         let base = seeded
             .iter()
             .find(|meta| meta.obj == obj)
@@ -1312,57 +1210,43 @@ pub fn tcp_load(
             })?;
         initial_total += base;
     }
-    let batch = 64usize;
-    let started = Instant::now();
-    let results: Vec<std::io::Result<(TcpClient, u64, u64)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = clients
-            .into_iter()
-            .enumerate()
-            .map(|(site, mut client)| {
-                scope.spawn(move || {
-                    let mut rng = DetRng::seed_from(seed ^ (site as u64).wrapping_mul(0x9E37));
-                    let mut committed = 0u64;
-                    let mut synchronized = 0u64;
-                    let mut issued = 0usize;
-                    let mut ops: Vec<SiteOp> = Vec::with_capacity(batch);
-                    while issued < ops_per_site {
-                        let n = batch.min(ops_per_site - issued);
-                        ops.clear();
-                        ops.extend((0..n).map(|_| SiteOp::Order {
-                            obj: stock(rng.index(items)),
-                            amount: 1,
-                            refill_to: None,
-                        }));
-                        client.submit_batch(&ops)?;
-                        issued += n;
-                        for outcome in client.poll()? {
-                            if outcome.committed {
-                                committed += 1;
-                            }
-                            if outcome.synchronized {
-                                synchronized += 1;
-                            }
-                        }
-                    }
-                    Ok((client, committed, synchronized))
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("load client thread panicked"))
-            .collect()
-    });
-    let elapsed_secs = started.elapsed().as_secs_f64();
-    let mut clients = Vec::with_capacity(sites);
-    let mut committed = 0u64;
-    let mut synchronized = 0u64;
-    for result in results {
-        let (client, c, s) = result?;
-        clients.push(client);
-        committed += c;
-        synchronized += s;
+    // Split each site's quota over its connections (connection `i` targets
+    // site `i % sites`).
+    let mut per_site = vec![0usize; sites];
+    for i in 0..fanout {
+        per_site[i % sites] += 1;
     }
+    let mut seen = vec![0usize; sites];
+    let conns: Vec<LoadConn> = (0..fanout)
+        .map(|i| {
+            let site = i % sites;
+            let pos = seen[site];
+            seen[site] += 1;
+            let share = opts.ops_per_site / per_site[site]
+                + usize::from(pos < opts.ops_per_site % per_site[site]);
+            LoadConn {
+                addr: spec.addrs[site],
+                stream: None,
+                connected: false,
+                asm: FrameAssembler::new(),
+                out: WriteQueue::new(),
+                want_write: false,
+                rng: DetRng::seed_from(opts.seed ^ (i as u64).wrapping_mul(0x9E37)),
+                quota: share,
+                issued: 0,
+                polls_out: 0,
+                received: 0,
+                committed: 0,
+                synchronized: 0,
+                done: false,
+                retry_at: None,
+                backoff: BACKOFF_MIN,
+            }
+        })
+        .collect();
+    let started = Instant::now();
+    let (committed, synchronized) = FanoutDriver::new(conns, opts)?.run()?;
+    let elapsed_secs = started.elapsed().as_secs_f64();
     // Fold everything, then read every site's folded state and verify
     // conservation: agreement across sites, and the folded total equal to
     // the seeded total minus the committed decrements.
@@ -1378,11 +1262,12 @@ pub fn tcp_load(
                 .zip(&reference)
                 .all(|(a, b)| a.obj == b.obj && a.base == b.base);
     }
-    let issued = (sites * ops_per_site) as u64;
+    let issued = (sites * opts.ops_per_site) as u64;
     let conserved =
         consistent && committed == issued && final_total == initial_total - committed as i64;
     Ok(TcpLoadReport {
         sites,
+        clients: fanout,
         committed,
         synchronized,
         issued,
@@ -1408,47 +1293,6 @@ mod tests {
             sites,
             ClusterConfig::new(ReplicatedMode::EvenSplit).with_timer(Timer::fixed_zero()),
         )
-    }
-
-    #[test]
-    fn the_transport_trait_routes_raw_frames_like_the_node_loop() {
-        // The `Transport` impl is the raw-frame form of the node loop's
-        // `ship`: self-addressed frames decode back through the input
-        // channel, peer frames queue to the sender thread.
-        let (input, rx) = channel::<NodeInput>();
-        let (peer_tx, peer_rx) = channel::<Vec<u8>>();
-        let shared = Arc::new(NodeShared {
-            site: 0,
-            sites: 2,
-            shutdown: AtomicBool::new(false),
-            next_client: AtomicUsize::new(2),
-            clients: Mutex::new(BTreeMap::new()),
-            next_conn: AtomicUsize::new(0),
-            conns: Mutex::new(BTreeMap::new()),
-            readers: Mutex::new(Vec::new()),
-            peer_resets: (0..2).map(|_| AtomicBool::new(false)).collect(),
-            peer_epochs: Mutex::new(vec![None; 2]),
-        });
-        let mut transport = TcpTransport {
-            site: 0,
-            input,
-            peers: vec![None, Some(peer_tx)],
-            shared,
-            scratch: Vec::new(),
-        };
-        transport.send(1, 0, Message::StateRequest.encode());
-        match rx.try_recv().expect("self frame delivered") {
-            NodeInput::Msg { from, msg } => {
-                assert_eq!(from, 1);
-                assert_eq!(msg, Message::StateRequest);
-            }
-            _ => panic!("unexpected input"),
-        }
-        transport.send(0, 1, Message::StateRequest.encode());
-        assert_eq!(
-            peer_rx.try_recv().expect("peer frame queued"),
-            Message::StateRequest.encode()
-        );
     }
 
     #[test]
@@ -1524,6 +1368,43 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_polls_correlate_per_connection() {
+        // A window of Submit+PollRequest pairs in flight on one
+        // connection: each reply drains exactly the outcomes of the batch
+        // that preceded its poll, in order. A second connection polling
+        // concurrently gets only its own outcomes (per-connection
+        // watermarks, not the old global first-poller-takes-all).
+        let mut cluster = cluster(2);
+        cluster.register(stock(0), 10_000, 1);
+        let addr = cluster.addrs()[0];
+        let mut a = TcpClient::connect(addr).expect("connect a");
+        let mut b = TcpClient::connect(addr).expect("connect b");
+        let order = |n: usize| -> Vec<SiteOp> {
+            (0..n)
+                .map(|_| SiteOp::Order {
+                    obj: stock(0),
+                    amount: 1,
+                    refill_to: None,
+                })
+                .collect()
+        };
+        // Three pipelined pairs on `a`, sizes 2, 3, 4 — no reads between.
+        for n in [2usize, 3, 4] {
+            a.submit_batch(&order(n)).expect("submit");
+            a.send_poll().expect("poll");
+        }
+        // `b` interleaves its own traffic while `a`'s window is in flight.
+        b.submit_batch(&order(5)).expect("submit");
+        let b_out = b.poll().expect("b poll");
+        assert_eq!(b_out.len(), 5);
+        for expect in [2usize, 3, 4] {
+            let out = a.recv_poll_reply().expect("reply");
+            assert_eq!(out.len(), expect);
+            assert!(out.iter().all(|o| o.committed));
+        }
+    }
+
+    #[test]
     fn tcp_load_conserves_counters_in_process() {
         let mut nodes_cluster = cluster(2);
         let spec = ClusterSpec {
@@ -1545,11 +1426,37 @@ mod tests {
     }
 
     #[test]
+    fn a_fanout_load_conserves_with_many_clients_per_site() {
+        // The high-fanout path: 24 concurrent connections over 2 sites,
+        // deep pipeline, small batches — uneven quota splits included
+        // (400 ops over 12 connections per site).
+        let nodes_cluster = cluster(2);
+        let spec = ClusterSpec {
+            addrs: nodes_cluster.addrs().to_vec(),
+            mode: ReplicatedMode::EvenSplit,
+        };
+        let report = tcp_load_opts(
+            &spec,
+            &LoadOptions {
+                clients: 24,
+                window: 8,
+                batch: 16,
+                ..LoadOptions::new(400, 8, 21)
+            },
+        )
+        .expect("fanout load");
+        assert_eq!(report.clients, 24);
+        assert_eq!(report.committed, 800);
+        assert!(report.conserved, "conservation failed: {report:?}");
+        drop(nodes_cluster);
+    }
+
+    #[test]
     fn a_garbage_connection_is_dropped_without_disturbing_the_site() {
         let mut cluster = cluster(2);
         cluster.register(stock(0), 100, 1);
         // A connection that opens with an oversized length prefix is closed
-        // by the reader without taking the site down.
+        // by the reactor without taking the site down.
         let mut rogue = TcpStream::connect(cluster.addrs()[0]).expect("connect");
         rogue.write_all(&[0xFF; 64]).expect("write garbage");
         let mut buf = [0u8; 8];
@@ -1563,7 +1470,7 @@ mod tests {
         }
         drop(rogue);
         // And a client that identifies correctly but then speaks the
-        // site-to-site protocol is dropped by the node loop.
+        // site-to-site protocol is dropped by the reactor.
         let mut rogue = TcpClient::connect(cluster.addrs()[0]).expect("connect");
         rogue
             .send(&Message::DeltaReply {
@@ -1621,5 +1528,70 @@ mod tests {
         );
         assert!(out.committed);
         assert_eq!(cluster.value_at(0, &stock(0)), 99);
+    }
+
+    #[test]
+    fn a_client_that_stops_draining_is_disconnected_at_the_byte_cap() {
+        // The reactor's backpressure bound: a client that keeps asking for
+        // replies but never reads its socket is cut off once its write
+        // queue exceeds `client_queue_cap` bytes — instead of the old
+        // 10-second write-timeout stall.
+        let addrs = free_loopback_addrs(1).expect("addr");
+        let mut node = SiteNode::bind(NodeOptions {
+            site: 0,
+            addrs: addrs.clone(),
+            config: ClusterConfig::new(ReplicatedMode::EvenSplit).with_timer(Timer::fixed_zero()),
+            engine: Arc::new(Engine::new()),
+            recover_from: None,
+            client_queue_cap: 64 * 1024,
+        })
+        .expect("bind");
+        let mut hog = TcpClient::connect_retry(addrs[0], Duration::from_secs(5)).expect("connect");
+        // Big uncommitted batches + polls, never reading: replies pile up
+        // in the kernel buffers first, then in the site's write queue.
+        let ops: Vec<SiteOp> = (0..512)
+            .map(|_| SiteOp::Increment {
+                obj: ObjId::new("unknown"),
+                amount: 1,
+            })
+            .collect();
+        let mut disconnected = false;
+        for _ in 0..4_000 {
+            if hog.submit_batch(&ops).is_err() || hog.send_poll().is_err() {
+                disconnected = true;
+                break;
+            }
+        }
+        if !disconnected {
+            // The submits all got in before the reset surfaced; the next
+            // read must observe the disconnect rather than a reply burst
+            // that a draining client would see.
+            hog.stream
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .expect("timeout");
+            let mut sink = [0u8; 64 * 1024];
+            let mut drained = 0usize;
+            loop {
+                match hog.stream.read(&mut sink) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => drained += n,
+                }
+            }
+            // Everything buffered before the cut arrives, but the stream
+            // must end (EOF/reset) instead of serving all replies.
+            assert!(
+                drained < 4_000 * 512 * 8,
+                "site never disconnected the non-draining client"
+            );
+        }
+        // The site survived and still serves a well-behaved client.
+        let mut ok = TcpClient::connect_retry(addrs[0], Duration::from_secs(5)).expect("connect");
+        ok.submit_batch(&[SiteOp::Increment {
+            obj: ObjId::new("unknown"),
+            amount: 1,
+        }])
+        .expect("submit");
+        assert_eq!(ok.poll().expect("poll").len(), 1);
+        node.shutdown();
     }
 }

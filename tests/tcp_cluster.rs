@@ -9,7 +9,9 @@
 //! reconnect-with-backoff instead of a virtual clock.
 
 use homeostasis::cluster::tcp::TcpCluster;
-use homeostasis::cluster::{ClusterConfig, CodecError, FrameAssembler, Message};
+use homeostasis::cluster::{
+    tcp_load_opts, ClusterConfig, ClusterSpec, CodecError, FrameAssembler, LoadOptions, Message,
+};
 use homeostasis::lang::ids::ObjId;
 use homeostasis::protocol::ReplicatedMode;
 use homeostasis::runtime::{SiteOp, SiteRuntime};
@@ -210,6 +212,31 @@ fn killed_site_rejoins_over_tcp_and_coordinators_converge() {
         total,
         ITEMS as i64 * INITIAL - orders + increments,
         "counter conservation across the crash"
+    );
+
+    // Phase 4: the reconnected cluster serves a real fan-out load — 32
+    // pipelined connections spread over all sites (the restarted one
+    // included), driven by the epoll load driver. The load client
+    // self-verifies conservation from the post-crash folded state.
+    let spec = ClusterSpec {
+        addrs: cluster.addrs().to_vec(),
+        mode: ReplicatedMode::EvenSplit,
+    };
+    let report = tcp_load_opts(
+        &spec,
+        &LoadOptions {
+            clients: 32,
+            window: 4,
+            batch: 16,
+            ..LoadOptions::new(120, ITEMS, 0xD1AD)
+        },
+    )
+    .expect("fan-out load over a restarted cluster");
+    assert_eq!(report.clients, 32);
+    assert_eq!(report.committed, (SITES * 120) as u64);
+    assert!(
+        report.conserved,
+        "post-restart fan-out load must conserve: {report:?}"
     );
 }
 
