@@ -15,8 +15,10 @@
 //! writes one CSV file per figure. `--json PATH` serializes every generated
 //! figure to one machine-readable JSON file (the stable schema CI and the
 //! `BENCH_*.json` trajectory consume). `--baseline PATH` compares the
-//! generated figures against a previously emitted JSON file and fails on a
-//! more-than-2× ops/sec regression of any cell (the CI perf gate). `--list` prints
+//! generated figures against a previously emitted JSON file and fails when
+//! any pinned cell drops below half its baseline value (the CI perf gate:
+//! ops/sec floors for `bench`, solver-speedup and violation-cut ratios for
+//! `sync`). `--list` prints
 //! the available ids (one per line) and exits. `--threads N` additionally
 //! runs the real-concurrency load mode: N worker threads, one client thread
 //! each, over the channel transport. `--homeo-load CONFIG` is the TCP load
@@ -304,6 +306,17 @@ fn run_homeo_load(
         report.elapsed_secs,
         report.throughput
     );
+    let violation_syncs = report
+        .stats
+        .synchronizations
+        .saturating_sub(report.stats.proactive_negotiations);
+    println!(
+        "sync rounds: {violation_syncs} violation-triggered + {} proactive, \
+         {} negotiations, solver {:.1} ms total",
+        report.stats.proactive_negotiations,
+        report.stats.negotiations,
+        report.stats.solver_micros_total as f64 / 1_000.0
+    );
     println!(
         "conservation: seeded {} - committed {} = folded {} ({})\n",
         report.initial_total,
@@ -320,7 +333,7 @@ fn run_homeo_load(
 /// Compares the generated figures against a baseline JSON file (the schema
 /// `--json` emits). Every numeric cell present in both is checked with the
 /// generous CI tolerance: the current value must be at least **half** the
-/// baseline value (ops/sec cells regressing by more than 2× fail). Cells,
+/// baseline value (a cell regressing by more than 2× fails). Cells,
 /// rows or figures missing from the baseline are skipped, so the baseline
 /// only pins what it names. Returns the number of cells checked.
 fn check_baseline(path: &std::path::Path, figures: &[Figure]) -> Result<usize, Vec<String>> {
@@ -371,7 +384,7 @@ fn check_baseline(path: &std::path::Path, figures: &[Figure]) -> Result<usize, V
                 );
                 if !holds {
                     problems.push(format!(
-                        "{} [{label} × {col}]: {current_value:.0} ops/s is below half \
+                        "{} [{label} × {col}]: {current_value:.0} is below half \
                          the baseline {base_value:.0}",
                         base.id
                     ));

@@ -99,6 +99,9 @@ pub fn generate(id: &str, effort: Effort) -> Figure {
     if id == "bench" {
         return crate::throughput::suite(effort);
     }
+    if id == "sync" {
+        return crate::sync::suite(effort);
+    }
     match id {
         "table1" => table1(),
         "fig10" => fig10(effort),

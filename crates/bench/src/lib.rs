@@ -36,6 +36,7 @@ pub mod experiments;
 pub mod figures;
 pub mod json;
 pub mod report;
+pub mod sync;
 pub mod throughput;
 
 pub use cluster::all_scenario_ids;
@@ -45,10 +46,12 @@ pub use json::Json;
 pub use report::Figure;
 
 /// Every reproducible id: the paper's tables and figures, the cluster
-/// scenarios, and the batched-throughput suite.
+/// scenarios, the batched-throughput suite and the synchronization-cost
+/// suite.
 pub fn all_ids() -> Vec<&'static str> {
     let mut ids = all_figure_ids();
     ids.extend(all_scenario_ids());
     ids.push("bench");
+    ids.push("sync");
     ids
 }

@@ -46,7 +46,7 @@ pub mod transport;
 pub mod worker;
 
 use homeo_lang::ids::ObjId;
-use homeo_protocol::{ReplicatedMode, ReplicatedStats, WorkloadHints};
+use homeo_protocol::{ReplicatedMode, ReplicatedStats, SyncTuning, WorkloadHints};
 use homeo_runtime::{OpOutcome, SiteOp, SiteRuntime};
 use homeo_sim::Timer;
 use homeo_store::Engine;
@@ -73,21 +73,32 @@ pub struct ClusterConfig {
     pub timer: Timer,
     /// Workload hints for the optimizer; `None` means uniform.
     pub hints: Option<WorkloadHints>,
+    /// Synchronization-round cost knobs: solver warm starts and the
+    /// demand-adaptive proactive control loop.
+    pub tuning: SyncTuning,
 }
 
 impl ClusterConfig {
-    /// A configuration with a wall-clock timer and uniform hints.
+    /// A configuration with a wall-clock timer, uniform hints and the
+    /// default tuning (warm starts on, proactive control off).
     pub fn new(mode: ReplicatedMode) -> Self {
         ClusterConfig {
             mode,
             timer: Timer::Wall,
             hints: None,
+            tuning: SyncTuning::default(),
         }
     }
 
     /// Replaces the elapsed-time source.
     pub fn with_timer(mut self, timer: Timer) -> Self {
         self.timer = timer;
+        self
+    }
+
+    /// Replaces the synchronization tuning.
+    pub fn with_tuning(mut self, tuning: SyncTuning) -> Self {
+        self.tuning = tuning;
         self
     }
 

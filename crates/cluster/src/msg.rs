@@ -151,6 +151,10 @@ pub enum SyncKind {
     /// (`SiteRuntime::synchronize`): install the folded value, skipping the
     /// renegotiation when no deltas were outstanding.
     Fold,
+    /// A demand-adaptive proactive re-split, fired by a site *before* its
+    /// allowance is violated: fold and renegotiate like [`SyncKind::Pin`],
+    /// but fire-and-forget — no client operation waits on the round.
+    Proactive,
 }
 
 /// One frame of the cluster protocol.
@@ -468,6 +472,8 @@ impl Message {
                 buf.extend_from_slice(&stats.local_commits.to_be_bytes());
                 buf.extend_from_slice(&stats.synchronizations.to_be_bytes());
                 buf.extend_from_slice(&stats.negotiations.to_be_bytes());
+                buf.extend_from_slice(&stats.proactive_negotiations.to_be_bytes());
+                buf.extend_from_slice(&stats.solver_micros_total.to_be_bytes());
             }
         }
     }
@@ -556,6 +562,8 @@ impl Message {
                     local_commits: cursor.u64()?,
                     synchronizations: cursor.u64()?,
                     negotiations: cursor.u64()?,
+                    proactive_negotiations: cursor.u64()?,
+                    solver_micros_total: cursor.u64()?,
                 },
             },
             _ => return None,
@@ -660,6 +668,7 @@ fn encode_kind(kind: &SyncKind, buf: &mut Vec<u8>) {
         }
         SyncKind::Pin => buf.push(1),
         SyncKind::Fold => buf.push(2),
+        SyncKind::Proactive => buf.push(3),
     }
 }
 
@@ -675,6 +684,7 @@ fn decode_kind(cursor: &mut Cursor<'_>) -> Option<SyncKind> {
         },
         1 => SyncKind::Pin,
         2 => SyncKind::Fold,
+        3 => SyncKind::Proactive,
         _ => return None,
     })
 }
@@ -810,6 +820,11 @@ mod tests {
                 obj: ObjId::new("stock[7]"),
                 kind: SyncKind::Fold,
             },
+            Message::SyncRequest {
+                req: 20,
+                obj: ObjId::new("stock[7]"),
+                kind: SyncKind::Proactive,
+            },
             Message::DeltaRequest {
                 sync: 4,
                 obj: ObjId::new("stock[7]"),
@@ -868,6 +883,8 @@ mod tests {
                     local_commits: 5,
                     synchronizations: 2,
                     negotiations: 3,
+                    proactive_negotiations: 1,
+                    solver_micros_total: 640,
                 },
             },
         ]

@@ -31,7 +31,7 @@ use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 use std::sync::Arc;
 
 use homeo_lang::ids::ObjId;
-use homeo_protocol::{negotiate_allowances, ReplicatedStats};
+use homeo_protocol::{negotiate_allowances_cached, NegotiationCache, ReplicatedStats};
 use homeo_runtime::{OpOutcome, SiteOp, SiteRuntime};
 use homeo_sim::clock::SimTime;
 use homeo_sim::{DetRng, RttMatrix};
@@ -248,6 +248,11 @@ pub struct SimCluster {
     config: ClusterConfig,
     registered: BTreeSet<ObjId>,
     registration_negotiations: u64,
+    /// Solver time spent by the registration path, in microseconds.
+    registration_solver_micros: u64,
+    /// Memoized treaty templates + solver scratch for the registration
+    /// path's negotiations.
+    registration_cache: NegotiationCache,
     /// WAL frames captured at kill time, consumed by restart.
     wal_frames: Vec<Option<Vec<u8>>>,
     /// Per-cluster frame-encode scratch ([`Message::encode_into`]): reused
@@ -279,6 +284,7 @@ impl SimCluster {
                     config.timer,
                     Arc::new(engine),
                 )
+                .with_tuning(config.tuning)
             })
             .collect();
         SimCluster {
@@ -287,6 +293,8 @@ impl SimCluster {
             config,
             registered: BTreeSet::new(),
             registration_negotiations: 0,
+            registration_solver_micros: 0,
+            registration_cache: NegotiationCache::new(),
             wal_frames: vec![None; sites],
             scratch: Vec::new(),
         }
@@ -300,15 +308,18 @@ impl SimCluster {
             return 0;
         }
         let sites = self.workers.len();
-        let (allowances, solver_micros) = negotiate_allowances(
+        let (allowances, solver_micros) = negotiate_allowances_cached(
             self.config.mode,
             &self.config.hints(sites),
             sites,
             initial,
             lower_bound,
             self.config.timer,
+            &mut self.registration_cache,
+            None,
         );
         self.registration_negotiations += 1;
+        self.registration_solver_micros += solver_micros;
         for worker in &mut self.workers {
             worker
                 .engine()
@@ -470,12 +481,15 @@ impl SimCluster {
     pub fn stats(&self) -> ReplicatedStats {
         let mut total = ReplicatedStats {
             negotiations: self.registration_negotiations,
+            solver_micros_total: self.registration_solver_micros,
             ..ReplicatedStats::default()
         };
         for worker in &self.workers {
             total.local_commits += worker.stats.local_commits;
             total.synchronizations += worker.stats.synchronizations;
             total.negotiations += worker.stats.negotiations;
+            total.proactive_negotiations += worker.stats.proactive_negotiations;
+            total.solver_micros_total += worker.stats.solver_micros_total;
         }
         total
     }

@@ -84,7 +84,9 @@ use std::time::{Duration, Instant};
 
 use epoll::{Events, Poller};
 use homeo_lang::ids::ObjId;
-use homeo_protocol::{negotiate_allowances, ReplicatedStats, WorkloadHints};
+use homeo_protocol::{
+    negotiate_allowances_cached, NegotiationCache, ReplicatedStats, WorkloadHints,
+};
 use homeo_runtime::{OpOutcome, SiteOp, SiteRuntime};
 use homeo_sim::{DetRng, Timer};
 use homeo_store::Engine;
@@ -188,7 +190,8 @@ impl SiteNode {
             config.hints(sites),
             config.timer,
             engine.clone(),
-        );
+        )
+        .with_tuning(config.tuning);
         let shutdown = Arc::new(AtomicBool::new(false));
         let (waker, reactor_waker) = UnixStream::pair().expect("create waker pipe");
         let reactor = Reactor::new(
@@ -507,6 +510,11 @@ pub struct TcpCluster {
     clients: Vec<Option<TcpClient>>,
     registered: BTreeSet<ObjId>,
     registration_negotiations: u64,
+    /// Solver time spent by the registration path, in microseconds.
+    registration_solver_micros: u64,
+    /// Memoized treaty templates + solver scratch for the registration
+    /// path's negotiations.
+    registration_cache: NegotiationCache,
 }
 
 impl TcpCluster {
@@ -569,6 +577,8 @@ impl TcpCluster {
             clients,
             registered: BTreeSet::new(),
             registration_negotiations: 0,
+            registration_solver_micros: 0,
+            registration_cache: NegotiationCache::new(),
         }
     }
 
@@ -592,15 +602,18 @@ impl TcpCluster {
             return 0;
         }
         let sites = self.sites();
-        let (allowances, solver_micros) = negotiate_allowances(
+        let (allowances, solver_micros) = negotiate_allowances_cached(
             self.config.mode,
             &self.config.hints(sites),
             sites,
             initial,
             lower_bound,
             self.config.timer,
+            &mut self.registration_cache,
+            None,
         );
         self.registration_negotiations += 1;
+        self.registration_solver_micros += solver_micros;
         let meta = CounterMeta {
             obj,
             base: initial,
@@ -625,6 +638,7 @@ impl TcpCluster {
     pub fn stats(&self) -> ReplicatedStats {
         let mut total = ReplicatedStats {
             negotiations: self.registration_negotiations,
+            solver_micros_total: self.registration_solver_micros,
             ..ReplicatedStats::default()
         };
         for (site, node) in self.nodes.iter().enumerate() {
@@ -638,6 +652,8 @@ impl TcpCluster {
             total.local_commits += stats.local_commits;
             total.synchronizations += stats.synchronizations;
             total.negotiations += stats.negotiations;
+            total.proactive_negotiations += stats.proactive_negotiations;
+            total.solver_micros_total += stats.solver_micros_total;
         }
         total
     }
@@ -770,6 +786,11 @@ pub struct TcpLoadReport {
     /// reports the same folded state, and
     /// `final_total == initial_total − committed`.
     pub conserved: bool,
+    /// Protocol statistics aggregated over every site worker after the
+    /// final fold (plus the driver's own seeding negotiations): the
+    /// violation-vs-proactive negotiation split and the aggregate solver
+    /// time behind the load's synchronization rounds.
+    pub stats: ReplicatedStats,
 }
 
 /// Initial value each [`tcp_load`] counter is seeded with: small enough
@@ -1174,9 +1195,21 @@ pub fn tcp_load_opts(spec: &ClusterSpec, opts: &LoadOptions) -> std::io::Result<
     // Seed every counter on every site and collect every ack before any
     // operation is issued: the acks order the registration before the load.
     let hints = WorkloadHints::uniform(sites);
+    let mut seed_cache = NegotiationCache::new();
+    let mut stats = ReplicatedStats::default();
     for item in 0..items {
-        let (allowances, _) =
-            negotiate_allowances(spec.mode, &hints, sites, LOAD_INITIAL, 0, Timer::Wall);
+        let (allowances, solver_micros) = negotiate_allowances_cached(
+            spec.mode,
+            &hints,
+            sites,
+            LOAD_INITIAL,
+            0,
+            Timer::Wall,
+            &mut seed_cache,
+            None,
+        );
+        stats.negotiations += 1;
+        stats.solver_micros_total += solver_micros;
         let meta = CounterMeta {
             obj: load_stock(item),
             base: LOAD_INITIAL,
@@ -1265,6 +1298,17 @@ pub fn tcp_load_opts(spec: &ClusterSpec, opts: &LoadOptions) -> std::io::Result<
     let issued = (sites * opts.ops_per_site) as u64;
     let conserved =
         consistent && committed == issued && final_total == initial_total - committed as i64;
+    // Collect the per-site protocol statistics for the load summary: the
+    // negotiation split (violation-triggered vs proactive) and the
+    // aggregate solver time behind the synchronization rounds just driven.
+    for client in clients.iter_mut() {
+        let site_stats = client.stats()?;
+        stats.local_commits += site_stats.local_commits;
+        stats.synchronizations += site_stats.synchronizations;
+        stats.negotiations += site_stats.negotiations;
+        stats.proactive_negotiations += site_stats.proactive_negotiations;
+        stats.solver_micros_total += site_stats.solver_micros_total;
+    }
     Ok(TcpLoadReport {
         sites,
         clients: fanout,
@@ -1276,6 +1320,7 @@ pub fn tcp_load_opts(spec: &ClusterSpec, opts: &LoadOptions) -> std::io::Result<
         initial_total,
         final_total,
         conserved,
+        stats,
     })
 }
 

@@ -17,7 +17,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use homeo_lang::ids::ObjId;
-use homeo_protocol::{negotiate_allowances, ReplicatedMode, ReplicatedStats};
+use homeo_protocol::{
+    negotiate_allowances_cached, NegotiationCache, ReplicatedMode, ReplicatedStats,
+};
 use homeo_runtime::{OpOutcome, SiteOp, SiteRuntime};
 use homeo_sim::DetRng;
 use homeo_store::Engine;
@@ -62,6 +64,11 @@ pub struct ThreadedCluster {
     /// Negotiations run by the registration path (worker statistics are
     /// aggregated on top by [`ThreadedCluster::stats`]).
     registration_negotiations: u64,
+    /// Solver time spent by the registration path, in microseconds.
+    registration_solver_micros: u64,
+    /// Memoized treaty templates + solver scratch for the registration
+    /// path's negotiations.
+    registration_cache: NegotiationCache,
     /// Frame-encode scratch for the coordinating thread's batched sends
     /// ([`Message::encode_submit_into`]).
     scratch: Vec<u8>,
@@ -99,7 +106,8 @@ impl ThreadedCluster {
                     hints.clone(),
                     config.timer,
                     engines[site].clone(),
-                );
+                )
+                .with_tuning(config.tuning);
                 let transport = transport.clone();
                 std::thread::Builder::new()
                     .name(format!("homeo-site-{site}"))
@@ -114,6 +122,8 @@ impl ThreadedCluster {
             registered: BTreeSet::new(),
             config,
             registration_negotiations: 0,
+            registration_solver_micros: 0,
+            registration_cache: NegotiationCache::new(),
             scratch: Vec::new(),
         }
     }
@@ -135,15 +145,18 @@ impl ThreadedCluster {
                 .expect("population write cannot conflict");
         }
         let sites = self.engines.len();
-        let (allowances, solver_micros) = negotiate_allowances(
+        let (allowances, solver_micros) = negotiate_allowances_cached(
             self.config.mode,
             &self.config.hints(sites),
             sites,
             initial,
             lower_bound,
             self.config.timer,
+            &mut self.registration_cache,
+            None,
         );
         self.registration_negotiations += 1;
+        self.registration_solver_micros += solver_micros;
         let meta = CounterMeta {
             obj,
             base: initial,
@@ -182,6 +195,7 @@ impl ThreadedCluster {
     pub fn stats(&self) -> ReplicatedStats {
         let mut total = ReplicatedStats {
             negotiations: self.registration_negotiations,
+            solver_micros_total: self.registration_solver_micros,
             ..ReplicatedStats::default()
         };
         for site in 0..self.engines.len() {
@@ -191,6 +205,8 @@ impl ThreadedCluster {
             total.local_commits += stats.local_commits;
             total.synchronizations += stats.synchronizations;
             total.negotiations += stats.negotiations;
+            total.proactive_negotiations += stats.proactive_negotiations;
+            total.solver_micros_total += stats.solver_micros_total;
         }
         total
     }

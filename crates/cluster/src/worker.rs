@@ -21,7 +21,7 @@
 //!    *freezes* the counter (client operations on it stall) so no committed
 //!    delta can be lost between the fold and the install.
 //! 3. The coordinator applies the operation to the folded value,
-//!    renegotiates allowances ([`negotiate_allowances`]), and broadcasts
+//!    renegotiates allowances ([`negotiate_allowances_cached`]), and broadcasts
 //!    `Install`; peers rebase, unfreeze and ack.
 //! 4. When every ack is in, `SyncDone` reports the outcome to the origin
 //!    and the next queued round for that counter starts.
@@ -46,7 +46,10 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 use homeo_lang::ids::ObjId;
-use homeo_protocol::{negotiate_allowances, ReplicatedMode, ReplicatedStats, WorkloadHints};
+use homeo_protocol::{
+    negotiate_allowances_cached, NegotiationCache, ReplicatedMode, ReplicatedStats, SyncTuning,
+    WorkloadHints,
+};
 use homeo_runtime::{shard_hash, OpOutcome, SiteOp};
 use homeo_sim::Timer;
 use homeo_store::{Engine, EngineError};
@@ -102,6 +105,19 @@ pub struct SiteWorker {
     hints: WorkloadHints,
     timer: Timer,
     engine: Arc<Engine>,
+    /// Synchronization-round cost knobs (warm starts, proactive control).
+    tuning: SyncTuning,
+    /// Memoized treaty templates + solver scratch for coordinator rounds.
+    cache: NegotiationCache,
+    /// Per-site consumption EWMA, updated from each coordinated round's
+    /// delta fold (coordinator-side state; only meaningful when
+    /// `tuning.adaptive` is set).
+    demand: Vec<f64>,
+    /// Hints rebuilt from `demand` before each adaptive negotiation.
+    adaptive_hints: WorkloadHints,
+    /// Counters with a fire-and-forget proactive round outstanding from
+    /// this site (cleared when the round's install lands).
+    proactive_inflight: BTreeSet<ObjId>,
     counters: BTreeMap<ObjId, CounterState>,
     /// Counters frozen by an in-flight round (value of the map: round id).
     frozen: BTreeMap<ObjId, u64>,
@@ -138,6 +154,7 @@ impl SiteWorker {
     ) -> Self {
         assert!(site < sites);
         assert_eq!(hints.site_weights.len(), sites);
+        let adaptive_hints = hints.clone();
         SiteWorker {
             site,
             sites,
@@ -145,6 +162,11 @@ impl SiteWorker {
             hints,
             timer,
             engine,
+            tuning: SyncTuning::default(),
+            cache: NegotiationCache::new(),
+            demand: vec![0.0; sites],
+            adaptive_hints,
+            proactive_inflight: BTreeSet::new(),
             counters: BTreeMap::new(),
             frozen: BTreeMap::new(),
             queue: VecDeque::new(),
@@ -159,6 +181,12 @@ impl SiteWorker {
             recovery_backlog: VecDeque::new(),
             stats: ReplicatedStats::default(),
         }
+    }
+
+    /// Replaces the synchronization tuning (builder style).
+    pub fn with_tuning(mut self, tuning: SyncTuning) -> Self {
+        self.tuning = tuning;
+        self
     }
 
     /// This worker's site id.
@@ -349,6 +377,9 @@ impl SiteWorker {
                     self.install_counter(meta);
                 }
                 self.frozen.remove(&obj);
+                // Any completed round refreshes the treaty, so a pending
+                // proactive request for this counter is no longer stale.
+                self.proactive_inflight.remove(&obj);
                 out.push((from, Message::InstallAck { sync, obj }));
                 self.pump(out);
             }
@@ -435,6 +466,8 @@ impl SiteWorker {
         self.frozen.clear();
         self.active.clear();
         self.backlog.clear();
+        self.proactive_inflight.clear();
+        self.demand.iter_mut().for_each(|d| *d = 0.0);
         self.recovering = true;
         out.push((buddy, Message::StateRequest));
     }
@@ -505,6 +538,7 @@ impl SiteWorker {
                         ));
                         break;
                     }
+                    self.maybe_proactive(obj, out);
                 }
                 SiteOp::Increment { obj, amount } => {
                     if !self.counters.contains_key(&obj) {
@@ -593,6 +627,58 @@ impl SiteWorker {
         }
         engine.abort(&mut txn).expect("abort of active transaction");
         false
+    }
+
+    /// Fires a fire-and-forget proactive round when the demand-adaptive
+    /// control loop is on and this site's remaining headroom has dropped to
+    /// the margin. The round folds and renegotiates exactly like a pin, but
+    /// no client operation waits on it: its `SyncDone` arrives with an
+    /// unknown request id and is ignored.
+    fn maybe_proactive(&mut self, obj: ObjId, out: &mut Outbox) {
+        let Some(adaptive) = self.tuning.adaptive else {
+            return;
+        };
+        if self.frozen.contains_key(&obj) || self.proactive_inflight.contains(&obj) {
+            return;
+        }
+        let meta = self.counters.get(&obj).expect("counter registered");
+        let allowance = -meta.allowances[self.site];
+        if allowance <= 0 {
+            return;
+        }
+        let remaining = self.engine.peek(obj.as_str()) - (meta.base + meta.allowances[self.site]);
+        if remaining as f64 > adaptive.margin * allowance as f64 {
+            return;
+        }
+        self.proactive_inflight.insert(obj.clone());
+        let req = self.fresh_req();
+        out.push((
+            self.coordinator(&obj),
+            Message::SyncRequest {
+                req,
+                obj,
+                kind: SyncKind::Proactive,
+            },
+        ));
+    }
+
+    /// Rebuilds the adaptive hints from the consumption EWMA: site weights
+    /// become normalized demand shares, floored at a tiny positive value so
+    /// the sampling model never writes a site off entirely.
+    fn refresh_adaptive_hints(&mut self) {
+        self.adaptive_hints.expected_amount = self.hints.expected_amount;
+        let total: f64 = self.demand.iter().sum();
+        if total <= 0.0 {
+            return;
+        }
+        for (weight, demand) in self
+            .adaptive_hints
+            .site_weights
+            .iter_mut()
+            .zip(&self.demand)
+        {
+            *weight = (demand / total).max(1e-6);
+        }
     }
 
     fn engine_rmw(&self, obj: &ObjId, f: impl FnOnce(i64) -> i64) -> Result<(), EngineError> {
@@ -702,6 +788,18 @@ impl SiteWorker {
     /// All deltas are in: execute the request on the folded value,
     /// renegotiate, install locally and broadcast the install.
     fn finish_collect(&mut self, obj: &ObjId, out: &mut Outbox) {
+        if let Some(adaptive) = self.tuning.adaptive {
+            // Fold the round's observed consumption (decrements only) into
+            // the per-site demand EWMA before negotiating, so the new split
+            // tracks where the workload actually is.
+            let round = self.active.get(obj).expect("round active");
+            for site in 0..self.sites {
+                let consumed = round.deltas.get(&site).map_or(0.0, |d| (-*d).max(0) as f64);
+                self.demand[site] = (1.0 - adaptive.round_alpha) * self.demand[site]
+                    + adaptive.round_alpha * consumed;
+            }
+            self.refresh_adaptive_hints();
+        }
         let round = self.active.get(obj).expect("round active");
         let meta = self.counters.get(obj).expect("counter known");
         let logical = meta.base + round.deltas.values().sum::<i64>();
@@ -717,7 +815,9 @@ impl SiteWorker {
                     (logical - amount, false, true)
                 }
             }
-            SyncKind::Pin => (logical, false, true),
+            // A proactive round is a pin fired ahead of the violation: fold
+            // the deltas and renegotiate on the drifted demand.
+            SyncKind::Pin | SyncKind::Proactive => (logical, false, true),
             // A fold of an already-synchronized counter (every delta zero)
             // releases the freezes without touching any state. The check is
             // per-site, not on the sum: mixed increments and decrements can
@@ -730,19 +830,33 @@ impl SiteWorker {
             ),
         };
         let folded = renegotiate;
+        let proactive = matches!(round.kind, SyncKind::Proactive);
         let (allowances, solver_micros) = if renegotiate {
             self.stats.negotiations += 1;
-            negotiate_allowances(
+            if proactive {
+                self.stats.proactive_negotiations += 1;
+            }
+            let previous = self.tuning.warm_start.then_some(meta.allowances.as_slice());
+            let hints = if self.tuning.adaptive.is_some() {
+                &self.adaptive_hints
+            } else {
+                &self.hints
+            };
+            negotiate_allowances_cached(
                 self.mode,
-                &self.hints,
+                hints,
                 self.sites,
                 new_base,
                 meta.lower_bound,
                 self.timer,
+                &mut self.cache,
+                previous,
             )
         } else {
             (meta.allowances.clone(), 0)
         };
+        self.stats.solver_micros_total += solver_micros;
+        self.proactive_inflight.remove(obj);
         let install_meta = CounterMeta {
             obj: obj.clone(),
             base: new_base,
@@ -812,7 +926,7 @@ impl SiteWorker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use homeo_protocol::OptimizerConfig;
+    use homeo_protocol::{negotiate_allowances, OptimizerConfig};
 
     fn stock(i: usize) -> ObjId {
         ObjId::new(format!("stock[{i}]"))

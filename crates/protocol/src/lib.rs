@@ -43,6 +43,7 @@ pub mod correctness;
 pub mod exec;
 pub mod lrslice;
 pub mod model;
+pub mod negotiation;
 pub mod optimizer;
 pub mod remote_writes;
 pub mod replicated;
@@ -51,6 +52,7 @@ pub mod templates;
 pub mod treaty;
 
 pub use model::{DistributedDb, Loc, SiteId};
+pub use negotiation::{negotiate_allowances_cached, AdaptiveSync, NegotiationCache, SyncTuning};
 pub use optimizer::{OptimizerConfig, WorkloadModel};
 pub use replicated::{
     negotiate_allowances, ReplicatedMode, ReplicatedOutcome, ReplicatedStats, WorkloadHints,

@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 
 use homeo_lang::database::Database;
 use homeo_sim::{DetRng, Timer};
-use homeo_solver::maxsmt::{max_feasible_subset, SoftGroup};
+use homeo_solver::maxsmt::{max_feasible_subset, MaxSmtResult, SoftGroup};
 use homeo_solver::VarName;
 
 use crate::templates::TreatyTemplates;
@@ -98,6 +98,28 @@ pub fn optimize_timed(
     cfg: &OptimizerConfig,
     timer: Timer,
 ) -> OptimizedConfig {
+    optimize_timed_warm(templates, db, model, cfg, timer, None)
+}
+
+/// Runs Algorithm 1 with an optional warm-start candidate configuration.
+///
+/// When `warm_start` is `Some`, the candidate (typically the previous round's
+/// allowance split rescaled to the current headroom) is checked first: if it
+/// satisfies the hard constraints and *every* sampled soft group, then the
+/// maximum-cardinality subset is necessarily all groups, and the tightened
+/// configuration the cold path would compute from that subset can be produced
+/// directly — skipping the MaxSMT search. On any miss (the candidate fails a
+/// group, or the tightened configuration is invalid) the full cold search
+/// runs, so the returned configuration is byte-identical to a cold run in
+/// every case; only `solver_micros` reflects the cheaper path.
+pub fn optimize_timed_warm(
+    templates: &TreatyTemplates,
+    db: &Database,
+    model: &mut dyn WorkloadModel,
+    cfg: &OptimizerConfig,
+    timer: Timer,
+    warm_start: Option<&BTreeMap<VarName, i64>>,
+) -> OptimizedConfig {
     let mut rng = DetRng::seed_from(cfg.seed);
 
     // Hard constraints: H1 (validity) plus H2 (treaties hold on D).
@@ -116,10 +138,36 @@ pub fn optimize_timed(
     let total_states = soft.len();
 
     let default = templates.default_config(db);
-    let (result, solver_micros) = timer.measure(|| max_feasible_subset(&hard, &soft));
 
-    match result {
-        Some(res) => {
+    enum Solve {
+        /// The warm candidate witnessed joint feasibility of all groups;
+        /// carries the already-tightened, validated configuration.
+        Warm(BTreeMap<VarName, i64>),
+        Cold(Option<MaxSmtResult>),
+    }
+
+    let (solve, solver_micros) = timer.measure(|| {
+        if let Some(candidate) = warm_start {
+            if hard.iter().all(|c| c.holds(candidate))
+                && soft.iter().all(|g| g.iter().all(|c| c.holds(candidate)))
+            {
+                let config = tightened_config(&default, soft.iter());
+                if templates.config_is_valid(&config, db) {
+                    return Solve::Warm(config);
+                }
+            }
+        }
+        Solve::Cold(max_feasible_subset(&hard, &soft))
+    });
+
+    match solve {
+        Solve::Warm(config) => OptimizedConfig {
+            config,
+            satisfied_states: total_states,
+            total_states,
+            solver_micros,
+        },
+        Solve::Cold(Some(res)) => {
             let satisfied_states = res.selected.len();
             // Tighten the configuration: any MaxSMT model satisfies the
             // selected soft groups, but an arbitrary model may park slack on
@@ -128,16 +176,7 @@ pub fn optimize_timed(
             // groups — that assignment also satisfies every selected group,
             // and it maximises the per-site headroom actually exercised by
             // the sampled futures.
-            let mut config = default.clone();
-            for &j in &res.selected {
-                for constraint in &soft[j] {
-                    if let Some((var, upper)) = single_var_upper_bound(constraint) {
-                        if let Some(current) = config.get_mut(&var) {
-                            *current = (*current).min(upper);
-                        }
-                    }
-                }
-            }
+            let mut config = tightened_config(&default, res.selected.iter().map(|&j| &soft[j]));
             if !templates.config_is_valid(&config, db) {
                 // Fall back to the raw model, then to the default.
                 config = default.clone();
@@ -161,13 +200,33 @@ pub fn optimize_timed(
                 solver_micros,
             }
         }
-        None => OptimizedConfig {
+        Solve::Cold(None) => OptimizedConfig {
             config: default,
             satisfied_states: 0,
             total_states,
             solver_micros,
         },
     }
+}
+
+/// The tightened configuration for a set of soft groups: start from the
+/// default and give each configuration variable the smallest upper bound any
+/// group demands of it.
+fn tightened_config<'a>(
+    default: &BTreeMap<VarName, i64>,
+    groups: impl Iterator<Item = &'a SoftGroup>,
+) -> BTreeMap<VarName, i64> {
+    let mut config = default.clone();
+    for group in groups {
+        for constraint in group {
+            if let Some((var, upper)) = single_var_upper_bound(constraint) {
+                if let Some(current) = config.get_mut(&var) {
+                    *current = (*current).min(upper);
+                }
+            }
+        }
+    }
+    config
 }
 
 /// When `constraint` has the shape `1·v ≤ upper`, returns `(v, upper)`.

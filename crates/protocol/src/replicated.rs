@@ -19,14 +19,10 @@
 
 use serde::{Deserialize, Serialize};
 
-use homeo_lang::database::Database;
-use homeo_lang::ids::ObjId;
 use homeo_sim::Timer;
-use homeo_solver::{LinExpr, LinearConstraint};
 
-use crate::model::Loc;
-use crate::optimizer::{optimize_timed, OptimizerConfig};
-use crate::templates::TreatyTemplates;
+use crate::negotiation::{negotiate_allowances_cached, NegotiationCache};
+use crate::optimizer::OptimizerConfig;
 
 /// How local treaties (allowances) are chosen at each negotiation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -61,11 +57,19 @@ pub struct ReplicatedOutcome {
 pub struct ReplicatedStats {
     /// Operations that committed without communication.
     pub local_commits: u64,
-    /// Operations that triggered a synchronization.
+    /// Synchronization rounds performed (violation-triggered plus
+    /// proactive; violation-triggered = `synchronizations -
+    /// proactive_negotiations`).
     pub synchronizations: u64,
     /// Treaty negotiations performed (one per synchronization plus the
     /// initial one per counter).
     pub negotiations: u64,
+    /// Negotiations triggered proactively by the demand-adaptive control
+    /// loop, before any treaty violation (a subset of `negotiations`).
+    pub proactive_negotiations: u64,
+    /// Aggregate time spent in the treaty solver across all negotiations,
+    /// in microseconds.
+    pub solver_micros_total: u64,
 }
 
 /// The workload hints the negotiation's sampled futures are drawn from.
@@ -104,97 +108,20 @@ pub fn negotiate_allowances(
     lower_bound: i64,
     timer: Timer,
 ) -> (Vec<i64>, u64) {
-    assert!(sites > 0);
-    assert_eq!(hints.site_weights.len(), sites);
-    let headroom = base.saturating_sub(lower_bound).max(0);
-    match mode {
-        ReplicatedMode::EvenSplit => {
-            let share = headroom / sites as i64;
-            (vec![-share; sites], 0)
-        }
-        ReplicatedMode::Homeostasis { optimizer } => match optimizer {
-            None => {
-                // Theorem 4.3 default: local sums frozen at their current
-                // (zero-delta) values — synchronize on every decrement.
-                (vec![0; sites], 0)
-            }
-            Some(cfg) => {
-                let expected_amount = hints.expected_amount.max(1);
-                // Build the per-counter treaty template: Σ δᵢ ≥ -headroom.
-                let delta_var = |i: usize| format!("δ@{i}");
-                let mut sum = LinExpr::zero();
-                let mut loc = Loc::new().with_default_site(0);
-                for i in 0..sites {
-                    sum.add_term(delta_var(i), 1);
-                    loc.assign(ObjId::new(delta_var(i)), i);
-                }
-                let psi = vec![LinearConstraint::ge(sum, LinExpr::constant(-headroom))];
-                let templates = TreatyTemplates::generate(&psi, &loc, sites);
-                let db = Database::new();
-                // Workload model: a weighted random site decrements by the
-                // expected amount.
-                let weights = hints.site_weights.clone();
-                let mut model = move |current: &Database, rng: &mut homeo_sim::DetRng| {
-                    let site = rng.weighted_index(&weights);
-                    let mut next = current.clone();
-                    next.add(ObjId::new(format!("δ@{site}")), -expected_amount);
-                    next
-                };
-                let result = optimize_timed(&templates, &db, &mut model, &cfg, timer);
-                let solver_micros = result.solver_micros;
-                // allowance_i = the most negative δᵢ the local treaty
-                // tolerates: from  -δᵢ + cᵢ ≤ headroom  we get
-                // δᵢ ≥ cᵢ - headroom.
-                let mut allowances: Vec<i64> = (0..sites)
-                    .map(|i| {
-                        let cvar = &templates.clauses[0].config_vars[i];
-                        let c = result.config.get(cvar).copied().unwrap_or(headroom);
-                        c - headroom
-                    })
-                    .collect();
-                // Safety net: never allow the allowances to oversubscribe
-                // the headroom (the hard constraints already guarantee this;
-                // clamp defensively against a degenerate model).
-                let total: i64 = allowances.iter().map(|a| -a).sum();
-                if total > headroom {
-                    let share = headroom / sites as i64;
-                    allowances = vec![-share; sites];
-                }
-                // Distribute any leftover headroom in proportion to the
-                // expected per-site load, so slack is not parked at a site
-                // that will not use it.
-                let used: i64 = allowances.iter().map(|a| -a).sum();
-                let mut leftover = headroom - used;
-                if leftover > 0 {
-                    let weight_total: f64 = hints.site_weights.iter().sum();
-                    for (allowance, weight) in allowances
-                        .iter_mut()
-                        .zip(hints.site_weights.iter())
-                        .take(sites)
-                    {
-                        let share = ((leftover as f64) * weight
-                            / weight_total.max(f64::MIN_POSITIVE))
-                        .floor() as i64;
-                        *allowance -= share;
-                    }
-                    let used: i64 = allowances.iter().map(|a| -a).sum();
-                    leftover = headroom - used;
-                    if leftover > 0 {
-                        // Give the remainder to the most loaded site.
-                        let hottest = hints
-                            .site_weights
-                            .iter()
-                            .enumerate()
-                            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite weights"))
-                            .map(|(i, _)| i)
-                            .unwrap_or(0);
-                        allowances[hottest] -= leftover;
-                    }
-                }
-                (allowances, solver_micros)
-            }
-        },
-    }
+    // The cold reference path: a throwaway cache and no warm start. The
+    // cached/warm-started variant in `crate::negotiation` is pinned (by the
+    // sync_equivalence suite) to produce byte-identical allowances.
+    let mut cache = NegotiationCache::new();
+    negotiate_allowances_cached(
+        mode,
+        hints,
+        sites,
+        base,
+        lower_bound,
+        timer,
+        &mut cache,
+        None,
+    )
 }
 
 #[cfg(test)]
@@ -282,6 +209,54 @@ mod tests {
         let a1 = -allowances[1];
         assert!(a0 >= a1, "a0={a0} a1={a1}");
         assert!(a0 + a1 <= 39);
+    }
+
+    #[test]
+    fn leftover_distribution_survives_adversarial_weight_vectors() {
+        // Seeded property test: across adversarial weight vectors (NaN,
+        // infinities, negatives, zeros, wild magnitudes) the floor-rounded
+        // leftover distribution must neither strand headroom nor
+        // oversubscribe it, and every allowance stays ≤ 0.
+        let mut rng = homeo_sim::DetRng::seed_from(42);
+        for round in 0..60 {
+            let sites = 2 + rng.index(3);
+            let base = rng.int_inclusive(1, 500);
+            let lower_bound = rng.int_inclusive(0, base);
+            let headroom = (base - lower_bound).max(0);
+            let site_weights: Vec<f64> = (0..sites)
+                .map(|_| match rng.index(6) {
+                    0 => f64::NAN,
+                    1 => f64::NEG_INFINITY,
+                    2 => -5.0,
+                    3 => 0.0,
+                    4 => 1e18,
+                    _ => rng.int_inclusive(1, 100) as f64 / 7.0,
+                })
+                .collect();
+            let hints = WorkloadHints {
+                site_weights,
+                expected_amount: rng.int_inclusive(1, 3),
+            };
+            let (allowances, _) = negotiate_allowances(
+                homeo_cfg(round),
+                &hints,
+                sites,
+                base,
+                lower_bound,
+                Timer::fixed_zero(),
+            );
+            let consumed: i64 = allowances.iter().map(|a| -a).sum();
+            assert!(
+                allowances.iter().all(|a| *a <= 0),
+                "round {round}: positive allowance in {allowances:?}"
+            );
+            assert_eq!(
+                consumed, headroom,
+                "round {round}: headroom {headroom} vs consumed {consumed} \
+                 (weights {:?})",
+                hints.site_weights
+            );
+        }
     }
 
     #[test]

@@ -17,7 +17,10 @@
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use homeo_lang::ids::ObjId;
-use homeo_protocol::{negotiate_allowances, ReplicatedMode, ReplicatedStats, WorkloadHints};
+use homeo_protocol::{
+    negotiate_allowances_cached, NegotiationCache, ReplicatedMode, ReplicatedStats, SyncTuning,
+    WorkloadHints,
+};
 use homeo_sim::Timer;
 use homeo_store::{Engine, EngineError};
 
@@ -55,6 +58,18 @@ pub struct ReplicatedRuntime {
     engines: Vec<Engine>,
     shards: Vec<Shard>,
     inboxes: Vec<VecDeque<SiteOp>>,
+    /// Memoized treaty templates and solver scratch, shared by every
+    /// counter's negotiations.
+    cache: NegotiationCache,
+    /// Synchronization tuning: solver warm start and the demand-adaptive
+    /// control loop.
+    tuning: SyncTuning,
+    /// Per-site consumption EWMA (only maintained when the adaptive loop is
+    /// enabled).
+    demand: Vec<f64>,
+    /// Hints derived from `demand`, fed to the optimizer instead of the
+    /// static `hints` when the adaptive loop is enabled.
+    adaptive_hints: WorkloadHints,
     /// Aggregate statistics.
     pub stats: ReplicatedStats,
 }
@@ -79,8 +94,22 @@ impl ReplicatedRuntime {
             engines,
             shards: (0..DEFAULT_SHARDS).map(|_| Shard::default()).collect(),
             inboxes: vec![VecDeque::new(); sites],
+            cache: NegotiationCache::new(),
+            tuning: SyncTuning::default(),
+            demand: vec![0.0; sites],
+            adaptive_hints: WorkloadHints::uniform(sites),
             stats: ReplicatedStats::default(),
         }
+    }
+
+    /// Sets the synchronization tuning (solver warm start, demand-adaptive
+    /// proactive renegotiation). The default warm-starts the solver with the
+    /// adaptive loop off; either setting leaves negotiated allowances
+    /// byte-identical to a cold solve — only the adaptive loop changes which
+    /// negotiations happen.
+    pub fn with_sync_tuning(mut self, tuning: SyncTuning) -> Self {
+        self.tuning = tuning;
+        self
     }
 
     /// Sets the workload model hints used by the optimizer.
@@ -134,15 +163,26 @@ impl ReplicatedRuntime {
             write_through(engine, &obj, initial).expect("population write cannot conflict");
         }
         let sites = self.engines.len();
-        let (allowances, solver_micros) = negotiate_allowances(
+        if self.tuning.adaptive.is_some() {
+            self.refresh_adaptive_hints();
+        }
+        let hints = if self.tuning.adaptive.is_some() {
+            &self.adaptive_hints
+        } else {
+            &self.hints
+        };
+        let (allowances, solver_micros) = negotiate_allowances_cached(
             self.mode,
-            &self.hints,
+            hints,
             sites,
             initial,
             lower_bound,
             self.timer,
+            &mut self.cache,
+            None,
         );
         self.stats.negotiations += 1;
+        self.stats.solver_micros_total += solver_micros;
         let shard = self.shard_of(&obj);
         self.shards[shard].counters.insert(
             obj,
@@ -261,8 +301,42 @@ impl ReplicatedRuntime {
                         }
                         segment.push(i);
                         outcomes[i] = OpOutcome::local_commit();
+                        self.note_demand(site, *amount);
+                        if self.should_resplit(site, obj, new_value) {
+                            // Demand-adaptive proactive re-split: fold and
+                            // renegotiate before the allowance is violated.
+                            // The committed operation above stays a local
+                            // commit; the staged run is flushed first so the
+                            // fold observes it.
+                            self.flush(
+                                site,
+                                &mut staged,
+                                &mut write_order,
+                                &mut segment,
+                                &mut outcomes,
+                            );
+                            let engine = &self.engines[site];
+                            let mut probe = engine.begin();
+                            match engine.read(&probe, obj.as_str()) {
+                                Ok(_) => {
+                                    engine
+                                        .abort(&mut probe)
+                                        .expect("abort of active transaction");
+                                    let logical = self.logical_value(obj);
+                                    self.install_synchronized(obj, logical, true);
+                                    self.stats.synchronizations += 1;
+                                }
+                                // A concurrent lock holder: skip the optional
+                                // round rather than blocking or panicking.
+                                Err(EngineError::WouldBlock { .. }) => {
+                                    engine.abort(&mut probe).ok();
+                                }
+                                Err(e) => panic!("counter read failed: {e}"),
+                            }
+                        }
                         continue;
                     }
+                    self.note_demand(site, *amount);
                     // Treaty violation: cleanup phase. Flush the staged run
                     // (its commits must be visible to the fold) and probe
                     // the counter's lock the way the serial path's
@@ -307,7 +381,7 @@ impl ReplicatedRuntime {
                         // serial operation).
                         (logical - amount, false)
                     };
-                    let solver_micros = self.install_synchronized(obj, new_base);
+                    let solver_micros = self.install_synchronized(obj, new_base, false);
                     self.stats.synchronizations += 1;
                     outcomes[i] = OpOutcome::synchronized(refilled, solver_micros);
                 }
@@ -402,7 +476,7 @@ impl ReplicatedRuntime {
                     .iter()
                     .map(|e| e.peek(obj.as_str()) - base)
                     .sum::<i64>();
-            self.install_synchronized(obj, logical)
+            self.install_synchronized(obj, logical, false)
         } else {
             self.stats.negotiations += 1;
             0
@@ -414,29 +488,108 @@ impl ReplicatedRuntime {
     /// Installs a freshly synchronized base on every site (through logged
     /// engine transactions) and renegotiates the counter's allowances.
     /// Returns the solver time in microseconds.
-    fn install_synchronized(&mut self, obj: &ObjId, new_base: i64) -> u64 {
+    fn install_synchronized(&mut self, obj: &ObjId, new_base: i64, proactive: bool) -> u64 {
         for engine in &self.engines {
             write_through(engine, obj, new_base)
                 .expect("synchronization runs with no transactions in flight");
         }
         let sites = self.engines.len();
+        if self.tuning.adaptive.is_some() {
+            self.refresh_adaptive_hints();
+        }
         let shard = self.shard_of(obj);
         let meta = self.shards[shard]
             .counters
             .get_mut(obj)
             .expect("synchronizing a registered counter");
         meta.base = new_base;
-        let (allowances, solver_micros) = negotiate_allowances(
+        let hints = if self.tuning.adaptive.is_some() {
+            &self.adaptive_hints
+        } else {
+            &self.hints
+        };
+        let previous = if self.tuning.warm_start {
+            Some(meta.allowances.as_slice())
+        } else {
+            None
+        };
+        let (allowances, solver_micros) = negotiate_allowances_cached(
             self.mode,
-            &self.hints,
+            hints,
             sites,
             new_base,
             meta.lower_bound,
             self.timer,
+            &mut self.cache,
+            previous,
         );
         meta.allowances = allowances;
         self.stats.negotiations += 1;
+        self.stats.solver_micros_total += solver_micros;
+        if proactive {
+            self.stats.proactive_negotiations += 1;
+        }
         solver_micros
+    }
+
+    /// Folds one observed operation into the per-site consumption EWMA
+    /// (no-op unless the adaptive loop is enabled).
+    fn note_demand(&mut self, site: usize, amount: i64) {
+        let Some(ad) = self.tuning.adaptive else {
+            return;
+        };
+        let alpha = ad.op_alpha;
+        for (i, d) in self.demand.iter_mut().enumerate() {
+            *d *= 1.0 - alpha;
+            if i == site {
+                *d += alpha * amount.max(0) as f64;
+            }
+        }
+    }
+
+    /// Rebuilds the adaptive hints from the consumption EWMA (weights stay
+    /// uniform until demand has been observed).
+    fn refresh_adaptive_hints(&mut self) {
+        self.adaptive_hints.expected_amount = self.hints.expected_amount;
+        let total: f64 = self.demand.iter().sum();
+        if total <= 0.0 {
+            return;
+        }
+        for (w, d) in self
+            .adaptive_hints
+            .site_weights
+            .iter_mut()
+            .zip(&self.demand)
+        {
+            *w = (d / total).max(1e-6);
+        }
+    }
+
+    /// Whether a proactive re-split should fire after a local commit left
+    /// `new_value` on `site`: the site is close to exhausting its allowance
+    /// *and* its observed demand share has drifted above its share of the
+    /// current split.
+    fn should_resplit(&self, site: usize, obj: &ObjId, new_value: i64) -> bool {
+        let Some(ad) = self.tuning.adaptive else {
+            return false;
+        };
+        let meta = &self.shards[self.shard_of(obj)].counters[obj];
+        let allowance = -meta.allowances[site];
+        if allowance <= 0 {
+            return false;
+        }
+        let remaining = new_value - (meta.base + meta.allowances[site]);
+        if remaining as f64 > ad.margin * allowance as f64 {
+            return false;
+        }
+        let split_total: i64 = meta.allowances.iter().map(|a| -a).sum();
+        let demand_total: f64 = self.demand.iter().sum();
+        if split_total <= 0 || demand_total <= 0.0 {
+            return false;
+        }
+        let demand_share = self.demand[site] / demand_total;
+        let split_share = allowance as f64 / split_total as f64;
+        demand_share - split_share >= ad.drift
     }
 }
 
@@ -482,7 +635,7 @@ impl SiteRuntime for ReplicatedRuntime {
         for obj in objs {
             let logical = self.logical_value(&obj);
             if logical != self.shards[self.shard_of(&obj)].counters[&obj].base {
-                solver_micros += self.install_synchronized(&obj, logical);
+                solver_micros += self.install_synchronized(&obj, logical, false);
                 folded = true;
             }
         }
