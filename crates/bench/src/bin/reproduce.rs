@@ -3,7 +3,8 @@
 //! ```text
 //! reproduce [--full] [--csv-dir DIR] [--json PATH] [--baseline PATH]
 //!           [--list] [--threads N] [--homeo-load CONFIG] [--ops N]
-//!           [--clients N] [all | table1 | fig10 | ... | fig29
+//!           [--clients N] [--rate R] [--metrics]
+//!           [all | table1 | fig10 | ... | fig29
 //!            | cluster-partition | ... | cluster-tcp | bench]...
 //! ```
 //!
@@ -30,6 +31,13 @@
 //! concurrent pipelined connections (spread round-robin across the sites;
 //! default one per site), exercising the sites' epoll reactors at real
 //! connection counts — `--clients 10000` is a meaningful smoke test.
+//! `--rate R` switches the load to **open-loop** arrivals at R operations
+//! per second aggregate (deterministic Poisson schedule; latency measured
+//! from each batch's scheduled arrival), instead of the default closed
+//! loop. `--metrics` scrapes every site's telemetry dump
+//! (`MetricsRequest` → Prometheus-style text) after the load, prints it,
+//! and fails if a required instrumentation key is missing or zero — the
+//! CI smoke job uses this to prove a live daemon's metrics endpoint works.
 //!
 //! Exit codes: `0` on success, `1` when one or more requested figures or
 //! scenarios fail to generate or write, or when the baseline check finds a
@@ -37,8 +45,11 @@
 
 use std::path::PathBuf;
 
+use std::time::Duration;
+
 use homeo_bench::{all_ids, generate, Effort, Figure, Json};
-use homeo_cluster::{tcp_load_opts, threaded_load, ClusterSpec, LoadOptions};
+use homeo_cluster::{tcp_load_opts, threaded_load, ClusterSpec, LoadOptions, TcpClient};
+use homeo_telemetry::Histogram;
 
 fn main() {
     let mut effort = Effort::Quick;
@@ -49,6 +60,8 @@ fn main() {
     let mut homeo_load: Option<PathBuf> = None;
     let mut ops_per_site: usize = 2_000;
     let mut clients: usize = 0;
+    let mut rate: f64 = 0.0;
+    let mut metrics = false;
     let mut requested: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1).peekable();
@@ -99,6 +112,17 @@ fn main() {
                     }
                 }
             }
+            "--rate" => {
+                let r = args.next().and_then(|r| r.parse::<f64>().ok());
+                match r {
+                    Some(r) if r > 0.0 && r.is_finite() => rate = r,
+                    _ => {
+                        eprintln!("--rate requires a positive ops/sec rate");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--metrics" => metrics = true,
             "--csv-dir" => {
                 let dir = args.next().unwrap_or_else(|| {
                     eprintln!("--csv-dir requires a directory argument");
@@ -124,7 +148,8 @@ fn main() {
                 println!(
                     "usage: reproduce [--full] [--csv-dir DIR] [--json PATH] \
                      [--baseline PATH] [--list] [--threads N] \
-                     [--homeo-load CONFIG] [--ops N] [--clients N] [all | {}]...",
+                     [--homeo-load CONFIG] [--ops N] [--clients N] [--rate R] \
+                     [--metrics] [all | {}]...",
                     all_ids().join(" | ")
                 );
                 return;
@@ -248,7 +273,7 @@ fn main() {
         }
     }
     if let Some(config_path) = &homeo_load {
-        match run_homeo_load(config_path, ops_per_site, clients) {
+        match run_homeo_load(config_path, ops_per_site, clients, rate, metrics) {
             Ok(()) => {}
             Err(problem) => {
                 eprintln!("FAILED: {problem}\n");
@@ -276,21 +301,31 @@ fn run_homeo_load(
     config_path: &std::path::Path,
     ops_per_site: usize,
     clients: usize,
+    rate: f64,
+    metrics: bool,
 ) -> Result<(), String> {
     let text = std::fs::read_to_string(config_path)
         .map_err(|e| format!("cannot read {}: {e}", config_path.display()))?;
     let spec = ClusterSpec::parse(&text)
         .map_err(|e| format!("bad cluster config {}: {e}", config_path.display()))?;
     const ITEMS: usize = 16;
-    let opts = LoadOptions {
+    let mut opts = LoadOptions {
         clients,
         ..LoadOptions::new(ops_per_site, ITEMS, 42)
     };
+    if rate > 0.0 {
+        opts = opts.open_loop(rate);
+    }
     println!(
-        "homeo-load: {} site(s) over TCP, {ops_per_site} ops per site, {ITEMS} counters{}",
+        "homeo-load: {} site(s) over TCP, {ops_per_site} ops per site, {ITEMS} counters{}{}",
         spec.sites(),
         if clients > 0 {
             format!(", {clients} concurrent connections")
+        } else {
+            String::new()
+        },
+        if rate > 0.0 {
+            format!(", open loop at {rate:.0} ops/s offered")
         } else {
             String::new()
         }
@@ -317,6 +352,24 @@ fn run_homeo_load(
         report.stats.negotiations,
         report.stats.solver_micros_total as f64 / 1_000.0
     );
+    // Client-observed latency per pipelined batch: the closed loop measures
+    // from each batch's send, the open loop from its scheduled arrival.
+    println!(
+        "latency per batch (ms){}:",
+        if rate > 0.0 {
+            " from scheduled arrival"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "  {:<12} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "", "p50", "p90", "p99", "p999", "max"
+    );
+    for (site, hist) in report.site_latency.iter().enumerate() {
+        println!("  {}", latency_row(&format!("site {site}"), hist));
+    }
+    println!("  {}", latency_row("all sites", &report.latency));
     println!(
         "conservation: seeded {} - committed {} = folded {} ({})\n",
         report.initial_total,
@@ -327,7 +380,95 @@ fn run_homeo_load(
     if !report.conserved {
         return Err("counter conservation check failed".to_string());
     }
+    if metrics {
+        check_live_metrics(&spec)?;
+    }
     Ok(())
+}
+
+/// One row of the load summary's latency table.
+fn latency_row(label: &str, hist: &Histogram) -> String {
+    let ms = |q: f64| hist.quantile(q) as f64 / 1_000.0;
+    format!(
+        "{label:<12} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+        ms(0.50),
+        ms(0.90),
+        ms(0.99),
+        ms(0.999),
+        hist.max() as f64 / 1_000.0
+    )
+}
+
+/// Scrapes every site's telemetry dump over a fresh connection, prints it,
+/// and verifies the instrumentation is alive: per site, the reactor and
+/// commit counters must be present and non-zero; cluster-wide, the sync
+/// phase histograms must have recorded rounds. A missing or zero key is an
+/// `Err` — this is the CI smoke job's gate on the metrics endpoint.
+fn check_live_metrics(spec: &ClusterSpec) -> Result<(), String> {
+    // Required per site: any loaded site serves frames and commits locally.
+    const PER_SITE: [&str; 4] = [
+        "homeo_reactor_frames_in_total",
+        "homeo_reactor_bytes_in_total",
+        "homeo_local_commits_total",
+        "homeo_submit_batch_ops_count",
+    ];
+    // Required cluster-wide: the load forces violation rounds somewhere,
+    // but which sites coordinate/participate depends on counter placement.
+    const CLUSTER_WIDE: [&str; 3] = [
+        "homeo_sync_violation_round_micros_count",
+        "homeo_sync_violation_collect_micros_count",
+        "homeo_synchronizations_total",
+    ];
+    let mut totals: std::collections::BTreeMap<&str, f64> = std::collections::BTreeMap::new();
+    let mut problems = Vec::new();
+    for (site, addr) in spec.addrs.iter().enumerate() {
+        let text = TcpClient::connect_retry(*addr, Duration::from_secs(5))
+            .and_then(|mut client| client.metrics())
+            .map_err(|e| format!("metrics scrape of site {site} failed: {e}"))?;
+        println!("--- metrics: site {site} ({addr}) ---");
+        print!("{text}");
+        let values = parse_metrics(&text);
+        for key in PER_SITE {
+            match values.get(key) {
+                Some(v) if *v > 0.0 => {}
+                Some(_) => problems.push(format!("site {site}: `{key}` is zero")),
+                None => problems.push(format!("site {site}: `{key}` missing")),
+            }
+        }
+        for key in CLUSTER_WIDE {
+            *totals.entry(key).or_default() += values.get(key).copied().unwrap_or(0.0);
+        }
+    }
+    println!();
+    for key in CLUSTER_WIDE {
+        if totals.get(key).copied().unwrap_or(0.0) <= 0.0 {
+            problems.push(format!("`{key}` is zero across every site"));
+        }
+    }
+    if problems.is_empty() {
+        println!(
+            "metrics check passed: {} per-site key(s) and {} cluster-wide key(s) non-zero\n",
+            PER_SITE.len(),
+            CLUSTER_WIDE.len()
+        );
+        Ok(())
+    } else {
+        Err(format!("metrics check failed: {}", problems.join("; ")))
+    }
+}
+
+/// Parses Prometheus-style text into `name -> value` (comment lines are
+/// skipped; histogram summaries contribute their `_count`/`_sum`/... keys).
+fn parse_metrics(text: &str) -> std::collections::BTreeMap<String, f64> {
+    text.lines()
+        .filter(|line| !line.starts_with('#'))
+        .filter_map(|line| {
+            let mut parts = line.split_whitespace();
+            let name = parts.next()?;
+            let value = parts.next()?.parse::<f64>().ok()?;
+            Some((name.to_string(), value))
+        })
+        .collect()
 }
 
 /// Compares the generated figures against a baseline JSON file (the schema

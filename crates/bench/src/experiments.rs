@@ -43,7 +43,7 @@ pub fn micro_experiment(
     let mut runtime = micro::build_runtime(config, mode);
     let mut workload = MicroWorkload::new(config.clone(), mode);
     let loop_config = closed_loop_config(config, clients_per_replica, measure_ms);
-    let mut metrics = drive(&loop_config, runtime.as_mut(), &mut workload);
+    let metrics = drive(&loop_config, runtime.as_mut(), &mut workload);
     let cdf_points: Vec<f64> = vec![1.0, 2.0, 4.0, 8.0, 16.0, 50.0, 100.0, 200.0, 400.0, 1000.0];
     ExperimentPoint {
         mode: mode.label().to_string(),

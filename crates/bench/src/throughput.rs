@@ -24,7 +24,7 @@ use homeo_baselines::{LocalRuntime, TwoPcRuntime};
 use homeo_cluster::{ClusterConfig, ClusterRuntime};
 use homeo_lang::ids::ObjId;
 use homeo_protocol::{OptimizerConfig, ReplicatedMode};
-use homeo_runtime::{ReplicatedRuntime, SiteOp, SiteRuntime};
+use homeo_runtime::{drive_open_loop, OpenLoopConfig, ReplicatedRuntime, SiteOp, SiteRuntime};
 use homeo_sim::{DetRng, Timer};
 
 use crate::figures::Effort;
@@ -176,7 +176,61 @@ fn measure_cell(mode: &str, batch: usize, min_secs: f64) -> f64 {
     committed as f64 / started.elapsed().as_secs_f64()
 }
 
-/// Generates the `bench` figure: ops/sec for every batch size × mode cell.
+/// Modes that also get open-loop latency percentile columns: the paper
+/// system on the in-process fast path and on real sockets.
+pub const LATENCY_MODES: [&str; 2] = ["homeo", "cluster-tcp"];
+
+/// Fraction of a cell's measured closed-loop throughput offered as the
+/// open-loop rate — far enough below saturation that the percentiles
+/// measure service latency plus moderate queueing, not a divergent queue.
+const OPEN_LOOP_FRACTION: f64 = 0.6;
+
+/// Latency percentiles in milliseconds — `(p50, p99, p999)` — of one mode
+/// under open-loop Poisson arrivals at `rate` ops/s, same workload shape
+/// as the throughput cells. Latency is measured per batch from its
+/// scheduled arrival, so queueing delay is charged to the requests.
+fn measure_latency(mode: &str, batch: usize, rate: f64, min_secs: f64) -> (f64, f64, f64) {
+    let mut runtime = build_mode(mode);
+    populate_baseline(runtime.as_mut(), mode);
+    register_pool(runtime.as_mut());
+    let pool: Vec<ObjId> = (0..ITEMS).map(stock).collect();
+    // Enough offered operations to fill the measurement window at `rate`,
+    // floored so even tiny quick-effort cells produce percentiles, capped
+    // so a fast machine does not stretch the suite.
+    let total_ops = ((rate * min_secs) as usize).clamp(batch * 16, 200_000);
+    let config = OpenLoopConfig {
+        rate,
+        total_ops,
+        batch,
+        seed: 0x17EA ^ batch as u64,
+    };
+    let report = drive_open_loop(&config, runtime.as_mut(), &mut |_site, rng, ops| {
+        for _ in 0..batch {
+            let item = if rng.chance(HOTNESS) {
+                rng.index(HOT_ITEMS)
+            } else {
+                HOT_ITEMS + rng.index(ITEMS - HOT_ITEMS)
+            };
+            ops.push(SiteOp::Order {
+                obj: pool[item].clone(),
+                amount: 1,
+                refill_to: Some(INITIAL),
+            });
+        }
+    });
+    (
+        report.quantile_ms(0.50),
+        report.quantile_ms(0.99),
+        report.quantile_ms(0.999),
+    )
+}
+
+/// Generates the `bench` figure: ops/sec for every batch size × mode cell,
+/// plus open-loop latency percentile columns (p50/p99/p999 ms) for the
+/// [`LATENCY_MODES`], offered at 60% of each cell's own
+/// measured closed-loop throughput. The percentile columns are additive:
+/// baseline gates match columns by name, so older baselines keep gating
+/// the throughput cells only.
 pub fn suite(effort: Effort) -> Figure {
     let min_secs = match effort {
         Effort::Quick => 0.05,
@@ -184,17 +238,29 @@ pub fn suite(effort: Effort) -> Figure {
     };
     let mut columns = vec!["batch".to_string()];
     columns.extend(MODES.iter().map(|m| m.to_string()));
+    for mode in LATENCY_MODES {
+        for p in ["p50", "p99", "p999"] {
+            columns.push(format!("{mode}_{p}_ms"));
+        }
+    }
     let mut fig = Figure::new(
         "bench",
         "Batched submission throughput (committed ops/s, wall clock, 2 sites, \
-         64 counters, 80% of traffic on 4 hot counters)",
+         64 counters, 80% of traffic on 4 hot counters) and open-loop latency \
+         percentiles (ms) at 60% of measured throughput",
         columns,
     );
     for &batch in &BATCH_SIZES {
-        let values: Vec<f64> = MODES
+        let mut values: Vec<f64> = MODES
             .iter()
             .map(|mode| measure_cell(mode, batch, min_secs))
             .collect();
+        for mode in LATENCY_MODES {
+            let col = MODES.iter().position(|m| *m == mode).expect("known mode");
+            let rate = (values[col] * OPEN_LOOP_FRACTION).max(1_000.0);
+            let (p50, p99, p999) = measure_latency(mode, batch, rate, min_secs);
+            values.extend([p50, p99, p999]);
+        }
         fig.push_row(format!("{batch}"), values);
     }
     fig
@@ -209,12 +275,27 @@ mod tests {
         let fig = suite(Effort::Quick);
         assert_eq!(fig.id, "bench");
         assert_eq!(fig.rows.len(), BATCH_SIZES.len());
-        assert_eq!(fig.columns.len(), MODES.len() + 1);
+        // label + throughput per mode + p50/p99/p999 per latency mode.
+        assert_eq!(fig.columns.len(), MODES.len() + 1 + 3 * LATENCY_MODES.len());
         for (label, values) in &fig.rows {
+            assert_eq!(values.len(), MODES.len() + 3 * LATENCY_MODES.len());
             for (mode, v) in MODES.iter().zip(values) {
                 assert!(
                     v.is_finite() && *v > 0.0,
                     "batch {label} mode {mode}: throughput {v}"
+                );
+            }
+            // The percentile tail is finite, non-negative and ordered
+            // (p50 ≤ p99 ≤ p999) for each latency mode.
+            for (i, mode) in LATENCY_MODES.iter().enumerate() {
+                let tail = &values[MODES.len() + 3 * i..MODES.len() + 3 * (i + 1)];
+                assert!(
+                    tail.iter().all(|v| v.is_finite() && *v >= 0.0),
+                    "batch {label} mode {mode}: latency {tail:?}"
+                );
+                assert!(
+                    tail[0] <= tail[1] && tail[1] <= tail[2],
+                    "batch {label} mode {mode}: percentiles out of order {tail:?}"
                 );
             }
         }

@@ -182,6 +182,21 @@ impl ClusterRuntime {
             ClusterRuntime::Tcp(c) => c.stats(),
         }
     }
+
+    /// Every site's rendered telemetry dump (the Prometheus-style text a
+    /// live node serves for [`Message::MetricsRequest`]), in site order.
+    /// A killed TCP site renders as an empty string.
+    pub fn metrics_text(&self) -> Vec<String> {
+        match self {
+            ClusterRuntime::Threaded(c) => c.metrics(),
+            ClusterRuntime::Sim(c) => c.metrics_text(),
+            ClusterRuntime::Tcp(c) => c
+                .metrics()
+                .into_iter()
+                .map(Option::unwrap_or_default)
+                .collect(),
+        }
+    }
 }
 
 impl SiteRuntime for ClusterRuntime {

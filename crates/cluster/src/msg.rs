@@ -303,6 +303,16 @@ pub enum Message {
         /// Local commits, synchronizations and negotiations at this site.
         stats: ReplicatedStats,
     },
+    /// Client → site: reply with the site's full telemetry dump
+    /// (counters, gauges and latency histograms) as Prometheus-style text.
+    MetricsRequest,
+    /// Site → client: the rendered telemetry dump.
+    MetricsReply {
+        /// Prometheus-style text exposition (`# TYPE` headers followed by
+        /// `name value` lines; histograms as `_count`/`_sum`/quantile
+        /// lines).
+        text: String,
+    },
 }
 
 /// The [`Message::Hello`] peer id a client attachment announces (sites use
@@ -475,6 +485,11 @@ impl Message {
                 buf.extend_from_slice(&stats.proactive_negotiations.to_be_bytes());
                 buf.extend_from_slice(&stats.solver_micros_total.to_be_bytes());
             }
+            Message::MetricsRequest => buf.push(19),
+            Message::MetricsReply { text } => {
+                buf.push(20);
+                encode_str(text, buf);
+            }
         }
     }
 
@@ -565,6 +580,10 @@ impl Message {
                     proactive_negotiations: cursor.u64()?,
                     solver_micros_total: cursor.u64()?,
                 },
+            },
+            19 => Message::MetricsRequest,
+            20 => Message::MetricsReply {
+                text: decode_str(cursor)?,
             },
             _ => return None,
         })
@@ -886,6 +905,14 @@ mod tests {
                     proactive_negotiations: 1,
                     solver_micros_total: 640,
                 },
+            },
+            Message::MetricsRequest,
+            Message::MetricsReply {
+                text: "# TYPE homeo_local_commits_total counter\nhomeo_local_commits_total 5\n"
+                    .to_string(),
+            },
+            Message::MetricsReply {
+                text: String::new(),
             },
         ]
     }

@@ -55,6 +55,7 @@ use std::time::{Duration, Instant};
 
 use epoll::{Events, Poller};
 use homeo_runtime::SiteOp;
+use homeo_telemetry::{CounterId, GaugeId, HistId, Registry};
 
 use crate::msg::{FrameAssembler, Message, CLIENT_PEER};
 use crate::worker::{Outbox, SiteWorker};
@@ -232,6 +233,40 @@ struct PeerLink {
     retry_at: Option<Instant>,
 }
 
+/// Pre-registered handles for the reactor's transport metrics, registered
+/// into the owning [`SiteWorker`]'s registry so one `MetricsRequest`
+/// answers for the whole site (protocol phases and transport alike).
+struct ReactorMetrics {
+    /// Frames decoded and dispatched (clients, peers and hellos).
+    frames_in: CounterId,
+    /// Frames queued for transmission through the outbox paths.
+    frames_out: CounterId,
+    /// Bytes read off sockets.
+    bytes_in: CounterId,
+    /// Bytes queued for transmission through the outbox paths.
+    bytes_out: CounterId,
+    /// Frames drained per flush call (the vectored-write batch size).
+    writev_flush: HistId,
+    /// Largest unflushed per-connection backlog at the last flush round.
+    queue_bytes: GaugeId,
+    /// Clients disconnected for exceeding the write-queue byte cap.
+    backpressure: CounterId,
+}
+
+impl ReactorMetrics {
+    fn register(reg: &mut Registry) -> ReactorMetrics {
+        ReactorMetrics {
+            frames_in: reg.counter("homeo_reactor_frames_in_total"),
+            frames_out: reg.counter("homeo_reactor_frames_out_total"),
+            bytes_in: reg.counter("homeo_reactor_bytes_in_total"),
+            bytes_out: reg.counter("homeo_reactor_bytes_out_total"),
+            writev_flush: reg.histogram("homeo_reactor_writev_flush_frames"),
+            queue_bytes: reg.gauge("homeo_reactor_write_queue_bytes"),
+            backpressure: reg.counter("homeo_reactor_backpressure_disconnects_total"),
+        }
+    }
+}
+
 /// Construction parameters of a [`Reactor`].
 pub(crate) struct ReactorConfig {
     pub site: usize,
@@ -286,6 +321,8 @@ pub(crate) struct Reactor {
     scratch: Vec<u8>,
     /// Read scratch.
     chunk: Vec<u8>,
+    /// Handles into the worker's registry for the transport metrics.
+    metric_ids: ReactorMetrics,
 }
 
 impl Reactor {
@@ -295,9 +332,10 @@ impl Reactor {
         listener: TcpListener,
         waker: UnixStream,
         shutdown: Arc<AtomicBool>,
-        worker: SiteWorker,
+        mut worker: SiteWorker,
         cfg: ReactorConfig,
     ) -> io::Result<Reactor> {
+        let metric_ids = ReactorMetrics::register(&mut worker.metrics);
         listener.set_nonblocking(true)?;
         waker.set_nonblocking(true)?;
         let poller = Poller::new()?;
@@ -342,6 +380,7 @@ impl Reactor {
             dirty: Vec::new(),
             scratch: Vec::new(),
             chunk: vec![0u8; READ_CHUNK],
+            metric_ids,
         })
     }
 
@@ -465,6 +504,7 @@ impl Reactor {
                     return;
                 }
                 Ok(n) => {
+                    self.worker.metrics.add(self.metric_ids.bytes_in, n as u64);
                     if let Some(conn) = self.conns[slot].as_mut() {
                         conn.asm.push(&self.chunk[..n]);
                     }
@@ -508,6 +548,7 @@ impl Reactor {
     }
 
     fn dispatch(&mut self, slot: usize, msg: Message) {
+        self.worker.metrics.inc(self.metric_ids.frames_in);
         enum Kind {
             Unknown,
             Client(usize),
@@ -628,6 +669,10 @@ impl Reactor {
                 let stats = self.worker.stats;
                 self.queue_frame(slot, &Message::StatsReply { stats });
             }
+            Message::MetricsRequest => {
+                let text = self.worker.metrics_text();
+                self.queue_frame(slot, &Message::MetricsReply { text });
+            }
             other => {
                 eprintln!(
                     "homeo-tcp site {}: client sent site-protocol frame {other:?}; closing \
@@ -703,6 +748,7 @@ impl Reactor {
     /// match, and enforces the client byte cap.
     fn flush_conn(&mut self, slot: usize) {
         let mut over_cap = false;
+        let mut flushed_frames = 0;
         let close = {
             let Some(conn) = self.conns[slot].as_mut() else {
                 return;
@@ -716,8 +762,10 @@ impl Reactor {
             ) {
                 return; // nothing can be written before the connect completes
             }
+            let frames_before = conn.out.frames.len();
             match conn.out.flush(&mut conn.stream) {
                 Ok(drained) => {
+                    flushed_frames = frames_before - conn.out.frames.len();
                     let want = !drained;
                     if want != conn.want_write {
                         conn.want_write = want;
@@ -730,7 +778,13 @@ impl Reactor {
                 Err(_) => true,
             }
         };
+        if flushed_frames > 0 {
+            self.worker
+                .metrics
+                .observe(self.metric_ids.writev_flush, flushed_frames as u64);
+        }
         if over_cap {
+            self.worker.metrics.inc(self.metric_ids.backpressure);
             eprintln!(
                 "homeo-tcp site {}: client write queue exceeded {} bytes (peer not draining); \
                  disconnecting it",
@@ -743,19 +797,30 @@ impl Reactor {
     }
 
     fn flush_dirty(&mut self) {
+        let mut max_backlog = 0i64;
         while let Some(slot) = self.dirty.pop() {
             match self.conns[slot].as_mut() {
                 Some(conn) => conn.queued = false,
                 None => continue,
             }
             self.flush_conn(slot);
+            if let Some(conn) = self.conns[slot].as_ref() {
+                max_backlog = max_backlog.max(conn.out.bytes() as i64);
+            }
         }
+        self.worker
+            .metrics
+            .set(self.metric_ids.queue_bytes, max_backlog);
     }
 
     /// Queues an encoded frame on a connection and marks it for the
     /// end-of-round flush.
     fn queue_raw(&mut self, slot: usize, frame: Vec<u8>) {
         if let Some(conn) = self.conns[slot].as_mut() {
+            self.worker.metrics.inc(self.metric_ids.frames_out);
+            self.worker
+                .metrics
+                .add(self.metric_ids.bytes_out, frame.len() as u64);
             conn.out.push(frame);
             if !conn.queued {
                 conn.queued = true;
@@ -837,6 +902,10 @@ impl Reactor {
     }
 
     fn enqueue_peer(&mut self, peer: usize, frame: Vec<u8>) {
+        self.worker.metrics.inc(self.metric_ids.frames_out);
+        self.worker
+            .metrics
+            .add(self.metric_ids.bytes_out, frame.len() as u64);
         if let Some(slot) = self.peers[peer].slot {
             if let Some(conn) = self.conns[slot].as_mut() {
                 if matches!(

@@ -494,6 +494,14 @@ impl SimCluster {
         total
     }
 
+    /// Every site worker's rendered telemetry dump (Prometheus-style
+    /// text), in site order. Under [`homeo_sim::Timer::fixed_zero`] the recorded
+    /// durations are the timer's constant, so seeded runs dump
+    /// byte-identical text.
+    pub fn metrics_text(&self) -> Vec<String> {
+        self.workers.iter().map(|w| w.metrics_text()).collect()
+    }
+
     /// The deterministic end-of-run metrics.
     pub fn metrics(&self) -> SimMetrics {
         SimMetrics {

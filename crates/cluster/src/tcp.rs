@@ -73,7 +73,7 @@
 //! deployment), exactly like the unauthenticated intra-cluster ports of
 //! most coordination systems.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::UnixStream;
@@ -90,6 +90,7 @@ use homeo_protocol::{
 use homeo_runtime::{OpOutcome, SiteOp, SiteRuntime};
 use homeo_sim::{DetRng, Timer};
 use homeo_store::Engine;
+use homeo_telemetry::Histogram;
 
 use crate::config::ClusterSpec;
 use crate::msg::{CounterMeta, FrameAssembler, Message, CLIENT_PEER};
@@ -407,6 +408,18 @@ impl TcpClient {
         })
     }
 
+    /// The connected site's full telemetry dump — counters, gauges and
+    /// latency histograms rendered as Prometheus-style text
+    /// ([`SiteWorker::metrics_text`]). This is what `homeo-load --metrics`
+    /// scrapes from a live daemon.
+    pub fn metrics(&mut self) -> std::io::Result<String> {
+        self.send(&Message::MetricsRequest)?;
+        self.expect_reply(|msg| match msg {
+            Message::MetricsReply { text } => Ok(text),
+            other => Err(other),
+        })
+    }
+
     /// The connected site's aggregate statistics.
     pub fn stats(&mut self) -> std::io::Result<ReplicatedStats> {
         self.send(&Message::StatsRequest)?;
@@ -658,6 +671,24 @@ impl TcpCluster {
         total
     }
 
+    /// Every live site's rendered telemetry dump (Prometheus-style text),
+    /// indexed by site id — `None` for a killed site. Scraped over a fresh
+    /// connection per site, exactly like [`TcpCluster::stats`].
+    pub fn metrics(&self) -> Vec<Option<String>> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(site, node)| {
+                node.as_ref().map(|_| {
+                    let mut client =
+                        TcpClient::connect_retry(self.spec.addrs[site], Duration::from_secs(5))
+                            .expect("metrics connection");
+                    client.metrics().expect("metrics reply")
+                })
+            })
+            .collect()
+    }
+
     /// Fail-stop kill of one site: the reactor stops, every connection
     /// closes, all volatile state (treaty metadata, in-flight rounds,
     /// queued clients) is gone. Only the WAL survives, exactly like the
@@ -791,6 +822,18 @@ pub struct TcpLoadReport {
     /// violation-vs-proactive negotiation split and the aggregate solver
     /// time behind the load's synchronization rounds.
     pub stats: ReplicatedStats,
+    /// Offered open-loop rate in operations per second (`0.0` = the run
+    /// was closed-loop).
+    pub rate: f64,
+    /// Client-observed request latency across every connection, in
+    /// microseconds per pipelined batch: closed loop measures from the
+    /// batch's send, open loop from its *scheduled* arrival (so queueing
+    /// under overload is charged to the request — no coordinated
+    /// omission).
+    pub latency: Histogram,
+    /// The same latency split per site (connection `i` drives site
+    /// `i % sites`).
+    pub site_latency: Vec<Histogram>,
 }
 
 /// Initial value each [`tcp_load`] counter is seeded with: small enough
@@ -817,11 +860,19 @@ pub struct LoadOptions {
     pub window: usize,
     /// Operations per `Submit` frame.
     pub batch: usize,
+    /// Open-loop offered load in operations per second aggregate across
+    /// all connections; `0.0` (the default) keeps the classic closed loop,
+    /// where every connection just keeps its pipelining window full. Under
+    /// open loop, batch arrivals follow a deterministic exponential
+    /// (Poisson) schedule per connection — seeded from `seed`, so the same
+    /// options replay the same arrival times — and latency is measured
+    /// from each batch's scheduled arrival.
+    pub rate: f64,
 }
 
 impl LoadOptions {
     /// The classic load shape: one connection per site, a window of
-    /// [`LOAD_WINDOW`] pipelined batches of 64.
+    /// [`LOAD_WINDOW`] pipelined batches of 64, closed loop.
     pub fn new(ops_per_site: usize, items: usize, seed: u64) -> LoadOptions {
         LoadOptions {
             ops_per_site,
@@ -830,8 +881,32 @@ impl LoadOptions {
             clients: 0,
             window: LOAD_WINDOW,
             batch: 64,
+            rate: 0.0,
         }
     }
+
+    /// Switches the driver to open-loop arrivals at `rate` operations per
+    /// second (aggregate across all connections).
+    pub fn open_loop(mut self, rate: f64) -> LoadOptions {
+        self.rate = rate;
+        self
+    }
+
+    /// Mean seconds between batch arrivals on one of `fanout` connections
+    /// under the open-loop rate; `0.0` when closed-loop.
+    fn batch_gap_secs(&self, fanout: usize) -> f64 {
+        if self.rate > 0.0 {
+            self.batch.max(1) as f64 * fanout as f64 / self.rate
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One exponential inter-arrival gap in seconds with the given mean, drawn
+/// from the connection's deterministic stream.
+fn exp_gap(rng: &mut DetRng, mean_secs: f64) -> f64 {
+    -(1.0 - rng.unit()).ln() * mean_secs
 }
 
 /// Default pipelining window of the load driver: enough outstanding
@@ -874,6 +949,15 @@ struct LoadConn {
     done: bool,
     retry_at: Option<Instant>,
     backoff: Duration,
+    /// Reference instant of each outstanding poll, in send order: the
+    /// batch's send under closed loop, its scheduled arrival under open
+    /// loop. Popped as the matching `PollReply` drains.
+    inflight: VecDeque<Instant>,
+    /// Client-observed latency of this connection's batches, micros.
+    hist: Histogram,
+    /// Open loop only: offset (seconds from load start) at which the next
+    /// batch is scheduled to arrive.
+    next_arrival: f64,
 }
 
 /// The epoll fan-out driver of [`tcp_load_opts`]: one thread multiplexes
@@ -894,10 +978,20 @@ struct FanoutDriver {
     dialing: usize,
     next_dial: usize,
     last_progress: Instant,
+    /// Mean seconds between batch arrivals per connection; `0.0` =
+    /// closed loop.
+    batch_gap_secs: f64,
+    /// The load's epoch: open-loop schedules are offsets from here.
+    started: Instant,
 }
 
 impl FanoutDriver {
-    fn new(conns: Vec<LoadConn>, opts: &LoadOptions) -> std::io::Result<FanoutDriver> {
+    fn new(
+        conns: Vec<LoadConn>,
+        opts: &LoadOptions,
+        started: Instant,
+    ) -> std::io::Result<FanoutDriver> {
+        let batch_gap_secs = opts.batch_gap_secs(conns.len());
         Ok(FanoutDriver {
             poller: Poller::new()?,
             conns,
@@ -911,12 +1005,14 @@ impl FanoutDriver {
             dialing: 0,
             next_dial: 0,
             last_progress: Instant::now(),
+            batch_gap_secs,
+            started,
         })
     }
 
-    /// Runs every connection to completion; returns
-    /// `(committed, synchronized)` totals.
-    fn run(mut self) -> std::io::Result<(u64, u64)> {
+    /// Runs every connection to completion; returns the connections with
+    /// their per-connection tallies and latency histograms.
+    fn run(mut self) -> std::io::Result<Vec<LoadConn>> {
         let total = self.conns.len();
         let mut events = Events::with_capacity(1024);
         while self.done_count < total {
@@ -935,7 +1031,7 @@ impl FanoutDriver {
                     }
                 }
             }
-            let timeout = self
+            let mut timeout = self
                 .conns
                 .iter()
                 .filter_map(|c| c.retry_at)
@@ -943,6 +1039,21 @@ impl FanoutDriver {
                 .map(|at| at.saturating_duration_since(Instant::now()))
                 .unwrap_or(Duration::from_millis(100))
                 .min(Duration::from_millis(100));
+            if self.batch_gap_secs > 0.0 {
+                // Open loop: also wake at the earliest scheduled batch
+                // arrival a connection could release.
+                let next_due = self
+                    .conns
+                    .iter()
+                    .filter(|c| {
+                        c.connected && !c.done && c.issued < c.quota && c.polls_out < self.window
+                    })
+                    .map(|c| self.started + Duration::from_secs_f64(c.next_arrival))
+                    .min();
+                if let Some(due) = next_due {
+                    timeout = timeout.min(due.saturating_duration_since(Instant::now()));
+                }
+            }
             self.poller.wait(&mut events, Some(timeout))?;
             if events.is_empty() && self.last_progress.elapsed() > LOAD_STALL_TIMEOUT {
                 return Err(std::io::Error::new(
@@ -959,10 +1070,22 @@ impl FanoutDriver {
                     self.on_readable(i)?;
                 }
             }
+            if self.batch_gap_secs > 0.0 {
+                // Open loop: release every batch whose scheduled arrival
+                // has passed, independent of socket events.
+                for i in 0..total {
+                    if self.conns[i].connected && !self.conns[i].done {
+                        let before = self.conns[i].polls_out;
+                        self.fill_window(i);
+                        if self.conns[i].polls_out > before {
+                            self.last_progress = Instant::now();
+                            self.flush(i)?;
+                        }
+                    }
+                }
+            }
         }
-        Ok(self.conns.iter().fold((0, 0), |(c, s), conn| {
-            (c + conn.committed, s + conn.synchronized)
-        }))
+        Ok(self.conns)
     }
 
     fn dial(&mut self, i: usize) {
@@ -1085,6 +1208,9 @@ impl FanoutDriver {
             };
             let conn = &mut self.conns[i];
             conn.polls_out -= 1;
+            if let Some(at) = conn.inflight.pop_front() {
+                conn.hist.record(at.elapsed().as_micros() as u64);
+            }
             conn.received += outcomes.len();
             for outcome in &outcomes {
                 if outcome.committed {
@@ -1116,6 +1242,20 @@ impl FanoutDriver {
             if conn.issued >= conn.quota || conn.polls_out >= self.window {
                 return;
             }
+            // Open-loop pacing: a batch is released only once its
+            // scheduled arrival has passed, and its latency reference is
+            // that schedule (not the actual send), so time spent waiting
+            // for a window slot under overload is charged to the request.
+            let reference = if self.batch_gap_secs > 0.0 {
+                let due = self.started + Duration::from_secs_f64(conn.next_arrival);
+                if Instant::now() < due {
+                    return;
+                }
+                conn.next_arrival += exp_gap(&mut conn.rng, self.batch_gap_secs);
+                due
+            } else {
+                Instant::now()
+            };
             let n = batch.min(conn.quota - conn.issued);
             self.ops.clear();
             self.ops.extend((0..n).map(|_| SiteOp::Order {
@@ -1131,6 +1271,7 @@ impl FanoutDriver {
             conn.out.push(poll);
             conn.issued += n;
             conn.polls_out += 1;
+            conn.inflight.push_back(reference);
         }
     }
 
@@ -1250,6 +1391,7 @@ pub fn tcp_load_opts(spec: &ClusterSpec, opts: &LoadOptions) -> std::io::Result<
         per_site[i % sites] += 1;
     }
     let mut seen = vec![0usize; sites];
+    let batch_gap_secs = opts.batch_gap_secs(fanout);
     let conns: Vec<LoadConn> = (0..fanout)
         .map(|i| {
             let site = i % sites;
@@ -1257,6 +1399,14 @@ pub fn tcp_load_opts(spec: &ClusterSpec, opts: &LoadOptions) -> std::io::Result<
             seen[site] += 1;
             let share = opts.ops_per_site / per_site[site]
                 + usize::from(pos < opts.ops_per_site % per_site[site]);
+            let mut rng = DetRng::seed_from(opts.seed ^ (i as u64).wrapping_mul(0x9E37));
+            // Under open loop every connection's first arrival is already
+            // exponential, so the fleet does not fire in lockstep at t=0.
+            let next_arrival = if batch_gap_secs > 0.0 {
+                exp_gap(&mut rng, batch_gap_secs)
+            } else {
+                0.0
+            };
             LoadConn {
                 addr: spec.addrs[site],
                 stream: None,
@@ -1264,7 +1414,7 @@ pub fn tcp_load_opts(spec: &ClusterSpec, opts: &LoadOptions) -> std::io::Result<
                 asm: FrameAssembler::new(),
                 out: WriteQueue::new(),
                 want_write: false,
-                rng: DetRng::seed_from(opts.seed ^ (i as u64).wrapping_mul(0x9E37)),
+                rng,
                 quota: share,
                 issued: 0,
                 polls_out: 0,
@@ -1274,12 +1424,24 @@ pub fn tcp_load_opts(spec: &ClusterSpec, opts: &LoadOptions) -> std::io::Result<
                 done: false,
                 retry_at: None,
                 backoff: BACKOFF_MIN,
+                inflight: VecDeque::new(),
+                hist: Histogram::new(),
+                next_arrival,
             }
         })
         .collect();
     let started = Instant::now();
-    let (committed, synchronized) = FanoutDriver::new(conns, opts)?.run()?;
+    let conns = FanoutDriver::new(conns, opts, started)?.run()?;
     let elapsed_secs = started.elapsed().as_secs_f64();
+    let (committed, synchronized) = conns.iter().fold((0, 0), |(c, s), conn| {
+        (c + conn.committed, s + conn.synchronized)
+    });
+    let mut latency = Histogram::new();
+    let mut site_latency = vec![Histogram::new(); sites];
+    for (i, conn) in conns.iter().enumerate() {
+        latency.merge(&conn.hist);
+        site_latency[i % sites].merge(&conn.hist);
+    }
     // Fold everything, then read every site's folded state and verify
     // conservation: agreement across sites, and the folded total equal to
     // the seeded total minus the committed decrements.
@@ -1321,6 +1483,9 @@ pub fn tcp_load_opts(spec: &ClusterSpec, opts: &LoadOptions) -> std::io::Result<
         final_total,
         conserved,
         stats,
+        rate: opts.rate,
+        latency,
+        site_latency,
     })
 }
 
@@ -1493,6 +1658,37 @@ mod tests {
         assert_eq!(report.clients, 24);
         assert_eq!(report.committed, 800);
         assert!(report.conserved, "conservation failed: {report:?}");
+        drop(nodes_cluster);
+    }
+
+    #[test]
+    fn an_open_loop_load_paces_arrivals_and_records_latency() {
+        let nodes_cluster = cluster(2);
+        let spec = ClusterSpec {
+            addrs: nodes_cluster.addrs().to_vec(),
+            mode: ReplicatedMode::EvenSplit,
+        };
+        // 600 ops offered at 20k ops/s: ~30ms of paced Poisson arrivals.
+        let report = tcp_load_opts(&spec, &LoadOptions::new(300, 8, 5).open_loop(20_000.0))
+            .expect("open-loop load");
+        assert_eq!(report.committed, 600);
+        assert!(report.conserved, "conservation failed: {report:?}");
+        assert_eq!(report.rate, 20_000.0);
+        assert!(
+            report.latency.count() > 0,
+            "open-loop batches must record latency"
+        );
+        assert!(report.latency.quantile(0.99) >= report.latency.quantile(0.50));
+        let per_site: u64 = report.site_latency.iter().map(|h| h.count()).sum();
+        assert_eq!(per_site, report.latency.count());
+        // The sites served the load, so a metrics scrape must show the
+        // reactor and worker instrumentation alive and non-zero.
+        for text in nodes_cluster.metrics() {
+            let text = text.expect("every site is up");
+            assert!(text.contains("homeo_reactor_frames_in_total"));
+            assert!(text.contains("homeo_submit_batch_ops_count"));
+            assert!(text.contains("homeo_local_commits_total"));
+        }
         drop(nodes_cluster);
     }
 

@@ -49,6 +49,12 @@ pub enum Control {
         /// Where to send the statistics.
         reply: Sender<ReplicatedStats>,
     },
+    /// Reply with the worker's rendered telemetry dump
+    /// ([`SiteWorker::metrics_text`]).
+    Metrics {
+        /// Where to send the text dump.
+        reply: Sender<String>,
+    },
     /// Exit the worker loop.
     Shutdown,
 }
@@ -210,6 +216,18 @@ impl ThreadedCluster {
         }
         total
     }
+
+    /// Every site's rendered telemetry dump (Prometheus-style text), in
+    /// site order.
+    pub fn metrics(&self) -> Vec<String> {
+        (0..self.engines.len())
+            .map(|site| {
+                let (tx, rx) = channel();
+                self.transport.control(site, Control::Metrics { reply: tx });
+                rx.recv().expect("site worker terminated")
+            })
+            .collect()
+    }
 }
 
 impl SiteRuntime for ThreadedCluster {
@@ -346,6 +364,9 @@ fn worker_loop(mut worker: SiteWorker, rx: Receiver<Input>, mut transport: Chann
                 }
                 Input::Control(Control::Stats { reply }) => {
                     let _ = reply.send(worker.stats);
+                }
+                Input::Control(Control::Metrics { reply }) => {
+                    let _ = reply.send(worker.metrics_text());
                 }
                 Input::Control(Control::Shutdown) => return,
             }

@@ -51,8 +51,9 @@ use homeo_protocol::{
     WorkloadHints,
 };
 use homeo_runtime::{shard_hash, OpOutcome, SiteOp};
-use homeo_sim::Timer;
+use homeo_sim::{Stopwatch, Timer};
 use homeo_store::{Engine, EngineError};
+use homeo_telemetry::{HistId, Registry};
 
 use crate::msg::{CounterMeta, Message, SyncKind};
 
@@ -79,6 +80,78 @@ struct ActiveRound {
     acks: BTreeSet<usize>,
     /// Filled at install time, reported with the final `SyncDone`.
     outcome: Option<(bool, u64, bool)>, // (refilled, solver_micros, folded)
+    /// Started when the round began (the delta-collection phase).
+    started: Stopwatch,
+    /// Started when the install broadcast went out (the ack-barrier phase).
+    install_started: Option<Stopwatch>,
+}
+
+/// Pre-registered [`Registry`] handles for the worker's own metrics: the
+/// synchronization round broken into its phases (delta collection, solver,
+/// install/ack barrier, whole round), split violation-driven vs proactive;
+/// the freeze window participants spend inside peer-coordinated rounds; and
+/// the client-batch size distribution.
+#[derive(Debug, Clone, Copy)]
+struct PhaseMetrics {
+    violation_collect: HistId,
+    violation_solve: HistId,
+    violation_install: HistId,
+    violation_round: HistId,
+    proactive_collect: HistId,
+    proactive_solve: HistId,
+    proactive_install: HistId,
+    proactive_round: HistId,
+    freeze: HistId,
+    batch_ops: HistId,
+}
+
+impl PhaseMetrics {
+    fn register(reg: &mut Registry) -> Self {
+        PhaseMetrics {
+            violation_collect: reg.histogram("homeo_sync_violation_collect_micros"),
+            violation_solve: reg.histogram("homeo_sync_violation_solve_micros"),
+            violation_install: reg.histogram("homeo_sync_violation_install_micros"),
+            violation_round: reg.histogram("homeo_sync_violation_round_micros"),
+            proactive_collect: reg.histogram("homeo_sync_proactive_collect_micros"),
+            proactive_solve: reg.histogram("homeo_sync_proactive_solve_micros"),
+            proactive_install: reg.histogram("homeo_sync_proactive_install_micros"),
+            proactive_round: reg.histogram("homeo_sync_proactive_round_micros"),
+            freeze: reg.histogram("homeo_sync_freeze_micros"),
+            batch_ops: reg.histogram("homeo_submit_batch_ops"),
+        }
+    }
+
+    fn collect(&self, proactive: bool) -> HistId {
+        if proactive {
+            self.proactive_collect
+        } else {
+            self.violation_collect
+        }
+    }
+
+    fn solve(&self, proactive: bool) -> HistId {
+        if proactive {
+            self.proactive_solve
+        } else {
+            self.violation_solve
+        }
+    }
+
+    fn install(&self, proactive: bool) -> HistId {
+        if proactive {
+            self.proactive_install
+        } else {
+            self.violation_install
+        }
+    }
+
+    fn round(&self, proactive: bool) -> HistId {
+        if proactive {
+            self.proactive_round
+        } else {
+            self.violation_round
+        }
+    }
 }
 
 /// A sync request queued behind the counter's active round.
@@ -140,6 +213,16 @@ pub struct SiteWorker {
     /// Aggregate statistics (local commits, synchronizations this site
     /// coordinated, negotiations this site ran).
     pub stats: ReplicatedStats,
+    /// Per-site telemetry: sync-phase latency histograms and batch sizes
+    /// live here, and the owning transport (the epoll reactor) registers its
+    /// frame/byte metrics into the same registry so one `MetricsRequest`
+    /// answers for the whole site.
+    pub metrics: Registry,
+    /// Handles into `metrics` for the worker's own families.
+    phase_ids: PhaseMetrics,
+    /// Participant-side freeze stopwatches (`DeltaRequest` → `Install`),
+    /// kept beside `frozen` so the freeze map itself stays untouched.
+    freeze_started: BTreeMap<ObjId, Stopwatch>,
 }
 
 impl SiteWorker {
@@ -155,6 +238,8 @@ impl SiteWorker {
         assert!(site < sites);
         assert_eq!(hints.site_weights.len(), sites);
         let adaptive_hints = hints.clone();
+        let mut metrics = Registry::new();
+        let phase_ids = PhaseMetrics::register(&mut metrics);
         SiteWorker {
             site,
             sites,
@@ -180,6 +265,9 @@ impl SiteWorker {
             recovering: false,
             recovery_backlog: VecDeque::new(),
             stats: ReplicatedStats::default(),
+            metrics,
+            phase_ids,
+            freeze_started: BTreeMap::new(),
         }
     }
 
@@ -275,8 +363,35 @@ impl SiteWorker {
     /// the first stalled operation (frozen counter or in-flight sync)
     /// leaves the rest queued, exactly as per-operation submission would.
     pub fn submit_batch(&mut self, ops: impl IntoIterator<Item = SiteOp>, out: &mut Outbox) {
+        let before = self.queue.len();
         self.queue.extend(ops);
+        let added = (self.queue.len() - before) as u64;
+        self.metrics.observe(self.phase_ids.batch_ops, added);
         self.pump(out);
+    }
+
+    /// Renders the site's full telemetry dump (the `MetricsReply` payload):
+    /// the registry — phase histograms, batch sizes, plus whatever the
+    /// owning transport registered — followed by counter lines derived from
+    /// the aggregate [`ReplicatedStats`], which stay the single source of
+    /// truth so no hot path counts anything twice.
+    pub fn metrics_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut text = self.metrics.render();
+        for (name, value) in [
+            ("homeo_local_commits_total", self.stats.local_commits),
+            ("homeo_synchronizations_total", self.stats.synchronizations),
+            ("homeo_negotiations_total", self.stats.negotiations),
+            (
+                "homeo_proactive_negotiations_total",
+                self.stats.proactive_negotiations,
+            ),
+            ("homeo_solver_micros_total", self.stats.solver_micros_total),
+        ] {
+            let _ = writeln!(text, "# TYPE {name} counter");
+            let _ = writeln!(text, "{name} {value}");
+        }
+        text
     }
 
     /// Starts a fold of every registered counter (the message-passing form
@@ -354,6 +469,7 @@ impl SiteWorker {
                 // be overwritten by the same coordinator's next round,
                 // which the ack barrier orders after our install.
                 self.frozen.insert(obj.clone(), sync);
+                self.freeze_started.insert(obj.clone(), self.timer.start());
                 out.push((from, Message::DeltaReply { sync, obj, delta }));
             }
             Message::DeltaReply { sync, obj, delta } => {
@@ -377,6 +493,10 @@ impl SiteWorker {
                     self.install_counter(meta);
                 }
                 self.frozen.remove(&obj);
+                if let Some(sw) = self.freeze_started.remove(&obj) {
+                    self.metrics
+                        .observe(self.phase_ids.freeze, sw.elapsed_micros());
+                }
                 // Any completed round refreshes the treaty, so a pending
                 // proactive request for this counter is no longer stale.
                 self.proactive_inflight.remove(&obj);
@@ -439,7 +559,9 @@ impl SiteWorker {
             | Message::SyncAllRequest
             | Message::SyncAllReply { .. }
             | Message::StatsRequest
-            | Message::StatsReply { .. } => {
+            | Message::StatsReply { .. }
+            | Message::MetricsRequest
+            | Message::MetricsReply { .. } => {
                 // Connection-layer and client-side messages. The TCP node
                 // loop answers these itself (poll and full-sync completion
                 // span scheduling rounds, which a per-frame state machine
@@ -464,6 +586,7 @@ impl SiteWorker {
         self.engine = engine;
         self.counters.clear();
         self.frozen.clear();
+        self.freeze_started.clear();
         self.active.clear();
         self.backlog.clear();
         self.proactive_inflight.clear();
@@ -766,6 +889,8 @@ impl SiteWorker {
                 deltas,
                 acks: BTreeSet::new(),
                 outcome: None,
+                started: self.timer.start(),
+                install_started: None,
             },
         );
         if self.sites == 1 {
@@ -788,6 +913,15 @@ impl SiteWorker {
     /// All deltas are in: execute the request on the folded value,
     /// renegotiate, install locally and broadcast the install.
     fn finish_collect(&mut self, obj: &ObjId, out: &mut Outbox) {
+        let (collect_micros, proactive) = {
+            let round = self.active.get(obj).expect("round active");
+            (
+                round.started.elapsed_micros(),
+                matches!(round.kind, SyncKind::Proactive),
+            )
+        };
+        self.metrics
+            .observe(self.phase_ids.collect(proactive), collect_micros);
         if let Some(adaptive) = self.tuning.adaptive {
             // Fold the round's observed consumption (decrements only) into
             // the per-site demand EWMA before negotiating, so the new split
@@ -830,7 +964,6 @@ impl SiteWorker {
             ),
         };
         let folded = renegotiate;
-        let proactive = matches!(round.kind, SyncKind::Proactive);
         let (allowances, solver_micros) = if renegotiate {
             self.stats.negotiations += 1;
             if proactive {
@@ -856,6 +989,10 @@ impl SiteWorker {
             (meta.allowances.clone(), 0)
         };
         self.stats.solver_micros_total += solver_micros;
+        if renegotiate {
+            self.metrics
+                .observe(self.phase_ids.solve(proactive), solver_micros);
+        }
         self.proactive_inflight.remove(obj);
         let install_meta = CounterMeta {
             obj: obj.clone(),
@@ -870,8 +1007,10 @@ impl SiteWorker {
             self.install_counter(install_meta.clone());
         }
         self.frozen.remove(obj);
+        let install_started = self.timer.start();
         let round = self.active.get_mut(obj).expect("round active");
         round.outcome = Some((refilled, solver_micros, folded));
+        round.install_started = Some(install_started);
         let sync = round.sync;
         if self.sites == 1 {
             self.complete_round(obj, out);
@@ -897,6 +1036,15 @@ impl SiteWorker {
         let round = self.active.remove(obj).expect("round active");
         let (refilled, solver_micros, folded) =
             round.outcome.expect("round completed its install phase");
+        let proactive = matches!(round.kind, SyncKind::Proactive);
+        if let Some(sw) = &round.install_started {
+            self.metrics
+                .observe(self.phase_ids.install(proactive), sw.elapsed_micros());
+        }
+        self.metrics.observe(
+            self.phase_ids.round(proactive),
+            round.started.elapsed_micros(),
+        );
         if folded {
             self.stats.synchronizations += 1;
         }

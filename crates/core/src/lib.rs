@@ -49,6 +49,10 @@ pub use homeo_store as store;
 /// The deterministic discrete-event simulator substrate.
 pub use homeo_sim as sim;
 
+/// The observability layer: histograms, the metrics registry and the
+/// injectable elapsed-time seam.
+pub use homeo_telemetry as telemetry;
+
 /// The homeostasis protocol itself (Sections 3–5).
 pub use homeo_protocol as protocol;
 

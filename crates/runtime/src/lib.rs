@@ -43,6 +43,7 @@
 
 pub mod drive;
 pub mod general;
+pub mod openloop;
 pub mod replicated;
 
 use serde::{Deserialize, Serialize};
@@ -52,6 +53,7 @@ use homeo_store::Engine;
 
 pub use drive::{drive, WorkloadDriver};
 pub use general::GeneralRuntime;
+pub use openloop::{drive_open_loop, OpenLoopConfig, OpenLoopReport};
 pub use replicated::ReplicatedRuntime;
 
 /// One operation submitted to a site's inbox.

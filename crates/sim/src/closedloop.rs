@@ -333,7 +333,7 @@ mod tests {
         assert!((solver_ms - 40.0).abs() < 1.0);
         assert!((comm_ms - 200.0).abs() < 1.0);
         // The latency profile is bimodal: p50 small, p99+ large.
-        let mut lat = metrics.latency.clone();
+        let lat = &metrics.latency;
         assert!(lat.percentile_ms(50.0) < 10.0);
         assert!(lat.percentile_ms(99.5) > 100.0);
     }
@@ -359,8 +359,8 @@ mod tests {
             cores_per_replica: 16,
             ..quick_config()
         };
-        let mut a = run_with(&undersubscribed, exec);
-        let mut b = run_with(&oversubscribed, exec);
+        let a = run_with(&undersubscribed, exec);
+        let b = run_with(&oversubscribed, exec);
         // Per-client latency rises under oversubscription...
         assert!(b.latency.percentile_ms(50.0) > a.latency.percentile_ms(50.0));
         // ...so per-replica throughput stops scaling linearly (plateau).

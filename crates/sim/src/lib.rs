@@ -42,4 +42,4 @@ pub use events::EventQueue;
 pub use net::{RttMatrix, TABLE1_RTT_MS};
 pub use rng::DetRng;
 pub use stats::{LatencyStats, SyncCounter};
-pub use timing::Timer;
+pub use timing::{Stopwatch, Timer};

@@ -5,106 +5,20 @@
 //! per-replica throughput (Figures 11, 14, 17, 20, 22, 25, 28) and the
 //! synchronization ratio — the fraction of transactions that required
 //! inter-site communication (Figures 12, 15, 18, 26, 29).
+//!
+//! The latency recorder ([`LatencyStats`]) is the telemetry crate's
+//! log-bucketed histogram (one histogram implementation in the workspace);
+//! it is re-exported here because simulated latencies are [`SimTime`]
+//! microseconds and every consumer historically reached it through
+//! `homeo_sim::stats`.
+//!
+//! [`SimTime`]: crate::clock::SimTime
 
 use serde::{Deserialize, Serialize};
 
-use crate::clock::{as_millis_f64, as_secs_f64, SimTime};
+use crate::clock::{as_secs_f64, SimTime};
 
-/// A collection of latency samples with percentile and CDF queries.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
-pub struct LatencyStats {
-    samples: Vec<SimTime>,
-    sorted: bool,
-}
-
-impl LatencyStats {
-    /// Creates an empty recorder.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Records one latency sample.
-    pub fn record(&mut self, latency: SimTime) {
-        self.samples.push(latency);
-        self.sorted = false;
-    }
-
-    /// Number of samples.
-    pub fn len(&self) -> usize {
-        self.samples.len()
-    }
-
-    /// True when no samples were recorded.
-    pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
-    }
-
-    fn ensure_sorted(&mut self) {
-        if !self.sorted {
-            self.samples.sort_unstable();
-            self.sorted = true;
-        }
-    }
-
-    /// The `p`-th percentile (0.0..=100.0) in simulated microseconds.
-    pub fn percentile(&mut self, p: f64) -> SimTime {
-        if self.samples.is_empty() {
-            return 0;
-        }
-        self.ensure_sorted();
-        let rank = (p / 100.0 * (self.samples.len() - 1) as f64).round() as usize;
-        self.samples[rank.min(self.samples.len() - 1)]
-    }
-
-    /// The `p`-th percentile in milliseconds.
-    pub fn percentile_ms(&mut self, p: f64) -> f64 {
-        as_millis_f64(self.percentile(p))
-    }
-
-    /// Mean latency in milliseconds.
-    pub fn mean_ms(&self) -> f64 {
-        if self.samples.is_empty() {
-            return 0.0;
-        }
-        let total: u128 = self.samples.iter().map(|s| *s as u128).sum();
-        as_millis_f64((total / self.samples.len() as u128) as SimTime)
-    }
-
-    /// Maximum latency in milliseconds.
-    pub fn max_ms(&self) -> f64 {
-        as_millis_f64(self.samples.iter().copied().max().unwrap_or(0))
-    }
-
-    /// The latency profile at the given percentiles (the x-axis used by the
-    /// paper's latency figures).
-    pub fn profile_ms(&mut self, percentiles: &[f64]) -> Vec<(f64, f64)> {
-        percentiles
-            .iter()
-            .map(|p| (*p, self.percentile_ms(*p)))
-            .collect()
-    }
-
-    /// The empirical CDF evaluated at the given latencies (in milliseconds):
-    /// returns `(latency_ms, fraction of samples ≤ latency)` pairs
-    /// (Figure 27's axes).
-    pub fn cdf_at_ms(&mut self, points_ms: &[f64]) -> Vec<(f64, f64)> {
-        self.ensure_sorted();
-        points_ms
-            .iter()
-            .map(|p| {
-                let limit = (*p * 1_000.0) as SimTime;
-                let count = self.samples.partition_point(|s| *s <= limit);
-                (*p, count as f64 / self.samples.len().max(1) as f64)
-            })
-            .collect()
-    }
-
-    /// Merges another recorder into this one.
-    pub fn merge(&mut self, other: &LatencyStats) {
-        self.samples.extend_from_slice(&other.samples);
-        self.sorted = false;
-    }
-}
+pub use homeo_telemetry::LatencyStats;
 
 /// Counts transactions and how many of them required synchronization, plus
 /// commit/abort bookkeeping.
@@ -183,57 +97,11 @@ mod tests {
         }
         assert_eq!(stats.percentile(0.0), millis(1));
         assert_eq!(stats.percentile(100.0), millis(100));
+        // The histogram reports a bucket upper bound: within 1/16 above.
         let p50 = stats.percentile_ms(50.0);
-        assert!((49.0..=51.0).contains(&p50), "p50={p50}");
+        assert!((49.0..=54.0).contains(&p50), "p50={p50}");
         let p97 = stats.percentile_ms(97.0);
-        assert!((96.0..=98.0).contains(&p97), "p97={p97}");
-    }
-
-    #[test]
-    fn empty_stats_are_zero() {
-        let mut stats = LatencyStats::new();
-        assert_eq!(stats.percentile(50.0), 0);
-        assert_eq!(stats.mean_ms(), 0.0);
-        assert!(stats.is_empty());
-    }
-
-    #[test]
-    fn mean_and_max() {
-        let mut stats = LatencyStats::new();
-        stats.record(millis(2));
-        stats.record(millis(4));
-        stats.record(millis(6));
-        assert!((stats.mean_ms() - 4.0).abs() < 1e-9);
-        assert!((stats.max_ms() - 6.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn cdf_matches_the_sample_distribution() {
-        let mut stats = LatencyStats::new();
-        // 90 fast (2 ms), 10 slow (200 ms) — the bimodal shape homeostasis
-        // latencies have.
-        for _ in 0..90 {
-            stats.record(millis(2));
-        }
-        for _ in 0..10 {
-            stats.record(millis(200));
-        }
-        let cdf = stats.cdf_at_ms(&[1.0, 10.0, 500.0]);
-        assert!((cdf[0].1 - 0.0).abs() < 1e-9);
-        assert!((cdf[1].1 - 0.9).abs() < 1e-9);
-        assert!((cdf[2].1 - 1.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn profile_is_monotone() {
-        let mut stats = LatencyStats::new();
-        for i in 0..1000u64 {
-            stats.record(i * 37 % 5000);
-        }
-        let profile = stats.profile_ms(&[10.0, 50.0, 90.0, 99.0]);
-        for w in profile.windows(2) {
-            assert!(w[0].1 <= w[1].1);
-        }
+        assert!((96.0..=104.0).contains(&p97), "p97={p97}");
     }
 
     #[test]

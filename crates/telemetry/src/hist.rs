@@ -1,0 +1,445 @@
+//! Mergeable log-bucketed latency histograms.
+//!
+//! [`Histogram`] is the workspace's one histogram implementation: a fixed
+//! array of HDR-style log-linear buckets over `u64` values (microseconds by
+//! convention). Values below 16 are exact; above that each power of two is
+//! split into 16 linear sub-buckets, so a recorded value lands in a bucket
+//! whose width is at most 1/16 of its lower bound (≤ 6.25 % relative
+//! quantile error). Values at or above 2^40 (≈ 12.7 days in microseconds)
+//! saturate into the top bucket.
+//!
+//! The record path is a leading-zero count plus one slice index — no
+//! allocation, no sorting, no sampling. Merging adds bucket arrays
+//! element-wise, which is associative and commutative, so per-connection
+//! and per-site instances aggregate exactly in any order.
+//!
+//! [`LatencyStats`] is the microsecond-domain view the paper's figures use
+//! (percentile profiles, CDFs, mean/max in milliseconds), kept as a thin
+//! wrapper so the simulator and workload crates did not have to change
+//! shape when their sample-vector implementation was deleted.
+
+use serde::{Deserialize, Serialize};
+
+/// Linear sub-buckets per power of two, as a bit count (16 sub-buckets).
+const SUB_BITS: u32 = 4;
+/// Linear sub-buckets per power of two.
+const SUB_COUNT: usize = 1 << SUB_BITS;
+/// Exponent at which values saturate into the top bucket.
+const MAX_EXP: u32 = 40;
+/// Total bucket count: 16 exact buckets below 16, then 16 per power of two.
+const BUCKETS: usize = ((MAX_EXP - SUB_BITS) as usize + 1) * SUB_COUNT;
+
+/// The bucket a value lands in.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_COUNT as u64 {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros();
+    if exp >= MAX_EXP {
+        return BUCKETS - 1;
+    }
+    let sub = ((v >> (exp - SUB_BITS)) & (SUB_COUNT as u64 - 1)) as usize;
+    ((exp - SUB_BITS) as usize) * SUB_COUNT + SUB_COUNT + sub
+}
+
+/// The inclusive `(lower, upper)` value range of a bucket.
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i < SUB_COUNT {
+        return (i as u64, i as u64);
+    }
+    let exp = SUB_BITS + ((i - SUB_COUNT) / SUB_COUNT) as u32;
+    let sub = ((i - SUB_COUNT) % SUB_COUNT) as u64;
+    let width = 1u64 << (exp - SUB_BITS);
+    let lower = (SUB_COUNT as u64 + sub) * width;
+    (lower, lower + width - 1)
+}
+
+/// A fixed-size log-bucketed histogram of `u64` values (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value. Allocation-free (a deserialized histogram with a
+    /// foreign bucket layout is re-sized once, defensively).
+    pub fn record(&mut self, v: u64) {
+        if self.buckets.len() != BUCKETS {
+            self.buckets.resize(BUCKETS, 0);
+        }
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` (0.0..=1.0): the upper bound of the bucket
+    /// holding the `ceil(q·count)`-th smallest sample, clamped to the
+    /// observed min/max (so `quantile(0.0)` is the exact minimum and
+    /// `quantile(1.0)` the exact maximum). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q <= 0.0 {
+            return self.min();
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                let (_, upper) = bucket_bounds(i);
+                return upper.min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// The fraction of recorded values ≤ `x` (0.0 when empty). Exact at and
+    /// beyond the observed extremes; linearly interpolated inside the
+    /// bucket `x` falls into.
+    pub fn fraction_le(&self, x: u64) -> f64 {
+        if self.count == 0 || x < self.min {
+            return 0.0;
+        }
+        if x >= self.max {
+            return 1.0;
+        }
+        let cut = bucket_index(x);
+        let mut below = 0u64;
+        for n in &self.buckets[..cut] {
+            below += n;
+        }
+        let (lower, upper) = bucket_bounds(cut);
+        let inside = self.buckets[cut] as f64 * (x - lower + 1) as f64 / (upper - lower + 1) as f64;
+        ((below as f64 + inside) / self.count as f64).min(1.0)
+    }
+
+    /// Merges `other` into `self` (element-wise bucket addition; associative
+    /// and commutative).
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.buckets.len() != BUCKETS {
+            self.buckets.resize(BUCKETS, 0);
+        }
+        for (i, n) in other.buckets.iter().enumerate().take(BUCKETS) {
+            self.buckets[i] += n;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A collection of latency samples (microseconds) with percentile and CDF
+/// queries, backed by [`Histogram`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencyStats {
+    hist: Histogram,
+}
+
+impl LatencyStats {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample in microseconds.
+    pub fn record(&mut self, latency: u64) {
+        self.hist.record(latency);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.hist.count() as usize
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.hist.is_empty()
+    }
+
+    /// The underlying histogram (for merging with wire-level telemetry).
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
+    }
+
+    /// The `p`-th percentile (0.0..=100.0) in microseconds.
+    pub fn percentile(&self, p: f64) -> u64 {
+        self.hist.quantile(p / 100.0)
+    }
+
+    /// The `p`-th percentile in milliseconds.
+    pub fn percentile_ms(&self, p: f64) -> f64 {
+        self.percentile(p) as f64 / 1_000.0
+    }
+
+    /// Mean latency in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        self.hist.mean() / 1_000.0
+    }
+
+    /// Maximum latency in milliseconds.
+    pub fn max_ms(&self) -> f64 {
+        self.hist.max() as f64 / 1_000.0
+    }
+
+    /// The latency profile at the given percentiles (the x-axis used by the
+    /// paper's latency figures).
+    pub fn profile_ms(&self, percentiles: &[f64]) -> Vec<(f64, f64)> {
+        percentiles
+            .iter()
+            .map(|p| (*p, self.percentile_ms(*p)))
+            .collect()
+    }
+
+    /// The empirical CDF evaluated at the given latencies (in milliseconds):
+    /// returns `(latency_ms, fraction of samples ≤ latency)` pairs
+    /// (Figure 27's axes).
+    pub fn cdf_at_ms(&self, points_ms: &[f64]) -> Vec<(f64, f64)> {
+        points_ms
+            .iter()
+            .map(|p| (*p, self.hist.fraction_le((*p * 1_000.0) as u64)))
+            .collect()
+    }
+
+    /// Merges another recorder into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.hist.merge(&other.hist);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn millis(ms: u64) -> u64 {
+        ms * 1_000
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        for v in 0..16u64 {
+            assert_eq!(bucket_bounds(bucket_index(v)), (v, v));
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+    }
+
+    #[test]
+    fn bucket_bounds_invert_bucket_index() {
+        // Every bucket's bounds map back to the bucket, and the bucket
+        // width never exceeds 1/16 of its lower bound.
+        for i in 0..BUCKETS {
+            let (lower, upper) = bucket_bounds(i);
+            assert_eq!(bucket_index(lower), i, "lower bound of bucket {i}");
+            if i < BUCKETS - 1 {
+                assert_eq!(bucket_index(upper), i, "upper bound of bucket {i}");
+                let next = bucket_bounds(i + 1).0;
+                assert_eq!(upper + 1, next, "buckets {i} and {} contiguous", i + 1);
+            }
+            if lower >= 16 {
+                assert!(
+                    (upper - lower + 1) * 16 <= lower + 16,
+                    "bucket {i} too wide"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn absurd_values_saturate_into_the_top_bucket() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(1 << 60);
+        h.record(1 << MAX_EXP);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_index(1 << MAX_EXP), BUCKETS - 1);
+        assert_eq!(h.count(), 3);
+        // The exact max survives saturation; mid-quantiles report the cap.
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert!(h.quantile(0.5) >= bucket_bounds(BUCKETS - 1).0);
+    }
+
+    #[test]
+    fn quantiles_track_exact_values_within_bucket_error() {
+        let mut h = Histogram::new();
+        let mut exact: Vec<u64> = Vec::new();
+        // A deterministic long-tailed stream.
+        let mut x = 0x2545F4914F6CDD1Du64;
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let v = (x % 1_000) * (x % 97) + 1;
+            h.record(v);
+            exact.push(v);
+        }
+        exact.sort_unstable();
+        for q in [0.1, 0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * exact.len() as f64).ceil() as usize).clamp(1, exact.len()) - 1;
+            let truth = exact[rank] as f64;
+            let approx = h.quantile(q) as f64;
+            assert!(
+                approx >= truth && approx <= truth * (1.0 + 1.0 / 16.0) + 1.0,
+                "q={q}: approx={approx} truth={truth}"
+            );
+        }
+        assert_eq!(h.quantile(0.0), exact[0]);
+        assert_eq!(h.quantile(1.0), *exact.last().unwrap());
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mut parts: Vec<Histogram> = Vec::new();
+        for seed in 1..=3u64 {
+            let mut h = Histogram::new();
+            let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15);
+            for _ in 0..500 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                h.record(x % 1_000_000);
+            }
+            parts.push(h);
+        }
+        // (a ⊕ b) ⊕ c
+        let mut left = parts[0].clone();
+        left.merge(&parts[1]);
+        left.merge(&parts[2]);
+        // c ⊕ (b ⊕ a)
+        let mut inner = parts[1].clone();
+        inner.merge(&parts[0]);
+        let mut right = parts[2].clone();
+        right.merge(&inner);
+        assert_eq!(left, right);
+        assert_eq!(left.count(), 1500);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let stats = LatencyStats::new();
+        assert_eq!(stats.percentile(50.0), 0);
+        assert_eq!(stats.mean_ms(), 0.0);
+        assert!(stats.is_empty());
+    }
+
+    #[test]
+    fn mean_and_max() {
+        let mut stats = LatencyStats::new();
+        stats.record(millis(2));
+        stats.record(millis(4));
+        stats.record(millis(6));
+        assert!((stats.mean_ms() - 4.0).abs() < 1e-9);
+        assert!((stats.max_ms() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_matches_the_sample_distribution() {
+        let mut stats = LatencyStats::new();
+        // 90 fast (2 ms), 10 slow (200 ms) — the bimodal shape homeostasis
+        // latencies have.
+        for _ in 0..90 {
+            stats.record(millis(2));
+        }
+        for _ in 0..10 {
+            stats.record(millis(200));
+        }
+        let cdf = stats.cdf_at_ms(&[1.0, 10.0, 500.0]);
+        assert!((cdf[0].1 - 0.0).abs() < 1e-9);
+        assert!((cdf[1].1 - 0.9).abs() < 1e-9);
+        assert!((cdf[2].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profile_is_monotone() {
+        let mut stats = LatencyStats::new();
+        for i in 0..1000u64 {
+            stats.record(i * 37 % 5000);
+        }
+        let profile = stats.profile_ms(&[10.0, 50.0, 90.0, 99.0]);
+        for w in profile.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn merge_combines_latency_recorders() {
+        let mut a = LatencyStats::new();
+        a.record(millis(1));
+        let mut b = LatencyStats::new();
+        b.record(millis(3));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert!((a.max_ms() - 3.0).abs() < 1e-9);
+    }
+}

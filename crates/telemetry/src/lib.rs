@@ -1,0 +1,37 @@
+//! # homeo-telemetry
+//!
+//! The workspace's observability layer: everything the protocol, the
+//! cluster data plane and the load drivers record about themselves.
+//!
+//! The crate sits at the *bottom* of the dependency graph (its only
+//! dependency is the serde shim) so every layer — the simulator, the
+//! runtime, the cluster backends, the bench suite — can share one
+//! histogram implementation and one registry format:
+//!
+//! * [`Histogram`] — a mergeable, fixed-size log-bucketed HDR-style
+//!   latency histogram: exact below 16, ≤ 1/16 relative bucket error
+//!   above, element-wise-additive merge (associative and commutative, so
+//!   per-connection and per-site instances aggregate exactly), and
+//!   saturation into the top bucket for absurd values;
+//! * [`LatencyStats`] — the microsecond-domain view the paper's figures
+//!   use (percentile profiles, CDFs, mean/max in milliseconds), now a thin
+//!   wrapper over [`Histogram`] instead of a second implementation;
+//! * [`Registry`] — named counters, gauges and histograms behind
+//!   index-typed handles; registration allocates, the record path is a
+//!   bare slice index. [`Registry::render`] produces the Prometheus-style
+//!   text dump the cluster's `MetricsRequest` wire message answers with;
+//! * [`Timer`] / [`Stopwatch`] — the injectable elapsed-time seam. It
+//!   lives here (re-exported by `homeo-sim` for compatibility) so phase
+//!   timers recorded into histograms stay value-deterministic under
+//!   [`Timer::Fixed`], exactly like the solver measurements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod registry;
+pub mod timing;
+
+pub use hist::{Histogram, LatencyStats};
+pub use registry::{CounterId, GaugeId, HistId, Registry};
+pub use timing::{Stopwatch, Timer};

@@ -1,0 +1,195 @@
+//! A per-site metrics registry with index-typed handles.
+//!
+//! Registration (`counter` / `gauge` / `histogram`) interns a name and
+//! returns a copyable id; the record path (`add` / `set` / `observe`) is a
+//! bare slice index with no allocation, hashing or locking. The registry is
+//! single-owner by design — each site's event loop owns one and records
+//! into it from its own thread; cross-site aggregation happens by merging
+//! the rendered values (or [`crate::Histogram`]s) client-side.
+//!
+//! [`Registry::render`] emits a Prometheus-style text dump: counters and
+//! gauges as `name value` lines, histograms as `_count`/`_sum`/`_min`/
+//! `_max` plus `_p50`/`_p90`/`_p99`/`_p999` quantile lines, each family
+//! preceded by a `# TYPE` comment. This is the payload of the cluster's
+//! `MetricsReply` wire message.
+
+use std::fmt::Write as _;
+
+use crate::hist::Histogram;
+
+/// Handle to a registered monotonic counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistId(usize);
+
+/// A named collection of counters, gauges and histograms (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, i64)>,
+    hists: Vec<(String, Histogram)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or finds) a monotonic counter by name.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        if let Some(i) = self.counters.iter().position(|(n, _)| n == name) {
+            return CounterId(i);
+        }
+        self.counters.push((name.to_string(), 0));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Registers (or finds) a gauge by name.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        if let Some(i) = self.gauges.iter().position(|(n, _)| n == name) {
+            return GaugeId(i);
+        }
+        self.gauges.push((name.to_string(), 0));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Registers (or finds) a histogram by name.
+    pub fn histogram(&mut self, name: &str) -> HistId {
+        if let Some(i) = self.hists.iter().position(|(n, _)| n == name) {
+            return HistId(i);
+        }
+        self.hists.push((name.to_string(), Histogram::new()));
+        HistId(self.hists.len() - 1)
+    }
+
+    /// Increments a counter.
+    pub fn add(&mut self, id: CounterId, by: u64) {
+        self.counters[id.0].1 += by;
+    }
+
+    /// Increments a counter by one.
+    pub fn inc(&mut self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Sets a gauge to an absolute value.
+    pub fn set(&mut self, id: GaugeId, value: i64) {
+        self.gauges[id.0].1 = value;
+    }
+
+    /// Records one histogram observation.
+    pub fn observe(&mut self, id: HistId, value: u64) {
+        self.hists[id.0].1.record(value);
+    }
+
+    /// A counter's current value, by name (tests and CI checks).
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// A gauge's current value, by name.
+    pub fn gauge_value(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// A histogram, by name.
+    pub fn histogram_by_name(&self, name: &str) -> Option<&Histogram> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// A histogram, by handle.
+    pub fn histogram_at(&self, id: HistId) -> &Histogram {
+        &self.hists[id.0].1
+    }
+
+    /// Renders the registry as a Prometheus-style text dump (module docs).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, hist) in &self.hists {
+            let _ = writeln!(out, "# TYPE {name} summary");
+            let _ = writeln!(out, "{name}_count {}", hist.count());
+            let _ = writeln!(out, "{name}_sum {}", hist.sum());
+            let _ = writeln!(out, "{name}_min {}", hist.min());
+            let _ = writeln!(out, "{name}_max {}", hist.max());
+            for (label, q) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99), ("p999", 0.999)] {
+                let _ = writeln!(out, "{name}_{label} {}", hist.quantile(q));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_by_name() {
+        let mut reg = Registry::new();
+        let a = reg.counter("frames_in_total");
+        let b = reg.counter("frames_in_total");
+        assert_eq!(a, b);
+        reg.add(a, 2);
+        reg.inc(b);
+        assert_eq!(reg.counter_value("frames_in_total"), Some(3));
+    }
+
+    #[test]
+    fn gauges_hold_the_last_set_value() {
+        let mut reg = Registry::new();
+        let g = reg.gauge("write_queue_bytes");
+        reg.set(g, 4096);
+        reg.set(g, 128);
+        assert_eq!(reg.gauge_value("write_queue_bytes"), Some(128));
+    }
+
+    #[test]
+    fn render_emits_every_metric_family() {
+        let mut reg = Registry::new();
+        let c = reg.counter("frames_in_total");
+        let g = reg.gauge("queue_bytes");
+        let h = reg.histogram("latency_micros");
+        reg.add(c, 7);
+        reg.set(g, -3);
+        for v in [100u64, 200, 300] {
+            reg.observe(h, v);
+        }
+        let text = reg.render();
+        assert!(text.contains("# TYPE frames_in_total counter"));
+        assert!(text.contains("frames_in_total 7"));
+        assert!(text.contains("queue_bytes -3"));
+        assert!(text.contains("latency_micros_count 3"));
+        assert!(text.contains("latency_micros_sum 600"));
+        assert!(text.contains("latency_micros_min 100"));
+        assert!(text.contains("latency_micros_max 300"));
+        assert!(text.contains("latency_micros_p50 "));
+        assert!(text.contains("latency_micros_p999 "));
+    }
+
+    #[test]
+    fn unknown_names_resolve_to_none() {
+        let reg = Registry::new();
+        assert_eq!(reg.counter_value("nope"), None);
+        assert_eq!(reg.gauge_value("nope"), None);
+        assert!(reg.histogram_by_name("nope").is_none());
+    }
+}

@@ -1,0 +1,125 @@
+//! Injectable wall-clock measurement.
+//!
+//! The paper's throughput figures fold measured solver time into simulated
+//! latency, so the protocol layers need to time real work — but seeded test
+//! runs must be byte-for-byte reproducible. [`Timer`] is the seam: production
+//! paths use [`Timer::Wall`] (a monotonic clock), tests use
+//! [`Timer::Fixed`], which charges a constant duration to every measured
+//! section regardless of how long it actually took.
+//!
+//! [`Timer::measure`] covers sections that fit in one closure;
+//! [`Stopwatch`] (from [`Timer::start`]) covers phases that span several
+//! calls — a synchronization round's delta collection or install barrier
+//! stretches across many message deliveries, and each phase boundary just
+//! reads the stopwatch. A stopwatch made from a fixed timer reports the
+//! constant, so histograms fed from phase timers stay value-deterministic
+//! in seeded runs.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// A source of elapsed-time measurements for instrumented sections.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Timer {
+    /// Measure real elapsed time with a monotonic clock.
+    #[default]
+    Wall,
+    /// Report a fixed number of microseconds for every measured section
+    /// (deterministic; use in tests and seeded reproductions).
+    Fixed(u64),
+}
+
+impl Timer {
+    /// A deterministic timer that reports zero elapsed time.
+    pub fn fixed_zero() -> Self {
+        Timer::Fixed(0)
+    }
+
+    /// Runs `f`, returning its result together with the elapsed time in
+    /// microseconds (real for [`Timer::Wall`], constant for
+    /// [`Timer::Fixed`]).
+    pub fn measure<R>(self, f: impl FnOnce() -> R) -> (R, u64) {
+        match self {
+            Timer::Wall => {
+                let started = Instant::now();
+                let result = f();
+                (result, started.elapsed().as_micros() as u64)
+            }
+            Timer::Fixed(micros) => (f(), micros),
+        }
+    }
+
+    /// Starts a stopwatch for a phase that spans multiple calls.
+    pub fn start(self) -> Stopwatch {
+        match self {
+            Timer::Wall => Stopwatch::Wall(Instant::now()),
+            Timer::Fixed(micros) => Stopwatch::Fixed(micros),
+        }
+    }
+}
+
+/// A running phase measurement (see [`Timer::start`]).
+#[derive(Debug, Clone, Copy)]
+pub enum Stopwatch {
+    /// Real elapsed time since the start instant.
+    Wall(Instant),
+    /// Always reports the timer's constant (deterministic runs).
+    Fixed(u64),
+}
+
+impl Stopwatch {
+    /// Microseconds elapsed since [`Timer::start`] (the constant for a
+    /// fixed timer).
+    pub fn elapsed_micros(&self) -> u64 {
+        match self {
+            Stopwatch::Wall(started) => started.elapsed().as_micros() as u64,
+            Stopwatch::Fixed(micros) => *micros,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_timers_report_the_constant() {
+        let (value, micros) = Timer::Fixed(42).measure(|| 7);
+        assert_eq!(value, 7);
+        assert_eq!(micros, 42);
+        assert_eq!(Timer::fixed_zero().measure(|| ()).1, 0);
+    }
+
+    #[test]
+    fn wall_timers_report_monotonic_elapsed_time() {
+        let (value, micros) = Timer::Wall.measure(|| {
+            // Do a little real work so the measurement is meaningful.
+            (0..1000u64).sum::<u64>()
+        });
+        assert_eq!(value, 499_500);
+        // Elapsed time is non-negative by construction; just make sure the
+        // measurement did not produce something absurd.
+        assert!(micros < 10_000_000);
+    }
+
+    #[test]
+    fn default_is_wall() {
+        assert_eq!(Timer::default(), Timer::Wall);
+    }
+
+    #[test]
+    fn fixed_stopwatches_report_the_constant_forever() {
+        let watch = Timer::Fixed(17).start();
+        assert_eq!(watch.elapsed_micros(), 17);
+        assert_eq!(watch.elapsed_micros(), 17);
+    }
+
+    #[test]
+    fn wall_stopwatches_are_monotone() {
+        let watch = Timer::Wall.start();
+        let a = watch.elapsed_micros();
+        let b = watch.elapsed_micros();
+        assert!(b >= a);
+    }
+}

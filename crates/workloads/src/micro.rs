@@ -314,7 +314,7 @@ mod tests {
             "sync ratio {}",
             metrics.sync_ratio_percent()
         );
-        let mut lat = metrics.latency.clone();
+        let lat = &metrics.latency;
         assert!(lat.percentile_ms(50.0) < 10.0);
     }
 
@@ -330,9 +330,9 @@ mod tests {
         assert!(homeo.throughput_per_replica() > 10.0 * twopc.throughput_per_replica());
         assert!(opt.throughput_per_replica() > 10.0 * twopc.throughput_per_replica());
         // Latency medians: homeo and local are milliseconds, 2PC is ~2 RTT.
-        let mut twopc_lat = twopc.latency.clone();
+        let twopc_lat = &twopc.latency;
         assert!(twopc_lat.percentile_ms(50.0) >= 190.0);
-        let mut homeo_lat = homeo.latency.clone();
+        let homeo_lat = &homeo.latency;
         assert!(homeo_lat.percentile_ms(50.0) < 20.0);
     }
 

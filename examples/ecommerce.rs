@@ -32,7 +32,7 @@ mod homeo_bench_free {
         let mut runtime = build_runtime(config, mode);
         let mut workload = MicroWorkload::new(config.clone(), mode);
         let loop_config = closed_loop_config(config, 8, 3_000);
-        let mut metrics = drive(&loop_config, runtime.as_mut(), &mut workload);
+        let metrics = drive(&loop_config, runtime.as_mut(), &mut workload);
         Point {
             mode: mode.label(),
             throughput_per_replica: metrics.throughput_per_replica(),

@@ -22,5 +22,6 @@ pub mod crates {
     pub use homeo_sim as sim;
     pub use homeo_solver as solver;
     pub use homeo_store as store;
+    pub use homeo_telemetry as telemetry;
     pub use homeo_workloads as workloads;
 }
