@@ -69,9 +69,9 @@ impl LocalRuntime {
                 self.commits += 1;
                 return OpOutcome::local_commit();
             }
-            SiteOp::Transaction { .. } => {
-                panic!("the local baseline executes counter operations only")
-            }
+            // The local baseline executes counter operations only; a
+            // general transaction is typed as rejected, never a panic.
+            SiteOp::Transaction { .. } => return OpOutcome::unsupported(),
         };
         let engine = &self.engines[site];
         let mut txn = engine.begin();

@@ -83,21 +83,22 @@ impl TwoPcRuntime {
         }
     }
 
-    fn op_object(op: &SiteOp) -> &ObjId {
+    /// The counter an operation targets; `None` for general transactions,
+    /// which this baseline cannot execute (they complete as typed
+    /// [`OpOutcome::unsupported`] rejections, never a panic).
+    fn op_object(op: &SiteOp) -> Option<&ObjId> {
         match op {
             SiteOp::Order { obj, .. }
             | SiteOp::Increment { obj, .. }
-            | SiteOp::ForceSync { obj } => obj,
-            SiteOp::Transaction { .. } => {
-                panic!("the 2PC baseline executes counter operations only")
-            }
+            | SiteOp::ForceSync { obj } => Some(obj),
+            SiteOp::Transaction { .. } => None,
         }
     }
 
     /// The commit phase of one prepared operation: apply the write to every
     /// replica's engine.
     fn commit_everywhere(&mut self, op: &SiteOp) -> OpOutcome {
-        let obj = Self::op_object(op).clone();
+        let obj = Self::op_object(op).expect("rejected at submit").clone();
         let value = self.value(&obj);
         let new = match op {
             SiteOp::Order {
@@ -124,7 +125,7 @@ impl TwoPcRuntime {
             synchronized: true,
             refilled: matches!(op, SiteOp::Order { refill_to: Some(r), amount, .. } if value <= *amount && new == *r),
             comm_rounds: 2,
-            solver_micros: 0,
+            ..Default::default()
         }
     }
 }
@@ -160,15 +161,19 @@ impl SiteRuntime for TwoPcRuntime {
     /// submission that finds the object held by another in-flight
     /// submission is doomed and will abort at poll time.
     fn submit(&mut self, site: usize, op: SiteOp) {
-        let obj = Self::op_object(&op).clone();
         let id = self.next_submission;
         self.next_submission += 1;
-        let doomed = match self.in_flight.entry(obj) {
-            std::collections::btree_map::Entry::Vacant(e) => {
-                e.insert(id);
-                false
-            }
-            std::collections::btree_map::Entry::Occupied(_) => true,
+        let doomed = match Self::op_object(&op) {
+            // Unsupported operations skip the prepare phase entirely; poll
+            // types them as rejected.
+            None => false,
+            Some(obj) => match self.in_flight.entry(obj.clone()) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(id);
+                    false
+                }
+                std::collections::btree_map::Entry::Occupied(_) => true,
+            },
         };
         self.inboxes[site].push_back((id, doomed, op));
     }
@@ -179,20 +184,22 @@ impl SiteRuntime for TwoPcRuntime {
         batch
             .into_iter()
             .map(|(id, doomed, op)| {
+                let Some(obj) = Self::op_object(&op) else {
+                    return OpOutcome::unsupported();
+                };
+                let obj = obj.clone();
                 if doomed {
                     self.aborts += 1;
                     return OpOutcome {
                         committed: false,
                         synchronized: true,
-                        refilled: false,
                         comm_rounds: 2,
-                        solver_micros: 0,
+                        ..Default::default()
                     };
                 }
                 let outcome = self.commit_everywhere(&op);
-                let obj = Self::op_object(&op);
-                if self.in_flight.get(obj) == Some(&id) {
-                    self.in_flight.remove(obj);
+                if self.in_flight.get(&obj) == Some(&id) {
+                    self.in_flight.remove(&obj);
                 }
                 outcome
             })
@@ -215,16 +222,17 @@ impl SiteRuntime for TwoPcRuntime {
         let _ = site; // every replica applies every commit
         ops.iter()
             .map(|op| {
-                let obj = Self::op_object(op);
+                let Some(obj) = Self::op_object(op) else {
+                    return OpOutcome::unsupported();
+                };
                 if self.in_flight.contains_key(obj) {
                     // Prepare lost to a concurrent in-flight submission.
                     self.aborts += 1;
                     return OpOutcome {
                         committed: false,
                         synchronized: true,
-                        refilled: false,
                         comm_rounds: 2,
-                        solver_micros: 0,
+                        ..Default::default()
                     };
                 }
                 self.commit_everywhere(op)

@@ -5,11 +5,16 @@
 //!           [--list] [--threads N] [--homeo-load CONFIG] [--ops N]
 //!           [--clients N] [--rate R] [--metrics]
 //!           [all | table1 | fig10 | ... | fig29
-//!            | cluster-partition | ... | cluster-tcp | bench]...
+//!            | cluster-partition | ... | cluster-tcp
+//!            | scenario-flash-sale | scenario-rate-limiter
+//!            | scenario-seatmap | scenario-tpcc-neworder | bench]...
 //! ```
 //!
 //! With no arguments, `all` is assumed: every paper figure, the cluster
-//! fault scenarios (partition-then-heal, kill-then-recover, skew) and the
+//! fault scenarios (partition-then-heal, kill-then-recover, skew), the
+//! general-path application scenarios (`scenario-*`: registered `L++`
+//! programs — flash sale, rate limiter, seat map, TPC-C new-order —
+//! verified against the serial oracle as they generate) and the
 //! batched-throughput suite (`bench`). `--full` runs the larger sweeps
 //! (closer to the paper's configuration); the default "quick" effort keeps
 //! the whole reproduction within a few minutes. `--csv-dir` additionally

@@ -96,6 +96,9 @@ pub fn generate(id: &str, effort: Effort) -> Figure {
     if id.starts_with("cluster-") {
         return crate::cluster::scenario(id);
     }
+    if id.starts_with("scenario-") {
+        return crate::scenarios::scenario(id);
+    }
     if id == "bench" {
         return crate::throughput::suite(effort);
     }

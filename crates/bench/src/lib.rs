@@ -13,6 +13,10 @@
 //! * [`cluster`] — the fault scenarios of the cluster subsystem
 //!   (partition-then-heal, kill-then-recover, skewed allowances), verified
 //!   as they generate.
+//! * [`scenarios`] — the general-path application scenarios (`scenario-*`):
+//!   registered `L++` programs (flash sale, rate limiter, seat map, TPC-C
+//!   new-order) run over the cluster backends and checked operation by
+//!   operation against the serial oracle as they generate.
 //! * [`throughput`] — the batched-execution throughput suite (`bench`):
 //!   wall-clock ops/sec over batch size × execution mode, the figure CI's
 //!   `bench-smoke` job gates against `crates/bench/baseline.json`.
@@ -36,6 +40,7 @@ pub mod experiments;
 pub mod figures;
 pub mod json;
 pub mod report;
+pub mod scenarios;
 pub mod sync;
 pub mod throughput;
 
@@ -44,6 +49,7 @@ pub use experiments::{micro_experiment, tpcc_experiment, ExperimentPoint, TpccPo
 pub use figures::{all_figure_ids, generate, Effort};
 pub use json::Json;
 pub use report::Figure;
+pub use scenarios::all_general_scenario_ids;
 
 /// Every reproducible id: the paper's tables and figures, the cluster
 /// scenarios, the batched-throughput suite and the synchronization-cost
@@ -51,6 +57,7 @@ pub use report::Figure;
 pub fn all_ids() -> Vec<&'static str> {
     let mut ids = all_figure_ids();
     ids.extend(all_scenario_ids());
+    ids.extend(all_general_scenario_ids());
     ids.push("bench");
     ids.push("sync");
     ids

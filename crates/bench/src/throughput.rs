@@ -21,9 +21,10 @@
 use std::time::Instant;
 
 use homeo_baselines::{LocalRuntime, TwoPcRuntime};
-use homeo_cluster::{ClusterConfig, ClusterRuntime};
+use homeo_cluster::{ClusterConfig, ClusterRuntime, ProgramBundle};
 use homeo_lang::ids::ObjId;
-use homeo_protocol::{OptimizerConfig, ReplicatedMode};
+use homeo_lang::{programs, Database};
+use homeo_protocol::{Loc, OptimizerConfig, ReplicatedMode};
 use homeo_runtime::{drive_open_loop, OpenLoopConfig, ReplicatedRuntime, SiteOp, SiteRuntime};
 use homeo_sim::{DetRng, Timer};
 
@@ -106,6 +107,96 @@ fn register_pool(runtime: &mut dyn SiteRuntime) {
     if runtime.value_at(0, &stock(0)) == 0 {
         panic!("counter population failed");
     }
+}
+
+/// General-path columns: registered `L++` programs executed as
+/// [`SiteOp::Transaction`] batches on the threaded cluster and over
+/// loopback TCP. Where the [`MODES`] cells measure the replicated-counter
+/// fast path, these measure the full pipeline the programs ride — guard
+/// selection against the joint symbolic table, program execution, treaty
+/// check — per committed operation.
+pub const GENERAL_MODES: [&str; 2] = ["general-threaded", "general-tcp"];
+
+/// Programs in the general-path pool. The joint symbolic table is the
+/// cross product of the per-program tables (`2^K` rows for `K` two-branch
+/// order programs), so this pool stays narrow where the counter pool is
+/// wide.
+const GENERAL_PROGRAMS: usize = 8;
+
+fn general_obj(i: usize) -> ObjId {
+    ObjId::new(format!("gstock[{i}]"))
+}
+
+/// The general-path fixture: one order program per object, objects spread
+/// round-robin over the sites, the same ample headroom as the counter
+/// pool so the cells measure the treaty-holding path.
+fn general_bundle() -> ProgramBundle {
+    let objects: Vec<ObjId> = (0..GENERAL_PROGRAMS).map(general_obj).collect();
+    let txns: Vec<_> = objects
+        .iter()
+        .map(|o| programs::order_for_object(o.clone(), INITIAL))
+        .collect();
+    let loc = Loc::from_pairs(
+        objects
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (o.clone(), i % SITES)),
+    );
+    let initial = Database::from_pairs(objects.iter().map(|o| (o.clone(), INITIAL)));
+    ProgramBundle::from_transactions(&txns, &loc, &initial, None)
+}
+
+/// Measures one general-path cell: committed transactions per wall-clock
+/// second through `submit_batch` chunks of `batch` [`SiteOp::Transaction`]
+/// operations, each issued at its home site (Assumption 3.1).
+fn measure_general_cell(mode: &str, batch: usize, min_secs: f64) -> f64 {
+    let config = || ClusterConfig::new(ReplicatedMode::EvenSplit).with_timer(Timer::fixed_zero());
+    let mut runtime = match mode {
+        "general-threaded" => ClusterRuntime::threaded(SITES, config()),
+        "general-tcp" => ClusterRuntime::tcp(SITES, config()),
+        other => panic!("unknown general bench mode `{other}`"),
+    };
+    assert_eq!(
+        runtime.register_program(&general_bundle()),
+        GENERAL_PROGRAMS as u64,
+        "general-path program registration"
+    );
+    // Transaction indices homed at each site (index i writes gstock[i],
+    // which lives at site i % SITES). The first local program is the hot
+    // one, mirroring the counter cells' hot-key shape.
+    let by_site: Vec<Vec<usize>> = (0..SITES)
+        .map(|site| (site..GENERAL_PROGRAMS).step_by(SITES).collect())
+        .collect();
+    let mut rng = DetRng::seed_from(0x6E47 ^ batch as u64);
+    let mut ops = Vec::with_capacity(batch);
+    let mut issue = |runtime: &mut ClusterRuntime, site: usize, rng: &mut DetRng| -> u64 {
+        let local = &by_site[site];
+        ops.clear();
+        for _ in 0..batch {
+            let index = if rng.chance(HOTNESS) {
+                local[0]
+            } else {
+                local[rng.index(local.len())]
+            };
+            ops.push(SiteOp::Transaction { index });
+        }
+        let outcomes = runtime.submit_batch(site, &ops);
+        outcomes.iter().filter(|o| o.committed).count() as u64
+    };
+    for site in 0..SITES {
+        issue(&mut runtime, site, &mut rng);
+    }
+    let mut committed = 0u64;
+    let started = Instant::now();
+    let mut site = 0;
+    loop {
+        committed += issue(&mut runtime, site, &mut rng);
+        site = (site + 1) % SITES;
+        if site == 0 && started.elapsed().as_secs_f64() >= min_secs {
+            break;
+        }
+    }
+    committed as f64 / started.elapsed().as_secs_f64()
 }
 
 /// Populates baselines (2pc / local) that ignore `ensure_registered`.
@@ -226,11 +317,12 @@ fn measure_latency(mode: &str, batch: usize, rate: f64, min_secs: f64) -> (f64, 
 }
 
 /// Generates the `bench` figure: ops/sec for every batch size × mode cell,
-/// plus open-loop latency percentile columns (p50/p99/p999 ms) for the
-/// [`LATENCY_MODES`], offered at 60% of each cell's own
-/// measured closed-loop throughput. The percentile columns are additive:
-/// baseline gates match columns by name, so older baselines keep gating
-/// the throughput cells only.
+/// general-path ops/sec for the [`GENERAL_MODES`] (registered programs as
+/// `SiteOp::Transaction` batches), plus open-loop latency percentile
+/// columns (p50/p99/p999 ms) for the [`LATENCY_MODES`], offered at 60% of
+/// each cell's own measured closed-loop throughput. The general and
+/// percentile columns are additive: baseline gates match columns by name,
+/// so older baselines keep gating the counter throughput cells only.
 pub fn suite(effort: Effort) -> Figure {
     let min_secs = match effort {
         Effort::Quick => 0.05,
@@ -238,6 +330,7 @@ pub fn suite(effort: Effort) -> Figure {
     };
     let mut columns = vec!["batch".to_string()];
     columns.extend(MODES.iter().map(|m| m.to_string()));
+    columns.extend(GENERAL_MODES.iter().map(|m| m.to_string()));
     for mode in LATENCY_MODES {
         for p in ["p50", "p99", "p999"] {
             columns.push(format!("{mode}_{p}_ms"));
@@ -246,8 +339,9 @@ pub fn suite(effort: Effort) -> Figure {
     let mut fig = Figure::new(
         "bench",
         "Batched submission throughput (committed ops/s, wall clock, 2 sites, \
-         64 counters, 80% of traffic on 4 hot counters) and open-loop latency \
-         percentiles (ms) at 60% of measured throughput",
+         64 counters, 80% of traffic on 4 hot counters), general-path \
+         throughput (registered L++ programs as transaction batches), and \
+         open-loop latency percentiles (ms) at 60% of measured throughput",
         columns,
     );
     for &batch in &BATCH_SIZES {
@@ -255,6 +349,11 @@ pub fn suite(effort: Effort) -> Figure {
             .iter()
             .map(|mode| measure_cell(mode, batch, min_secs))
             .collect();
+        values.extend(
+            GENERAL_MODES
+                .iter()
+                .map(|mode| measure_general_cell(mode, batch, min_secs)),
+        );
         for mode in LATENCY_MODES {
             let col = MODES.iter().position(|m| *m == mode).expect("known mode");
             let rate = (values[col] * OPEN_LOOP_FRACTION).max(1_000.0);
@@ -275,11 +374,16 @@ mod tests {
         let fig = suite(Effort::Quick);
         assert_eq!(fig.id, "bench");
         assert_eq!(fig.rows.len(), BATCH_SIZES.len());
-        // label + throughput per mode + p50/p99/p999 per latency mode.
-        assert_eq!(fig.columns.len(), MODES.len() + 1 + 3 * LATENCY_MODES.len());
+        // label + throughput per mode (counter + general) + p50/p99/p999
+        // per latency mode.
+        let throughput_cols = MODES.len() + GENERAL_MODES.len();
+        assert_eq!(
+            fig.columns.len(),
+            throughput_cols + 1 + 3 * LATENCY_MODES.len()
+        );
         for (label, values) in &fig.rows {
-            assert_eq!(values.len(), MODES.len() + 3 * LATENCY_MODES.len());
-            for (mode, v) in MODES.iter().zip(values) {
+            assert_eq!(values.len(), throughput_cols + 3 * LATENCY_MODES.len());
+            for (mode, v) in MODES.iter().chain(GENERAL_MODES.iter()).zip(values) {
                 assert!(
                     v.is_finite() && *v > 0.0,
                     "batch {label} mode {mode}: throughput {v}"
@@ -288,7 +392,7 @@ mod tests {
             // The percentile tail is finite, non-negative and ordered
             // (p50 ≤ p99 ≤ p999) for each latency mode.
             for (i, mode) in LATENCY_MODES.iter().enumerate() {
-                let tail = &values[MODES.len() + 3 * i..MODES.len() + 3 * (i + 1)];
+                let tail = &values[throughput_cols + 3 * i..throughput_cols + 3 * (i + 1)];
                 assert!(
                     tail.iter().all(|v| v.is_finite() && *v >= 0.0),
                     "batch {label} mode {mode}: latency {tail:?}"

@@ -27,12 +27,8 @@
 //! bound. The daemon runs until killed.
 
 use std::process::exit;
-use std::sync::Arc;
 
-use homeo_cluster::{
-    spawn_cluster, ClusterConfig, ClusterSpec, NodeOptions, SiteNode, DEFAULT_CLIENT_QUEUE_CAP,
-};
-use homeo_store::Engine;
+use homeo_cluster::{spawn_cluster, ClusterConfig, ClusterSpec, NodeOptions, SiteNode};
 
 fn usage() -> ! {
     eprintln!("usage: homeostasisd --config PATH [--site N | --site all]");
@@ -94,14 +90,7 @@ fn main() {
                     exit(2);
                 }
             };
-            match SiteNode::bind(NodeOptions {
-                site,
-                addrs: spec.addrs.clone(),
-                config,
-                engine: Arc::new(Engine::new()),
-                recover_from: None,
-                client_queue_cap: DEFAULT_CLIENT_QUEUE_CAP,
-            }) {
+            match SiteNode::bind(NodeOptions::new(site, spec.addrs.clone(), config)) {
                 Ok(node) => vec![node],
                 Err(e) => {
                     eprintln!(

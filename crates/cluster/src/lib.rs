@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod config;
 pub mod msg;
 mod reactor;
@@ -46,12 +47,13 @@ pub mod transport;
 pub mod worker;
 
 use homeo_lang::ids::ObjId;
-use homeo_protocol::{ReplicatedMode, ReplicatedStats, SyncTuning, WorkloadHints};
+use homeo_protocol::ReplicatedStats;
 use homeo_runtime::{OpOutcome, SiteOp, SiteRuntime};
-use homeo_sim::Timer;
 use homeo_store::Engine;
 
+pub use api::ClientApi;
 pub use config::ClusterSpec;
+pub use homeo_protocol::{ClusterConfig, ProgramBundle, ProgramSet};
 pub use msg::{CodecError, CounterMeta, FrameAssembler, Message, SyncKind, MAX_FRAME_LEN};
 pub use reactor::DEFAULT_CLIENT_QUEUE_CAP;
 pub use sim::{SimCluster, SimMetrics, SimNetConfig, SimTransport};
@@ -61,60 +63,6 @@ pub use tcp::{
 };
 pub use threaded::{threaded_load, ClusterClient, Control, LoadReport, ThreadedCluster};
 pub use transport::{ChannelTransport, Transport, CLIENT};
-
-/// Shared configuration of a cluster: the negotiation mode, the solver
-/// timer and the optimizer's workload hints.
-#[derive(Debug, Clone)]
-pub struct ClusterConfig {
-    /// How local treaties are chosen at each negotiation.
-    pub mode: ReplicatedMode,
-    /// Elapsed-time source for reported solver times ([`Timer::Fixed`]
-    /// makes seeded runs byte-for-byte reproducible).
-    pub timer: Timer,
-    /// Workload hints for the optimizer; `None` means uniform.
-    pub hints: Option<WorkloadHints>,
-    /// Synchronization-round cost knobs: solver warm starts and the
-    /// demand-adaptive proactive control loop.
-    pub tuning: SyncTuning,
-}
-
-impl ClusterConfig {
-    /// A configuration with a wall-clock timer, uniform hints and the
-    /// default tuning (warm starts on, proactive control off).
-    pub fn new(mode: ReplicatedMode) -> Self {
-        ClusterConfig {
-            mode,
-            timer: Timer::Wall,
-            hints: None,
-            tuning: SyncTuning::default(),
-        }
-    }
-
-    /// Replaces the elapsed-time source.
-    pub fn with_timer(mut self, timer: Timer) -> Self {
-        self.timer = timer;
-        self
-    }
-
-    /// Replaces the synchronization tuning.
-    pub fn with_tuning(mut self, tuning: SyncTuning) -> Self {
-        self.tuning = tuning;
-        self
-    }
-
-    /// Sets the optimizer's workload hints.
-    pub fn with_hints(mut self, hints: WorkloadHints) -> Self {
-        self.hints = hints.into();
-        self
-    }
-
-    /// The effective hints for `sites` replicas.
-    pub(crate) fn hints(&self, sites: usize) -> WorkloadHints {
-        self.hints
-            .clone()
-            .unwrap_or_else(|| WorkloadHints::uniform(sites))
-    }
-}
 
 /// A cluster behind the shared [`SiteRuntime`] surface, backed by either
 /// real worker threads ([`ThreadedCluster`]) or the deterministic fault
@@ -171,6 +119,19 @@ impl ClusterRuntime {
             ClusterRuntime::Threaded(c) => c.register(obj, initial, lower_bound),
             ClusterRuntime::Sim(c) => c.register(obj, initial, lower_bound),
             ClusterRuntime::Tcp(c) => c.register(obj, initial, lower_bound),
+        }
+    }
+
+    /// Registers a general-transaction program bundle cluster-wide: every
+    /// site parses the source text, runs the same analysis, and negotiates
+    /// its own (deterministic, identical) treaty table, after which
+    /// [`SiteOp::Transaction`] operations execute on any site. Returns the
+    /// number of registered transactions (0 if the bundle was rejected).
+    pub fn register_program(&mut self, bundle: &ProgramBundle) -> u64 {
+        match self {
+            ClusterRuntime::Threaded(c) => c.register_program(bundle),
+            ClusterRuntime::Sim(c) => c.register_program(bundle),
+            ClusterRuntime::Tcp(c) => c.register_program(bundle),
         }
     }
 
@@ -260,7 +221,9 @@ impl SiteRuntime for ClusterRuntime {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use homeo_protocol::ReplicatedMode;
     use homeo_sim::clock::millis;
+    use homeo_sim::Timer;
     use homeo_sim::{ClientOutcome, ClosedLoopConfig, CostComponents, DetRng};
 
     fn stock(i: usize) -> ObjId {

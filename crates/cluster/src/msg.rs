@@ -11,7 +11,7 @@
 //! without lookahead.
 
 use homeo_lang::ids::ObjId;
-use homeo_protocol::ReplicatedStats;
+use homeo_protocol::{OptimizerConfig, ProgramBundle, ReplicatedStats};
 use homeo_runtime::{OpOutcome, SiteOp};
 use serde::{Deserialize, Serialize};
 
@@ -313,6 +313,69 @@ pub enum Message {
         /// lines).
         text: String,
     },
+    /// Registers a set of `L++` transaction programs on a site. Program
+    /// source travels as text: the receiving site parses it through
+    /// `homeo_lang`, derives its symbolic/joint tables through
+    /// `homeo_analysis`, and negotiates the round-0 treaties from the
+    /// bundle's initial database — all deterministic, so every site arrives
+    /// at identical treaty state without treaties ever crossing the wire.
+    /// Idempotent: re-registering the same bundle only re-acks.
+    RegisterProgram {
+        /// The program sources, placement map, initial database and
+        /// optimizer settings.
+        bundle: ProgramBundle,
+    },
+    /// Site → registering client: the bundle was parsed, analyzed and
+    /// installed (or was already registered).
+    ProgramAck {
+        /// Number of registered programs after the install.
+        count: u64,
+    },
+    /// Origin → general coordinator (site 0): run a general synchronization
+    /// round — freeze, fold every site's local objects, optionally re-run a
+    /// treaty-violating transaction on the folded state, renegotiate.
+    ProgramSync {
+        /// Origin-scoped request id (completion arrives as
+        /// [`Message::SyncDone`]).
+        req: u64,
+        /// The violating transaction to re-run on the folded state, or
+        /// `None` for a pure fold (`SiteRuntime::synchronize`).
+        txn: Option<u64>,
+    },
+    /// General coordinator → peers: freeze general execution and report the
+    /// values of your local objects.
+    ProgramCollect {
+        /// Coordinator-scoped round id.
+        sync: u64,
+    },
+    /// Peer → general coordinator: the values of the peer's local objects.
+    ProgramDeltas {
+        /// The round being answered.
+        sync: u64,
+        /// `(object, value)` for every object the `Loc` map places at the
+        /// replying site.
+        values: Vec<(ObjId, i64)>,
+    },
+    /// General coordinator → peers: install the folded global database,
+    /// re-run the violating transaction (if any) deterministically, set the
+    /// treaty round counter to `round`, renegotiate locally, and unfreeze.
+    ProgramInstall {
+        /// The round being completed.
+        sync: u64,
+        /// The violating transaction every site must re-run, if any.
+        txn: Option<u64>,
+        /// The coordinator's treaty round counter *before* the install's
+        /// renegotiation — sites adopt it so the lockstep seed
+        /// (`optimizer.seed + round`) stays identical after restarts.
+        round: u64,
+        /// The folded authoritative global database.
+        db: Vec<(ObjId, i64)>,
+    },
+    /// Peer → general coordinator: the install (and renegotiation) ran.
+    ProgramInstallAck {
+        /// The round being acknowledged.
+        sync: u64,
+    },
 }
 
 /// The [`Message::Hello`] peer id a client attachment announces (sites use
@@ -490,6 +553,44 @@ impl Message {
                 buf.push(20);
                 encode_str(text, buf);
             }
+            Message::RegisterProgram { bundle } => {
+                buf.push(21);
+                encode_bundle(bundle, buf);
+            }
+            Message::ProgramAck { count } => {
+                buf.push(22);
+                buf.extend_from_slice(&count.to_be_bytes());
+            }
+            Message::ProgramSync { req, txn } => {
+                buf.push(23);
+                buf.extend_from_slice(&req.to_be_bytes());
+                encode_opt_u64(txn, buf);
+            }
+            Message::ProgramCollect { sync } => {
+                buf.push(24);
+                buf.extend_from_slice(&sync.to_be_bytes());
+            }
+            Message::ProgramDeltas { sync, values } => {
+                buf.push(25);
+                buf.extend_from_slice(&sync.to_be_bytes());
+                encode_pairs(values, buf);
+            }
+            Message::ProgramInstall {
+                sync,
+                txn,
+                round,
+                db,
+            } => {
+                buf.push(26);
+                buf.extend_from_slice(&sync.to_be_bytes());
+                encode_opt_u64(txn, buf);
+                buf.extend_from_slice(&round.to_be_bytes());
+                encode_pairs(db, buf);
+            }
+            Message::ProgramInstallAck { sync } => {
+                buf.push(27);
+                buf.extend_from_slice(&sync.to_be_bytes());
+            }
         }
     }
 
@@ -585,6 +686,32 @@ impl Message {
             20 => Message::MetricsReply {
                 text: decode_str(cursor)?,
             },
+            21 => Message::RegisterProgram {
+                bundle: decode_bundle(cursor)?,
+            },
+            22 => Message::ProgramAck {
+                count: cursor.u64()?,
+            },
+            23 => Message::ProgramSync {
+                req: cursor.u64()?,
+                txn: decode_opt_u64(cursor)?,
+            },
+            24 => Message::ProgramCollect {
+                sync: cursor.u64()?,
+            },
+            25 => Message::ProgramDeltas {
+                sync: cursor.u64()?,
+                values: decode_pairs(cursor)?,
+            },
+            26 => Message::ProgramInstall {
+                sync: cursor.u64()?,
+                txn: decode_opt_u64(cursor)?,
+                round: cursor.u64()?,
+                db: decode_pairs(cursor)?,
+            },
+            27 => Message::ProgramInstallAck {
+                sync: cursor.u64()?,
+            },
             _ => return None,
         })
     }
@@ -593,7 +720,8 @@ impl Message {
 fn encode_outcome(outcome: &OpOutcome, buf: &mut Vec<u8>) {
     let flags = u8::from(outcome.committed)
         | (u8::from(outcome.synchronized) << 1)
-        | (u8::from(outcome.refilled) << 2);
+        | (u8::from(outcome.refilled) << 2)
+        | (u8::from(outcome.unsupported) << 3);
     buf.push(flags);
     buf.extend_from_slice(&outcome.comm_rounds.to_be_bytes());
     buf.extend_from_slice(&outcome.solver_micros.to_be_bytes());
@@ -601,15 +729,116 @@ fn encode_outcome(outcome: &OpOutcome, buf: &mut Vec<u8>) {
 
 fn decode_outcome(cursor: &mut Cursor<'_>) -> Option<OpOutcome> {
     let flags = cursor.u8()?;
-    if flags > 0b111 {
+    if flags > 0b1111 {
         return None;
     }
     Some(OpOutcome {
         committed: flags & 1 != 0,
         synchronized: flags & 2 != 0,
         refilled: flags & 4 != 0,
+        unsupported: flags & 8 != 0,
         comm_rounds: cursor.u32()?,
         solver_micros: cursor.u64()?,
+    })
+}
+
+fn encode_opt_u64(value: &Option<u64>, buf: &mut Vec<u8>) {
+    match value {
+        None => buf.push(0),
+        Some(v) => {
+            buf.push(1);
+            buf.extend_from_slice(&v.to_be_bytes());
+        }
+    }
+}
+
+fn decode_opt_u64(cursor: &mut Cursor<'_>) -> Option<Option<u64>> {
+    Some(match cursor.u8()? {
+        0 => None,
+        1 => Some(cursor.u64()?),
+        _ => return None,
+    })
+}
+
+fn encode_pairs(pairs: &[(ObjId, i64)], buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&(pairs.len() as u32).to_be_bytes());
+    for (obj, value) in pairs {
+        encode_str(obj.as_str(), buf);
+        buf.extend_from_slice(&value.to_be_bytes());
+    }
+}
+
+fn decode_pairs(cursor: &mut Cursor<'_>) -> Option<Vec<(ObjId, i64)>> {
+    let count = cursor.u32()? as usize;
+    let mut pairs = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let obj = ObjId::new(decode_str(cursor)?);
+        pairs.push((obj, cursor.i64()?));
+    }
+    Some(pairs)
+}
+
+fn encode_bundle(bundle: &ProgramBundle, buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&(bundle.sources.len() as u32).to_be_bytes());
+    for source in &bundle.sources {
+        encode_str(source, buf);
+    }
+    buf.extend_from_slice(&(bundle.loc_pairs.len() as u32).to_be_bytes());
+    for (obj, site) in &bundle.loc_pairs {
+        encode_str(obj.as_str(), buf);
+        buf.extend_from_slice(&(*site as u64).to_be_bytes());
+    }
+    encode_opt_u64(&bundle.default_site.map(|s| s as u64), buf);
+    buf.extend_from_slice(&(bundle.initial.len() as u32).to_be_bytes());
+    for (obj, value) in &bundle.initial {
+        encode_str(obj.as_str(), buf);
+        buf.extend_from_slice(&value.to_be_bytes());
+    }
+    match &bundle.optimizer {
+        None => buf.push(0),
+        Some(cfg) => {
+            buf.push(1);
+            buf.extend_from_slice(&(cfg.lookahead as u64).to_be_bytes());
+            buf.extend_from_slice(&(cfg.futures as u64).to_be_bytes());
+            buf.extend_from_slice(&cfg.seed.to_be_bytes());
+        }
+    }
+}
+
+fn decode_bundle(cursor: &mut Cursor<'_>) -> Option<ProgramBundle> {
+    let count = cursor.u32()? as usize;
+    let mut sources = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        sources.push(decode_str(cursor)?);
+    }
+    let count = cursor.u32()? as usize;
+    let mut loc_pairs = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let obj = ObjId::new(decode_str(cursor)?);
+        loc_pairs.push((obj, cursor.u64()? as usize));
+    }
+    let default_site = decode_opt_u64(cursor)?.map(|s| s as usize);
+    let count = cursor.u32()? as usize;
+    let mut initial = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let obj = ObjId::new(decode_str(cursor)?);
+        initial.push((obj, cursor.i64()?));
+    }
+    let optimizer = match cursor.u8()? {
+        0 => None,
+        1 => Some(OptimizerConfig {
+            lookahead: cursor.u64()? as usize,
+            futures: cursor.u64()? as usize,
+            seed: cursor.u64()?,
+        }),
+        _ => return None,
+    };
+    Some(ProgramBundle {
+        sources,
+        loc_pairs,
+        default_site,
+        initial,
+        optimizer,
     })
 }
 
@@ -892,6 +1121,7 @@ mod tests {
                     OpOutcome::local_commit(),
                     OpOutcome::synchronized(true, 77),
                     OpOutcome::default(),
+                    OpOutcome::unsupported(),
                 ],
             },
             Message::SyncAllRequest,
@@ -914,6 +1144,59 @@ mod tests {
             Message::MetricsReply {
                 text: String::new(),
             },
+            Message::RegisterProgram {
+                bundle: ProgramBundle {
+                    sources: vec![
+                        "txn order { qty := read(stock[1]); write(stock[1] = qty - 1); }"
+                            .to_string(),
+                    ],
+                    loc_pairs: vec![(ObjId::new("stock[1]"), 0), (ObjId::new("stock[2]"), 1)],
+                    default_site: Some(0),
+                    initial: vec![(ObjId::new("stock[1]"), 100), (ObjId::new("stock[2]"), -3)],
+                    optimizer: Some(OptimizerConfig {
+                        lookahead: 20,
+                        futures: 3,
+                        seed: 7,
+                    }),
+                },
+            },
+            Message::RegisterProgram {
+                bundle: ProgramBundle {
+                    sources: Vec::new(),
+                    loc_pairs: Vec::new(),
+                    default_site: None,
+                    initial: Vec::new(),
+                    optimizer: None,
+                },
+            },
+            Message::ProgramAck { count: 4 },
+            Message::ProgramSync {
+                req: 23,
+                txn: Some(2),
+            },
+            Message::ProgramSync { req: 24, txn: None },
+            Message::ProgramCollect { sync: 9 },
+            Message::ProgramDeltas {
+                sync: 9,
+                values: vec![(ObjId::new("x"), 10), (ObjId::new("y"), -4)],
+            },
+            Message::ProgramDeltas {
+                sync: 10,
+                values: Vec::new(),
+            },
+            Message::ProgramInstall {
+                sync: 9,
+                txn: Some(2),
+                round: 6,
+                db: vec![(ObjId::new("x"), 9), (ObjId::new("y"), -4)],
+            },
+            Message::ProgramInstall {
+                sync: 10,
+                txn: None,
+                round: 7,
+                db: Vec::new(),
+            },
+            Message::ProgramInstallAck { sync: 9 },
         ]
     }
 

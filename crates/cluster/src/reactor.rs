@@ -54,7 +54,6 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use epoll::{Events, Poller};
-use homeo_runtime::SiteOp;
 use homeo_telemetry::{CounterId, GaugeId, HistId, Registry};
 
 use crate::msg::{FrameAssembler, Message, CLIENT_PEER};
@@ -619,24 +618,11 @@ impl Reactor {
     fn client_frame(&mut self, slot: usize, id: usize, msg: Message) {
         match msg {
             Message::Submit { ops } => {
-                // General transactions never travel the wire (the cluster
-                // runtime executes counter operations), so a batch carrying
-                // one is a protocol violation, not a worker panic waiting
-                // to happen. Unknown counters and negative amounts need no
-                // check here: the worker completes those as uncommitted
-                // no-ops.
-                if ops
-                    .iter()
-                    .any(|op| matches!(op, SiteOp::Transaction { .. }))
-                {
-                    eprintln!(
-                        "homeo-tcp site {}: client submitted a general transaction; closing \
-                         its connection",
-                        self.site
-                    );
-                    self.close_conn(slot);
-                    return;
-                }
+                // No validation needed here: the worker completes unknown
+                // counters and negative amounts as uncommitted no-ops, and
+                // types a general transaction without a registered program
+                // as an unsupported outcome — never a panic, never a
+                // dropped connection.
                 let n = ops.len() as u64;
                 if n > 0 {
                     if let Some(Conn {
@@ -651,7 +637,7 @@ impl Reactor {
                 self.worker
                     .handle(id, Message::Submit { ops }, &mut self.out);
             }
-            Message::Seed { .. } | Message::StateRequest => {
+            Message::Seed { .. } | Message::RegisterProgram { .. } | Message::StateRequest => {
                 self.worker.handle(id, msg, &mut self.out);
             }
             Message::PollRequest => {
@@ -1108,6 +1094,7 @@ impl Reactor {
 mod tests {
     use super::*;
     use homeo_lang::ids::ObjId;
+    use homeo_runtime::SiteOp;
     use homeo_sim::DetRng;
     use std::net::{Ipv4Addr, TcpListener};
 

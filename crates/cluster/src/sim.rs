@@ -31,7 +31,9 @@ use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 use std::sync::Arc;
 
 use homeo_lang::ids::ObjId;
-use homeo_protocol::{negotiate_allowances_cached, NegotiationCache, ReplicatedStats};
+use homeo_protocol::{
+    negotiate_allowances_cached, NegotiationCache, ProgramBundle, ProgramSet, ReplicatedStats,
+};
 use homeo_runtime::{OpOutcome, SiteOp, SiteRuntime};
 use homeo_sim::clock::SimTime;
 use homeo_sim::{DetRng, RttMatrix};
@@ -213,6 +215,12 @@ impl SimTransport {
 
 impl Transport for SimTransport {
     fn send(&mut self, from: usize, to: usize, frame: Vec<u8>) {
+        if to >= self.down.len() {
+            // Client-addressed acks (e.g. `ProgramAck`): the sim's client
+            // attachment reads worker state directly, so these have no
+            // receiver and are dropped.
+            return;
+        }
         self.frames_sent += 1;
         let delay = self.delay(from, to);
         self.push(self.clock + delay, from, to, frame);
@@ -333,6 +341,30 @@ impl SimCluster {
             });
         }
         solver_micros
+    }
+
+    /// Registers a general-transaction program bundle on every site: the
+    /// source text is delivered to each worker, which parses, analyzes and
+    /// negotiates its own (deterministic, identical) treaty table. Frames
+    /// to a down site are held and replayed at restart, like any client
+    /// frame. Returns the number of registered transactions (0 if the
+    /// bundle is malformed, in which case nothing is delivered).
+    pub fn register_program(&mut self, bundle: &ProgramBundle) -> u64 {
+        let sites = self.workers.len();
+        let count = match ProgramSet::from_bundle(bundle, sites) {
+            Ok(set) => set.len() as u64,
+            Err(_) => return 0,
+        };
+        let clock = self.transport.clock;
+        let frame = Message::RegisterProgram {
+            bundle: bundle.clone(),
+        }
+        .encode();
+        for site in 0..sites {
+            self.transport.push(clock, CLIENT, site, frame.clone());
+        }
+        self.run_until_quiescent();
+        count
     }
 
     /// True when the counter has been registered.

@@ -85,7 +85,7 @@ use std::time::{Duration, Instant};
 use epoll::{Events, Poller};
 use homeo_lang::ids::ObjId;
 use homeo_protocol::{
-    negotiate_allowances_cached, NegotiationCache, ReplicatedStats, WorkloadHints,
+    negotiate_allowances_cached, NegotiationCache, ProgramBundle, ReplicatedStats, WorkloadHints,
 };
 use homeo_runtime::{OpOutcome, SiteOp, SiteRuntime};
 use homeo_sim::{DetRng, Timer};
@@ -95,8 +95,7 @@ use homeo_telemetry::Histogram;
 use crate::config::ClusterSpec;
 use crate::msg::{CounterMeta, FrameAssembler, Message, CLIENT_PEER};
 use crate::reactor::{
-    Reactor, ReactorConfig, WriteQueue, BACKOFF_MAX, BACKOFF_MIN, DEFAULT_CLIENT_QUEUE_CAP,
-    LISTEN_BACKLOG,
+    Reactor, ReactorConfig, WriteQueue, BACKOFF_MAX, BACKOFF_MIN, LISTEN_BACKLOG,
 };
 use crate::worker::SiteWorker;
 use crate::ClusterConfig;
@@ -145,6 +144,53 @@ pub struct NodeOptions {
     /// before the site disconnects it (the reactor's backpressure bound;
     /// [`crate::DEFAULT_CLIENT_QUEUE_CAP`] unless a test narrows it).
     pub client_queue_cap: usize,
+}
+
+impl NodeOptions {
+    /// Options for site `site` of a cluster listening on `addrs`, carrying
+    /// the shared [`ClusterConfig`] — the same builder value every other
+    /// backend takes. Defaults: a fresh engine, no crash recovery, the
+    /// default client backpressure bound.
+    ///
+    /// ```no_run
+    /// use homeo_cluster::{free_loopback_addrs, NodeOptions, SiteNode};
+    /// use homeo_protocol::{ClusterConfig, ReplicatedMode};
+    ///
+    /// let addrs = free_loopback_addrs(2).unwrap();
+    /// let config = ClusterConfig::new(ReplicatedMode::EvenSplit);
+    /// let node = SiteNode::bind(NodeOptions::new(0, addrs, config)).unwrap();
+    /// # drop(node);
+    /// ```
+    pub fn new(site: usize, addrs: Vec<SocketAddr>, config: ClusterConfig) -> Self {
+        NodeOptions {
+            site,
+            addrs,
+            config,
+            engine: Arc::new(Engine::new()),
+            recover_from: None,
+            client_queue_cap: crate::reactor::DEFAULT_CLIENT_QUEUE_CAP,
+        }
+    }
+
+    /// Replaces the storage engine (a WAL-reopened engine on restart, or a
+    /// pre-populated one).
+    pub fn with_engine(mut self, engine: Arc<Engine>) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Marks this node as recovering after a crash: treaty state is
+    /// refetched from the given live peer once the engine is reopened.
+    pub fn with_recover_from(mut self, peer: usize) -> Self {
+        self.recover_from = Some(peer);
+        self
+    }
+
+    /// Overrides the reactor's per-client backpressure bound.
+    pub fn with_client_queue_cap(mut self, cap: usize) -> Self {
+        self.client_queue_cap = cap;
+        self
+    }
 }
 
 /// One running TCP site: a single reactor thread behind one listen
@@ -398,6 +444,21 @@ impl TcpClient {
         })
     }
 
+    /// Registers a general-transaction program bundle on the connected site
+    /// and waits for the ack, which carries the number of transactions the
+    /// site accepted (0 = the bundle was rejected as malformed).
+    /// Cluster-wide registration = registering on every site and collecting
+    /// every ack **before** submitting [`SiteOp::Transaction`] operations.
+    pub fn register_program(&mut self, bundle: &ProgramBundle) -> std::io::Result<u64> {
+        self.send(&Message::RegisterProgram {
+            bundle: bundle.clone(),
+        })?;
+        self.expect_reply(|msg| match msg {
+            Message::ProgramAck { count } => Ok(count),
+            other => Err(other),
+        })
+    }
+
     /// Folds every registered counter cluster-wide
     /// (`SiteRuntime::synchronize` over the wire); returns the solver time.
     pub fn synchronize_all(&mut self) -> std::io::Result<u64> {
@@ -500,16 +561,7 @@ impl Drop for DaemonFleet {
 /// fallback of the smoke scenario are this.
 pub fn spawn_cluster(spec: &ClusterSpec, config: ClusterConfig) -> std::io::Result<Vec<SiteNode>> {
     (0..spec.sites())
-        .map(|site| {
-            SiteNode::bind(NodeOptions {
-                site,
-                addrs: spec.addrs.clone(),
-                config: config.clone(),
-                engine: Arc::new(Engine::new()),
-                recover_from: None,
-                client_queue_cap: DEFAULT_CLIENT_QUEUE_CAP,
-            })
-        })
+        .map(|site| SiteNode::bind(NodeOptions::new(site, spec.addrs.clone(), config.clone())))
         .collect()
 }
 
@@ -528,6 +580,11 @@ pub struct TcpCluster {
     /// Memoized treaty templates + solver scratch for the registration
     /// path's negotiations.
     registration_cache: NegotiationCache,
+    /// The registered program bundle, kept client-side: a restarted site
+    /// node is a fresh [`SiteWorker`] (the program catalog is volatile in
+    /// this backend), so [`TcpCluster::restart`] re-registers it and folds
+    /// the general state back into lockstep.
+    program_bundle: Option<ProgramBundle>,
 }
 
 impl TcpCluster {
@@ -562,14 +619,8 @@ impl TcpCluster {
             .map(|(site, listener)| {
                 Some(SiteNode::spawn(
                     listener,
-                    NodeOptions {
-                        site,
-                        addrs: addrs.clone(),
-                        config: config.clone(),
-                        engine: engines[site].clone(),
-                        recover_from: None,
-                        client_queue_cap: DEFAULT_CLIENT_QUEUE_CAP,
-                    },
+                    NodeOptions::new(site, addrs.clone(), config.clone())
+                        .with_engine(engines[site].clone()),
                 ))
             })
             .collect();
@@ -592,6 +643,7 @@ impl TcpCluster {
             registration_negotiations: 0,
             registration_solver_micros: 0,
             registration_cache: NegotiationCache::new(),
+            program_bundle: None,
         }
     }
 
@@ -644,6 +696,29 @@ impl TcpCluster {
     /// True when the counter has been registered.
     pub fn is_registered(&self, obj: &ObjId) -> bool {
         self.registered.contains(obj)
+    }
+
+    /// Registers a general-transaction program bundle cluster-wide over the
+    /// sockets: every site gets the source text, parses and analyzes it,
+    /// negotiates its own (deterministic, identical) treaty table and acks.
+    /// All acks are collected before this returns, so a later
+    /// [`SiteOp::Transaction`] submit is ordered behind the registration on
+    /// every connection. Returns the number of registered transactions
+    /// (0 if the bundle was rejected, in which case nothing is cached).
+    pub fn register_program(&mut self, bundle: &ProgramBundle) -> u64 {
+        let sites = self.sites();
+        let mut count = 0;
+        for site in 0..sites {
+            count = self
+                .client(site)
+                .register_program(bundle)
+                .expect("register program over TCP");
+            if count == 0 {
+                return 0;
+            }
+        }
+        self.program_bundle = Some(bundle.clone());
+        count
     }
 
     /// Aggregate statistics across every live site (over the wire), plus
@@ -718,20 +793,33 @@ impl TcpCluster {
             self.nodes[buddy].is_some(),
             "recovery buddy {buddy} must be alive"
         );
-        let node = SiteNode::bind(NodeOptions {
-            site,
-            addrs: self.spec.addrs.clone(),
-            config: self.config.clone(),
-            engine,
-            recover_from: Some(buddy),
-            client_queue_cap: DEFAULT_CLIENT_QUEUE_CAP,
-        })
+        let node = SiteNode::bind(
+            NodeOptions::new(site, self.spec.addrs.clone(), self.config.clone())
+                .with_engine(engine)
+                .with_recover_from(buddy),
+        )
         .expect("rebind the site's address");
         self.nodes[site] = Some(node);
         self.clients[site] = Some(
             TcpClient::connect_retry(self.spec.addrs[site], Duration::from_secs(5))
                 .expect("reconnect to restarted site"),
         );
+        // The restarted node is a fresh worker: its program catalog is
+        // gone even though its engine recovered from the WAL. Re-register
+        // the cached bundle (live peers treat the identical sources as an
+        // idempotent ack), then fold the general state so the newcomer's
+        // treaty table rejoins the cluster's round lockstep before any
+        // transaction reaches it.
+        if let Some(bundle) = self.program_bundle.clone() {
+            let count = self
+                .client(site)
+                .register_program(&bundle)
+                .expect("re-register program over TCP");
+            assert!(count > 0, "cached program bundle must re-register");
+            self.client(site)
+                .synchronize_all()
+                .expect("post-restart general fold over TCP");
+        }
     }
 }
 
@@ -1749,15 +1837,15 @@ mod tests {
         let outcomes = rogue.poll().expect("site must stay up");
         assert_eq!(outcomes.len(), 3);
         assert!(outcomes.iter().all(|o| !o.committed));
-        // A batch carrying a general transaction is a protocol violation:
-        // the client is dropped.
+        // A batch carrying a general transaction against a site with no
+        // registered programs completes as a typed unsupported outcome —
+        // the confused client is told, not disconnected.
         rogue
             .submit_batch(&[SiteOp::Transaction { index: 0 }])
             .expect("send");
-        match rogue.poll() {
-            Err(_) => {}
-            Ok(msg) => panic!("site answered {msg:?} to a transaction submit"),
-        }
+        let outcomes = rogue.poll().expect("site must stay up");
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].unsupported && !outcomes[0].committed);
         // The site still serves real traffic.
         let out = cluster.execute(
             0,

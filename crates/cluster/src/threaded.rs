@@ -18,7 +18,8 @@ use std::thread::JoinHandle;
 
 use homeo_lang::ids::ObjId;
 use homeo_protocol::{
-    negotiate_allowances_cached, NegotiationCache, ReplicatedMode, ReplicatedStats,
+    negotiate_allowances_cached, NegotiationCache, ProgramBundle, ProgramSet, ReplicatedMode,
+    ReplicatedStats,
 };
 use homeo_runtime::{OpOutcome, SiteOp, SiteRuntime};
 use homeo_sim::DetRng;
@@ -176,6 +177,30 @@ impl ThreadedCluster {
             self.transport.send(CLIENT, site, frame.clone());
         }
         solver_micros
+    }
+
+    /// Registers a general-transaction program bundle cluster-wide: the
+    /// source text is broadcast to every worker, each of which parses,
+    /// analyzes and negotiates its own (deterministic, identical) treaty
+    /// table. As with [`ThreadedCluster::register`], causal channel order
+    /// makes an ack round unnecessary — a worker sees the `RegisterProgram`
+    /// frame before any later submit from this thread. Returns the number
+    /// of registered transactions (0 if the bundle is malformed, in which
+    /// case nothing is broadcast).
+    pub fn register_program(&mut self, bundle: &ProgramBundle) -> u64 {
+        let sites = self.engines.len();
+        let count = match ProgramSet::from_bundle(bundle, sites) {
+            Ok(set) => set.len() as u64,
+            Err(_) => return 0,
+        };
+        let frame = Message::RegisterProgram {
+            bundle: bundle.clone(),
+        }
+        .encode();
+        for site in 0..sites {
+            self.transport.send(CLIENT, site, frame.clone());
+        }
+        count
     }
 
     /// True when the counter has been registered.

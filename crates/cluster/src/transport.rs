@@ -71,7 +71,12 @@ impl ChannelTransport {
 
 impl Transport for ChannelTransport {
     fn send(&mut self, from: usize, to: usize, frame: Vec<u8>) {
-        let _ = self.peers[to].send(Input::Frame(from, frame));
+        // Client-addressed frames (acks a worker sends back to `CLIENT`,
+        // e.g. `ProgramAck`) are dropped: the threaded control plane
+        // synchronizes through `Control` reply channels, not frames.
+        if let Some(peer) = self.peers.get(to) {
+            let _ = peer.send(Input::Frame(from, frame));
+        }
     }
 }
 

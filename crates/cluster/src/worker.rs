@@ -45,10 +45,12 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
+use homeo_lang::database::Database;
 use homeo_lang::ids::ObjId;
+use homeo_protocol::exec::run_on_engine;
 use homeo_protocol::{
-    negotiate_allowances_cached, NegotiationCache, ReplicatedMode, ReplicatedStats, SyncTuning,
-    WorkloadHints,
+    negotiate_allowances_cached, NegotiationCache, ProgramBundle, ProgramSet, ReplicatedMode,
+    ReplicatedStats, SyncTuning, WorkloadHints,
 };
 use homeo_runtime::{shard_hash, OpOutcome, SiteOp};
 use homeo_sim::{Stopwatch, Timer};
@@ -60,6 +62,12 @@ use crate::msg::{CounterMeta, Message, SyncKind};
 /// Frames a worker wants delivered: `(destination site, message)` pairs,
 /// appended in send order. The owning backend encodes and ships them.
 pub type Outbox = Vec<(usize, Message)>;
+
+/// The coordinator of general-transaction rounds. Counter rounds shard
+/// their coordinator by object hash, but a general round folds the *whole*
+/// program database (its treaties are joint over all sites' objects), so
+/// every general round serializes through one fixed site.
+pub const GENERAL_COORDINATOR: usize = 0;
 
 /// Treaty state of one counter as one site knows it.
 #[derive(Debug, Clone)]
@@ -162,6 +170,34 @@ struct QueuedRequest {
     kind: SyncKind,
 }
 
+/// A general-transaction synchronization queued behind the active round.
+#[derive(Debug)]
+struct QueuedProgramSync {
+    origin: usize,
+    req: u64,
+    /// The violating transaction to re-run everywhere after the fold
+    /// (`None` for a pure resynchronization).
+    txn: Option<u64>,
+}
+
+/// One general-transaction round this site (the [`GENERAL_COORDINATOR`]) is
+/// coordinating: freeze → fold every site's local program objects → install
+/// the authoritative database + deterministic re-run + lockstep
+/// renegotiation → ack barrier → `SyncDone` to the origin.
+#[derive(Debug)]
+struct GeneralRound {
+    sync: u64,
+    origin: usize,
+    req: u64,
+    txn: Option<u64>,
+    /// Per-site authoritative values of the objects located at that site.
+    values: BTreeMap<usize, Vec<(ObjId, i64)>>,
+    acks: BTreeSet<usize>,
+    /// The coordinator's own solver time, reported with the `SyncDone`.
+    solver_micros: u64,
+    started: Stopwatch,
+}
+
 /// An in-progress `synchronize()` (fold of every registered counter).
 #[derive(Debug)]
 struct FullSync {
@@ -194,6 +230,18 @@ pub struct SiteWorker {
     counters: BTreeMap<ObjId, CounterState>,
     /// Counters frozen by an in-flight round (value of the map: round id).
     frozen: BTreeMap<ObjId, u64>,
+    /// The registered general-transaction programs (`None` until a
+    /// `RegisterProgram` arrives). Each site derives its own copy from the
+    /// program sources and keeps it in lockstep through the install rounds —
+    /// treaties never travel the wire.
+    programs: Option<ProgramSet>,
+    /// General-transaction execution frozen by an in-flight program round
+    /// (or by a restart, until the post-recovery resynchronization lands).
+    general_frozen: bool,
+    /// Coordinator duties for general rounds ([`GENERAL_COORDINATOR`] only):
+    /// one round at a time, the rest queued.
+    general_active: Option<GeneralRound>,
+    general_backlog: VecDeque<QueuedProgramSync>,
     /// Client inbox; executed strictly in submission order (head-of-line).
     queue: VecDeque<SiteOp>,
     /// Outcomes of completed operations, in submission order.
@@ -254,6 +302,10 @@ impl SiteWorker {
             proactive_inflight: BTreeSet::new(),
             counters: BTreeMap::new(),
             frozen: BTreeMap::new(),
+            programs: None,
+            general_frozen: false,
+            general_active: None,
+            general_backlog: VecDeque::new(),
             queue: VecDeque::new(),
             completed: Vec::new(),
             waiting: None,
@@ -308,7 +360,7 @@ impl SiteWorker {
     /// True when this site coordinates no in-flight round (the precondition
     /// for a fail-stop kill in the simulation backend).
     pub fn quiescent_coordinator(&self) -> bool {
-        self.active.is_empty()
+        self.active.is_empty() && self.general_active.is_none() && self.general_backlog.is_empty()
     }
 
     /// True when this site is not frozen inside any peer-coordinated round
@@ -317,7 +369,7 @@ impl SiteWorker {
     /// will rebase, so killing it mid-round could let that install land
     /// after recovery and silently erase a post-restart commit).
     pub fn quiescent_participant(&self) -> bool {
-        self.frozen.is_empty()
+        self.frozen.is_empty() && !self.general_frozen
     }
 
     /// Installs a counter's treaty metadata directly (registration).
@@ -335,6 +387,48 @@ impl SiteWorker {
     /// True when the counter's treaty is known to this site.
     pub fn knows_counter(&self, obj: &ObjId) -> bool {
         self.counters.contains_key(obj)
+    }
+
+    /// The registered general-transaction programs, if any.
+    pub fn programs(&self) -> Option<&ProgramSet> {
+        self.programs.as_ref()
+    }
+
+    /// Registers a program bundle on this site: parse the sources, run the
+    /// one-time symbolic analysis, write the initial values of objects this
+    /// engine does not hold yet (WAL-covered), and negotiate the round-0
+    /// treaties from the bundle's initial database — the same database every
+    /// other site negotiates from, so the cluster starts in lockstep.
+    ///
+    /// Returns the number of registered transactions; `0` when the bundle is
+    /// malformed (wire input is untrusted — a bad bundle never panics).
+    /// Re-registering an identical bundle is an idempotent ack; a different
+    /// bundle replaces the set wholesale.
+    pub fn register_program(&mut self, bundle: &ProgramBundle) -> u64 {
+        if let Some(existing) = &self.programs {
+            if existing.sources() == bundle.sources.as_slice() {
+                return existing.len() as u64;
+            }
+        }
+        let mut set = match ProgramSet::from_bundle(bundle, self.sites) {
+            Ok(set) => set,
+            Err(_) => return 0,
+        };
+        let held = self.engine.snapshot();
+        for (obj, value) in &bundle.initial {
+            if !held.contains_key(obj.as_str()) {
+                self.engine
+                    .write_logged(obj.as_str(), *value)
+                    .expect("registration write runs between local transactions");
+            }
+        }
+        let initial = Database::from_pairs(bundle.initial.iter().cloned());
+        let solver_micros = set.negotiate(&initial, self.timer);
+        self.stats.negotiations += 1;
+        self.stats.solver_micros_total += solver_micros;
+        let count = set.len() as u64;
+        self.programs = Some(set);
+        count
     }
 
     /// The synchronized base this site holds for a counter, if known.
@@ -419,6 +513,13 @@ impl SiteWorker {
                     kind: SyncKind::Fold,
                 },
             ));
+        }
+        if self.programs.is_some() {
+            // Fold the general-transaction database too: a full
+            // synchronization covers every protocol path the site runs.
+            let req = self.fresh_req();
+            pending.insert(req);
+            out.push((GENERAL_COORDINATOR, Message::ProgramSync { req, txn: None }));
         }
         let complete = pending.is_empty();
         self.full_sync = Some(FullSync {
@@ -537,6 +638,66 @@ impl SiteWorker {
             Message::StateReply { .. } => {
                 // Only meaningful while recovering; ignore otherwise.
             }
+            Message::RegisterProgram { bundle } => {
+                let count = self.register_program(&bundle);
+                out.push((from, Message::ProgramAck { count }));
+                // Registration may establish the treaties a queued
+                // transaction was implicitly waiting for.
+                self.pump(out);
+            }
+            Message::ProgramSync { req, txn } => {
+                debug_assert_eq!(
+                    self.site, GENERAL_COORDINATOR,
+                    "program sync routed to the wrong coordinator"
+                );
+                self.general_backlog.push_back(QueuedProgramSync {
+                    origin: from,
+                    req,
+                    txn,
+                });
+                self.try_start_general_round(out);
+            }
+            Message::ProgramCollect { sync } => {
+                // Freeze general execution: no local commit may move a
+                // program object between this report and the install.
+                self.general_frozen = true;
+                let values = self.local_program_values();
+                out.push((from, Message::ProgramDeltas { sync, values }));
+            }
+            Message::ProgramDeltas { sync, values } => {
+                let complete = match &mut self.general_active {
+                    Some(round) if round.sync == sync => {
+                        round.values.insert(from, values);
+                        round.values.len() == self.sites
+                    }
+                    _ => false, // stale reply from a superseded round
+                };
+                if complete {
+                    self.finish_general_collect(out);
+                }
+            }
+            Message::ProgramInstall {
+                sync,
+                txn,
+                round,
+                db,
+            } => {
+                self.apply_general_install(txn, round, &db);
+                out.push((from, Message::ProgramInstallAck { sync }));
+                self.pump(out);
+            }
+            Message::ProgramInstallAck { sync } => {
+                let complete = match &mut self.general_active {
+                    Some(round) if round.sync == sync => {
+                        round.acks.insert(from);
+                        round.acks.len() == self.sites - 1
+                    }
+                    _ => false,
+                };
+                if complete {
+                    self.complete_general_round(out);
+                }
+            }
             Message::Seed { meta } => {
                 // Cluster-wide registration over the wire (TCP backends,
                 // where no coordinating thread reaches every engine): write
@@ -554,6 +715,7 @@ impl SiteWorker {
             }
             Message::Hello { .. }
             | Message::SeedAck { .. }
+            | Message::ProgramAck { .. }
             | Message::PollRequest
             | Message::PollReply { .. }
             | Message::SyncAllRequest
@@ -591,6 +753,16 @@ impl SiteWorker {
         self.backlog.clear();
         self.proactive_inflight.clear();
         self.demand.iter_mut().for_each(|d| *d = 0.0);
+        // The program registry models durable catalog state (sources would
+        // live in the WAL-covered catalog of a real system), but its treaty
+        // table is volatile: freeze general execution until the
+        // post-recovery resynchronization reinstalls the authoritative
+        // database and round counter.
+        self.general_active = None;
+        self.general_backlog.clear();
+        if self.programs.is_some() {
+            self.general_frozen = true;
+        }
         self.recovering = true;
         out.push((buddy, Message::StateRequest));
     }
@@ -600,6 +772,14 @@ impl SiteWorker {
             self.install_counter(meta);
         }
         self.recovering = false;
+        if self.programs.is_some() {
+            // Fire-and-forget general resynchronization: the install that
+            // answers it restores the treaty round counter and lifts the
+            // restart freeze. Its `SyncDone` arrives with an unknown
+            // request id and is ignored.
+            let req = self.fresh_req();
+            out.push((GENERAL_COORDINATOR, Message::ProgramSync { req, txn: None }));
+        }
         let backlog: Vec<(usize, Message)> = self.recovery_backlog.drain(..).collect();
         for (from, msg) in backlog {
             self.handle(from, msg, out);
@@ -708,13 +888,258 @@ impl SiteWorker {
                     ));
                     break;
                 }
-                SiteOp::Transaction { .. } => {
-                    panic!(
-                        "the cluster runtime executes counter operations, not general transactions"
-                    )
+                SiteOp::Transaction { index } => {
+                    if self.general_frozen {
+                        // Stalled until the in-flight general round installs.
+                        self.queue.push_front(SiteOp::Transaction { index });
+                        break;
+                    }
+                    if !self.run_general_transaction(index, out) {
+                        break; // treaty violation routed to the coordinator
+                    }
                 }
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // General transactions (the full L++ pipeline)
+    // ------------------------------------------------------------------
+
+    /// Executes one registered general transaction at the head of the line.
+    /// Within its local treaty the transaction commits against this site's
+    /// engine with no messages (Section 3.2's disconnected execution); a
+    /// treaty violation undoes the writes and hands the transaction to the
+    /// [`GENERAL_COORDINATOR`] for a freeze → fold → re-run → renegotiate
+    /// round. Returns `false` when the operation is now waiting on that
+    /// round (the pump must stop), `true` when it completed.
+    fn run_general_transaction(&mut self, index: usize, out: &mut Outbox) -> bool {
+        let Some(programs) = &self.programs else {
+            // No program registered: typed rejection, never a panic — wire
+            // batches are untrusted.
+            self.completed.push(OpOutcome::unsupported());
+            return true;
+        };
+        match programs.home_site(index) {
+            Some(home) if home == self.site => {}
+            _ => {
+                // Out-of-range index, or a confused client submitted the
+                // transaction to a site that does not hold its write set
+                // (Assumption 3.1 makes that an unroutable operation).
+                self.completed.push(OpOutcome::unsupported());
+                return true;
+            }
+        }
+        let txn = programs.transactions()[index].clone();
+        // Pre-images of the may-write set, for the violation rollback.
+        let pre: Vec<(ObjId, i64)> = txn
+            .write_set()
+            .iter()
+            .map(|obj| (obj.clone(), self.engine.peek(obj.as_str())))
+            .collect();
+        let result = match run_on_engine(&self.engine, &txn, &[]) {
+            Ok(result) => result,
+            Err(_) => {
+                self.completed.push(OpOutcome::unsupported());
+                return true;
+            }
+        };
+        if !result.committed {
+            // Aborted by local concurrency control: an uncommitted no-op.
+            self.completed.push(OpOutcome::default());
+            return true;
+        }
+        let view = Database::from_pairs(self.engine.snapshot());
+        let programs = self.programs.as_ref().expect("registered above");
+        if programs.local_holds(self.site, &view) {
+            self.stats.local_commits += 1;
+            self.completed.push(OpOutcome::local_commit());
+            return true;
+        }
+        // Treaty violation: undo the offending writes (the re-run after the
+        // fold is the committed execution) and wait for the round.
+        for (obj, value) in pre {
+            self.engine.poke(obj.as_str(), value);
+        }
+        let req = self.fresh_req();
+        self.waiting = Some(req);
+        out.push((
+            GENERAL_COORDINATOR,
+            Message::ProgramSync {
+                req,
+                txn: Some(index as u64),
+            },
+        ));
+        false
+    }
+
+    /// The authoritative values of the program objects located at this site
+    /// (this site's contribution to a general fold).
+    fn local_program_values(&self) -> Vec<(ObjId, i64)> {
+        let Some(programs) = &self.programs else {
+            return Vec::new();
+        };
+        programs
+            .loc()
+            .objects_at(self.site)
+            .into_iter()
+            .map(|obj| {
+                let value = self.engine.peek(obj.as_str());
+                (obj, value)
+            })
+            .collect()
+    }
+
+    /// Starts the next queued general round, if none is active.
+    fn try_start_general_round(&mut self, out: &mut Outbox) {
+        while self.general_active.is_none() {
+            let Some(request) = self.general_backlog.pop_front() else {
+                return;
+            };
+            if self.programs.is_none() {
+                // Nothing registered (a resync racing a restart): answer
+                // with a degenerate completion so the origin never hangs.
+                let done = Message::SyncDone {
+                    req: request.req,
+                    refilled: false,
+                    solver_micros: 0,
+                    folded: false,
+                };
+                if request.origin == self.site {
+                    self.on_sync_done(request.req, false, 0, out);
+                } else {
+                    out.push((request.origin, done));
+                }
+                continue;
+            }
+            let sync = self.next_sync * self.sites as u64 + self.site as u64;
+            self.next_sync += 1;
+            self.general_frozen = true;
+            let mut values = BTreeMap::new();
+            values.insert(self.site, self.local_program_values());
+            self.general_active = Some(GeneralRound {
+                sync,
+                origin: request.origin,
+                req: request.req,
+                txn: request.txn,
+                values,
+                acks: BTreeSet::new(),
+                solver_micros: 0,
+                started: self.timer.start(),
+            });
+            if self.sites == 1 {
+                self.finish_general_collect(out);
+                return;
+            }
+            for peer in 0..self.sites {
+                if peer != self.site {
+                    out.push((peer, Message::ProgramCollect { sync }));
+                }
+            }
+            return;
+        }
+    }
+
+    /// Every site's values are in: fold the authoritative program database,
+    /// broadcast the install, and apply it locally.
+    fn finish_general_collect(&mut self, out: &mut Outbox) {
+        let (sync, txn, db) = {
+            let round = self.general_active.as_ref().expect("round active");
+            // Each site contributes exactly the objects located at it, so
+            // the fold is a disjoint union; sort for a canonical wire form.
+            let mut db: Vec<(ObjId, i64)> = round
+                .values
+                .values()
+                .flat_map(|values| values.iter().cloned())
+                .collect();
+            db.sort();
+            (round.sync, round.txn, db)
+        };
+        let pre_round = self
+            .programs
+            .as_ref()
+            .expect("general round requires programs")
+            .round();
+        for peer in 0..self.sites {
+            if peer != self.site {
+                out.push((
+                    peer,
+                    Message::ProgramInstall {
+                        sync,
+                        txn,
+                        round: pre_round,
+                        db: db.clone(),
+                    },
+                ));
+            }
+        }
+        let solver_micros = self.apply_general_install(txn, pre_round, &db);
+        let round = self.general_active.as_mut().expect("round active");
+        round.solver_micros = solver_micros;
+        if self.sites == 1 {
+            self.complete_general_round(out);
+        } else {
+            self.pump(out);
+        }
+    }
+
+    /// Installs the folded program database, deterministically re-runs the
+    /// violating transaction (every site reaches the same state), resets
+    /// the lockstep round counter, and renegotiates treaties from the
+    /// installed post-state — the shared [`ProgramSet::negotiate`] path, so
+    /// all sites (and the serial oracle) derive byte-identical treaties.
+    /// Returns the solver time in microseconds.
+    fn apply_general_install(&mut self, txn: Option<u64>, round: u64, db: &[(ObjId, i64)]) -> u64 {
+        for (obj, value) in db {
+            self.engine
+                .write_logged(obj.as_str(), *value)
+                .expect("install runs between local transactions");
+        }
+        let mut global = Database::from_pairs(db.iter().cloned());
+        let Some(programs) = &mut self.programs else {
+            self.general_frozen = false;
+            return 0;
+        };
+        if let Some(index) = txn {
+            if let Some(t) = programs.transactions().get(index as usize).cloned() {
+                if let Ok(result) = run_on_engine(&self.engine, &t, &[]) {
+                    if result.committed {
+                        for (obj, value) in &result.writes {
+                            global.set(obj.clone(), *value);
+                        }
+                    }
+                }
+            }
+        }
+        programs.set_round(round);
+        let solver_micros = programs.negotiate(&global, self.timer);
+        self.stats.negotiations += 1;
+        self.stats.solver_micros_total += solver_micros;
+        self.general_frozen = false;
+        solver_micros
+    }
+
+    /// All install acks are in: report to the origin and start the next
+    /// queued general round.
+    fn complete_general_round(&mut self, out: &mut Outbox) {
+        let round = self.general_active.take().expect("round active");
+        self.stats.synchronizations += 1;
+        self.metrics
+            .observe(self.phase_ids.round(false), round.started.elapsed_micros());
+        if round.origin == self.site {
+            self.on_sync_done(round.req, false, round.solver_micros, out);
+        } else {
+            out.push((
+                round.origin,
+                Message::SyncDone {
+                    req: round.req,
+                    refilled: false,
+                    solver_micros: round.solver_micros,
+                    folded: true,
+                },
+            ));
+        }
+        self.try_start_general_round(out);
     }
 
     /// Attempts the within-treaty fast path of an order. Returns `false` on

@@ -68,6 +68,10 @@ pub enum TokenKind {
     OrOr,
     /// `!`
     Bang,
+    /// `.` (separates the components of a structured array index, e.g.
+    /// `stock[0.1.2]`; dots *inside* an identifier are part of the
+    /// identifier itself).
+    Dot,
     /// End of input.
     Eof,
 }
@@ -325,6 +329,13 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                 });
                 i += 1;
             }
+            '.' => {
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    offset: i,
+                });
+                i += 1;
+            }
             '-' => {
                 tokens.push(Token {
                     kind: TokenKind::Minus,
@@ -489,6 +500,7 @@ mod tests {
             TokenKind::AndAnd => "&&".into(),
             TokenKind::OrOr => "||".into(),
             TokenKind::Bang => "!".into(),
+            TokenKind::Dot => ".".into(),
             TokenKind::Eof => String::new(),
         }
     }

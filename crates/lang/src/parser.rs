@@ -237,14 +237,28 @@ impl Parser {
         let base = self.ident("object name")?;
         if matches!(self.peek(), TokenKind::LBracket) {
             self.bump();
-            let index = match self.bump() {
-                TokenKind::Int(n) => n,
-                other => return self.error(format!("expected array index, found {other:?}")),
-            };
+            // A structured index: dot-separated components, each an integer
+            // or an identifier — `stock[42]`, `stock[0.1.2]` (TPC-C's
+            // warehouse.district.item), `seat[row.7]`. The textual form is
+            // preserved verbatim in the object id.
+            let mut index = self.index_component()?;
+            while matches!(self.peek(), TokenKind::Dot) {
+                self.bump();
+                index.push('.');
+                index.push_str(&self.index_component()?);
+            }
             self.expect(&TokenKind::RBracket, "`]`")?;
             Ok(ObjId::new(format!("{base}[{index}]")))
         } else {
             Ok(ObjId::new(base))
+        }
+    }
+
+    fn index_component(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            TokenKind::Int(n) => Ok(n.to_string()),
+            TokenKind::Ident(name) => Ok(name),
+            other => self.error(format!("expected array index, found {other:?}")),
         }
     }
 
@@ -515,6 +529,28 @@ mod tests {
         let db = Database::from_pairs([("stock[7]", 4)]);
         let out = Evaluator::eval(&txn, &db, &[]).unwrap();
         assert_eq!(out.database.get(&"stock[7]".into()), 3);
+    }
+
+    #[test]
+    fn parses_structured_array_indices() {
+        // Dot-separated index components: TPC-C's warehouse.district.item
+        // namespace and mixed identifier/number forms — and they round-trip
+        // through the pretty printer (what program registration relies on).
+        let src = r#"
+            transaction t() {
+              q := read(stock[0.1.2]);
+              write(stock[0.1.2] = q - 1);
+              write(seat[row.7] = 1);
+              write(sale[cold.0] = 2);
+            }
+        "#;
+        let txn = parse_transaction(src).unwrap();
+        let db = Database::from_pairs([("stock[0.1.2]", 4)]);
+        let out = Evaluator::eval(&txn, &db, &[]).unwrap();
+        assert_eq!(out.database.get(&"stock[0.1.2]".into()), 3);
+        assert_eq!(out.database.get(&"seat[row.7]".into()), 1);
+        let printed = crate::pretty::transaction_to_string(&txn);
+        assert_eq!(parse_transaction(&printed).unwrap(), txn);
     }
 
     #[test]

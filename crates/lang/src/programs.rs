@@ -133,8 +133,15 @@ pub fn micro_order_with_refill(refill: i64) -> Transaction {
 /// The microbenchmark transaction specialised to a concrete item: all reads
 /// and writes target the single object `stock[item]`.
 pub fn micro_order_for_item(item: i64, refill: i64) -> Transaction {
-    let mut b = TxnBuilder::new(format!("MicroOrder(item={item})"));
-    let obj = stock_obj(item);
+    order_for_object(stock_obj(item), refill)
+}
+
+/// The decrement-or-refill transaction over an arbitrary object — the
+/// general form of [`micro_order_for_item`] for workloads whose object
+/// namespace is not the flat `stock[i]` (e.g. TPC-C's
+/// `stock[w.d.i]` or a seat map's `seat[row.col]`).
+pub fn order_for_object(obj: ObjId, refill: i64) -> Transaction {
+    let mut b = TxnBuilder::new(format!("Order({obj})"));
     b.push(assign("qty", read(obj.clone())));
     b.push(ite(
         var("qty").gt(num(1)),

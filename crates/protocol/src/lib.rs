@@ -39,21 +39,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod config;
 pub mod correctness;
 pub mod exec;
 pub mod lrslice;
 pub mod model;
 pub mod negotiation;
 pub mod optimizer;
+pub mod program;
 pub mod remote_writes;
 pub mod replicated;
 pub mod round;
 pub mod templates;
 pub mod treaty;
 
+pub use config::ClusterConfig;
 pub use model::{DistributedDb, Loc, SiteId};
 pub use negotiation::{negotiate_allowances_cached, AdaptiveSync, NegotiationCache, SyncTuning};
 pub use optimizer::{OptimizerConfig, WorkloadModel};
+pub use program::{ProgramBundle, ProgramSet};
 pub use replicated::{
     negotiate_allowances, ReplicatedMode, ReplicatedOutcome, ReplicatedStats, WorkloadHints,
 };

@@ -71,6 +71,17 @@ impl Loc {
         self.site_of(obj) == site
     }
 
+    /// All explicit `(object, site)` pairs, in object order — the portable
+    /// form a [`crate::program::ProgramBundle`] ships over the wire.
+    pub fn pairs(&self) -> Vec<(ObjId, SiteId)> {
+        self.map.iter().map(|(o, s)| (o.clone(), *s)).collect()
+    }
+
+    /// The configured default site, if any.
+    pub fn default_site(&self) -> Option<SiteId> {
+        self.default_site
+    }
+
     /// All explicitly mapped objects located at `site`.
     pub fn objects_at(&self, site: SiteId) -> Vec<ObjId> {
         self.map

@@ -18,7 +18,6 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use homeo_analysis::{JointSymbolicTable, SymbolicTable};
 use homeo_lang::ast::Transaction;
 use homeo_lang::database::Database;
 use homeo_lang::ids::ObjId;
@@ -27,8 +26,8 @@ use homeo_store::Engine;
 
 use crate::exec::{run_on_engine, ExecError};
 use crate::model::{Loc, SiteId};
-use crate::optimizer::{optimize_timed, OptimizerConfig};
-use crate::templates::{preprocess_guard, TreatyTemplates};
+use crate::optimizer::OptimizerConfig;
+use crate::program::ProgramSet;
 use crate::treaty::TreatyTable;
 
 /// The outcome of executing one transaction through the protocol.
@@ -70,17 +69,16 @@ pub struct ClusterStats {
 
 /// The general homeostasis cluster.
 pub struct HomeostasisCluster {
-    transactions: Vec<Transaction>,
-    joint: JointSymbolicTable,
-    loc: Loc,
+    /// The registered program set: parsed transactions, joint symbolic
+    /// table, location map, and treaty table. Shared with the cluster
+    /// workers, so the serial oracle and the distributed backends negotiate
+    /// through literally the same code path.
+    programs: ProgramSet,
     sites: Vec<Engine>,
-    treaties: TreatyTable,
     /// The globally agreed database at the start of the current round.
     round_start: Database,
     /// History of the current round (for the correctness oracle).
     history: Vec<CommittedRecord>,
-    /// Optimizer settings; `None` uses the Theorem 4.3 default configuration.
-    optimizer: Option<OptimizerConfig>,
     /// Elapsed-time source for the reported solver times.
     timer: Timer,
     /// Statistics.
@@ -100,13 +98,14 @@ impl HomeostasisCluster {
         initial: Database,
         optimizer: Option<OptimizerConfig>,
     ) -> Self {
-        assert!(
-            transactions.iter().all(|t| t.params.is_empty()),
-            "the general cluster requires parameterless (pre-instantiated) transactions"
-        );
-        let tables: Vec<SymbolicTable> = transactions.iter().map(SymbolicTable::analyze).collect();
-        let joint = JointSymbolicTable::build(&tables);
-        let engines: Vec<Engine> = (0..sites)
+        let programs = ProgramSet::from_transactions(transactions, loc, sites, optimizer);
+        Self::from_programs(programs, initial)
+    }
+
+    /// Creates a cluster over an already-built [`ProgramSet`] (the shared
+    /// registration form of the cluster backends).
+    pub fn from_programs(programs: ProgramSet, initial: Database) -> Self {
+        let engines: Vec<Engine> = (0..programs.sites())
             .map(|_| {
                 let e = Engine::new();
                 for (obj, value) in initial.iter() {
@@ -116,14 +115,10 @@ impl HomeostasisCluster {
             })
             .collect();
         let mut cluster = HomeostasisCluster {
-            transactions,
-            joint,
-            loc,
+            programs,
             sites: engines,
-            treaties: TreatyTable::new(sites),
             round_start: initial,
             history: Vec::new(),
-            optimizer,
             timer: Timer::Wall,
             stats: ClusterStats::default(),
         };
@@ -140,19 +135,9 @@ impl HomeostasisCluster {
 
     /// The site a transaction runs on: the site holding its write set.
     pub fn home_site(&self, txn_index: usize) -> SiteId {
-        let txn = &self.transactions[txn_index];
-        let writes = txn.write_set();
-        let site = writes
-            .iter()
-            .next()
-            .map(|o| self.loc.site_of(o))
-            .unwrap_or(0);
-        debug_assert!(
-            self.loc.all_writes_local(txn, site),
-            "transaction {} violates Assumption 3.1",
-            txn.name
-        );
-        site
+        self.programs
+            .home_site(txn_index)
+            .expect("transaction index out of range")
     }
 
     /// The number of sites.
@@ -167,7 +152,12 @@ impl HomeostasisCluster {
 
     /// The current treaty table.
     pub fn treaties(&self) -> &TreatyTable {
-        &self.treaties
+        self.programs.treaties()
+    }
+
+    /// The registered program set.
+    pub fn programs(&self) -> &ProgramSet {
+        &self.programs
     }
 
     /// The committed history of the current round.
@@ -182,7 +172,7 @@ impl HomeostasisCluster {
 
     /// The transaction list.
     pub fn transactions(&self) -> &[Transaction] {
-        &self.transactions
+        self.programs.transactions()
     }
 
     /// The authoritative global database: each site contributes its local
@@ -192,7 +182,7 @@ impl HomeostasisCluster {
         for (site, engine) in self.sites.iter().enumerate() {
             for (obj, value) in engine.snapshot() {
                 let id = ObjId::new(obj);
-                if self.loc.site_of(&id) == site {
+                if self.programs.loc().site_of(&id) == site {
                     db.set(id, value);
                 }
             }
@@ -208,7 +198,7 @@ impl HomeostasisCluster {
     /// Executes a transaction through the protocol.
     pub fn execute(&mut self, txn_index: usize) -> Result<TxnOutcome, ExecError> {
         let site = self.home_site(txn_index);
-        let txn = self.transactions[txn_index].clone();
+        let txn = self.programs.transactions()[txn_index].clone();
         let engine = &self.sites[site];
         let result = run_on_engine(engine, &txn, &[])?;
         if !result.committed {
@@ -226,7 +216,7 @@ impl HomeostasisCluster {
         // since the protocol immediately re-runs the transaction after
         // synchronization).
         let view = self.site_view(site);
-        if self.treaties.local(site).holds_on(&view) {
+        if self.programs.local_holds(site, &view) {
             self.stats.local_commits += 1;
             self.history.push(CommittedRecord {
                 site,
@@ -244,7 +234,7 @@ impl HomeostasisCluster {
         // Treaty violation: undo the offending writes locally, then run the
         // cleanup phase.
         for obj in result.writes.keys() {
-            let previous = if self.loc.site_of(obj) == site {
+            let previous = if self.programs.loc().site_of(obj) == site {
                 // Local objects: recover the pre-transaction value from the
                 // round-start snapshot plus committed history (simplest: take
                 // it from the authoritative pre-violation global database).
@@ -279,7 +269,7 @@ impl HomeostasisCluster {
             if record.site != site {
                 continue;
             }
-            let txn = &self.transactions[record.txn_index];
+            let txn = &self.programs.transactions()[record.txn_index];
             // Replay against the site view semantics: local objects from db,
             // remote objects from the round-start snapshot (they have not
             // changed locally).
@@ -325,7 +315,7 @@ impl HomeostasisCluster {
         }
         // 2. Run the violating transaction at every site (deterministic, so
         //    every site reaches the same state); record its log once.
-        let txn = self.transactions[violating_txn].clone();
+        let txn = self.programs.transactions()[violating_txn].clone();
         let mut recorded = false;
         for engine in self.sites.iter() {
             if let Ok(result) = run_on_engine(engine, &txn, &[]) {
@@ -345,41 +335,12 @@ impl HomeostasisCluster {
         self.negotiate_treaties()
     }
 
-    /// Treaty generation for the current round-start database. Returns the
+    /// Treaty generation for the current round-start database, through the
+    /// program set's shared deterministic negotiation path. Returns the
     /// solver time in microseconds.
     fn negotiate_treaties(&mut self) -> u64 {
         let db = self.round_start.clone();
-        let row = match self.joint.find_row(&db) {
-            Ok(Some(row)) => row.guard.clone(),
-            _ => homeo_lang::ast::BExp::True,
-        };
-        let psi = preprocess_guard(&row, &db);
-        let templates = TreatyTemplates::generate(&psi, &self.loc, self.sites.len());
-        let (config, solver_micros) = match &self.optimizer {
-            Some(cfg) => {
-                // Workload model: pick one of the cluster's transactions
-                // uniformly at random and apply it through direct evaluation.
-                let transactions = self.transactions.clone();
-                let mut model = move |current: &Database, rng: &mut homeo_sim::DetRng| {
-                    let idx = rng.index(transactions.len());
-                    match homeo_lang::Evaluator::eval(&transactions[idx], current, &[]) {
-                        Ok(out) => out.database,
-                        Err(_) => current.clone(),
-                    }
-                };
-                let seeded = OptimizerConfig {
-                    seed: cfg.seed.wrapping_add(self.treaties.round),
-                    ..*cfg
-                };
-                let result = optimize_timed(&templates, &db, &mut model, &seeded, self.timer);
-                (result.config, result.solver_micros)
-            }
-            None => (templates.default_config(&db), 0),
-        };
-        let locals = templates.local_treaties(&config, &db);
-        debug_assert!(templates.config_is_valid(&config, &db));
-        self.treaties.install(templates.global(), locals);
-        solver_micros
+        self.programs.negotiate(&db, self.timer)
     }
 }
 

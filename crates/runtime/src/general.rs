@@ -55,10 +55,6 @@ impl SiteRuntime for GeneralRuntime {
     }
 
     fn submit(&mut self, site: usize, op: SiteOp) {
-        debug_assert!(
-            matches!(op, SiteOp::Transaction { .. }),
-            "the general runtime executes registered transactions only"
-        );
         self.inboxes[site].push_back(op);
     }
 
@@ -67,7 +63,7 @@ impl SiteRuntime for GeneralRuntime {
         batch
             .into_iter()
             .map(|op| match op {
-                SiteOp::Transaction { index } => {
+                SiteOp::Transaction { index } if index < self.cluster.transactions().len() => {
                     // The cluster routes to the transaction's home site
                     // (Assumption 3.1); the submitting site's inbox is just
                     // the queueing point.
@@ -81,11 +77,13 @@ impl SiteRuntime for GeneralRuntime {
                         refilled: false,
                         comm_rounds: out.comm_rounds,
                         solver_micros: out.solver_micros,
+                        unsupported: false,
                     }
                 }
-                other => panic!(
-                    "the general runtime executes registered transactions only, got {other:?}"
-                ),
+                // Counter operations (and out-of-range indices) are typed
+                // as rejected — this runtime executes registered general
+                // transactions only.
+                _ => OpOutcome::unsupported(),
             })
             .collect()
     }

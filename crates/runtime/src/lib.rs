@@ -112,6 +112,12 @@ pub struct OpOutcome {
     /// Time spent in the treaty solver, in microseconds as reported by the
     /// runtime's [`homeo_sim::Timer`].
     pub solver_micros: u64,
+    /// Whether the operation was rejected as unsupported on this runtime —
+    /// e.g. a [`SiteOp::Transaction`] referencing a program that was never
+    /// registered. Unsupported operations never commit; the typed flag lets
+    /// a confused client distinguish "rejected" from "aborted by concurrency
+    /// control" without the site tearing its connection down.
+    pub unsupported: bool,
 }
 
 impl OpOutcome {
@@ -119,6 +125,15 @@ impl OpOutcome {
     pub fn local_commit() -> Self {
         OpOutcome {
             committed: true,
+            ..Default::default()
+        }
+    }
+
+    /// An operation this runtime cannot execute (not committed, typed as
+    /// rejected rather than aborted).
+    pub fn unsupported() -> Self {
+        OpOutcome {
+            unsupported: true,
             ..Default::default()
         }
     }
@@ -131,6 +146,7 @@ impl OpOutcome {
             refilled,
             comm_rounds: 2,
             solver_micros,
+            unsupported: false,
         }
     }
 }
@@ -254,7 +270,10 @@ mod tests {
     fn default_outcome_is_an_uncommitted_noop() {
         let o = OpOutcome::default();
         assert!(!o.committed && !o.synchronized && o.comm_rounds == 0);
+        assert!(!o.unsupported);
         assert!(OpOutcome::local_commit().committed);
+        let u = OpOutcome::unsupported();
+        assert!(u.unsupported && !u.committed && !u.synchronized);
         let s = OpOutcome::synchronized(true, 7);
         assert!(s.committed && s.synchronized && s.refilled);
         assert_eq!(s.comm_rounds, 2);

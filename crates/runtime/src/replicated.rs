@@ -18,8 +18,8 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use homeo_lang::ids::ObjId;
 use homeo_protocol::{
-    negotiate_allowances_cached, NegotiationCache, ReplicatedMode, ReplicatedStats, SyncTuning,
-    WorkloadHints,
+    negotiate_allowances_cached, ClusterConfig, NegotiationCache, ReplicatedMode, ReplicatedStats,
+    SyncTuning, WorkloadHints,
 };
 use homeo_sim::Timer;
 use homeo_store::{Engine, EngineError};
@@ -102,11 +102,44 @@ impl ReplicatedRuntime {
         }
     }
 
+    /// Creates a runtime from the shared [`ClusterConfig`] builder — the
+    /// same configuration value the cluster backends take, so a serial
+    /// oracle and a cluster under test can be built from one config:
+    ///
+    /// ```
+    /// use homeo_protocol::{ClusterConfig, ReplicatedMode};
+    /// use homeo_runtime::{ReplicatedRuntime, SiteRuntime};
+    /// use homeo_sim::Timer;
+    ///
+    /// let config = ClusterConfig::new(ReplicatedMode::EvenSplit)
+    ///     .with_timer(Timer::fixed_zero());
+    /// let runtime = ReplicatedRuntime::from_config(3, &config);
+    /// assert_eq!(runtime.sites(), 3);
+    /// ```
+    pub fn from_config(sites: usize, config: &ClusterConfig) -> Self {
+        assert!(sites > 0);
+        Self::from_engines_config((0..sites).map(|_| Engine::new()).collect(), config)
+    }
+
+    /// Creates a runtime over pre-populated engines from the shared
+    /// [`ClusterConfig`] builder (see [`Self::from_config`]).
+    pub fn from_engines_config(engines: Vec<Engine>, config: &ClusterConfig) -> Self {
+        let sites = engines.len();
+        let mut runtime = Self::from_engines(engines, config.mode);
+        runtime.hints = config.hints(sites);
+        runtime.timer = config.timer;
+        runtime.tuning = config.tuning;
+        runtime
+    }
+
     /// Sets the synchronization tuning (solver warm start, demand-adaptive
     /// proactive renegotiation). The default warm-starts the solver with the
     /// adaptive loop off; either setting leaves negotiated allowances
     /// byte-identical to a cold solve — only the adaptive loop changes which
     /// negotiations happen.
+    ///
+    /// Thin forward kept for existing call sites; new code should carry the
+    /// knobs in a [`ClusterConfig`] and use [`Self::from_config`].
     pub fn with_sync_tuning(mut self, tuning: SyncTuning) -> Self {
         self.tuning = tuning;
         self
@@ -412,9 +445,10 @@ impl ReplicatedRuntime {
                     outcomes[i] = self.force_sync(obj);
                 }
                 SiteOp::Transaction { .. } => {
-                    panic!(
-                        "ReplicatedRuntime executes counter operations, not general transactions"
-                    )
+                    // The counter fast path cannot run general programs; the
+                    // operation is typed as rejected, never a panic — a
+                    // confused client gets a clean outcome back.
+                    outcomes[i] = OpOutcome::unsupported();
                 }
             }
         }

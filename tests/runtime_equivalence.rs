@@ -179,6 +179,109 @@ fn the_local_baseline_diverges_exactly_as_predicted() {
     assert!(diverged, "local replicas unexpectedly agree everywhere");
 }
 
+/// A general-transaction program spread over the sites: one
+/// decrement-or-refill `L++` transaction per item, homed at `item % SITES`.
+fn general_fixture() -> (
+    Vec<homeostasis::lang::ast::Transaction>,
+    homeostasis::protocol::Loc,
+    homeostasis::lang::Database,
+) {
+    use homeostasis::lang::programs;
+    const GITEMS: i64 = 6;
+    let txns: Vec<_> = (0..GITEMS)
+        .map(|i| programs::micro_order_for_item(i, 12))
+        .collect();
+    let loc = homeostasis::protocol::Loc::from_pairs(
+        (0..GITEMS).map(|i| (programs::stock_obj(i), (i as usize) % SITES)),
+    );
+    let initial = homeostasis::lang::Database::from_pairs(
+        (0..GITEMS).map(|i| (programs::stock_obj(i), 7i64)),
+    );
+    (txns, loc, initial)
+}
+
+#[test]
+fn general_transactions_agree_across_all_cluster_backends() {
+    // The tentpole claim of the cluster-wide general path: a registered
+    // L++ program executes on the threaded, simulated and TCP backends
+    // with the same outcomes and the same committed state as the serial
+    // `GeneralRuntime` oracle — byte-identical, per site, after the fold.
+    use homeostasis::protocol::{HomeostasisCluster, ProgramBundle};
+    use homeostasis::runtime::GeneralRuntime;
+
+    let (txns, loc, initial) = general_fixture();
+    let bundle = ProgramBundle::from_transactions(&txns, &loc, &initial, None);
+    let mut rng = DetRng::seed_from(0x6E6E);
+    let schedule: Vec<usize> = (0..150).map(|_| rng.index(txns.len())).collect();
+
+    // The serial oracle.
+    let mut oracle = GeneralRuntime::new(
+        HomeostasisCluster::new(txns.clone(), loc.clone(), SITES, initial.clone(), None)
+            .with_timer(Timer::fixed_zero()),
+    );
+    let oracle_outcomes: Vec<_> = schedule
+        .iter()
+        .map(|&index| {
+            let site = oracle.home_site(index);
+            oracle.execute(site, SiteOp::Transaction { index })
+        })
+        .collect();
+    assert!(
+        oracle_outcomes.iter().all(|o| o.committed),
+        "oracle must commit every transaction"
+    );
+    assert!(
+        oracle_outcomes.iter().any(|o| o.synchronized),
+        "draining 150 orders over 7-unit counters must violate treaties"
+    );
+    oracle.synchronize(0);
+    let oracle_db = oracle.cluster().global_database();
+
+    let config = || ClusterConfig::new(ReplicatedMode::EvenSplit).with_timer(Timer::fixed_zero());
+    let backends: Vec<(&str, ClusterRuntime)> = vec![
+        (
+            "cluster-threaded",
+            ClusterRuntime::threaded(SITES, config()),
+        ),
+        (
+            "cluster-sim",
+            ClusterRuntime::sim(SITES, config(), SimNetConfig::reliable(SITES, 100)),
+        ),
+        ("cluster-tcp", ClusterRuntime::tcp(SITES, config())),
+    ];
+    for (label, mut cluster) in backends {
+        assert_eq!(
+            cluster.register_program(&bundle),
+            txns.len() as u64,
+            "{label}: registration"
+        );
+        let homes: Vec<usize> = (0..txns.len()).map(|i| oracle.home_site(i)).collect();
+        for (k, &index) in schedule.iter().enumerate() {
+            let out = cluster.execute(homes[index], SiteOp::Transaction { index });
+            assert!(!out.unsupported, "{label}: op {k} rejected");
+            assert_eq!(
+                (out.committed, out.synchronized, out.comm_rounds),
+                (
+                    oracle_outcomes[k].committed,
+                    oracle_outcomes[k].synchronized,
+                    oracle_outcomes[k].comm_rounds,
+                ),
+                "{label}: op {k} (txn {index}) diverged from the oracle"
+            );
+        }
+        cluster.synchronize(0);
+        for (obj, value) in oracle_db.iter() {
+            for site in 0..SITES {
+                assert_eq!(
+                    cluster.value_at(site, obj),
+                    value,
+                    "{label}: {obj} at site {site} diverged from the oracle"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn seeded_runs_are_reproducible_across_protocols() {
     // With a fixed timer and a fixed seed, two full runs produce identical
