@@ -3,11 +3,13 @@
 //! ```text
 //! reproduce [--full] [--csv-dir DIR] [--json PATH] [--baseline PATH]
 //!           [--list] [--threads N] [--homeo-load CONFIG] [--ops N]
-//!           [--clients N] [--rate R] [--metrics]
+//!           [--clients N] [--rate R] [--metrics] [--sites N,N,...]
+//!           [--retire SITE]
 //!           [all | table1 | fig10 | ... | fig29
 //!            | cluster-partition | ... | cluster-tcp
 //!            | scenario-flash-sale | scenario-rate-limiter
-//!            | scenario-seatmap | scenario-tpcc-neworder | bench]...
+//!            | scenario-seatmap | scenario-tpcc-neworder
+//!            | scenario-join-leave | bench | sync | scaling]...
 //! ```
 //!
 //! With no arguments, `all` is assumed: every paper figure, the cluster
@@ -43,6 +45,14 @@
 //! (`MetricsRequest` → Prometheus-style text) after the load, prints it,
 //! and fails if a required instrumentation key is missing or zero — the
 //! CI smoke job uses this to prove a live daemon's metrics endpoint works.
+//! `--sites N,N,...` overrides the site counts of the `scaling` sweep
+//! (and adds `scaling` to the requested ids if absent, so
+//! `reproduce bench --sites 2,5` emits both figures). `--retire SITE`
+//! (with `--homeo-load`) first retires the named site from the live
+//! cluster — a `Leave` frame through a surviving member, polled until the
+//! epoch-bumped roster evicts it — and then drives the load against the
+//! survivors only, so the conservation exit code also gates the handoff's
+//! delta folding.
 //!
 //! Exit codes: `0` on success, `1` when one or more requested figures or
 //! scenarios fail to generate or write, or when the baseline check finds a
@@ -67,6 +77,8 @@ fn main() {
     let mut clients: usize = 0;
     let mut rate: f64 = 0.0;
     let mut metrics = false;
+    let mut site_counts: Option<Vec<usize>> = None;
+    let mut retire: Option<usize> = None;
     let mut requested: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1).peekable();
@@ -128,6 +140,30 @@ fn main() {
                 }
             }
             "--metrics" => metrics = true,
+            "--sites" => {
+                let list = args.next().and_then(|list| {
+                    list.split(',')
+                        .map(|n| n.trim().parse::<usize>().ok().filter(|&n| n >= 2))
+                        .collect::<Option<Vec<usize>>>()
+                });
+                match list {
+                    Some(list) if !list.is_empty() => site_counts = Some(list),
+                    _ => {
+                        eprintln!("--sites requires a comma-separated list of counts >= 2");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--retire" => {
+                let n = args.next().and_then(|n| n.parse::<usize>().ok());
+                match n {
+                    Some(n) => retire = Some(n),
+                    _ => {
+                        eprintln!("--retire requires a site id");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--csv-dir" => {
                 let dir = args.next().unwrap_or_else(|| {
                     eprintln!("--csv-dir requires a directory argument");
@@ -154,7 +190,8 @@ fn main() {
                     "usage: reproduce [--full] [--csv-dir DIR] [--json PATH] \
                      [--baseline PATH] [--list] [--threads N] \
                      [--homeo-load CONFIG] [--ops N] [--clients N] [--rate R] \
-                     [--metrics] [all | {}]...",
+                     [--metrics] [--sites N,N,...] [--retire SITE] \
+                     [all | {}]...",
                     all_ids().join(" | ")
                 );
                 return;
@@ -172,10 +209,18 @@ fn main() {
             std::process::exit(2);
         }
     }
+    if retire.is_some() && homeo_load.is_none() {
+        eprintln!("--retire needs --homeo-load CONFIG to reach the cluster");
+        std::process::exit(2);
+    }
     if requested.is_empty() && (threads.is_some() || homeo_load.is_some()) {
         // `--threads N` / `--homeo-load CONFIG` alone run just the load mode.
     } else if requested.is_empty() || requested.iter().any(|r| r == "all") {
         requested = known.iter().map(|s| s.to_string()).collect();
+    } else if site_counts.is_some() && !requested.iter().any(|r| r == "scaling") {
+        // An explicit site list means the sweep was asked for:
+        // `reproduce bench --sites 2,5` emits the scaling figure too.
+        requested.push("scaling".to_string());
     }
 
     if let Some(dir) = &csv_dir {
@@ -198,7 +243,10 @@ fn main() {
         let started = std::time::Instant::now();
         // A figure that panics (e.g. a degenerate sweep) must not take the
         // rest of the reproduction down with it — record it and move on.
-        let result = std::panic::catch_unwind(|| generate(id, effort));
+        let result = std::panic::catch_unwind(|| match (id.as_str(), &site_counts) {
+            ("scaling", Some(counts)) => homeo_bench::scaling::sweep(counts, effort),
+            _ => generate(id, effort),
+        });
         let figure = match result {
             Ok(figure) => figure,
             Err(_) => {
@@ -278,7 +326,7 @@ fn main() {
         }
     }
     if let Some(config_path) = &homeo_load {
-        match run_homeo_load(config_path, ops_per_site, clients, rate, metrics) {
+        match run_homeo_load(config_path, ops_per_site, clients, rate, metrics, retire) {
             Ok(()) => {}
             Err(problem) => {
                 eprintln!("FAILED: {problem}\n");
@@ -301,18 +349,24 @@ fn main() {
 /// TCP against an externally started `homeostasisd` cluster and
 /// self-verify counter conservation. Any lost operation, cross-site
 /// disagreement or conservation violation is an `Err` (and thus a non-zero
-/// exit).
+/// exit). With `--retire SITE` the named site is first evicted from the
+/// live cluster (a `Leave` through a surviving member, polled until the
+/// epoch-bumped roster drops it) and the load runs against the survivors.
 fn run_homeo_load(
     config_path: &std::path::Path,
     ops_per_site: usize,
     clients: usize,
     rate: f64,
     metrics: bool,
+    retire: Option<usize>,
 ) -> Result<(), String> {
     let text = std::fs::read_to_string(config_path)
         .map_err(|e| format!("cannot read {}: {e}", config_path.display()))?;
-    let spec = ClusterSpec::parse(&text)
+    let mut spec = ClusterSpec::parse(&text)
         .map_err(|e| format!("bad cluster config {}: {e}", config_path.display()))?;
+    if let Some(site) = retire {
+        retire_site(&mut spec, site)?;
+    }
     const ITEMS: usize = 16;
     let mut opts = LoadOptions {
         clients,
@@ -388,6 +442,74 @@ fn run_homeo_load(
     if metrics {
         check_live_metrics(&spec)?;
     }
+    Ok(())
+}
+
+/// Retires `site` from the live cluster: sends `Leave` through a surviving
+/// member, polls that member's roster until the epoch-bumped
+/// `MembershipInstall` evicts the leaver (its shards handed off to the
+/// survivors), then drops the address from the spec so the load — and its
+/// conservation check — runs against the survivors only.
+///
+/// Meant to follow an earlier load against the full cluster (the CI
+/// elasticity job's flow): the load's counters then already exist on every
+/// survivor and seeding is skip-if-known, so the shrunken spec's site
+/// indices never reach the cluster as a member list.
+fn retire_site(spec: &mut ClusterSpec, site: usize) -> Result<(), String> {
+    if site >= spec.sites() {
+        return Err(format!(
+            "--retire {site}: the config only declares {} site(s)",
+            spec.sites()
+        ));
+    }
+    if spec.sites() < 2 {
+        return Err("--retire needs at least two configured sites".to_string());
+    }
+    let watch = (0..spec.sites())
+        .find(|s| *s != site)
+        .expect("two sites leave a survivor");
+    let addr = spec.addrs[watch];
+    let mut client = TcpClient::connect_retry(addr, Duration::from_secs(10))
+        .map_err(|e| format!("cannot reach surviving site {watch} at {addr}: {e}"))?;
+    let before = client
+        .roster()
+        .map_err(|e| format!("roster query at site {watch} failed: {e}"))?;
+    if !before.contains(site) {
+        return Err(format!(
+            "--retire {site}: not a member of the live roster \
+             (epoch {}, members {:?})",
+            before.epoch, before.members
+        ));
+    }
+    println!(
+        "retiring site {site} via site {watch}: roster epoch {}, members {:?}",
+        before.epoch, before.members
+    );
+    client
+        .leave(site)
+        .map_err(|e| format!("Leave({site}) via site {watch} failed: {e}"))?;
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let roster = client
+            .roster()
+            .map_err(|e| format!("roster poll at site {watch} failed: {e}"))?;
+        if roster.epoch > before.epoch && !roster.contains(site) {
+            println!(
+                "site {site} retired: epoch {} -> {}, members {:?}\n",
+                before.epoch, roster.epoch, roster.members
+            );
+            break;
+        }
+        if std::time::Instant::now() >= deadline {
+            return Err(format!(
+                "timed out waiting for site {site} to leave \
+                 (epoch {}, members {:?})",
+                roster.epoch, roster.members
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    spec.addrs.remove(site);
     Ok(())
 }
 
@@ -479,9 +601,13 @@ fn parse_metrics(text: &str) -> std::collections::BTreeMap<String, f64> {
 /// Compares the generated figures against a baseline JSON file (the schema
 /// `--json` emits). Every numeric cell present in both is checked with the
 /// generous CI tolerance: the current value must be at least **half** the
-/// baseline value (a cell regressing by more than 2× fails). Cells,
-/// rows or figures missing from the baseline are skipped, so the baseline
-/// only pins what it names. Returns the number of cells checked.
+/// baseline value (a cell regressing by more than 2× fails). Columns whose
+/// name ends in `_ms` are latencies, so the rule inverts into a ceiling:
+/// the current value must be at most **twice** the baseline. Either way a
+/// NaN cell (an unmeasured latency, a zero-committed throughput) fails
+/// closed. Cells, rows or figures missing from the baseline are skipped,
+/// so the baseline only pins what it names. Returns the number of cells
+/// checked.
 fn check_baseline(path: &std::path::Path, figures: &[Figure]) -> Result<usize, Vec<String>> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| vec![format!("cannot read baseline {}: {e}", path.display())])?;
@@ -524,16 +650,31 @@ fn check_baseline(path: &std::path::Path, figures: &[Figure]) -> Result<usize, V
                 checked += 1;
                 // `<` would silently pass on NaN; an unparseable cell must
                 // fail the gate, not sneak through it.
-                let holds = matches!(
-                    current_value.partial_cmp(&(base_value / 2.0)),
-                    Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
-                );
-                if !holds {
-                    problems.push(format!(
-                        "{} [{label} × {col}]: {current_value:.0} is below half \
-                         the baseline {base_value:.0}",
-                        base.id
-                    ));
+                if col.ends_with("_ms") {
+                    // Latency column: gate as a ceiling.
+                    let holds = matches!(
+                        current_value.partial_cmp(&(base_value * 2.0)),
+                        Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+                    );
+                    if !holds {
+                        problems.push(format!(
+                            "{} [{label} × {col}]: {current_value:.1} ms is above twice \
+                             the baseline ceiling {base_value:.1} ms",
+                            base.id
+                        ));
+                    }
+                } else {
+                    let holds = matches!(
+                        current_value.partial_cmp(&(base_value / 2.0)),
+                        Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+                    );
+                    if !holds {
+                        problems.push(format!(
+                            "{} [{label} × {col}]: {current_value:.0} is below half \
+                             the baseline {base_value:.0}",
+                            base.id
+                        ));
+                    }
                 }
             }
         }

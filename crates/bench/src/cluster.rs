@@ -10,8 +10,8 @@
 //! phase; with a fixed seed it is byte-for-byte reproducible.
 
 use homeo_cluster::{
-    free_loopback_addrs, spawn_cluster, tcp_load, ClusterConfig, ClusterSpec, DaemonFleet,
-    SimCluster, SimNetConfig,
+    free_loopback_addrs, spawn_cluster, tcp_load, ClientApi, ClusterConfig, ClusterSpec,
+    DaemonFleet, SimCluster, SimNetConfig, TcpCluster, ThreadedCluster,
 };
 use homeo_lang::ids::ObjId;
 use homeo_protocol::{OptimizerConfig, ReplicatedMode, WorkloadHints};
@@ -27,6 +27,7 @@ pub fn all_scenario_ids() -> Vec<&'static str> {
         "cluster-crash",
         "cluster-skew",
         "cluster-tcp",
+        "scenario-join-leave",
     ]
 }
 
@@ -41,6 +42,7 @@ pub fn scenario(id: &str) -> Figure {
         "cluster-crash" => kill_then_recover(),
         "cluster-skew" => skewed_allowances(),
         "cluster-tcp" => tcp_loopback_smoke(),
+        "scenario-join-leave" => join_leave_under_load(),
         other => panic!("unknown scenario id `{other}`"),
     }
 }
@@ -361,6 +363,274 @@ fn tcp_loopback_smoke() -> Figure {
             report.final_total as f64,
         ],
     );
+    fig
+}
+
+/// The elastic surface the join/leave scenario needs on top of
+/// [`ClientApi`]: grow the cluster by one site, retire one member. All
+/// three backends provide these as inherent methods; the trait lets one
+/// driver scale them all.
+trait ElasticApi: ClientApi {
+    /// Spawns a fresh site, joins it to the live cluster and blocks until
+    /// the epoch-bumped roster is committed. Returns the new site id.
+    fn join_site(&mut self) -> usize;
+    /// Retires a member site (shards handed off, unsynchronized deltas
+    /// folded into the survivors) and blocks until the shrunk roster is
+    /// committed.
+    fn leave_site(&mut self, site: usize);
+}
+
+impl ElasticApi for ThreadedCluster {
+    fn join_site(&mut self) -> usize {
+        self.join()
+    }
+    fn leave_site(&mut self, site: usize) {
+        self.leave(site)
+    }
+}
+
+impl ElasticApi for SimCluster {
+    fn join_site(&mut self) -> usize {
+        self.join()
+    }
+    fn leave_site(&mut self, site: usize) {
+        self.leave(site)
+    }
+}
+
+impl ElasticApi for TcpCluster {
+    fn join_site(&mut self) -> usize {
+        self.join()
+    }
+    fn leave_site(&mut self, site: usize) {
+        self.leave(site)
+    }
+}
+
+/// Initial stock per counter in the join/leave scenario: enough headroom
+/// that the seeded decrement stream never drains a counter to its lower
+/// bound (so every member-site order must commit), small enough that the
+/// allowance re-splits stay exercised.
+const ELASTIC_INITIAL: i64 = 60;
+
+/// Submits `ops` seeded unit decrements round-robin across `sites`
+/// **without** polling them — they stay in flight while the caller changes
+/// the membership — and returns how many were parked on each site.
+fn submit_in_flight(
+    cluster: &mut dyn ElasticApi,
+    rng: &mut DetRng,
+    sites: &[usize],
+    ops: usize,
+) -> Vec<(usize, usize)> {
+    let mut parked: Vec<(usize, usize)> = sites.iter().map(|&site| (site, 0)).collect();
+    for n in 0..ops {
+        let slot = n % parked.len();
+        cluster.submit(
+            parked[slot].0,
+            SiteOp::Order {
+                obj: stock(rng.index(ITEMS)),
+                amount: 1,
+                refill_to: None,
+            },
+        );
+        parked[slot].1 += 1;
+    }
+    parked
+}
+
+/// Polls the in-flight submissions to completion and returns the committed
+/// count. With `must_commit`, every outcome must have committed (member
+/// sites never lose an order to a membership change); without it,
+/// uncommitted no-ops are allowed — the retiring site completes whatever
+/// was parked on it as no-ops once evicted, and whatever it *did* commit
+/// was folded into the survivors' bases by the handoff.
+fn collect_in_flight(
+    cluster: &mut dyn ElasticApi,
+    parked: &[(usize, usize)],
+    must_commit: bool,
+) -> u64 {
+    let mut committed = 0;
+    for &(site, count) in parked {
+        let outcomes = cluster.poll(site);
+        assert_eq!(
+            outcomes.len(),
+            count,
+            "site {site} lost in-flight operations across the membership change"
+        );
+        for out in &outcomes {
+            assert!(
+                out.committed || !must_commit,
+                "an in-flight order on member site {site} must commit"
+            );
+            committed += u64::from(out.committed);
+        }
+    }
+    committed
+}
+
+/// Issues `ops` seeded unit decrements from the given member sites, each
+/// polled to completion and required to commit. Returns the committed
+/// count.
+fn run_decrement_phase(
+    cluster: &mut dyn ElasticApi,
+    rng: &mut DetRng,
+    sites: &[usize],
+    ops: usize,
+) -> u64 {
+    for _ in 0..ops {
+        let site = sites[rng.index(sites.len())];
+        let out = cluster.execute(
+            site,
+            SiteOp::Order {
+                obj: stock(rng.index(ITEMS)),
+                amount: 1,
+                refill_to: None,
+            },
+        );
+        assert!(
+            out.committed,
+            "a polled order on member site {site} must commit"
+        );
+    }
+    ops as u64
+}
+
+/// Folds everything through `members[0]` and gates the two elastic
+/// invariants: every **member** site observes the same value for every
+/// counter (non-members hold stale engine state by design — their deltas
+/// were folded out at handoff), and the folded total equals the seeded
+/// total minus every decrement ever committed — conservation across
+/// however many joins and leaves have happened. Returns the folded total.
+fn assert_elastic_converged(
+    cluster: &mut dyn ElasticApi,
+    members: &[usize],
+    committed: u64,
+) -> i64 {
+    cluster.synchronize(members[0]);
+    let mut total = 0;
+    for i in 0..ITEMS {
+        let expected = cluster.value_at(members[0], &stock(i));
+        for &site in &members[1..] {
+            assert_eq!(
+                cluster.value_at(site, &stock(i)),
+                expected,
+                "stock[{i}] diverged at member site {site} after the fold"
+            );
+        }
+        total += expected;
+    }
+    assert_eq!(
+        total,
+        ITEMS as i64 * ELASTIC_INITIAL - committed as i64,
+        "conservation violated: seeded {} − committed {committed} decrements \
+         must survive the membership changes",
+        ITEMS as i64 * ELASTIC_INITIAL
+    );
+    total
+}
+
+/// Scales one backend 3 → 4 → 3 under load and appends its three phase
+/// rows to the figure. The join and the leave each race a window of
+/// in-flight submissions, including (for the leave) orders parked on the
+/// retiring site itself.
+fn drive_elastic(cluster: &mut dyn ElasticApi, backend: &str, fig: &mut Figure) {
+    for i in 0..ITEMS {
+        cluster.register_counter(stock(i), ELASTIC_INITIAL, 1);
+    }
+    let mut rng = DetRng::seed_from(0xE1A57);
+    let mut committed: u64 = 0;
+
+    // Phase 1: steady state at the founding membership.
+    committed += run_decrement_phase(cluster, &mut rng, &[0, 1, 2], 60);
+    let t1 = assert_elastic_converged(cluster, &[0, 1, 2], committed);
+    fig.push_row(
+        format!("{backend} 3 sites"),
+        vec![committed as f64, 3.0, t1 as f64],
+    );
+
+    // Phase 2: join under load — the parked submissions race the counter
+    // freezes, delta folds and allowance re-splits of the handoff.
+    let parked = submit_in_flight(cluster, &mut rng, &[0, 1, 2], 36);
+    let joined = cluster.join_site();
+    assert_eq!(joined, 3, "the fourth site gets the next id");
+    committed += collect_in_flight(cluster, &parked, true);
+    committed += run_decrement_phase(cluster, &mut rng, &[0, 1, 2, 3], 60);
+    let t2 = assert_elastic_converged(cluster, &[0, 1, 2, 3], committed);
+    fig.push_row(
+        format!("{backend} join site 3"),
+        vec![committed as f64, 4.0, t2 as f64],
+    );
+
+    // Phase 3: retire site 1 under load. Survivor submissions must all
+    // commit; the retiree's parked orders may commit (before the freeze,
+    // then folded out by the handoff) or complete as no-ops (after the
+    // eviction) — conservation must hold either way.
+    let parked = submit_in_flight(cluster, &mut rng, &[0, 2, 3], 24);
+    let on_leaver = submit_in_flight(cluster, &mut rng, &[1], 6);
+    cluster.leave_site(1);
+    committed += collect_in_flight(cluster, &parked, true);
+    committed += collect_in_flight(cluster, &on_leaver, false);
+    committed += run_decrement_phase(cluster, &mut rng, &[0, 2, 3], 60);
+    let t3 = assert_elastic_converged(cluster, &[0, 2, 3], committed);
+    fig.push_row(
+        format!("{backend} retire site 1"),
+        vec![committed as f64, 3.0, t3 as f64],
+    );
+}
+
+/// `scenario-join-leave`: scale 3 → 4 → 3 sites under load on all three
+/// backends — worker threads over channels, the deterministic simulator
+/// over the Table 1 WAN with seeded faults, and real TCP sockets — gating
+/// conservation and cross-site agreement after every membership change.
+/// Any violation panics, so `reproduce scenario-join-leave` exits non-zero
+/// on a broken handoff.
+fn join_leave_under_load() -> Figure {
+    let mut fig = Figure::new(
+        "scenario-join-leave",
+        "Elastic membership under load (3 → 4 → 3 sites, all three backends): \
+         in-flight orders race the shard handoff; conservation and cross-site \
+         agreement gated after every change",
+        vec![
+            "phase".into(),
+            "committed".into(),
+            "members".into(),
+            "total_after_fold".into(),
+        ],
+    );
+    {
+        let mut cluster = ThreadedCluster::new(
+            SITES,
+            ClusterConfig::new(homeo_mode()).with_timer(Timer::fixed_zero()),
+        );
+        drive_elastic(&mut cluster, "threaded", &mut fig);
+    }
+    {
+        // The sim backend keeps the fault schedule of the other cluster
+        // scenarios: Table 1 WAN RTTs, 5 ms jitter, seeded drops and
+        // reorders — the handoff must commit through all of it. The RTT
+        // matrix covers one extra datacenter because the run grows to
+        // four sites.
+        let net = SimNetConfig {
+            rtt: RttMatrix::table1().truncated(SITES + 1),
+            jitter_us: 5_000,
+            drop_chance: 0.02,
+            reorder_chance: 0.05,
+            seed: 0xE1A57,
+        };
+        let mut cluster = SimCluster::new(
+            SITES,
+            ClusterConfig::new(homeo_mode()).with_timer(Timer::fixed_zero()),
+            net,
+        );
+        drive_elastic(&mut cluster, "sim", &mut fig);
+    }
+    {
+        let mut cluster = TcpCluster::new(
+            SITES,
+            ClusterConfig::new(homeo_mode()).with_timer(Timer::fixed_zero()),
+        );
+        drive_elastic(&mut cluster, "tcp", &mut fig);
+    }
     fig
 }
 

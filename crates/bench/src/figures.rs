@@ -93,7 +93,9 @@ pub fn all_figure_ids() -> Vec<&'static str> {
 /// Panics on an unknown id (see [`crate::all_ids`]) and on any violation a
 /// cluster scenario detects while verifying itself.
 pub fn generate(id: &str, effort: Effort) -> Figure {
-    if id.starts_with("cluster-") {
+    // `scenario-join-leave` lives with the cluster fault scenarios (it
+    // drives all three cluster backends), not the general-path programs.
+    if id.starts_with("cluster-") || id == "scenario-join-leave" {
         return crate::cluster::scenario(id);
     }
     if id.starts_with("scenario-") {
@@ -104,6 +106,9 @@ pub fn generate(id: &str, effort: Effort) -> Figure {
     }
     if id == "sync" {
         return crate::sync::suite(effort);
+    }
+    if id == "scaling" {
+        return crate::scaling::sweep(&crate::scaling::default_site_counts(effort), effort);
     }
     match id {
         "table1" => table1(),

@@ -20,6 +20,10 @@
 //! * [`throughput`] — the batched-execution throughput suite (`bench`):
 //!   wall-clock ops/sec over batch size × execution mode, the figure CI's
 //!   `bench-smoke` job gates against `crates/bench/baseline.json`.
+//! * [`scaling`] — the N-site scaling sweep (`scaling`, site counts
+//!   overridable with `--sites`): throughput and simulated WAN
+//!   synchronization cost as the membership grows, on all three cluster
+//!   backends.
 //! * [`report`] — rendering to aligned text / CSV / JSON.
 //! * [`json`] — the minimal JSON writer/parser behind `--json` and the
 //!   baseline gate (the workspace is offline; there is no `serde_json`).
@@ -40,6 +44,7 @@ pub mod experiments;
 pub mod figures;
 pub mod json;
 pub mod report;
+pub mod scaling;
 pub mod scenarios;
 pub mod sync;
 pub mod throughput;
@@ -52,13 +57,14 @@ pub use report::Figure;
 pub use scenarios::all_general_scenario_ids;
 
 /// Every reproducible id: the paper's tables and figures, the cluster
-/// scenarios, the batched-throughput suite and the synchronization-cost
-/// suite.
+/// scenarios, the batched-throughput suite, the synchronization-cost
+/// suite and the N-site scaling sweep.
 pub fn all_ids() -> Vec<&'static str> {
     let mut ids = all_figure_ids();
     ids.extend(all_scenario_ids());
     ids.extend(all_general_scenario_ids());
     ids.push("bench");
     ids.push("sync");
+    ids.push("scaling");
     ids
 }

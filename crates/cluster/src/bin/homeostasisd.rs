@@ -23,6 +23,14 @@
 //! and `reproduce cluster-tcp` do), so a freshly started cluster is empty
 //! and ready.
 //!
+//! **Joining a live cluster**: add the new site's `site.N` line plus a
+//! `join = HOST:PORT` stanza naming any live member (and optionally
+//! `epoch = N`, the roster epoch you observed) to a copy of the config,
+//! then start only the new daemon with `--site N`. The running daemons
+//! need no restart — the joiner receives the registered counters and
+//! program source over the wire and the allowances are re-split across
+//! the grown member set.
+//!
 //! Exit codes: `2` on usage/config errors, `1` when a socket cannot be
 //! bound. The daemon runs until killed.
 
@@ -71,14 +79,21 @@ fn main() {
     // Thousands of client connections per site need file descriptors;
     // best-effort — on failure the inherited limit stands.
     let _ = epoll::raise_nofile_limit();
+    let contact = spec.join_contact().expect("validated at parse");
     let nodes: Vec<SiteNode> = match site_arg.as_deref() {
-        None | Some("all") => match spawn_cluster(&spec, config) {
-            Ok(nodes) => nodes,
-            Err(e) => {
-                eprintln!("homeostasisd: cannot bind cluster sockets: {e}");
-                exit(1);
+        None | Some("all") => {
+            if contact.is_some() {
+                eprintln!("homeostasisd: a `join =` config starts one joining site; pass --site N");
+                exit(2);
             }
-        },
+            match spawn_cluster(&spec, config) {
+                Ok(nodes) => nodes,
+                Err(e) => {
+                    eprintln!("homeostasisd: cannot bind cluster sockets: {e}");
+                    exit(1);
+                }
+            }
+        }
         Some(n) => {
             let site: usize = match n.parse() {
                 Ok(site) if site < spec.sites() => site,
@@ -90,7 +105,15 @@ fn main() {
                     exit(2);
                 }
             };
-            match SiteNode::bind(NodeOptions::new(site, spec.addrs.clone(), config)) {
+            let mut opts = NodeOptions::new(site, spec.addrs.clone(), config);
+            if let Some(contact) = contact {
+                if contact == site {
+                    eprintln!("homeostasisd: site {site} cannot join through itself");
+                    exit(2);
+                }
+                opts = opts.with_join(contact, spec.epoch);
+            }
+            match SiteNode::bind(opts) {
                 Ok(node) => vec![node],
                 Err(e) => {
                     eprintln!(

@@ -13,6 +13,13 @@
 //! mode = even-split        # or: homeostasis
 //! ```
 //!
+//! Two optional stanzas support **elastic membership** (see the README's
+//! Elasticity section): `join = HOST:PORT` marks the config as describing
+//! a site that joins a *live* cluster through the named member instead of
+//! founding a new one, and `epoch = N` pins the roster epoch the operator
+//! observed, so a stale config cannot join a cluster whose membership has
+//! moved on.
+//!
 //! Every process of a cluster — each `homeostasisd` site and every load
 //! client — reads the *same* file, so the peer address list and the
 //! negotiation mode (which must agree across sites for allowances to line
@@ -31,6 +38,17 @@ pub struct ClusterSpec {
     /// How local treaties are chosen at each negotiation (must be the same
     /// in every process of the cluster).
     pub mode: ReplicatedMode,
+    /// `join = HOST:PORT` — a live member's listen address. A daemon
+    /// started with `--site N` under this stanza does not found the
+    /// cluster: it sends a `JoinRequest` through that member and adopts
+    /// the committed roster, so existing daemons keep running untouched.
+    /// The address must be one of the `site.K` entries (the contact's id
+    /// is derived from it).
+    pub join: Option<SocketAddr>,
+    /// `epoch = N` — the roster epoch the joining operator observed. When
+    /// set alongside `join`, the contact refuses the join if the live
+    /// roster has moved past it (a stale-config guard).
+    pub epoch: Option<u64>,
 }
 
 impl ClusterSpec {
@@ -39,6 +57,23 @@ impl ClusterSpec {
         ClusterSpec {
             addrs,
             mode: ReplicatedMode::EvenSplit,
+            join: None,
+            epoch: None,
+        }
+    }
+
+    /// The site id of the `join` contact, if the stanza is present: the
+    /// index of its address in the site list. `Err` when the address is
+    /// not one of the `site.K` entries.
+    pub fn join_contact(&self) -> Result<Option<usize>, String> {
+        let Some(target) = self.join else {
+            return Ok(None);
+        };
+        match self.addrs.iter().position(|&a| a == target) {
+            Some(site) => Ok(Some(site)),
+            None => Err(format!(
+                "`join = {target}` does not match any `site.K` address"
+            )),
         }
     }
 
@@ -53,6 +88,8 @@ impl ClusterSpec {
         let mut sites: Option<usize> = None;
         let mut addrs: Vec<Option<SocketAddr>> = Vec::new();
         let mut mode = ReplicatedMode::EvenSplit;
+        let mut join: Option<SocketAddr> = None;
+        let mut epoch: Option<u64> = None;
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
@@ -109,6 +146,15 @@ impl ClusterSpec {
                         ))
                     }
                 };
+            } else if key == "join" {
+                let addr = resolve(value)
+                    .ok_or_else(|| format!("line {}: cannot resolve `{value}`", lineno + 1))?;
+                join = Some(addr);
+            } else if key == "epoch" {
+                let n: u64 = value
+                    .parse()
+                    .map_err(|_| format!("line {}: `epoch` is not a number", lineno + 1))?;
+                epoch = Some(n);
             } else {
                 return Err(format!("line {}: unknown key `{key}`", lineno + 1));
             }
@@ -125,7 +171,14 @@ impl ClusterSpec {
             .enumerate()
             .map(|(i, a)| a.ok_or(format!("missing `site.{i} = HOST:PORT`")))
             .collect::<Result<_, _>>()?;
-        Ok(ClusterSpec { addrs, mode })
+        let spec = ClusterSpec {
+            addrs,
+            mode,
+            join,
+            epoch,
+        };
+        spec.join_contact()?; // a join target must be one of the sites
+        Ok(spec)
     }
 
     /// Renders the spec back into the parseable file format (what the
@@ -141,6 +194,12 @@ impl ClusterSpec {
             ReplicatedMode::Homeostasis { .. } => "homeostasis",
         };
         out.push_str(&format!("mode = {mode}\n"));
+        if let Some(join) = self.join {
+            out.push_str(&format!("join = {join}\n"));
+        }
+        if let Some(epoch) = self.epoch {
+            out.push_str(&format!("epoch = {epoch}\n"));
+        }
         out
     }
 }
@@ -202,6 +261,29 @@ mode = even-split\n";
                 .contains("unknown mode")
         );
         assert!(ClusterSpec::parse("").unwrap_err().contains("sites"));
+    }
+
+    #[test]
+    fn a_join_stanza_round_trips_and_names_its_contact() {
+        let text = "\
+sites = 4\n\
+site.0 = 127.0.0.1:7841\n\
+site.1 = 127.0.0.1:7842\n\
+site.2 = 127.0.0.1:7843\n\
+site.3 = 127.0.0.1:7844\n\
+mode = even-split\n\
+join = 127.0.0.1:7842\n\
+epoch = 3\n";
+        let spec = ClusterSpec::parse(text).expect("valid joining config");
+        assert_eq!(spec.join_contact(), Ok(Some(1)));
+        assert_eq!(spec.epoch, Some(3));
+        let rendered = spec.to_config_string();
+        assert_eq!(ClusterSpec::parse(&rendered), Ok(spec));
+        // A join target that is not one of the sites is rejected at parse.
+        let stray = "sites = 1\nsite.0 = 127.0.0.1:1\njoin = 127.0.0.1:9\n";
+        assert!(ClusterSpec::parse(stray)
+            .unwrap_err()
+            .contains("does not match any"));
     }
 
     #[test]

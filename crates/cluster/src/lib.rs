@@ -32,6 +32,22 @@
 //! [`ClusterRuntime`] wraps either backend behind
 //! [`homeo_runtime::SiteRuntime`], so `drive()`, every workload and the
 //! cross-protocol equivalence suites run unchanged on top of the cluster.
+//!
+//! ## Elastic membership
+//!
+//! Membership is dynamic on every backend: `join()` grows the cluster by
+//! one site and `leave(site)` retires a member, both while load is in
+//! flight. The cluster-wide membership is an epoch-stamped
+//! [`homeo_protocol::Roster`]; a membership change runs as
+//! [`SyncKind::Handoff`] rounds per counter (freeze → fold the members'
+//! unsynchronized deltas → re-split allowances over the new member set →
+//! re-map coordinators) and commits via an epoch-bumped
+//! `MembershipInstall` under the usual ack barrier. The **epoch-roster
+//! rules** — who may adopt which roster, how evicted members' frames are
+//! fenced (`stale_rejects`), how WAL recovery lands in the current epoch,
+//! and how program execution pins its registration-era membership — are
+//! documented on the [`worker`] module, which implements them once for
+//! all three backends.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -69,23 +85,23 @@ pub use transport::{ChannelTransport, Transport, CLIENT};
 /// injector ([`SimCluster`]).
 pub enum ClusterRuntime {
     /// One OS thread per site over channels.
-    Threaded(ThreadedCluster),
+    Threaded(Box<ThreadedCluster>),
     /// Virtual-clock scheduling with fault injection.
     Sim(Box<SimCluster>),
     /// One TCP endpoint per site over loopback sockets (the in-process form
     /// of the deployable `homeostasisd` path).
-    Tcp(TcpCluster),
+    Tcp(Box<TcpCluster>),
 }
 
 impl ClusterRuntime {
     /// A threaded cluster over fresh engines.
     pub fn threaded(sites: usize, config: ClusterConfig) -> Self {
-        ClusterRuntime::Threaded(ThreadedCluster::new(sites, config))
+        ClusterRuntime::Threaded(Box::new(ThreadedCluster::new(sites, config)))
     }
 
     /// A threaded cluster over pre-populated engines.
     pub fn threaded_from_engines(engines: Vec<Engine>, config: ClusterConfig) -> Self {
-        ClusterRuntime::Threaded(ThreadedCluster::from_engines(engines, config))
+        ClusterRuntime::Threaded(Box::new(ThreadedCluster::from_engines(engines, config)))
     }
 
     /// A simulated cluster over fresh engines.
@@ -104,12 +120,12 @@ impl ClusterRuntime {
 
     /// A TCP cluster over fresh engines (ephemeral loopback ports).
     pub fn tcp(sites: usize, config: ClusterConfig) -> Self {
-        ClusterRuntime::Tcp(TcpCluster::new(sites, config))
+        ClusterRuntime::Tcp(Box::new(TcpCluster::new(sites, config)))
     }
 
     /// A TCP cluster over pre-populated engines.
     pub fn tcp_from_engines(engines: Vec<Engine>, config: ClusterConfig) -> Self {
-        ClusterRuntime::Tcp(TcpCluster::from_engines(engines, config))
+        ClusterRuntime::Tcp(Box::new(TcpCluster::from_engines(engines, config)))
     }
 
     /// Registers a counter cluster-wide. Returns the solver time in

@@ -11,7 +11,7 @@
 //! without lookahead.
 
 use homeo_lang::ids::ObjId;
-use homeo_protocol::{OptimizerConfig, ProgramBundle, ReplicatedStats};
+use homeo_protocol::{OptimizerConfig, ProgramBundle, ReplicatedStats, Roster};
 use homeo_runtime::{OpOutcome, SiteOp};
 use serde::{Deserialize, Serialize};
 
@@ -126,9 +126,28 @@ pub struct CounterMeta {
     pub base: i64,
     /// The global treaty maintains `value ≥ lower_bound`.
     pub lower_bound: i64,
-    /// Per-site allowances: site `i` may let its delta drop to
-    /// `allowances[i]` (`≤ 0`) before it must synchronize.
+    /// The sites sharing this counter, sorted ascending. The counter's
+    /// coordinator is `members[shard_hash % len]`, and a membership change
+    /// reaches a counter only through a [`SyncKind::Handoff`] round that
+    /// installs a meta with the new member list — so per counter, the
+    /// coordinator moves atomically under the round's freeze/ack barrier.
+    /// A site holding the meta but absent from `members` keeps it purely
+    /// for request routing (it proxies operations to the coordinator).
+    pub members: Vec<usize>,
+    /// Per-member allowances, parallel to `members`: the site `members[i]`
+    /// may let its delta drop to `allowances[i]` (`≤ 0`) before it must
+    /// synchronize.
     pub allowances: Vec<i64>,
+}
+
+impl CounterMeta {
+    /// The allowance of `site`, or `None` when `site` is not a member.
+    pub fn allowance_of(&self, site: usize) -> Option<i64> {
+        self.members
+            .binary_search(&site)
+            .ok()
+            .map(|i| self.allowances[i])
+    }
 }
 
 /// What a synchronization round does to the folded (consistent) state once
@@ -155,6 +174,16 @@ pub enum SyncKind {
     /// allowance is violated: fold and renegotiate like [`SyncKind::Pin`],
     /// but fire-and-forget — no client operation waits on the round.
     Proactive,
+    /// A membership handoff: fold the deltas of the counter's *current*
+    /// members, then re-split the allowances over `members` (the new,
+    /// sorted member list) and install the meta to the union of old and new
+    /// members. This is how a join donates headroom to (and a leave folds
+    /// the deltas out of) one counter; the membership coordinator issues
+    /// one per counter and commits the roster once every handoff is done.
+    Handoff {
+        /// The counter's member list after the change, sorted ascending.
+        members: Vec<usize>,
+    },
 }
 
 /// One frame of the cluster protocol.
@@ -182,6 +211,11 @@ pub enum Message {
     },
     /// Asks the counter's coordinator to run a synchronization round.
     SyncRequest {
+        /// The site awaiting the [`Message::SyncDone`]. Carried explicitly
+        /// (rather than inferred from the sending connection) so a request
+        /// that lands on an ex-coordinator mid-handoff can be forwarded to
+        /// the counter's new coordinator without losing the origin.
+        origin: u64,
         /// Origin-scoped request id (for deduplication and completion).
         req: u64,
         /// The counter to fold.
@@ -248,6 +282,11 @@ pub enum Message {
     StateReply {
         /// Every registered counter's metadata.
         counters: Vec<CounterMeta>,
+        /// The peer's current membership roster — what makes WAL recovery
+        /// replay into the *current* epoch: a restarted site adopts the
+        /// buddy's roster alongside the treaty state, so it rejects frames
+        /// from members evicted while it was down.
+        roster: Roster,
     },
     /// The first frame on every TCP connection: who is connecting. Peers
     /// identify with their site id and their **incarnation epoch** (fresh
@@ -376,6 +415,61 @@ pub enum Message {
         /// The round being acknowledged.
         sync: u64,
     },
+    /// Joiner (or an admin client) → membership coordinator: admit `site`
+    /// into the cluster. Forwarded to the current leader (`members[0]`)
+    /// when it lands elsewhere. Answered by [`Message::JoinAck`] sent to
+    /// `site` itself (not the requesting connection), carrying everything
+    /// the joiner needs to participate.
+    JoinRequest {
+        /// The joining site's id.
+        site: u64,
+        /// The joiner's listen address (`host:port`), or empty for
+        /// in-process transports that route by site id alone.
+        addr: String,
+        /// If set, the join is refused unless the cluster's roster epoch
+        /// matches — how `homeostasisd`'s `epoch =` stanza pins a config
+        /// against a stale cluster.
+        expected_epoch: Option<u64>,
+    },
+    /// Membership coordinator → joiner: the admission verdict. On `ok`, the
+    /// roster already includes the joiner (the epoch is the one the pending
+    /// handoffs will commit), and the registered program bundle (if any)
+    /// rides along so the joiner derives identical treaty state.
+    JoinAck {
+        /// Whether the join was admitted.
+        ok: bool,
+        /// The roster the joiner participates under (on refusal: the
+        /// cluster's current roster, for diagnostics).
+        roster: Roster,
+        /// Listen addresses indexed by site id (empty strings where
+        /// unknown), so a TCP joiner can dial every peer.
+        addrs: Vec<String>,
+        /// The registered program bundle and the site count it was
+        /// registered at, if programs are installed. General rounds stay
+        /// pinned to the registration-time membership, so the joiner builds
+        /// the identical home mapping from this count, not the roster size.
+        program: Option<(ProgramBundle, u64)>,
+    },
+    /// Any member (or an admin client) → membership coordinator: retire
+    /// `site`. The leaver's outstanding deltas are folded by the per-counter
+    /// handoffs before the epoch-bumped roster (which excludes it) commits;
+    /// the leaver learns of its own eviction from the final
+    /// [`Message::MembershipInstall`].
+    Leave {
+        /// The site to retire.
+        site: u64,
+    },
+    /// Membership coordinator → everyone (old members, joiner, leaver): the
+    /// membership change is complete; adopt this roster iff its epoch is
+    /// newer than yours. Members absent from an adopted roster are evicted:
+    /// their frames (except a rejoin [`Message::JoinRequest`]) are dropped.
+    MembershipInstall {
+        /// The committed epoch-stamped roster.
+        roster: Roster,
+        /// Listen addresses indexed by site id (empty strings where
+        /// unknown).
+        addrs: Vec<String>,
+    },
 }
 
 /// The [`Message::Hello`] peer id a client attachment announces (sites use
@@ -465,8 +559,14 @@ impl Message {
                 buf.push(1);
                 encode_meta(meta, buf);
             }
-            Message::SyncRequest { req, obj, kind } => {
+            Message::SyncRequest {
+                origin,
+                req,
+                obj,
+                kind,
+            } => {
                 buf.push(2);
+                buf.extend_from_slice(&origin.to_be_bytes());
                 buf.extend_from_slice(&req.to_be_bytes());
                 encode_str(obj.as_str(), buf);
                 encode_kind(kind, buf);
@@ -506,12 +606,13 @@ impl Message {
                 buf.push(u8::from(*folded));
             }
             Message::StateRequest => buf.push(8),
-            Message::StateReply { counters } => {
+            Message::StateReply { counters, roster } => {
                 buf.push(9);
                 buf.extend_from_slice(&(counters.len() as u32).to_be_bytes());
                 for meta in counters {
                     encode_meta(meta, buf);
                 }
+                encode_roster(roster, buf);
             }
             Message::Hello { peer, epoch } => {
                 buf.push(10);
@@ -591,6 +692,44 @@ impl Message {
                 buf.push(27);
                 buf.extend_from_slice(&sync.to_be_bytes());
             }
+            Message::JoinRequest {
+                site,
+                addr,
+                expected_epoch,
+            } => {
+                buf.push(28);
+                buf.extend_from_slice(&site.to_be_bytes());
+                encode_str(addr, buf);
+                encode_opt_u64(expected_epoch, buf);
+            }
+            Message::JoinAck {
+                ok,
+                roster,
+                addrs,
+                program,
+            } => {
+                buf.push(29);
+                buf.push(u8::from(*ok));
+                encode_roster(roster, buf);
+                encode_strs(addrs, buf);
+                match program {
+                    None => buf.push(0),
+                    Some((bundle, sites)) => {
+                        buf.push(1);
+                        encode_bundle(bundle, buf);
+                        buf.extend_from_slice(&sites.to_be_bytes());
+                    }
+                }
+            }
+            Message::Leave { site } => {
+                buf.push(30);
+                buf.extend_from_slice(&site.to_be_bytes());
+            }
+            Message::MembershipInstall { roster, addrs } => {
+                buf.push(31);
+                encode_roster(roster, buf);
+                encode_strs(addrs, buf);
+            }
         }
     }
 
@@ -608,6 +747,7 @@ impl Message {
                 meta: decode_meta(cursor)?,
             },
             2 => Message::SyncRequest {
+                origin: cursor.u64()?,
                 req: cursor.u64()?,
                 obj: ObjId::new(decode_str(cursor)?),
                 kind: decode_kind(cursor)?,
@@ -647,7 +787,10 @@ impl Message {
                 for _ in 0..count {
                     counters.push(decode_meta(cursor)?);
                 }
-                Message::StateReply { counters }
+                Message::StateReply {
+                    counters,
+                    roster: decode_roster(cursor)?,
+                }
             }
             10 => Message::Hello {
                 peer: cursor.u64()?,
@@ -711,6 +854,32 @@ impl Message {
             },
             27 => Message::ProgramInstallAck {
                 sync: cursor.u64()?,
+            },
+            28 => Message::JoinRequest {
+                site: cursor.u64()?,
+                addr: decode_str(cursor)?,
+                expected_epoch: decode_opt_u64(cursor)?,
+            },
+            29 => Message::JoinAck {
+                ok: match cursor.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return None,
+                },
+                roster: decode_roster(cursor)?,
+                addrs: decode_strs(cursor)?,
+                program: match cursor.u8()? {
+                    0 => None,
+                    1 => Some((decode_bundle(cursor)?, cursor.u64()?)),
+                    _ => return None,
+                },
+            },
+            30 => Message::Leave {
+                site: cursor.u64()?,
+            },
+            31 => Message::MembershipInstall {
+                roster: decode_roster(cursor)?,
+                addrs: decode_strs(cursor)?,
             },
             _ => return None,
         })
@@ -917,6 +1086,10 @@ fn encode_kind(kind: &SyncKind, buf: &mut Vec<u8>) {
         SyncKind::Pin => buf.push(1),
         SyncKind::Fold => buf.push(2),
         SyncKind::Proactive => buf.push(3),
+        SyncKind::Handoff { members } => {
+            buf.push(4);
+            encode_members(members, buf);
+        }
     }
 }
 
@@ -933,14 +1106,72 @@ fn decode_kind(cursor: &mut Cursor<'_>) -> Option<SyncKind> {
         1 => SyncKind::Pin,
         2 => SyncKind::Fold,
         3 => SyncKind::Proactive,
+        4 => SyncKind::Handoff {
+            members: decode_members(cursor)?,
+        },
         _ => return None,
     })
+}
+
+fn encode_members(members: &[usize], buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&(members.len() as u32).to_be_bytes());
+    for m in members {
+        buf.extend_from_slice(&(*m as u64).to_be_bytes());
+    }
+}
+
+/// Member lists must arrive non-empty and strictly increasing — the worker
+/// binary-searches them and indexes allowances by member position, so a
+/// hostile or corrupted list is rejected at the codec.
+fn decode_members(cursor: &mut Cursor<'_>) -> Option<Vec<usize>> {
+    let count = cursor.u32()? as usize;
+    if count == 0 {
+        return None;
+    }
+    let mut members = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let m = cursor.u64()? as usize;
+        if members.last().is_some_and(|last| *last >= m) {
+            return None;
+        }
+        members.push(m);
+    }
+    Some(members)
+}
+
+fn encode_roster(roster: &Roster, buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&roster.epoch.to_be_bytes());
+    encode_members(&roster.members, buf);
+}
+
+fn decode_roster(cursor: &mut Cursor<'_>) -> Option<Roster> {
+    Some(Roster {
+        epoch: cursor.u64()?,
+        members: decode_members(cursor)?,
+    })
+}
+
+fn encode_strs(strs: &[String], buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&(strs.len() as u32).to_be_bytes());
+    for s in strs {
+        encode_str(s, buf);
+    }
+}
+
+fn decode_strs(cursor: &mut Cursor<'_>) -> Option<Vec<String>> {
+    let count = cursor.u32()? as usize;
+    let mut strs = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        strs.push(decode_str(cursor)?);
+    }
+    Some(strs)
 }
 
 fn encode_meta(meta: &CounterMeta, buf: &mut Vec<u8>) {
     encode_str(meta.obj.as_str(), buf);
     buf.extend_from_slice(&meta.base.to_be_bytes());
     buf.extend_from_slice(&meta.lower_bound.to_be_bytes());
+    encode_members(&meta.members, buf);
     buf.extend_from_slice(&(meta.allowances.len() as u32).to_be_bytes());
     for a in &meta.allowances {
         buf.extend_from_slice(&a.to_be_bytes());
@@ -951,7 +1182,13 @@ fn decode_meta(cursor: &mut Cursor<'_>) -> Option<CounterMeta> {
     let obj = ObjId::new(decode_str(cursor)?);
     let base = cursor.i64()?;
     let lower_bound = cursor.i64()?;
+    let members = decode_members(cursor)?;
     let count = cursor.u32()? as usize;
+    // Allowances are indexed by member position; a length mismatch would
+    // panic deep in the worker, so reject it at the codec.
+    if count != members.len() {
+        return None;
+    }
     let mut allowances = Vec::with_capacity(count.min(1 << 16));
     for _ in 0..count {
         allowances.push(cursor.i64()?);
@@ -960,6 +1197,7 @@ fn decode_meta(cursor: &mut Cursor<'_>) -> Option<CounterMeta> {
         obj,
         base,
         lower_bound,
+        members,
         allowances,
     })
 }
@@ -1018,7 +1256,15 @@ mod tests {
             obj: ObjId::new("stock[7]"),
             base: 100,
             lower_bound: 1,
+            members: vec![0, 1, 2],
             allowances: vec![-33, -33, 0],
+        }
+    }
+
+    fn roster() -> Roster {
+        Roster {
+            epoch: 4,
+            members: vec![0, 2, 3],
         }
     }
 
@@ -1051,6 +1297,7 @@ mod tests {
             Message::Submit { ops: Vec::new() },
             Message::Register { meta: meta() },
             Message::SyncRequest {
+                origin: 1,
                 req: 17,
                 obj: ObjId::new("stock[7]"),
                 kind: SyncKind::Order {
@@ -1059,19 +1306,30 @@ mod tests {
                 },
             },
             Message::SyncRequest {
+                origin: 0,
                 req: 18,
                 obj: ObjId::new("stock[7]"),
                 kind: SyncKind::Pin,
             },
             Message::SyncRequest {
+                origin: 2,
                 req: 19,
                 obj: ObjId::new("stock[7]"),
                 kind: SyncKind::Fold,
             },
             Message::SyncRequest {
+                origin: 2,
                 req: 20,
                 obj: ObjId::new("stock[7]"),
                 kind: SyncKind::Proactive,
+            },
+            Message::SyncRequest {
+                origin: 0,
+                req: 21,
+                obj: ObjId::new("stock[7]"),
+                kind: SyncKind::Handoff {
+                    members: vec![0, 1, 2, 3],
+                },
             },
             Message::DeltaRequest {
                 sync: 4,
@@ -1105,6 +1363,11 @@ mod tests {
             Message::StateRequest,
             Message::StateReply {
                 counters: vec![meta(), meta()],
+                roster: roster(),
+            },
+            Message::StateReply {
+                counters: Vec::new(),
+                roster: Roster::founding(2),
             },
             Message::Hello { peer: 2, epoch: 9 },
             Message::Hello {
@@ -1197,7 +1460,71 @@ mod tests {
                 db: Vec::new(),
             },
             Message::ProgramInstallAck { sync: 9 },
+            Message::JoinRequest {
+                site: 3,
+                addr: "127.0.0.1:7844".to_string(),
+                expected_epoch: Some(4),
+            },
+            Message::JoinRequest {
+                site: 5,
+                addr: String::new(),
+                expected_epoch: None,
+            },
+            Message::JoinAck {
+                ok: true,
+                roster: roster(),
+                addrs: vec![
+                    "127.0.0.1:7841".to_string(),
+                    String::new(),
+                    "127.0.0.1:7843".to_string(),
+                    "127.0.0.1:7844".to_string(),
+                ],
+                program: Some((
+                    ProgramBundle {
+                        sources: vec!["txn t { x := read(a); write(a = x - 1); }".to_string()],
+                        loc_pairs: vec![(ObjId::new("a"), 0)],
+                        default_site: None,
+                        initial: vec![(ObjId::new("a"), 10)],
+                        optimizer: None,
+                    },
+                    3,
+                )),
+            },
+            Message::JoinAck {
+                ok: false,
+                roster: Roster::founding(3),
+                addrs: Vec::new(),
+                program: None,
+            },
+            Message::Leave { site: 1 },
+            Message::MembershipInstall {
+                roster: roster(),
+                addrs: vec![String::new(), String::new(), String::new(), String::new()],
+            },
         ]
+    }
+
+    #[test]
+    fn hostile_member_lists_are_rejected() {
+        // Unsorted or duplicated member lists and allowance/member length
+        // mismatches must fail decode, not panic in the worker.
+        let good = Message::MembershipInstall {
+            roster: roster(),
+            addrs: Vec::new(),
+        }
+        .encode();
+        // The roster's members start at byte 4 (prefix) + 1 (tag) + 8
+        // (epoch) + 4 (count); flip the first two member ids out of order.
+        let mut unsorted = good.clone();
+        unsorted[4 + 1 + 8 + 4 + 7] = 9; // members become [9, 2, 3]
+        assert_eq!(Message::decode(&unsorted), Err(CodecError::Malformed));
+        let mut duplicated = good;
+        duplicated[4 + 1 + 8 + 4 + 15] = 0; // members become [0, 0, 3]
+        assert_eq!(Message::decode(&duplicated), Err(CodecError::Malformed));
+        let mut mismatched = meta();
+        mismatched.allowances.pop();
+        let frame = Message::Register { meta: mismatched }.encode();
+        assert_eq!(Message::decode(&frame), Err(CodecError::Malformed));
     }
 
     #[test]

@@ -80,6 +80,15 @@ const EVENTS_PER_WAIT: usize = 1024;
 const TOKEN_LISTENER: u64 = u64::MAX;
 /// Poller token of the shutdown waker pipe.
 const TOKEN_WAKER: u64 = u64::MAX - 1;
+/// First worker-facing client id. Site ids live below this floor — far
+/// below, so a cluster can grow by join without ever colliding with a
+/// client id (the old scheme started client ids at the *initial* site
+/// count, which a joined site would have reused).
+pub(crate) const CLIENT_ID_FLOOR: usize = 1 << 32;
+/// Upper bound on site ids a `Hello` may announce: the peer tables grow to
+/// the announced id, so an unauthenticated connection must not be able to
+/// request a multi-gigabyte allocation.
+pub(crate) const MAX_SITES: usize = 4096;
 
 /// An outbound frame queue: whole encoded frames, flushed with vectored
 /// writes. `offset` tracks the partially written front frame, so an
@@ -221,7 +230,11 @@ struct Conn {
 
 /// The outbound half of one site-to-peer link.
 struct PeerLink {
-    addr: SocketAddr,
+    /// The peer's listen address. `None` until learned — links for sites
+    /// that joined after this node started are created lazily, and the
+    /// address arrives in the membership frames (`JoinRequest` /
+    /// `JoinAck` / `MembershipInstall`) via the worker's address book.
+    addr: Option<SocketAddr>,
     /// Connection slot of the live (or connecting) outbound socket.
     slot: Option<usize>,
     /// Frames waiting for a connection (and frames salvaged from a dead
@@ -272,13 +285,17 @@ pub(crate) struct ReactorConfig {
     pub epoch: u64,
     pub addrs: Vec<SocketAddr>,
     pub client_queue_cap: usize,
+    /// `Some((contact, expected_epoch))` when this node starts by joining a
+    /// live cluster: before serving traffic the reactor fires
+    /// [`SiteWorker::begin_join`] at `contact` (see [`crate::worker`]'s
+    /// epoch-roster rules).
+    pub join: Option<(usize, Option<u64>)>,
 }
 
 /// The event loop of one site. Owns the listener, the poller, every
 /// connection and the [`SiteWorker`] state machine; `run` consumes it.
 pub(crate) struct Reactor {
     site: usize,
-    sites: usize,
     epoch: u64,
     client_queue_cap: usize,
     poller: Poller,
@@ -322,6 +339,11 @@ pub(crate) struct Reactor {
     chunk: Vec<u8>,
     /// Handles into the worker's registry for the transport metrics.
     metric_ids: ReactorMetrics,
+    /// This site's own listen address as advertised to the cluster
+    /// (carried in `JoinRequest` so existing members learn where to dial).
+    my_addr: String,
+    /// A pending `begin_join`, fired once at the top of `run`.
+    join: Option<(usize, Option<u64>)>,
 }
 
 impl Reactor {
@@ -345,16 +367,20 @@ impl Reactor {
             .addrs
             .iter()
             .map(|&addr| PeerLink {
-                addr,
+                addr: Some(addr),
                 slot: None,
                 pending: VecDeque::new(),
                 backoff: BACKOFF_MIN,
                 retry_at: None,
             })
             .collect();
+        let my_addr = cfg
+            .addrs
+            .get(cfg.site)
+            .map(|a| a.to_string())
+            .unwrap_or_default();
         Ok(Reactor {
             site: cfg.site,
-            sites,
             epoch: cfg.epoch,
             client_queue_cap: cfg.client_queue_cap,
             poller,
@@ -366,7 +392,7 @@ impl Reactor {
             free: Vec::new(),
             freed_this_round: Vec::new(),
             clients: BTreeMap::new(),
-            next_client: sites,
+            next_client: CLIENT_ID_FLOOR,
             peers,
             peer_epochs: vec![None; sites],
             out: Outbox::new(),
@@ -380,6 +406,8 @@ impl Reactor {
             scratch: Vec::new(),
             chunk: vec![0u8; READ_CHUNK],
             metric_ids,
+            my_addr,
+            join: cfg.join,
         })
     }
 
@@ -390,6 +418,13 @@ impl Reactor {
             let engine = self.worker.engine().clone();
             let mut out = std::mem::take(&mut self.out);
             self.worker.crash_restart(engine, buddy, &mut out);
+            self.out = out;
+        }
+        if let Some((contact, expected_epoch)) = self.join.take() {
+            let my_addr = self.my_addr.clone();
+            let mut out = std::mem::take(&mut self.out);
+            self.worker
+                .begin_join(contact, &my_addr, expected_epoch, &mut out);
             self.out = out;
         }
         self.settle();
@@ -591,8 +626,12 @@ impl Reactor {
                 }
                 self.clients.insert(id, slot);
             }
-            Message::Hello { peer, epoch } if (peer as usize) < self.sites => {
+            Message::Hello { peer, epoch } if (peer as usize) < MAX_SITES => {
                 let peer = peer as usize;
+                // The link tables grow on demand: a site that joined after
+                // this node started announces an id past the founding
+                // roster (bounded by `MAX_SITES`).
+                self.ensure_peer_slot(peer);
                 // A new incarnation of the peer: any cached outbound
                 // socket to it predates its restart and must not be
                 // written into again.
@@ -637,7 +676,15 @@ impl Reactor {
                 self.worker
                     .handle(id, Message::Submit { ops }, &mut self.out);
             }
-            Message::Seed { .. } | Message::RegisterProgram { .. } | Message::StateRequest => {
+            Message::Seed { .. }
+            | Message::RegisterProgram { .. }
+            | Message::StateRequest
+            | Message::Leave { .. } => {
+                // `Leave` is admin-plane: any client may retire a site (the
+                // worker validates membership). `JoinRequest` is *not*
+                // client-reachable — a join is initiated by the joining
+                // site itself over a peer link, so its ack routes back to a
+                // dialable address.
                 self.worker.handle(id, msg, &mut self.out);
             }
             Message::PollRequest => {
@@ -919,9 +966,39 @@ impl Reactor {
         }
     }
 
+    /// Grows the peer link tables to cover `peer` (a site id announced by a
+    /// `Hello` or addressed by the worker after a membership change), pulling
+    /// each new link's address from the worker's address book if it already
+    /// learned one.
+    fn ensure_peer_slot(&mut self, peer: usize) {
+        debug_assert!(peer < MAX_SITES, "site id {peer} out of bounds");
+        while self.peers.len() <= peer {
+            let idx = self.peers.len();
+            let addr = self.worker.peer_addr(idx).and_then(|s| s.parse().ok());
+            self.peers.push(PeerLink {
+                addr,
+                slot: None,
+                pending: VecDeque::new(),
+                backoff: BACKOFF_MIN,
+                retry_at: None,
+            });
+            self.peer_epochs.push(None);
+        }
+    }
+
     fn dial_peer(&mut self, peer: usize) {
         debug_assert!(self.peers[peer].slot.is_none());
-        match epoll::connect_nonblocking(self.peers[peer].addr) {
+        if self.peers[peer].addr.is_none() {
+            // The address book fills in as membership frames arrive
+            // (`JoinAck` / `MembershipInstall` carry the roster's listen
+            // addresses); re-check it on every dial attempt.
+            self.peers[peer].addr = self.worker.peer_addr(peer).and_then(|s| s.parse().ok());
+        }
+        let Some(addr) = self.peers[peer].addr else {
+            self.schedule_peer_retry(peer);
+            return;
+        };
+        match epoll::connect_nonblocking(addr) {
             Ok(stream) => {
                 let identity = Identity::PeerOut {
                     peer,
@@ -964,7 +1041,8 @@ impl Reactor {
     fn ship(&mut self, to: usize, msg: Message) {
         if to == self.site {
             self.self_queue.push_back(msg);
-        } else if to < self.sites {
+        } else if to < CLIENT_ID_FLOOR {
+            self.ensure_peer_slot(to);
             let frame = msg.encode_into(&mut self.scratch);
             self.enqueue_peer(to, frame);
         } else if let Some(&slot) = self.clients.get(&to) {

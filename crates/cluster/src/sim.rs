@@ -136,7 +136,12 @@ pub struct SimTransport {
 
 impl SimTransport {
     fn new(sites: usize, config: SimNetConfig) -> Self {
-        assert_eq!(config.rtt.sites(), sites, "RTT matrix must cover all sites");
+        // `>=`, not `==`: an elastic run builds the matrix over the maximum
+        // site count it will ever grow to and starts with fewer workers.
+        assert!(
+            config.rtt.sites() >= sites,
+            "RTT matrix must cover all sites"
+        );
         let rng = DetRng::seed_from(config.seed);
         SimTransport {
             config,
@@ -315,11 +320,11 @@ impl SimCluster {
         if !self.registered.insert(obj.clone()) {
             return 0;
         }
-        let sites = self.workers.len();
+        let members = self.committed_roster().members.clone();
         let (allowances, solver_micros) = negotiate_allowances_cached(
             self.config.mode,
-            &self.config.hints(sites),
-            sites,
+            &self.config.hints(members.len()),
+            members.len(),
             initial,
             lower_bound,
             self.config.timer,
@@ -337,10 +342,20 @@ impl SimCluster {
                 obj: obj.clone(),
                 base: initial,
                 lower_bound,
+                members: members.clone(),
                 allowances: allowances.clone(),
             });
         }
         solver_micros
+    }
+
+    /// The roster as held by the lowest live worker — the committed
+    /// membership when the cluster is quiescent.
+    fn committed_roster(&self) -> &homeo_protocol::Roster {
+        let live = (0..self.workers.len())
+            .find(|&site| !self.transport.down[site])
+            .expect("at least one live site");
+        self.workers[live].roster()
     }
 
     /// Registers a general-transaction program bundle on every site: the
@@ -351,6 +366,15 @@ impl SimCluster {
     /// bundle is malformed, in which case nothing is delivered).
     pub fn register_program(&mut self, bundle: &ProgramBundle) -> u64 {
         let sites = self.workers.len();
+        {
+            // The general protocol's rounds run over a dense `0..n` site
+            // universe; a cluster that has retired a low-numbered site must
+            // not take new program registrations.
+            let roster = self.committed_roster();
+            if roster.members != (0..roster.len()).collect::<Vec<_>>() {
+                return 0;
+            }
+        }
         let count = match ProgramSet::from_bundle(bundle, sites) {
             Ok(set) => set.len() as u64,
             Err(_) => return 0,
@@ -483,9 +507,18 @@ impl SimCluster {
         for (from, frame) in held {
             self.transport.push(clock, from, site, frame);
         }
-        let buddy = (0..self.workers.len())
+        // The recovery buddy must be a fellow *member* (per the restarting
+        // site's pre-crash roster): a retired site's treaty metadata is
+        // stale by design and must not seed a recovery. The buddy's
+        // `StateReply` carries the current roster, so a membership change
+        // that committed while this site was down is adopted on recovery.
+        let roster = self.workers[site].roster().clone();
+        let buddy = roster
+            .members
+            .iter()
+            .copied()
             .find(|&peer| peer != site && !self.transport.down[peer])
-            .expect("at least one live peer");
+            .expect("at least one live member peer");
         let mut out = Vec::new();
         self.workers[site].crash_restart(Arc::new(engine), buddy, &mut out);
         for (dest, msg) in out {
@@ -494,18 +527,125 @@ impl SimCluster {
         }
     }
 
+    /// Starts a join of a fresh site without driving it to completion: the
+    /// new worker's `JoinRequest` enters the network and the scheduler is
+    /// *not* run, so faults (partitions, kills) can be injected while the
+    /// membership change is in flight. Returns the new site id.
+    ///
+    /// The cluster's RTT matrix must already cover the new site — build the
+    /// `SimNetConfig` over the maximum site count the run will grow to.
+    pub fn begin_join(&mut self) -> usize {
+        let site = self.workers.len();
+        assert!(
+            site < self.transport.config.rtt.sites(),
+            "RTT matrix has no row for joining site {site}; build the net config \
+             over the maximum site count"
+        );
+        let contact = self.committed_roster().leader();
+        let expected_amount = self.config.hints(1).expected_amount;
+        let mut worker = SiteWorker::new_joining(
+            site,
+            self.config.mode,
+            expected_amount,
+            self.config.timer,
+            Arc::new(Engine::new()),
+        )
+        .with_tuning(self.config.tuning);
+        self.transport.down.push(false);
+        self.transport.down_held.push(VecDeque::new());
+        self.wal_frames.push(None);
+        let mut out = Vec::new();
+        worker.begin_join(contact, "", None, &mut out);
+        self.workers.push(worker);
+        for (dest, msg) in out {
+            self.transport
+                .send(site, dest, msg.encode_into(&mut self.scratch));
+        }
+        site
+    }
+
+    /// Joins a fresh site and drives the membership change to completion:
+    /// every registered counter is handed off to the grown member set and
+    /// the epoch-bumped roster is committed everywhere. Returns the new
+    /// site id.
+    pub fn join(&mut self) -> usize {
+        let site = self.begin_join();
+        self.run_until_quiescent();
+        assert!(
+            self.workers[site].roster().contains(site) && !self.workers[site].joining(),
+            "join of site {site} did not commit — a partition or down site is \
+             blocking the handoff"
+        );
+        site
+    }
+
+    /// Starts retiring a member site without driving it to completion (see
+    /// [`SimCluster::begin_join`] for why). The `Leave` frame enters the
+    /// network addressed to a surviving member.
+    pub fn begin_leave(&mut self, site: usize) {
+        let roster = self.committed_roster();
+        assert!(roster.contains(site), "site {site} is not a member");
+        assert!(roster.len() > 1, "cannot retire the last member");
+        let watch = roster
+            .members
+            .iter()
+            .copied()
+            .find(|&m| m != site && !self.transport.down[m])
+            .expect("a live surviving member");
+        let clock = self.transport.clock;
+        let frame = Message::Leave { site: site as u64 }.encode();
+        self.transport.push(clock, CLIENT, watch, frame);
+    }
+
+    /// Retires a member site and drives the membership change to
+    /// completion: its shards are handed off (unsynchronized deltas folded
+    /// into the survivors' bases) and the epoch-bumped roster evicts it.
+    /// The retired worker stays constructed — it completes client
+    /// operations as uncommitted no-ops.
+    pub fn leave(&mut self, site: usize) {
+        self.begin_leave(site);
+        self.run_until_quiescent();
+        assert!(
+            !self.committed_roster().contains(site),
+            "leave of site {site} did not commit — a partition or down site is \
+             blocking the handoff"
+        );
+    }
+
+    /// The membership roster `site` currently holds.
+    pub fn roster(&self, site: usize) -> &homeo_protocol::Roster {
+        self.workers[site].roster()
+    }
+
+    /// Total stale-epoch frames dropped across every site: frames from a
+    /// member evicted by a committed roster carry treaty state from a dead
+    /// epoch and are rejected on receipt (only a rejoin `JoinRequest`
+    /// passes). Exposed so the stress tests can assert the rejection
+    /// actually fired.
+    pub fn stale_rejects(&self) -> u64 {
+        self.workers.iter().map(|w| w.stale_rejects).sum()
+    }
+
     /// The authoritative (global) value of a counter: the coordinator's
-    /// base plus every site's unsynchronized delta. Meaningful when no
-    /// round is mid-flight on the counter (run to quiescence first).
+    /// base plus every *member* site's unsynchronized delta. Meaningful
+    /// when no round is mid-flight on the counter (run to quiescence
+    /// first). Non-members (retired sites, mid-join sites) hold stale
+    /// engine values on purpose — their deltas were folded into the base at
+    /// handoff — so they are excluded from the sum.
     pub fn logical_value(&self, obj: &ObjId) -> i64 {
-        let coordinator = self.workers[0].coordinator(obj);
+        let live = (0..self.workers.len())
+            .find(|&site| !self.transport.down[site])
+            .expect("at least one live site");
+        let coordinator = self.workers[live].coordinator(obj);
         let Some(base) = self.workers[coordinator].counter_base(obj) else {
             return 0;
         };
-        base + self
-            .workers
+        let members = self.workers[coordinator]
+            .counter_members(obj)
+            .expect("coordinator knows its counter");
+        base + members
             .iter()
-            .map(|w| w.engine().peek(obj.as_str()) - base)
+            .map(|&m| self.workers[m].engine().peek(obj.as_str()) - base)
             .sum::<i64>()
     }
 
@@ -864,5 +1004,139 @@ mod tests {
             cluster.kill(coordinator);
         }));
         assert!(result.is_err(), "killing an active coordinator must panic");
+    }
+
+    #[test]
+    fn a_site_joins_under_faults_and_conservation_holds() {
+        // Build the net over 4 sites, start with 3: the join grows into the
+        // spare row of the five-datacenter geometry.
+        let net = SimNetConfig::faulty(RttMatrix::table1().truncated(4), 0xE1);
+        let mut cluster =
+            SimCluster::from_engines((0..3).map(|_| Engine::new()).collect(), homeo_config(), net);
+        cluster.register(stock(0), 400, 0);
+        cluster.register(stock(1), 300, 0);
+        let mut committed = 0i64;
+        for i in 0..60 {
+            let out = cluster.execute(
+                i % 3,
+                SiteOp::Order {
+                    obj: stock(i % 2),
+                    amount: 1,
+                    refill_to: None,
+                },
+            );
+            if out.committed {
+                committed += 1;
+            }
+        }
+        let joined = cluster.join();
+        assert_eq!(joined, 3);
+        for site in 0..4 {
+            assert_eq!(cluster.roster(site).members, vec![0, 1, 2, 3]);
+            assert_eq!(cluster.roster(site).epoch, 1);
+        }
+        // The joiner serves from its handed-off slice.
+        for i in 0..40 {
+            let out = cluster.execute(
+                joined,
+                SiteOp::Order {
+                    obj: stock(i % 2),
+                    amount: 1,
+                    refill_to: None,
+                },
+            );
+            if out.committed {
+                committed += 1;
+            }
+        }
+        cluster.synchronize(0);
+        let total = cluster.logical_value(&stock(0)) + cluster.logical_value(&stock(1));
+        assert_eq!(total, 400 + 300 - committed, "conservation across the join");
+    }
+
+    #[test]
+    fn a_leave_during_a_partition_commits_after_heal() {
+        let net = SimNetConfig::reliable(3, 90);
+        let mut cluster = sim(3, net);
+        cluster.register(stock(0), 200, 0);
+        for site in 0..3 {
+            for _ in 0..4 {
+                assert!(
+                    cluster
+                        .execute(
+                            site,
+                            SiteOp::Order {
+                                obj: stock(0),
+                                amount: 1,
+                                refill_to: None,
+                            },
+                        )
+                        .committed
+                );
+            }
+        }
+        // Cut the leaver off from every survivor, then ask for the leave:
+        // the handoff's fold needs the leaver's delta, so the change must
+        // stall rather than drop it.
+        cluster.partition(0, 2);
+        cluster.partition(1, 2);
+        cluster.begin_leave(2);
+        cluster.run_until_quiescent();
+        assert!(
+            cluster.roster(0).contains(2),
+            "the leave must not commit across the partition"
+        );
+        cluster.heal_all();
+        cluster.run_until_quiescent();
+        assert!(!cluster.roster(0).contains(2), "heal completes the leave");
+        assert_eq!(cluster.roster(0).members, vec![0, 1]);
+        cluster.synchronize(0);
+        assert_eq!(
+            cluster.logical_value(&stock(0)),
+            200 - 12,
+            "the leaver's deltas folded into the survivors"
+        );
+    }
+
+    #[test]
+    fn elastic_runs_are_reproducible_from_the_seed() {
+        let run = || {
+            let net = SimNetConfig::faulty(RttMatrix::table1().truncated(5), 0x5E);
+            let mut cluster = SimCluster::from_engines(
+                (0..3).map(|_| Engine::new()).collect(),
+                homeo_config(),
+                net,
+            );
+            cluster.register(stock(0), 500, 0);
+            let mut rng = DetRng::seed_from(11);
+            for _ in 0..80 {
+                let site = rng.index(3);
+                cluster.submit(
+                    site,
+                    SiteOp::Order {
+                        obj: stock(0),
+                        amount: 1,
+                        refill_to: None,
+                    },
+                );
+            }
+            let joined = cluster.join();
+            for _ in 0..40 {
+                let site = rng.index(4);
+                cluster.submit(
+                    site,
+                    SiteOp::Order {
+                        obj: stock(0),
+                        amount: 1,
+                        refill_to: None,
+                    },
+                );
+            }
+            cluster.run_until_quiescent();
+            cluster.leave(joined);
+            cluster.synchronize(0);
+            (cluster.metrics(), cluster.logical_value(&stock(0)))
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -85,7 +85,8 @@ use std::time::{Duration, Instant};
 use epoll::{Events, Poller};
 use homeo_lang::ids::ObjId;
 use homeo_protocol::{
-    negotiate_allowances_cached, NegotiationCache, ProgramBundle, ReplicatedStats, WorkloadHints,
+    negotiate_allowances_cached, NegotiationCache, ProgramBundle, ReplicatedStats, Roster,
+    WorkloadHints,
 };
 use homeo_runtime::{OpOutcome, SiteOp, SiteRuntime};
 use homeo_sim::{DetRng, Timer};
@@ -144,6 +145,11 @@ pub struct NodeOptions {
     /// before the site disconnects it (the reactor's backpressure bound;
     /// [`crate::DEFAULT_CLIENT_QUEUE_CAP`] unless a test narrows it).
     pub client_queue_cap: usize,
+    /// `Some((contact, expected_epoch))` when this node is not a founding
+    /// member: it starts with an empty treaty book and joins the live
+    /// cluster through the member site `contact` (refusing the `JoinAck`
+    /// if `expected_epoch` is given and the roster epoch differs).
+    pub join: Option<(usize, Option<u64>)>,
 }
 
 impl NodeOptions {
@@ -169,6 +175,7 @@ impl NodeOptions {
             engine: Arc::new(Engine::new()),
             recover_from: None,
             client_queue_cap: crate::reactor::DEFAULT_CLIENT_QUEUE_CAP,
+            join: None,
         }
     }
 
@@ -189,6 +196,17 @@ impl NodeOptions {
     /// Overrides the reactor's per-client backpressure bound.
     pub fn with_client_queue_cap(mut self, cap: usize) -> Self {
         self.client_queue_cap = cap;
+        self
+    }
+
+    /// Marks this node as a joiner: instead of founding the cluster it
+    /// contacts the member site `contact` with a `JoinRequest` at startup
+    /// and adopts the roster, treaty book and program bundle from the
+    /// `JoinAck` handshake. With `expected_epoch` set, the join aborts if
+    /// the live roster's epoch differs (a stale-config guard for
+    /// operator-driven joins through `homeostasisd --config`).
+    pub fn with_join(mut self, contact: usize, expected_epoch: Option<u64>) -> Self {
+        self.join = Some((contact, expected_epoch));
         self
     }
 }
@@ -224,21 +242,36 @@ impl SiteNode {
             engine,
             recover_from,
             client_queue_cap,
+            join,
         } = opts;
         let sites = addrs.len();
         assert!(site < sites, "site {site} out of range for {sites} sites");
         let addr = listener
             .local_addr()
             .expect("bound listener has an address");
-        let worker = SiteWorker::new(
-            site,
-            sites,
-            config.mode,
-            config.hints(sites),
-            config.timer,
-            engine.clone(),
-        )
-        .with_tuning(config.tuning);
+        let addr_book: Vec<String> = addrs.iter().map(|a| a.to_string()).collect();
+        let worker = if join.is_some() {
+            // A joiner founds nothing: it starts as a lone roster and
+            // learns counters, allowances and programs from the JoinAck.
+            SiteWorker::new_joining(
+                site,
+                config.mode,
+                config.hints(1).expected_amount,
+                config.timer,
+                engine.clone(),
+            )
+        } else {
+            SiteWorker::new(
+                site,
+                sites,
+                config.mode,
+                config.hints(sites),
+                config.timer,
+                engine.clone(),
+            )
+        }
+        .with_tuning(config.tuning)
+        .with_peer_addrs(&addr_book);
         let shutdown = Arc::new(AtomicBool::new(false));
         let (waker, reactor_waker) = UnixStream::pair().expect("create waker pipe");
         let reactor = Reactor::new(
@@ -251,6 +284,7 @@ impl SiteNode {
                 epoch: fresh_epoch(),
                 addrs,
                 client_queue_cap,
+                join,
             },
         )
         .expect("create the site's epoll reactor");
@@ -385,7 +419,7 @@ impl TcpClient {
 
     fn expect_reply<T>(
         &mut self,
-        extract: impl Fn(Message) -> Result<T, Message>,
+        extract: impl Fn(Message) -> Result<T, Box<Message>>,
     ) -> std::io::Result<T> {
         match extract(self.recv()?) {
             Ok(value) => Ok(value),
@@ -422,7 +456,7 @@ impl TcpClient {
     pub fn recv_poll_reply(&mut self) -> std::io::Result<Vec<OpOutcome>> {
         self.expect_reply(|msg| match msg {
             Message::PollReply { outcomes } => Ok(outcomes),
-            other => Err(other),
+            other => Err(Box::new(other)),
         })
     }
 
@@ -440,7 +474,7 @@ impl TcpClient {
         self.send(&Message::Seed { meta })?;
         self.expect_reply(|msg| match msg {
             Message::SeedAck { .. } => Ok(()),
-            other => Err(other),
+            other => Err(Box::new(other)),
         })
     }
 
@@ -455,7 +489,7 @@ impl TcpClient {
         })?;
         self.expect_reply(|msg| match msg {
             Message::ProgramAck { count } => Ok(count),
-            other => Err(other),
+            other => Err(Box::new(other)),
         })
     }
 
@@ -465,7 +499,7 @@ impl TcpClient {
         self.send(&Message::SyncAllRequest)?;
         self.expect_reply(|msg| match msg {
             Message::SyncAllReply { solver_micros } => Ok(solver_micros),
-            other => Err(other),
+            other => Err(Box::new(other)),
         })
     }
 
@@ -477,7 +511,7 @@ impl TcpClient {
         self.send(&Message::MetricsRequest)?;
         self.expect_reply(|msg| match msg {
             Message::MetricsReply { text } => Ok(text),
-            other => Err(other),
+            other => Err(Box::new(other)),
         })
     }
 
@@ -486,7 +520,7 @@ impl TcpClient {
         self.send(&Message::StatsRequest)?;
         self.expect_reply(|msg| match msg {
             Message::StatsReply { stats } => Ok(stats),
-            other => Err(other),
+            other => Err(Box::new(other)),
         })
     }
 
@@ -496,9 +530,28 @@ impl TcpClient {
     pub fn state(&mut self) -> std::io::Result<Vec<CounterMeta>> {
         self.send(&Message::StateRequest)?;
         self.expect_reply(|msg| match msg {
-            Message::StateReply { counters } => Ok(counters),
-            other => Err(other),
+            Message::StateReply { counters, .. } => Ok(counters),
+            other => Err(Box::new(other)),
         })
+    }
+
+    /// The connected site's current membership roster (epoch + member
+    /// list). Admin tooling polls this to watch a join or leave commit.
+    pub fn roster(&mut self) -> std::io::Result<Roster> {
+        self.send(&Message::StateRequest)?;
+        self.expect_reply(|msg| match msg {
+            Message::StateReply { roster, .. } => Ok(roster),
+            other => Err(Box::new(other)),
+        })
+    }
+
+    /// Asks the cluster to retire `site`: the frame is forwarded to the
+    /// membership coordinator, which hands the leaver's counter shards off
+    /// and broadcasts the epoch-bumped roster. Fire-and-forget — poll
+    /// [`TcpClient::roster`] until the epoch moves past the one observed
+    /// before the request.
+    pub fn leave(&mut self, site: usize) -> std::io::Result<()> {
+        self.send(&Message::Leave { site: site as u64 })
     }
 }
 
@@ -585,6 +638,9 @@ pub struct TcpCluster {
     /// this backend), so [`TcpCluster::restart`] re-registers it and folds
     /// the general state back into lockstep.
     program_bundle: Option<ProgramBundle>,
+    /// The committed membership roster as last observed by this handle
+    /// (updated by [`TcpCluster::join`] / [`TcpCluster::leave`]).
+    roster: Roster,
 }
 
 impl TcpCluster {
@@ -611,6 +667,8 @@ impl TcpCluster {
         let spec = ClusterSpec {
             addrs: addrs.clone(),
             mode: config.mode,
+            join: None,
+            epoch: None,
         };
         let engines: Vec<Arc<Engine>> = engines.into_iter().map(Arc::new).collect();
         let nodes: Vec<Option<SiteNode>> = listeners
@@ -644,7 +702,85 @@ impl TcpCluster {
             registration_solver_micros: 0,
             registration_cache: NegotiationCache::new(),
             program_bundle: None,
+            roster: Roster::founding(sites),
         }
+    }
+
+    /// Grows the cluster by one site on a fresh loopback port: the new node
+    /// spawns with [`NodeOptions::with_join`] aimed at the roster leader,
+    /// receives the treaty book and program bundle in the `JoinAck`
+    /// handshake, and every registered counter is handed off to the grown
+    /// member set under its ack barrier. Blocks until the epoch-bumped
+    /// roster carrying the new member is committed; returns the site id.
+    pub fn join(&mut self) -> usize {
+        let site = self.engines.len();
+        let listener = epoll::listen_on(epoll::loopback(0), LISTEN_BACKLOG).expect("bind loopback");
+        let addr = listener.local_addr().expect("bound listener");
+        self.spec.addrs.push(addr);
+        let engine = Arc::new(Engine::new());
+        self.engines.push(engine.clone());
+        let contact = self.roster.leader();
+        let epoch_before = self
+            .client(contact)
+            .roster()
+            .expect("roster over TCP")
+            .epoch;
+        let node = SiteNode::spawn(
+            listener,
+            NodeOptions::new(site, self.spec.addrs.clone(), self.config.clone())
+                .with_engine(engine)
+                .with_join(contact, None),
+        );
+        self.nodes.push(Some(node));
+        self.clients.push(Some(
+            TcpClient::connect_retry(addr, Duration::from_secs(5))
+                .expect("connect to joining site"),
+        ));
+        self.roster = self.await_roster(contact, |r| r.epoch > epoch_before && r.contains(site));
+        site
+    }
+
+    /// Retires a member site: its counter shards are handed off to the
+    /// surviving members (folding its unsynchronized deltas into the new
+    /// bases) and the epoch-bumped roster evicts it. The node stays up — a
+    /// retired worker completes client operations as uncommitted no-ops —
+    /// but takes no further part in any treaty. Blocks until the shrunk
+    /// roster is committed.
+    pub fn leave(&mut self, site: usize) {
+        assert!(self.roster.contains(site), "site {site} is not a member");
+        assert!(self.roster.len() > 1, "cannot retire the last member");
+        let epoch_before = self.roster.epoch;
+        let watch = *self
+            .roster
+            .members
+            .iter()
+            .find(|&&m| m != site)
+            .expect("a surviving member");
+        // Any member forwards the request to the membership coordinator.
+        self.client(watch).leave(site).expect("leave over TCP");
+        self.roster = self.await_roster(watch, |r| r.epoch > epoch_before && !r.contains(site));
+    }
+
+    /// Polls `site`'s roster over its client connection until `done`
+    /// accepts it.
+    fn await_roster(&mut self, site: usize, done: impl Fn(&Roster) -> bool) -> Roster {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let roster = self.client(site).roster().expect("roster over TCP");
+            if done(&roster) {
+                return roster;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "membership change did not commit within 30s"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// The committed roster as last observed by this handle.
+    pub fn roster(&self) -> &Roster {
+        &self.roster
     }
 
     /// The sites' listen addresses.
@@ -666,11 +802,11 @@ impl TcpCluster {
         if !self.registered.insert(obj.clone()) {
             return 0;
         }
-        let sites = self.sites();
+        let members = self.roster.members.clone();
         let (allowances, solver_micros) = negotiate_allowances_cached(
             self.config.mode,
-            &self.config.hints(sites),
-            sites,
+            &self.config.hints(members.len()),
+            members.len(),
             initial,
             lower_bound,
             self.config.timer,
@@ -683,12 +819,18 @@ impl TcpCluster {
             obj,
             base: initial,
             lower_bound,
+            members,
             allowances,
         };
-        for site in 0..sites {
-            self.client(site)
-                .seed(meta.clone())
-                .expect("seed counter over TCP");
+        // Seed every spawned site, members and retired alike (non-members
+        // keep the metadata for routing only), skipping killed sites (a
+        // restart refetches state from its buddy anyway).
+        for site in 0..self.engines.len() {
+            if self.clients[site].is_some() {
+                self.client(site)
+                    .seed(meta.clone())
+                    .expect("seed counter over TCP");
+            }
         }
         solver_micros
     }
@@ -706,7 +848,13 @@ impl TcpCluster {
     /// every connection. Returns the number of registered transactions
     /// (0 if the bundle was rejected, in which case nothing is cached).
     pub fn register_program(&mut self, bundle: &ProgramBundle) -> u64 {
-        let sites = self.sites();
+        // General rounds run over the dense universe `0..n`: a roster with
+        // a gap (a retired site) cannot host program registration, exactly
+        // like the other backends.
+        if self.roster.members != (0..self.roster.len()).collect::<Vec<_>>() {
+            return 0;
+        }
+        let sites = self.roster.len();
         let mut count = 0;
         for site in 0..sites {
             count = self
@@ -788,11 +936,15 @@ impl TcpCluster {
         let engine =
             Arc::new(Engine::reopen_from_frame(&frame).expect("reopen engine from its WAL frame"));
         self.engines[site] = engine.clone();
-        let buddy = (site + 1) % self.sites();
-        assert!(
-            self.nodes[buddy].is_some(),
-            "recovery buddy {buddy} must be alive"
-        );
+        // Recover from a live *member*: a retired site's treaty metadata is
+        // stale by design, so the buddy must come from the current roster.
+        let buddy = self
+            .roster
+            .members
+            .iter()
+            .copied()
+            .find(|&m| m != site && self.nodes[m].is_some())
+            .expect("a live member to recover from");
         let node = SiteNode::bind(
             NodeOptions::new(site, self.spec.addrs.clone(), self.config.clone())
                 .with_engine(engine)
@@ -1443,6 +1595,7 @@ pub fn tcp_load_opts(spec: &ClusterSpec, opts: &LoadOptions) -> std::io::Result<
             obj: load_stock(item),
             base: LOAD_INITIAL,
             lower_bound: 0,
+            members: (0..sites).collect(),
             allowances,
         };
         for client in &mut clients {
@@ -1647,6 +1800,79 @@ mod tests {
     }
 
     #[test]
+    fn a_joined_site_serves_orders_over_real_sockets() {
+        // Grow 2 → 3 mid-flight: the joiner dials the leader, adopts the
+        // treaty book from the JoinAck, and every registered counter is
+        // handed off to the three-member set — after which the new site
+        // commits orders like a founder.
+        let mut cluster = cluster(2);
+        cluster.register(stock(0), 60, 0);
+        let site = cluster.join();
+        assert_eq!(site, 2);
+        assert_eq!(cluster.roster().members, vec![0, 1, 2]);
+        for i in 0..12 {
+            let out = cluster.execute(
+                i % 3,
+                SiteOp::Order {
+                    obj: stock(0),
+                    amount: 1,
+                    refill_to: None,
+                },
+            );
+            assert!(out.committed, "order {i} must commit");
+        }
+        cluster.synchronize(2);
+        for member in [0usize, 1, 2] {
+            assert_eq!(cluster.value_at(member, &stock(0)), 48);
+        }
+    }
+
+    #[test]
+    fn a_retired_site_folds_out_over_real_sockets() {
+        // Shrink 3 → 2: the leaver's unsynchronized deltas fold into the
+        // handoff base (nothing is lost), the survivors re-split the
+        // allowance, and the retired node keeps serving its socket —
+        // completing orders as uncommitted no-ops.
+        let mut cluster = cluster(3);
+        cluster.register(stock(0), 90, 0);
+        for site in 0..3 {
+            let out = cluster.execute(
+                site,
+                SiteOp::Order {
+                    obj: stock(0),
+                    amount: 2,
+                    refill_to: None,
+                },
+            );
+            assert!(out.committed);
+        }
+        cluster.leave(1);
+        assert_eq!(cluster.roster().members, vec![0, 2]);
+        let out = cluster.execute(
+            0,
+            SiteOp::Order {
+                obj: stock(0),
+                amount: 1,
+                refill_to: None,
+            },
+        );
+        assert!(out.committed, "survivors keep committing after the leave");
+        let noop = cluster.execute(
+            1,
+            SiteOp::Order {
+                obj: stock(0),
+                amount: 1,
+                refill_to: None,
+            },
+        );
+        assert!(!noop.committed, "a retired site must not commit orders");
+        cluster.synchronize(0);
+        for member in [0usize, 2] {
+            assert_eq!(cluster.value_at(member, &stock(0)), 90 - 6 - 1);
+        }
+    }
+
+    #[test]
     fn batched_submits_travel_as_one_frame_and_poll_in_order() {
         let mut cluster = cluster(3);
         cluster.register(stock(0), 100, 1);
@@ -1708,6 +1934,8 @@ mod tests {
         let spec = ClusterSpec {
             addrs: nodes_cluster.addrs().to_vec(),
             mode: ReplicatedMode::EvenSplit,
+            join: None,
+            epoch: None,
         };
         let report = tcp_load(&spec, 400, 8, 7).expect("load run");
         assert_eq!(report.committed, 800);
@@ -1732,6 +1960,8 @@ mod tests {
         let spec = ClusterSpec {
             addrs: nodes_cluster.addrs().to_vec(),
             mode: ReplicatedMode::EvenSplit,
+            join: None,
+            epoch: None,
         };
         let report = tcp_load_opts(
             &spec,
@@ -1755,6 +1985,8 @@ mod tests {
         let spec = ClusterSpec {
             addrs: nodes_cluster.addrs().to_vec(),
             mode: ReplicatedMode::EvenSplit,
+            join: None,
+            epoch: None,
         };
         // 600 ops offered at 20k ops/s: ~30ms of paced Poisson arrivals.
         let report = tcp_load_opts(&spec, &LoadOptions::new(300, 8, 5).open_loop(20_000.0))
@@ -1873,6 +2105,7 @@ mod tests {
             engine: Arc::new(Engine::new()),
             recover_from: None,
             client_queue_cap: 64 * 1024,
+            join: None,
         })
         .expect("bind");
         let mut hog = TcpClient::connect_retry(addrs[0], Duration::from_secs(5)).expect("connect");

@@ -19,7 +19,7 @@ use std::thread::JoinHandle;
 use homeo_lang::ids::ObjId;
 use homeo_protocol::{
     negotiate_allowances_cached, NegotiationCache, ProgramBundle, ProgramSet, ReplicatedMode,
-    ReplicatedStats,
+    ReplicatedStats, Roster,
 };
 use homeo_runtime::{OpOutcome, SiteOp, SiteRuntime};
 use homeo_sim::DetRng;
@@ -56,6 +56,11 @@ pub enum Control {
         /// Where to send the text dump.
         reply: Sender<String>,
     },
+    /// Reply with the worker's current membership roster.
+    Roster {
+        /// Where to send the roster.
+        reply: Sender<Roster>,
+    },
     /// Exit the worker loop.
     Shutdown,
 }
@@ -76,6 +81,10 @@ pub struct ThreadedCluster {
     /// Memoized treaty templates + solver scratch for the registration
     /// path's negotiations.
     registration_cache: NegotiationCache,
+    /// The coordinating thread's mirror of the committed roster, refreshed
+    /// by [`ThreadedCluster::join`] / [`ThreadedCluster::leave`]. Counter
+    /// registration negotiates over these members.
+    roster: Roster,
     /// Frame-encode scratch for the coordinating thread's batched sends
     /// ([`Message::encode_submit_into`]).
     scratch: Vec<u8>,
@@ -118,7 +127,7 @@ impl ThreadedCluster {
                 let transport = transport.clone();
                 std::thread::Builder::new()
                     .name(format!("homeo-site-{site}"))
-                    .spawn(move || worker_loop(worker, rx, transport))
+                    .spawn(move || worker_loop(worker, rx, transport, None))
                     .expect("spawn site worker thread")
             })
             .collect();
@@ -131,17 +140,100 @@ impl ThreadedCluster {
             registration_negotiations: 0,
             registration_solver_micros: 0,
             registration_cache: NegotiationCache::new(),
+            roster: Roster::founding(sites),
             scratch: Vec::new(),
         }
     }
 
+    /// Spawns a fresh site and joins it to the live cluster: the new
+    /// worker's channel is appended to the shared transport, its thread
+    /// starts in joining mode, and the membership coordinator hands every
+    /// registered counter's shard off to the grown member set. Blocks until
+    /// the epoch-bumped roster is committed; returns the new site id.
+    pub fn join(&mut self) -> usize {
+        let engine = Arc::new(Engine::new());
+        self.engines.push(engine.clone());
+        let (tx, rx) = channel::<Input>();
+        let site = self.transport.add_peer(tx);
+        assert_eq!(site, self.engines.len() - 1, "site ids are append-only");
+        let contact = self.roster.leader();
+        let epoch_before = self.roster.epoch;
+        let expected_amount = self.config.hints(1).expected_amount;
+        let worker = SiteWorker::new_joining(
+            site,
+            self.config.mode,
+            expected_amount,
+            self.config.timer,
+            engine,
+        )
+        .with_tuning(self.config.tuning);
+        let transport = self.transport.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("homeo-site-{site}"))
+            .spawn(move || worker_loop(worker, rx, transport, Some(contact)))
+            .expect("spawn joining site worker thread");
+        self.handles.push(handle);
+        // The join is committed once the membership coordinator's roster
+        // carries the new member at a bumped epoch — by then every
+        // registered counter has been handed off under its ack barrier (the
+        // roster broadcast is the last step of the membership change).
+        self.roster = self.await_roster(contact, |r| r.epoch > epoch_before && r.contains(site));
+        site
+    }
+
+    /// Retires a member site: its counter shards are handed off to the
+    /// surviving members (folding its unsynchronized deltas into the new
+    /// bases) and the epoch-bumped roster evicts it. The worker thread
+    /// stays alive — a retired worker completes client operations as
+    /// uncommitted no-ops — but takes no further part in any treaty.
+    /// Blocks until the shrunk roster is committed.
+    pub fn leave(&mut self, site: usize) {
+        assert!(self.roster.contains(site), "site {site} is not a member");
+        assert!(self.roster.len() > 1, "cannot retire the last member");
+        let epoch_before = self.roster.epoch;
+        let watch = *self
+            .roster
+            .members
+            .iter()
+            .find(|&&m| m != site)
+            .expect("a surviving member");
+        // Any member forwards the request to the membership coordinator.
+        let frame = Message::Leave { site: site as u64 }.encode();
+        self.transport.send(CLIENT, watch, frame);
+        self.roster = self.await_roster(watch, |r| r.epoch > epoch_before && !r.contains(site));
+    }
+
+    /// Polls `site`'s roster until `done` accepts it.
+    fn await_roster(&self, site: usize, done: impl Fn(&Roster) -> bool) -> Roster {
+        loop {
+            let roster = self.roster_of(site);
+            if done(&roster) {
+                return roster;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+
+    /// The roster `site`'s worker currently holds.
+    pub fn roster_of(&self, site: usize) -> Roster {
+        let (tx, rx) = channel();
+        self.transport.control(site, Control::Roster { reply: tx });
+        rx.recv().expect("site worker terminated")
+    }
+
+    /// The committed roster as last observed by the coordinating thread.
+    pub fn roster(&self) -> &Roster {
+        &self.roster
+    }
+
     /// Registers a counter cluster-wide: the initial value is written
     /// through every site's engine (WAL-logged), the initial treaty is
-    /// negotiated here, and the metadata is broadcast to every worker.
-    /// Ordering is safe without an ack round: a worker's channel delivers
-    /// its `Register` before any frame caused by a later `submit`, because
-    /// every frame chain is causally ordered behind this broadcast.
-    /// Returns the solver time in microseconds.
+    /// negotiated here over the current roster's members, and the metadata
+    /// is broadcast to every spawned worker (non-members keep it for
+    /// routing only). Ordering is safe without an ack round: a worker's
+    /// channel delivers its `Register` before any frame caused by a later
+    /// `submit`, because every frame chain is causally ordered behind this
+    /// broadcast. Returns the solver time in microseconds.
     pub fn register(&mut self, obj: ObjId, initial: i64, lower_bound: i64) -> u64 {
         if !self.registered.insert(obj.clone()) {
             return 0;
@@ -151,11 +243,11 @@ impl ThreadedCluster {
                 .write_logged(obj.as_str(), initial)
                 .expect("population write cannot conflict");
         }
-        let sites = self.engines.len();
+        let members = self.roster.members.clone();
         let (allowances, solver_micros) = negotiate_allowances_cached(
             self.config.mode,
-            &self.config.hints(sites),
-            sites,
+            &self.config.hints(members.len()),
+            members.len(),
             initial,
             lower_bound,
             self.config.timer,
@@ -168,12 +260,13 @@ impl ThreadedCluster {
             obj,
             base: initial,
             lower_bound,
+            members,
             allowances,
         };
         // Encode the broadcast once; each site gets a byte-copy of the same
         // frame instead of a fresh encoding pass.
         let frame = Message::Register { meta }.encode();
-        for site in 0..sites {
+        for site in 0..self.engines.len() {
             self.transport.send(CLIENT, site, frame.clone());
         }
         solver_micros
@@ -185,9 +278,14 @@ impl ThreadedCluster {
     /// table. As with [`ThreadedCluster::register`], causal channel order
     /// makes an ack round unnecessary — a worker sees the `RegisterProgram`
     /// frame before any later submit from this thread. Returns the number
-    /// of registered transactions (0 if the bundle is malformed, in which
-    /// case nothing is broadcast).
+    /// of registered transactions (0 if the bundle is malformed or the
+    /// roster is not a dense `0..n` prefix — the general protocol's rounds
+    /// run over a dense site universe, so a cluster that has retired a
+    /// low-numbered site must not take new program registrations).
     pub fn register_program(&mut self, bundle: &ProgramBundle) -> u64 {
+        if self.roster.members != (0..self.roster.len()).collect::<Vec<_>>() {
+            return 0;
+        }
         let sites = self.engines.len();
         let count = match ProgramSet::from_bundle(bundle, sites) {
             Ok(set) => set.len() as u64,
@@ -365,11 +463,26 @@ impl ClusterClient {
 /// frames are encoded through one per-connection scratch buffer
 /// ([`Message::encode_into`]), so a round's worth of sends costs one
 /// exact-size allocation per frame and no body-buffer churn.
-fn worker_loop(mut worker: SiteWorker, rx: Receiver<Input>, mut transport: ChannelTransport) {
+///
+/// A worker spawned by [`ThreadedCluster::join`] starts with
+/// `join = Some(contact)`: it fires its `JoinRequest` at the contact site
+/// before serving anything else.
+fn worker_loop(
+    mut worker: SiteWorker,
+    rx: Receiver<Input>,
+    mut transport: ChannelTransport,
+    join: Option<usize>,
+) {
     let mut out = Vec::new();
     let mut scratch = Vec::new();
     let mut poll_replies: Vec<Sender<Vec<OpOutcome>>> = Vec::new();
     let mut sync_reply: Option<Sender<u64>> = None;
+    if let Some(contact) = join {
+        worker.begin_join(contact, "", None, &mut out);
+        for (to, msg) in out.drain(..) {
+            transport.send(worker.site(), to, msg.encode_into(&mut scratch));
+        }
+    }
     loop {
         let first = match rx.recv() {
             Ok(input) => input,
@@ -392,6 +505,9 @@ fn worker_loop(mut worker: SiteWorker, rx: Receiver<Input>, mut transport: Chann
                 }
                 Input::Control(Control::Metrics { reply }) => {
                     let _ = reply.send(worker.metrics_text());
+                }
+                Input::Control(Control::Roster { reply }) => {
+                    let _ = reply.send(worker.roster().clone());
                 }
                 Input::Control(Control::Shutdown) => return,
             }
@@ -646,5 +762,132 @@ mod tests {
         cluster.synchronize(0);
         assert_eq!(cluster.value_at(0, &stock(0)), serial);
         assert_eq!(cluster.value_at(1, &stock(0)), serial);
+    }
+
+    #[test]
+    fn a_joined_site_serves_orders_and_conservation_holds() {
+        let mut cluster = cluster(2);
+        cluster.register(stock(0), 300, 0);
+        for i in 0..40 {
+            assert!(
+                cluster
+                    .execute(
+                        i % 2,
+                        SiteOp::Order {
+                            obj: stock(0),
+                            amount: 1,
+                            refill_to: None,
+                        },
+                    )
+                    .committed
+            );
+        }
+        let joined = cluster.join();
+        assert_eq!(joined, 2);
+        assert_eq!(cluster.roster().members, vec![0, 1, 2]);
+        assert_eq!(cluster.roster().epoch, 1);
+        // The joiner took over a slice of the treaty and serves from it.
+        for i in 0..30 {
+            assert!(
+                cluster
+                    .execute(
+                        i % 3,
+                        SiteOp::Order {
+                            obj: stock(0),
+                            amount: 1,
+                            refill_to: None,
+                        },
+                    )
+                    .committed,
+                "op {i} after join"
+            );
+        }
+        cluster.synchronize(0);
+        for site in 0..3 {
+            assert_eq!(cluster.value_at(site, &stock(0)), 300 - 70, "site {site}");
+        }
+    }
+
+    #[test]
+    fn a_retired_site_folds_out_and_the_survivors_agree() {
+        let mut cluster = cluster(3);
+        cluster.register(stock(0), 120, 0);
+        cluster.register(stock(1), 80, 0);
+        for i in 0..30 {
+            assert!(
+                cluster
+                    .execute(
+                        i % 3,
+                        SiteOp::Order {
+                            obj: stock(i % 2),
+                            amount: 1,
+                            refill_to: None,
+                        },
+                    )
+                    .committed
+            );
+        }
+        cluster.leave(2);
+        assert_eq!(cluster.roster().members, vec![0, 1]);
+        // The retired site no-ops; survivors keep serving and agree.
+        let retired = cluster.execute(
+            2,
+            SiteOp::Order {
+                obj: stock(0),
+                amount: 1,
+                refill_to: None,
+            },
+        );
+        assert!(!retired.committed);
+        for i in 0..20 {
+            assert!(
+                cluster
+                    .execute(
+                        i % 2,
+                        SiteOp::Order {
+                            obj: stock(i % 2),
+                            amount: 1,
+                            refill_to: None,
+                        },
+                    )
+                    .committed,
+                "op {i} after leave"
+            );
+        }
+        cluster.synchronize(0);
+        let total: i64 = (0..2)
+            .map(|obj| {
+                let v = cluster.value_at(0, &stock(obj));
+                assert_eq!(cluster.value_at(1, &stock(obj)), v);
+                v
+            })
+            .sum();
+        assert_eq!(total, 120 + 80 - 50, "no decrement lost in the handoff");
+    }
+
+    #[test]
+    fn join_then_leave_returns_to_the_original_treaty_shape() {
+        let mut cluster = cluster(2);
+        cluster.register(stock(0), 500, 0);
+        let joined = cluster.join();
+        cluster.leave(joined);
+        assert_eq!(cluster.roster().members, vec![0, 1]);
+        assert_eq!(cluster.roster().epoch, 2);
+        for i in 0..20 {
+            assert!(
+                cluster
+                    .execute(
+                        i % 2,
+                        SiteOp::Order {
+                            obj: stock(0),
+                            amount: 1,
+                            refill_to: None,
+                        },
+                    )
+                    .committed
+            );
+        }
+        cluster.synchronize(0);
+        assert_eq!(cluster.value_at(0, &stock(0)), 480);
     }
 }

@@ -14,6 +14,7 @@
 //!   retransmission delay, symmetric partitions and site kill/restart.
 
 use std::sync::mpsc::Sender;
+use std::sync::{Arc, RwLock};
 
 /// Sender id used for frames originating from the client attachment (the
 /// coordinating thread or a load-generator client) rather than a peer site.
@@ -45,27 +46,42 @@ pub enum Input {
 /// The real-thread transport: one `mpsc` channel per site, frames delivered
 /// in send order per sender, no faults. Cloned into every worker thread and
 /// into client attachments.
+///
+/// The peer list is shared behind an `RwLock` so
+/// [`ThreadedCluster::join`](crate::ThreadedCluster::join) can grow the
+/// cluster while worker threads are live: a new site's channel is appended
+/// and every existing clone of the transport sees it on its next send.
 #[derive(Clone)]
 pub struct ChannelTransport {
-    peers: Vec<Sender<Input>>,
+    peers: Arc<RwLock<Vec<Sender<Input>>>>,
 }
 
 impl ChannelTransport {
     /// Builds the transport over the per-site input channels.
     pub(crate) fn new(peers: Vec<Sender<Input>>) -> Self {
-        ChannelTransport { peers }
+        ChannelTransport {
+            peers: Arc::new(RwLock::new(peers)),
+        }
     }
 
     /// Number of reachable sites.
     pub fn sites(&self) -> usize {
-        self.peers.len()
+        self.peers.read().expect("transport lock poisoned").len()
+    }
+
+    /// Appends a new site's input channel and returns its site id. Existing
+    /// clones of the transport observe the new destination immediately.
+    pub(crate) fn add_peer(&self, tx: Sender<Input>) -> usize {
+        let mut peers = self.peers.write().expect("transport lock poisoned");
+        peers.push(tx);
+        peers.len() - 1
     }
 
     /// Sends a control command to a site's worker thread.
     pub(crate) fn control(&self, to: usize, cmd: crate::threaded::Control) {
         // A send error means the worker is gone (panicked or shut down);
         // the caller's reply-channel recv will surface that.
-        let _ = self.peers[to].send(Input::Control(cmd));
+        let _ = self.peers.read().expect("transport lock poisoned")[to].send(Input::Control(cmd));
     }
 }
 
@@ -74,7 +90,7 @@ impl Transport for ChannelTransport {
         // Client-addressed frames (acks a worker sends back to `CLIENT`,
         // e.g. `ProgramAck`) are dropped: the threaded control plane
         // synchronizes through `Control` reply channels, not frames.
-        if let Some(peer) = self.peers.get(to) {
+        if let Some(peer) = self.peers.read().expect("transport lock poisoned").get(to) {
             let _ = peer.send(Input::Frame(from, frame));
         }
     }

@@ -29,6 +29,44 @@
 //! The ack barrier means at most one round is ever in flight per counter,
 //! which keeps the protocol correct under arbitrary cross-pair reordering.
 //!
+//! # Elastic membership: the epoch-roster rules
+//!
+//! The cluster's member set is dynamic. Membership state lives in two
+//! places with two different consistency regimes:
+//!
+//! * **Per counter** ([`CounterMeta::members`]): the sites sharing the
+//!   counter, which define its coordinator (`members[shard_hash % len]`)
+//!   and its allowance split. A counter's member list changes **only**
+//!   through a [`SyncKind::Handoff`] round issued to its current
+//!   coordinator — the round freezes the counter, folds the current
+//!   members' deltas, re-splits the allowances over the new members
+//!   (reusing the warm-start negotiation cache) and installs the new meta
+//!   to the union of old and new members under the usual ack barrier. Per
+//!   counter, the coordinator therefore moves atomically; requests that
+//!   race the move are forwarded (the `SyncRequest` carries its origin for
+//!   exactly this) and delta requests that arrive under a foreign freeze
+//!   are deferred until the install lands.
+//! * **Cluster-wide** ([`Roster`]): an epoch-stamped member list. The
+//!   *membership coordinator* (`roster.members[0]`) serializes changes:
+//!   on `JoinRequest` it acks the joiner first (roster, peer addresses,
+//!   program bundle), then issues one handoff per registered counter, and
+//!   only when every handoff's `SyncDone` is in does it broadcast
+//!   `MembershipInstall` with the epoch-bumped roster. Receivers adopt a
+//!   roster iff its epoch is strictly newer; members missing from an
+//!   adopted roster are **evicted** — every frame from them except a
+//!   rejoin `JoinRequest` is dropped. A retired site keeps its counter
+//!   metadata purely for routing (it is no longer in any member list, so
+//!   its local operations complete as uncommitted no-ops and its stale
+//!   state is never folded). WAL recovery replays into the *current*
+//!   epoch: the `StateReply` a restarted site recovers from carries the
+//!   buddy's roster.
+//!
+//! General-transaction programs are pinned to the membership they were
+//! registered at (their home mapping is derived from the site count at
+//! registration): joiners receive the program source through `JoinAck` and
+//! replay it, and a founding member that hosts program homes is refused
+//! retirement while programs are registered.
+//!
 //! # Crash model
 //!
 //! Fail-stop with recovery (simulation backend only): a killed site loses
@@ -50,9 +88,9 @@ use homeo_lang::ids::ObjId;
 use homeo_protocol::exec::run_on_engine;
 use homeo_protocol::{
     negotiate_allowances_cached, NegotiationCache, ProgramBundle, ProgramSet, ReplicatedMode,
-    ReplicatedStats, SyncTuning, WorkloadHints,
+    ReplicatedStats, Roster, SyncTuning, WorkloadHints,
 };
-use homeo_runtime::{shard_hash, OpOutcome, SiteOp};
+use homeo_runtime::{coordinator_of, OpOutcome, SiteOp};
 use homeo_sim::{Stopwatch, Timer};
 use homeo_store::{Engine, EngineError};
 use homeo_telemetry::{HistId, Registry};
@@ -69,12 +107,26 @@ pub type Outbox = Vec<(usize, Message)>;
 /// every general round serializes through one fixed site.
 pub const GENERAL_COORDINATOR: usize = 0;
 
-/// Treaty state of one counter as one site knows it.
+/// Treaty state of one counter as one site knows it. `members` (sorted)
+/// defines both the coordinator (`members[shard_hash % len]`) and the
+/// meaning of `allowances` (parallel to `members`); a non-member site may
+/// still hold the state purely for routing.
 #[derive(Debug, Clone)]
 struct CounterState {
     base: i64,
     lower_bound: i64,
+    members: Vec<usize>,
     allowances: Vec<i64>,
+}
+
+impl CounterState {
+    /// The allowance of `site`, if it is a member of this counter.
+    fn allowance_of(&self, site: usize) -> Option<i64> {
+        self.members
+            .binary_search(&site)
+            .ok()
+            .map(|at| self.allowances[at])
+    }
 }
 
 /// One synchronization round this site is coordinating.
@@ -84,6 +136,15 @@ struct ActiveRound {
     origin: usize,
     req: u64,
     kind: SyncKind,
+    /// The counter's member set when the round started — the sites whose
+    /// deltas the fold collects. Pinned here so a concurrent metadata change
+    /// can never move the round's goalposts.
+    participants: Vec<usize>,
+    /// The install/ack-barrier targets, filled at install time. For an
+    /// ordinary round this is `participants` minus self; a handoff installs
+    /// to the union of old and new members so departing sites learn they
+    /// are out and arriving sites receive the treaty.
+    install_to: Vec<usize>,
     deltas: BTreeMap<usize, i64>,
     acks: BTreeSet<usize>,
     /// Filled at install time, reported with the final `SyncDone`.
@@ -92,6 +153,23 @@ struct ActiveRound {
     started: Stopwatch,
     /// Started when the install broadcast went out (the ack-barrier phase).
     install_started: Option<Stopwatch>,
+}
+
+/// A queued membership change, serialized through the membership
+/// coordinator one at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MembershipOp {
+    Join { site: usize },
+    Leave { site: usize },
+}
+
+/// The membership change currently in flight at the membership coordinator:
+/// the epoch-bumped roster it will commit, and the per-counter handoff
+/// rounds whose `SyncDone`s are still outstanding.
+#[derive(Debug)]
+struct MembershipChange {
+    roster: Roster,
+    pending: BTreeSet<u64>,
 }
 
 /// Pre-registered [`Registry`] handles for the worker's own metrics: the
@@ -230,6 +308,38 @@ pub struct SiteWorker {
     counters: BTreeMap<ObjId, CounterState>,
     /// Counters frozen by an in-flight round (value of the map: round id).
     frozen: BTreeMap<ObjId, u64>,
+    /// The cluster roster this site last adopted (see the epoch-roster rules
+    /// in the module docs).
+    roster: Roster,
+    /// Sites that disappeared between two adopted rosters. Every frame from
+    /// an evicted site except a rejoin `JoinRequest` is dropped.
+    evicted: BTreeSet<usize>,
+    /// Dropped stale-epoch frames (frames from evicted members), exposed so
+    /// the stress tests can assert the rejection actually happened.
+    pub stale_rejects: u64,
+    /// Peer dial addresses by site id (`""` = unknown). Only the TCP
+    /// backend reads these; they travel in the membership frames so a
+    /// joiner learns where the cluster lives and vice versa.
+    peer_addrs: Vec<String>,
+    /// True from `new_joining` until the `JoinAck` arrives; every other
+    /// frame is deferred to `recovery_backlog` meanwhile.
+    joining: bool,
+    /// Delta requests for counters this site does not know yet (a joiner
+    /// racing its first installs) or that are frozen by a *different* round
+    /// (the handoff ack-barrier window). Retried after every install.
+    deferred: VecDeque<(usize, Message)>,
+    /// Membership-coordinator duties: one change in flight, the rest queued.
+    membership: Option<MembershipChange>,
+    membership_queue: VecDeque<MembershipOp>,
+    /// The site universe general-transaction programs were registered at
+    /// (`max member + 1` at registration time). General rounds are pinned to
+    /// it: their home mapping, collect set and ack barrier never follow the
+    /// roster, so registration-era members answer program frames even after
+    /// unrelated sites join.
+    program_sites: usize,
+    /// The registered bundle, kept verbatim so `JoinAck` can ship program
+    /// source to a joiner.
+    program_bundle: Option<ProgramBundle>,
     /// The registered general-transaction programs (`None` until a
     /// `RegisterProgram` arrives). Each site derives its own copy from the
     /// program sources and keeps it in lockstep through the install rounds —
@@ -302,6 +412,16 @@ impl SiteWorker {
             proactive_inflight: BTreeSet::new(),
             counters: BTreeMap::new(),
             frozen: BTreeMap::new(),
+            roster: Roster::founding(sites),
+            evicted: BTreeSet::new(),
+            stale_rejects: 0,
+            peer_addrs: Vec::new(),
+            joining: false,
+            deferred: VecDeque::new(),
+            membership: None,
+            membership_queue: VecDeque::new(),
+            program_sites: 0,
+            program_bundle: None,
             programs: None,
             general_frozen: false,
             general_active: None,
@@ -323,9 +443,36 @@ impl SiteWorker {
         }
     }
 
+    /// Creates a worker that is not (yet) part of any cluster: its roster is
+    /// itself alone, and every frame except the `JoinAck` answering
+    /// [`SiteWorker::begin_join`] is deferred until the join resolves.
+    /// `expected_amount` seeds the workload hints the site will negotiate
+    /// with once it owns counter shards.
+    pub fn new_joining(
+        site: usize,
+        mode: ReplicatedMode,
+        expected_amount: i64,
+        timer: Timer,
+        engine: Arc<Engine>,
+    ) -> Self {
+        let sites = site + 1;
+        let mut hints = WorkloadHints::uniform(sites);
+        hints.expected_amount = expected_amount;
+        let mut worker = SiteWorker::new(site, sites, mode, hints, timer, engine);
+        worker.roster = Roster::lone(site);
+        worker.joining = true;
+        worker
+    }
+
     /// Replaces the synchronization tuning (builder style).
     pub fn with_tuning(mut self, tuning: SyncTuning) -> Self {
         self.tuning = tuning;
+        self
+    }
+
+    /// Records peer dial addresses (builder style; TCP backend).
+    pub fn with_peer_addrs(mut self, addrs: &[String]) -> Self {
+        self.record_addrs(addrs);
         self
     }
 
@@ -339,9 +486,38 @@ impl SiteWorker {
         &self.engine
     }
 
-    /// The coordinator of a counter: `shard_hash(obj) % sites`.
+    /// The coordinator of a counter: over the counter's own member list when
+    /// the treaty is known here, over the current roster otherwise. With the
+    /// founding roster this is the historical `shard_hash(obj) % sites`.
     pub fn coordinator(&self, obj: &ObjId) -> usize {
-        (shard_hash(obj) % self.sites as u64) as usize
+        match self.counters.get(obj) {
+            Some(state) => coordinator_of(obj, &state.members),
+            None => self.roster.coordinator_of(homeo_runtime::shard_hash(obj)),
+        }
+    }
+
+    /// The cluster roster this site last adopted.
+    pub fn roster(&self) -> &Roster {
+        &self.roster
+    }
+
+    /// True while the worker waits for the `JoinAck` of a
+    /// [`SiteWorker::begin_join`].
+    pub fn joining(&self) -> bool {
+        self.joining
+    }
+
+    /// The known dial address of a peer site, if any (TCP backend).
+    pub fn peer_addr(&self, site: usize) -> Option<&str> {
+        self.peer_addrs
+            .get(site)
+            .map(String::as_str)
+            .filter(|addr| !addr.is_empty())
+    }
+
+    /// True when no membership change is in flight or queued at this site.
+    pub fn membership_idle(&self) -> bool {
+        self.membership.is_none() && self.membership_queue.is_empty()
     }
 
     /// True when every submitted operation has completed.
@@ -360,7 +536,10 @@ impl SiteWorker {
     /// True when this site coordinates no in-flight round (the precondition
     /// for a fail-stop kill in the simulation backend).
     pub fn quiescent_coordinator(&self) -> bool {
-        self.active.is_empty() && self.general_active.is_none() && self.general_backlog.is_empty()
+        self.active.is_empty()
+            && self.general_active.is_none()
+            && self.general_backlog.is_empty()
+            && self.membership_idle()
     }
 
     /// True when this site is not frozen inside any peer-coordinated round
@@ -379,6 +558,7 @@ impl SiteWorker {
             CounterState {
                 base: meta.base,
                 lower_bound: meta.lower_bound,
+                members: meta.members,
                 allowances: meta.allowances,
             },
         );
@@ -405,12 +585,21 @@ impl SiteWorker {
     /// Re-registering an identical bundle is an idempotent ack; a different
     /// bundle replaces the set wholesale.
     pub fn register_program(&mut self, bundle: &ProgramBundle) -> u64 {
+        let universe = self.roster.members.last().map_or(self.sites, |m| m + 1);
+        self.register_program_at(bundle, universe)
+    }
+
+    /// [`SiteWorker::register_program`] with an explicit site universe: the
+    /// join path pins a joiner's program home mapping to the universe the
+    /// cluster registered at (carried in the `JoinAck`), so every member
+    /// derives the identical mapping regardless of when it arrived.
+    fn register_program_at(&mut self, bundle: &ProgramBundle, universe: usize) -> u64 {
         if let Some(existing) = &self.programs {
-            if existing.sources() == bundle.sources.as_slice() {
+            if existing.sources() == bundle.sources.as_slice() && self.program_sites == universe {
                 return existing.len() as u64;
             }
         }
-        let mut set = match ProgramSet::from_bundle(bundle, self.sites) {
+        let mut set = match ProgramSet::from_bundle(bundle, universe) {
             Ok(set) => set,
             Err(_) => return 0,
         };
@@ -428,12 +617,20 @@ impl SiteWorker {
         self.stats.solver_micros_total += solver_micros;
         let count = set.len() as u64;
         self.programs = Some(set);
+        self.program_sites = universe;
+        self.program_bundle = Some(bundle.clone());
         count
     }
 
     /// The synchronized base this site holds for a counter, if known.
     pub fn counter_base(&self, obj: &ObjId) -> Option<i64> {
         self.counters.get(obj).map(|state| state.base)
+    }
+
+    /// The member sites of a counter's treaty, per this site's metadata
+    /// (sorted ascending), if the counter is known.
+    pub fn counter_members(&self, obj: &ObjId) -> Option<&[usize]> {
+        self.counters.get(obj).map(|state| state.members.as_slice())
     }
 
     /// Drains the outcomes of completed operations (submission order).
@@ -508,6 +705,7 @@ impl SiteWorker {
             out.push((
                 self.coordinator(&obj),
                 Message::SyncRequest {
+                    origin: self.site as u64,
                     req,
                     obj,
                     kind: SyncKind::Fold,
@@ -545,30 +743,73 @@ impl SiteWorker {
 
     /// Handles one delivered frame.
     pub fn handle(&mut self, from: usize, msg: Message, out: &mut Outbox) {
-        if self.recovering {
-            if let Message::StateReply { counters } = msg {
-                self.finish_recovery(counters, out);
+        if self.joining {
+            // Until the JoinAck resolves, this site has no roster, no
+            // counters and no program set: everything else waits.
+            if let Message::JoinAck {
+                ok,
+                roster,
+                addrs,
+                program,
+            } = msg
+            {
+                self.finish_join(ok, roster, &addrs, program, out);
             } else {
                 self.recovery_backlog.push_back((from, msg));
             }
             return;
         }
+        if self.recovering {
+            if let Message::StateReply { counters, roster } = msg {
+                self.finish_recovery(counters, roster, out);
+            } else {
+                self.recovery_backlog.push_back((from, msg));
+            }
+            return;
+        }
+        if self.evicted.contains(&from) && !matches!(msg, Message::JoinRequest { .. }) {
+            // A frame from a member evicted by a committed roster: its
+            // treaty state is from a dead epoch. Only a rejoin request may
+            // pass.
+            self.stale_rejects += 1;
+            return;
+        }
         match msg {
             Message::Submit { ops } => self.submit_batch(ops, out),
-            Message::Register { meta } => self.install_counter(meta),
-            Message::SyncRequest { req, obj, kind } => {
-                self.on_sync_request(from, req, obj, kind, out)
+            Message::Register { meta } => {
+                self.install_counter(meta);
+                self.drain_deferred(out);
             }
+            Message::SyncRequest {
+                origin,
+                req,
+                obj,
+                kind,
+            } => self.on_sync_request(origin as usize, req, obj, kind, out),
             Message::DeltaRequest { sync, obj } => {
-                let meta = self
-                    .counters
-                    .get(&obj)
-                    .unwrap_or_else(|| panic!("delta request for unknown counter `{obj}`"));
+                let foreign_freeze = self.frozen.get(&obj).is_some_and(|held| *held != sync);
+                let Some(meta) = self.counters.get(&obj) else {
+                    // A joiner can be asked for a delta before its first
+                    // install of the counter lands: defer, retry after
+                    // installs. (Also absorbs hostile requests for never-
+                    // registered counters without tearing the site down.)
+                    self.deferred
+                        .push_back((from, Message::DeltaRequest { sync, obj }));
+                    return;
+                };
+                if foreign_freeze {
+                    // Frozen by a *different* round (the handoff ack-barrier
+                    // window, where the new coordinator's first round can
+                    // overtake the old round's install): answering now would
+                    // report a delta against a base the in-flight install is
+                    // about to replace. Defer until that install lands.
+                    self.deferred
+                        .push_back((from, Message::DeltaRequest { sync, obj }));
+                    return;
+                }
                 let delta = self.engine.peek(obj.as_str()) - meta.base;
                 // Freeze: no local commit may move the counter between this
-                // reply and the round's install. A stale freeze can only
-                // be overwritten by the same coordinator's next round,
-                // which the ack barrier orders after our install.
+                // reply and the round's install.
                 self.frozen.insert(obj.clone(), sync);
                 self.freeze_started.insert(obj.clone(), self.timer.start());
                 out.push((from, Message::DeltaReply { sync, obj, delta }));
@@ -577,7 +818,7 @@ impl SiteWorker {
                 let complete = match self.active.get_mut(&obj) {
                     Some(round) if round.sync == sync => {
                         round.deltas.insert(from, delta);
-                        round.deltas.len() == self.sites
+                        round.deltas.len() == round.participants.len()
                     }
                     _ => false, // stale reply from a superseded round
                 };
@@ -602,13 +843,14 @@ impl SiteWorker {
                 // proactive request for this counter is no longer stale.
                 self.proactive_inflight.remove(&obj);
                 out.push((from, Message::InstallAck { sync, obj }));
+                self.drain_deferred(out);
                 self.pump(out);
             }
             Message::InstallAck { sync, obj } => {
                 let complete = match self.active.get_mut(&obj) {
                     Some(round) if round.sync == sync => {
                         round.acks.insert(from);
-                        round.acks.len() == self.sites - 1
+                        round.acks.len() == round.install_to.len()
                     }
                     _ => false,
                 };
@@ -630,13 +872,35 @@ impl SiteWorker {
                         obj: obj.clone(),
                         base: state.base,
                         lower_bound: state.lower_bound,
+                        members: state.members.clone(),
                         allowances: state.allowances.clone(),
                     })
                     .collect();
-                out.push((from, Message::StateReply { counters }));
+                out.push((
+                    from,
+                    Message::StateReply {
+                        counters,
+                        roster: self.roster.clone(),
+                    },
+                ));
             }
             Message::StateReply { .. } => {
                 // Only meaningful while recovering; ignore otherwise.
+            }
+            Message::JoinRequest {
+                site,
+                addr,
+                expected_epoch,
+            } => self.on_join_request(site as usize, &addr, expected_epoch, out),
+            Message::JoinAck { .. } => {
+                // Only meaningful while joining; a duplicate ack after the
+                // join resolved is ignored.
+            }
+            Message::Leave { site } => self.on_leave(site as usize, out),
+            Message::MembershipInstall { roster, addrs } => {
+                self.record_addrs(&addrs);
+                self.adopt_roster(roster);
+                self.pump(out);
             }
             Message::RegisterProgram { bundle } => {
                 let count = self.register_program(&bundle);
@@ -668,7 +932,7 @@ impl SiteWorker {
                 let complete = match &mut self.general_active {
                     Some(round) if round.sync == sync => {
                         round.values.insert(from, values);
-                        round.values.len() == self.sites
+                        round.values.len() == self.program_sites
                     }
                     _ => false, // stale reply from a superseded round
                 };
@@ -690,7 +954,7 @@ impl SiteWorker {
                 let complete = match &mut self.general_active {
                     Some(round) if round.sync == sync => {
                         round.acks.insert(from);
-                        round.acks.len() == self.sites - 1
+                        round.acks.len() == self.program_sites - 1
                     }
                     _ => false,
                 };
@@ -712,6 +976,7 @@ impl SiteWorker {
                     self.install_counter(meta);
                 }
                 out.push((from, Message::SeedAck { obj }));
+                self.drain_deferred(out);
             }
             Message::Hello { .. }
             | Message::SeedAck { .. }
@@ -751,8 +1016,14 @@ impl SiteWorker {
         self.freeze_started.clear();
         self.active.clear();
         self.backlog.clear();
+        self.deferred.clear();
+        self.membership = None;
+        self.membership_queue.clear();
         self.proactive_inflight.clear();
         self.demand.iter_mut().for_each(|d| *d = 0.0);
+        // The roster and eviction set survive: they model the persisted
+        // epoch state, and recovery adopts the buddy's (possibly newer)
+        // roster from the `StateReply`.
         // The program registry models durable catalog state (sources would
         // live in the WAL-covered catalog of a real system), but its treaty
         // table is volatile: freeze general execution until the
@@ -767,10 +1038,14 @@ impl SiteWorker {
         out.push((buddy, Message::StateRequest));
     }
 
-    fn finish_recovery(&mut self, counters: Vec<CounterMeta>, out: &mut Outbox) {
+    fn finish_recovery(&mut self, counters: Vec<CounterMeta>, roster: Roster, out: &mut Outbox) {
         for meta in counters {
             self.install_counter(meta);
         }
+        // Replay into the *current* epoch: membership may have moved while
+        // this site was down, and the buddy's roster is at least as new as
+        // the one that survived the crash.
+        self.adopt_roster(roster);
         self.recovering = false;
         if self.programs.is_some() {
             // Fire-and-forget general resynchronization: the install that
@@ -807,10 +1082,12 @@ impl SiteWorker {
                     amount,
                     refill_to,
                 } => {
-                    if amount < 0 || !self.counters.contains_key(&obj) {
+                    if amount < 0 || !self.counter_member(&obj) {
                         // Wire-originated batches are untrusted (any TCP
                         // client can submit one): an order on an unknown
-                        // counter or with a negative amount completes as an
+                        // counter, with a negative amount, or at a site that
+                        // is not a member of the counter (a retired site
+                        // holds metadata purely for routing) completes as an
                         // uncommitted no-op — at the head of the line, so
                         // outcome order is preserved — instead of tearing
                         // the site down.
@@ -834,6 +1111,7 @@ impl SiteWorker {
                         out.push((
                             self.coordinator(&obj),
                             Message::SyncRequest {
+                                origin: self.site as u64,
                                 req,
                                 obj,
                                 kind: SyncKind::Order { amount, refill_to },
@@ -844,8 +1122,10 @@ impl SiteWorker {
                     self.maybe_proactive(obj, out);
                 }
                 SiteOp::Increment { obj, amount } => {
-                    if !self.counters.contains_key(&obj) {
-                        // Untrusted wire input, as for orders above.
+                    if !self.counter_member(&obj) {
+                        // Untrusted wire input, as for orders above: an
+                        // increment at a non-member would silently leak out
+                        // of every future fold.
                         self.completed.push(OpOutcome::default());
                         continue;
                     }
@@ -881,6 +1161,7 @@ impl SiteWorker {
                     out.push((
                         self.coordinator(&obj),
                         Message::SyncRequest {
+                            origin: self.site as u64,
                             req,
                             obj,
                             kind: SyncKind::Pin,
@@ -1027,11 +1308,14 @@ impl SiteWorker {
                 solver_micros: 0,
                 started: self.timer.start(),
             });
-            if self.sites == 1 {
+            // General rounds span the registration-era universe, not the
+            // roster: program homes never move, and registration-era members
+            // keep answering program frames even after retiring.
+            if self.program_sites == 1 {
                 self.finish_general_collect(out);
                 return;
             }
-            for peer in 0..self.sites {
+            for peer in 0..self.program_sites {
                 if peer != self.site {
                     out.push((peer, Message::ProgramCollect { sync }));
                 }
@@ -1060,7 +1344,7 @@ impl SiteWorker {
             .as_ref()
             .expect("general round requires programs")
             .round();
-        for peer in 0..self.sites {
+        for peer in 0..self.program_sites {
             if peer != self.site {
                 out.push((
                     peer,
@@ -1076,7 +1360,7 @@ impl SiteWorker {
         let solver_micros = self.apply_general_install(txn, pre_round, &db);
         let round = self.general_active.as_mut().expect("round active");
         round.solver_micros = solver_micros;
-        if self.sites == 1 {
+        if self.program_sites == 1 {
             self.complete_general_round(out);
         } else {
             self.pump(out);
@@ -1142,6 +1426,14 @@ impl SiteWorker {
         self.try_start_general_round(out);
     }
 
+    /// True when this site is a member of the counter (knows the treaty
+    /// *and* appears in its member list).
+    fn counter_member(&self, obj: &ObjId) -> bool {
+        self.counters
+            .get(obj)
+            .is_some_and(|meta| meta.members.binary_search(&self.site).is_ok())
+    }
+
     /// Attempts the within-treaty fast path of an order. Returns `false` on
     /// a treaty violation (nothing committed); pushes the outcome and
     /// returns `true` otherwise.
@@ -1151,7 +1443,10 @@ impl SiteWorker {
             .counters
             .get(obj)
             .unwrap_or_else(|| panic!("counter `{obj}` not registered"));
-        let floor = meta.base + meta.allowances[self.site];
+        let allowance = meta
+            .allowance_of(self.site)
+            .expect("pump admits orders from members only");
+        let floor = meta.base + allowance;
         let engine = &*self.engine;
         let mut txn = engine.begin();
         let value = match engine.read(&txn, obj.as_str()) {
@@ -1190,11 +1485,14 @@ impl SiteWorker {
             return;
         }
         let meta = self.counters.get(&obj).expect("counter registered");
-        let allowance = -meta.allowances[self.site];
+        let Some(own) = meta.allowance_of(self.site) else {
+            return; // not a member: nothing to run ahead of
+        };
+        let allowance = -own;
         if allowance <= 0 {
             return;
         }
-        let remaining = self.engine.peek(obj.as_str()) - (meta.base + meta.allowances[self.site]);
+        let remaining = self.engine.peek(obj.as_str()) - (meta.base + own);
         if remaining as f64 > adaptive.margin * allowance as f64 {
             return;
         }
@@ -1203,6 +1501,7 @@ impl SiteWorker {
         out.push((
             self.coordinator(&obj),
             Message::SyncRequest {
+                origin: self.site as u64,
                 req,
                 obj,
                 kind: SyncKind::Proactive,
@@ -1251,6 +1550,14 @@ impl SiteWorker {
             self.pump(out);
             return;
         }
+        if let Some(change) = &mut self.membership {
+            if change.pending.remove(&req) {
+                if change.pending.is_empty() {
+                    self.finish_membership(out);
+                }
+                return;
+            }
+        }
         if let Some(fs) = &mut self.full_sync {
             if fs.pending.remove(&req) {
                 fs.solver_micros += solver_micros;
@@ -1265,25 +1572,49 @@ impl SiteWorker {
 
     fn on_sync_request(
         &mut self,
-        from: usize,
+        origin: usize,
         req: u64,
         obj: ObjId,
         kind: SyncKind,
         out: &mut Outbox,
     ) {
-        debug_assert_eq!(
-            self.coordinator(&obj),
-            self.site,
-            "sync request routed to the wrong coordinator"
-        );
+        let coordinator = self.coordinator(&obj);
+        if coordinator != self.site {
+            // Routed with a stale member list (a handoff moved the shard
+            // while the request was in flight): forward. The frame carries
+            // its origin, so the eventual `SyncDone` still reaches the
+            // requester. Forwarding chains terminate because every hop's
+            // metadata converges to the handoff's install.
+            out.push((
+                coordinator,
+                Message::SyncRequest {
+                    origin: origin as u64,
+                    req,
+                    obj,
+                    kind,
+                },
+            ));
+            return;
+        }
+        if !self.counters.contains_key(&obj) {
+            // This site is the roster-fallback coordinator for a counter it
+            // has not installed yet (a joiner mid-handoff): defer until the
+            // install lands.
+            self.deferred.push_back((
+                origin,
+                Message::SyncRequest {
+                    origin: origin as u64,
+                    req,
+                    obj,
+                    kind,
+                },
+            ));
+            return;
+        }
         self.backlog
             .entry(obj.clone())
             .or_default()
-            .push_back(QueuedRequest {
-                origin: from,
-                req,
-                kind,
-            });
+            .push_back(QueuedRequest { origin, req, kind });
         self.try_start_round(obj, out);
     }
 
@@ -1298,12 +1629,20 @@ impl SiteWorker {
             .counters
             .get(&obj)
             .unwrap_or_else(|| panic!("sync requested for unknown counter `{obj}`"));
+        // The fold spans the counter's members as of round start; a handoff
+        // completing this round may hand the *next* round a different set.
+        let participants = meta.members.clone();
         let sync = self.next_sync * self.sites as u64 + self.site as u64;
         self.next_sync += 1;
         let own_delta = self.engine.peek(obj.as_str()) - meta.base;
         self.frozen.insert(obj.clone(), sync);
         let mut deltas = BTreeMap::new();
         deltas.insert(self.site, own_delta);
+        let peers: Vec<usize> = participants
+            .iter()
+            .copied()
+            .filter(|peer| *peer != self.site)
+            .collect();
         self.active.insert(
             obj.clone(),
             ActiveRound {
@@ -1311,6 +1650,8 @@ impl SiteWorker {
                 origin: request.origin,
                 req: request.req,
                 kind: request.kind,
+                participants,
+                install_to: Vec::new(),
                 deltas,
                 acks: BTreeSet::new(),
                 outcome: None,
@@ -1318,20 +1659,18 @@ impl SiteWorker {
                 install_started: None,
             },
         );
-        if self.sites == 1 {
+        if peers.is_empty() {
             self.finish_collect(&obj, out);
             return;
         }
-        for peer in 0..self.sites {
-            if peer != self.site {
-                out.push((
-                    peer,
-                    Message::DeltaRequest {
-                        sync,
-                        obj: obj.clone(),
-                    },
-                ));
-            }
+        for peer in peers {
+            out.push((
+                peer,
+                Message::DeltaRequest {
+                    sync,
+                    obj: obj.clone(),
+                },
+            ));
         }
     }
 
@@ -1350,12 +1689,24 @@ impl SiteWorker {
         if let Some(adaptive) = self.tuning.adaptive {
             // Fold the round's observed consumption (decrements only) into
             // the per-site demand EWMA before negotiating, so the new split
-            // tracks where the workload actually is.
+            // tracks where the workload actually is. The EWMA covers the
+            // founding sites; late joiners are split uniformly (below).
             let round = self.active.get(obj).expect("round active");
-            for site in 0..self.sites {
-                let consumed = round.deltas.get(&site).map_or(0.0, |d| (-*d).max(0) as f64);
-                self.demand[site] = (1.0 - adaptive.round_alpha) * self.demand[site]
-                    + adaptive.round_alpha * consumed;
+            let consumed: Vec<(usize, f64)> = round
+                .participants
+                .iter()
+                .map(|site| {
+                    (
+                        *site,
+                        round.deltas.get(site).map_or(0.0, |d| (-*d).max(0) as f64),
+                    )
+                })
+                .collect();
+            for (site, consumed) in consumed {
+                if let Some(demand) = self.demand.get_mut(site) {
+                    *demand =
+                        (1.0 - adaptive.round_alpha) * *demand + adaptive.round_alpha * consumed;
+                }
             }
             self.refresh_adaptive_hints();
         }
@@ -1387,23 +1738,47 @@ impl SiteWorker {
                 false,
                 round.deltas.values().any(|delta| *delta != 0),
             ),
+            // A handoff re-splits over the new member set even when every
+            // delta is zero — the allowance vector must change shape.
+            SyncKind::Handoff { .. } => (logical, false, true),
         };
-        let folded = renegotiate;
+        let folded = match &round.kind {
+            SyncKind::Handoff { .. } => round.deltas.values().any(|delta| *delta != 0),
+            _ => renegotiate,
+        };
+        let new_members = match &round.kind {
+            SyncKind::Handoff { members } => members.clone(),
+            _ => meta.members.clone(),
+        };
         let (allowances, solver_micros) = if renegotiate {
             self.stats.negotiations += 1;
             if proactive {
                 self.stats.proactive_negotiations += 1;
             }
             let previous = self.tuning.warm_start.then_some(meta.allowances.as_slice());
-            let hints = if self.tuning.adaptive.is_some() {
-                &self.adaptive_hints
+            // The workload hints are indexed by founding site; they apply
+            // verbatim while the member set is still `0..sites`. Any other
+            // member set (after a join or leave) is split uniformly — the
+            // adaptive EWMA re-skews it within a few rounds.
+            let k = new_members.len();
+            let dense = k == self.sites && new_members.last() == Some(&(self.sites - 1));
+            let uniform;
+            let hints = if dense {
+                if self.tuning.adaptive.is_some() {
+                    &self.adaptive_hints
+                } else {
+                    &self.hints
+                }
             } else {
-                &self.hints
+                let mut h = WorkloadHints::uniform(k);
+                h.expected_amount = self.hints.expected_amount;
+                uniform = h;
+                &uniform
             };
             negotiate_allowances_cached(
                 self.mode,
                 hints,
-                self.sites,
+                k,
                 new_base,
                 meta.lower_bound,
                 self.timer,
@@ -1423,6 +1798,7 @@ impl SiteWorker {
             obj: obj.clone(),
             base: new_base,
             lower_bound: meta.lower_bound,
+            members: new_members.clone(),
             allowances,
         };
         if renegotiate {
@@ -1433,24 +1809,32 @@ impl SiteWorker {
         }
         self.frozen.remove(obj);
         let install_started = self.timer.start();
+        // Install targets: the participants for an ordinary round; for a
+        // handoff, the union of old and new members — departing sites learn
+        // they are out, arriving sites receive the treaty.
         let round = self.active.get_mut(obj).expect("round active");
+        let mut targets: BTreeSet<usize> = round.participants.iter().copied().collect();
+        if matches!(round.kind, SyncKind::Handoff { .. }) {
+            targets.extend(new_members.iter().copied());
+        }
+        targets.remove(&self.site);
+        round.install_to = targets.into_iter().collect();
         round.outcome = Some((refilled, solver_micros, folded));
         round.install_started = Some(install_started);
         let sync = round.sync;
-        if self.sites == 1 {
+        let install_to = round.install_to.clone();
+        if install_to.is_empty() {
             self.complete_round(obj, out);
         } else {
-            for peer in 0..self.sites {
-                if peer != self.site {
-                    out.push((
-                        peer,
-                        Message::Install {
-                            sync,
-                            meta: install_meta.clone(),
-                            apply: renegotiate,
-                        },
-                    ));
-                }
+            for peer in install_to {
+                out.push((
+                    peer,
+                    Message::Install {
+                        sync,
+                        meta: install_meta.clone(),
+                        apply: renegotiate,
+                    },
+                ));
             }
             // Unfreezing may unblock this site's own client queue.
             self.pump(out);
@@ -1486,7 +1870,339 @@ impl SiteWorker {
                 },
             ));
         }
-        self.try_start_round(obj.clone(), out);
+        let coordinator = self.coordinator(obj);
+        if coordinator == self.site {
+            self.try_start_round(obj.clone(), out);
+        } else if let Some(queue) = self.backlog.remove(obj) {
+            // The round that just completed was a handoff that moved this
+            // shard away: forward the queued requests to the new
+            // coordinator (each still carries its origin).
+            for request in queue {
+                out.push((
+                    coordinator,
+                    Message::SyncRequest {
+                        origin: request.origin as u64,
+                        req: request.req,
+                        obj: obj.clone(),
+                        kind: request.kind,
+                    },
+                ));
+            }
+        }
+        self.drain_deferred(out);
+    }
+
+    // ------------------------------------------------------------------
+    // Elastic membership (join / leave / handoff orchestration)
+    // ------------------------------------------------------------------
+
+    /// Sends the `JoinRequest` that asks `target` (any member; forwarded to
+    /// the membership coordinator) to admit this site. Call once, on a
+    /// worker built with [`SiteWorker::new_joining`]. `my_addr` is this
+    /// site's dial address for the TCP backend (empty elsewhere);
+    /// `expected_epoch` makes the join conditional on the cluster still
+    /// being at that epoch.
+    pub fn begin_join(
+        &mut self,
+        target: usize,
+        my_addr: &str,
+        expected_epoch: Option<u64>,
+        out: &mut Outbox,
+    ) {
+        assert!(self.joining, "begin_join on a worker that is not joining");
+        self.record_addr(self.site, my_addr);
+        out.push((
+            target,
+            Message::JoinRequest {
+                site: self.site as u64,
+                addr: my_addr.to_string(),
+                expected_epoch,
+            },
+        ));
+    }
+
+    fn finish_join(
+        &mut self,
+        ok: bool,
+        roster: Roster,
+        addrs: &[String],
+        program: Option<(ProgramBundle, u64)>,
+        out: &mut Outbox,
+    ) {
+        self.joining = false;
+        self.record_addrs(addrs);
+        if ok {
+            self.adopt_roster(roster);
+            if let Some((bundle, program_sites)) = program {
+                // Pin the program home mapping to the registration-era
+                // universe so this site derives the identical mapping.
+                self.register_program_at(&bundle, program_sites as usize);
+                if self.site < self.program_sites {
+                    // A recycled registration-era id: resynchronize so the
+                    // treaty round counter catches up before serving.
+                    self.general_frozen = true;
+                    let req = self.fresh_req();
+                    out.push((GENERAL_COORDINATOR, Message::ProgramSync { req, txn: None }));
+                } else {
+                    // A genuinely new site is a bystander to general rounds
+                    // (never polled, never a home): keep it unfrozen.
+                    self.general_frozen = false;
+                }
+            }
+        }
+        // On refusal the site simply stays a cluster of one. Either way,
+        // replay everything that arrived while the join was pending —
+        // including the handoff installs that make this site a member of
+        // its counter shards.
+        let backlog: Vec<(usize, Message)> = self.recovery_backlog.drain(..).collect();
+        for (from, msg) in backlog {
+            self.handle(from, msg, out);
+        }
+        self.pump(out);
+    }
+
+    fn on_join_request(
+        &mut self,
+        site: usize,
+        addr: &str,
+        expected_epoch: Option<u64>,
+        out: &mut Outbox,
+    ) {
+        self.record_addr(site, addr);
+        let leader = self.roster.leader();
+        if leader != self.site {
+            out.push((
+                leader,
+                Message::JoinRequest {
+                    site: site as u64,
+                    addr: addr.to_string(),
+                    expected_epoch,
+                },
+            ));
+            return;
+        }
+        if expected_epoch.is_some_and(|expected| expected != self.roster.epoch) {
+            out.push((
+                site,
+                Message::JoinAck {
+                    ok: false,
+                    roster: self.roster.clone(),
+                    addrs: self.peer_addrs.clone(),
+                    program: None,
+                },
+            ));
+            return;
+        }
+        if self.roster.contains(site) {
+            // Already a member (a duplicate request, or a rejoin after a
+            // missed install): idempotent ack with the current roster.
+            self.evicted.remove(&site);
+            out.push((
+                site,
+                Message::JoinAck {
+                    ok: true,
+                    roster: self.roster.clone(),
+                    addrs: self.peer_addrs.clone(),
+                    program: self.program_payload(),
+                },
+            ));
+            return;
+        }
+        let in_flight = self
+            .membership
+            .as_ref()
+            .is_some_and(|change| change.roster.contains(site));
+        if in_flight || self.membership_queue.contains(&MembershipOp::Join { site }) {
+            return; // this exact join is already being carried out
+        }
+        self.membership_queue.push_back(MembershipOp::Join { site });
+        self.try_start_membership(out);
+    }
+
+    fn on_leave(&mut self, site: usize, out: &mut Outbox) {
+        let leader = self.roster.leader();
+        if leader != self.site {
+            out.push((leader, Message::Leave { site: site as u64 }));
+            return;
+        }
+        if !self.roster.contains(site) || self.roster.len() <= 1 {
+            return; // not a member (idempotent), or the last member
+        }
+        if self.programs.is_some() && site < self.program_sites {
+            // General-transaction homes are pinned to the registration-era
+            // membership; a site that hosts them cannot retire while the
+            // programs are registered. Refused by silently dropping — the
+            // admin surface reads the roster to observe the outcome.
+            return;
+        }
+        let in_flight = self
+            .membership
+            .as_ref()
+            .is_some_and(|change| !change.roster.contains(site));
+        if in_flight
+            || self
+                .membership_queue
+                .contains(&MembershipOp::Leave { site })
+        {
+            return;
+        }
+        self.membership_queue
+            .push_back(MembershipOp::Leave { site });
+        self.try_start_membership(out);
+    }
+
+    /// Starts the next queued membership change, if none is in flight: ack
+    /// the joiner first (so its worker leaves the joining state and can
+    /// answer the handoff installs), then issue one handoff round per
+    /// registered counter to that counter's *current* coordinator.
+    fn try_start_membership(&mut self, out: &mut Outbox) {
+        if self.membership.is_some() {
+            return;
+        }
+        let Some(op) = self.membership_queue.pop_front() else {
+            return;
+        };
+        let new_roster = match op {
+            MembershipOp::Join { site } => self.roster.with_joined(site),
+            MembershipOp::Leave { site } => self.roster.with_left(site),
+        };
+        let Some(new_roster) = new_roster else {
+            // Raced into a no-op (already joined / already gone): next.
+            self.try_start_membership(out);
+            return;
+        };
+        if let MembershipOp::Join { site } = op {
+            // Existing members must learn the joiner's dial address
+            // *before* any handoff frame addresses it: a same-epoch
+            // MembershipInstall is a pure address-book update (adopt_roster
+            // ignores a non-newer roster), and per-pair FIFO delivers it
+            // ahead of the handoff SyncRequest below.
+            for member in self.roster.members.clone() {
+                if member != self.site {
+                    out.push((
+                        member,
+                        Message::MembershipInstall {
+                            roster: self.roster.clone(),
+                            addrs: self.peer_addrs.clone(),
+                        },
+                    ));
+                }
+            }
+            out.push((
+                site,
+                Message::JoinAck {
+                    ok: true,
+                    roster: new_roster.clone(),
+                    addrs: self.peer_addrs.clone(),
+                    program: self.program_payload(),
+                },
+            ));
+        }
+        let objs: Vec<ObjId> = self.counters.keys().cloned().collect();
+        let mut pending = BTreeSet::new();
+        for obj in objs {
+            let req = self.fresh_req();
+            pending.insert(req);
+            out.push((
+                self.coordinator(&obj),
+                Message::SyncRequest {
+                    origin: self.site as u64,
+                    req,
+                    obj,
+                    kind: SyncKind::Handoff {
+                        members: new_roster.members.clone(),
+                    },
+                },
+            ));
+        }
+        let done = pending.is_empty();
+        self.membership = Some(MembershipChange {
+            roster: new_roster,
+            pending,
+        });
+        if done {
+            self.finish_membership(out);
+        }
+    }
+
+    /// Every handoff reported back: commit the change by broadcasting the
+    /// epoch-bumped roster to the union of old and new members, adopt it
+    /// locally, and start the next queued change.
+    fn finish_membership(&mut self, out: &mut Outbox) {
+        let change = self.membership.take().expect("membership change active");
+        let targets: BTreeSet<usize> = self
+            .roster
+            .members
+            .iter()
+            .chain(change.roster.members.iter())
+            .copied()
+            .filter(|member| *member != self.site)
+            .collect();
+        for to in targets {
+            out.push((
+                to,
+                Message::MembershipInstall {
+                    roster: change.roster.clone(),
+                    addrs: self.peer_addrs.clone(),
+                },
+            ));
+        }
+        self.adopt_roster(change.roster);
+        self.try_start_membership(out);
+    }
+
+    /// Adopts a strictly newer roster: members that vanished between the
+    /// two rosters are evicted, rejoined members are un-evicted. A roster
+    /// that does not contain this site means the site itself retired — it
+    /// keeps serving reads and routing, but commits nothing (see `pump`).
+    fn adopt_roster(&mut self, roster: Roster) {
+        if roster.epoch <= self.roster.epoch {
+            return;
+        }
+        for member in &self.roster.members {
+            if !roster.contains(*member) && *member != self.site {
+                self.evicted.insert(*member);
+            }
+        }
+        for member in &roster.members {
+            self.evicted.remove(member);
+        }
+        self.roster = roster;
+    }
+
+    fn program_payload(&self) -> Option<(ProgramBundle, u64)> {
+        self.program_bundle
+            .as_ref()
+            .map(|bundle| (bundle.clone(), self.program_sites as u64))
+    }
+
+    fn record_addr(&mut self, site: usize, addr: &str) {
+        if addr.is_empty() {
+            return;
+        }
+        if self.peer_addrs.len() <= site {
+            self.peer_addrs.resize(site + 1, String::new());
+        }
+        self.peer_addrs[site] = addr.to_string();
+    }
+
+    fn record_addrs(&mut self, addrs: &[String]) {
+        for (site, addr) in addrs.iter().enumerate() {
+            self.record_addr(site, addr);
+        }
+    }
+
+    /// Retries frames deferred for an unknown or foreign-frozen counter.
+    /// Called after anything that installs counter state; a frame that is
+    /// still blocked simply re-defers.
+    fn drain_deferred(&mut self, out: &mut Outbox) {
+        if self.deferred.is_empty() {
+            return;
+        }
+        let items: Vec<(usize, Message)> = std::mem::take(&mut self.deferred).into();
+        for (from, msg) in items {
+            self.handle(from, msg, out);
+        }
     }
 
     fn fresh_req(&mut self) -> u64 {
@@ -1565,6 +2281,7 @@ mod tests {
                 obj: obj.clone(),
                 base: initial,
                 lower_bound,
+                members: (0..sites).collect(),
                 allowances: allowances.clone(),
             });
         }
@@ -1747,6 +2464,7 @@ mod tests {
             obj: stock(0),
             base: 100,
             lower_bound: 1,
+            members: vec![0, 1],
             allowances: workers[1].counters[&stock(0)].allowances.clone(),
         };
         workers[1].handle(
@@ -1848,5 +2566,128 @@ mod tests {
         // The deferred delta request was answered after recovery with the
         // WAL-recovered delta.
         assert_eq!(workers[1].frozen.get(&stock(0)), Some(&0));
+    }
+
+    #[test]
+    fn a_join_hands_off_counters_and_commits_the_roster() {
+        let mut workers = cluster(2);
+        register(&mut workers, &stock(0), 90, 0);
+        // Consume headroom at site 1 so the handoff folds a real delta.
+        submit(
+            &mut workers,
+            1,
+            SiteOp::Order {
+                obj: stock(0),
+                amount: 5,
+                refill_to: None,
+            },
+        );
+        workers.push(SiteWorker::new_joining(
+            2,
+            mode(),
+            1,
+            Timer::fixed_zero(),
+            Arc::new(Engine::new()),
+        ));
+        assert!(workers[2].joining());
+        let mut out = Outbox::new();
+        workers[2].begin_join(0, "", None, &mut out);
+        route(&mut workers, out, 2);
+        for worker in &workers {
+            assert_eq!(worker.roster().epoch, 1, "site {}", worker.site());
+            assert_eq!(worker.roster().members, vec![0, 1, 2]);
+            assert!(worker.membership_idle());
+        }
+        assert!(!workers[2].joining());
+        // The joiner received the handed-off treaty: folded base, member
+        // slot, and the engine value rebased through its WAL.
+        assert_eq!(workers[2].counter_base(&stock(0)), Some(85));
+        assert_eq!(workers[2].engine().peek(stock(0).as_str()), 85);
+        // ...and can commit on its own slice of the allowance.
+        submit(
+            &mut workers,
+            2,
+            SiteOp::Order {
+                obj: stock(0),
+                amount: 1,
+                refill_to: None,
+            },
+        );
+        let outcomes = workers[2].take_completed();
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].committed);
+    }
+
+    #[test]
+    fn a_leave_folds_the_leaver_and_evicts_it() {
+        let mut workers = cluster(3);
+        register(&mut workers, &stock(0), 90, 0);
+        // Real deltas at the leaver must fold into the survivors' base.
+        submit(
+            &mut workers,
+            2,
+            SiteOp::Order {
+                obj: stock(0),
+                amount: 4,
+                refill_to: None,
+            },
+        );
+        assert!(workers[2].take_completed()[0].committed);
+        let mut out = Outbox::new();
+        workers[2].handle(usize::MAX, Message::Leave { site: 2 }, &mut out);
+        route(&mut workers, out, 2);
+        for worker in &workers[..2] {
+            assert_eq!(worker.roster().epoch, 1);
+            assert_eq!(worker.roster().members, vec![0, 1]);
+        }
+        assert_eq!(workers[0].counter_base(&stock(0)), Some(86));
+        assert_eq!(workers[1].counter_base(&stock(0)), Some(86));
+        // The retired site keeps routing metadata but commits nothing.
+        submit(
+            &mut workers,
+            2,
+            SiteOp::Order {
+                obj: stock(0),
+                amount: 1,
+                refill_to: None,
+            },
+        );
+        let outcomes = workers[2].take_completed();
+        assert_eq!(outcomes, vec![OpOutcome::default()]);
+        // Frames from the evicted site are dropped on the floor.
+        let mut out = Outbox::new();
+        workers[0].handle(
+            2,
+            Message::SyncRequest {
+                origin: 2,
+                req: 999,
+                obj: stock(0),
+                kind: SyncKind::Pin,
+            },
+            &mut out,
+        );
+        assert!(out.is_empty(), "evicted frame answered: {out:?}");
+        assert_eq!(workers[0].stale_rejects, 1);
+    }
+
+    #[test]
+    fn a_refused_join_leaves_the_joiner_isolated() {
+        let mut workers = cluster(2);
+        register(&mut workers, &stock(0), 10, 0);
+        workers.push(SiteWorker::new_joining(
+            2,
+            mode(),
+            1,
+            Timer::fixed_zero(),
+            Arc::new(Engine::new()),
+        ));
+        let mut out = Outbox::new();
+        // The cluster is at epoch 0; demanding epoch 7 must be refused.
+        workers[2].begin_join(0, "", Some(7), &mut out);
+        route(&mut workers, out, 2);
+        assert!(!workers[2].joining());
+        assert_eq!(workers[2].roster().members, vec![2], "still a lone site");
+        assert_eq!(workers[0].roster().epoch, 0);
+        assert!(!workers[0].roster().contains(2));
     }
 }

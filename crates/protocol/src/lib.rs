@@ -49,6 +49,7 @@ pub mod optimizer;
 pub mod program;
 pub mod remote_writes;
 pub mod replicated;
+pub mod roster;
 pub mod round;
 pub mod templates;
 pub mod treaty;
@@ -61,5 +62,6 @@ pub use program::{ProgramBundle, ProgramSet};
 pub use replicated::{
     negotiate_allowances, ReplicatedMode, ReplicatedOutcome, ReplicatedStats, WorkloadHints,
 };
+pub use roster::Roster;
 pub use round::{HomeostasisCluster, TxnOutcome};
 pub use treaty::{GlobalTreaty, LocalTreaty, TreatyTable};

@@ -1,0 +1,156 @@
+//! The cluster membership roster: which sites are members, stamped with a
+//! monotonically increasing epoch.
+//!
+//! Elastic membership (site join/leave with counter-shard handoff) treats
+//! the roster as replicated state in its own right. A membership change is
+//! *proposed* by the membership coordinator (the lowest-numbered member),
+//! carried out one counter at a time as `Handoff` synchronization rounds —
+//! each counter's member set switches atomically under that counter's
+//! freeze/ack barrier — and *committed* by broadcasting the epoch-bumped
+//! roster. Receivers adopt a roster iff its epoch is strictly newer than
+//! the one they hold, so duplicated or reordered installs are harmless, and
+//! a member that disappears between two adopted rosters is *evicted*: its
+//! frames (other than a rejoin request) are rejected.
+
+use serde::{Deserialize, Serialize};
+
+/// An epoch-stamped member list. `members` is sorted and duplicate-free;
+/// the membership coordinator is `members[0]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Roster {
+    /// Bumped by one on every committed membership change. Receivers adopt
+    /// a roster iff its epoch is strictly greater than the one they hold.
+    pub epoch: u64,
+    /// The member site ids, sorted ascending.
+    pub members: Vec<usize>,
+}
+
+impl Roster {
+    /// The founding roster: epoch 0, members `0..sites`.
+    pub fn founding(sites: usize) -> Self {
+        Roster {
+            epoch: 0,
+            members: (0..sites).collect(),
+        }
+    }
+
+    /// A joining site's provisional roster: epoch 0, itself as the only
+    /// member. Replaced wholesale by the `JoinAck` roster.
+    pub fn lone(site: usize) -> Self {
+        Roster {
+            epoch: 0,
+            members: vec![site],
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the roster has no members (never true for a well-formed
+    /// roster; provided for clippy's `len_without_is_empty` convention).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `site` is a member.
+    pub fn contains(&self, site: usize) -> bool {
+        self.members.binary_search(&site).is_ok()
+    }
+
+    /// The membership coordinator: the lowest-numbered member.
+    pub fn leader(&self) -> usize {
+        self.members[0]
+    }
+
+    /// The epoch-bumped roster with `site` added (sorted insert). Returns
+    /// `None` when `site` is already a member.
+    pub fn with_joined(&self, site: usize) -> Option<Roster> {
+        match self.members.binary_search(&site) {
+            Ok(_) => None,
+            Err(at) => {
+                let mut members = self.members.clone();
+                members.insert(at, site);
+                Some(Roster {
+                    epoch: self.epoch + 1,
+                    members,
+                })
+            }
+        }
+    }
+
+    /// The epoch-bumped roster with `site` removed. Returns `None` when
+    /// `site` is not a member or is the last member (a cluster cannot
+    /// retire itself empty).
+    pub fn with_left(&self, site: usize) -> Option<Roster> {
+        if self.members.len() <= 1 {
+            return None;
+        }
+        match self.members.binary_search(&site) {
+            Err(_) => None,
+            Ok(at) => {
+                let mut members = self.members.clone();
+                members.remove(at);
+                Some(Roster {
+                    epoch: self.epoch + 1,
+                    members,
+                })
+            }
+        }
+    }
+
+    /// The coordinator of a shard-hashed object over this roster's members:
+    /// `members[hash % len]`. Counter rounds use the counter's *own* member
+    /// list (`CounterMeta::members`) instead; this is the fallback for
+    /// objects with no installed metadata and the initial placement.
+    pub fn coordinator_of(&self, hash: u64) -> usize {
+        self.members[(hash % self.members.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn founding_covers_the_initial_sites() {
+        let r = Roster::founding(3);
+        assert_eq!(r.epoch, 0);
+        assert_eq!(r.members, vec![0, 1, 2]);
+        assert!(r.contains(2) && !r.contains(3));
+        assert_eq!(r.leader(), 0);
+    }
+
+    #[test]
+    fn join_and_leave_bump_the_epoch_and_keep_members_sorted() {
+        let r = Roster::founding(3);
+        let joined = r.with_joined(3).expect("new member");
+        assert_eq!(joined.epoch, 1);
+        assert_eq!(joined.members, vec![0, 1, 2, 3]);
+        assert!(joined.with_joined(3).is_none(), "already a member");
+        let left = joined.with_left(1).expect("member leaves");
+        assert_eq!(left.epoch, 2);
+        assert_eq!(left.members, vec![0, 2, 3]);
+        assert!(left.with_left(9).is_none(), "not a member");
+    }
+
+    #[test]
+    fn the_last_member_cannot_leave() {
+        let r = Roster::lone(4);
+        assert!(r.with_left(4).is_none());
+        assert_eq!(r.leader(), 4);
+    }
+
+    #[test]
+    fn coordinator_of_maps_hashes_onto_members() {
+        let r = Roster {
+            epoch: 3,
+            members: vec![0, 2, 5],
+        };
+        assert_eq!(r.coordinator_of(0), 0);
+        assert_eq!(r.coordinator_of(1), 2);
+        assert_eq!(r.coordinator_of(2), 5);
+        assert_eq!(r.coordinator_of(3), 0);
+    }
+}

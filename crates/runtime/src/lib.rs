@@ -238,6 +238,19 @@ pub fn shard_hash(obj: &ObjId) -> u64 {
     hash
 }
 
+/// The coordinator of `obj` over an explicit (sorted) member list:
+/// `members[shard_hash % len]`. With `members == 0..sites` this is the
+/// static placement the cluster layer always used; under elastic
+/// membership the member list comes from the counter's own metadata, so a
+/// counter's coordinator moves only when its member set is handed off.
+///
+/// # Panics
+/// Panics on an empty member list.
+pub fn coordinator_of(obj: &ObjId, members: &[usize]) -> usize {
+    assert!(!members.is_empty(), "coordinator over an empty member list");
+    members[(shard_hash(obj) % members.len() as u64) as usize]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,6 +277,26 @@ mod tests {
             "100 counters landed in {} shards",
             used.len()
         );
+    }
+
+    #[test]
+    fn coordinator_of_agrees_with_the_static_placement() {
+        // Over the dense member list the elastic placement is exactly the
+        // historical `shard_hash % sites`.
+        let members: Vec<usize> = (0..3).collect();
+        for i in 0..20 {
+            let obj = ObjId::new(format!("stock[{i}]"));
+            assert_eq!(
+                coordinator_of(&obj, &members),
+                (shard_hash(&obj) % 3) as usize
+            );
+        }
+        // Over a holey roster the coordinator is always a member.
+        let members = vec![0, 2, 5];
+        for i in 0..20 {
+            let obj = ObjId::new(format!("stock[{i}]"));
+            assert!(members.contains(&coordinator_of(&obj, &members)));
+        }
     }
 
     #[test]

@@ -107,6 +107,33 @@ impl RttMatrix {
             rtt: self.rtt[..n].iter().map(|row| row[..n].to_vec()).collect(),
         }
     }
+
+    /// Extends the matrix to `n` sites by tiling the datacenters: site `i`
+    /// lives in datacenter `i % sites()`, cross-datacenter pairs keep the
+    /// base matrix's RTT, and two distinct sites in the *same* datacenter
+    /// talk over the intra-datacenter `same_dc_rtt_ms`. This is how the
+    /// N-site scaling sweep stretches the Table 1 five-datacenter geometry
+    /// past five replicas without inventing new WAN distances.
+    pub fn tiled(&self, n: usize, same_dc_rtt_ms: u64) -> RttMatrix {
+        let base = self.sites();
+        assert!(base > 0 && n >= base);
+        let rtt = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| {
+                        if i == j {
+                            0
+                        } else if i % base == j % base {
+                            millis(same_dc_rtt_ms)
+                        } else {
+                            self.rtt[i % base][j % base]
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        RttMatrix { rtt }
+    }
 }
 
 #[cfg(test)]
@@ -133,6 +160,15 @@ mod tests {
         let t = m.truncated(2);
         assert_eq!(t.sites(), 2);
         assert_eq!(t.max_rtt(), millis(64));
+        // Tiling past the base size: site 3 shares datacenter 0 with site
+        // 0 (intra-DC RTT), but keeps datacenter 0's WAN distances to the
+        // other datacenters.
+        let big = m.tiled(5, 2);
+        assert_eq!(big.sites(), 5);
+        assert_eq!(big.rtt(0, 3), millis(2)); // same datacenter
+        assert_eq!(big.rtt(3, 1), millis(64)); // dc0 ↔ dc1, as in the base
+        assert_eq!(big.rtt(4, 2), millis(170)); // dc1 ↔ dc2, as in the base
+        assert_eq!(big.rtt(3, 3), 0);
     }
 
     #[test]

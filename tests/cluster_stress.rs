@@ -8,7 +8,11 @@
 //!   identical metrics, values and WALs under jitter, reordering, drops,
 //!   partitions and a site crash;
 //! * the convergence acceptance run: partitions plus one site kill/restart,
-//!   after which every site agrees and nothing is lost.
+//!   after which every site agrees and nothing is lost;
+//! * elastic membership under faults: a join parked behind an active
+//!   partition, a leave racing the membership coordinator's crash/restart
+//!   (WAL recovery replays into the current epoch), and the stale-epoch
+//!   rejection of frames from an evicted member.
 
 use std::collections::VecDeque;
 
@@ -386,4 +390,225 @@ fn general_programs_conserve_stock_under_faults_and_crash() {
             );
         }
     }
+}
+
+/// Seeded mixed load over `sites` through the polled path, with every
+/// committed delta recorded in the per-item ledger. `increments_only`
+/// restricts the mix to treaty-covered work that commits without reaching
+/// a (possibly unreachable) coordinator.
+fn elastic_ops(
+    cluster: &mut SimCluster,
+    rng: &mut DetRng,
+    net_delta: &mut [i64],
+    sites: &[usize],
+    ops: usize,
+    increments_only: bool,
+) {
+    for _ in 0..ops {
+        let site = sites[rng.index(sites.len())];
+        let item = rng.index(ITEMS);
+        let op = if increments_only || rng.chance(0.3) {
+            net_delta[item] += 2;
+            SiteOp::Increment {
+                obj: item_obj(item),
+                amount: 2,
+            }
+        } else {
+            net_delta[item] -= 1;
+            SiteOp::Order {
+                obj: item_obj(item),
+                amount: 1,
+                refill_to: None,
+            }
+        };
+        let out = cluster.execute(site, op);
+        assert!(out.committed, "polled ops must commit");
+    }
+}
+
+/// After a final fold, every *member* site must hold `INITIAL + delta` for
+/// every item, and the authoritative logical value must agree. Retired and
+/// mid-join sites hold stale engine values on purpose, so only members are
+/// consulted.
+fn assert_members_converged(cluster: &mut SimCluster, members: &[usize], net_delta: &[i64]) {
+    cluster.synchronize(members[0]);
+    for (i, delta) in net_delta.iter().enumerate() {
+        let expected = INITIAL + delta;
+        for &site in members {
+            assert_eq!(
+                cluster.value_at(site, &item_obj(i)),
+                expected,
+                "stock[{i}] at member {site}: committed outcomes and state disagree"
+            );
+        }
+        assert_eq!(
+            cluster.logical_value(&item_obj(i)),
+            expected,
+            "stock[{i}]: authoritative total and ledger disagree"
+        );
+    }
+}
+
+#[test]
+fn join_parked_behind_a_partition_commits_after_heal() {
+    // The handoff freezes, folds and re-splits every counter over the grown
+    // member set, so it needs the *full* old membership reachable: a join
+    // started while a member is partitioned away must park — committing
+    // nothing, adopting no roster — and complete untouched once the
+    // partition heals. The net config covers four sites up front (the RTT
+    // matrix must span the maximum membership the run grows to).
+    let mut cluster = SimCluster::new(
+        SITES,
+        homeo_config(),
+        SimNetConfig::faulty(RttMatrix::table1().truncated(SITES + 1), 0x10A7),
+    );
+    for i in 0..ITEMS {
+        cluster.register(item_obj(i), INITIAL, LOWER);
+    }
+    let mut rng = DetRng::seed_from(0x10A7);
+    let mut net_delta = vec![0i64; ITEMS];
+    elastic_ops(
+        &mut cluster,
+        &mut rng,
+        &mut net_delta,
+        &[0, 1, 2],
+        90,
+        false,
+    );
+    // Cut member 2 off completely, then start the join: every handoff frame
+    // addressed to it parks on the wire.
+    cluster.partition(0, 2);
+    cluster.partition(1, 2);
+    let joiner = cluster.begin_join();
+    cluster.run_until_quiescent();
+    assert_eq!(
+        cluster.roster(0).members,
+        vec![0, 1, 2],
+        "the membership change must not commit while a member is unreachable"
+    );
+    assert_eq!(cluster.roster(0).epoch, 0);
+    cluster.heal_all();
+    cluster.run_until_quiescent();
+    for site in [0, 1, 2, joiner] {
+        assert_eq!(
+            cluster.roster(site).members,
+            vec![0, 1, 2, 3],
+            "site {site} must adopt the post-heal roster"
+        );
+        assert_eq!(cluster.roster(site).epoch, 1);
+    }
+    // The grown cluster carries load — including the joiner — and the
+    // ledger holds across the partition and the handoff.
+    elastic_ops(
+        &mut cluster,
+        &mut rng,
+        &mut net_delta,
+        &[0, 1, 2, joiner],
+        80,
+        false,
+    );
+    assert_members_converged(&mut cluster, &[0, 1, 2, joiner], &net_delta);
+}
+
+#[test]
+fn leave_during_membership_coordinator_crash_commits_after_wal_recovery() {
+    // A leave submitted while the membership coordinator (the lowest
+    // member) is down parks at its held-frame queue; the crash/restart
+    // replays the WAL, refetches treaty metadata from a live buddy, and
+    // only then serves the parked `Leave` — the handoff runs in the
+    // recovered epoch and nothing committed before or during the outage is
+    // lost.
+    let mut cluster = SimCluster::new(
+        SITES,
+        homeo_config(),
+        SimNetConfig::faulty(RttMatrix::table1().truncated(SITES), 0xC4A5),
+    );
+    for i in 0..ITEMS {
+        cluster.register(item_obj(i), INITIAL, LOWER);
+    }
+    let mut rng = DetRng::seed_from(0xC4A5);
+    let mut net_delta = vec![0i64; ITEMS];
+    elastic_ops(
+        &mut cluster,
+        &mut rng,
+        &mut net_delta,
+        &[0, 1, 2],
+        90,
+        false,
+    );
+    // Fail-stop between rounds: quiesce, then crash the coordinator.
+    cluster.synchronize(0);
+    cluster.kill(0);
+    cluster.begin_leave(2);
+    cluster.run_until_quiescent();
+    assert_eq!(
+        cluster.roster(1).members,
+        vec![0, 1, 2],
+        "no membership change without the membership coordinator"
+    );
+    // The survivors — the leaver included, its Leave still parked — keep
+    // committing treaty-covered work while the coordinator is down.
+    elastic_ops(&mut cluster, &mut rng, &mut net_delta, &[1, 2], 40, true);
+    cluster.restart(0);
+    cluster.run_until_quiescent();
+    for site in [0, 1] {
+        assert_eq!(
+            cluster.roster(site).members,
+            vec![0, 1],
+            "site {site} must adopt the post-recovery eviction"
+        );
+        assert_eq!(cluster.roster(site).epoch, 1);
+    }
+    elastic_ops(&mut cluster, &mut rng, &mut net_delta, &[0, 1], 60, false);
+    assert_members_converged(&mut cluster, &[0, 1], &net_delta);
+}
+
+#[test]
+fn a_retired_sites_recovery_probe_is_rejected_as_stale() {
+    // Frames from a member evicted by a committed roster carry treaty
+    // state from a dead epoch: the survivors must drop them on receipt. A
+    // retired site that crashes and restarts probes its old buddy with
+    // `StateRequest` — organically producing exactly such a frame — and
+    // must be left un-answered without disturbing the survivors' state.
+    let mut cluster = SimCluster::new(
+        SITES,
+        homeo_config(),
+        SimNetConfig::faulty(RttMatrix::table1().truncated(SITES), 0x57A1),
+    );
+    for i in 0..ITEMS {
+        cluster.register(item_obj(i), INITIAL, LOWER);
+    }
+    let mut rng = DetRng::seed_from(0x57A1);
+    let mut net_delta = vec![0i64; ITEMS];
+    elastic_ops(
+        &mut cluster,
+        &mut rng,
+        &mut net_delta,
+        &[0, 1, 2],
+        90,
+        false,
+    );
+    // Graceful retirement: site 2's unsynchronized deltas fold into the
+    // survivors' bases and the epoch-bumped roster evicts it.
+    cluster.leave(2);
+    assert_eq!(cluster.roster(0).members, vec![0, 1]);
+    assert_eq!(cluster.stale_rejects(), 0);
+    elastic_ops(&mut cluster, &mut rng, &mut net_delta, &[0, 1], 40, false);
+    // The retired site crashes and comes back: its recovery probe is a
+    // frame from an evicted member and must be rejected, not answered.
+    cluster.synchronize(0);
+    cluster.kill(2);
+    cluster.restart(2);
+    cluster.run_until_quiescent();
+    assert!(
+        cluster.stale_rejects() >= 1,
+        "the evicted member's recovery probe must be dropped as stale"
+    );
+    assert_eq!(
+        cluster.roster(0).members,
+        vec![0, 1],
+        "a stale probe must not re-enter the evicted site"
+    );
+    elastic_ops(&mut cluster, &mut rng, &mut net_delta, &[0, 1], 40, false);
+    assert_members_converged(&mut cluster, &[0, 1], &net_delta);
 }

@@ -221,6 +221,8 @@ fn killed_site_rejoins_over_tcp_and_coordinators_converge() {
     let spec = ClusterSpec {
         addrs: cluster.addrs().to_vec(),
         mode: ReplicatedMode::EvenSplit,
+        join: None,
+        epoch: None,
     };
     let report = tcp_load_opts(
         &spec,
